@@ -1,0 +1,42 @@
+//! Hungarian top-1 and Murty top-k assignment costs over problem size —
+//! the mapping machinery of §3.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep::matcher::assignment::{solve, solve_top_k, CostMatrix};
+
+/// Deterministic pseudo-random cost matrix.
+fn matrix(rows: usize, cols: usize, seed: u64) -> CostMatrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next() * 10.0).collect();
+    CostMatrix::from_rows(rows, cols, data)
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [4usize, 8, 16, 32] {
+        let m = matrix(n, n + 4, n as u64);
+        group.bench_with_input(BenchmarkId::new("solve", n), &m, |b, m| {
+            b.iter(|| solve(m).map(|s| s.total_cost))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("murty");
+    group.sample_size(30);
+    let m = matrix(6, 10, 99);
+    for k in [1usize, 5, 10, 25] {
+        group.bench_with_input(BenchmarkId::new("top_k", k), &k, |b, &k| {
+            b.iter(|| solve_top_k(&m, k).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

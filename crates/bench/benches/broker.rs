@@ -1,0 +1,78 @@
+//! End-to-end broker throughput: publish → match → deliver across worker
+//! counts, with the exact matcher (pure middleware overhead) and the
+//! thematic matcher (realistic load).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tep::prelude::*;
+use tep_eval::{EvalConfig, MatcherStack, Workload};
+
+fn bench_broker(c: &mut Criterion) {
+    let cfg = EvalConfig::tiny();
+    let stack = MatcherStack::build(&cfg);
+    let workload = Workload::generate(&cfg);
+    let th = Thesaurus::eurovoc_like();
+    let tags: Vec<String> = Domain::ALL
+        .iter()
+        .map(|d| th.top_terms(*d)[0].as_str().to_string())
+        .collect();
+    let events: Vec<Event> = workload
+        .events()
+        .iter()
+        .take(128)
+        .map(|e| e.with_theme_tags(tags.clone()))
+        .collect();
+
+    let mut group = c.benchmark_group("broker_publish");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("exact_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let broker = Broker::start(
+                        Arc::new(ExactMatcher::new()),
+                        BrokerConfig::default().with_workers(workers),
+                    );
+                    let mut receivers = Vec::new();
+                    for s in workload.subscriptions().iter().take(8) {
+                        receivers.push(broker.subscribe(s.clone()).unwrap().1);
+                    }
+                    for e in &events {
+                        broker.publish(e.clone()).unwrap();
+                    }
+                    broker.flush();
+                    let stats = broker.stats();
+                    broker.shutdown();
+                    stats.processed
+                })
+            },
+        );
+    }
+    group.bench_function("thematic_workers_2", |b| {
+        let matcher = Arc::new(stack.thematic());
+        b.iter(|| {
+            let broker = Broker::start(
+                Arc::clone(&matcher),
+                BrokerConfig::default().with_workers(2),
+            );
+            let mut receivers = Vec::new();
+            for s in workload.subscriptions().iter().take(8) {
+                receivers.push(broker.subscribe(s.with_theme_tags(tags.clone())).unwrap().1);
+            }
+            for e in events.iter().take(32) {
+                broker.publish(e.clone()).unwrap();
+            }
+            broker.flush();
+            let stats = broker.stats();
+            broker.shutdown();
+            stats.processed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broker);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Corpus generation and index build costs (the ESA build stage of
+//! Fig. 5) over corpus size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep::prelude::*;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generate");
+    group.sample_size(10);
+    for docs in [300usize, 1000, 3000] {
+        let cfg = CorpusConfig::standard().with_num_docs(docs);
+        group.bench_with_input(BenchmarkId::new("docs", docs), &cfg, |b, cfg| {
+            b.iter(|| Corpus::generate(cfg).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for docs in [300usize, 1000, 3000] {
+        let corpus = Corpus::generate(&CorpusConfig::standard().with_num_docs(docs));
+        group.bench_with_input(BenchmarkId::new("docs", docs), &corpus, |b, corpus| {
+            b.iter(|| InvertedIndex::build(corpus).vocabulary_len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tokenize");
+    let corpus = Corpus::generate(&CorpusConfig::small());
+    let text: String = corpus
+        .documents()
+        .take(50)
+        .map(|d| d.text())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let tokenizer = Tokenizer::default();
+    group.bench_function("50_docs", |b| b.iter(|| tokenizer.tokenize(&text).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

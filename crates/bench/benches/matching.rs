@@ -1,0 +1,112 @@
+//! Single-event matching latency per matcher variant — the microscopic
+//! counterpart of the Figure 9 / Table 1 throughput comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tep::prelude::*;
+use tep_eval::{EvalConfig, MatcherStack, Workload};
+
+fn fixtures() -> (MatcherStack, Workload, Vec<String>) {
+    let cfg = EvalConfig::tiny();
+    let stack = MatcherStack::build(&cfg);
+    let workload = Workload::generate(&cfg);
+    let th = Thesaurus::eurovoc_like();
+    let tags: Vec<String> = Domain::ALL
+        .iter()
+        .flat_map(|d| th.top_terms(*d)[..2].iter().map(|t| t.as_str().to_string()))
+        .collect();
+    (stack, workload, tags)
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let (stack, workload, tags) = fixtures();
+    let thematic = stack.thematic();
+    let non_thematic = stack.non_thematic();
+    let exact = stack.exact();
+    let rewriting = stack.rewriting();
+    let precomputed = stack.precomputed(&workload);
+
+    let sub_plain = workload.subscriptions()[0].clone();
+    let sub_themed = sub_plain.with_theme_tags(tags.clone());
+    let events_plain: Vec<Event> = workload.events().iter().take(64).cloned().collect();
+    let events_themed: Vec<Event> = events_plain
+        .iter()
+        .map(|e| e.with_theme_tags(tags.clone()))
+        .collect();
+
+    let mut group = c.benchmark_group("match_event");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("matcher", "thematic"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &events_themed {
+                acc += thematic.match_event(&sub_themed, e).score();
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("matcher", "non-thematic"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &events_plain {
+                acc += non_thematic.match_event(&sub_plain, e).score();
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("matcher", "exact"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &events_plain {
+                acc += exact.match_event(&sub_plain, e).score();
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("matcher", "rewriting"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &events_plain {
+                acc += rewriting.match_event(&sub_plain, e).score();
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("matcher", "precomputed"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &events_plain {
+                acc += precomputed.match_event(&sub_plain, e).score();
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    // Top-k overhead vs top-1.
+    let mut group = c.benchmark_group("match_modes");
+    group.sample_size(20);
+    for k in [1usize, 3, 5] {
+        let matcher = ProbabilisticMatcher::new(
+            ThematicEsaMeasure::new(Arc::clone(stack.pvsm())),
+            if k == 1 {
+                MatcherConfig::top1()
+            } else {
+                MatcherConfig::top_k(k)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("top_k", k), &k, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for e in events_themed.iter().take(16) {
+                    acc += matcher.match_event(&sub_themed, e).score();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Cost of thematic projection (Algorithm 1) as a function of theme size,
+//! and the distance computation on projected vs full vectors — the
+//! mechanism behind the Figure 9 throughput gains ("the more filtering
+//! that occurs during thematic projection ... the less time is required").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep::prelude::*;
+
+fn bench_projection(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::standard());
+    let space = DistributionalSpace::new(InvertedIndex::build(&corpus));
+    let pvsm = ParametricVectorSpace::new(space.clone());
+    let th = Thesaurus::eurovoc_like();
+    let all_tags = th.top_terms_of(&Domain::ALL);
+
+    let mut group = c.benchmark_group("project_term");
+    group.sample_size(30);
+    for size in [1usize, 4, 12, 30] {
+        let theme = Theme::new(all_tags[..size].iter().map(|t| t.as_str()));
+        group.bench_with_input(BenchmarkId::new("theme_size", size), &theme, |b, theme| {
+            b.iter(|| {
+                // Clear so the projection itself is measured, not the memo.
+                pvsm.clear_caches();
+                pvsm.project("energy consumption", theme).nnz()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(50);
+    let energy = Theme::new(
+        ["energy policy", "electrical industry", "energy metering", "building energy"],
+    );
+    let full_a = space.term_vector("energy consumption").normalized();
+    let full_b = space.term_vector("electricity usage").normalized();
+    let proj_a = (*pvsm.project_normalized("energy consumption", &energy)).clone();
+    let proj_b = (*pvsm.project_normalized("electricity usage", &energy)).clone();
+    group.bench_function("full_space", |b| {
+        b.iter(|| full_a.euclidean_distance(&full_b))
+    });
+    group.bench_function("projected", |b| {
+        b.iter(|| proj_a.euclidean_distance(&proj_b))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("theme_basis");
+    group.sample_size(30);
+    for size in [1usize, 8, 30] {
+        let theme = Theme::new(all_tags[..size].iter().map(|t| t.as_str()));
+        group.bench_with_input(BenchmarkId::new("compute", size), &theme, |b, theme| {
+            b.iter(|| tep::semantics::ThemeBasis::compute(&space, theme).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Calibration probe: prints thematic F1/throughput for hand-picked theme
+//! combinations against the non-thematic baseline. Not part of the paper
+//! reproduction; used to tune the synthetic-corpus knobs.
+
+use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
+use tep::thesaurus::{Domain, Thesaurus};
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("terms") {
+        term_diagnostics();
+        return;
+    }
+    let cfg = EvalConfig::quick();
+    let stack = MatcherStack::build(&cfg);
+    let workload = Workload::generate(&cfg);
+    let th = Thesaurus::eurovoc_like();
+    let all_tags: Vec<String> = th
+        .top_terms_of(&Domain::ALL)
+        .iter()
+        .map(|t| t.as_str().to_string())
+        .collect();
+
+    let no_theme = ThemeCombination {
+        event_tags: vec![],
+        subscription_tags: vec![],
+    };
+    let base = run_sub_experiment(&stack.non_thematic(), &workload, &no_theme);
+    println!("baseline: f1={:.3} tput={:.0}", base.f1(), base.throughput);
+
+    let m = stack.thematic();
+    // One tag per domain = full domain coverage with 6 tags.
+    let one_per_domain: Vec<String> = Domain::ALL
+        .iter()
+        .map(|d| th.top_terms(*d)[0].as_str().to_string())
+        .collect();
+    let two_per_domain: Vec<String> = Domain::ALL
+        .iter()
+        .flat_map(|d| th.top_terms(*d)[..2].iter().map(|t| t.as_str().to_string()))
+        .collect();
+    let four_per_domain: Vec<String> = Domain::ALL
+        .iter()
+        .flat_map(|d| th.top_terms(*d)[..4].iter().map(|t| t.as_str().to_string()))
+        .collect();
+
+    let combos: Vec<(&str, Vec<String>, Vec<String>)> = vec![
+        ("all48/all48", all_tags.clone(), all_tags.clone()),
+        ("1perdom/1perdom", one_per_domain.clone(), one_per_domain.clone()),
+        ("2perdom/2perdom", two_per_domain.clone(), two_per_domain.clone()),
+        ("4perdom/4perdom", four_per_domain.clone(), four_per_domain.clone()),
+        ("1perdom/2perdom", one_per_domain.clone(), two_per_domain.clone()),
+        ("1perdom/all48", one_per_domain.clone(), all_tags.clone()),
+        ("2perdom/all48", two_per_domain.clone(), all_tags.clone()),
+        ("first2/first2", all_tags[..2].to_vec(), all_tags[..2].to_vec()),
+        ("first2/first12", all_tags[..2].to_vec(), all_tags[..12].to_vec()),
+        ("first12/first2", all_tags[..12].to_vec(), all_tags[..2].to_vec()),
+    ];
+    for (name, ev, sub) in combos {
+        let combo = ThemeCombination {
+            event_tags: ev,
+            subscription_tags: sub,
+        };
+        let r = run_sub_experiment(&m, &workload, &combo);
+        println!(
+            "{name:<20} f1={:.3} ({:+.3} vs base) tput={:.0}",
+            r.f1(),
+            r.f1() - base.f1(),
+            r.throughput
+        );
+        stack.clear_caches();
+    }
+}
+
+/// Term-level diagnostics: full-space vs projected relatedness for
+/// informative pairs (run with `probe terms`).
+#[allow(dead_code)]
+fn term_diagnostics() {
+    use tep::prelude::*;
+    let cfg = tep_eval::EvalConfig::quick();
+    let stack = tep_eval::MatcherStack::build(&cfg);
+    let pvsm = stack.pvsm();
+    let th_all: Vec<String> = Thesaurus::eurovoc_like()
+        .top_terms_of(&Domain::ALL)
+        .iter()
+        .map(|t| t.as_str().to_string())
+        .collect();
+    let empty = Theme::empty();
+    let energy = Theme::new(["energy policy", "electrical industry", "energy metering", "building energy"]);
+    let allth = Theme::new(th_all.iter().map(|s| s.as_str()));
+    let pairs = [
+        ("energy consumption", "electricity usage", "synonym"),
+        ("increased energy consumption event", "increased electricity usage event", "syn-phrase"),
+        ("laptop", "computer", "related"),
+        ("refrigerator", "fridge", "synonym"),
+        ("refrigerator", "laptop", "same-domain-diff"),
+        ("refrigerator", "roundabout", "cross-domain"),
+        ("energy consumption", "zebra crossing", "cross-domain"),
+        ("room 112", "room 113", "near-idents"),
+        ("room 112", "chamber 112", "syn+num"),
+        ("charge", "battery", "ambig-energy"),
+        ("charge", "toll", "ambig-transport"),
+        ("galway", "dublin", "related-geo"),
+        ("galway", "eire", "unrelated-ish"),
+    ];
+    println!("{:<42} {:<18} {:>8} {:>8} {:>8}", "pair", "kind", "full", "energy", "all48");
+    for (a, b, kind) in pairs {
+        let f = pvsm.relatedness(a, &empty, b, &empty);
+        let e = pvsm.relatedness(a, &energy, b, &energy);
+        let l = pvsm.relatedness(a, &allth, b, &allth);
+        println!("{:<42} {:<18} {:>8.4} {:>8.4} {:>8.4}", format!("{a} | {b}"), kind, f, e, l);
+    }
+    // Vector shapes.
+    for t in ["energy consumption", "laptop", "room 112"] {
+        let full = pvsm.project(t, &empty);
+        let proj = pvsm.project(t, &energy);
+        println!("nnz({t}): full={} energy-proj={}", full.nnz(), proj.nnz());
+    }
+}

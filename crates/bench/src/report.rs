@@ -1,0 +1,190 @@
+//! Rendering of experiment reports: ASCII heatmaps and CSV files.
+
+use tep_eval::experiments::{GridCell, GridReport};
+
+/// Which metric of the grid a rendering reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridMetric {
+    /// Mean maximal F1 (Figures 7/8).
+    F1,
+    /// Mean throughput in events/sec (Figures 9/10).
+    Throughput,
+}
+
+impl GridMetric {
+    fn mean_of(self, cell: &GridCell) -> f64 {
+        match self {
+            GridMetric::F1 => cell.f1_mean,
+            GridMetric::Throughput => cell.throughput_mean,
+        }
+    }
+
+    fn std_of(self, cell: &GridCell) -> f64 {
+        match self {
+            GridMetric::F1 => cell.f1_std,
+            GridMetric::Throughput => cell.throughput_std,
+        }
+    }
+}
+
+/// Renders a grid heatmap as ASCII, in the paper's orientation: rows are
+/// subscription-theme sizes (bottom = smallest), columns are event-theme
+/// sizes (left = smallest). Cells above the baseline are marked `#`
+/// (the paper's squares), below `.` (circles), mirroring Fig. 7/9.
+pub fn render_heatmap(report: &GridReport, metric: GridMetric, baseline: f64) -> String {
+    let mut out = String::new();
+    let label = match metric {
+        GridMetric::F1 => "F1",
+        GridMetric::Throughput => "events/sec",
+    };
+    out.push_str(&format!(
+        "rows: subscription theme size (top=largest) | cols: event theme size | {label} | baseline {baseline:.3}\n"
+    ));
+    out.push_str("'#' above baseline, '.' below; value shown is the sample mean\n\n");
+    let mut rows: Vec<usize> = report.subscription_sizes.clone();
+    rows.sort_unstable();
+    rows.reverse();
+    let mut cols: Vec<usize> = report.event_sizes.clone();
+    cols.sort_unstable();
+
+    out.push_str("  ss\\es |");
+    for es in &cols {
+        out.push_str(&format!(" {es:>7}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(9 + 8 * cols.len()));
+    out.push('\n');
+    for ss in &rows {
+        out.push_str(&format!("  {ss:>5} |"));
+        for es in &cols {
+            match report.cell(*es, *ss) {
+                Some(cell) => {
+                    let v = metric.mean_of(cell);
+                    let mark = if v > baseline { '#' } else { '.' };
+                    match metric {
+                        GridMetric::F1 => out.push_str(&format!(" {mark}{:>5.1}%", v * 100.0)),
+                        GridMetric::Throughput => out.push_str(&format!(" {mark}{v:>6.0}")),
+                    }
+                }
+                None => out.push_str("       -"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV of the grid means: `event_theme_size,subscription_theme_size,value`.
+pub fn grid_csv(report: &GridReport, metric: GridMetric) -> String {
+    let mut out = String::from("event_theme_size,subscription_theme_size,mean,std\n");
+    for c in &report.cells {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6}\n",
+            c.event_theme_size,
+            c.subscription_theme_size,
+            metric.mean_of(c),
+            metric.std_of(c),
+        ));
+    }
+    out
+}
+
+/// CSV of the error scatter (Figures 8/10): `mean,std` per cell.
+pub fn scatter_csv(report: &GridReport, metric: GridMetric) -> String {
+    let mut out = String::from("mean,std\n");
+    for c in &report.cells {
+        out.push_str(&format!("{:.6},{:.6}\n", metric.mean_of(c), metric.std_of(c)));
+    }
+    out
+}
+
+/// A one-paragraph summary of the grid vs a baseline, in the style of the
+/// paper's §5.3.1/§5.3.2 reporting.
+pub fn summarize(report: &GridReport, metric: GridMetric, baseline: f64) -> String {
+    let values: Vec<f64> = report.cells.iter().map(|c| metric.mean_of(c)).collect();
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let above = match metric {
+        GridMetric::F1 => report.fraction_above_f1(baseline),
+        GridMetric::Throughput => report.fraction_above_throughput(baseline),
+    };
+    match metric {
+        GridMetric::F1 => format!(
+            "F1 range {:.1}%-{:.1}%, mean {:.1}% vs baseline {:.1}%; {:.0}% of combinations above baseline; diagonal mean {:.1}%",
+            min * 100.0,
+            max * 100.0,
+            mean * 100.0,
+            baseline * 100.0,
+            above * 100.0,
+            report.diagonal_f1() * 100.0,
+        ),
+        GridMetric::Throughput => format!(
+            "throughput range {min:.0}-{max:.0} ev/s, mean {mean:.0} vs baseline {baseline:.0}; {:.0}% of combinations above baseline",
+            above * 100.0,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> GridReport {
+        GridReport {
+            cells: vec![
+                GridCell {
+                    event_theme_size: 1,
+                    subscription_theme_size: 1,
+                    f1_mean: 0.4,
+                    f1_std: 0.1,
+                    throughput_mean: 100.0,
+                    throughput_std: 5.0,
+                    f1_samples: vec![0.3, 0.5],
+                    throughput_samples: vec![95.0, 105.0],
+                },
+                GridCell {
+                    event_theme_size: 2,
+                    subscription_theme_size: 1,
+                    f1_mean: 0.8,
+                    f1_std: 0.05,
+                    throughput_mean: 300.0,
+                    throughput_std: 10.0,
+                    f1_samples: vec![0.75, 0.85],
+                    throughput_samples: vec![290.0, 310.0],
+                },
+            ],
+            event_sizes: vec![1, 2],
+            subscription_sizes: vec![1],
+            samples_per_cell: 2,
+        }
+    }
+
+    #[test]
+    fn heatmap_marks_baseline_crossings() {
+        let r = tiny_report();
+        let text = render_heatmap(&r, GridMetric::F1, 0.62);
+        assert!(text.contains('#'), "cell above baseline must be marked #\n{text}");
+        assert!(text.contains('.'), "cell below baseline must be marked .\n{text}");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let r = tiny_report();
+        let csv = grid_csv(&r, GridMetric::Throughput);
+        assert_eq!(csv.lines().count(), 1 + r.cells.len());
+        assert!(csv.starts_with("event_theme_size"));
+        let scatter = scatter_csv(&r, GridMetric::F1);
+        assert_eq!(scatter.lines().count(), 1 + r.cells.len());
+    }
+
+    #[test]
+    fn summaries_mention_ranges() {
+        let r = tiny_report();
+        let s = summarize(&r, GridMetric::F1, 0.62);
+        assert!(s.contains("40.0%"));
+        assert!(s.contains("80.0%"));
+        let t = summarize(&r, GridMetric::Throughput, 202.0);
+        assert!(t.contains("100"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The broker runtime.
+
+use crate::config::BrokerConfig;
+use crate::notification::Notification;
+use crate::stats::{BrokerStats, StatsInner};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tep_events::{Event, Subscription};
+use tep_matcher::Matcher;
+
+/// Identifier handed out by [`Broker::subscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Errors returned by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BrokerError {
+    /// The broker has been shut down.
+    Closed,
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::Closed => write!(f, "broker is shut down"),
+        }
+    }
+}
+
+impl Error for BrokerError {}
+
+struct Registration {
+    subscription: Arc<Subscription>,
+    sender: Sender<Notification>,
+}
+
+struct Shared {
+    registry: RwLock<HashMap<SubscriptionId, Arc<Registration>>>,
+    stats: Arc<StatsInner>,
+    threshold: f64,
+    notification_capacity: usize,
+}
+
+/// A thread-pool publish/subscribe broker around any [`Matcher`].
+///
+/// Events published while subscribers exist are matched on worker threads
+/// against every registered subscription; matches at or above the
+/// configured delivery threshold are sent to the subscriber's channel.
+/// Ordering across workers is not guaranteed (synchronization decoupling).
+pub struct Broker {
+    shared: Arc<Shared>,
+    ingress: Option<Sender<Arc<Event>>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Broker {
+    /// Starts the broker with `config.workers` matching threads.
+    pub fn start<M>(matcher: Arc<M>, config: BrokerConfig) -> Broker
+    where
+        M: Matcher + Send + Sync + 'static + ?Sized,
+    {
+        let shared = Arc::new(Shared {
+            registry: RwLock::new(HashMap::new()),
+            stats: Arc::new(StatsInner::default()),
+            threshold: config.delivery_threshold,
+            notification_capacity: config.notification_capacity,
+        });
+        let (tx, rx) = bounded::<Arc<Event>>(config.queue_capacity.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx: Receiver<Arc<Event>> = rx.clone();
+                let shared = Arc::clone(&shared);
+                let matcher = Arc::clone(&matcher);
+                std::thread::Builder::new()
+                    .name(format!("tep-broker-{i}"))
+                    .spawn(move || worker_loop(rx, shared, matcher))
+                    .expect("spawn broker worker")
+            })
+            .collect();
+        Broker {
+            shared,
+            ingress: Some(tx),
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a subscription and returns its id plus the notification
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Closed`] after [`Broker::shutdown`].
+    pub fn subscribe(
+        &self,
+        subscription: Subscription,
+    ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
+        if self.ingress.is_none() {
+            return Err(BrokerError::Closed);
+        }
+        let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(self.shared.notification_capacity.max(1));
+        self.shared.registry.write().insert(
+            id,
+            Arc::new(Registration {
+                subscription: Arc::new(subscription),
+                sender: tx,
+            }),
+        );
+        Ok((id, rx))
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        self.shared.registry.write().remove(&id).is_some()
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.shared.registry.read().len()
+    }
+
+    /// Publishes an event (blocks only when the ingress queue is full).
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Closed`] after [`Broker::shutdown`].
+    pub fn publish(&self, event: Event) -> Result<(), BrokerError> {
+        let Some(tx) = &self.ingress else {
+            return Err(BrokerError::Closed);
+        };
+        self.shared.stats.published.fetch_add(1, Ordering::Relaxed);
+        tx.send(Arc::new(event)).map_err(|_| BrokerError::Closed)
+    }
+
+    /// Blocks until every published event has been matched (busy-waits in
+    /// 100µs steps; intended for tests and benchmarks, not hot paths).
+    pub fn flush(&self) {
+        loop {
+            let s = self.stats();
+            if s.processed >= s.published {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+
+    /// A snapshot of the broker's counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting events, drains the queue and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Dropping the only ingress sender closes the channel; workers
+        // exit once the queue drains.
+        self.ingress = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("subscriptions", &self.subscription_count())
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop<M>(rx: Receiver<Arc<Event>>, shared: Arc<Shared>, matcher: Arc<M>)
+where
+    M: Matcher + Send + Sync + ?Sized,
+{
+    for event in rx.iter() {
+        // Snapshot the registry so matching never holds the lock.
+        let registrations: Vec<(SubscriptionId, Arc<Registration>)> = shared
+            .registry
+            .read()
+            .iter()
+            .map(|(id, r)| (*id, Arc::clone(r)))
+            .collect();
+        for (id, reg) in registrations {
+            shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
+            let result = matcher.match_event(&reg.subscription, &event);
+            if !result.is_empty() && result.is_match(shared.threshold) {
+                let notification = Notification {
+                    subscription: id,
+                    event: Arc::clone(&event),
+                    result,
+                };
+                match reg.sender.try_send(notification) {
+                    Ok(()) => {
+                        shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        shared.stats.delivery_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_events::{parse_event, parse_subscription};
+    use tep_matcher::ExactMatcher;
+
+    fn broker() -> Broker {
+        Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default().with_workers(2))
+    }
+
+    #[test]
+    fn delivers_matching_events() {
+        let b = broker();
+        let (id, rx) = b
+            .subscribe(parse_subscription("{device= computer}").unwrap())
+            .unwrap();
+        b.publish(parse_event("{device: computer}").unwrap()).unwrap();
+        b.publish(parse_event("{device: laptop}").unwrap()).unwrap();
+        b.flush();
+        let n = rx.try_recv().expect("one delivery");
+        assert_eq!(n.subscription, id);
+        assert_eq!(n.score(), 1.0);
+        assert!(rx.try_recv().is_err(), "non-matching event must not deliver");
+        let stats = b.stats();
+        assert_eq!(stats.published, 2);
+        assert_eq!(stats.processed, 2);
+        assert_eq!(stats.notifications, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn multiple_subscribers_fan_out() {
+        let b = broker();
+        let (_, rx1) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        let (_, rx2) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        assert_eq!(b.subscription_count(), 2);
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.flush();
+        assert!(rx1.try_recv().is_ok());
+        assert!(rx2.try_recv().is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let b = broker();
+        let (id, rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        assert!(b.unsubscribe(id));
+        assert!(!b.unsubscribe(id));
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.flush();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dropped_receiver_counts_as_failure() {
+        let b = broker();
+        let (_, rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        drop(rx);
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.flush();
+        assert_eq!(b.stats().delivery_failures, 1);
+        assert_eq!(b.stats().notifications, 0);
+    }
+
+    #[test]
+    fn operations_after_shutdown_error() {
+        let mut b = broker();
+        b.shutdown_in_place();
+        assert_eq!(
+            b.publish(parse_event("{a: 1}").unwrap()).unwrap_err(),
+            BrokerError::Closed
+        );
+        assert!(b.subscribe(parse_subscription("{a= 1}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_loss() {
+        // A 1-slot queue forces publish() to block until workers drain;
+        // nothing may be dropped.
+        let config = BrokerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (_, rx) = b.subscribe(parse_subscription("{k= hit}").unwrap()).unwrap();
+        for i in 0..64 {
+            b.publish(parse_event(&format!("{{k: hit, i: n{i}}}")).unwrap()).unwrap();
+        }
+        b.flush();
+        assert_eq!(b.stats().processed, 64);
+        assert_eq!(rx.try_iter().count(), 64);
+    }
+
+    #[test]
+    fn many_events_all_processed() {
+        let b = broker();
+        let (_, rx) = b.subscribe(parse_subscription("{kind= wanted}").unwrap()).unwrap();
+        for i in 0..200 {
+            let kind = if i % 4 == 0 { "wanted" } else { "other" };
+            b.publish(parse_event(&format!("{{kind: {kind}, seq: n{i}}}")).unwrap())
+                .unwrap();
+        }
+        b.flush();
+        let delivered = rx.try_iter().count();
+        assert_eq!(delivered, 50);
+        assert_eq!(b.stats().processed, 200);
+        assert_eq!(b.stats().match_tests, 200);
+    }
+}

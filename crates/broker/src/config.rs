@@ -1,0 +1,79 @@
+//! Broker configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`crate::Broker`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Number of matcher worker threads.
+    pub workers: usize,
+    /// Minimum best-mapping score for an event to be delivered to a
+    /// subscriber. The approximate matcher is probabilistic, so delivery
+    /// is thresholded rather than boolean.
+    pub delivery_threshold: f64,
+    /// Capacity of the ingress event queue; [`crate::Broker::publish`]
+    /// blocks when it is full (back-pressure).
+    pub queue_capacity: usize,
+    /// Capacity of each subscriber's notification channel; notifications
+    /// to a full (or dropped) channel are counted as delivery failures
+    /// rather than blocking the matching workers.
+    pub notification_capacity: usize,
+}
+
+impl BrokerConfig {
+    /// A config with one worker per available CPU (at least one).
+    pub fn auto_workers() -> BrokerConfig {
+        BrokerConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            ..BrokerConfig::default()
+        }
+    }
+
+    /// Replaces the worker count.
+    pub fn with_workers(mut self, workers: usize) -> BrokerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the delivery threshold.
+    pub fn with_delivery_threshold(mut self, threshold: f64) -> BrokerConfig {
+        self.delivery_threshold = threshold;
+        self
+    }
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            workers: 2,
+            delivery_threshold: 0.25,
+            queue_capacity: 1024,
+            notification_capacity: 4096,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = BrokerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_capacity > 0);
+        assert!((0.0..=1.0).contains(&c.delivery_threshold));
+    }
+
+    #[test]
+    fn builders() {
+        let c = BrokerConfig::default().with_workers(0).with_delivery_threshold(0.5);
+        assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
+        assert_eq!(c.delivery_threshold, 0.5);
+    }
+
+    #[test]
+    fn auto_workers_positive() {
+        assert!(BrokerConfig::auto_workers().workers >= 1);
+    }
+}

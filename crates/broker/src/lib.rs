@@ -1,0 +1,47 @@
+//! # tep-broker
+//!
+//! A publish/subscribe **broker middleware** that runs a
+//! [`tep_matcher::Matcher`] over a pool of worker threads — the
+//! event-based middleware context the paper targets (§1: "there is a need
+//! for middleware to abstract application developers from underlying
+//! technologies").
+//!
+//! The broker preserves the classic decoupling dimensions (Fig. 1):
+//!
+//! * **space** — publishers never see subscribers; they only call
+//!   [`Broker::publish`];
+//! * **time/synchronization** — publishing is non-blocking; matching and
+//!   delivery happen on worker threads and notifications arrive on
+//!   per-subscriber channels;
+//! * **semantics** — the loosened fourth dimension: with a thematic
+//!   matcher plugged in, subscribers receive events whose vocabulary they
+//!   never agreed on.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tep_broker::{Broker, BrokerConfig};
+//! use tep_matcher::ExactMatcher;
+//! use tep_events::{parse_event, parse_subscription};
+//!
+//! let broker = Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default());
+//! let (_id, rx) = broker.subscribe(parse_subscription("{device= computer}")?)?;
+//! broker.publish(parse_event("{device: computer, office: room 112}")?)?;
+//! broker.flush();
+//! let n = rx.try_recv().expect("notification delivered");
+//! assert_eq!(n.result.score(), 1.0);
+//! broker.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod broker;
+mod config;
+mod notification;
+mod stats;
+
+pub use broker::{Broker, BrokerError, SubscriptionId};
+pub use config::BrokerConfig;
+pub use notification::Notification;
+pub use stats::BrokerStats;

@@ -1,0 +1,45 @@
+//! Notifications delivered to subscribers.
+
+use crate::broker::SubscriptionId;
+use std::sync::Arc;
+use tep_events::Event;
+use tep_matcher::MatchResult;
+
+/// A delivery to one subscriber: the event plus the full match result,
+/// including the top-1/top-k mappings and their probabilities, so a
+/// downstream complex-event-processing stage can consume the uncertainty
+/// (paper §6.2).
+#[derive(Debug, Clone)]
+pub struct Notification {
+    /// The subscription this delivery is for.
+    pub subscription: SubscriptionId,
+    /// The published event (shared, not copied per subscriber).
+    pub event: Arc<Event>,
+    /// The matcher's result (score ≥ the broker's delivery threshold).
+    pub result: MatchResult,
+}
+
+impl Notification {
+    /// The best-mapping score that triggered the delivery.
+    pub fn score(&self) -> f64 {
+        self.result.score()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_delegates_to_result() {
+        let n = Notification {
+            subscription: SubscriptionId(7),
+            event: Arc::new(
+                Event::builder().tuple("a", "b").build().unwrap(),
+            ),
+            result: MatchResult::no_match(),
+        };
+        assert_eq!(n.score(), 0.0);
+        assert_eq!(n.subscription, SubscriptionId(7));
+    }
+}

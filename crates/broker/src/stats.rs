@@ -1,0 +1,57 @@
+//! Broker runtime counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic broker counters, cheap to read concurrently.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub published: AtomicU64,
+    pub processed: AtomicU64,
+    pub match_tests: AtomicU64,
+    pub notifications: AtomicU64,
+    pub delivery_failures: AtomicU64,
+}
+
+/// A point-in-time snapshot of the broker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Events accepted by [`crate::Broker::publish`].
+    pub published: u64,
+    /// Events fully matched against every subscription.
+    pub processed: u64,
+    /// Individual subscription × event match tests executed.
+    pub match_tests: u64,
+    /// Notifications delivered to subscriber channels.
+    pub notifications: u64,
+    /// Notifications dropped (subscriber gone or channel full).
+    pub delivery_failures: u64,
+}
+
+impl StatsInner {
+    pub(crate) fn snapshot(self: &Arc<Self>) -> BrokerStats {
+        BrokerStats {
+            published: self.published.load(Ordering::Relaxed),
+            processed: self.processed.load(Ordering::Relaxed),
+            match_tests: self.match_tests.load(Ordering::Relaxed),
+            notifications: self.notifications.load(Ordering::Relaxed),
+            delivery_failures: self.delivery_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let inner = Arc::new(StatsInner::default());
+        inner.published.fetch_add(3, Ordering::Relaxed);
+        inner.notifications.fetch_add(2, Ordering::Relaxed);
+        let snap = inner.snapshot();
+        assert_eq!(snap.published, 3);
+        assert_eq!(snap.notifications, 2);
+        assert_eq!(snap.processed, 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! The pattern-evaluation engine.
+
+use crate::pattern::Pattern;
+use std::fmt;
+use tep_events::Event;
+use tep_matcher::Matcher;
+
+/// An event with a logical timestamp (the engine never reads a wall
+/// clock, so histories replay deterministically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timestamped {
+    /// The event payload.
+    pub event: Event,
+    /// Logical time in caller-chosen units.
+    pub timestamp: u64,
+}
+
+impl Timestamped {
+    /// Pairs an event with its logical timestamp.
+    pub fn new(event: Event, timestamp: u64) -> Timestamped {
+        Timestamped { event, timestamp }
+    }
+}
+
+/// Identifier of a registered pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(pub u64);
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A completed complex detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The pattern that fired.
+    pub pattern: PatternId,
+    /// The constituent `(timestamp, event)` pairs, in match order.
+    pub events: Vec<(u64, Event)>,
+    /// Product of the constituent leaf scores — the detection's
+    /// confidence under the probabilistic-CEP independence assumption.
+    pub probability: f64,
+}
+
+/// A completed sub-match inside the instance tree.
+#[derive(Debug, Clone)]
+struct Completion {
+    score: f64,
+    events: Vec<(u64, Event)>,
+    first_ts: u64,
+    last_ts: u64,
+}
+
+/// Mutable evaluation state mirroring the pattern tree.
+#[derive(Debug)]
+enum NodeState {
+    Single,
+    Sequence {
+        states: Vec<NodeState>,
+        progress: usize,
+        acc_events: Vec<(u64, Event)>,
+        acc_score: f64,
+        start_ts: u64,
+    },
+    All {
+        states: Vec<NodeState>,
+        done: Vec<Option<Completion>>,
+    },
+    Any {
+        states: Vec<NodeState>,
+    },
+}
+
+impl NodeState {
+    fn for_pattern(pattern: &Pattern) -> NodeState {
+        match pattern {
+            Pattern::Single(_) => NodeState::Single,
+            Pattern::Sequence { branches, .. } => NodeState::Sequence {
+                states: branches.iter().map(NodeState::for_pattern).collect(),
+                progress: 0,
+                acc_events: Vec::new(),
+                acc_score: 1.0,
+                start_ts: 0,
+            },
+            Pattern::All { branches, .. } => NodeState::All {
+                states: branches.iter().map(NodeState::for_pattern).collect(),
+                done: branches.iter().map(|_| None).collect(),
+            },
+            Pattern::Any { branches } => NodeState::Any {
+                states: branches.iter().map(NodeState::for_pattern).collect(),
+            },
+        }
+    }
+
+    fn reset(&mut self, pattern: &Pattern) {
+        *self = NodeState::for_pattern(pattern);
+    }
+}
+
+/// Evaluates registered [`Pattern`]s against a timestamped event stream,
+/// using any [`Matcher`] for the leaves.
+///
+/// Semantics (documented simplifications of full CEP engines):
+///
+/// * each composite keeps **one active partial instantiation**
+///   (latest-match-wins), resetting after every firing;
+/// * one input event may satisfy several branches of an `all`/`any`
+///   composite simultaneously;
+/// * a leaf matches when the matcher's best-mapping score reaches the
+///   engine's `leaf_threshold`.
+pub struct CepEngine<M> {
+    matcher: M,
+    leaf_threshold: f64,
+    patterns: Vec<(PatternId, Pattern, NodeState)>,
+    next_id: u64,
+}
+
+impl<M: Matcher> CepEngine<M> {
+    /// Creates an engine over `matcher`; leaves fire at scores ≥
+    /// `leaf_threshold`.
+    pub fn new(matcher: M, leaf_threshold: f64) -> CepEngine<M> {
+        CepEngine {
+            matcher,
+            leaf_threshold,
+            patterns: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Registers a pattern; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern has no leaves (it could never fire).
+    pub fn register(&mut self, pattern: Pattern) -> PatternId {
+        assert!(pattern.is_satisfiable(), "pattern has no leaf subscriptions");
+        let id = PatternId(self.next_id);
+        self.next_id += 1;
+        let state = NodeState::for_pattern(&pattern);
+        self.patterns.push((id, pattern, state));
+        id
+    }
+
+    /// Removes a pattern; returns whether it existed.
+    pub fn unregister(&mut self, id: PatternId) -> bool {
+        let before = self.patterns.len();
+        self.patterns.retain(|(pid, _, _)| *pid != id);
+        self.patterns.len() != before
+    }
+
+    /// Number of registered patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Feeds one timestamped event; returns every detection it completed.
+    pub fn feed(&mut self, input: &Timestamped) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        for (id, pattern, state) in &mut self.patterns {
+            if let Some(c) = offer(pattern, state, &self.matcher, self.leaf_threshold, input) {
+                detections.push(Detection {
+                    pattern: *id,
+                    events: c.events,
+                    probability: c.score,
+                });
+            }
+        }
+        detections
+    }
+}
+
+impl<M: Matcher> fmt::Debug for CepEngine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CepEngine")
+            .field("patterns", &self.patterns.len())
+            .field("leaf_threshold", &self.leaf_threshold)
+            .finish()
+    }
+}
+
+/// Offers `input` to the node; returns a completion if the node fired.
+fn offer<M: Matcher>(
+    pattern: &Pattern,
+    state: &mut NodeState,
+    matcher: &M,
+    threshold: f64,
+    input: &Timestamped,
+) -> Option<Completion> {
+    match (pattern, state) {
+        (Pattern::Single(sub), NodeState::Single) => {
+            let result = matcher.match_event(sub, &input.event);
+            let score = result.score();
+            if !result.is_empty() && score >= threshold {
+                Some(Completion {
+                    score,
+                    events: vec![(input.timestamp, input.event.clone())],
+                    first_ts: input.timestamp,
+                    last_ts: input.timestamp,
+                })
+            } else {
+                None
+            }
+        }
+        (
+            Pattern::Sequence { branches, within },
+            NodeState::Sequence {
+                states,
+                progress,
+                acc_events,
+                acc_score,
+                start_ts,
+            },
+        ) => {
+            // Expire a stale partial instantiation before offering.
+            if *progress > 0 && input.timestamp.saturating_sub(*start_ts) > *within {
+                *progress = 0;
+                acc_events.clear();
+                *acc_score = 1.0;
+                for (b, s) in branches.iter().zip(states.iter_mut()) {
+                    s.reset(b);
+                }
+            }
+            let idx = *progress;
+            let completion = offer(&branches[idx], &mut states[idx], matcher, threshold, input)?;
+            if idx == 0 {
+                *start_ts = completion.first_ts;
+            } else if completion.last_ts.saturating_sub(*start_ts) > *within {
+                // Completed, but outside the window: restart from scratch.
+                *progress = 0;
+                acc_events.clear();
+                *acc_score = 1.0;
+                for (b, s) in branches.iter().zip(states.iter_mut()) {
+                    s.reset(b);
+                }
+                return None;
+            }
+            acc_events.extend(completion.events);
+            *acc_score *= completion.score;
+            *progress += 1;
+            if *progress == branches.len() {
+                let fired = Completion {
+                    score: *acc_score,
+                    events: std::mem::take(acc_events),
+                    first_ts: *start_ts,
+                    last_ts: completion.last_ts,
+                };
+                *progress = 0;
+                *acc_score = 1.0;
+                for (b, s) in branches.iter().zip(states.iter_mut()) {
+                    s.reset(b);
+                }
+                Some(fired)
+            } else {
+                None
+            }
+        }
+        (Pattern::All { branches, within }, NodeState::All { states, done }) => {
+            for (i, branch) in branches.iter().enumerate() {
+                if let Some(c) = offer(branch, &mut states[i], matcher, threshold, input) {
+                    // Latest completion wins.
+                    done[i] = Some(c);
+                }
+            }
+            // Expire completions that can no longer co-occur with the
+            // current time inside the window.
+            for slot in done.iter_mut() {
+                if let Some(c) = slot {
+                    if input.timestamp.saturating_sub(c.last_ts) > *within {
+                        *slot = None;
+                    }
+                }
+            }
+            if done.iter().all(Option::is_some) {
+                let mut events = Vec::new();
+                let mut score = 1.0;
+                let mut first_ts = u64::MAX;
+                let mut last_ts = 0u64;
+                for c in done.iter().flatten() {
+                    first_ts = first_ts.min(c.first_ts);
+                    last_ts = last_ts.max(c.last_ts);
+                    score *= c.score;
+                }
+                if last_ts.saturating_sub(first_ts) > *within {
+                    return None;
+                }
+                for c in done.iter_mut().map(Option::take) {
+                    let c = c.expect("checked all done");
+                    events.extend(c.events);
+                }
+                for (b, s) in branches.iter().zip(states.iter_mut()) {
+                    s.reset(b);
+                }
+                Some(Completion {
+                    score,
+                    events,
+                    first_ts,
+                    last_ts,
+                })
+            } else {
+                None
+            }
+        }
+        (Pattern::Any { branches }, NodeState::Any { states }) => {
+            let mut winner = None;
+            for (i, branch) in branches.iter().enumerate() {
+                if winner.is_none() {
+                    winner = offer(branch, &mut states[i], matcher, threshold, input);
+                }
+            }
+            if winner.is_some() {
+                for (b, s) in branches.iter().zip(states.iter_mut()) {
+                    s.reset(b);
+                }
+            }
+            winner
+        }
+        _ => unreachable!("state tree always mirrors the pattern tree"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_events::{parse_event, parse_subscription, Subscription};
+    use tep_matcher::ExactMatcher;
+
+    fn sub(kind: &str) -> Subscription {
+        parse_subscription(&format!("{{kind= {kind}}}")).unwrap()
+    }
+
+    fn ev(kind: &str) -> Event {
+        parse_event(&format!("{{kind: {kind}}}")).unwrap()
+    }
+
+    fn engine() -> CepEngine<ExactMatcher> {
+        CepEngine::new(ExactMatcher::new(), 0.5)
+    }
+
+    #[test]
+    fn single_pattern_fires_per_match() {
+        let mut e = engine();
+        let id = e.register(Pattern::single(sub("a")));
+        assert_eq!(e.feed(&Timestamped::new(ev("a"), 1)).len(), 1);
+        assert!(e.feed(&Timestamped::new(ev("b"), 2)).is_empty());
+        let d = e.feed(&Timestamped::new(ev("a"), 3));
+        assert_eq!(d[0].pattern, id);
+        assert_eq!(d[0].probability, 1.0);
+        assert_eq!(d[0].events[0].0, 3);
+    }
+
+    #[test]
+    fn sequence_requires_order_and_window() {
+        let mut e = engine();
+        e.register(Pattern::sequence(
+            [Pattern::single(sub("a")), Pattern::single(sub("b"))],
+            10,
+        ));
+        // Wrong order first: 'b' alone does not advance.
+        assert!(e.feed(&Timestamped::new(ev("b"), 1)).is_empty());
+        assert!(e.feed(&Timestamped::new(ev("a"), 2)).is_empty());
+        let d = e.feed(&Timestamped::new(ev("b"), 8));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].events.len(), 2);
+        assert_eq!(d[0].events[0].0, 2);
+        assert_eq!(d[0].events[1].0, 8);
+    }
+
+    #[test]
+    fn sequence_window_expiry_resets() {
+        let mut e = engine();
+        e.register(Pattern::sequence(
+            [Pattern::single(sub("a")), Pattern::single(sub("b"))],
+            5,
+        ));
+        assert!(e.feed(&Timestamped::new(ev("a"), 1)).is_empty());
+        // Too late: partial instantiation expired; 'b' does not fire …
+        assert!(e.feed(&Timestamped::new(ev("b"), 20)).is_empty());
+        // … and the sequence restarted cleanly.
+        assert!(e.feed(&Timestamped::new(ev("a"), 21)).is_empty());
+        assert_eq!(e.feed(&Timestamped::new(ev("b"), 23)).len(), 1);
+    }
+
+    #[test]
+    fn all_matches_in_any_order() {
+        let mut e = engine();
+        e.register(Pattern::all(
+            [Pattern::single(sub("x")), Pattern::single(sub("y"))],
+            10,
+        ));
+        assert!(e.feed(&Timestamped::new(ev("y"), 1)).is_empty());
+        let d = e.feed(&Timestamped::new(ev("x"), 4));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].events.len(), 2);
+    }
+
+    #[test]
+    fn all_expires_stale_halves() {
+        let mut e = engine();
+        e.register(Pattern::all(
+            [Pattern::single(sub("x")), Pattern::single(sub("y"))],
+            5,
+        ));
+        assert!(e.feed(&Timestamped::new(ev("y"), 1)).is_empty());
+        // y expired by the time x arrives.
+        assert!(e.feed(&Timestamped::new(ev("x"), 20)).is_empty());
+        // A fresh y inside the window completes with the stored x.
+        assert_eq!(e.feed(&Timestamped::new(ev("y"), 22)).len(), 1);
+    }
+
+    #[test]
+    fn any_fires_on_first_branch() {
+        let mut e = engine();
+        e.register(Pattern::any([
+            Pattern::single(sub("p")),
+            Pattern::single(sub("q")),
+        ]));
+        assert_eq!(e.feed(&Timestamped::new(ev("q"), 1)).len(), 1);
+        assert_eq!(e.feed(&Timestamped::new(ev("p"), 2)).len(), 1);
+        assert!(e.feed(&Timestamped::new(ev("z"), 3)).is_empty());
+    }
+
+    #[test]
+    fn nested_patterns_compose() {
+        // seq( a, all(b, c) ) within 100.
+        let mut e = engine();
+        e.register(Pattern::sequence(
+            [
+                Pattern::single(sub("a")),
+                Pattern::all([Pattern::single(sub("b")), Pattern::single(sub("c"))], 50),
+            ],
+            100,
+        ));
+        assert!(e.feed(&Timestamped::new(ev("a"), 1)).is_empty());
+        assert!(e.feed(&Timestamped::new(ev("c"), 5)).is_empty());
+        let d = e.feed(&Timestamped::new(ev("b"), 9));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].events.len(), 3);
+    }
+
+    #[test]
+    fn unregister_stops_evaluation() {
+        let mut e = engine();
+        let id = e.register(Pattern::single(sub("a")));
+        assert!(e.unregister(id));
+        assert!(!e.unregister(id));
+        assert!(e.feed(&Timestamped::new(ev("a"), 1)).is_empty());
+        assert_eq!(e.pattern_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no leaf")]
+    fn registering_unsatisfiable_pattern_panics() {
+        engine().register(Pattern::any([]));
+    }
+
+    #[test]
+    fn probability_multiplies_leaf_scores() {
+        // A stub matcher with fractional scores.
+        use tep_matcher::{MatcherConfig, ProbabilisticMatcher};
+        use tep_semantics::{SemanticMeasure, Theme};
+
+        #[derive(Debug)]
+        struct Half;
+        impl SemanticMeasure for Half {
+            fn relatedness(&self, a: &str, _: &Theme, b: &str, _: &Theme) -> f64 {
+                if a == b {
+                    1.0
+                } else {
+                    0.5
+                }
+            }
+        }
+        let approx = |kind: &str| {
+            Subscription::builder()
+                .predicate_full_approx("kind", kind)
+                .build()
+                .unwrap()
+        };
+        let mut e = CepEngine::new(
+            ProbabilisticMatcher::new(Half, MatcherConfig::top1()),
+            0.1,
+        );
+        e.register(Pattern::sequence(
+            [Pattern::single(approx("a")), Pattern::single(approx("b"))],
+            10,
+        ));
+        // Each leaf matches any `kind` event at 0.5 (attr exact ×
+        // value 0.5), so a completed sequence carries 0.5 · 0.5.
+        assert!(e.feed(&Timestamped::new(ev("q"), 1)).is_empty());
+        let d = e.feed(&Timestamped::new(ev("r"), 2));
+        assert_eq!(d.len(), 1);
+        assert!((d[0].probability - 0.25).abs() < 1e-12);
+    }
+}

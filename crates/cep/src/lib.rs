@@ -1,0 +1,55 @@
+//! # tep-cep
+//!
+//! Complex event processing over **uncertain** single-event matches — the
+//! downstream stage the paper points to in §3.5 ("the top-k mode ... to be
+//! used later for complex event processing") and §6.2 (complex event
+//! processing over uncertain events, Wasserkrug et al.).
+//!
+//! The paper's §2.1 motivating pattern
+//!
+//! ```text
+//! pattern [ every a=StreetLightsEvents(a.type='energy consumption event'
+//!                                      and a.area.consumptionPeak='true') ]
+//! ```
+//!
+//! becomes, in this model, a [`Pattern`] over *approximate thematic
+//! subscriptions*: each leaf is a [`tep_events::Subscription`] matched by
+//! any [`tep_matcher::Matcher`], and every leaf match carries the matcher's
+//! score. Composite detections combine leaf scores multiplicatively (the
+//! independence assumption of probabilistic CEP), so downstream consumers
+//! receive a confidence for every complex detection.
+//!
+//! Supported operators:
+//!
+//! * [`Pattern::single`] — one event matching a subscription;
+//! * [`Pattern::sequence`] — leaves in timestamp order within a window;
+//! * [`Pattern::all`] — every leaf observed (any order) within a window;
+//! * [`Pattern::any`] — the first leaf to fire.
+//!
+//! ```
+//! use tep_cep::{CepEngine, Pattern, Timestamped};
+//! use tep_events::{parse_event, parse_subscription};
+//! use tep_matcher::ExactMatcher;
+//!
+//! let increase = parse_subscription("{kind= increase}")?;
+//! let overload = parse_subscription("{kind= overload}")?;
+//! let mut engine = CepEngine::new(ExactMatcher::new(), 0.5);
+//! engine.register(Pattern::sequence([Pattern::single(increase), Pattern::single(overload)], 10));
+//!
+//! engine.feed(&Timestamped::new(parse_event("{kind: increase}")?, 1));
+//! let detections = engine.feed(&Timestamped::new(parse_event("{kind: overload}")?, 5));
+//! assert_eq!(detections.len(), 1);
+//! assert_eq!(detections[0].events.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod engine;
+mod pattern;
+#[cfg(test)]
+mod proptests;
+
+pub use engine::{CepEngine, Detection, PatternId, Timestamped};
+pub use pattern::Pattern;

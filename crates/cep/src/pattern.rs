@@ -1,0 +1,184 @@
+//! The pattern algebra.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tep_events::Subscription;
+
+/// A complex-event pattern over approximate subscriptions.
+///
+/// Windows are expressed in the caller's logical time units (the engine
+/// never consults a wall clock, so replayed histories and tests are
+/// deterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// One event matching the subscription.
+    Single(Subscription),
+    /// Every branch matched, in timestamp order, with the whole span
+    /// inside the window.
+    Sequence {
+        /// The ordered branches.
+        branches: Vec<Pattern>,
+        /// Maximum allowed `last.timestamp - first.timestamp`.
+        within: u64,
+    },
+    /// Every branch matched in any order inside the window.
+    All {
+        /// The unordered branches.
+        branches: Vec<Pattern>,
+        /// Maximum allowed `last.timestamp - first.timestamp`.
+        within: u64,
+    },
+    /// The first branch to complete fires the pattern.
+    Any {
+        /// The competing branches.
+        branches: Vec<Pattern>,
+    },
+}
+
+impl Pattern {
+    /// A single-subscription pattern.
+    pub fn single(subscription: Subscription) -> Pattern {
+        Pattern::Single(subscription)
+    }
+
+    /// An ordered sequence within a logical-time window.
+    pub fn sequence<I: IntoIterator<Item = Pattern>>(branches: I, within: u64) -> Pattern {
+        Pattern::Sequence {
+            branches: branches.into_iter().collect(),
+            within,
+        }
+    }
+
+    /// A conjunction (any order) within a logical-time window.
+    pub fn all<I: IntoIterator<Item = Pattern>>(branches: I, within: u64) -> Pattern {
+        Pattern::All {
+            branches: branches.into_iter().collect(),
+            within,
+        }
+    }
+
+    /// A disjunction: first branch to complete wins.
+    pub fn any<I: IntoIterator<Item = Pattern>>(branches: I) -> Pattern {
+        Pattern::Any {
+            branches: branches.into_iter().collect(),
+        }
+    }
+
+    /// The number of leaf subscriptions in the pattern.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Pattern::Single(_) => 1,
+            Pattern::Sequence { branches, .. } | Pattern::All { branches, .. } => {
+                branches.iter().map(Pattern::leaf_count).sum()
+            }
+            Pattern::Any { branches } => branches.iter().map(Pattern::leaf_count).sum(),
+        }
+    }
+
+    /// Iterates over every leaf subscription.
+    pub fn leaves(&self) -> Vec<&Subscription> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'p>(&'p self, out: &mut Vec<&'p Subscription>) {
+        match self {
+            Pattern::Single(s) => out.push(s),
+            Pattern::Sequence { branches, .. }
+            | Pattern::All { branches, .. }
+            | Pattern::Any { branches } => {
+                for b in branches {
+                    b.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the pattern has at least one leaf (an empty composite can
+    /// never fire).
+    pub fn is_satisfiable(&self) -> bool {
+        self.leaf_count() > 0
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Single(s) => write!(f, "single{s}"),
+            Pattern::Sequence { branches, within } => {
+                write!(f, "seq[within {within}](")?;
+                join(f, branches)?;
+                write!(f, ")")
+            }
+            Pattern::All { branches, within } => {
+                write!(f, "all[within {within}](")?;
+                join(f, branches)?;
+                write!(f, ")")
+            }
+            Pattern::Any { branches } => {
+                write!(f, "any(")?;
+                join(f, branches)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn join(f: &mut fmt::Formatter<'_>, branches: &[Pattern]) -> fmt::Result {
+    for (i, b) in branches.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{b}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_events::Subscription;
+
+    fn sub(kind: &str) -> Subscription {
+        Subscription::builder()
+            .predicate_exact("kind", kind)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn leaf_count_recurses() {
+        let p = Pattern::sequence(
+            [
+                Pattern::single(sub("a")),
+                Pattern::all([Pattern::single(sub("b")), Pattern::single(sub("c"))], 5),
+            ],
+            10,
+        );
+        assert_eq!(p.leaf_count(), 3);
+        assert_eq!(p.leaves().len(), 3);
+        assert!(p.is_satisfiable());
+    }
+
+    #[test]
+    fn empty_composite_is_unsatisfiable() {
+        let p = Pattern::any([]);
+        assert!(!p.is_satisfiable());
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let p = Pattern::sequence([Pattern::single(sub("a"))], 7);
+        let text = p.to_string();
+        assert!(text.starts_with("seq[within 7]("));
+        assert!(text.contains("kind= a"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Pattern::all([Pattern::single(sub("x")), Pattern::single(sub("y"))], 3);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(p, serde_json::from_str::<Pattern>(&json).unwrap());
+    }
+}

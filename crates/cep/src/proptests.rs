@@ -1,0 +1,102 @@
+//! Property-based tests of the engine invariants over random streams.
+
+use crate::{CepEngine, Pattern, Timestamped};
+use proptest::prelude::*;
+use tep_events::{Event, Subscription};
+use tep_matcher::ExactMatcher;
+
+fn sub(kind: &str) -> Subscription {
+    Subscription::builder()
+        .predicate_exact("kind", kind)
+        .build()
+        .expect("static subscription")
+}
+
+fn ev(kind: &str) -> Event {
+    Event::builder()
+        .tuple("kind", kind)
+        .build()
+        .expect("static event")
+}
+
+/// A random stream of kinds 'a'..'d' with strictly increasing timestamps.
+fn stream() -> impl Strategy<Value = Vec<Timestamped>> {
+    proptest::collection::vec((0usize..4, 1u64..5), 0..40).prop_map(|steps| {
+        let kinds = ["a", "b", "c", "d"];
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .map(|(k, dt)| {
+                ts += dt;
+                Timestamped::new(ev(kinds[k]), ts)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn sequence_detections_are_ordered_and_windowed(events in stream(), within in 1u64..30) {
+        let mut engine = CepEngine::new(ExactMatcher::new(), 0.5);
+        engine.register(Pattern::sequence(
+            [Pattern::single(sub("a")), Pattern::single(sub("b"))],
+            within,
+        ));
+        for input in &events {
+            for d in engine.feed(input) {
+                prop_assert_eq!(d.events.len(), 2);
+                let (t0, t1) = (d.events[0].0, d.events[1].0);
+                prop_assert!(t0 <= t1, "sequence out of order: {t0} > {t1}");
+                prop_assert!(t1 - t0 <= within, "window violated: {} > {within}", t1 - t0);
+                prop_assert_eq!(d.events[0].1.value_of("kind"), Some("a"));
+                prop_assert_eq!(d.events[1].1.value_of("kind"), Some("b"));
+                prop_assert!((d.probability - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_detections_respect_window(events in stream(), within in 1u64..30) {
+        let mut engine = CepEngine::new(ExactMatcher::new(), 0.5);
+        engine.register(Pattern::all(
+            [Pattern::single(sub("a")), Pattern::single(sub("c"))],
+            within,
+        ));
+        for input in &events {
+            for d in engine.feed(input) {
+                prop_assert_eq!(d.events.len(), 2);
+                let min = d.events.iter().map(|(t, _)| *t).min().unwrap();
+                let max = d.events.iter().map(|(t, _)| *t).max().unwrap();
+                prop_assert!(max - min <= within);
+            }
+        }
+    }
+
+    #[test]
+    fn single_pattern_fires_exactly_per_match(events in stream()) {
+        let mut engine = CepEngine::new(ExactMatcher::new(), 0.5);
+        engine.register(Pattern::single(sub("d")));
+        let mut fired = 0usize;
+        for input in &events {
+            fired += engine.feed(input).len();
+        }
+        let expected = events
+            .iter()
+            .filter(|t| t.event.value_of("kind") == Some("d"))
+            .count();
+        prop_assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn engine_is_deterministic(events in stream()) {
+        let run = || {
+            let mut engine = CepEngine::new(ExactMatcher::new(), 0.5);
+            engine.register(Pattern::sequence(
+                [Pattern::single(sub("a")), Pattern::single(sub("b"))],
+                12,
+            ));
+            events.iter().flat_map(|i| engine.feed(i)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

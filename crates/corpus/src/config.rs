@@ -1,0 +1,117 @@
+//! Corpus generation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic corpus generator.
+///
+/// All sampling flows from `seed`, so equal configs produce bit-identical
+/// corpora. The mixture probabilities control the three structural
+/// properties the ESA space needs (see the crate docs); the defaults were
+/// calibrated so that the evaluation reproduces the *shape* of the paper's
+/// Figures 7–10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of documents to generate.
+    pub num_docs: usize,
+    /// Minimum words per document (before multi-word term expansion).
+    pub min_words: usize,
+    /// Maximum words per document.
+    pub max_words: usize,
+    /// Number of concepts forming one document's topic cluster.
+    pub concepts_per_doc: usize,
+    /// Number of the domain's top terms embedded in each document. Smaller
+    /// values make single-tag themes cover fewer documents (the paper's
+    /// "very small themes perform poorly" effect).
+    pub top_terms_per_doc: usize,
+    /// Probability that a sampled term comes from a *different* domain
+    /// (cross-domain contamination; raises the non-thematic matcher's false
+    /// similarity).
+    pub cross_domain_noise: f64,
+    /// Probability that a sampled term is a generic filler word.
+    pub filler_rate: f64,
+    /// Fraction of the corpus that is **open-domain background**:
+    /// documents about unrelated topics (history, sport, culture, …) with
+    /// no top terms. Real ESA corpora (Wikipedia) are overwhelmingly
+    /// background; it is this mass that thematic projection prunes.
+    pub background_fraction: f64,
+    /// Probability that a background word slot *leaks* a term from a
+    /// random domain concept. Leakage is what creates spurious
+    /// co-occurrence between unrelated domain terms — the noise floor of
+    /// the non-thematic measure.
+    pub background_leakage: f64,
+    /// Probability that a background word slot uses the *other sense* of
+    /// an ambiguous domain word (`light`, `cell`, `room`, `event`, …).
+    /// This is the polysemy mass that pollutes the full-space vectors of
+    /// the event vocabulary and that thematic projection prunes.
+    pub background_polysemy: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// The default evaluation-scale corpus (a few thousand documents).
+    pub fn standard() -> CorpusConfig {
+        CorpusConfig {
+            num_docs: 3000,
+            min_words: 40,
+            max_words: 110,
+            concepts_per_doc: 5,
+            top_terms_per_doc: 2,
+            cross_domain_noise: 0.15,
+            filler_rate: 0.15,
+            background_fraction: 0.55,
+            background_leakage: 0.015,
+            background_polysemy: 0.3,
+            seed: 0x7E9_2014,
+        }
+    }
+
+    /// A small corpus for unit tests and doc examples (fast to index).
+    pub fn small() -> CorpusConfig {
+        CorpusConfig {
+            num_docs: 300,
+            ..CorpusConfig::standard()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> CorpusConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different document count.
+    pub fn with_num_docs(mut self, num_docs: usize) -> CorpusConfig {
+        self.num_docs = num_docs;
+        self
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> CorpusConfig {
+        CorpusConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(CorpusConfig::default(), CorpusConfig::standard());
+    }
+
+    #[test]
+    fn with_builders_override_fields() {
+        let c = CorpusConfig::standard().with_seed(1).with_num_docs(10);
+        assert_eq!(c.seed, 1);
+        assert_eq!(c.num_docs, 10);
+        assert_eq!(c.min_words, CorpusConfig::standard().min_words);
+    }
+
+    #[test]
+    fn small_is_smaller() {
+        assert!(CorpusConfig::small().num_docs < CorpusConfig::standard().num_docs);
+    }
+}

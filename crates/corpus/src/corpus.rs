@@ -1,0 +1,114 @@
+//! The corpus container.
+
+use crate::document::{DocId, Document};
+use crate::generator::CorpusGenerator;
+use crate::CorpusConfig;
+use serde::{Deserialize, Serialize};
+use tep_thesaurus::{Domain, Thesaurus};
+
+/// An immutable collection of generated documents.
+///
+/// Serves the same role as the indexed Wikipedia dump in the paper: the
+/// document set over which the distributional vector space (Fig. 5) is
+/// built.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    documents: Vec<Document>,
+    config: CorpusConfig,
+}
+
+impl Corpus {
+    pub(crate) fn from_parts(documents: Vec<Document>, config: CorpusConfig) -> Corpus {
+        Corpus { documents, config }
+    }
+
+    /// Generates a corpus from the built-in EuroVoc-like thesaurus.
+    ///
+    /// ```
+    /// use tep_corpus::{Corpus, CorpusConfig};
+    /// let c = Corpus::generate(&CorpusConfig::small());
+    /// assert_eq!(c.len(), CorpusConfig::small().num_docs);
+    /// ```
+    pub fn generate(config: &CorpusConfig) -> Corpus {
+        let thesaurus = Thesaurus::eurovoc_like();
+        CorpusGenerator::new(&thesaurus, config.clone()).generate()
+    }
+
+    /// Generates a corpus from a caller-provided thesaurus.
+    pub fn generate_with(thesaurus: &Thesaurus, config: &CorpusConfig) -> Corpus {
+        CorpusGenerator::new(thesaurus, config.clone()).generate()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// The generation parameters this corpus was built with.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Looks a document up by id.
+    pub fn document(&self, id: DocId) -> Option<&Document> {
+        self.documents.get(id.index())
+    }
+
+    /// Iterates over all documents in id order.
+    pub fn documents(&self) -> impl Iterator<Item = &Document> {
+        self.documents.iter()
+    }
+
+    /// Number of open-domain background documents.
+    pub fn background_count(&self) -> usize {
+        self.documents.iter().filter(|d| d.is_background()).count()
+    }
+
+    /// Number of documents whose topic was drawn from `domain`.
+    pub fn domain_count(&self, domain: Domain) -> usize {
+        self.documents.iter().filter(|d| d.domain() == Some(domain)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_config_size() {
+        let cfg = CorpusConfig::small().with_num_docs(60);
+        let c = Corpus::generate(&cfg);
+        assert_eq!(c.len(), 60);
+        assert!(!c.is_empty());
+        assert_eq!(c.config().num_docs, 60);
+    }
+
+    #[test]
+    fn document_lookup_by_id() {
+        let c = Corpus::generate(&CorpusConfig::small().with_num_docs(12));
+        let d = c.document(DocId(5)).unwrap();
+        assert_eq!(d.id(), DocId(5));
+        assert!(c.document(DocId(12)).is_none());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let c = Corpus::generate(&CorpusConfig::small().with_num_docs(24));
+        for (i, d) in c.documents().enumerate() {
+            assert_eq!(d.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn domain_counts_plus_background_sum_to_len() {
+        let c = Corpus::generate(&CorpusConfig::small().with_num_docs(36));
+        let total: usize = Domain::ALL.iter().map(|d| c.domain_count(*d)).sum();
+        assert_eq!(total + c.background_count(), c.len());
+        assert!(c.background_count() > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Documents and document identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tep_thesaurus::Domain;
+
+/// Identifier of a document within one [`crate::Corpus`].
+///
+/// Document ids are dense (`0..corpus.len()`), which lets the indexing and
+/// vector-space layers use them directly as array indices — the basis
+/// vectors of the distributional space (Fig. 5) are exactly the documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The dense index of the document.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A generated document: a title, body text and the domain its topic was
+/// drawn from (`None` for open-domain background documents).
+///
+/// The domain is generation metadata (the real Wikipedia corpus has no such
+/// label); it is exposed for diagnostics and tests only and is never
+/// consulted by the matcher.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    pub(crate) id: DocId,
+    pub(crate) title: String,
+    pub(crate) text: String,
+    pub(crate) domain: Option<Domain>,
+}
+
+impl Document {
+    /// The document's id.
+    pub fn id(&self) -> DocId {
+        self.id
+    }
+
+    /// The document's synthetic title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The body text (lowercase words separated by single spaces).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The domain the document's topic was sampled from (diagnostics
+    /// only); `None` for background documents.
+    pub fn domain(&self) -> Option<Domain> {
+        self.domain
+    }
+
+    /// Whether the document is open-domain background.
+    pub fn is_background(&self) -> bool {
+        self.domain.is_none()
+    }
+
+    /// Iterates over the words of the body text.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.text.split_whitespace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_id_display_and_index() {
+        assert_eq!(DocId(12).to_string(), "d12");
+        assert_eq!(DocId(12).index(), 12);
+    }
+
+    #[test]
+    fn words_split_text() {
+        let d = Document {
+            id: DocId(0),
+            title: "t".into(),
+            text: "energy consumption meter".into(),
+            domain: Some(Domain::Energy),
+        };
+        assert_eq!(d.words().count(), 3);
+        assert_eq!(d.words().next(), Some("energy"));
+    }
+}

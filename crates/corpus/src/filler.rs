@@ -1,0 +1,121 @@
+//! Generic filler vocabulary shared by all documents.
+//!
+//! Filler words play two roles: stop words exercise the indexing layer's
+//! stop-word filter (they must *not* influence similarity), and generic
+//! content words give every pair of terms a small amount of shared context,
+//! like the broad vocabulary of real Wikipedia articles.
+
+/// Common function words; the indexing layer removes these.
+pub(crate) const STOP_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "is", "are",
+    "was", "were", "be", "been", "by", "with", "for", "from", "as", "that",
+    "this", "these", "those", "it", "its", "has", "have", "had", "not", "but",
+    "also", "can", "may", "will", "which", "their", "there", "than", "then",
+    "into", "over", "under", "between", "such", "per", "each", "other",
+];
+
+/// Generic content words that appear across all domains.
+///
+/// Deliberately disjoint from the thesaurus vocabulary *and* from the
+/// words of the domain top terms: if a filler word also appeared in a
+/// theme tag (e.g. `policy` in `energy policy`), every theme basis would
+/// cover essentially the whole corpus and thematic projection would
+/// degenerate to the identity.
+pub(crate) const FILLER_WORDS: &[&str] = &[
+    "report", "study", "analysis", "figures", "amount", "benchmark",
+    "quantification", "framework", "provision", "project", "result",
+    "extent", "number", "record", "summary", "overview", "survey",
+    "example", "case", "model", "method", "approach", "procedure",
+    "change", "increase", "decrease", "average", "total", "annual",
+    "daily", "hourly", "civic", "local", "national", "general", "common",
+    "typical", "observed", "reported", "estimated", "according", "during",
+    "period", "history", "progress", "administration", "authority",
+    "department", "council", "agency", "programme", "strategy",
+];
+
+/// Numeric and code tokens (room numbers, desk codes, years). Real
+/// corpora contain such tokens, and without them every `room NNN` value
+/// would collapse onto the same vector — these keep distinct identifiers
+/// distributionally distinct.
+pub(crate) const NUMERIC_FILLER: &[&str] = &[
+    "101", "112", "113", "114", "201", "204", "212", "301", "310", "315",
+    "101a", "112c", "114b", "201a", "204d", "212a", "301c", "310b", "42",
+    "2013", "2014", "2020", "6lowpan", "km", "kw",
+];
+
+/// Open-domain background vocabulary: topics far from the six evaluation
+/// domains (history, sport, arts, …). Background documents are built
+/// mostly from these words, standing in for the vast majority of a real
+/// ESA corpus that is unrelated to any given event workload.
+pub(crate) const BACKGROUND_WORDS: &[&str] = &[
+    "history", "war", "battle", "empire", "king", "queen", "dynasty",
+    "revolution", "treaty", "medieval", "ancient", "century", "kingdom",
+    "film", "cinema", "actor", "director", "premiere", "festival",
+    "music", "album", "band", "concert", "orchestra", "symphony", "opera",
+    "novel", "poet", "literature", "chapter", "publisher", "manuscript",
+    "painting", "sculpture", "gallery", "exhibition", "portrait",
+    "museum", "theatre", "ballet", "choreography", "costume",
+    "football", "match", "tournament", "league", "championship", "goal",
+    "athlete", "olympic", "stadium", "referee", "coach", "cricket",
+    "tennis", "marathon", "swimming", "gymnastics", "medal",
+    "election", "parliament", "senate", "minister", "campaign", "ballot",
+    "monarchy", "republic", "constitution", "diplomat", "embassy",
+    "religion", "temple", "cathedral", "monastery", "pilgrimage",
+    "philosophy", "ethics", "logic", "metaphysics", "rhetoric",
+    "astronomy", "galaxy", "telescope", "comet", "nebula", "constellation",
+    "biology", "species", "evolution", "genome", "organism", "fossil",
+    "cuisine", "recipe", "restaurant", "chef", "baking", "vineyard",
+    "fashion", "textile", "garment", "silk", "wool", "embroidery",
+    "mythology", "legend", "folklore", "saga", "deity", "oracle",
+];
+
+/// Domain words with strong *other* senses that real open-domain corpora
+/// use constantly (a light novel, an electoral cell, an iron throne, a
+/// football fan, a river of traffic…). Injected into background documents,
+/// they pollute the full-space vectors of exactly the words the event
+/// workload discriminates on — the polysemy noise thematic projection is
+/// designed to remove.
+/// NOTE: none of these words may appear in any domain *top term* — a
+/// theme tag whose words occur in background documents would pull the
+/// background into its basis and neutralize projection (enforced by a
+/// test in `tep-corpus`).
+pub(crate) const BACKGROUND_AMBIGUOUS: &[&str] = &[
+    "light", "current", "charge", "cell", "iron", "fan", "screen",
+    "platform", "station", "park", "speed", "pressure",
+    "load", "plant", "monitor", "terminal",
+    "bridge", "coach", "signal", "heat", "wind", "square", "floor",
+    // High-frequency head words of the event vocabulary whose open-domain
+    // usage is extremely broad (a reading of a poem, the usage of a word,
+    // consumption in Victorian novels, the event of the season, a room in
+    // a castle, a unit of cavalry…).
+    "room", "desk", "event", "reading", "unit", "usage", "consumption",
+    "meter", "space", "ground", "street", "sensor", "device", "country",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn no_overlap_between_stop_and_filler() {
+        let stops: HashSet<_> = STOP_WORDS.iter().collect();
+        assert!(FILLER_WORDS.iter().all(|w| !stops.contains(w)));
+        assert!(NUMERIC_FILLER.iter().all(|w| !stops.contains(w)));
+    }
+
+    #[test]
+    fn numeric_tokens_survive_length_filter() {
+        // The tokenizer drops single-character tokens; every numeric
+        // filler token must be at least two characters.
+        assert!(NUMERIC_FILLER.iter().all(|w| w.chars().count() >= 2));
+    }
+
+    #[test]
+    fn all_lowercase_single_words() {
+        for w in STOP_WORDS.iter().chain(FILLER_WORDS) {
+            assert!(!w.contains(' '));
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The topic-cluster document generator.
+
+use crate::document::{DocId, Document};
+use crate::filler::{BACKGROUND_AMBIGUOUS, BACKGROUND_WORDS, FILLER_WORDS, NUMERIC_FILLER, STOP_WORDS};
+use crate::{Corpus, CorpusConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tep_thesaurus::{Concept, Domain, Term, Thesaurus};
+
+/// Generates a [`Corpus`] from a [`Thesaurus`] and a [`CorpusConfig`].
+///
+/// Each document is produced as follows (mirroring how a Wikipedia article
+/// concentrates on one topic):
+///
+/// 1. a **domain** is assigned round-robin, so all six domains are covered
+///    evenly;
+/// 2. a **topic cluster** of `concepts_per_doc` concepts is grown from a
+///    random seed concept by following related-concept links, then padded
+///    with random concepts of the same domain;
+/// 3. `top_terms_per_doc` of the domain's **top terms** are embedded, so a
+///    theme tag's distributional vector selects documents of its domain;
+/// 4. words are sampled: mostly terms of the cluster's concepts (synonyms
+///    of one concept therefore co-occur), a small `cross_domain_noise`
+///    fraction from foreign domains, and `filler_rate` generic words.
+#[derive(Debug)]
+pub struct CorpusGenerator<'a> {
+    thesaurus: &'a Thesaurus,
+    config: CorpusConfig,
+}
+
+impl<'a> CorpusGenerator<'a> {
+    /// Creates a generator over `thesaurus` with `config`.
+    pub fn new(thesaurus: &'a Thesaurus, config: CorpusConfig) -> CorpusGenerator<'a> {
+        CorpusGenerator { thesaurus, config }
+    }
+
+    /// Generates the corpus deterministically from the config seed.
+    pub fn generate(&self) -> Corpus {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let per_domain: Vec<Vec<&Concept>> = Domain::ALL
+            .iter()
+            .map(|d| self.thesaurus.domain_concepts(*d).collect())
+            .collect();
+
+        let background_every = if self.config.background_fraction <= 0.0 {
+            usize::MAX
+        } else {
+            // One background doc every k docs approximates the fraction.
+            (1.0 / self.config.background_fraction).round().max(1.0) as usize
+        };
+        let mut documents = Vec::with_capacity(self.config.num_docs);
+        let mut topical = 0usize;
+        for i in 0..self.config.num_docs {
+            let doc = if background_every != usize::MAX && i % background_every == 0 {
+                self.generate_background(DocId(i as u32), &per_domain, &mut rng)
+            } else {
+                let domain = Domain::ALL[topical % Domain::ALL.len()];
+                topical += 1;
+                self.generate_document(DocId(i as u32), domain, &per_domain, &mut rng)
+            };
+            documents.push(doc);
+        }
+        Corpus::from_parts(documents, self.config.clone())
+    }
+
+    /// An open-domain background document: mostly background vocabulary,
+    /// no top terms, with `background_leakage` probability of a leaked
+    /// domain term per slot.
+    fn generate_background(
+        &self,
+        id: DocId,
+        per_domain: &[Vec<&Concept>],
+        rng: &mut SmallRng,
+    ) -> Document {
+        let target = rng.gen_range(self.config.min_words..=self.config.max_words);
+        let mut words: Vec<String> = Vec::with_capacity(target + 4);
+        while words.len() < target {
+            let r: f64 = rng.gen();
+            if r < self.config.background_leakage {
+                let domain = Domain::ALL[rng.gen_range(0..Domain::ALL.len())];
+                if let Some(t) = random_term(&per_domain[domain.index()], rng) {
+                    push_term(&mut words, &t);
+                }
+            } else if r < self.config.background_leakage + self.config.background_polysemy {
+                // Polysemy: the other-sense usage of a domain word.
+                words.push(
+                    BACKGROUND_AMBIGUOUS[rng.gen_range(0..BACKGROUND_AMBIGUOUS.len())].to_string(),
+                );
+            } else if r < self.config.background_leakage + self.config.background_polysemy + 0.12 {
+                words.push(STOP_WORDS[rng.gen_range(0..STOP_WORDS.len())].to_string());
+            } else if r < self.config.background_leakage + self.config.background_polysemy + 0.18 {
+                words.push(FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())].to_string());
+            } else {
+                words.push(BACKGROUND_WORDS[rng.gen_range(0..BACKGROUND_WORDS.len())].to_string());
+            }
+        }
+        Document {
+            id,
+            title: format!("background article {}", id.0),
+            text: words.join(" "),
+            domain: None,
+        }
+    }
+
+    fn generate_document(
+        &self,
+        id: DocId,
+        domain: Domain,
+        per_domain: &[Vec<&Concept>],
+        rng: &mut SmallRng,
+    ) -> Document {
+        let cluster = self.topic_cluster(domain, per_domain, rng);
+        let top = self.doc_top_terms(domain, rng);
+
+        let target = rng.gen_range(self.config.min_words..=self.config.max_words);
+        let mut words: Vec<String> = Vec::with_capacity(target + 8);
+        for t in &top {
+            push_term(&mut words, t);
+        }
+
+        while words.len() < target {
+            let r: f64 = rng.gen();
+            if r < self.config.cross_domain_noise {
+                // Cross-domain contamination: a term from a foreign domain.
+                let foreign = Domain::ALL[rng.gen_range(0..Domain::ALL.len())];
+                if foreign != domain {
+                    if let Some(t) = random_term(&per_domain[foreign.index()], rng) {
+                        push_term(&mut words, &t);
+                    }
+                    continue;
+                }
+                // Fall through to in-domain sampling when the draw collides.
+            }
+            let r: f64 = rng.gen();
+            if r < self.config.filler_rate {
+                let roll: f64 = rng.gen();
+                let w = if roll < 0.40 {
+                    STOP_WORDS[rng.gen_range(0..STOP_WORDS.len())]
+                } else if roll < 0.80 {
+                    FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())]
+                } else {
+                    NUMERIC_FILLER[rng.gen_range(0..NUMERIC_FILLER.len())]
+                };
+                words.push(w.to_string());
+            } else if r < self.config.filler_rate + 0.08 {
+                // Reinforce one of the document's own top terms.
+                let t = &top[rng.gen_range(0..top.len())];
+                push_term(&mut words, t);
+            } else if !cluster.is_empty() {
+                let c = cluster[rng.gen_range(0..cluster.len())];
+                push_term(&mut words, sample_concept_term(c, rng));
+            } else {
+                words.push(FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())].to_string());
+            }
+        }
+
+        Document {
+            id,
+            title: format!("{} article {}", domain.label(), id.0),
+            text: words.join(" "),
+            domain: Some(domain),
+        }
+    }
+
+    /// Grows a topic cluster: seed concept, its related closure, then
+    /// random same-domain padding.
+    fn topic_cluster<'c>(
+        &self,
+        domain: Domain,
+        per_domain: &[Vec<&'c Concept>],
+        rng: &mut SmallRng,
+    ) -> Vec<&'c Concept>
+    where
+        'a: 'c,
+    {
+        let pool = &per_domain[domain.index()];
+        let want = self.config.concepts_per_doc.min(pool.len());
+        let mut cluster: Vec<&Concept> = Vec::with_capacity(want);
+        if pool.is_empty() {
+            return cluster;
+        }
+        let seed = pool[rng.gen_range(0..pool.len())];
+        cluster.push(seed);
+        // Follow related links (staying in-domain keeps the topic tight).
+        let mut frontier = seed.related().to_vec();
+        while cluster.len() < want {
+            let Some(rid) = frontier.pop() else { break };
+            let rc = self.thesaurus.concept(rid);
+            if rc.domain() == domain && !cluster.iter().any(|c| c.id() == rc.id()) {
+                cluster.push(rc);
+                frontier.extend_from_slice(rc.related());
+            }
+        }
+        // Pad with random same-domain concepts.
+        let mut guard = 0;
+        while cluster.len() < want && guard < 64 {
+            guard += 1;
+            let c = pool[rng.gen_range(0..pool.len())];
+            if !cluster.iter().any(|x| x.id() == c.id()) {
+                cluster.push(c);
+            }
+        }
+        cluster
+    }
+
+    fn doc_top_terms(&self, domain: Domain, rng: &mut SmallRng) -> Vec<Term> {
+        let tops = self.thesaurus.top_terms(domain);
+        if tops.is_empty() {
+            return Vec::new();
+        }
+        let want = self.config.top_terms_per_doc.clamp(1, tops.len());
+        let mut picked: Vec<Term> = Vec::with_capacity(want);
+        let mut guard = 0;
+        while picked.len() < want && guard < 64 {
+            guard += 1;
+            let t = &tops[rng.gen_range(0..tops.len())];
+            if !picked.contains(t) {
+                picked.push(t.clone());
+            }
+        }
+        picked
+    }
+}
+
+fn push_term(words: &mut Vec<String>, term: &Term) {
+    for w in term.words() {
+        words.push(w.to_string());
+    }
+}
+
+/// A uniformly random term of a uniformly random concept, preferring the
+/// preferred term with 40% probability to mimic Zipfian term usage.
+fn random_term(pool: &[&Concept], rng: &mut SmallRng) -> Option<Term> {
+    if pool.is_empty() {
+        return None;
+    }
+    let c = pool[rng.gen_range(0..pool.len())];
+    Some(sample_concept_term(c, rng).clone())
+}
+
+fn sample_concept_term<'c>(c: &'c Concept, rng: &mut SmallRng) -> &'c Term {
+    if c.alternates().is_empty() || rng.gen_bool(0.4) {
+        c.preferred()
+    } else {
+        &c.alternates()[rng.gen_range(0..c.alternates().len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thesaurus() -> Thesaurus {
+        Thesaurus::eurovoc_like()
+    }
+
+    #[test]
+    fn deterministic_for_equal_seed() {
+        let th = thesaurus();
+        let cfg = CorpusConfig::small();
+        let a = CorpusGenerator::new(&th, cfg.clone()).generate();
+        let b = CorpusGenerator::new(&th, cfg).generate();
+        assert_eq!(a.documents().count(), b.documents().count());
+        for (x, y) in a.documents().zip(b.documents()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let th = thesaurus();
+        let a = CorpusGenerator::new(&th, CorpusConfig::small()).generate();
+        let b = CorpusGenerator::new(&th, CorpusConfig::small().with_seed(99)).generate();
+        let same = a
+            .documents()
+            .zip(b.documents())
+            .filter(|(x, y)| x.text() == y.text())
+            .count();
+        assert!(same < a.len());
+    }
+
+    #[test]
+    fn documents_hit_length_targets() {
+        let th = thesaurus();
+        let cfg = CorpusConfig::small();
+        let corpus = CorpusGenerator::new(&th, cfg.clone()).generate();
+        for d in corpus.documents() {
+            let n = d.words().count();
+            // Multi-word terms may overshoot by a few words.
+            assert!(n >= cfg.min_words, "doc {} too short: {n}", d.id());
+            assert!(n <= cfg.max_words + 8, "doc {} too long: {n}", d.id());
+        }
+    }
+
+    #[test]
+    fn domains_are_covered_evenly() {
+        let th = thesaurus();
+        let corpus = CorpusGenerator::new(&th, CorpusConfig::small()).generate();
+        let counts: Vec<usize> = Domain::ALL
+            .iter()
+            .map(|d| corpus.documents().filter(|doc| doc.domain() == Some(*d)).count())
+            .collect();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "uneven domain coverage: {counts:?}");
+        let background = corpus.documents().filter(|d| d.is_background()).count();
+        let frac = background as f64 / corpus.len() as f64;
+        let want = CorpusConfig::small().background_fraction;
+        assert!((frac - want).abs() < 0.1, "background fraction {frac} vs {want}");
+    }
+
+    #[test]
+    fn topical_documents_embed_domain_top_terms() {
+        let th = thesaurus();
+        let corpus = CorpusGenerator::new(&th, CorpusConfig::small()).generate();
+        // Every topical document must contain at least one word of one of
+        // its domain's top terms (property 3 of the crate docs).
+        for doc in corpus.documents() {
+            let Some(domain) = doc.domain() else { continue };
+            let tops = th.top_terms(domain);
+            let text = doc.text();
+            assert!(
+                tops.iter().any(|t| t.words().all(|w| text.contains(w))),
+                "doc {} has no top term of {domain}",
+                doc.id(),
+            );
+        }
+    }
+
+    #[test]
+    fn background_documents_have_no_top_terms_but_leak_domain_words() {
+        let th = thesaurus();
+        let corpus = CorpusGenerator::new(&th, CorpusConfig::small()).generate();
+        let tops = th.top_terms_of(&Domain::ALL);
+        let mut leaked = 0usize;
+        let mut background = 0usize;
+        let mut with_top_phrase = 0usize;
+        for doc in corpus.documents().filter(|d| d.is_background()) {
+            background += 1;
+            let text = format!(" {} ", doc.text());
+            // Adjacent leaked words can form a top-term phrase by
+            // coincidence, but it must stay rare — background docs never
+            // embed top terms deliberately.
+            if tops.iter().any(|t| text.contains(&format!(" {t} "))) {
+                with_top_phrase += 1;
+            }
+            if text.split(' ').any(|w| w == "energy" || w == "parking" || w == "sensor") {
+                leaked += 1;
+            }
+        }
+        assert!(background > 0);
+        assert!(leaked > 0, "leakage must plant domain words in background docs");
+        assert!(
+            (with_top_phrase as f64) < 0.2 * background as f64,
+            "{with_top_phrase}/{background} background docs embed a top-term phrase"
+        );
+    }
+}

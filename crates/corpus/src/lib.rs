@@ -1,0 +1,48 @@
+//! # tep-corpus
+//!
+//! A deterministic synthetic text corpus that substitutes the Wikipedia
+//! 2013 dump used by the paper to build its Explicit Semantic Analysis
+//! (ESA) space (§3.1).
+//!
+//! ## Why a synthetic corpus is a faithful substitute
+//!
+//! ESA does not use Wikipedia's *content*, only its *co-occurrence
+//! structure*: a word's meaning vector is the set of documents it appears
+//! in, weighted by TF/IDF. The thematic matcher relies on three structural
+//! properties of that space:
+//!
+//! 1. **synonyms and related terms share documents** (high relatedness);
+//! 2. **terms of different domains rarely share documents** (low
+//!    relatedness);
+//! 3. **ambiguous terms share documents with several domains**, producing
+//!    the false similarity that thematic projection removes.
+//!
+//! [`CorpusGenerator`] reproduces exactly these properties by sampling
+//! documents from per-domain topic clusters drawn from the
+//! [`tep_thesaurus::Thesaurus`]: a document mostly contains terms of a few
+//! related concepts of one domain (plus that domain's *top terms*, so theme
+//! tags select domain documents), a small fraction of cross-domain noise,
+//! and generic filler words.
+//!
+//! ```
+//! use tep_corpus::{Corpus, CorpusConfig, DocId};
+//!
+//! let corpus = Corpus::generate(&CorpusConfig::small());
+//! assert!(corpus.len() > 0);
+//! let doc = corpus.document(DocId(0)).unwrap();
+//! assert!(!doc.text().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod corpus;
+mod document;
+mod filler;
+mod generator;
+
+pub use config::CorpusConfig;
+pub use corpus::Corpus;
+pub use document::{DocId, Document};
+pub use generator::CorpusGenerator;

@@ -1,0 +1,126 @@
+//! Evaluation-scale configuration.
+
+use serde::{Deserialize, Serialize};
+use tep_corpus::CorpusConfig;
+
+/// Scale and seeding of the evaluation pipeline (Fig. 6).
+///
+/// [`EvalConfig::paper_scale`] matches the paper's §5.2 numbers (166 seed
+/// events, ~14,743 expanded events, 94 subscriptions, 30×30 theme grid
+/// with 5 samples per cell). [`EvalConfig::quick`] is a reduced scale that
+/// preserves every structural property and runs the full figure suite in
+/// minutes on a laptop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// The corpus behind the distributional space.
+    pub corpus: CorpusConfig,
+    /// Number of seed events to synthesize (paper: 166).
+    pub num_seed_events: usize,
+    /// Upper bound on expanded events (paper: 14,743).
+    pub max_expanded_events: usize,
+    /// Number of exact/approximate subscriptions (paper: 94).
+    pub num_subscriptions: usize,
+    /// Minimum predicates per subscription.
+    pub min_predicates: usize,
+    /// Maximum predicates per subscription.
+    pub max_predicates: usize,
+    /// Theme sizes to sweep for events (paper: 1..=30).
+    pub event_theme_sizes: Vec<usize>,
+    /// Theme sizes to sweep for subscriptions (paper: 1..=30).
+    pub subscription_theme_sizes: Vec<usize>,
+    /// Samples per grid cell (paper: 5).
+    pub samples_per_cell: usize,
+    /// Master RNG seed for workload and theme sampling.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// The paper-scale configuration (§5.2).
+    pub fn paper_scale() -> EvalConfig {
+        EvalConfig {
+            corpus: CorpusConfig::standard(),
+            num_seed_events: 166,
+            max_expanded_events: 14_743,
+            num_subscriptions: 94,
+            min_predicates: 2,
+            max_predicates: 4,
+            event_theme_sizes: (1..=30).collect(),
+            subscription_theme_sizes: (1..=30).collect(),
+            samples_per_cell: 5,
+            seed: 0x5EED_2014,
+        }
+    }
+
+    /// A reduced scale for CI and local runs: same pipeline, smaller
+    /// workload, a coarsened theme grid and fewer samples.
+    pub fn quick() -> EvalConfig {
+        EvalConfig {
+            corpus: CorpusConfig::standard(),
+            num_seed_events: 60,
+            max_expanded_events: 1_500,
+            num_subscriptions: 24,
+            min_predicates: 2,
+            max_predicates: 4,
+            event_theme_sizes: vec![1, 2, 3, 5, 7, 10, 15, 20, 30],
+            subscription_theme_sizes: vec![1, 2, 3, 5, 7, 10, 15, 20, 30],
+            samples_per_cell: 3,
+            seed: 0x5EED_2014,
+        }
+    }
+
+    /// A tiny scale for unit tests (seconds, not minutes).
+    pub fn tiny() -> EvalConfig {
+        EvalConfig {
+            corpus: CorpusConfig::small(),
+            num_seed_events: 20,
+            max_expanded_events: 200,
+            num_subscriptions: 8,
+            min_predicates: 2,
+            max_predicates: 3,
+            event_theme_sizes: vec![2, 6],
+            subscription_theme_sizes: vec![2, 6],
+            samples_per_cell: 2,
+            seed: 0x5EED_2014,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> EvalConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_5_2() {
+        let c = EvalConfig::paper_scale();
+        assert_eq!(c.num_seed_events, 166);
+        assert_eq!(c.max_expanded_events, 14_743);
+        assert_eq!(c.num_subscriptions, 94);
+        assert_eq!(c.event_theme_sizes.len(), 30);
+        assert_eq!(c.samples_per_cell, 5);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let q = EvalConfig::quick();
+        let p = EvalConfig::paper_scale();
+        assert!(q.max_expanded_events < p.max_expanded_events);
+        assert!(q.event_theme_sizes.len() < p.event_theme_sizes.len());
+    }
+
+    #[test]
+    fn default_is_quick() {
+        assert_eq!(EvalConfig::default(), EvalConfig::quick());
+    }
+}

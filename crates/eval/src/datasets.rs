@@ -1,0 +1,152 @@
+//! Hand-authored seed datasets (paper §5.2.1).
+//!
+//! The paper synthesizes its seed events from real-world datasets; these
+//! constants reproduce their vocabulary:
+//!
+//! * [`SENSOR_CAPABILITIES`] — the exact Table 3 list (SmartSantander +
+//!   Linked Energy Intelligence sensor capabilities);
+//! * [`CAR_BRANDS`] — vehicle mobile sensor platforms (Yahoo! directory
+//!   substitute);
+//! * [`APPLIANCES`] — indoor platforms (BLUED dataset substitute);
+//! * [`ROOMS`] / [`DESKS`] / [`FLOORS`] — DERI-building-style indoor
+//!   locations;
+//! * [`CITIES`] / [`ZONES`] — SmartSantander project locations plus Galway
+//!   City.
+
+/// The sensor capabilities of Table 3, verbatim.
+pub const SENSOR_CAPABILITIES: &[&str] = &[
+    "solar radiation",
+    "particles",
+    "speed",
+    "wind direction",
+    "wind speed",
+    "temperature",
+    "water flow",
+    "atmospheric pressure",
+    "noise",
+    "ozone",
+    "rainfall",
+    "parking",
+    "radiation par",
+    "co",
+    "ground temperature",
+    "light",
+    "no2",
+    "soil moisture tension",
+    "relative humidity",
+    "energy consumption",
+    "cpu usage",
+    "memory usage",
+];
+
+/// Measurement units paired with capabilities where sensible.
+pub const MEASUREMENT_UNITS: &[&str] = &[
+    "kilowatt hour",
+    "watt",
+    "decibel",
+    "degrees celsius",
+    "lux",
+    "millimetre",
+    "percent",
+    "hectopascal",
+    "micrograms per cubic metre",
+    "metres per second",
+    "litres per second",
+];
+
+/// Vehicle brands for mobile sensor platforms.
+pub const CAR_BRANDS: &[&str] = &[
+    "toyota", "ford", "volkswagen", "renault", "peugeot", "fiat", "seat",
+    "opel", "citroen", "nissan", "honda", "hyundai", "kia", "mazda", "skoda",
+    "volvo", "audi", "bmw", "mercedes", "dacia", "suzuki", "mitsubishi",
+    "chevrolet", "jeep", "mini", "smart", "tesla", "lexus", "alfa romeo",
+    "land rover",
+];
+
+/// Indoor appliance platforms (BLUED-style).
+pub const APPLIANCES: &[&str] = &[
+    "refrigerator", "washing machine", "dryer", "dishwasher", "microwave",
+    "oven", "kettle", "air conditioner", "boiler", "laptop", "computer",
+    "printer", "projector", "screen", "television", "lamp", "heater",
+    "vacuum cleaner", "toaster", "coffee maker", "hair dryer", "iron",
+    "fan", "router", "server", "light", "monitor",
+];
+
+/// Indoor rooms (DERI-building-style).
+pub const ROOMS: &[&str] = &[
+    "room 101", "room 112", "room 114", "room 201", "room 204", "room 212",
+    "room 301", "room 310", "room 315", "meeting room a", "meeting room b",
+    "open space 1", "open space 2", "kitchen", "server room", "lobby",
+];
+
+/// Desks inside rooms.
+pub const DESKS: &[&str] = &[
+    "desk 101a", "desk 112c", "desk 114b", "desk 201a", "desk 204d",
+    "desk 212a", "desk 301c", "desk 310b",
+];
+
+/// Building floors.
+pub const FLOORS: &[&str] = &["ground floor", "first floor", "second floor", "third floor"];
+
+/// Cities: SmartSantander locations plus Galway.
+pub const CITIES: &[&str] = &["santander", "galway", "dublin", "bordeaux"];
+
+/// Countries the cities belong to.
+pub const COUNTRIES: &[&str] = &["spain", "ireland", "france"];
+
+/// Urban zones.
+pub const ZONES: &[&str] = &[
+    "building", "city centre", "harbour", "campus", "suburb", "square",
+    "district", "park",
+];
+
+/// Streets for outdoor platforms.
+pub const STREETS: &[&str] = &[
+    "main street", "shop street", "quay street", "bridge street",
+    "station road", "market square", "college road", "harbour avenue",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_is_complete() {
+        assert_eq!(SENSOR_CAPABILITIES.len(), 22);
+        assert!(SENSOR_CAPABILITIES.contains(&"soil moisture tension"));
+        assert!(SENSOR_CAPABILITIES.contains(&"energy consumption"));
+    }
+
+    #[test]
+    fn datasets_are_normalized_lowercase() {
+        for list in [
+            SENSOR_CAPABILITIES,
+            MEASUREMENT_UNITS,
+            CAR_BRANDS,
+            APPLIANCES,
+            ROOMS,
+            DESKS,
+            FLOORS,
+            CITIES,
+            COUNTRIES,
+            ZONES,
+            STREETS,
+        ] {
+            for item in list {
+                assert_eq!(*item, item.to_lowercase(), "`{item}` must be lowercase");
+                assert_eq!(item.trim(), *item);
+                assert!(!item.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_within_lists() {
+        for list in [SENSOR_CAPABILITIES, CAR_BRANDS, APPLIANCES, ROOMS] {
+            let mut v: Vec<&&str> = list.iter().collect();
+            v.sort();
+            v.dedup();
+            assert_eq!(v.len(), list.len());
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Semantic expansion of seed events (paper §5.2.2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tep_events::Event;
+use tep_thesaurus::{Domain, Thesaurus};
+
+/// Longest thesaurus phrase considered when scanning a text for
+/// replaceable terms.
+const MAX_PHRASE_WORDS: usize = 4;
+
+/// Expands seed events into a large heterogeneous event set by replacing
+/// one or more terms in their tuples with synonyms or related terms from
+/// the thesaurus — the eTuner-style "synonyms transformation" the paper
+/// adopts (§5.2.2).
+///
+/// Replacement is *phrase-aware*: inside a value like
+/// `increased energy consumption event`, the known term
+/// `energy consumption` is located and replaced as a unit, yielding e.g.
+/// `increased electricity usage event` — exactly the §3 example pair.
+#[derive(Debug)]
+pub struct Expander<'t> {
+    thesaurus: &'t Thesaurus,
+    rng: SmallRng,
+}
+
+impl<'t> Expander<'t> {
+    /// Creates an expander over `thesaurus` with a deterministic seed.
+    pub fn new(thesaurus: &'t Thesaurus, seed: u64) -> Expander<'t> {
+        Expander {
+            thesaurus,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EED_0002),
+        }
+    }
+
+    /// All `(start_word, word_len)` spans of `text` that name a thesaurus
+    /// term with at least one expansion in the allowed domains,
+    /// longest-first per position.
+    fn candidate_spans(&self, words: &[&str], within: Option<&[Domain]>) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        for start in 0..words.len() {
+            let max_len = MAX_PHRASE_WORDS.min(words.len() - start);
+            for len in (1..=max_len).rev() {
+                let phrase = words[start..start + len].join(" ");
+                if self.thesaurus.contains(&phrase)
+                    && !self.thesaurus.expansions(&phrase, within).is_empty()
+                {
+                    spans.push((start, len));
+                    break; // longest match at this position wins
+                }
+            }
+        }
+        spans
+    }
+
+    /// The effective domain restriction for one phrase: an unambiguous
+    /// term (one domain) expands within its own concept freely, while an
+    /// **ambiguous** term is restricted to the sense its event supports —
+    /// the intersection of its domains with `within`. Returns `None` (no
+    /// candidate) when an ambiguous term has no supported sense.
+    fn effective_domains(&self, phrase: &str, within: Option<&[Domain]>) -> Option<Vec<Domain>> {
+        let own = self.thesaurus.domains_of(phrase);
+        match within {
+            None => Some(own),
+            Some(_) if own.len() <= 1 => Some(own),
+            Some(allowed) => {
+                let both: Vec<Domain> =
+                    own.into_iter().filter(|d| allowed.contains(d)).collect();
+                if both.is_empty() {
+                    None
+                } else {
+                    Some(both)
+                }
+            }
+        }
+    }
+
+    /// Replaces one random known term in `text` with a random synonym or
+    /// related term from the allowed domains. Returns `None` when the
+    /// text contains no replaceable term.
+    ///
+    /// The domain restriction mirrors the paper's use of the micro-
+    /// thesauri "conforming to the theme of the events" (§5.2.2): an
+    /// environmental `noise` reading never expands into the
+    /// communications sense of *noise* (`interference`).
+    pub fn expand_text(&mut self, text: &str, within: Option<&[Domain]>) -> Option<String> {
+        let words: Vec<&str> = text.split(' ').filter(|w| !w.is_empty()).collect();
+        let spans: Vec<(usize, usize)> = self
+            .candidate_spans(&words, None)
+            .into_iter()
+            .filter(|(start, len)| {
+                let phrase = words[*start..*start + *len].join(" ");
+                self.effective_domains(&phrase, within)
+                    .is_some_and(|d| !self.thesaurus.expansions(&phrase, Some(&d)).is_empty())
+            })
+            .collect();
+        if spans.is_empty() {
+            return None;
+        }
+        let (start, len) = spans[self.rng.gen_range(0..spans.len())];
+        let phrase = words[start..start + len].join(" ");
+        let effective = self
+            .effective_domains(&phrase, within)
+            .expect("span was pre-filtered");
+        let options = self.thesaurus.expansions(&phrase, Some(&effective));
+        let replacement = &options[self.rng.gen_range(0..options.len())];
+        let mut out: Vec<&str> = Vec::with_capacity(words.len());
+        out.extend_from_slice(&words[..start]);
+        out.extend(replacement.words());
+        out.extend_from_slice(&words[start + len..]);
+        Some(out.join(" "))
+    }
+
+    /// Infers the domains an event's **values** belong to (attributes are
+    /// schema vocabulary — `measurement unit`, `sensor` — and would drag
+    /// their own domains into every event). Used to pick the right sense
+    /// of ambiguous terms during expansion.
+    pub fn event_domains(&self, event: &Event) -> Vec<Domain> {
+        let mut counts = [0usize; 6];
+        for t in event.tuples() {
+            let words: Vec<&str> = t.value().split(' ').filter(|w| !w.is_empty()).collect();
+            for (start, len) in self.candidate_spans(&words, None) {
+                let phrase = words[start..start + len].join(" ");
+                for d in self.thesaurus.domains_of(&phrase) {
+                    counts[d.index()] += 1;
+                }
+            }
+        }
+        let strong: Vec<Domain> = Domain::ALL
+            .into_iter()
+            .filter(|d| counts[d.index()] >= 2)
+            .collect();
+        if !strong.is_empty() {
+            return strong;
+        }
+        let weak: Vec<Domain> = Domain::ALL
+            .into_iter()
+            .filter(|d| counts[d.index()] >= 1)
+            .collect();
+        if weak.is_empty() {
+            Domain::ALL.to_vec()
+        } else {
+            weak
+        }
+    }
+
+    /// Produces one expanded variant of `event`: 1–3 of its tuples get a
+    /// term replaced (attribute or value side). Falls back to the
+    /// unmodified event only if no tuple contains any known term.
+    pub fn expand_event(&mut self, event: &Event) -> Event {
+        let within = self.event_domains(event);
+        let mut tuples: Vec<(String, String)> = event
+            .tuples()
+            .iter()
+            .map(|t| (t.attribute().to_string(), t.value().to_string()))
+            .collect();
+        let wanted = self.rng.gen_range(1..=3usize);
+        let mut replaced = 0;
+        // Visit tuples in random order until enough replacements landed.
+        let mut order: Vec<usize> = (0..tuples.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            if replaced >= wanted {
+                break;
+            }
+            let try_value_first = self.rng.gen_bool(0.7);
+            let (attr, value) = tuples[idx].clone();
+            let done = if try_value_first {
+                self.try_replace(&mut tuples[idx].1, &value, &within)
+                    || self.try_replace(&mut tuples[idx].0, &attr, &within)
+            } else {
+                self.try_replace(&mut tuples[idx].0, &attr, &within)
+                    || self.try_replace(&mut tuples[idx].1, &value, &within)
+            };
+            if done {
+                replaced += 1;
+            }
+        }
+        let mut builder = Event::builder().theme_tags(event.theme_tags());
+        let mut seen: Vec<String> = Vec::with_capacity(tuples.len());
+        for (attr, value) in tuples {
+            // An attribute replacement may collide with an existing
+            // attribute; keep the first occurrence to preserve the event
+            // invariant.
+            if seen.contains(&attr) {
+                continue;
+            }
+            seen.push(attr.clone());
+            builder = builder.tuple(&attr, &value);
+        }
+        builder.build().expect("expansion preserves event invariants")
+    }
+
+    fn try_replace(&mut self, slot: &mut String, original: &str, within: &[Domain]) -> bool {
+        match self.expand_text(original, Some(within)) {
+            Some(new_text) if new_text != original => {
+                *slot = new_text;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Expands `seeds` into `target` events total. The seeds themselves
+    /// are included first (they are valid members of the heterogeneous
+    /// set); the remainder are expansions generated round-robin. Returns
+    /// the events plus the provenance seed index of each.
+    pub fn expand_all(&mut self, seeds: &[Event], target: usize) -> (Vec<Event>, Vec<usize>) {
+        let mut events = Vec::with_capacity(target);
+        let mut provenance = Vec::with_capacity(target);
+        for (i, s) in seeds.iter().enumerate() {
+            if events.len() >= target {
+                break;
+            }
+            events.push(s.clone());
+            provenance.push(i);
+        }
+        let mut i = 0usize;
+        while events.len() < target && !seeds.is_empty() {
+            let seed_idx = i % seeds.len();
+            events.push(self.expand_event(&seeds[seed_idx]));
+            provenance.push(seed_idx);
+            i += 1;
+        }
+        (events, provenance)
+    }
+}
+
+/// Convenience check used by tests: whether two events differ in at least
+/// one tuple.
+#[cfg(test)]
+pub(crate) fn differs(a: &Event, b: &Event) -> bool {
+    a.tuples().len() != b.tuples().len()
+        || a.tuples().iter().zip(b.tuples()).any(|(x, y)| x != y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalConfig, SeedGenerator};
+
+    fn thesaurus() -> Thesaurus {
+        Thesaurus::eurovoc_like()
+    }
+
+    #[test]
+    fn expands_the_paper_example_phrase() {
+        let th = thesaurus();
+        let mut e = Expander::new(&th, 1);
+        // 'increased energy consumption event' must be expandable, and
+        // the replacement must keep the surrounding words.
+        let out = e
+            .expand_text("increased energy consumption event", None)
+            .expect("phrase contains a known term");
+        assert!(out.starts_with("increased") || out.contains("event"));
+        assert_ne!(out, "increased energy consumption event");
+    }
+
+    #[test]
+    fn unknown_text_is_not_expandable() {
+        let th = thesaurus();
+        let mut e = Expander::new(&th, 1);
+        assert!(e.expand_text("zzz qqq 9876", None).is_none());
+    }
+
+    #[test]
+    fn longest_phrase_wins() {
+        let th = thesaurus();
+        let e = Expander::new(&th, 1);
+        let words: Vec<&str> = "increased energy consumption event".split(' ').collect();
+        let spans = e.candidate_spans(&words, None);
+        // 'energy consumption' (start 1, len 2) must be found as a unit,
+        // not 'energy' alone.
+        assert!(spans.contains(&(1, 2)), "spans: {spans:?}");
+    }
+
+    #[test]
+    fn expand_event_changes_something_and_keeps_invariants() {
+        let th = thesaurus();
+        let mut gen = SeedGenerator::new(&EvalConfig::tiny());
+        let seeds = gen.generate(10);
+        let mut e = Expander::new(&th, 7);
+        let mut changed = 0;
+        for s in &seeds {
+            let x = e.expand_event(s);
+            assert!(!x.tuples().is_empty());
+            if differs(s, &x) {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 8, "only {changed}/10 seeds were expanded");
+    }
+
+    #[test]
+    fn expand_all_reaches_target_with_provenance() {
+        let th = thesaurus();
+        let mut gen = SeedGenerator::new(&EvalConfig::tiny());
+        let seeds = gen.generate(6);
+        let mut e = Expander::new(&th, 3);
+        let (events, prov) = e.expand_all(&seeds, 50);
+        assert_eq!(events.len(), 50);
+        assert_eq!(prov.len(), 50);
+        // Seeds come first.
+        for i in 0..6 {
+            assert_eq!(prov[i], i);
+            assert!(!differs(&events[i], &seeds[i]));
+        }
+        // Every provenance index is valid.
+        assert!(prov.iter().all(|&p| p < seeds.len()));
+    }
+
+    #[test]
+    fn event_domains_are_inferred_from_vocabulary() {
+        let th = thesaurus();
+        let e = Expander::new(&th, 1);
+        let energy_event = tep_events::Event::builder()
+            .tuple("type", "increased energy consumption event")
+            .tuple("device", "kettle")
+            .tuple("room", "room 112")
+            .tuple("city", "galway")
+            .build()
+            .unwrap();
+        let domains = e.event_domains(&energy_event);
+        assert!(domains.contains(&Domain::Energy), "{domains:?}");
+        assert!(domains.contains(&Domain::Geography), "{domains:?}");
+        assert!(!domains.contains(&Domain::SocialQuestions), "{domains:?}");
+        assert!(
+            !domains.contains(&Domain::EducationCommunications),
+            "schema attributes must not pull in their domains: {domains:?}"
+        );
+    }
+
+    #[test]
+    fn expansion_never_crosses_into_unsupported_domains() {
+        // An environment noise event must not expand 'noise' into its
+        // communications sense.
+        let th = thesaurus();
+        let mut e = Expander::new(&th, 5);
+        let noise_event = tep_events::Event::builder()
+            .tuple("type", "noise reading event")
+            .tuple("measurement unit", "decibel")
+            .tuple("zone", "city centre")
+            .tuple("city", "santander")
+            .build()
+            .unwrap();
+        for _ in 0..25 {
+            let x = e.expand_event(&noise_event);
+            let ty = x.value_of("type").unwrap_or_default().to_string();
+            assert!(
+                !ty.contains("interference") && !ty.contains("static"),
+                "communications sense leaked into `{ty}`"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let th = thesaurus();
+        let mut gen = SeedGenerator::new(&EvalConfig::tiny());
+        let seeds = gen.generate(4);
+        let (a, _) = Expander::new(&th, 9).expand_all(&seeds, 30);
+        let (b, _) = Expander::new(&th, 9).expand_all(&seeds, 30);
+        assert_eq!(a, b);
+    }
+}

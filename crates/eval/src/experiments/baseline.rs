@@ -1,0 +1,70 @@
+//! The §5.2.5 baseline: the non-thematic approximate matcher on the
+//! thematic workload.
+
+use crate::metrics::{mean, std_dev};
+use crate::runner::{run_sub_experiment, MatcherStack};
+use crate::themes::ThemeCombination;
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The baseline report: F1 and throughput of the non-thematic matcher,
+/// averaged over several runs (the paper averages 5 runs and reports 62%
+/// F1 at 202 events/sec).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Mean maximal F1 across runs.
+    pub f1: f64,
+    /// F1 standard deviation across runs.
+    pub f1_std: f64,
+    /// Mean throughput (events/sec).
+    pub throughput: f64,
+    /// Throughput standard deviation.
+    pub throughput_std: f64,
+    /// Number of runs averaged.
+    pub runs: usize,
+}
+
+/// Runs the non-thematic matcher `runs` times with no theme tags.
+///
+/// F1 is deterministic given the workload (the matcher has no randomness);
+/// throughput varies run to run, which is what the multiple runs capture.
+pub fn run_baseline(stack: &MatcherStack, workload: &Workload, runs: usize) -> BaselineReport {
+    let matcher = stack.non_thematic();
+    let combo = ThemeCombination {
+        event_tags: Vec::new(),
+        subscription_tags: Vec::new(),
+    };
+    let mut f1s = Vec::with_capacity(runs);
+    let mut tputs = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let r = run_sub_experiment(&matcher, workload, &combo);
+        f1s.push(r.f1());
+        tputs.push(r.throughput);
+    }
+    BaselineReport {
+        f1: mean(&f1s),
+        f1_std: std_dev(&f1s),
+        throughput: mean(&tputs),
+        throughput_std: std_dev(&tputs),
+        runs: runs.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let cfg = EvalConfig::tiny();
+        let stack = MatcherStack::build(&cfg);
+        let workload = Workload::generate(&cfg);
+        let r = run_baseline(&stack, &workload, 2);
+        assert_eq!(r.runs, 2);
+        assert!(r.f1 > 0.0 && r.f1 <= 1.0);
+        assert!(r.throughput > 0.0);
+        // F1 is deterministic across runs.
+        assert!(r.f1_std < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Cold-start behaviour — one of the open questions the paper's §7 lists
+//! ("more quantitative aspects of evaluation such as cold start and
+//! real-time behavior").
+//!
+//! The thematic matcher's throughput depends on memoized theme bases and
+//! projections; a broker that has just (re)started serves its first
+//! events from empty caches. This experiment measures the cost of that
+//! warm-up: throughput over successive batches of the same sub-experiment
+//! with caches cleared only before the first batch.
+
+use crate::metrics;
+use crate::runner::MatcherStack;
+use crate::themes::ThemeSampler;
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tep_matcher::Matcher;
+
+/// Throughput of each successive batch after a cold start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartReport {
+    /// Events per batch.
+    pub batch_size: usize,
+    /// Per-batch throughput (events/sec), first batch = cold.
+    pub batch_throughput: Vec<f64>,
+    /// Warm/cold speedup: last batch over first batch.
+    pub warmup_speedup: f64,
+}
+
+/// Runs `batches` batches of `batch_size` events against all
+/// subscriptions, clearing the PVSM caches only before the first batch.
+pub fn run_cold_start(
+    stack: &MatcherStack,
+    workload: &Workload,
+    batch_size: usize,
+    batches: usize,
+) -> ColdStartReport {
+    let cfg = workload.config();
+    let mut sampler = ThemeSampler::new(stack.thesaurus(), cfg.seed);
+    let combo = sampler.sample(4, 10);
+    let matcher = stack.thematic();
+    let subscriptions: Vec<_> = workload
+        .subscriptions()
+        .iter()
+        .map(|s| s.with_theme_tags(combo.subscription_tags.clone()))
+        .collect();
+    let events: Vec<_> = workload
+        .events()
+        .iter()
+        .map(|e| e.with_theme_tags(combo.event_tags.clone()))
+        .collect();
+
+    stack.clear_caches();
+    let mut batch_throughput = Vec::with_capacity(batches);
+    for b in 0..batches.max(1) {
+        let start = b * batch_size;
+        let batch: Vec<_> = events.iter().cycle().skip(start).take(batch_size).collect();
+        let t = Instant::now();
+        for sub in &subscriptions {
+            for e in &batch {
+                let _ = matcher.match_event(sub, e).score();
+            }
+        }
+        batch_throughput.push(metrics::throughput(batch.len(), t.elapsed()));
+    }
+    let warmup_speedup = if batch_throughput.first().copied().unwrap_or(0.0) > 0.0 {
+        batch_throughput.last().copied().unwrap_or(0.0) / batch_throughput[0]
+    } else {
+        0.0
+    };
+    ColdStartReport {
+        batch_size,
+        batch_throughput,
+        warmup_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn warm_batches_are_not_slower_than_cold() {
+        let cfg = EvalConfig::tiny();
+        let stack = MatcherStack::build(&cfg);
+        let workload = Workload::generate(&cfg);
+        let r = run_cold_start(&stack, &workload, 40, 3);
+        assert_eq!(r.batch_throughput.len(), 3);
+        assert!(r.batch_throughput.iter().all(|t| *t > 0.0));
+        // Warm-up must not make things slower; tolerate timing noise.
+        assert!(
+            r.warmup_speedup > 0.5,
+            "warm batch unexpectedly slow: speedup {}",
+            r.warmup_speedup
+        );
+    }
+}

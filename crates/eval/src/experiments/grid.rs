@@ -1,0 +1,179 @@
+//! The theme-size grid behind Figures 7–10.
+
+use crate::metrics::{mean, std_dev};
+use crate::runner::{run_sub_experiment, MatcherStack, SubExperimentResult};
+use crate::themes::ThemeSampler;
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the grid: a fixed (event-theme-size, subscription-theme-
+/// size) pair, aggregated over `samples` random tag combinations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Event theme size (the paper's x-axis).
+    pub event_theme_size: usize,
+    /// Subscription theme size (the paper's y-axis).
+    pub subscription_theme_size: usize,
+    /// Mean maximal F1 over the samples (Fig. 7).
+    pub f1_mean: f64,
+    /// F1 standard deviation (Fig. 8).
+    pub f1_std: f64,
+    /// Mean throughput in events/sec (Fig. 9).
+    pub throughput_mean: f64,
+    /// Throughput standard deviation (Fig. 10).
+    pub throughput_std: f64,
+    /// Individual sample F1 values.
+    pub f1_samples: Vec<f64>,
+    /// Individual sample throughput values.
+    pub throughput_samples: Vec<f64>,
+}
+
+/// The full grid plus the baseline it is compared against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// All cells, row-major by (subscription size, event size).
+    pub cells: Vec<GridCell>,
+    /// The event-theme sizes swept (columns).
+    pub event_sizes: Vec<usize>,
+    /// The subscription-theme sizes swept (rows).
+    pub subscription_sizes: Vec<usize>,
+    /// Samples per cell.
+    pub samples_per_cell: usize,
+}
+
+impl GridReport {
+    /// The cell at `(event_size, subscription_size)`, if swept.
+    pub fn cell(&self, event_size: usize, subscription_size: usize) -> Option<&GridCell> {
+        self.cells.iter().find(|c| {
+            c.event_theme_size == event_size && c.subscription_theme_size == subscription_size
+        })
+    }
+
+    /// Mean F1 across all cells.
+    pub fn mean_f1(&self) -> f64 {
+        mean(&self.cells.iter().map(|c| c.f1_mean).collect::<Vec<_>>())
+    }
+
+    /// Mean throughput across all cells.
+    pub fn mean_throughput(&self) -> f64 {
+        mean(&self.cells.iter().map(|c| c.throughput_mean).collect::<Vec<_>>())
+    }
+
+    /// Fraction of cells whose mean F1 exceeds `baseline_f1` (the paper
+    /// reports >70% of combinations beating the 62% baseline).
+    pub fn fraction_above_f1(&self, baseline_f1: f64) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().filter(|c| c.f1_mean > baseline_f1).count() as f64
+            / self.cells.len() as f64
+    }
+
+    /// Fraction of cells whose mean throughput exceeds `baseline_tput`
+    /// (the paper reports >92%).
+    pub fn fraction_above_throughput(&self, baseline_tput: f64) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .filter(|c| c.throughput_mean > baseline_tput)
+            .count() as f64
+            / self.cells.len() as f64
+    }
+
+    /// Mean F1 over the diagonal cells (equal theme sizes) — the paper
+    /// discusses the diagonal separately (§5.3.1–5.3.2).
+    pub fn diagonal_f1(&self) -> f64 {
+        let diag: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.event_theme_size == c.subscription_theme_size)
+            .map(|c| c.f1_mean)
+            .collect();
+        mean(&diag)
+    }
+}
+
+/// Progress callback invoked after each finished cell.
+pub type ProgressFn<'p> = dyn FnMut(&GridCell) + 'p;
+
+/// Runs the thematic matcher over every (event-size × subscription-size)
+/// combination of the config's sweeps with `samples_per_cell` random tag
+/// samples each — the paper's 30 × 30 × 5 = 4,500 sub-experiments.
+///
+/// `progress` (optional) is called after each cell, letting the harness
+/// stream partial results.
+pub fn run_grid(
+    stack: &MatcherStack,
+    workload: &Workload,
+    mut progress: Option<&mut ProgressFn<'_>>,
+) -> GridReport {
+    let cfg = workload.config();
+    let mut sampler = ThemeSampler::new(stack.thesaurus(), cfg.seed);
+    let matcher = stack.thematic();
+    let mut cells = Vec::new();
+    for &ss in &cfg.subscription_theme_sizes {
+        for &es in &cfg.event_theme_sizes {
+            let mut f1_samples = Vec::with_capacity(cfg.samples_per_cell);
+            let mut tput_samples = Vec::with_capacity(cfg.samples_per_cell);
+            for _ in 0..cfg.samples_per_cell {
+                let combo = sampler.sample(es, ss);
+                let r: SubExperimentResult = run_sub_experiment(&matcher, workload, &combo);
+                f1_samples.push(r.f1());
+                tput_samples.push(r.throughput);
+                // Bound memory across thousands of sub-experiments.
+                stack.clear_caches();
+            }
+            let cell = GridCell {
+                event_theme_size: es,
+                subscription_theme_size: ss,
+                f1_mean: mean(&f1_samples),
+                f1_std: std_dev(&f1_samples),
+                throughput_mean: mean(&tput_samples),
+                throughput_std: std_dev(&tput_samples),
+                f1_samples,
+                throughput_samples: tput_samples,
+            };
+            if let Some(cb) = progress.as_deref_mut() {
+                cb(&cell);
+            }
+            cells.push(cell);
+        }
+    }
+    GridReport {
+        cells,
+        event_sizes: cfg.event_theme_sizes.clone(),
+        subscription_sizes: cfg.subscription_theme_sizes.clone(),
+        samples_per_cell: cfg.samples_per_cell,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let cfg = EvalConfig::tiny();
+        let stack = MatcherStack::build(&cfg);
+        let workload = Workload::generate(&cfg);
+        let mut seen = 0usize;
+        let mut cb = |_: &GridCell| seen += 1;
+        let report = run_grid(&stack, &workload, Some(&mut cb));
+        let expected = cfg.event_theme_sizes.len() * cfg.subscription_theme_sizes.len();
+        assert_eq!(report.cells.len(), expected);
+        assert_eq!(seen, expected);
+        for c in &report.cells {
+            assert_eq!(c.f1_samples.len(), cfg.samples_per_cell);
+            assert!((0.0..=1.0).contains(&c.f1_mean));
+            assert!(c.throughput_mean > 0.0);
+        }
+        assert!(report.cell(2, 6).is_some());
+        assert!(report.cell(4, 4).is_none());
+        assert!(report.mean_f1() >= 0.0);
+        assert!(report.mean_throughput() > 0.0);
+        assert!((0.0..=1.0).contains(&report.fraction_above_f1(0.5)));
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's experiments (§5.3): one module per reported artifact.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`grid`] | Figures 7–10 (effectiveness/throughput heatmaps and their sample errors) |
+//! | [`baseline`] | §5.2.5 non-thematic baseline (62% F1, 202 events/sec) |
+//! | [`table1`] | Table 1, quantified: all four approaches on one workload |
+//! | [`prior_work`] | §5.1 prior-work comparison (50% approximation; precomputed vs rewriting throughput) |
+//! | [`cold_start`] | §7 future work: warm-up behaviour after a restart |
+//! | [`tagging_modes`] | §2.3/§5.3.3: loose agreement vs free tagging |
+
+pub mod baseline;
+pub mod cold_start;
+pub mod grid;
+pub mod prior_work;
+pub mod table1;
+pub mod tagging_modes;
+
+pub use baseline::{run_baseline, BaselineReport};
+pub use cold_start::{run_cold_start, ColdStartReport};
+pub use grid::{run_grid, GridCell, GridReport};
+pub use prior_work::{run_prior_work, PriorWorkReport};
+pub use table1::{run_table1, Table1Report, Table1Row};
+pub use tagging_modes::{run_tagging_modes, TaggingModeRow, TaggingModesReport};

@@ -1,0 +1,102 @@
+//! Loose agreement vs free tagging — the two coupling modes of §2.3:
+//!
+//! * **loose coupling mode**: producers and consumers lightly agree on
+//!   tags, guaranteeing containment between event and subscription themes
+//!   (the evaluation grid's sampling);
+//! * **no coupling mode**: both sides pick tags independently;
+//!   "containment and overlap can be assumed to hold due to the
+//!   distribution of term usage by humans" (§5.3.3) — but only
+//!   statistically.
+//!
+//! This experiment quantifies the price of dropping the agreement, per
+//! theme size.
+
+use crate::metrics::{mean, std_dev};
+use crate::runner::{run_sub_experiment, MatcherStack};
+use crate::themes::ThemeSampler;
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One row: a theme size evaluated under both tagging modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggingModeRow {
+    /// Tags per side (events and subscriptions use the same size).
+    pub theme_size: usize,
+    /// Mean F1 with containment (loose agreement).
+    pub contained_f1: f64,
+    /// F1 std-dev with containment.
+    pub contained_f1_std: f64,
+    /// Mean F1 with independent tags (no coupling).
+    pub free_f1: f64,
+    /// F1 std-dev with independent tags.
+    pub free_f1_std: f64,
+}
+
+/// The tagging-mode comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggingModesReport {
+    /// One row per swept theme size.
+    pub rows: Vec<TaggingModeRow>,
+    /// Samples per (size, mode) cell.
+    pub samples: usize,
+}
+
+/// Compares loose agreement vs free tagging for the given theme sizes.
+pub fn run_tagging_modes(
+    stack: &MatcherStack,
+    workload: &Workload,
+    sizes: &[usize],
+    samples: usize,
+) -> TaggingModesReport {
+    let cfg = workload.config();
+    let mut sampler = ThemeSampler::new(stack.thesaurus(), cfg.seed);
+    let matcher = stack.thematic();
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut contained = Vec::with_capacity(samples);
+        let mut free = Vec::with_capacity(samples);
+        for _ in 0..samples.max(1) {
+            let c = sampler.sample(size, size);
+            contained.push(run_sub_experiment(&matcher, workload, &c).f1());
+            stack.clear_caches();
+            let f = sampler.sample_free(size, size);
+            free.push(run_sub_experiment(&matcher, workload, &f).f1());
+            stack.clear_caches();
+        }
+        rows.push(TaggingModeRow {
+            theme_size: size,
+            contained_f1: mean(&contained),
+            contained_f1_std: std_dev(&contained),
+            free_f1: mean(&free),
+            free_f1_std: std_dev(&free),
+        });
+    }
+    TaggingModesReport {
+        rows,
+        samples: samples.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn report_covers_requested_sizes() {
+        let cfg = EvalConfig::tiny();
+        let stack = MatcherStack::build(&cfg);
+        let workload = Workload::generate(&cfg);
+        let r = run_tagging_modes(&stack, &workload, &[2, 6], 2);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.contained_f1));
+            assert!((0.0..=1.0).contains(&row.free_f1));
+        }
+        // With a large shared tag vocabulary, independent sampling of
+        // many tags overlaps heavily: at size 6+ both modes should be in
+        // the same ballpark.
+        let big = &r.rows[1];
+        assert!((big.contained_f1 - big.free_f1).abs() < 0.35);
+    }
+}

@@ -1,0 +1,139 @@
+//! Relevance ground truth (paper §5.2.3).
+
+use std::collections::HashSet;
+use tep_events::{Event, Subscription};
+use tep_matcher::{ExactMatcher, Matcher};
+
+/// The relevance function between approximate subscriptions and expanded
+/// events.
+///
+/// Per §5.2.3 it "is isomorphic to a basic exact ground truth function
+/// between exact subscriptions and seed events": an expanded event is
+/// relevant to an approximate subscription iff the seed event it was
+/// derived from exactly matches the subscription's exact (pre-`~`)
+/// version.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Per subscription: the set of relevant event indices.
+    relevant: Vec<HashSet<usize>>,
+}
+
+impl GroundTruth {
+    /// Computes the ground truth from the seed set, the exact
+    /// subscriptions, and each event's provenance seed index.
+    pub fn compute(
+        seeds: &[Event],
+        exact_subscriptions: &[Subscription],
+        provenance: &[usize],
+    ) -> GroundTruth {
+        let matcher = ExactMatcher::new();
+        // seed_matches[s] = seeds that exactly match subscription s.
+        let seed_matches: Vec<HashSet<usize>> = exact_subscriptions
+            .iter()
+            .map(|sub| {
+                seeds
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, seed)| !matcher.match_event(sub, seed).is_empty())
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let relevant = seed_matches
+            .into_iter()
+            .map(|seed_set| {
+                provenance
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, seed_idx)| seed_set.contains(seed_idx))
+                    .map(|(event_idx, _)| event_idx)
+                    .collect()
+            })
+            .collect();
+        GroundTruth { relevant }
+    }
+
+    /// Whether `event_idx` is relevant to `subscription_idx`.
+    pub fn is_relevant(&self, subscription_idx: usize, event_idx: usize) -> bool {
+        self.relevant
+            .get(subscription_idx)
+            .is_some_and(|s| s.contains(&event_idx))
+    }
+
+    /// Number of events relevant to `subscription_idx`.
+    pub fn relevant_count(&self, subscription_idx: usize) -> usize {
+        self.relevant.get(subscription_idx).map_or(0, HashSet::len)
+    }
+
+    /// Number of subscriptions covered.
+    pub fn len(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// Whether no subscriptions are covered.
+    pub fn is_empty(&self) -> bool {
+        self.relevant.is_empty()
+    }
+
+    /// The relevant event indices of one subscription.
+    pub fn relevant_events(&self, subscription_idx: usize) -> impl Iterator<Item = usize> + '_ {
+        self.relevant
+            .get(subscription_idx)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::Expander;
+    use crate::subscriptions::SubscriptionGenerator;
+    use crate::{EvalConfig, SeedGenerator};
+    use tep_thesaurus::Thesaurus;
+
+    #[test]
+    fn seeds_of_origin_are_relevant() {
+        let cfg = EvalConfig::tiny();
+        let seeds = SeedGenerator::new(&cfg).generate(10);
+        let exact = SubscriptionGenerator::new(cfg.seed).generate(&seeds, 10, 2, 3);
+        let th = Thesaurus::eurovoc_like();
+        let (_events, prov) = Expander::new(&th, cfg.seed).expand_all(&seeds, 60);
+        let gt = GroundTruth::compute(&seeds, &exact, &prov);
+        assert_eq!(gt.len(), 10);
+        // Subscription i was drawn from seed i; the seed itself is event i
+        // (seeds come first in expand_all), so it must be relevant.
+        for i in 0..10 {
+            assert!(gt.is_relevant(i, i), "subscription {i} missing its seed");
+            assert!(gt.relevant_count(i) >= 1);
+        }
+    }
+
+    #[test]
+    fn expansions_inherit_seed_relevance() {
+        let cfg = EvalConfig::tiny();
+        let seeds = SeedGenerator::new(&cfg).generate(8);
+        let exact = SubscriptionGenerator::new(cfg.seed).generate(&seeds, 8, 2, 3);
+        let th = Thesaurus::eurovoc_like();
+        let (_events, prov) = Expander::new(&th, cfg.seed).expand_all(&seeds, 80);
+        let gt = GroundTruth::compute(&seeds, &exact, &prov);
+        for s in 0..8 {
+            for e in gt.relevant_events(s) {
+                // Every relevant event's seed exactly matches the
+                // subscription, by construction.
+                assert!(gt.is_relevant(s, prov[e]), "provenance seed must be relevant too");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_are_safe() {
+        let gt = GroundTruth {
+            relevant: vec![HashSet::from([1usize])],
+        };
+        assert!(gt.is_relevant(0, 1));
+        assert!(!gt.is_relevant(5, 1));
+        assert_eq!(gt.relevant_count(5), 0);
+        assert!(!gt.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # tep-eval
+//!
+//! The paper's evaluation framework (§5, Fig. 6), end to end:
+//!
+//! 1. **Seed events** (§5.2.1): synthesized from SmartSantander-style
+//!    sensor capabilities (Table 3), vehicle platforms, BLUED-style
+//!    appliances, DERI-style rooms and Santander/Galway locations
+//!    ([`datasets`], [`SeedGenerator`]);
+//! 2. **Semantic expansion** (§5.2.2): seed events expanded into a large
+//!    heterogeneous set by replacing terms with synonyms/related terms
+//!    from the EuroVoc-like thesaurus ([`Expander`]);
+//! 3. **Approximate subscriptions & ground truth** (§5.2.3): exact
+//!    subscriptions drawn from seed tuples, fully `~`-approximated; the
+//!    relevance function is isomorphic to exact matching over seeds
+//!    ([`SubscriptionGenerator`], [`GroundTruth`]);
+//! 4. **Theme-tag generation** (§5.2.4): size-controlled samples of
+//!    micro-thesaurus top terms with containment between event and
+//!    subscription themes ([`ThemeSampler`]);
+//! 5. **Metrics** (§5.1): 11-point interpolated precision/recall, maximal
+//!    F1, and throughput ([`metrics`]);
+//! 6. **Experiments** (§5.3): the grid behind Figures 7–10, the §5.2.5
+//!    baseline, the Table 1 comparison and the §5.1 prior-work experiment
+//!    ([`experiments`]).
+//!
+//! ```no_run
+//! use tep_eval::{EvalConfig, Workload};
+//!
+//! let workload = Workload::generate(&EvalConfig::quick());
+//! assert!(workload.events().len() > workload.seeds().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod metrics;
+
+mod config;
+mod expansion;
+mod ground_truth;
+mod runner;
+mod seed;
+mod subscriptions;
+mod themes;
+mod workload;
+
+pub use config::EvalConfig;
+pub use expansion::Expander;
+pub use ground_truth::GroundTruth;
+pub use runner::{run_sub_experiment, MatcherStack, SubExperimentResult};
+pub use seed::SeedGenerator;
+pub use subscriptions::{approximate_all, SubscriptionGenerator};
+pub use themes::{ThemeCombination, ThemeSampler};
+pub use workload::Workload;

@@ -1,0 +1,220 @@
+//! Effectiveness and efficiency metrics (paper §5.1, Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The 11 standard recall levels at which F1 is computed (§5.1).
+pub const RECALL_LEVELS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Interpolated precision of one ranked result list at the 11 recall
+/// levels.
+///
+/// `ranked_relevance[i]` is whether the event at rank `i` (best score
+/// first) is relevant; `total_relevant` is the ground-truth relevant
+/// count, which may exceed the number of retrieved relevant events (the
+/// matcher assigns score 0 to some). Standard IR interpolation applies:
+/// `P_interp(r) = max { P(r') : r' ≥ r }`, and 0 beyond the achieved
+/// recall.
+pub fn interpolated_precision(ranked_relevance: &[bool], total_relevant: usize) -> [f64; 11] {
+    let mut out = [0.0f64; 11];
+    if total_relevant == 0 {
+        return out;
+    }
+    // (recall, precision) at each rank where a relevant item appears.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut found = 0usize;
+    for (rank, relevant) in ranked_relevance.iter().enumerate() {
+        if *relevant {
+            found += 1;
+            points.push((
+                found as f64 / total_relevant as f64,
+                found as f64 / (rank + 1) as f64,
+            ));
+        }
+    }
+    for (li, level) in RECALL_LEVELS.iter().enumerate() {
+        out[li] = points
+            .iter()
+            .filter(|(r, _)| *r >= *level - 1e-12)
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max);
+    }
+    out
+}
+
+/// Precision/recall/F1 summary of one sub-experiment, macro-averaged over
+/// subscriptions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Effectiveness {
+    /// Mean interpolated precision per recall level.
+    pub precision_at: [f64; 11],
+    /// F1 per recall level (computed from the averaged precision).
+    pub f1_at: [f64; 11],
+    /// The maximal F1 over the 11 levels — the paper's headline metric.
+    pub max_f1: f64,
+    /// Number of subscriptions that had at least one relevant event.
+    pub evaluated_subscriptions: usize,
+}
+
+/// Computes the sub-experiment effectiveness from per-subscription ranked
+/// relevance lists.
+///
+/// "Precision and recall are calculated for the whole set of
+/// subscriptions by averaging ... F1Score is computed at 11 recall points
+/// ... and the maximal F1Score is then used" (§5.1). Subscriptions with
+/// no relevant events are excluded from the average (their precision is
+/// undefined).
+pub fn effectiveness(rankings: &[(Vec<bool>, usize)]) -> Effectiveness {
+    let mut precision_at = [0.0f64; 11];
+    let mut evaluated = 0usize;
+    for (ranked, total_relevant) in rankings {
+        if *total_relevant == 0 {
+            continue;
+        }
+        evaluated += 1;
+        let p = interpolated_precision(ranked, *total_relevant);
+        for i in 0..11 {
+            precision_at[i] += p[i];
+        }
+    }
+    if evaluated > 0 {
+        for p in &mut precision_at {
+            *p /= evaluated as f64;
+        }
+    }
+    let mut f1_at = [0.0f64; 11];
+    for (i, level) in RECALL_LEVELS.iter().enumerate() {
+        f1_at[i] = f1(precision_at[i], *level);
+    }
+    let max_f1 = f1_at.iter().copied().fold(0.0, f64::max);
+    Effectiveness {
+        precision_at,
+        f1_at,
+        max_f1,
+        evaluated_subscriptions: evaluated,
+    }
+}
+
+/// The harmonic mean of precision and recall; 0 when both are 0.
+pub fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Throughput in events per second (§5.1).
+pub fn throughput(num_events: usize, elapsed: std::time::Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        num_events as f64 / secs
+    }
+}
+
+/// Mean of a sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two
+/// values. The paper's "sample error" of Figures 8 and 10.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_perfect_precision() {
+        let p = interpolated_precision(&[true, true, false, false], 2);
+        for v in p {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn worst_ranking_degrades_precision() {
+        // Relevant items at the very end of the list.
+        let p = interpolated_precision(&[false, false, true, true], 2);
+        assert!((p[10] - 0.5).abs() < 1e-12); // 2 relevant in 4 retrieved
+        assert!((p[0] - 0.5).abs() < 1e-12); // interpolation carries the max back
+    }
+
+    #[test]
+    fn unreached_recall_levels_have_zero_precision() {
+        // Only 1 of 4 relevant events retrieved → recall caps at 0.25.
+        let p = interpolated_precision(&[true], 4);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 1.0); // level 0.2 ≤ 0.25
+        assert_eq!(p[3], 0.0); // level 0.3 unreachable
+        assert_eq!(p[10], 0.0);
+    }
+
+    #[test]
+    fn zero_relevant_is_all_zero() {
+        assert_eq!(interpolated_precision(&[false, false], 0), [0.0; 11]);
+    }
+
+    #[test]
+    fn interpolated_precision_is_monotone_nonincreasing() {
+        let ranked = [true, false, true, false, false, true, false, true];
+        let p = interpolated_precision(&ranked, 4);
+        for w in p.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn effectiveness_macro_averages() {
+        // One perfect subscription, one that never retrieves anything.
+        let rankings = vec![(vec![true, true], 2), (vec![false, false], 2)];
+        let e = effectiveness(&rankings);
+        assert_eq!(e.evaluated_subscriptions, 2);
+        assert!((e.precision_at[10] - 0.5).abs() < 1e-12);
+        // Max F1 at recall 1.0 with precision 0.5 → 2·0.5·1/(1.5) = 2/3.
+        assert!((e.max_f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectiveness_skips_empty_ground_truth() {
+        let rankings = vec![(vec![true], 1), (vec![], 0)];
+        let e = effectiveness(&rankings);
+        assert_eq!(e.evaluated_subscriptions, 1);
+        assert_eq!(e.max_f1, 1.0);
+    }
+
+    #[test]
+    fn f1_edge_cases() {
+        assert_eq!(f1(0.0, 0.0), 0.0);
+        assert_eq!(f1(1.0, 1.0), 1.0);
+        assert!((f1(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_division() {
+        let t = throughput(500, std::time::Duration::from_secs(1));
+        assert_eq!(t, 500.0);
+        assert_eq!(throughput(500, std::time::Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Sub-experiment execution (Fig. 6, right column).
+
+use crate::metrics::{self, Effectiveness};
+use crate::themes::ThemeCombination;
+use crate::{EvalConfig, Workload};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tep_corpus::Corpus;
+use tep_index::InvertedIndex;
+use tep_matcher::{
+    ExactMatcher, Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher,
+};
+use tep_semantics::{
+    DistributionalSpace, EsaMeasure, ParametricVectorSpace, PrecomputedMeasure, ThematicEsaMeasure,
+};
+use tep_thesaurus::Thesaurus;
+
+/// The shared substrate every experiment needs: thesaurus, corpus-backed
+/// distributional space, and the parametric vector space — plus factories
+/// for each matcher variant under comparison.
+#[derive(Debug, Clone)]
+pub struct MatcherStack {
+    thesaurus: Arc<Thesaurus>,
+    space: Arc<DistributionalSpace>,
+    pvsm: Arc<ParametricVectorSpace>,
+}
+
+impl MatcherStack {
+    /// Builds the corpus, index and vector spaces for `config`.
+    pub fn build(config: &EvalConfig) -> MatcherStack {
+        let thesaurus = Arc::new(Thesaurus::eurovoc_like());
+        let corpus = tep_corpus::CorpusGenerator::new(&thesaurus, config.corpus.clone()).generate();
+        MatcherStack::from_corpus(thesaurus, &corpus)
+    }
+
+    /// Builds the stack from an existing corpus.
+    pub fn from_corpus(thesaurus: Arc<Thesaurus>, corpus: &Corpus) -> MatcherStack {
+        let space = Arc::new(DistributionalSpace::new(InvertedIndex::build(corpus)));
+        let pvsm = Arc::new(ParametricVectorSpace::new((*space).clone()));
+        MatcherStack {
+            thesaurus,
+            space,
+            pvsm,
+        }
+    }
+
+    /// The thematic matcher (the paper's contribution).
+    pub fn thematic(&self) -> ProbabilisticMatcher<ThematicEsaMeasure> {
+        ProbabilisticMatcher::new(
+            ThematicEsaMeasure::new(Arc::clone(&self.pvsm)),
+            MatcherConfig::top1(),
+        )
+    }
+
+    /// The non-thematic approximate baseline \[16\] (§5.2.5).
+    pub fn non_thematic(&self) -> ProbabilisticMatcher<EsaMeasure> {
+        ProbabilisticMatcher::new(EsaMeasure::new(Arc::clone(&self.space)), MatcherConfig::top1())
+    }
+
+    /// The content-based exact baseline (§1.2.1).
+    pub fn exact(&self) -> ExactMatcher {
+        ExactMatcher::new()
+    }
+
+    /// The concept-based rewriting baseline (§5.1).
+    pub fn rewriting(&self) -> RewritingMatcher {
+        RewritingMatcher::new(Arc::clone(&self.thesaurus))
+    }
+
+    /// A matcher over precomputed non-thematic scores for the term
+    /// vocabulary of `workload` (§5.1's 91k events/sec configuration).
+    pub fn precomputed(&self, workload: &Workload) -> ProbabilisticMatcher<PrecomputedMeasure> {
+        let mut sub_terms: Vec<String> = Vec::new();
+        for s in workload.subscriptions() {
+            for p in s.predicates() {
+                push_unique(&mut sub_terms, p.attribute());
+                push_unique(&mut sub_terms, p.value());
+            }
+        }
+        let mut event_terms: Vec<String> = Vec::new();
+        for e in workload.events() {
+            for t in e.tuples() {
+                push_unique(&mut event_terms, t.attribute());
+                push_unique(&mut event_terms, t.value());
+            }
+        }
+        let inner = EsaMeasure::new(Arc::clone(&self.space));
+        let empty = tep_semantics::Theme::empty();
+        let measure =
+            PrecomputedMeasure::precompute(&inner, &sub_terms, &event_terms, &empty, &empty, 0.0);
+        ProbabilisticMatcher::new(measure, MatcherConfig::top1())
+    }
+
+    /// The thesaurus.
+    pub fn thesaurus(&self) -> &Arc<Thesaurus> {
+        &self.thesaurus
+    }
+
+    /// The non-thematic distributional space.
+    pub fn space(&self) -> &Arc<DistributionalSpace> {
+        &self.space
+    }
+
+    /// The parametric vector space.
+    pub fn pvsm(&self) -> &Arc<ParametricVectorSpace> {
+        &self.pvsm
+    }
+
+    /// Clears the PVSM memo tables (between sub-experiments, to bound
+    /// memory across the 4,500-cell grid).
+    pub fn clear_caches(&self) {
+        self.pvsm.clear_caches();
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+/// The outcome of one sub-experiment: one theme combination matched over
+/// the full workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubExperimentResult {
+    /// Macro-averaged effectiveness.
+    pub effectiveness: Effectiveness,
+    /// Events per second over the matching phase.
+    pub throughput: f64,
+    /// Wall-clock time of the matching phase.
+    pub elapsed: Duration,
+    /// Number of events matched.
+    pub num_events: usize,
+    /// Number of subscriptions matched against.
+    pub num_subscriptions: usize,
+}
+
+impl SubExperimentResult {
+    /// The maximal F1 (the paper's effectiveness number).
+    pub fn f1(&self) -> f64 {
+        self.effectiveness.max_f1
+    }
+}
+
+/// Runs one sub-experiment: associates the combination's theme tags with
+/// every event and subscription (Fig. 6 "associate one themes combination
+/// at a time"), matches all events against all subscriptions with
+/// `matcher`, and reports effectiveness and throughput.
+pub fn run_sub_experiment<M: Matcher + ?Sized>(
+    matcher: &M,
+    workload: &Workload,
+    combination: &ThemeCombination,
+) -> SubExperimentResult {
+    let events: Vec<_> = workload
+        .events()
+        .iter()
+        .map(|e| e.with_theme_tags(&combination.event_tags))
+        .collect();
+    let subscriptions: Vec<_> = workload
+        .subscriptions()
+        .iter()
+        .map(|s| s.with_theme_tags(&combination.subscription_tags))
+        .collect();
+
+    let start = Instant::now();
+    let mut scores: Vec<Vec<f64>> = Vec::with_capacity(subscriptions.len());
+    for sub in &subscriptions {
+        let row: Vec<f64> = events.iter().map(|e| matcher.match_event(sub, e).score()).collect();
+        scores.push(row);
+    }
+    let elapsed = start.elapsed();
+
+    let rankings: Vec<(Vec<bool>, usize)> = scores
+        .iter()
+        .enumerate()
+        .map(|(s, row)| {
+            let mut ranked: Vec<(usize, f64)> = row
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, score)| *score > 0.0)
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            let flags: Vec<bool> = ranked
+                .iter()
+                .map(|(e, _)| workload.ground_truth().is_relevant(s, *e))
+                .collect();
+            (flags, workload.ground_truth().relevant_count(s))
+        })
+        .collect();
+
+    SubExperimentResult {
+        effectiveness: metrics::effectiveness(&rankings),
+        throughput: metrics::throughput(events.len(), elapsed),
+        elapsed,
+        num_events: events.len(),
+        num_subscriptions: subscriptions.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup() -> (MatcherStack, Workload) {
+        let cfg = EvalConfig::tiny();
+        (MatcherStack::build(&cfg), Workload::generate(&cfg))
+    }
+
+    #[test]
+    fn exact_matches_are_always_ground_truth_relevant() {
+        let (stack, workload) = tiny_setup();
+        let m = stack.exact();
+        let mut hit_any = false;
+        for (s, sub) in workload.exact_subscriptions().iter().enumerate() {
+            for (e, ev) in workload.events().iter().enumerate() {
+                if !m.match_event(sub, ev).is_empty() {
+                    assert!(
+                        workload.ground_truth().is_relevant(s, e),
+                        "exact match must be ground-truth relevant"
+                    );
+                    hit_any = true;
+                }
+            }
+        }
+        assert!(hit_any, "at least the seeds themselves must match");
+    }
+
+    #[test]
+    fn run_produces_consistent_counts() {
+        let (stack, workload) = tiny_setup();
+        let combo = ThemeCombination {
+            event_tags: vec!["energy policy".into(), "land transport".into()],
+            subscription_tags: vec!["energy policy".into()],
+        };
+        let r = run_sub_experiment(&stack.thematic(), &workload, &combo);
+        assert_eq!(r.num_events, workload.events().len());
+        assert_eq!(r.num_subscriptions, workload.subscriptions().len());
+        assert!(r.throughput > 0.0);
+        assert!((0.0..=1.0).contains(&r.f1()));
+    }
+
+    #[test]
+    fn non_thematic_runner_scores_above_zero() {
+        let (stack, workload) = tiny_setup();
+        let combo = ThemeCombination {
+            event_tags: vec![],
+            subscription_tags: vec![],
+        };
+        let r = run_sub_experiment(&stack.non_thematic(), &workload, &combo);
+        assert!(
+            r.f1() > 0.0,
+            "non-thematic matcher must retrieve something, got F1 = {}",
+            r.f1()
+        );
+    }
+
+    #[test]
+    fn precomputed_matcher_agrees_with_non_thematic_ranking() {
+        let (stack, workload) = tiny_setup();
+        let combo = ThemeCombination {
+            event_tags: vec![],
+            subscription_tags: vec![],
+        };
+        let a = run_sub_experiment(&stack.non_thematic(), &workload, &combo);
+        let b = run_sub_experiment(&stack.precomputed(&workload), &workload, &combo);
+        assert!((a.f1() - b.f1()).abs() < 1e-9, "{} vs {}", a.f1(), b.f1());
+    }
+}

@@ -1,0 +1,236 @@
+//! Seed-event synthesis (paper §5.2.1).
+
+use crate::datasets::*;
+use crate::EvalConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tep_events::Event;
+
+/// Synthesizes the seed event set by randomly combining attributes and
+/// values from the embedded datasets, exactly as §5.2.1 describes
+/// ("seed event generation is done by randomly combining various
+/// attributes and values from the aforementioned datasets").
+///
+/// Five templates cover the paper's sources: indoor energy events (LEI),
+/// compute-node events, fixed outdoor city sensors and mobile vehicle
+/// sensors (SmartSantander), and parking events (the §1 motivating
+/// scenario). Every generated event follows the paper's example shape —
+/// up to ~9 tuples ending in a location chain.
+#[derive(Debug)]
+pub struct SeedGenerator {
+    rng: SmallRng,
+}
+
+impl SeedGenerator {
+    /// Creates a generator from the evaluation seed.
+    pub fn new(config: &EvalConfig) -> SeedGenerator {
+        SeedGenerator {
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED_0001),
+        }
+    }
+
+    /// Generates `count` seed events.
+    pub fn generate(&mut self, count: usize) -> Vec<Event> {
+        (0..count).map(|i| self.generate_one(i)).collect()
+    }
+
+    fn generate_one(&mut self, index: usize) -> Event {
+        // Rotate templates so the seed set is evenly heterogeneous.
+        match index % 5 {
+            0 => self.energy_event(),
+            1 => self.compute_event(),
+            2 => self.outdoor_sensor_event(),
+            3 => self.vehicle_sensor_event(),
+            _ => self.parking_event(),
+        }
+    }
+
+    fn pick<'d>(&mut self, list: &[&'d str]) -> &'d str {
+        list[self.rng.gen_range(0..list.len())]
+    }
+
+    /// city → (country, continent) consistency.
+    fn location_chain(&mut self) -> (&'static str, &'static str, &'static str) {
+        let city = self.pick(CITIES);
+        let country = match city {
+            "santander" => "spain",
+            "bordeaux" => "france",
+            _ => "ireland",
+        };
+        (city, country, "europe")
+    }
+
+    /// LEI-style indoor energy event (the paper's running example).
+    fn energy_event(&mut self) -> Event {
+        let device = self.pick(APPLIANCES);
+        let desk = self.pick(DESKS);
+        let room = self.pick(ROOMS);
+        let floor = self.pick(FLOORS);
+        let (city, country, continent) = self.location_chain();
+        Event::builder()
+            .tuple("type", "increased energy consumption event")
+            .tuple("measurement unit", self.pick(&["kilowatt hour", "watt"]))
+            .tuple("device", device)
+            .tuple("desk", desk)
+            .tuple("room", room)
+            .tuple("floor", floor)
+            .tuple("zone", "building")
+            .tuple("city", city)
+            .tuple("country", country)
+            .tuple("continent", continent)
+            .build()
+            .expect("energy seed template is well-formed")
+    }
+
+    /// Compute-node monitoring event (cpu/memory usage capabilities).
+    fn compute_event(&mut self) -> Event {
+        let capability = self.pick(&["cpu usage", "memory usage"]);
+        let device = self.pick(&["computer", "server", "laptop", "router"]);
+        let room = self.pick(ROOMS);
+        let (city, country, continent) = self.location_chain();
+        Event::builder()
+            .tuple("type", &format!("increased {capability} event"))
+            .tuple("measurement unit", "percent")
+            .tuple("device", device)
+            .tuple("room", room)
+            .tuple("zone", "campus")
+            .tuple("city", city)
+            .tuple("country", country)
+            .tuple("continent", continent)
+            .build()
+            .expect("compute seed template is well-formed")
+    }
+
+    /// Fixed outdoor SmartSantander sensor event.
+    fn outdoor_sensor_event(&mut self) -> Event {
+        let capability = self.pick(&[
+            "solar radiation",
+            "particles",
+            "wind direction",
+            "wind speed",
+            "temperature",
+            "water flow",
+            "atmospheric pressure",
+            "noise",
+            "ozone",
+            "rainfall",
+            "radiation par",
+            "co",
+            "ground temperature",
+            "light",
+            "no2",
+            "soil moisture tension",
+            "relative humidity",
+        ]);
+        let unit = self.pick(MEASUREMENT_UNITS);
+        let street = self.pick(STREETS);
+        let zone = self.pick(ZONES);
+        let (city, country, continent) = self.location_chain();
+        Event::builder()
+            .tuple("type", &format!("{capability} reading event"))
+            .tuple("measurement unit", unit)
+            .tuple("sensor", &format!("{capability} sensor"))
+            .tuple("street", street)
+            .tuple("zone", zone)
+            .tuple("city", city)
+            .tuple("country", country)
+            .tuple("continent", continent)
+            .build()
+            .expect("outdoor seed template is well-formed")
+    }
+
+    /// Mobile sensor platform mounted on a vehicle.
+    fn vehicle_sensor_event(&mut self) -> Event {
+        let capability = self.pick(&["speed", "temperature", "no2", "co", "noise"]);
+        let brand = self.pick(CAR_BRANDS);
+        let street = self.pick(STREETS);
+        let (city, country, continent) = self.location_chain();
+        Event::builder()
+            .tuple("type", &format!("{capability} reading event"))
+            .tuple("platform", "vehicle")
+            .tuple("brand", brand)
+            .tuple("street", street)
+            .tuple("city", city)
+            .tuple("country", country)
+            .tuple("continent", continent)
+            .build()
+            .expect("vehicle seed template is well-formed")
+    }
+
+    /// Parking event (the §1 'parking space occupied' scenario).
+    fn parking_event(&mut self) -> Event {
+        let street = self.pick(STREETS);
+        let zone = self.pick(&["city centre", "harbour", "square", "district"]);
+        let (city, country, continent) = self.location_chain();
+        Event::builder()
+            .tuple("type", "parking space occupied event")
+            .tuple("sensor", "parking sensor")
+            .tuple("street", street)
+            .tuple("zone", zone)
+            .tuple("city", city)
+            .tuple("country", country)
+            .tuple("continent", continent)
+            .build()
+            .expect("parking seed template is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds(n: usize) -> Vec<Event> {
+        SeedGenerator::new(&EvalConfig::tiny()).generate(n)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        assert_eq!(seeds(25).len(), 25);
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = seeds(10);
+        let b = seeds(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuple_counts_match_paper_shape() {
+        for e in seeds(30) {
+            let n = e.tuples().len();
+            assert!((7..=10).contains(&n), "seed has {n} tuples");
+        }
+    }
+
+    #[test]
+    fn location_chain_is_consistent() {
+        for e in seeds(40) {
+            let city = e.value_of("city").unwrap();
+            let country = e.value_of("country").unwrap();
+            match city {
+                "santander" => assert_eq!(country, "spain"),
+                "bordeaux" => assert_eq!(country, "france"),
+                "galway" | "dublin" => assert_eq!(country, "ireland"),
+                other => panic!("unexpected city {other}"),
+            }
+            assert_eq!(e.value_of("continent"), Some("europe"));
+        }
+    }
+
+    #[test]
+    fn all_five_templates_appear() {
+        let all = seeds(10);
+        let types: Vec<&str> = all.iter().map(|e| e.value_of("type").unwrap()).collect();
+        assert!(types.iter().any(|t| t.contains("energy consumption")));
+        assert!(types.iter().any(|t| t.contains("usage")));
+        assert!(types.iter().any(|t| t.contains("reading")));
+        assert!(types.iter().any(|t| t.contains("parking")));
+    }
+
+    #[test]
+    fn seeds_carry_no_theme_tags() {
+        // Themes are associated later, per sub-experiment (Fig. 6).
+        assert!(seeds(10).iter().all(Event::is_non_thematic));
+    }
+}

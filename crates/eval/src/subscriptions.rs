@@ -1,0 +1,150 @@
+//! Subscription-set generation (paper §5.2.3).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tep_events::{Event, Subscription};
+
+/// Generates the exact subscription set by "randomly picking a number of
+/// tuples from the seed events and turning them into exact subscriptions"
+/// (§5.2.3), plus their fully `~`-approximated counterparts.
+///
+/// The `type` tuple is always included when the seed has one, mirroring
+/// every subscription example in the paper — a subscription without a
+/// type predicate would be semantically anchorless.
+#[derive(Debug)]
+pub struct SubscriptionGenerator {
+    rng: SmallRng,
+}
+
+impl SubscriptionGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> SubscriptionGenerator {
+        SubscriptionGenerator {
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EED_0003),
+        }
+    }
+
+    /// Generates `count` exact subscriptions over `seeds` with between
+    /// `min_predicates` and `max_predicates` predicates each. Returns the
+    /// exact set; call [`approximate_all`] for the 100%-approximation set.
+    pub fn generate(
+        &mut self,
+        seeds: &[Event],
+        count: usize,
+        min_predicates: usize,
+        max_predicates: usize,
+    ) -> Vec<Subscription> {
+        assert!(min_predicates >= 1 && min_predicates <= max_predicates);
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let seed = &seeds[i % seeds.len()];
+            out.push(self.from_seed(seed, min_predicates, max_predicates));
+        }
+        out
+    }
+
+    fn from_seed(&mut self, seed: &Event, min_p: usize, max_p: usize) -> Subscription {
+        let tuples = seed.tuples();
+        let want = self
+            .rng
+            .gen_range(min_p..=max_p)
+            .min(tuples.len())
+            .max(1);
+        let mut picked: Vec<usize> = Vec::with_capacity(want);
+        // Anchor on the type tuple when present.
+        if let Some(pos) = tuples.iter().position(|t| t.attribute() == "type") {
+            picked.push(pos);
+        }
+        let mut guard = 0;
+        while picked.len() < want && guard < 128 {
+            guard += 1;
+            let idx = self.rng.gen_range(0..tuples.len());
+            if !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+        let mut builder = Subscription::builder();
+        for idx in picked {
+            let t = &tuples[idx];
+            builder = builder.predicate_exact(t.attribute(), t.value());
+        }
+        builder.build().expect("seed tuples form a valid subscription")
+    }
+}
+
+/// The 100%-degree-of-approximation transform of §5.2.3: every predicate
+/// of every subscription gets `~` on both sides, "to exclude the
+/// non-approximation effect on the results".
+pub fn approximate_all(exact: &[Subscription]) -> Vec<Subscription> {
+    exact.iter().map(Subscription::fully_approximated).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalConfig, SeedGenerator};
+
+    fn seeds() -> Vec<Event> {
+        SeedGenerator::new(&EvalConfig::tiny()).generate(12)
+    }
+
+    #[test]
+    fn generates_requested_count_within_bounds() {
+        let seeds = seeds();
+        let subs = SubscriptionGenerator::new(1).generate(&seeds, 20, 2, 4);
+        assert_eq!(subs.len(), 20);
+        for s in &subs {
+            let n = s.predicates().len();
+            assert!((2..=4).contains(&n), "{n} predicates");
+            assert_eq!(s.degree_of_approximation().as_fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn subscriptions_anchor_on_type() {
+        let seeds = seeds();
+        let subs = SubscriptionGenerator::new(2).generate(&seeds, 12, 2, 3);
+        for s in subs {
+            assert!(
+                s.predicates().iter().any(|p| p.attribute() == "type"),
+                "subscription without type anchor: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_subscription_matches_its_seed() {
+        use tep_matcher::{ExactMatcher, Matcher};
+        let seeds = seeds();
+        let subs = SubscriptionGenerator::new(3).generate(&seeds, 12, 2, 3);
+        let m = ExactMatcher::new();
+        for (i, s) in subs.iter().enumerate() {
+            let seed = &seeds[i % seeds.len()];
+            assert_eq!(
+                m.match_event(s, seed).score(),
+                1.0,
+                "subscription {i} must exactly match its origin seed"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_all_is_full_degree() {
+        let seeds = seeds();
+        let exact = SubscriptionGenerator::new(4).generate(&seeds, 6, 2, 3);
+        let approx = approximate_all(&exact);
+        assert_eq!(approx.len(), 6);
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!(a.is_fully_approximate());
+            assert_eq!(e.predicates().len(), a.predicates().len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let seeds = seeds();
+        let a = SubscriptionGenerator::new(5).generate(&seeds, 10, 2, 4);
+        let b = SubscriptionGenerator::new(5).generate(&seeds, 10, 2, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Theme-tag sampling (paper §5.2.4).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tep_thesaurus::{Domain, Term, Thesaurus};
+
+/// One sampled combination of event and subscription theme tags.
+///
+/// The paper's invariant holds by construction: "In every combination,
+/// the event theme tags set contains the subscription theme tags set or
+/// vice versa."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThemeCombination {
+    /// Tags for every event in the sub-experiment.
+    pub event_tags: Vec<String>,
+    /// Tags for every subscription in the sub-experiment.
+    pub subscription_tags: Vec<String>,
+}
+
+impl ThemeCombination {
+    /// Whether the containment invariant holds.
+    pub fn containment_holds(&self) -> bool {
+        let contains = |big: &[String], small: &[String]| small.iter().all(|t| big.contains(t));
+        contains(&self.event_tags, &self.subscription_tags)
+            || contains(&self.subscription_tags, &self.event_tags)
+    }
+}
+
+/// Samples theme-tag combinations from the top terms of the six domains
+/// used to expand the event set (§5.2.4).
+#[derive(Debug)]
+pub struct ThemeSampler {
+    top_terms: Vec<Term>,
+    rng: SmallRng,
+}
+
+impl ThemeSampler {
+    /// Creates a sampler over the top terms of all six domains.
+    pub fn new(thesaurus: &Thesaurus, seed: u64) -> ThemeSampler {
+        ThemeSampler {
+            top_terms: thesaurus.top_terms_of(&Domain::ALL),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EED_0004),
+        }
+    }
+
+    /// The size of the available tag vocabulary.
+    pub fn vocabulary_len(&self) -> usize {
+        self.top_terms.len()
+    }
+
+    /// Samples one combination with `event_size` event tags and
+    /// `subscription_size` subscription tags; the smaller set is a subset
+    /// of the larger one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the larger requested size exceeds the tag vocabulary.
+    pub fn sample(&mut self, event_size: usize, subscription_size: usize) -> ThemeCombination {
+        let large = event_size.max(subscription_size);
+        let small = event_size.min(subscription_size);
+        assert!(
+            large <= self.top_terms.len(),
+            "requested theme size {large} exceeds the {} available top terms",
+            self.top_terms.len()
+        );
+        let large_set = self.sample_distinct(large);
+        let small_set = self.subset_of(&large_set, small);
+        if event_size >= subscription_size {
+            ThemeCombination {
+                event_tags: large_set,
+                subscription_tags: small_set,
+            }
+        } else {
+            ThemeCombination {
+                event_tags: small_set,
+                subscription_tags: large_set,
+            }
+        }
+    }
+
+    /// Samples one combination with **independent** draws for the two
+    /// sides (no containment) — the paper's "no coupling mode", where
+    /// sources and consumers "freely use representative terms in open
+    /// environments when agreement is not possible" (§2.3, §5.3.3).
+    /// Overlap then arises only from the skewed distribution of term
+    /// usage by humans.
+    pub fn sample_free(&mut self, event_size: usize, subscription_size: usize) -> ThemeCombination {
+        assert!(
+            event_size.max(subscription_size) <= self.top_terms.len(),
+            "requested theme size exceeds the available top terms"
+        );
+        ThemeCombination {
+            event_tags: self.sample_distinct(event_size),
+            subscription_tags: self.sample_distinct(subscription_size),
+        }
+    }
+
+    fn sample_distinct(&mut self, size: usize) -> Vec<String> {
+        // Partial Fisher–Yates over indices.
+        let mut idx: Vec<usize> = (0..self.top_terms.len()).collect();
+        for i in 0..size {
+            let j = self.rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..size]
+            .iter()
+            .map(|&i| self.top_terms[i].as_str().to_string())
+            .collect()
+    }
+
+    fn subset_of(&mut self, set: &[String], size: usize) -> Vec<String> {
+        let mut idx: Vec<usize> = (0..set.len()).collect();
+        for i in 0..size {
+            let j = self.rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..size].iter().map(|&i| set[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> ThemeSampler {
+        ThemeSampler::new(&Thesaurus::eurovoc_like(), 11)
+    }
+
+    #[test]
+    fn vocabulary_supports_size_30() {
+        assert!(sampler().vocabulary_len() >= 30);
+    }
+
+    #[test]
+    fn sizes_and_containment_event_larger() {
+        let mut s = sampler();
+        let c = s.sample(10, 3);
+        assert_eq!(c.event_tags.len(), 10);
+        assert_eq!(c.subscription_tags.len(), 3);
+        assert!(c.containment_holds());
+        assert!(c.subscription_tags.iter().all(|t| c.event_tags.contains(t)));
+    }
+
+    #[test]
+    fn sizes_and_containment_subscription_larger() {
+        let mut s = sampler();
+        let c = s.sample(2, 12);
+        assert_eq!(c.event_tags.len(), 2);
+        assert_eq!(c.subscription_tags.len(), 12);
+        assert!(c.containment_holds());
+        assert!(c.event_tags.iter().all(|t| c.subscription_tags.contains(t)));
+    }
+
+    #[test]
+    fn equal_sizes_yield_equal_sets() {
+        let mut s = sampler();
+        let c = s.sample(5, 5);
+        let mut a = c.event_tags.clone();
+        let mut b = c.subscription_tags.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut s = sampler();
+        let c = s.sample(30, 30);
+        let mut tags = c.event_tags.clone();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), 30);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let th = Thesaurus::eurovoc_like();
+        let a = ThemeSampler::new(&th, 5).sample(4, 2);
+        let b = ThemeSampler::new(&th, 5).sample(4, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_request_panics() {
+        sampler().sample(1000, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! The complete evaluation workload (Fig. 6, left column).
+
+use crate::expansion::Expander;
+use crate::ground_truth::GroundTruth;
+use crate::seed::SeedGenerator;
+use crate::subscriptions::{approximate_all, SubscriptionGenerator};
+use crate::EvalConfig;
+use tep_events::{Event, Subscription};
+use tep_thesaurus::Thesaurus;
+
+/// Everything the experiments need: seed events, the expanded
+/// heterogeneous event set (with provenance), the exact and approximate
+/// subscription sets, and the relevance ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    seeds: Vec<Event>,
+    events: Vec<Event>,
+    provenance: Vec<usize>,
+    exact_subscriptions: Vec<Subscription>,
+    subscriptions: Vec<Subscription>,
+    ground_truth: GroundTruth,
+    config: EvalConfig,
+}
+
+impl Workload {
+    /// Generates the workload from the built-in thesaurus.
+    pub fn generate(config: &EvalConfig) -> Workload {
+        Workload::generate_with(&Thesaurus::eurovoc_like(), config)
+    }
+
+    /// Generates the workload from a caller-provided thesaurus.
+    pub fn generate_with(thesaurus: &Thesaurus, config: &EvalConfig) -> Workload {
+        let seeds = SeedGenerator::new(config).generate(config.num_seed_events);
+        let (events, provenance) =
+            Expander::new(thesaurus, config.seed).expand_all(&seeds, config.max_expanded_events);
+        let exact_subscriptions = SubscriptionGenerator::new(config.seed).generate(
+            &seeds,
+            config.num_subscriptions,
+            config.min_predicates,
+            config.max_predicates,
+        );
+        let subscriptions = approximate_all(&exact_subscriptions);
+        let ground_truth = GroundTruth::compute(&seeds, &exact_subscriptions, &provenance);
+        Workload {
+            seeds,
+            events,
+            provenance,
+            exact_subscriptions,
+            subscriptions,
+            ground_truth,
+            config: config.clone(),
+        }
+    }
+
+    /// The seed events (§5.2.1).
+    pub fn seeds(&self) -> &[Event] {
+        &self.seeds
+    }
+
+    /// The expanded heterogeneous event set (§5.2.2).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The provenance seed index of each expanded event.
+    pub fn provenance(&self) -> &[usize] {
+        &self.provenance
+    }
+
+    /// The exact (0% approximation) subscriptions.
+    pub fn exact_subscriptions(&self) -> &[Subscription] {
+        &self.exact_subscriptions
+    }
+
+    /// The approximate (100% approximation) subscriptions the experiments
+    /// run with (§5.2.3).
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+
+    /// The relevance ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Returns a copy with a different subscription set and matching
+    /// ground truth (used by the §5.1 prior-work experiment, which sweeps
+    /// subscription-set sizes and degrees of approximation over the same
+    /// event set).
+    pub fn with_subscriptions(
+        &self,
+        exact: Vec<Subscription>,
+        approximate: Vec<Subscription>,
+        ground_truth: GroundTruth,
+    ) -> Workload {
+        assert_eq!(exact.len(), approximate.len());
+        assert_eq!(ground_truth.len(), exact.len());
+        Workload {
+            seeds: self.seeds.clone(),
+            events: self.events.clone(),
+            provenance: self.provenance.clone(),
+            exact_subscriptions: exact,
+            subscriptions: approximate,
+            ground_truth,
+            config: self.config.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape_matches_config() {
+        let cfg = EvalConfig::tiny();
+        let w = Workload::generate(&cfg);
+        assert_eq!(w.seeds().len(), cfg.num_seed_events);
+        assert_eq!(w.events().len(), cfg.max_expanded_events);
+        assert_eq!(w.subscriptions().len(), cfg.num_subscriptions);
+        assert_eq!(w.exact_subscriptions().len(), cfg.num_subscriptions);
+        assert_eq!(w.provenance().len(), w.events().len());
+        assert_eq!(w.ground_truth().len(), cfg.num_subscriptions);
+    }
+
+    #[test]
+    fn every_subscription_has_relevant_events() {
+        // By construction each subscription is drawn from a seed that is
+        // itself in the event set.
+        let w = Workload::generate(&EvalConfig::tiny());
+        for s in 0..w.subscriptions().len() {
+            assert!(
+                w.ground_truth().relevant_count(s) > 0,
+                "subscription {s} has no relevant events"
+            );
+        }
+    }
+
+    #[test]
+    fn subscriptions_are_fully_approximate() {
+        let w = Workload::generate(&EvalConfig::tiny());
+        assert!(w.subscriptions().iter().all(Subscription::is_fully_approximate));
+        assert!(w
+            .exact_subscriptions()
+            .iter()
+            .all(|s| s.degree_of_approximation().as_fraction() == 0.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(&EvalConfig::tiny());
+        let b = Workload::generate(&EvalConfig::tiny());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.subscriptions(), b.subscriptions());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types of the event model and parser.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing events or subscriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Two tuples/predicates were declared with the same attribute.
+    DuplicateAttribute(String),
+    /// A tuple or predicate had an empty attribute.
+    EmptyAttribute,
+    /// An event or subscription was declared with no tuples/predicates.
+    Empty,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateAttribute(a) => {
+                write!(f, "attribute `{a}` declared more than once")
+            }
+            ModelError::EmptyAttribute => write!(f, "attribute must not be empty"),
+            ModelError::Empty => write!(f, "at least one attribute-value pair is required"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Errors raised while parsing the textual notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The input did not have the expected `{...}` / `({...}, {...})`
+    /// shape.
+    Malformed(String),
+    /// A predicate/tuple was missing its `=`/`:` separator.
+    MissingSeparator(String),
+    /// The parsed structure violated a model invariant.
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(ctx) => write!(f, "malformed input near `{ctx}`"),
+            ParseError::MissingSeparator(item) => {
+                write!(f, "missing `=` or `:` separator in `{item}`")
+            }
+            ParseError::Model(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> ParseError {
+        ParseError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::DuplicateAttribute("type".into())
+            .to_string()
+            .contains("type"));
+        assert!(ParseError::MissingSeparator("abc".into()).to_string().contains("abc"));
+        let wrapped: ParseError = ModelError::Empty.into();
+        assert!(wrapped.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let wrapped: ParseError = ModelError::Empty.into();
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(std::error::Error::source(&ParseError::Malformed("x".into())).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! # tep-events
+//!
+//! The data model of thematic event processing (paper §3.3–3.4):
+//!
+//! * [`Event`] — a pair of a **theme-tag set** and a set of
+//!   **attribute–value tuples** (no two tuples share an attribute);
+//! * [`Subscription`] — a pair of a theme-tag set and a conjunction of
+//!   [`Predicate`]s, where the **`~` (tilde) operator** marks an attribute
+//!   and/or value as *semantically approximable*;
+//! * [`parse_event`] / [`parse_subscription`] — a parser for the paper's
+//!   textual notation:
+//!
+//! ```text
+//! ({power, computers},
+//!  {type= increased energy usage event~, device~= laptop~, office= room 112})
+//! ```
+//!
+//! The model is deliberately independent of the semantics layer: events
+//! are pure data and serialize with serde (the broker's wire format).
+//!
+//! ```
+//! use tep_events::{parse_subscription, DegreeOfApproximation};
+//!
+//! let s = parse_subscription(
+//!     "({power, computers}, {type= increased energy usage event~, device~= laptop~})",
+//! )?;
+//! assert_eq!(s.theme_tags().len(), 2);
+//! assert_eq!(s.predicates().len(), 2);
+//! assert_eq!(s.degree_of_approximation(), DegreeOfApproximation::new(3, 4));
+//! # Ok::<(), tep_events::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod event;
+mod operator;
+mod parser;
+mod predicate;
+mod subscription;
+mod tuple;
+
+pub use error::{ModelError, ParseError};
+pub use operator::ComparisonOp;
+pub use event::{Event, EventBuilder};
+pub use parser::{parse_event, parse_subscription};
+pub use predicate::Predicate;
+pub use subscription::{DegreeOfApproximation, Subscription, SubscriptionBuilder};
+pub use tuple::Tuple;

@@ -1,0 +1,148 @@
+//! Comparison operators for predicates.
+//!
+//! The paper's language model keeps `!=`, `>` and `<` "out of the
+//! language for the sake of discourse simplicity" (§3.4); this module
+//! adds them back as the natural extension. Only the equality operator
+//! composes with the `~` approximation — relational operators compare
+//! numerically and are exact by definition.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComparisonOp {
+    /// `=` (or `:`): equality; the only operator that supports `~`.
+    #[default]
+    Eq,
+    /// `!=`: inequality (numeric when both sides parse as numbers,
+    /// string inequality otherwise).
+    Neq,
+    /// `>`: numeric greater-than.
+    Gt,
+    /// `>=`: numeric greater-or-equal.
+    Ge,
+    /// `<`: numeric less-than.
+    Lt,
+    /// `<=`: numeric less-or-equal.
+    Le,
+}
+
+impl ComparisonOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ComparisonOp::Eq => "=",
+            ComparisonOp::Neq => "!=",
+            ComparisonOp::Gt => ">",
+            ComparisonOp::Ge => ">=",
+            ComparisonOp::Lt => "<",
+            ComparisonOp::Le => "<=",
+        }
+    }
+
+    /// Whether the `~` approximation may decorate a predicate using this
+    /// operator.
+    pub fn supports_approximation(self) -> bool {
+        self == ComparisonOp::Eq
+    }
+
+    /// Evaluates the operator over an event value (left) and the
+    /// subscription's reference value (right).
+    ///
+    /// Relational operators require both sides to parse as numbers
+    /// (leading numeric token, so `30 degrees` parses as `30`); a
+    /// non-numeric side makes them `false`. `Neq` falls back to string
+    /// inequality when either side is non-numeric.
+    pub fn evaluate(self, event_value: &str, wanted: &str) -> bool {
+        match self {
+            ComparisonOp::Eq => event_value == wanted,
+            ComparisonOp::Neq => match (leading_number(event_value), leading_number(wanted)) {
+                (Some(a), Some(b)) => a != b,
+                _ => event_value != wanted,
+            },
+            op => {
+                let (Some(a), Some(b)) = (leading_number(event_value), leading_number(wanted))
+                else {
+                    return false;
+                };
+                match op {
+                    ComparisonOp::Gt => a > b,
+                    ComparisonOp::Ge => a >= b,
+                    ComparisonOp::Lt => a < b,
+                    ComparisonOp::Le => a <= b,
+                    _ => unreachable!("Eq/Neq handled above"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ComparisonOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Parses the leading numeric token of a value (`"30"`, `"30.5 degrees"`,
+/// `"-4"`); `None` if the first token is not a number.
+pub fn leading_number(value: &str) -> Option<f64> {
+    value.split_whitespace().next()?.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_round_trip_display() {
+        for op in [
+            ComparisonOp::Eq,
+            ComparisonOp::Neq,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+        ] {
+            assert_eq!(op.to_string(), op.symbol());
+        }
+    }
+
+    #[test]
+    fn only_equality_supports_tilde() {
+        assert!(ComparisonOp::Eq.supports_approximation());
+        for op in [ComparisonOp::Neq, ComparisonOp::Gt, ComparisonOp::Ge, ComparisonOp::Lt, ComparisonOp::Le] {
+            assert!(!op.supports_approximation());
+        }
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        assert!(ComparisonOp::Gt.evaluate("31", "30"));
+        assert!(!ComparisonOp::Gt.evaluate("30", "30"));
+        assert!(ComparisonOp::Ge.evaluate("30", "30"));
+        assert!(ComparisonOp::Lt.evaluate("-5", "0"));
+        assert!(ComparisonOp::Le.evaluate("0.5", "0.5"));
+    }
+
+    #[test]
+    fn leading_numeric_token_is_used() {
+        assert!(ComparisonOp::Gt.evaluate("31.5 degrees celsius", "30"));
+        assert_eq!(leading_number("room 112"), None);
+        assert_eq!(leading_number("112 room"), Some(112.0));
+    }
+
+    #[test]
+    fn non_numeric_relational_is_false() {
+        assert!(!ComparisonOp::Gt.evaluate("hot", "30"));
+        assert!(!ComparisonOp::Lt.evaluate("30", "cold"));
+    }
+
+    #[test]
+    fn neq_numeric_and_string_fallback() {
+        assert!(ComparisonOp::Neq.evaluate("31", "30"));
+        assert!(!ComparisonOp::Neq.evaluate("30.0", "30"));
+        assert!(ComparisonOp::Neq.evaluate("galway", "dublin"));
+        assert!(!ComparisonOp::Neq.evaluate("galway", "galway"));
+    }
+}

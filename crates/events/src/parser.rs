@@ -1,0 +1,324 @@
+//! Parser for the paper's textual event/subscription notation.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! event        := themed | body
+//! themed       := '(' theme ',' body ')'
+//! theme        := '{' [ tag (',' tag)* ] '}'
+//! body         := '{' item (',' item)* '}'
+//! event item   := attribute (':' | '=') value
+//! subscription := like event, but items may carry '~' after the
+//!                 attribute and/or after the value, and may use the
+//!                 relational operators '!=', '>', '>=', '<', '<='
+//!                 (exact numeric constraints; '~' composes only with
+//!                 equality)
+//! ```
+//!
+//! Examples from the paper (§3.3–3.4):
+//!
+//! ```text
+//! ({energy, appliances, building},
+//!  {type: increased energy consumption event, device: computer})
+//!
+//! ({power, computers},
+//!  {type= increased energy usage event~, device~= laptop~, office= room 112})
+//! ```
+
+use crate::error::ParseError;
+use crate::event::Event;
+use crate::operator::ComparisonOp;
+use crate::predicate::Predicate;
+use crate::subscription::Subscription;
+
+/// Parses an [`Event`] from the textual notation. The theme part is
+/// optional: `"{a: b}"` parses as a non-thematic event.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed input or model violations
+/// (duplicate attributes, empty payload).
+///
+/// ```
+/// use tep_events::parse_event;
+/// let e = parse_event("({energy}, {type: increased energy consumption event})")?;
+/// assert_eq!(e.theme_tags(), ["energy"]);
+/// # Ok::<(), tep_events::ParseError>(())
+/// ```
+pub fn parse_event(input: &str) -> Result<Event, ParseError> {
+    let (tags, items) = split_parts(input)?;
+    let mut builder = Event::builder().theme_tags(tags);
+    for item in items {
+        let (attr, op, value) = split_item(&item)?;
+        if op != ComparisonOp::Eq {
+            return Err(ParseError::Malformed(format!(
+                "events carry values, not constraints: `{item}`"
+            )));
+        }
+        let (attr, a_tilde) = strip_tilde(attr.trim());
+        let (value, v_tilde) = strip_tilde(value.trim());
+        if a_tilde || v_tilde {
+            return Err(ParseError::Malformed(format!(
+                "`~` is not allowed in events: `{item}`"
+            )));
+        }
+        builder = builder.tuple(attr, value);
+    }
+    Ok(builder.build()?)
+}
+
+/// Parses a [`Subscription`] from the textual notation with the `~`
+/// operator.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed input or model violations.
+///
+/// ```
+/// use tep_events::parse_subscription;
+/// let s = parse_subscription("{type= increased energy usage event~, device~= laptop~}")?;
+/// assert!(s.predicates()[0].is_value_approx());
+/// assert!(s.predicates()[1].is_attribute_approx());
+/// # Ok::<(), tep_events::ParseError>(())
+/// ```
+pub fn parse_subscription(input: &str) -> Result<Subscription, ParseError> {
+    let (tags, items) = split_parts(input)?;
+    let mut builder = Subscription::builder().theme_tags(tags);
+    for item in items {
+        let (attr, op, value) = split_item(&item)?;
+        let (attr, a_tilde) = strip_tilde(attr.trim());
+        let (value, v_tilde) = strip_tilde(value.trim());
+        if v_tilde && !op.supports_approximation() {
+            return Err(ParseError::Malformed(format!(
+                "`~` only composes with equality: `{item}`"
+            )));
+        }
+        let mut p = Predicate::with_op(attr, op, value);
+        if a_tilde {
+            p = p.approx_attribute();
+        }
+        if v_tilde {
+            p = p.approx_value();
+        }
+        builder = builder.predicate(p);
+    }
+    Ok(builder.build()?)
+}
+
+/// Splits the optional theme block and the body into raw strings.
+fn split_parts(input: &str) -> Result<(Vec<String>, Vec<String>), ParseError> {
+    let s = input.trim();
+    if let Some(inner) = s.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        // themed form: '{tags}' ',' '{items}'
+        let inner = inner.trim();
+        let theme_end = matching_brace(inner)?;
+        let theme_block = &inner[..=theme_end];
+        let rest = inner[theme_end + 1..].trim_start();
+        let rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| ParseError::Malformed(truncate(rest)))?;
+        let tags = split_brace_list(theme_block)?;
+        let items = split_brace_list(rest.trim())?;
+        Ok((tags, items))
+    } else {
+        Ok((Vec::new(), split_brace_list(s)?))
+    }
+}
+
+/// Returns the index of the `}` matching the leading `{`.
+fn matching_brace(s: &str) -> Result<usize, ParseError> {
+    if !s.starts_with('{') {
+        return Err(ParseError::Malformed(truncate(s)));
+    }
+    let mut depth = 0usize;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(ParseError::Malformed(truncate(s)))
+}
+
+/// Parses `'{' item (',' item)* '}'` into trimmed item strings; an empty
+/// brace pair yields no items.
+fn split_brace_list(s: &str) -> Result<Vec<String>, ParseError> {
+    let inner = s
+        .trim()
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| ParseError::Malformed(truncate(s)))?;
+    Ok(inner
+        .split(',')
+        .map(str::trim)
+        .filter(|i| !i.is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+/// Splits one item on its comparison operator (two-character operators
+/// take precedence at the same position).
+fn split_item(item: &str) -> Result<(&str, ComparisonOp, &str), ParseError> {
+    const TWO: [(&str, ComparisonOp); 3] = [
+        ("!=", ComparisonOp::Neq),
+        (">=", ComparisonOp::Ge),
+        ("<=", ComparisonOp::Le),
+    ];
+    const ONE: [(char, ComparisonOp); 4] = [
+        ('=', ComparisonOp::Eq),
+        (':', ComparisonOp::Eq),
+        ('>', ComparisonOp::Gt),
+        ('<', ComparisonOp::Lt),
+    ];
+    let bytes = item.as_bytes();
+    for i in 0..bytes.len() {
+        for (sym, op) in TWO {
+            if item[i..].starts_with(sym) {
+                return Ok((&item[..i], op, &item[i + sym.len()..]));
+            }
+        }
+        for (sym, op) in ONE {
+            if bytes[i] == sym as u8 {
+                return Ok((&item[..i], op, &item[i + 1..]));
+            }
+        }
+    }
+    Err(ParseError::MissingSeparator(item.to_string()))
+}
+
+fn strip_tilde(s: &str) -> (&str, bool) {
+    match s.strip_suffix('~') {
+        Some(rest) => (rest.trim_end(), true),
+        None => (s, false),
+    }
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(40).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_event_example() {
+        let e = parse_event(
+            "({energy, appliances, building}, \
+             {type: increased energy consumption event, \
+              measurement unit: kilowatt hour, device: computer, office: room 112})",
+        )
+        .unwrap();
+        assert_eq!(e.theme_tags(), ["energy", "appliances", "building"]);
+        assert_eq!(e.tuples().len(), 4);
+        assert_eq!(e.value_of("device"), Some("computer"));
+    }
+
+    #[test]
+    fn parses_paper_subscription_example() {
+        let s = parse_subscription(
+            "({power, computers}, \
+             {type= increased energy usage event~, device~= laptop~, office= room 112})",
+        )
+        .unwrap();
+        assert_eq!(s.theme_tags(), ["power", "computers"]);
+        let p = &s.predicates()[0];
+        assert!(!p.is_attribute_approx() && p.is_value_approx());
+        let p = &s.predicates()[1];
+        assert!(p.is_attribute_approx() && p.is_value_approx());
+        let p = &s.predicates()[2];
+        assert!(p.is_exact());
+    }
+
+    #[test]
+    fn unthemed_forms() {
+        let e = parse_event("{a: 1, b: 2}").unwrap();
+        assert!(e.is_non_thematic());
+        let s = parse_subscription("{a~= 1~}").unwrap();
+        assert!(s.theme_tags().is_empty());
+        assert!(s.is_fully_approximate());
+    }
+
+    #[test]
+    fn equals_and_colon_are_interchangeable() {
+        let a = parse_event("{device: laptop}").unwrap();
+        let b = parse_event("{device= laptop}").unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+    }
+
+    #[test]
+    fn tilde_in_event_is_rejected() {
+        let err = parse_event("{device~: laptop}").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn missing_separator_is_reported() {
+        let err = parse_subscription("{device laptop}").unwrap_err();
+        assert_eq!(err, ParseError::MissingSeparator("device laptop".into()));
+    }
+
+    #[test]
+    fn malformed_braces() {
+        assert!(parse_event("device: laptop").is_err());
+        assert!(parse_event("({a}, device: x)").is_err());
+        assert!(parse_event("({a} {b: c})").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_surfaces_model_error() {
+        let err = parse_event("{a: 1, a: 2}").unwrap_err();
+        assert!(matches!(err, ParseError::Model(_)));
+    }
+
+    #[test]
+    fn empty_theme_block() {
+        let e = parse_event("({}, {a: 1})").unwrap();
+        assert!(e.is_non_thematic());
+    }
+
+    #[test]
+    fn relational_operators_parse() {
+        let s = parse_subscription(
+            "{temperature~ > 30, noise <= 85, room != room 112, speed >= 50}",
+        )
+        .unwrap();
+        let p = &s.predicates()[0];
+        assert_eq!(p.op(), crate::ComparisonOp::Gt);
+        assert!(p.is_attribute_approx());
+        assert_eq!(s.predicates()[1].op(), crate::ComparisonOp::Le);
+        assert_eq!(s.predicates()[2].op(), crate::ComparisonOp::Neq);
+        assert_eq!(s.predicates()[3].op(), crate::ComparisonOp::Ge);
+        // Round-trips through Display.
+        let reparsed = parse_subscription(&s.to_string()).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn tilde_on_relational_value_is_rejected() {
+        let err = parse_subscription("{temperature > 30~}").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn relational_operator_in_event_is_rejected() {
+        let err = parse_event("{temperature > 30}").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let s = parse_subscription(
+            "({power}, {type= x~, device~= laptop~, office= room 112})",
+        )
+        .unwrap();
+        let reparsed = parse_subscription(&s.to_string()).unwrap();
+        assert_eq!(s, reparsed);
+    }
+}

@@ -1,0 +1,174 @@
+//! Subscription predicates with the `~` approximation operator.
+
+use crate::operator::ComparisonOp;
+use crate::tuple::normalize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One conjunctive predicate of a subscription (paper §3.4): a quadruple
+/// `(a, v, app_a, app_v)` where the boolean flags record whether the
+/// attribute and the value may be **semantically approximated** (the `~`
+/// operator).
+///
+/// ```
+/// use tep_events::Predicate;
+///
+/// // device~ = laptop~  — both sides approximable
+/// let p = Predicate::new("device", "laptop").approx_attribute().approx_value();
+/// assert!(p.is_attribute_approx() && p.is_value_approx());
+/// assert_eq!(p.to_string(), "device~= laptop~");
+///
+/// // office = room 112  — exact on both sides
+/// let q = Predicate::new("office", "room 112");
+/// assert!(!q.is_attribute_approx() && !q.is_value_approx());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    attribute: String,
+    value: String,
+    #[serde(default)]
+    op: ComparisonOp,
+    approx_attribute: bool,
+    approx_value: bool,
+}
+
+impl Predicate {
+    /// Creates an exact equality predicate (`a = v`).
+    pub fn new(attribute: &str, value: &str) -> Predicate {
+        Predicate::with_op(attribute, ComparisonOp::Eq, value)
+    }
+
+    /// Creates a predicate with an explicit comparison operator
+    /// (`a > v`, `a != v`, …). Relational operators do not compose with
+    /// `~` ([`ComparisonOp::supports_approximation`]); calling
+    /// [`Predicate::approx_value`] on such a predicate is a no-op.
+    pub fn with_op(attribute: &str, op: ComparisonOp, value: &str) -> Predicate {
+        Predicate {
+            attribute: normalize(attribute),
+            value: normalize(value),
+            op,
+            approx_attribute: false,
+            approx_value: false,
+        }
+    }
+
+    /// Creates a fully approximate predicate (`a~ = v~`), the §5.2.3
+    /// 100%-approximation form.
+    pub fn approximate(attribute: &str, value: &str) -> Predicate {
+        Predicate::new(attribute, value).approx_attribute().approx_value()
+    }
+
+    /// Marks the attribute as approximable (`a~`).
+    pub fn approx_attribute(mut self) -> Predicate {
+        self.approx_attribute = true;
+        self
+    }
+
+    /// Marks the value as approximable (`v~`). No-op for relational
+    /// operators, which compare numerically and cannot be approximated.
+    pub fn approx_value(mut self) -> Predicate {
+        if self.op.supports_approximation() {
+            self.approx_value = true;
+        }
+        self
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> ComparisonOp {
+        self.op
+    }
+
+    /// The attribute term.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The value term.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// Whether the attribute side carries `~`.
+    pub fn is_attribute_approx(&self) -> bool {
+        self.approx_attribute
+    }
+
+    /// Whether the value side carries `~`.
+    pub fn is_value_approx(&self) -> bool {
+        self.approx_value
+    }
+
+    /// Whether the predicate is exact on both sides.
+    pub fn is_exact(&self) -> bool {
+        !self.approx_attribute && !self.approx_value
+    }
+
+    /// Number of approximated sides (0, 1 or 2) — the numerator
+    /// contribution to the subscription's degree of approximation.
+    pub fn approx_count(&self) -> usize {
+        usize::from(self.approx_attribute) + usize::from(self.approx_value)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{} {}{}",
+            self.attribute,
+            if self.approx_attribute { "~" } else { "" },
+            self.op.symbol(),
+            self.value,
+            if self.approx_value { "~" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_by_default() {
+        let p = Predicate::new("office", "room 112");
+        assert!(p.is_exact());
+        assert_eq!(p.approx_count(), 0);
+    }
+
+    #[test]
+    fn approximate_constructor_sets_both() {
+        let p = Predicate::approximate("device", "laptop");
+        assert_eq!(p.approx_count(), 2);
+        assert!(!p.is_exact());
+    }
+
+    #[test]
+    fn normalization_applies() {
+        let p = Predicate::new("  Device ", "LapTop");
+        assert_eq!(p.attribute(), "device");
+        assert_eq!(p.value(), "laptop");
+    }
+
+    #[test]
+    fn display_shows_tildes() {
+        let p = Predicate::new("type", "increased energy usage event").approx_value();
+        assert_eq!(p.to_string(), "type= increased energy usage event~");
+    }
+
+    #[test]
+    fn relational_predicates_reject_value_tilde() {
+        let p = Predicate::with_op("temperature", ComparisonOp::Gt, "30").approx_value();
+        assert!(!p.is_value_approx());
+        assert_eq!(p.op(), ComparisonOp::Gt);
+        assert_eq!(p.to_string(), "temperature> 30");
+        let q = Predicate::with_op("temperature", ComparisonOp::Gt, "30").approx_attribute();
+        assert!(q.is_attribute_approx());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Predicate::approximate("device", "laptop");
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(p, serde_json::from_str::<Predicate>(&json).unwrap());
+    }
+}

@@ -1,0 +1,331 @@
+//! Subscriptions: themes + conjunctive approximate predicates.
+
+use crate::error::ModelError;
+use crate::predicate::Predicate;
+use crate::tuple::normalize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A subscription `s = (th, pr)` (paper §3.4): a set of theme tags and a
+/// conjunction of predicates over attributes and values, each side
+/// optionally approximable via the `~` operator.
+///
+/// ```
+/// use tep_events::Subscription;
+///
+/// let s = Subscription::builder()
+///     .theme_tags(["power", "computers"])
+///     .predicate_approx_value("type", "increased energy usage event")
+///     .predicate_full_approx("device", "laptop")
+///     .predicate_exact("office", "room 112")
+///     .build()?;
+/// assert_eq!(s.predicates().len(), 3);
+/// # Ok::<(), tep_events::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subscription {
+    theme_tags: Vec<String>,
+    predicates: Vec<Predicate>,
+}
+
+impl Subscription {
+    /// Starts building a subscription.
+    pub fn builder() -> SubscriptionBuilder {
+        SubscriptionBuilder::default()
+    }
+
+    /// The theme tags (possibly empty).
+    pub fn theme_tags(&self) -> &[String] {
+        &self.theme_tags
+    }
+
+    /// The conjunctive predicates, in declaration order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The degree of approximation: the proportion of relaxed attributes
+    /// and values over all attribute/value slots (paper §3.4; "an exact
+    /// subscription has 0% degree of approximation").
+    pub fn degree_of_approximation(&self) -> DegreeOfApproximation {
+        let relaxed = self.predicates.iter().map(Predicate::approx_count).sum();
+        DegreeOfApproximation::new(relaxed, self.predicates.len() * 2)
+    }
+
+    /// Whether every attribute and value is approximable (the §5.2.3
+    /// worst-case workload).
+    pub fn is_fully_approximate(&self) -> bool {
+        self.predicates
+            .iter()
+            .all(|p| p.is_attribute_approx() && p.is_value_approx())
+    }
+
+    /// Returns a copy with every predicate side marked approximable —
+    /// the transformation the evaluation applies to exact subscriptions
+    /// (§5.2.3).
+    pub fn fully_approximated(&self) -> Subscription {
+        Subscription {
+            theme_tags: self.theme_tags.clone(),
+            predicates: self
+                .predicates
+                .iter()
+                .map(|p| {
+                    if p.op().supports_approximation() {
+                        Predicate::approximate(p.attribute(), p.value())
+                    } else {
+                        // Relational predicates cannot be approximated;
+                        // relax their attribute side only.
+                        p.clone().approx_attribute()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with the given theme tags instead of the current
+    /// ones (the evaluation associates one theme combination at a time,
+    /// Fig. 6).
+    pub fn with_theme_tags<I, S>(&self, tags: I) -> Subscription
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = self.clone();
+        out.theme_tags = dedup_tags(tags);
+        out
+    }
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({{{}}}, {{", self.theme_tags.join(", "))?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+/// A subscription's degree of approximation as an exact ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeOfApproximation {
+    relaxed: usize,
+    total: usize,
+}
+
+impl DegreeOfApproximation {
+    /// Creates a degree from relaxed/total slot counts.
+    pub fn new(relaxed: usize, total: usize) -> DegreeOfApproximation {
+        DegreeOfApproximation { relaxed, total }
+    }
+
+    /// Number of relaxed (tilde-marked) slots.
+    pub fn relaxed(self) -> usize {
+        self.relaxed
+    }
+
+    /// Total attribute+value slots.
+    pub fn total(self) -> usize {
+        self.total
+    }
+
+    /// The ratio in `[0, 1]` (0 for an empty subscription).
+    pub fn as_fraction(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.relaxed as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for DegreeOfApproximation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.as_fraction() * 100.0)
+    }
+}
+
+/// Incremental [`Subscription`] construction.
+#[derive(Debug, Default, Clone)]
+pub struct SubscriptionBuilder {
+    theme_tags: Vec<String>,
+    predicates: Vec<Predicate>,
+}
+
+impl SubscriptionBuilder {
+    /// Adds theme tags (normalized, deduplicated).
+    pub fn theme_tags<I, S>(mut self, tags: I) -> SubscriptionBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for t in dedup_tags(tags) {
+            if !self.theme_tags.contains(&t) {
+                self.theme_tags.push(t);
+            }
+        }
+        self
+    }
+
+    /// Adds one theme tag.
+    pub fn theme_tag(self, tag: &str) -> SubscriptionBuilder {
+        self.theme_tags([tag])
+    }
+
+    /// Adds an arbitrary predicate.
+    pub fn predicate(mut self, predicate: Predicate) -> SubscriptionBuilder {
+        self.predicates.push(predicate);
+        self
+    }
+
+    /// Adds `attribute = value` (exact on both sides).
+    pub fn predicate_exact(self, attribute: &str, value: &str) -> SubscriptionBuilder {
+        self.predicate(Predicate::new(attribute, value))
+    }
+
+    /// Adds `attribute = value~`.
+    pub fn predicate_approx_value(self, attribute: &str, value: &str) -> SubscriptionBuilder {
+        self.predicate(Predicate::new(attribute, value).approx_value())
+    }
+
+    /// Adds `attribute~ = value`.
+    pub fn predicate_approx_attribute(self, attribute: &str, value: &str) -> SubscriptionBuilder {
+        self.predicate(Predicate::new(attribute, value).approx_attribute())
+    }
+
+    /// Adds `attribute~ = value~`.
+    pub fn predicate_full_approx(self, attribute: &str, value: &str) -> SubscriptionBuilder {
+        self.predicate(Predicate::approximate(attribute, value))
+    }
+
+    /// Adds a relational predicate (`attribute op value`), e.g.
+    /// `temperature > 30`.
+    pub fn predicate_cmp(
+        self,
+        attribute: &str,
+        op: crate::ComparisonOp,
+        value: &str,
+    ) -> SubscriptionBuilder {
+        self.predicate(Predicate::with_op(attribute, op, value))
+    }
+
+    /// Finalizes the subscription.
+    ///
+    /// # Errors
+    ///
+    /// Same invariants as events: at least one predicate, non-empty and
+    /// pairwise-distinct attributes.
+    pub fn build(self) -> Result<Subscription, ModelError> {
+        if self.predicates.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            if p.attribute().is_empty() {
+                return Err(ModelError::EmptyAttribute);
+            }
+            if self.predicates[..i].iter().any(|q| q.attribute() == p.attribute()) {
+                return Err(ModelError::DuplicateAttribute(p.attribute().to_string()));
+            }
+        }
+        Ok(Subscription {
+            theme_tags: self.theme_tags,
+            predicates: self.predicates,
+        })
+    }
+}
+
+fn dedup_tags<I, S>(tags: I) -> Vec<String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = Vec::new();
+    for tag in tags {
+        let t = normalize(tag.as_ref());
+        if !t.is_empty() && !out.contains(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Subscription {
+        Subscription::builder()
+            .theme_tags(["power", "computers"])
+            .predicate_approx_value("type", "increased energy usage event")
+            .predicate_full_approx("device", "laptop")
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn degree_of_approximation_counts_slots() {
+        let s = example();
+        // type: value only (1) + device: both (2) + office: none (0) = 3/6.
+        let d = s.degree_of_approximation();
+        assert_eq!(d.relaxed(), 3);
+        assert_eq!(d.total(), 6);
+        assert!((d.as_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(d.to_string(), "50%");
+    }
+
+    #[test]
+    fn fully_approximated_transform() {
+        let s = example();
+        assert!(!s.is_fully_approximate());
+        let full = s.fully_approximated();
+        assert!(full.is_fully_approximate());
+        assert_eq!(full.degree_of_approximation().as_fraction(), 1.0);
+        assert_eq!(full.theme_tags(), s.theme_tags());
+    }
+
+    #[test]
+    fn with_theme_tags_replaces() {
+        let s = example().with_theme_tags(["Land Transport"]);
+        assert_eq!(s.theme_tags(), ["land transport"]);
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let err = Subscription::builder()
+            .predicate_exact("a", "1")
+            .predicate_exact("a", "2")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn empty_subscription_rejected() {
+        assert_eq!(Subscription::builder().build().unwrap_err(), ModelError::Empty);
+    }
+
+    #[test]
+    fn display_round_trips_notation() {
+        let s = example();
+        let text = s.to_string();
+        assert!(text.starts_with("({power, computers}, {"));
+        assert!(text.contains("device~= laptop~"));
+        assert!(text.contains("office= room 112"));
+    }
+
+    #[test]
+    fn degree_edge_cases() {
+        assert_eq!(DegreeOfApproximation::new(0, 0).as_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = example();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<Subscription>(&json).unwrap());
+    }
+}

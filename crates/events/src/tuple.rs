@@ -1,0 +1,82 @@
+//! Attribute–value tuples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One attribute–value pair of an event's payload (paper §3.3: an event's
+/// tuple set `av ⊆ AV`).
+///
+/// Attribute and value are free-text terms, normalized to lowercase,
+/// single-space-separated words — the same normalization the vocabulary
+/// layers use, so matcher lookups are exact on normalized text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    attribute: String,
+    value: String,
+}
+
+impl Tuple {
+    /// Creates a tuple, normalizing both sides.
+    pub fn new(attribute: &str, value: &str) -> Tuple {
+        Tuple {
+            attribute: normalize(attribute),
+            value: normalize(value),
+        }
+    }
+
+    /// The attribute term.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The value term.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.attribute, self.value)
+    }
+}
+
+/// Lowercases and collapses whitespace.
+pub(crate) fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for word in raw.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        for ch in word.chars() {
+            out.extend(ch.to_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_both_sides() {
+        let t = Tuple::new(" Measurement  Unit ", "Kilowatt HOUR");
+        assert_eq!(t.attribute(), "measurement unit");
+        assert_eq!(t.value(), "kilowatt hour");
+    }
+
+    #[test]
+    fn display_uses_colon_notation() {
+        let t = Tuple::new("device", "laptop");
+        assert_eq!(t.to_string(), "device: laptop");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tuple::new("office", "room 112");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tuple = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

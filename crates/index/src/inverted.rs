@@ -1,0 +1,228 @@
+//! The inverted index (Fig. 5, build stage).
+
+use crate::postings::{Posting, PostingList};
+use crate::tokenizer::Tokenizer;
+use crate::vocab::{Vocabulary, WordId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tep_corpus::{Corpus, DocId};
+
+/// An inverted index over a [`Corpus`] with the paper's TF/IDF weighting.
+///
+/// Building the index is "identical to building the non-thematic
+/// distributional space model" (paper §4): tokenize, remove stop words,
+/// index each word as a weighted vector of documents. The thematic layer
+/// (in `tep-semantics`) then *projects* these vectors — it never needs to
+/// re-index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    vocab: Vocabulary,
+    postings: Vec<PostingList>,
+    num_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index with the default tokenizer.
+    pub fn build(corpus: &Corpus) -> InvertedIndex {
+        InvertedIndex::build_with(corpus, &Tokenizer::default())
+    }
+
+    /// Builds the index with a caller-provided tokenizer.
+    pub fn build_with(corpus: &Corpus, tokenizer: &Tokenizer) -> InvertedIndex {
+        let mut vocab = Vocabulary::new();
+        // word -> (doc -> raw freq), accumulated in doc order.
+        let mut raw: Vec<Vec<(DocId, u32)>> = Vec::new();
+
+        for doc in corpus.documents() {
+            let mut freqs: HashMap<WordId, u32> = HashMap::new();
+            for token in tokenizer.tokenize(doc.text()) {
+                let id = vocab.intern(&token);
+                *freqs.entry(id).or_insert(0) += 1;
+            }
+            let max_freq = freqs.values().copied().max().unwrap_or(1).max(1);
+            for (wid, freq) in freqs {
+                if wid.index() >= raw.len() {
+                    raw.resize_with(wid.index() + 1, Vec::new);
+                }
+                // Store the Eq. 2 tf scaled into the u32 via f32 later; keep
+                // raw freq and per-doc max for now.
+                raw[wid.index()].push((doc.id(), pack(freq, max_freq)));
+            }
+        }
+
+        let num_docs = corpus.len();
+        let mut postings = Vec::with_capacity(raw.len());
+        for entries in raw.iter_mut() {
+            entries.sort_by_key(|(d, _)| *d);
+            let df = entries.len();
+            let idf = idf(num_docs, df);
+            let list: Vec<Posting> = entries
+                .iter()
+                .map(|(doc, packed)| {
+                    let tf = unpack(*packed);
+                    Posting {
+                        doc: *doc,
+                        tf,
+                        weight: tf * idf as f32,
+                    }
+                })
+                .collect();
+            postings.push(PostingList::from_sorted(list));
+        }
+
+        InvertedIndex {
+            vocab,
+            postings,
+            num_docs,
+        }
+    }
+
+    /// Number of indexed documents (`|D|`, the dimensionality of the full
+    /// space).
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Number of distinct indexed words.
+    pub fn vocabulary_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The id of `word`, if it occurs in the corpus.
+    pub fn word_id(&self, word: &str) -> Option<WordId> {
+        self.vocab.id(word)
+    }
+
+    /// The postings of `word_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_id` does not belong to this index.
+    pub fn postings(&self, word_id: WordId) -> &PostingList {
+        &self.postings[word_id.index()]
+    }
+
+    /// Document frequency of `word_id`.
+    pub fn document_frequency(&self, word_id: WordId) -> usize {
+        self.postings(word_id).len()
+    }
+
+    /// Inverse document frequency (Eq. 3) of `word_id` in the full space.
+    pub fn idf(&self, word_id: WordId) -> f64 {
+        idf(self.num_docs, self.document_frequency(word_id))
+    }
+}
+
+/// Eq. 3 with natural log; `df = 0` yields 0 by convention (unknown word).
+pub(crate) fn idf(num_docs: usize, df: usize) -> f64 {
+    if df == 0 || num_docs == 0 {
+        return 0.0;
+    }
+    (num_docs as f64 / df as f64).ln()
+}
+
+/// Packs Eq. 2's tf into a u32 to keep the accumulation vector compact.
+fn pack(freq: u32, max_freq: u32) -> u32 {
+    let tf = 0.5 + 0.5 * (freq as f32 / max_freq as f32);
+    (tf * 1_000_000.0) as u32
+}
+
+fn unpack(packed: u32) -> f32 {
+    packed as f32 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_corpus::CorpusConfig;
+
+    fn index() -> InvertedIndex {
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        InvertedIndex::build(&corpus)
+    }
+
+    #[test]
+    fn indexes_every_document() {
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        let idx = InvertedIndex::build(&corpus);
+        assert_eq!(idx.num_docs(), corpus.len());
+        assert!(idx.vocabulary_len() > 100);
+    }
+
+    #[test]
+    fn stop_words_are_not_indexed() {
+        let idx = index();
+        assert!(idx.word_id("the").is_none());
+        assert!(idx.word_id("and").is_none());
+    }
+
+    #[test]
+    fn tf_values_respect_eq2_bounds() {
+        let idx = index();
+        for wid in 0..idx.vocabulary_len() {
+            for p in idx.postings(WordId(wid as u32)).iter() {
+                assert!(p.tf > 0.5 - 1e-6 && p.tf <= 1.0 + 1e-6, "tf {} out of Eq.2 range", p.tf);
+            }
+        }
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let idx = index();
+        // The most widespread word must have a lower idf than the rarest.
+        let (mut common, mut rare) = (WordId(0), WordId(0));
+        for w in 0..idx.vocabulary_len() {
+            let wid = WordId(w as u32);
+            if idx.document_frequency(wid) > idx.document_frequency(common) {
+                common = wid;
+            }
+            if idx.document_frequency(wid) < idx.document_frequency(rare) {
+                rare = wid;
+            }
+        }
+        assert!(idx.document_frequency(common) > idx.document_frequency(rare));
+        assert!(idx.idf(common) < idx.idf(rare));
+    }
+
+    #[test]
+    fn weights_are_tf_times_idf() {
+        let idx = index();
+        let wid = idx.word_id("energy").unwrap();
+        let idf = idx.idf(wid) as f32;
+        for p in idx.postings(wid).iter() {
+            assert!((p.weight - p.tf * idf).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn idf_convention_for_zero_df() {
+        assert_eq!(idf(100, 0), 0.0);
+        assert_eq!(idf(0, 0), 0.0);
+        assert!(idf(100, 1) > idf(100, 50));
+    }
+
+    #[test]
+    fn postings_sorted_by_doc() {
+        let idx = index();
+        let wid = idx.word_id("energy").unwrap();
+        let docs: Vec<u32> = idx.postings(wid).iter().map(|p| p.doc.0).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        assert_eq!(docs, sorted);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        let a = InvertedIndex::build(&corpus);
+        let b = InvertedIndex::build(&corpus);
+        assert_eq!(a.vocabulary_len(), b.vocabulary_len());
+        let wid = a.word_id("energy").unwrap();
+        assert_eq!(a.postings(wid), b.postings(wid));
+    }
+}

@@ -1,0 +1,38 @@
+//! # tep-index
+//!
+//! The *build stage* of the paper's distributional model (Fig. 5, step 1):
+//! tokenization, stop-word removal, vocabulary interning and an inverted
+//! index with the exact TF/IDF weighting of Equations 2–4:
+//!
+//! ```text
+//! tf(t, d)    = 0.5 + 0.5 · freq(t, d) / max{freq(t', d) : t' ∈ d}     (Eq. 2)
+//! idf(t, D)   = log(|D| / |{d ∈ D : t ∈ d}|)                           (Eq. 3)
+//! tfidf(t, d) = tf(t, d) · idf(t, D)                                   (Eq. 4)
+//! ```
+//!
+//! The index keeps the **raw tf values** alongside the full-space weights
+//! because thematic projection (paper Algorithm 1) re-weights vectors with
+//! the *original tf* and an idf recomputed over the thematic sub-basis.
+//!
+//! ```
+//! use tep_corpus::{Corpus, CorpusConfig};
+//! use tep_index::InvertedIndex;
+//!
+//! let corpus = Corpus::generate(&CorpusConfig::small());
+//! let index = InvertedIndex::build(&corpus);
+//! assert_eq!(index.num_docs(), corpus.len());
+//! assert!(index.word_id("energy").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod inverted;
+mod postings;
+mod tokenizer;
+mod vocab;
+
+pub use inverted::InvertedIndex;
+pub use postings::{Posting, PostingList};
+pub use tokenizer::Tokenizer;
+pub use vocab::{Vocabulary, WordId};

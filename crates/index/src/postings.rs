@@ -1,0 +1,97 @@
+//! Posting lists: the rows of the inverted index.
+
+use serde::{Deserialize, Serialize};
+use tep_corpus::DocId;
+
+/// One `(word, document)` cell of the inverted index.
+///
+/// Keeps both the normalized term frequency (Eq. 2) and the full-space
+/// TF/IDF weight (Eq. 4). The raw `tf` is needed at thematic-projection
+/// time (Algorithm 1 line 8 reuses the original tf while recomputing idf
+/// over the thematic basis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The document the word occurs in.
+    pub doc: DocId,
+    /// Normalized term frequency `0.5 + 0.5·freq/maxfreq` (Eq. 2).
+    pub tf: f32,
+    /// Full-space weight `tf · idf(t, D)` (Eq. 4).
+    pub weight: f32,
+}
+
+/// The postings of one word, sorted by ascending document id.
+///
+/// Sorted order lets the vector-space layer compute distances and
+/// projections with linear merges instead of hash lookups.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PostingList {
+    entries: Vec<Posting>,
+}
+
+impl PostingList {
+    pub(crate) fn from_sorted(entries: Vec<Posting>) -> PostingList {
+        debug_assert!(entries.windows(2).all(|w| w[0].doc < w[1].doc));
+        PostingList { entries }
+    }
+
+    /// The postings, sorted by ascending document id.
+    pub fn entries(&self) -> &[Posting] {
+        &self.entries
+    }
+
+    /// Number of documents the word occurs in (its document frequency).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the word occurs in no document.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The posting for `doc`, if the word occurs in it.
+    pub fn get(&self, doc: DocId) -> Option<&Posting> {
+        self.entries
+            .binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Iterates over postings in document order.
+    pub fn iter(&self) -> impl Iterator<Item = &Posting> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> PostingList {
+        PostingList::from_sorted(vec![
+            Posting { doc: DocId(1), tf: 0.75, weight: 1.5 },
+            Posting { doc: DocId(4), tf: 1.0, weight: 2.0 },
+            Posting { doc: DocId(9), tf: 0.5, weight: 1.0 },
+        ])
+    }
+
+    #[test]
+    fn get_finds_by_binary_search() {
+        let l = list();
+        assert_eq!(l.get(DocId(4)).unwrap().tf, 1.0);
+        assert!(l.get(DocId(5)).is_none());
+    }
+
+    #[test]
+    fn len_is_document_frequency() {
+        assert_eq!(list().len(), 3);
+        assert!(!list().is_empty());
+        assert!(PostingList::default().is_empty());
+    }
+
+    #[test]
+    fn iter_in_doc_order() {
+        let docs: Vec<u32> = list().iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 4, 9]);
+    }
+}

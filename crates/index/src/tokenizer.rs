@@ -1,0 +1,143 @@
+//! Tokenization and stop-word filtering.
+
+use std::collections::HashSet;
+
+/// Splits text into normalized word tokens and removes stop words.
+///
+/// Normalization: ASCII-lowercase, alphanumeric runs only (punctuation
+/// splits tokens), single-character tokens dropped. The default stop-word
+/// list matches the generic function words the corpus generator emits, so
+/// they never contribute to similarity.
+///
+/// ```
+/// use tep_index::Tokenizer;
+///
+/// let t = Tokenizer::default();
+/// assert_eq!(
+///     t.tokenize("The energy-consumption of room 112!"),
+///     vec!["energy", "consumption", "room", "112"]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    stop_words: HashSet<String>,
+}
+
+/// Default English stop words (function words).
+const DEFAULT_STOP_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "is", "are",
+    "was", "were", "be", "been", "by", "with", "for", "from", "as", "that",
+    "this", "these", "those", "it", "its", "has", "have", "had", "not", "but",
+    "also", "can", "may", "will", "which", "their", "there", "than", "then",
+    "into", "over", "under", "between", "such", "per", "each", "other",
+];
+
+impl Tokenizer {
+    /// Creates a tokenizer with a caller-provided stop-word list.
+    pub fn with_stop_words<I, S>(stop_words: I) -> Tokenizer
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Tokenizer {
+            stop_words: stop_words.into_iter().map(|s| s.into().to_lowercase()).collect(),
+        }
+    }
+
+    /// Creates a tokenizer that keeps every token (no stop words).
+    pub fn keep_all() -> Tokenizer {
+        Tokenizer {
+            stop_words: HashSet::new(),
+        }
+    }
+
+    /// Whether `word` (already lowercase) is a stop word.
+    pub fn is_stop_word(&self, word: &str) -> bool {
+        self.stop_words.contains(word)
+    }
+
+    /// Tokenizes `text` into normalized, stop-word-free tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                current.extend(ch.to_lowercase());
+            } else if !current.is_empty() {
+                self.flush(&mut current, &mut out);
+            }
+        }
+        if !current.is_empty() {
+            self.flush(&mut current, &mut out);
+        }
+        out
+    }
+
+    fn flush(&self, current: &mut String, out: &mut Vec<String>) {
+        if current.chars().count() >= 2 && !self.is_stop_word(current) {
+            out.push(std::mem::take(current));
+        } else {
+            current.clear();
+        }
+    }
+}
+
+impl Default for Tokenizer {
+    fn default() -> Tokenizer {
+        Tokenizer::with_stop_words(DEFAULT_STOP_WORDS.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("wind-speed: 42 km/h"),
+            vec!["wind", "speed", "42", "km"]
+        );
+    }
+
+    #[test]
+    fn removes_stop_words_and_single_chars() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("the cat is on a mat"), vec!["cat", "mat"]);
+        assert_eq!(t.tokenize("x y z room"), vec!["room"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("Energy CONSUMPTION"), vec!["energy", "consumption"]);
+    }
+
+    #[test]
+    fn keep_all_keeps_stop_words() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(t.tokenize("the cat"), vec!["the", "cat"]);
+    }
+
+    #[test]
+    fn custom_stop_words() {
+        let t = Tokenizer::with_stop_words(["cat"]);
+        assert_eq!(t.tokenize("the cat sat"), vec!["the", "sat"]);
+        assert!(t.is_stop_word("cat"));
+    }
+
+    #[test]
+    fn keeps_short_numeric_codes() {
+        // "no2", "co" style capability names: 2 chars are kept.
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("co no2 o3"), vec!["co", "no2", "o3"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("  !! ").is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Word interning.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// The dense index of the word.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A bidirectional word ↔ [`WordId`] mapping.
+///
+/// Interning keeps the hot matching path free of string hashing: the
+/// vector-space layer operates on `WordId`s only.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    ids: HashMap<String, WordId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Interns `word`, returning its id (existing or fresh).
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(id) = self.ids.get(word) {
+            return *id;
+        }
+        let id = WordId(self.words.len() as u32);
+        self.words.push(word.to_string());
+        self.ids.insert(word.to_string(), id);
+        id
+    }
+
+    /// The id of `word`, if interned.
+    pub fn id(&self, word: &str) -> Option<WordId> {
+        self.ids.get(word).copied()
+    }
+
+    /// The word for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id.index()]
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WordId(i as u32), w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("energy");
+        let b = v.intern("energy");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), WordId(0));
+        assert_eq!(v.intern("b"), WordId(1));
+        assert_eq!(v.word(WordId(1)), "b");
+    }
+
+    #[test]
+    fn missing_word_is_none() {
+        let v = Vocabulary::new();
+        assert!(v.id("nothing").is_none());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let all: Vec<_> = v.iter().map(|(_, w)| w).collect();
+        assert_eq!(all, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Assignment machinery for top-1 and top-k mappings.
+//!
+//! The top-1 mapping `σ*` is a maximum-weight injective assignment of the
+//! `n` subscription predicates to the `m ≥ n` event tuples; we solve it as
+//! a minimum-cost assignment over `cost = -ln(similarity)` with the
+//! Hungarian (Kuhn–Munkres) algorithm in `O(n²·m)`. Top-k ranked mappings
+//! are enumerated with **Murty's algorithm**, which partitions the
+//! solution space around each best assignment.
+
+/// Cost value treated as "forbidden edge".
+const FORBIDDEN: f64 = 1.0e15;
+/// Any assignment whose cost reaches this is infeasible.
+const INFEASIBLE_THRESHOLD: f64 = FORBIDDEN / 2.0;
+
+/// A dense row-major cost matrix for assignment problems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> CostMatrix {
+        CostMatrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> CostMatrix {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        CostMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cost at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the cost at `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Marks `(row, col)` as forbidden.
+    pub fn forbid(&mut self, row: usize, col: usize) {
+        self.set(row, col, FORBIDDEN);
+    }
+
+    /// Forces `row` to be assigned `col` by forbidding every alternative
+    /// in that row and column.
+    pub fn force(&mut self, row: usize, col: usize) {
+        for j in 0..self.cols {
+            if j != col {
+                self.forbid(row, j);
+            }
+        }
+        for i in 0..self.rows {
+            if i != row {
+                self.forbid(i, col);
+            }
+        }
+    }
+}
+
+/// A solved assignment: `assignment[row] = col`, plus its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Column assigned to each row.
+    pub assignment: Vec<usize>,
+    /// Sum of the selected costs.
+    pub total_cost: f64,
+}
+
+/// Solves the minimum-cost assignment of every row to a distinct column.
+///
+/// Requires `rows ≤ cols`; returns `None` when the matrix is degenerate
+/// (zero rows/cols, more rows than columns) or when every complete
+/// assignment uses a forbidden edge.
+pub fn solve(cost: &CostMatrix) -> Option<Assignment> {
+    let n = cost.rows();
+    let m = cost.cols();
+    if n == 0 || m == 0 || n > m {
+        return None;
+    }
+    // Hungarian algorithm with potentials (1-indexed internals).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut total = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += cost.get(p[j] - 1, j - 1);
+        }
+    }
+    if assignment.iter().any(|&c| c == usize::MAX) || total >= INFEASIBLE_THRESHOLD {
+        return None;
+    }
+    Some(Assignment {
+        assignment,
+        total_cost: total,
+    })
+}
+
+/// Enumerates the `k` lowest-cost assignments in non-decreasing cost order
+/// using Murty's partitioning algorithm.
+///
+/// Returns fewer than `k` results when the solution space is smaller.
+pub fn solve_top_k(cost: &CostMatrix, k: usize) -> Vec<Assignment> {
+    let mut results: Vec<Assignment> = Vec::new();
+    if k == 0 {
+        return results;
+    }
+    let Some(best) = solve(cost) else {
+        return results;
+    };
+
+    // Each queue node is a subproblem: a constrained matrix and its
+    // optimal assignment.
+    struct Node {
+        matrix: CostMatrix,
+        solution: Assignment,
+    }
+    let mut queue: Vec<Node> = vec![Node {
+        matrix: cost.clone(),
+        solution: best,
+    }];
+
+    while results.len() < k {
+        // Pop the node with the cheapest solution.
+        let Some(best_idx) = queue
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.solution
+                    .total_cost
+                    .partial_cmp(&b.1.solution.total_cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let node = queue.swap_remove(best_idx);
+        // Skip duplicates (identical assignments can surface from sibling
+        // partitions when costs tie).
+        if !results
+            .iter()
+            .any(|r| r.assignment == node.solution.assignment)
+        {
+            results.push(node.solution.clone());
+        }
+
+        // Partition: for each edge (i, σ(i)) of the popped solution,
+        // create a subproblem that forbids it and forces all earlier
+        // edges.
+        let assignment = node.solution.assignment.clone();
+        for (i, &col) in assignment.iter().enumerate() {
+            let mut sub = node.matrix.clone();
+            sub.forbid(i, col);
+            for (h, &hcol) in assignment.iter().enumerate().take(i) {
+                sub.force(h, hcol);
+            }
+            if let Some(sol) = solve(&sub) {
+                queue.push(Node {
+                    matrix: sub,
+                    solution: sol,
+                });
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f64]) -> CostMatrix {
+        CostMatrix::from_rows(rows, cols, data.to_vec())
+    }
+
+    #[test]
+    fn square_identity_like() {
+        // Optimal picks the diagonal.
+        let c = m(3, 3, &[1.0, 9.0, 9.0, 9.0, 1.0, 9.0, 9.0, 9.0, 1.0]);
+        let sol = solve(&c).unwrap();
+        assert_eq!(sol.assignment, vec![0, 1, 2]);
+        assert_eq!(sol.total_cost, 3.0);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Known optimum 5: rows → cols (0→1, 1→0, 2→2) = 2+2... verify
+        // by brute force below instead of hand computation.
+        let c = m(3, 3, &[4.0, 2.0, 8.0, 4.0, 3.0, 7.0, 3.0, 1.0, 6.0]);
+        let sol = solve(&c).unwrap();
+        assert_eq!(sol.total_cost, brute_force_best(&c));
+    }
+
+    #[test]
+    fn rectangular_leaves_columns_unused() {
+        let c = m(2, 4, &[5.0, 1.0, 9.0, 9.0, 9.0, 9.0, 9.0, 2.0]);
+        let sol = solve(&c).unwrap();
+        assert_eq!(sol.assignment, vec![1, 3]);
+        assert_eq!(sol.total_cost, 3.0);
+    }
+
+    #[test]
+    fn more_rows_than_cols_is_none() {
+        let c = m(3, 2, &[1.0; 6]);
+        assert!(solve(&c).is_none());
+        assert!(solve(&CostMatrix::filled(0, 3, 0.0)).is_none());
+    }
+
+    #[test]
+    fn all_forbidden_is_infeasible() {
+        let mut c = CostMatrix::filled(2, 2, 1.0);
+        c.forbid(0, 0);
+        c.forbid(0, 1);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn forcing_an_edge_pins_it() {
+        let mut c = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        c.force(0, 1); // force the worse edge for row 0
+        let sol = solve(&c).unwrap();
+        assert_eq!(sol.assignment, vec![1, 0]);
+        assert_eq!(sol.total_cost, 5.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random matrices (LCG).
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..30 {
+            let n = 4;
+            let data: Vec<f64> = (0..n * n).map(|_| next() * 10.0).collect();
+            let c = m(n, n, &data);
+            let sol = solve(&c).unwrap();
+            let best = brute_force_best(&c);
+            assert!(
+                (sol.total_cost - best).abs() < 1e-9,
+                "hungarian {} != brute force {best}",
+                sol.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_distinct() {
+        let c = m(3, 3, &[4.0, 2.0, 8.0, 4.0, 3.0, 7.0, 3.0, 1.0, 6.0]);
+        let top = solve_top_k(&c, 4);
+        assert_eq!(top.len(), 4);
+        for w in top.windows(2) {
+            assert!(w[0].total_cost <= w[1].total_cost + 1e-9);
+        }
+        for i in 0..top.len() {
+            for j in i + 1..top.len() {
+                assert_ne!(top[i].assignment, top[j].assignment);
+            }
+        }
+        // The first must equal the top-1 solution.
+        assert_eq!(top[0], solve(&c).unwrap());
+    }
+
+    #[test]
+    fn top_k_enumerates_all_permutations_of_small_problem() {
+        let c = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let top = solve_top_k(&c, 10);
+        assert_eq!(top.len(), 2); // only 2 complete assignments exist
+        assert_eq!(top[0].total_cost, 5.0); // 1 + 4
+        assert_eq!(top[1].total_cost, 5.0); // 2 + 3
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let c = m(2, 2, &[1.0; 4]);
+        assert!(solve_top_k(&c, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_matches_brute_force_ranking() {
+        let c = m(3, 3, &[2.0, 7.0, 1.0, 9.0, 4.0, 6.0, 5.0, 8.0, 3.0]);
+        let top = solve_top_k(&c, 6);
+        let mut all = brute_force_all(&c);
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(top.len(), 6);
+        for (got, want) in top.iter().zip(all.iter()) {
+            assert!((got.total_cost - want).abs() < 1e-9);
+        }
+    }
+
+    /// Brute-force minimum over all complete assignments (n ≤ cols).
+    fn brute_force_best(c: &CostMatrix) -> f64 {
+        brute_force_all(c).into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    fn brute_force_all(c: &CostMatrix) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut cols: Vec<usize> = (0..c.cols()).collect();
+        permute(&mut cols, 0, c, &mut out);
+        out
+    }
+
+    fn permute(cols: &mut Vec<usize>, i: usize, c: &CostMatrix, out: &mut Vec<f64>) {
+        if i == c.rows() {
+            out.push((0..c.rows()).map(|r| c.get(r, cols[r])).sum());
+            return;
+        }
+        for j in i..cols.len() {
+            cols.swap(i, j);
+            permute(cols, i + 1, c, out);
+            cols.swap(i, j);
+        }
+    }
+}

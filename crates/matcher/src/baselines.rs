@@ -1,0 +1,318 @@
+//! Baseline matchers: content-based exact and concept-based rewriting.
+
+use crate::assignment::{self, CostMatrix};
+use crate::mapping::{Correspondence, Mapping, MatchResult};
+use crate::matcher::Matcher;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use tep_events::{Event, Subscription};
+use tep_thesaurus::Thesaurus;
+
+/// The **content-based** baseline (paper §1.2.1): SIENA-style exact string
+/// matching on attributes and values. The `~` operator is ignored — this
+/// matcher models a broker with no semantic support, which is why covering
+/// a heterogeneous event set requires tens of thousands of subscriptions
+/// (§5.2.3: 94 approximate subscriptions ≈ 48,000 exact ones).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactMatcher;
+
+impl ExactMatcher {
+    /// Creates the exact matcher.
+    pub fn new() -> ExactMatcher {
+        ExactMatcher
+    }
+}
+
+impl Matcher for ExactMatcher {
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+        let mut correspondences = Vec::with_capacity(subscription.predicates().len());
+        for (i, p) in subscription.predicates().iter().enumerate() {
+            let found = event
+                .tuples()
+                .iter()
+                .position(|t| t.attribute() == p.attribute() && t.value() == p.value());
+            match found {
+                Some(j) => correspondences.push(Correspondence {
+                    predicate: i,
+                    tuple: j,
+                    similarity: 1.0,
+                    probability: 1.0,
+                }),
+                None => return MatchResult::no_match(),
+            }
+        }
+        if correspondences.is_empty() {
+            return MatchResult::no_match();
+        }
+        MatchResult::from_mappings(vec![Mapping::new(correspondences)])
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// The **concept-based** baseline (paper §1.2.2, evaluated in §5.1 as
+/// "query rewriting using WordNet"): boolean semantic matching through an
+/// explicit knowledge base. A `~`-marked side accepts the original term or
+/// any term in its thesaurus expansion set (synonyms + one-hop related
+/// terms); unmarked sides require exact equality.
+///
+/// Expansion sets are memoized per term, mirroring how a rewriting engine
+/// would compile each subscription once.
+pub struct RewritingMatcher {
+    thesaurus: Arc<Thesaurus>,
+    expansions: RwLock<HashMap<String, Arc<HashSet<String>>>>,
+}
+
+impl RewritingMatcher {
+    /// Creates a rewriting matcher over a thesaurus.
+    pub fn new(thesaurus: Arc<Thesaurus>) -> RewritingMatcher {
+        RewritingMatcher {
+            thesaurus,
+            expansions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Longest thesaurus phrase considered when rewriting inside a term.
+    const MAX_PHRASE_WORDS: usize = 4;
+
+    /// The rewrite set of `term`, memoized: the term itself, its whole-term
+    /// expansions, and every **one-replacement phrase variant** — each
+    /// known thesaurus term occurring inside `term` replaced by one of its
+    /// expansions. This is how S-TOPSS-style engines rewrite a
+    /// subscription like `increased energy usage event~` into
+    /// `increased energy consumption event`, `increased electricity usage
+    /// event`, … before exact matching.
+    pub fn expansion_set(&self, term: &str) -> Arc<HashSet<String>> {
+        if let Some(set) = self.expansions.read().get(term) {
+            return Arc::clone(set);
+        }
+        let mut set: HashSet<String> = HashSet::new();
+        set.insert(term.to_string());
+        for t in self.thesaurus.expansions(term, None) {
+            set.insert(t.as_str().to_string());
+        }
+        // Phrase-level rewriting: replace each known sub-phrase once.
+        let words: Vec<&str> = term.split(' ').filter(|w| !w.is_empty()).collect();
+        for start in 0..words.len() {
+            let max_len = Self::MAX_PHRASE_WORDS.min(words.len() - start);
+            for len in (1..=max_len).rev() {
+                let phrase = words[start..start + len].join(" ");
+                // Skip the whole term (already handled above).
+                if len == words.len() {
+                    continue;
+                }
+                let options = self.thesaurus.expansions(&phrase, None);
+                if options.is_empty() {
+                    continue;
+                }
+                for replacement in options {
+                    let mut variant: Vec<&str> = Vec::with_capacity(words.len());
+                    variant.extend_from_slice(&words[..start]);
+                    variant.extend(replacement.words());
+                    variant.extend_from_slice(&words[start + len..]);
+                    set.insert(variant.join(" "));
+                }
+                break; // longest match at this position wins
+            }
+        }
+        let set = Arc::new(set);
+        let mut cache = self.expansions.write();
+        Arc::clone(cache.entry(term.to_string()).or_insert(set))
+    }
+
+    fn side_accepts(&self, approximate: bool, wanted: &str, actual: &str) -> bool {
+        if wanted == actual {
+            return true;
+        }
+        approximate && self.expansion_set(wanted).contains(actual)
+    }
+}
+
+impl fmt::Debug for RewritingMatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RewritingMatcher")
+            .field("cached_expansions", &self.expansions.read().len())
+            .finish()
+    }
+}
+
+impl Matcher for RewritingMatcher {
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+        let n = subscription.predicates().len();
+        let m = event.tuples().len();
+        if n == 0 || n > m {
+            return MatchResult::no_match();
+        }
+        // Boolean acceptability matrix → injective assignment (cost 0 for
+        // acceptable pairs, forbidden otherwise).
+        let mut cost = CostMatrix::filled(n, m, 0.0);
+        for (i, p) in subscription.predicates().iter().enumerate() {
+            let mut any = false;
+            for (j, t) in event.tuples().iter().enumerate() {
+                let ok = self.side_accepts(p.is_attribute_approx(), p.attribute(), t.attribute())
+                    && self.side_accepts(p.is_value_approx(), p.value(), t.value());
+                if ok {
+                    any = true;
+                } else {
+                    cost.forbid(i, j);
+                }
+            }
+            if !any {
+                return MatchResult::no_match();
+            }
+        }
+        match assignment::solve(&cost) {
+            None => MatchResult::no_match(),
+            Some(sol) => {
+                let correspondences = sol
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| Correspondence {
+                        predicate: i,
+                        tuple: j,
+                        similarity: 1.0,
+                        probability: 1.0,
+                    })
+                    .collect();
+                MatchResult::from_mappings(vec![Mapping::new(correspondences)])
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rewriting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> Event {
+        Event::builder()
+            .tuple("type", "increased energy consumption event")
+            .tuple("device", "computer")
+            .tuple("office", "room 112")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_matcher_requires_equality() {
+        let hit = Subscription::builder()
+            .predicate_exact("device", "computer")
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap();
+        let miss = Subscription::builder()
+            .predicate_exact("device", "laptop")
+            .build()
+            .unwrap();
+        let m = ExactMatcher::new();
+        assert_eq!(m.match_event(&hit, &event()).score(), 1.0);
+        assert!(m.match_event(&miss, &event()).is_empty());
+    }
+
+    #[test]
+    fn exact_matcher_ignores_tilde() {
+        let s = Subscription::builder()
+            .predicate_full_approx("device", "laptop")
+            .build()
+            .unwrap();
+        assert!(ExactMatcher::new().match_event(&s, &event()).is_empty());
+    }
+
+    #[test]
+    fn rewriting_expands_approximate_sides() {
+        let th = Arc::new(Thesaurus::eurovoc_like());
+        let m = RewritingMatcher::new(th);
+        // 'laptop' and 'computer' are related concepts in the thesaurus.
+        let s = Subscription::builder()
+            .predicate_approx_value("device", "laptop")
+            .build()
+            .unwrap();
+        let r = m.match_event(&s, &event());
+        assert_eq!(r.score(), 1.0);
+        assert_eq!(r.best().unwrap().tuple_of(0), Some(1));
+    }
+
+    #[test]
+    fn rewriting_without_tilde_is_exact() {
+        let th = Arc::new(Thesaurus::eurovoc_like());
+        let m = RewritingMatcher::new(th);
+        let s = Subscription::builder()
+            .predicate_exact("device", "laptop")
+            .build()
+            .unwrap();
+        assert!(m.match_event(&s, &event()).is_empty());
+    }
+
+    #[test]
+    fn rewriting_misses_terms_outside_the_knowledge_base() {
+        // The key weakness of the concept-based approach: anything not in
+        // the ontology cannot match.
+        let th = Arc::new(Thesaurus::eurovoc_like());
+        let m = RewritingMatcher::new(th);
+        let s = Subscription::builder()
+            .predicate_approx_value("device", "portable workstation thing")
+            .build()
+            .unwrap();
+        assert!(m.match_event(&s, &event()).is_empty());
+    }
+
+    #[test]
+    fn rewriting_mapping_is_injective() {
+        let th = Arc::new(Thesaurus::eurovoc_like());
+        let m = RewritingMatcher::new(th);
+        let e = Event::builder()
+            .tuple("device", "computer")
+            .tuple("machine", "laptop")
+            .build()
+            .unwrap();
+        let s = Subscription::builder()
+            .predicate_full_approx("device", "laptop")
+            .predicate_full_approx("machine", "computer")
+            .build()
+            .unwrap();
+        let r = m.match_event(&s, &e);
+        let best = r.best().unwrap();
+        assert_ne!(best.tuple_of(0), best.tuple_of(1));
+    }
+
+    #[test]
+    fn phrase_level_rewriting_covers_the_paper_example() {
+        let th = Arc::new(Thesaurus::eurovoc_like());
+        let m = RewritingMatcher::new(th);
+        let set = m.expansion_set("increased energy usage event");
+        assert!(
+            set.contains("increased energy consumption event"),
+            "phrase rewrite missing; set has {} entries",
+            set.len()
+        );
+        let e = Event::builder()
+            .tuple("type", "increased energy consumption event")
+            .build()
+            .unwrap();
+        let s = Subscription::builder()
+            .predicate_approx_value("type", "increased energy usage event")
+            .build()
+            .unwrap();
+        assert_eq!(m.match_event(&s, &e).score(), 1.0);
+    }
+
+    #[test]
+    fn expansion_sets_are_memoized() {
+        let th = Arc::new(Thesaurus::eurovoc_like());
+        let m = RewritingMatcher::new(th);
+        let a = m.expansion_set("laptop");
+        let b = m.expansion_set("laptop");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.contains("laptop"));
+        assert!(a.contains("notebook"));
+    }
+}

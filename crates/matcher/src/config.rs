@@ -1,0 +1,138 @@
+//! Matcher configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How many mappings the matcher produces (paper §3.5: "M works in two
+/// modes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchMode {
+    /// Decide only on the most probable mapping `σ*`.
+    Top1,
+    /// Produce the `k` most probable mappings, "to be used later for
+    /// complex event processing" — producing top-k increases the chance of
+    /// hitting the correct mapping \[13\].
+    TopK(usize),
+}
+
+impl MatchMode {
+    /// The number of mappings requested.
+    pub fn k(self) -> usize {
+        match self {
+            MatchMode::Top1 => 1,
+            MatchMode::TopK(k) => k,
+        }
+    }
+}
+
+/// How a predicate–tuple pair's attribute similarity and value similarity
+/// combine into one cell of the similarity matrix.
+///
+/// The paper combines attribute and value relatedness into a "combined
+/// attributes-values similarity matrix" (Fig. 4) without fixing the
+/// combinator; `Product` (both facets must agree) is the default, and the
+/// `ablation` bench compares the alternatives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Combiner {
+    /// `attr · value` — a weak facet vetoes the pair.
+    #[default]
+    Product,
+    /// `(attr + value) / 2`.
+    ArithmeticMean,
+    /// `sqrt(attr · value)`.
+    GeometricMean,
+    /// `min(attr, value)` — the most conservative.
+    Min,
+}
+
+impl Combiner {
+    /// Combines the two facet similarities into one score in `[0, 1]`.
+    pub fn combine(self, attribute: f64, value: f64) -> f64 {
+        match self {
+            Combiner::Product => attribute * value,
+            Combiner::ArithmeticMean => 0.5 * (attribute + value),
+            Combiner::GeometricMean => (attribute * value).sqrt(),
+            Combiner::Min => attribute.min(value),
+        }
+    }
+}
+
+/// Configuration of the [`crate::ProbabilisticMatcher`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Top-1 or top-k mode.
+    pub mode: MatchMode,
+    /// Attribute/value combiner.
+    pub combiner: Combiner,
+    /// Scores below this floor are treated as impossible correspondences
+    /// (forbidden assignment edges). Keeps `-ln(score)` bounded.
+    pub score_floor: f64,
+}
+
+impl MatcherConfig {
+    /// Top-1 mode with the default combiner.
+    pub fn top1() -> MatcherConfig {
+        MatcherConfig {
+            mode: MatchMode::Top1,
+            combiner: Combiner::default(),
+            score_floor: 1.0e-9,
+        }
+    }
+
+    /// Top-k mode with the default combiner.
+    pub fn top_k(k: usize) -> MatcherConfig {
+        MatcherConfig {
+            mode: MatchMode::TopK(k),
+            ..MatcherConfig::top1()
+        }
+    }
+
+    /// Replaces the combiner.
+    pub fn with_combiner(mut self, combiner: Combiner) -> MatcherConfig {
+        self.combiner = combiner;
+        self
+    }
+}
+
+impl Default for MatcherConfig {
+    fn default() -> MatcherConfig {
+        MatcherConfig::top1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_k() {
+        assert_eq!(MatchMode::Top1.k(), 1);
+        assert_eq!(MatchMode::TopK(5).k(), 5);
+    }
+
+    #[test]
+    fn combiners_bounds_and_identities() {
+        for c in [
+            Combiner::Product,
+            Combiner::ArithmeticMean,
+            Combiner::GeometricMean,
+            Combiner::Min,
+        ] {
+            assert_eq!(c.combine(1.0, 1.0), 1.0);
+            assert_eq!(c.combine(0.0, 0.0), 0.0);
+            let v = c.combine(0.3, 0.8);
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(Combiner::Product.combine(0.5, 0.5), 0.25);
+        assert_eq!(Combiner::ArithmeticMean.combine(0.5, 1.0), 0.75);
+        assert_eq!(Combiner::Min.combine(0.2, 0.9), 0.2);
+        assert!((Combiner::GeometricMean.combine(0.25, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_builders() {
+        assert_eq!(MatcherConfig::default(), MatcherConfig::top1());
+        let c = MatcherConfig::top_k(3).with_combiner(Combiner::Min);
+        assert_eq!(c.mode, MatchMode::TopK(3));
+        assert_eq!(c.combiner, Combiner::Min);
+    }
+}

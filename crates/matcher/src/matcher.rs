@@ -1,0 +1,322 @@
+//! The matcher trait and the approximate probabilistic matcher.
+
+use crate::assignment::{self, CostMatrix};
+use crate::config::{MatchMode, MatcherConfig};
+use crate::mapping::{Correspondence, Mapping, MatchResult};
+use crate::similarity::SimilarityMatrix;
+use std::fmt;
+use tep_events::{Event, Subscription};
+use tep_semantics::SemanticMeasure;
+
+/// A single-event matcher `M` deciding the semantic relevance between a
+/// subscription and an event (paper §3.5).
+pub trait Matcher: Send + Sync {
+    /// Matches one event against one subscription.
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult;
+
+    /// A short name for reports ("thematic", "non-thematic", "exact", …).
+    fn name(&self) -> &'static str {
+        "matcher"
+    }
+}
+
+impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+        (**self).match_event(subscription, event)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The paper's approximate probabilistic semantic matcher.
+///
+/// Pipeline (Fig. 4): build the combined attributes–values
+/// [`SimilarityMatrix`] under the configured [`SemanticMeasure`], then
+/// find the top-1 (Hungarian) or top-k (Murty) maximum-product mappings of
+/// predicates to tuples, exposing both probability spaces (`Pσ` per
+/// correspondence, `P` over mappings).
+///
+/// * with a [`tep_semantics::ThematicEsaMeasure`] this is the **thematic
+///   matcher** of the paper;
+/// * with a [`tep_semantics::EsaMeasure`] it is the **non-thematic
+///   approximate** baseline \[16\];
+/// * with a [`tep_semantics::PrecomputedMeasure`] it is the §5.1
+///   precomputed-scores configuration.
+pub struct ProbabilisticMatcher<M> {
+    measure: M,
+    config: MatcherConfig,
+    display_name: &'static str,
+}
+
+impl<M: SemanticMeasure> ProbabilisticMatcher<M> {
+    /// Creates a matcher over `measure`.
+    pub fn new(measure: M, config: MatcherConfig) -> ProbabilisticMatcher<M> {
+        ProbabilisticMatcher {
+            display_name: measure_display_name(measure.name()),
+            measure,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// The underlying measure.
+    pub fn measure(&self) -> &M {
+        &self.measure
+    }
+
+    /// Builds the similarity matrix for a pair (exposed for diagnostics
+    /// and the benchmark harness).
+    pub fn similarity_matrix(&self, subscription: &Subscription, event: &Event) -> SimilarityMatrix {
+        SimilarityMatrix::build(subscription, event, &self.measure, self.config.combiner)
+    }
+}
+
+impl<M: SemanticMeasure> fmt::Debug for ProbabilisticMatcher<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbabilisticMatcher")
+            .field("measure", &self.measure)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+        let n = subscription.predicates().len();
+        let m = event.tuples().len();
+        if n == 0 || n > m {
+            // A valid mapping needs one distinct tuple per predicate.
+            return MatchResult::no_match();
+        }
+        // Row-wise construction bails out on the first predicate with no
+        // feasible tuple — the common case on heterogeneous workloads.
+        let Some(matrix) = SimilarityMatrix::build_pruned(
+            subscription,
+            event,
+            &self.measure,
+            self.config.combiner,
+            self.config.score_floor,
+        ) else {
+            return MatchResult::no_match();
+        };
+
+        // Cost = -ln(similarity); cells under the floor become forbidden
+        // edges so a zero-similarity correspondence can never appear in a
+        // reported mapping.
+        let mut cost = CostMatrix::filled(n, m, 0.0);
+        for i in 0..n {
+            for j in 0..m {
+                let s = matrix.get(i, j);
+                if s < self.config.score_floor {
+                    cost.forbid(i, j);
+                } else {
+                    cost.set(i, j, -s.ln());
+                }
+            }
+        }
+
+        let solutions = match self.config.mode {
+            MatchMode::Top1 => assignment::solve(&cost).into_iter().collect::<Vec<_>>(),
+            MatchMode::TopK(k) => assignment::solve_top_k(&cost, k),
+        };
+        if solutions.is_empty() {
+            return MatchResult::no_match();
+        }
+
+        let mappings: Vec<Mapping> = solutions
+            .into_iter()
+            .map(|sol| {
+                let correspondences = sol
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| Correspondence {
+                        predicate: i,
+                        tuple: j,
+                        similarity: matrix.get(i, j),
+                        probability: matrix.correspondence_probability(i, j),
+                    })
+                    .collect();
+                Mapping::new(correspondences)
+            })
+            .collect();
+        MatchResult::from_mappings(mappings)
+    }
+
+    fn name(&self) -> &'static str {
+        self.display_name
+    }
+}
+
+fn measure_display_name(measure_name: &str) -> &'static str {
+    match measure_name {
+        "thematic-esa" => "thematic",
+        "esa" => "non-thematic",
+        "precomputed-esa" => "precomputed",
+        _ => "probabilistic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Combiner;
+    use std::collections::HashMap;
+    use tep_semantics::Theme;
+
+    #[derive(Debug, Default)]
+    struct StubMeasure {
+        scores: HashMap<(String, String), f64>,
+    }
+
+    impl StubMeasure {
+        fn with(mut self, a: &str, b: &str, s: f64) -> StubMeasure {
+            self.scores.insert((a.into(), b.into()), s);
+            self.scores.insert((b.into(), a.into()), s);
+            self
+        }
+    }
+
+    impl SemanticMeasure for StubMeasure {
+        fn relatedness(&self, a: &str, _: &Theme, b: &str, _: &Theme) -> f64 {
+            if a == b {
+                1.0
+            } else {
+                self.scores.get(&(a.to_string(), b.to_string())).copied().unwrap_or(0.0)
+            }
+        }
+    }
+
+    fn paper_event() -> Event {
+        Event::builder()
+            .tuple("type", "increased energy consumption event")
+            .tuple("measurement unit", "kilowatt hour")
+            .tuple("device", "computer")
+            .tuple("office", "room 112")
+            .build()
+            .unwrap()
+    }
+
+    fn paper_subscription() -> Subscription {
+        Subscription::builder()
+            .predicate_approx_value("type", "increased energy usage event")
+            .predicate_full_approx("device", "laptop")
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap()
+    }
+
+    fn stub() -> StubMeasure {
+        StubMeasure::default()
+            .with(
+                "increased energy usage event",
+                "increased energy consumption event",
+                0.9,
+            )
+            .with("laptop", "computer", 0.8)
+    }
+
+    #[test]
+    fn recovers_the_paper_top1_mapping() {
+        // §3: σ* maps type↔type, device~↔device, office↔office.
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        let r = m.match_event(&paper_subscription(), &paper_event());
+        let best = r.best().expect("must match");
+        assert_eq!(best.tuple_of(0), Some(0)); // type ↔ type
+        assert_eq!(best.tuple_of(1), Some(2)); // device ↔ device
+        assert_eq!(best.tuple_of(2), Some(3)); // office ↔ office
+        assert!((best.score() - 0.9 * 0.8 * 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_match_when_fewer_tuples_than_predicates() {
+        let e = Event::builder().tuple("type", "x").build().unwrap();
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        assert!(m.match_event(&paper_subscription(), &e).is_empty());
+    }
+
+    #[test]
+    fn no_match_when_exact_predicate_fails() {
+        let s = Subscription::builder()
+            .predicate_exact("office", "room 999")
+            .build()
+            .unwrap();
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        assert!(m.match_event(&s, &paper_event()).is_empty());
+    }
+
+    #[test]
+    fn top_k_yields_ranked_alternatives() {
+        // Two plausible targets for one predicate.
+        let stub = StubMeasure::default()
+            .with("laptop", "computer", 0.8)
+            .with("device", "measurement unit", 0.5)
+            .with("laptop", "kilowatt hour", 0.3);
+        let s = Subscription::builder()
+            .predicate_full_approx("device", "laptop")
+            .build()
+            .unwrap();
+        let m = ProbabilisticMatcher::new(stub, MatcherConfig::top_k(3));
+        let r = m.match_event(&s, &paper_event());
+        assert!(r.mappings().len() >= 2);
+        assert!(r.mappings()[0].score() >= r.mappings()[1].score());
+        // Probabilities over the enumerated mappings sum to 1.
+        let total: f64 = r.mappings().iter().map(Mapping::probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_subscription_on_exact_event_scores_one() {
+        let s = Subscription::builder()
+            .predicate_exact("device", "computer")
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap();
+        let m = ProbabilisticMatcher::new(StubMeasure::default(), MatcherConfig::top1());
+        let r = m.match_event(&s, &paper_event());
+        assert_eq!(r.score(), 1.0);
+        assert!(r.is_match(1.0));
+    }
+
+    #[test]
+    fn injective_mapping_no_tuple_reused() {
+        // Both predicates are drawn to the same tuple; the mapping must
+        // still be injective.
+        let stub = StubMeasure::default()
+            .with("a1", "x", 0.9)
+            .with("a2", "x", 0.8)
+            .with("v1", "1", 0.9)
+            .with("v2", "1", 0.8)
+            .with("a1", "y", 0.2)
+            .with("a2", "y", 0.2)
+            .with("v1", "2", 0.2)
+            .with("v2", "2", 0.2);
+        let s = Subscription::builder()
+            .predicate_full_approx("a1", "v1")
+            .predicate_full_approx("a2", "v2")
+            .build()
+            .unwrap();
+        let e = Event::builder().tuple("x", "1").tuple("y", "2").build().unwrap();
+        let m = ProbabilisticMatcher::new(stub, MatcherConfig::top1());
+        let best = m.match_event(&s, &e);
+        let best = best.best().unwrap();
+        let t0 = best.tuple_of(0).unwrap();
+        let t1 = best.tuple_of(1).unwrap();
+        assert_ne!(t0, t1);
+        // Optimal: p0↔x (0.81), p1↔y (0.04) beats p0↔y (0.04), p1↔x (0.64).
+        assert_eq!(t0, 0);
+        assert_eq!(t1, 1);
+    }
+
+    #[test]
+    fn names_follow_measure() {
+        let m = ProbabilisticMatcher::new(StubMeasure::default(), MatcherConfig::top1());
+        assert_eq!(m.name(), "probabilistic");
+        assert_eq!(m.config().combiner, Combiner::Product);
+    }
+}

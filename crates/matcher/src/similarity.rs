@@ -1,0 +1,301 @@
+//! The combined attributes–values similarity matrix (paper Fig. 4).
+
+use crate::config::Combiner;
+use tep_events::{ComparisonOp, Event, Subscription};
+use tep_semantics::{SemanticMeasure, Theme};
+
+/// The `n × m` matrix of combined similarities between the `n` predicates
+/// of a subscription and the `m` tuples of an event.
+///
+/// Cell `(i, j)` combines:
+///
+/// * **attribute similarity** — `sm(ths, aᵢ, the, aⱼ)` when predicate `i`
+///   carries the attribute `~`, else exact equality in `{0, 1}`;
+/// * **value similarity** — likewise for the value side;
+///
+/// via the configured [`Combiner`]. Themes are passed through to the
+/// measure exactly as in Fig. 4 (`sm(ths, aᵢ, the, aⱼ)`), which is where
+/// the thematic and non-thematic instantiations differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Builds the matrix for `subscription` × `event` under `measure`.
+    pub fn build<M: SemanticMeasure + ?Sized>(
+        subscription: &Subscription,
+        event: &Event,
+        measure: &M,
+        combiner: Combiner,
+    ) -> SimilarityMatrix {
+        SimilarityMatrix::build_pruned(subscription, event, measure, combiner, f64::NEG_INFINITY)
+            .expect("an infinitely low floor never prunes")
+    }
+
+    /// Builds the matrix row by row, bailing out with `None` as soon as a
+    /// predicate's entire row falls below `floor` — no complete mapping
+    /// can exist then, so the remaining rows would be wasted work. This
+    /// is the matcher's hot path: on heterogeneous workloads most events
+    /// fail on their first exact predicate.
+    pub fn build_pruned<M: SemanticMeasure + ?Sized>(
+        subscription: &Subscription,
+        event: &Event,
+        measure: &M,
+        combiner: Combiner,
+        floor: f64,
+    ) -> Option<SimilarityMatrix> {
+        let ths = Theme::new(subscription.theme_tags());
+        let the = Theme::new(event.theme_tags());
+        let rows = subscription.predicates().len();
+        let cols = event.tuples().len();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in subscription.predicates() {
+            let mut feasible = false;
+            for t in event.tuples() {
+                let attr_sim = if p.is_attribute_approx() {
+                    measure.relatedness(p.attribute(), &ths, t.attribute(), &the)
+                } else {
+                    exact(p.attribute(), t.attribute())
+                };
+                // A vetoed attribute makes the pair impossible under
+                // Product/GeometricMean/Min; skip the value-side measure
+                // call in that common case.
+                let cell = if attr_sim == 0.0 && combiner != Combiner::ArithmeticMean {
+                    0.0
+                } else {
+                    let value_sim = match p.op() {
+                        ComparisonOp::Eq => {
+                            if p.is_value_approx() {
+                                measure.relatedness(p.value(), &ths, t.value(), &the)
+                            } else {
+                                exact(p.value(), t.value())
+                            }
+                        }
+                        // Relational operators are boolean by definition.
+                        op => {
+                            if op.evaluate(t.value(), p.value()) {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                    combiner.combine(attr_sim, value_sim).clamp(0.0, 1.0)
+                };
+                feasible |= cell >= floor;
+                data.push(cell);
+            }
+            if !feasible {
+                return None;
+            }
+        }
+        Some(SimilarityMatrix { rows, cols, data })
+    }
+
+    /// Number of predicates (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of tuples (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The combined similarity of predicate `i` and tuple `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sum of row `i` (the normalizer of the correspondence probability
+    /// space `Pσ` for predicate `i`).
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.data[i * self.cols..(i + 1) * self.cols].iter().sum()
+    }
+
+    /// The correspondence probability `P((pᵢ ↔ tⱼ))`: the row-normalized
+    /// similarity (0 when the whole row is 0).
+    pub fn correspondence_probability(&self, i: usize, j: usize) -> f64 {
+        let sum = self.row_sum(i);
+        if sum == 0.0 {
+            0.0
+        } else {
+            self.get(i, j) / sum
+        }
+    }
+}
+
+fn exact(a: &str, b: &str) -> f64 {
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tep_events::{Event, Subscription};
+
+    /// A deterministic stub measure for unit tests.
+    #[derive(Debug, Default)]
+    struct StubMeasure {
+        scores: HashMap<(String, String), f64>,
+    }
+
+    impl StubMeasure {
+        fn with(mut self, a: &str, b: &str, s: f64) -> StubMeasure {
+            self.scores.insert((a.into(), b.into()), s);
+            self.scores.insert((b.into(), a.into()), s);
+            self
+        }
+    }
+
+    impl SemanticMeasure for StubMeasure {
+        fn relatedness(&self, a: &str, _: &Theme, b: &str, _: &Theme) -> f64 {
+            if a == b {
+                1.0
+            } else {
+                self.scores.get(&(a.to_string(), b.to_string())).copied().unwrap_or(0.0)
+            }
+        }
+    }
+
+    fn event() -> Event {
+        Event::builder()
+            .tuple("type", "increased energy consumption event")
+            .tuple("device", "computer")
+            .tuple("office", "room 112")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_predicates_use_string_equality() {
+        let s = Subscription::builder()
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&s, &event(), &StubMeasure::default(), Combiner::Product);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn approx_value_consults_the_measure() {
+        let stub = StubMeasure::default().with("laptop", "computer", 0.8);
+        let s = Subscription::builder()
+            .predicate_approx_value("device", "laptop")
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&s, &event(), &stub, Combiner::Product);
+        // attribute exact-matches 'device' (1.0), value 0.8 → 0.8.
+        assert!((m.get(0, 1) - 0.8).abs() < 1e-12);
+        // attribute mismatch on other tuples → 0.
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn approx_attribute_consults_the_measure() {
+        let stub = StubMeasure::default().with("device", "office", 0.5);
+        let s = Subscription::builder()
+            .predicate(tep_events::Predicate::new("device", "room 112").approx_attribute())
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&s, &event(), &stub, Combiner::Product);
+        // col 2: attr sim 0.5 (device~office), value exact 1.0 → 0.5.
+        assert!((m.get(0, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_row_normalize() {
+        let stub = StubMeasure::default()
+            .with("laptop", "computer", 0.6)
+            .with("laptop", "room 112", 0.2);
+        let s = Subscription::builder()
+            .predicate_full_approx("device", "laptop")
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&s, &event(), &stub, Combiner::Product);
+        let total: f64 = (0..3).map(|j| m.correspondence_probability(0, j)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_row_has_zero_probabilities() {
+        let s = Subscription::builder()
+            .predicate_exact("nothing", "matches")
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&s, &event(), &StubMeasure::default(), Combiner::Product);
+        assert_eq!(m.row_sum(0), 0.0);
+        assert_eq!(m.correspondence_probability(0, 0), 0.0);
+    }
+
+    #[test]
+    fn relational_predicates_compare_numerically() {
+        use tep_events::ComparisonOp;
+        let e = Event::builder()
+            .tuple("temperature", "32.5 degrees celsius")
+            .tuple("noise", "80")
+            .build()
+            .unwrap();
+        let hot = Subscription::builder()
+            .predicate_cmp("temperature", ComparisonOp::Gt, "30")
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&hot, &e, &StubMeasure::default(), Combiner::Product);
+        assert_eq!(m.get(0, 0), 1.0); // 32.5 > 30
+        assert_eq!(m.get(0, 1), 0.0); // attribute mismatch vetoes
+
+        let quiet = Subscription::builder()
+            .predicate_cmp("noise", ComparisonOp::Le, "75")
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&quiet, &e, &StubMeasure::default(), Combiner::Product);
+        assert_eq!(m.get(0, 1), 0.0); // 80 > 75
+    }
+
+    #[test]
+    fn relational_with_approximate_attribute() {
+        use tep_events::{ComparisonOp, Predicate};
+        // temperature~ > 30 matches a 'thermal reading' attribute through
+        // the measure while still requiring the numeric constraint.
+        let stub = StubMeasure::default().with("temperature", "thermal reading", 0.8);
+        let e = Event::builder().tuple("thermal reading", "35").build().unwrap();
+        let s = Subscription::builder()
+            .predicate(
+                Predicate::with_op("temperature", ComparisonOp::Gt, "30").approx_attribute(),
+            )
+            .build()
+            .unwrap();
+        let m = SimilarityMatrix::build(&s, &e, &stub, Combiner::Product);
+        assert!((m.get(0, 0) - 0.8).abs() < 1e-12);
+        // Below the bound: vetoed regardless of attribute similarity.
+        let cold = Event::builder().tuple("thermal reading", "20").build().unwrap();
+        let m = SimilarityMatrix::build(&s, &cold, &stub, Combiner::Product);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn combiner_changes_cells() {
+        let stub = StubMeasure::default().with("laptop", "computer", 0.5);
+        let s = Subscription::builder()
+            .predicate_full_approx("device", "laptop")
+            .build()
+            .unwrap();
+        let prod = SimilarityMatrix::build(&s, &event(), &stub, Combiner::Product);
+        let mean = SimilarityMatrix::build(&s, &event(), &stub, Combiner::ArithmeticMean);
+        // attr device~device = 1.0, value 0.5.
+        assert!((prod.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((mean.get(0, 1) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,349 @@
+//! The semantic-measure abstraction and its implementations.
+
+use crate::pvsm::ParametricVectorSpace;
+use crate::space::DistributionalSpace;
+use crate::theme::Theme;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The paper's semantic measure
+/// `sm : T × 2^TH × T × 2^TH → [0, 1]` (§4.3): relatedness between a
+/// subscription-side term and an event-side term, each contextualized by
+/// its theme.
+///
+/// Implementations must be symmetric
+/// (`sm(a, tha, b, thb) == sm(b, thb, a, tha)`) and return `1.0` for equal
+/// term/theme pairs.
+pub trait SemanticMeasure: Send + Sync + fmt::Debug {
+    /// Semantic relatedness in `[0, 1]`.
+    fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "measure"
+    }
+}
+
+impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
+    fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
+        (**self).relatedness(term_s, theme_s, term_e, theme_e)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The **non-thematic** ESA measure (paper's prior work \[16\], the §5.2.5
+/// baseline): full-space distributional relatedness; themes are ignored.
+#[derive(Debug, Clone)]
+pub struct EsaMeasure {
+    space: Arc<DistributionalSpace>,
+}
+
+impl EsaMeasure {
+    /// Wraps a distributional space.
+    pub fn new(space: Arc<DistributionalSpace>) -> EsaMeasure {
+        EsaMeasure { space }
+    }
+
+    /// The wrapped space.
+    pub fn space(&self) -> &DistributionalSpace {
+        &self.space
+    }
+}
+
+impl SemanticMeasure for EsaMeasure {
+    fn relatedness(&self, term_s: &str, _ths: &Theme, term_e: &str, _the: &Theme) -> f64 {
+        if term_s == term_e {
+            return 1.0;
+        }
+        self.space.relatedness(term_s, term_e)
+    }
+
+    fn name(&self) -> &'static str {
+        "esa"
+    }
+}
+
+/// The **thematic** measure: ESA over the [`ParametricVectorSpace`] —
+/// vectors are projected by the respective themes before the distance is
+/// taken (§4.2–4.3).
+#[derive(Debug, Clone)]
+pub struct ThematicEsaMeasure {
+    pvsm: Arc<ParametricVectorSpace>,
+}
+
+impl ThematicEsaMeasure {
+    /// Wraps a parametric vector space.
+    pub fn new(pvsm: Arc<ParametricVectorSpace>) -> ThematicEsaMeasure {
+        ThematicEsaMeasure { pvsm }
+    }
+
+    /// The wrapped parametric space.
+    pub fn pvsm(&self) -> &ParametricVectorSpace {
+        &self.pvsm
+    }
+}
+
+impl SemanticMeasure for ThematicEsaMeasure {
+    fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
+        self.pvsm.relatedness(term_s, theme_s, term_e, theme_e)
+    }
+
+    fn name(&self) -> &'static str {
+        "thematic-esa"
+    }
+}
+
+/// Memoizes another measure per `(term, theme, term, theme)` tuple.
+///
+/// Heterogeneous event workloads repeat the same attribute/value terms
+/// across thousands of events, so the hit rate is high; this is the
+/// "caching" optimization the paper lists under future throughput work
+/// (§5.3.2).
+pub struct CachedMeasure<M> {
+    inner: M,
+    cache: RwLock<HashMap<(String, Theme, String, Theme), f64>>,
+}
+
+impl<M: SemanticMeasure> CachedMeasure<M> {
+    /// Wraps `inner` with an unbounded memo table.
+    pub fn new(inner: M) -> CachedMeasure<M> {
+        CachedMeasure {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Whether the memo table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.read().is_empty()
+    }
+
+    /// Drops all memoized scores.
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+
+    /// The wrapped measure.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: SemanticMeasure> fmt::Debug for CachedMeasure<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachedMeasure")
+            .field("inner", &self.inner)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
+    fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
+        // Canonicalize the symmetric pair to double the hit rate.
+        let (a, tha, b, thb) = if term_s <= term_e {
+            (term_s, theme_s, term_e, theme_e)
+        } else {
+            (term_e, theme_e, term_s, theme_s)
+        };
+        let key = (a.to_string(), tha.clone(), b.to_string(), thb.clone());
+        if let Some(v) = self.cache.read().get(&key) {
+            return *v;
+        }
+        let v = self.inner.relatedness(term_s, theme_s, term_e, theme_e);
+        self.cache.write().insert(key, v);
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// A fully precomputed, theme-insensitive score table.
+///
+/// Models the paper's "approximate model based on precomputed esa scores"
+/// configuration (§5.1), which reached ~91,000 events/sec: at matching
+/// time a lookup replaces all vector arithmetic. Unknown pairs fall back
+/// to `default_score`.
+#[derive(Debug, Clone, Default)]
+pub struct PrecomputedMeasure {
+    /// Two-level map (`a → b → score`, stored in both directions) so the
+    /// hot lookup path needs no key allocation.
+    table: HashMap<String, HashMap<String, f64>>,
+    default_score: f64,
+}
+
+impl PrecomputedMeasure {
+    /// Creates an empty table with a fallback score for unknown pairs.
+    pub fn new(default_score: f64) -> PrecomputedMeasure {
+        PrecomputedMeasure {
+            table: HashMap::new(),
+            default_score,
+        }
+    }
+
+    /// Inserts a score for an unordered term pair.
+    pub fn insert(&mut self, a: &str, b: &str, score: f64) {
+        let score = score.clamp(0.0, 1.0);
+        self.table
+            .entry(a.to_string())
+            .or_default()
+            .insert(b.to_string(), score);
+        self.table
+            .entry(b.to_string())
+            .or_default()
+            .insert(a.to_string(), score);
+    }
+
+    /// Precomputes scores for the cross product of `left × right` terms
+    /// using `inner` with fixed themes.
+    pub fn precompute<M: SemanticMeasure>(
+        inner: &M,
+        left: &[String],
+        right: &[String],
+        theme_s: &Theme,
+        theme_e: &Theme,
+        default_score: f64,
+    ) -> PrecomputedMeasure {
+        let mut out = PrecomputedMeasure::new(default_score);
+        for a in left {
+            for b in right {
+                let score = inner.relatedness(a, theme_s, b, theme_e);
+                out.insert(a, b, score);
+            }
+        }
+        out
+    }
+
+    /// Number of stored unordered pairs.
+    pub fn len(&self) -> usize {
+        let directed: usize = self.table.values().map(HashMap::len).sum();
+        // Each unordered pair is stored in both directions; self-pairs
+        // (inserted as a==b) count once.
+        let self_pairs = self
+            .table
+            .iter()
+            .filter(|(a, inner)| inner.contains_key(*a))
+            .count();
+        (directed + self_pairs) / 2
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl SemanticMeasure for PrecomputedMeasure {
+    fn relatedness(&self, term_s: &str, _ths: &Theme, term_e: &str, _the: &Theme) -> f64 {
+        if term_s == term_e {
+            return 1.0;
+        }
+        self.table
+            .get(term_s)
+            .and_then(|inner| inner.get(term_e))
+            .copied()
+            .unwrap_or(self.default_score)
+    }
+
+    fn name(&self) -> &'static str {
+        "precomputed-esa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_corpus::{Corpus, CorpusConfig};
+    use tep_index::InvertedIndex;
+
+    fn space() -> Arc<DistributionalSpace> {
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        Arc::new(DistributionalSpace::new(InvertedIndex::build(&corpus)))
+    }
+
+    #[test]
+    fn esa_measure_ignores_themes() {
+        let m = EsaMeasure::new(space());
+        let a = Theme::new(["energy policy"]);
+        let b = Theme::new(["land transport"]);
+        let with = m.relatedness("parking", &a, "garage", &b);
+        let without = m.relatedness("parking", &Theme::empty(), "garage", &Theme::empty());
+        assert_eq!(with, without);
+        assert_eq!(m.name(), "esa");
+    }
+
+    #[test]
+    fn equal_terms_score_one() {
+        let m = EsaMeasure::new(space());
+        assert_eq!(m.relatedness("x y z", &Theme::empty(), "x y z", &Theme::empty()), 1.0);
+    }
+
+    #[test]
+    fn cached_measure_memoizes_symmetrically() {
+        let m = CachedMeasure::new(EsaMeasure::new(space()));
+        let e = Theme::empty();
+        let ab = m.relatedness("parking", &e, "garage", &e);
+        assert_eq!(m.len(), 1);
+        let ba = m.relatedness("garage", &e, "parking", &e);
+        assert_eq!(m.len(), 1, "symmetric pair must hit the same entry");
+        assert_eq!(ab, ba);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn thematic_measure_uses_projection() {
+        let pvsm = Arc::new(ParametricVectorSpace::new(
+            DistributionalSpace::new(InvertedIndex::build(&Corpus::generate(&CorpusConfig::small()))),
+        ));
+        let m = ThematicEsaMeasure::new(pvsm);
+        let th = Theme::new(["energy policy", "energy metering"]);
+        let syn = m.relatedness("energy consumption", &th, "electricity usage", &th);
+        let far = m.relatedness("energy consumption", &th, "zebra crossing", &th);
+        assert!(syn > far);
+        assert_eq!(m.name(), "thematic-esa");
+    }
+
+    #[test]
+    fn precomputed_lookup_and_fallback() {
+        let mut m = PrecomputedMeasure::new(0.1);
+        m.insert("laptop", "computer", 0.9);
+        let e = Theme::empty();
+        assert_eq!(m.relatedness("computer", &e, "laptop", &e), 0.9);
+        assert_eq!(m.relatedness("laptop", &e, "laptop", &e), 1.0);
+        assert_eq!(m.relatedness("laptop", &e, "banana", &e), 0.1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn precompute_from_inner_measure() {
+        let inner = EsaMeasure::new(space());
+        let left = vec!["parking".to_string()];
+        let right = vec!["garage".to_string(), "ozone".to_string()];
+        let e = Theme::empty();
+        let pre = PrecomputedMeasure::precompute(&inner, &left, &right, &e, &e, 0.0);
+        assert_eq!(pre.len(), 2);
+        let from_table = pre.relatedness("parking", &e, "garage", &e);
+        let direct = inner.relatedness("parking", &e, "garage", &e);
+        assert!((from_table - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_clamped_to_unit_interval() {
+        let mut m = PrecomputedMeasure::new(0.0);
+        m.insert("a", "b", 1.5);
+        let e = Theme::empty();
+        assert_eq!(m.relatedness("a", &e, "b", &e), 1.0);
+    }
+}

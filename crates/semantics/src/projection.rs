@@ -1,0 +1,204 @@
+//! Thematic projection — the paper's Algorithm 1.
+
+use crate::space::DistributionalSpace;
+use crate::sparse::SparseVector;
+use crate::theme::Theme;
+use tep_corpus::DocId;
+use tep_index::WordId;
+
+/// The sub-basis of the vector space selected by a theme: the documents in
+/// which the theme's distributional vector is non-zero (Fig. 5, step 3).
+///
+/// Projection onto this basis (Algorithm 1) keeps a term vector's
+/// components only for basis documents and re-weights them with an idf
+/// computed *within* the basis:
+///
+/// ```text
+/// idf' = log( |{d ∈ D : th_d > 0}| / |{d ∈ D : th_d > 0 ∧ t_d > 0}| )
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThemeBasis {
+    docs: Vec<DocId>,
+}
+
+impl ThemeBasis {
+    /// Computes the basis of `theme` in `space`.
+    ///
+    /// The basis of the *empty* theme is defined as the full document set
+    /// (projection onto it is the identity); a non-empty theme whose tags
+    /// are all unknown to the corpus yields an **empty** basis, which
+    /// filters the space completely — the behaviour behind the throughput
+    /// outliers the paper reports in §5.3.2.
+    pub fn compute(space: &DistributionalSpace, theme: &Theme) -> ThemeBasis {
+        if theme.is_empty() {
+            return ThemeBasis {
+                docs: (0..space.index().num_docs() as u32).map(DocId).collect(),
+            };
+        }
+        let mut theme_vec = SparseVector::zero();
+        for tag in theme.tags() {
+            let tv = space.term_vector(tag);
+            if !tv.is_zero() {
+                theme_vec = theme_vec.add(&tv);
+            }
+        }
+        ThemeBasis {
+            docs: theme_vec.support().collect(),
+        }
+    }
+
+    /// The basis documents, in ascending id order.
+    pub fn docs(&self) -> &[DocId] {
+        &self.docs
+    }
+
+    /// Number of basis documents (`|B|`).
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the basis is empty (theme completely filtered the space).
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Whether `doc` is in the basis.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.docs.binary_search(&doc).is_ok()
+    }
+
+    /// Projects a term onto this basis (Algorithm 1).
+    ///
+    /// A multi-word term is projected word-by-word and summed, mirroring
+    /// how full-space term vectors are built. Words with no occurrence
+    /// inside the basis contribute nothing.
+    pub fn project_term(&self, space: &DistributionalSpace, term: &str) -> SparseVector {
+        let mut acc = SparseVector::zero();
+        for word in space.tokenizer().tokenize(term) {
+            if let Some(wid) = space.index().word_id(&word) {
+                let wv = self.project_word(space, wid);
+                if !wv.is_zero() {
+                    acc = acc.add(&wv);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Projects a single indexed word onto the basis.
+    pub fn project_word(&self, space: &DistributionalSpace, word: WordId) -> SparseVector {
+        let postings = space.index().postings(word);
+        // Single sorted merge: collect (doc, tf) hits inside the basis.
+        let mut hits: Vec<(DocId, f32)> = Vec::new();
+        let entries = postings.entries();
+        let (mut i, mut j) = (0, 0);
+        while i < entries.len() && j < self.docs.len() {
+            match entries[i].doc.cmp(&self.docs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    hits.push((entries[i].doc, entries[i].tf));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let df_b = hits.len();
+        if df_b == 0 {
+            return SparseVector::zero();
+        }
+        // Algorithm 1 line 9: recalculate idf over the thematic basis.
+        let idf = (self.len() as f64 / df_b as f64).ln() as f32;
+        if idf == 0.0 {
+            // Word occurs in every basis document: carries no information
+            // within the theme.
+            return SparseVector::zero();
+        }
+        SparseVector::from_sorted(hits.into_iter().map(|(d, tf)| (d, tf * idf)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_corpus::{Corpus, CorpusConfig};
+    use tep_index::InvertedIndex;
+
+    fn space() -> DistributionalSpace {
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        DistributionalSpace::new(InvertedIndex::build(&corpus))
+    }
+
+    #[test]
+    fn empty_theme_basis_is_full_space() {
+        let s = space();
+        let basis = ThemeBasis::compute(&s, &Theme::empty());
+        assert_eq!(basis.len(), s.index().num_docs());
+    }
+
+    #[test]
+    fn unknown_tags_filter_space_completely() {
+        let s = space();
+        let basis = ThemeBasis::compute(&s, &Theme::new(["zzzz qqqq"]));
+        assert!(basis.is_empty());
+        assert!(basis.project_term(&s, "energy").is_zero());
+    }
+
+    #[test]
+    fn thematic_basis_is_a_proper_subset() {
+        let s = space();
+        let basis = ThemeBasis::compute(&s, &Theme::new(["energy policy"]));
+        assert!(!basis.is_empty());
+        assert!(basis.len() < s.index().num_docs());
+    }
+
+    #[test]
+    fn projection_support_is_within_basis() {
+        let s = space();
+        let basis = ThemeBasis::compute(&s, &Theme::new(["energy policy", "power generation"]));
+        let v = basis.project_term(&s, "energy consumption");
+        assert!(!v.is_zero());
+        assert!(v.support().all(|d| basis.contains(d)));
+    }
+
+    #[test]
+    fn projection_shrinks_vectors() {
+        let s = space();
+        let basis = ThemeBasis::compute(&s, &Theme::new(["energy policy"]));
+        let full = s.term_vector("energy consumption");
+        let proj = basis.project_term(&s, "energy consumption");
+        assert!(proj.nnz() < full.nnz(), "{} !< {}", proj.nnz(), full.nnz());
+    }
+
+    #[test]
+    fn projection_onto_empty_theme_recovers_full_weights() {
+        let s = space();
+        let basis = ThemeBasis::compute(&s, &Theme::empty());
+        let full = s.term_vector("parking");
+        let proj = basis.project_term(&s, "parking");
+        // Same support; weights equal because |B| = |D| keeps idf intact.
+        assert_eq!(full.nnz(), proj.nnz());
+        for ((d1, w1), (d2, w2)) in full.entries().iter().zip(proj.entries()) {
+            assert_eq!(d1, d2);
+            assert!((w1 - w2).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn in_domain_theme_disambiguates() {
+        let s = space();
+        // 'current' is ambiguous (electric current / water current). Within
+        // an energy theme it should relate more to 'voltage' than to
+        // 'river'; the full space is more confused.
+        let energy = ThemeBasis::compute(&s, &Theme::new(["energy policy", "electrical industry"]));
+        let cur = energy.project_term(&s, "current").normalized();
+        let volt = energy.project_term(&s, "voltage").normalized();
+        let river = energy.project_term(&s, "river").normalized();
+        let d_volt = cur.euclidean_distance(&volt);
+        let d_river = cur.euclidean_distance(&river);
+        assert!(
+            d_volt < d_river,
+            "within energy theme, current–voltage ({d_volt}) should be closer than current–river ({d_river})"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! The Parametric Vector Space Model (paper §4) with memoization.
+
+use crate::projection::ThemeBasis;
+use crate::space::{relatedness_from_distance, DistributionalSpace};
+use crate::sparse::SparseVector;
+use crate::theme::Theme;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The paper's Parametric Vector Space Model: a distributional space whose
+/// vectors are *projected into thematic dimensions passed as parameters
+/// before being used* (§4).
+///
+/// Building the PVSM is identical to building the non-thematic space; the
+/// parametrization happens at use time. Because the same themes and terms
+/// recur across events, the PVSM memoizes:
+///
+/// * the **theme basis** per [`Theme`] (Fig. 5 step 3);
+/// * the **projected vector** per `(term, theme)` pair (step 4 input).
+///
+/// Both caches are concurrency-safe; a PVSM can be shared across broker
+/// worker threads.
+#[derive(Debug)]
+pub struct ParametricVectorSpace {
+    space: DistributionalSpace,
+    basis_cache: RwLock<HashMap<Theme, Arc<ThemeBasis>>>,
+    projection_cache: RwLock<HashMap<(Theme, String), Arc<SparseVector>>>,
+    /// Unit-norm copies of the projections, used by the relatedness path.
+    normalized_cache: RwLock<HashMap<(Theme, String), Arc<SparseVector>>>,
+}
+
+impl ParametricVectorSpace {
+    /// Wraps a distributional space.
+    pub fn new(space: DistributionalSpace) -> ParametricVectorSpace {
+        ParametricVectorSpace {
+            space,
+            basis_cache: RwLock::new(HashMap::new()),
+            projection_cache: RwLock::new(HashMap::new()),
+            normalized_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying (non-thematic) space.
+    pub fn space(&self) -> &DistributionalSpace {
+        &self.space
+    }
+
+    /// The (memoized) basis of `theme`.
+    pub fn basis(&self, theme: &Theme) -> Arc<ThemeBasis> {
+        if let Some(b) = self.basis_cache.read().get(theme) {
+            return Arc::clone(b);
+        }
+        let computed = Arc::new(ThemeBasis::compute(&self.space, theme));
+        let mut cache = self.basis_cache.write();
+        Arc::clone(cache.entry(theme.clone()).or_insert(computed))
+    }
+
+    /// The (memoized) thematic projection of `term` given `theme`
+    /// (Algorithm 1). The empty theme yields the full-space vector.
+    pub fn project(&self, term: &str, theme: &Theme) -> Arc<SparseVector> {
+        let key = (theme.clone(), term.to_string());
+        if let Some(v) = self.projection_cache.read().get(&key) {
+            return Arc::clone(v);
+        }
+        let vector = if theme.is_empty() {
+            Arc::new(self.space.term_vector(term))
+        } else {
+            Arc::new(self.basis(theme).project_term(&self.space, term))
+        };
+        let mut cache = self.projection_cache.write();
+        Arc::clone(cache.entry(key).or_insert(vector))
+    }
+
+    /// The (memoized) unit-norm thematic projection of `term` given
+    /// `theme`. The zero vector stays zero.
+    pub fn project_normalized(&self, term: &str, theme: &Theme) -> Arc<SparseVector> {
+        let key = (theme.clone(), term.to_string());
+        if let Some(v) = self.normalized_cache.read().get(&key) {
+            return Arc::clone(v);
+        }
+        let normalized = Arc::new(self.project(term, theme).normalized());
+        let mut cache = self.normalized_cache.write();
+        Arc::clone(cache.entry(key).or_insert(normalized))
+    }
+
+    /// Euclidean distance between the raw thematic projections of two
+    /// terms (Fig. 5 step 4; Eq. 5, verbatim).
+    pub fn distance(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
+        let vs = self.project(term_s, theme_s);
+        let ve = self.project(term_e, theme_e);
+        vs.euclidean_distance(&ve)
+    }
+
+    /// The thematic semantic measure
+    /// `sm : T × 2^TH × T × 2^TH → [0, 1]`: Eq. 6 over **unit-normalized**
+    /// projected vectors.
+    ///
+    /// Normalization makes the measure rank by vector *overlap* rather
+    /// than by vector magnitude — standard practice for ESA spaces (the
+    /// paper's §3.1 notes relatedness is "measured using cosine or
+    /// Euclidean distance"; on unit vectors the two orderings coincide).
+    ///
+    /// Two special cases sit above the geometry:
+    ///
+    /// * **equal terms always score 1.0**, whatever the themes — string
+    ///   identity is stronger evidence than any distributional estimate,
+    ///   and without this rule two disjoint themes would push the *same
+    ///   word* to the relatedness floor;
+    /// * a term whose projection is **zero** (unknown to the corpus, or
+    ///   filtered out entirely by its theme) carries no evidence and
+    ///   scores `0.0` against any distinct term.
+    pub fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
+        if term_s == term_e {
+            return 1.0;
+        }
+        let vs = self.project_normalized(term_s, theme_s);
+        let ve = self.project_normalized(term_e, theme_e);
+        if vs.is_zero() || ve.is_zero() {
+            return 0.0;
+        }
+        relatedness_from_distance(vs.euclidean_distance(&ve))
+    }
+
+    /// Number of cached theme bases and projected vectors.
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (
+            self.basis_cache.read().len(),
+            self.projection_cache.read().len(),
+        )
+    }
+
+    /// Drops all memoized bases and projections (used by the timing
+    /// harness to measure cold-start behaviour).
+    pub fn clear_caches(&self) {
+        self.basis_cache.write().clear();
+        self.projection_cache.write().clear();
+        self.normalized_cache.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_corpus::{Corpus, CorpusConfig};
+    use tep_index::InvertedIndex;
+
+    fn pvsm() -> ParametricVectorSpace {
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        ParametricVectorSpace::new(DistributionalSpace::new(InvertedIndex::build(&corpus)))
+    }
+
+    #[test]
+    fn caches_fill_and_clear() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let _ = p.relatedness("energy consumption", &th, "electricity usage", &th);
+        let (bases, projections) = p.cache_sizes();
+        assert_eq!(bases, 1);
+        assert_eq!(projections, 2);
+        p.clear_caches();
+        assert_eq!(p.cache_sizes(), (0, 0));
+    }
+
+    #[test]
+    fn cached_projection_is_stable() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let a = p.project("energy consumption", &th);
+        let b = p.project("energy consumption", &th);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn empty_theme_equals_full_space_relatedness() {
+        let p = pvsm();
+        let e = Theme::empty();
+        let thematic = p.relatedness("parking", &e, "garage", &e);
+        let plain = p.space().relatedness("parking", "garage");
+        assert!((thematic - plain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thematic_projection_improves_synonym_contrast() {
+        let p = pvsm();
+        let ths = Theme::new(["energy policy", "energy metering"]);
+        let the = Theme::new(["energy policy", "energy metering", "building energy"]);
+        let syn = p.relatedness("energy consumption", &ths, "electricity usage", &the);
+        let far = p.relatedness("energy consumption", &ths, "zebra crossing", &the);
+        assert!(syn > far, "synonyms {syn} should beat cross-domain {far}");
+    }
+
+    #[test]
+    fn identical_term_and_theme_is_perfectly_related() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        assert!((p.relatedness("energy meter", &th, "energy meter", &th) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_cache_is_coherent_after_clear() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let before = p.relatedness("energy consumption", &th, "electricity usage", &th);
+        p.clear_caches();
+        let after = p.relatedness("energy consumption", &th, "electricity usage", &th);
+        assert_eq!(before, after, "clearing caches must not change values");
+        let v = p.project_normalized("energy consumption", &th);
+        assert!((v.norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn equal_terms_score_one_under_any_theme_pair() {
+        let p = pvsm();
+        let a = Theme::new(["energy policy"]);
+        let b = Theme::new(["land transport"]);
+        assert_eq!(p.relatedness("device", &a, "device", &b), 1.0);
+        assert_eq!(p.relatedness("zzz unknown", &a, "zzz unknown", &b), 1.0);
+    }
+
+    #[test]
+    fn measure_is_within_unit_interval() {
+        let p = pvsm();
+        let a = Theme::new(["land transport"]);
+        let b = Theme::new(["air quality"]);
+        for (x, y) in [("parking", "ozone"), ("bus", "rainfall"), ("noise", "noise")] {
+            let r = p.relatedness(x, &a, y, &b);
+            assert!((0.0..=1.0).contains(&r), "relatedness {r} out of range");
+        }
+    }
+}

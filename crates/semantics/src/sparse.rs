@@ -1,0 +1,328 @@
+//! Sorted sparse vectors over the document basis.
+
+use serde::{Deserialize, Serialize};
+use tep_corpus::DocId;
+
+/// A sparse vector in the document space: `(DocId, weight)` pairs sorted by
+/// ascending document id, zero weights omitted.
+///
+/// All arithmetic is merge-based over the sorted entry lists, so costs are
+/// `O(nnz)` — the property that makes thematic projection *faster* than
+/// full-space matching (paper §5.3.2: "the more filtering ... the less time
+/// is required").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    entries: Vec<(DocId, f32)>,
+}
+
+impl SparseVector {
+    /// The zero vector.
+    pub fn zero() -> SparseVector {
+        SparseVector::default()
+    }
+
+    /// Builds a vector from entries that are already sorted by document id
+    /// with no duplicates; zero weights are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if entries are unsorted or contain duplicate ids.
+    pub fn from_sorted(entries: Vec<(DocId, f32)>) -> SparseVector {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted by doc id"
+        );
+        SparseVector {
+            entries: entries.into_iter().filter(|(_, w)| *w != 0.0).collect(),
+        }
+    }
+
+    /// Builds a vector from unsorted entries, summing duplicate ids.
+    pub fn from_unsorted(mut entries: Vec<(DocId, f32)>) -> SparseVector {
+        entries.sort_by_key(|(d, _)| *d);
+        let mut out: Vec<(DocId, f32)> = Vec::with_capacity(entries.len());
+        for (d, w) in entries {
+            match out.last_mut() {
+                Some((last, acc)) if *last == d => *acc += w,
+                _ => out.push((d, w)),
+            }
+        }
+        out.retain(|(_, w)| *w != 0.0);
+        SparseVector { entries: out }
+    }
+
+    /// The non-zero entries, sorted by document id.
+    pub fn entries(&self) -> &[(DocId, f32)] {
+        &self.entries
+    }
+
+    /// Number of non-zero components.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The weight at `doc` (0 if absent).
+    pub fn get(&self, doc: DocId) -> f32 {
+        self.entries
+            .binary_search_by_key(&doc, |(d, _)| *d)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &SparseVector) -> SparseVector {
+        let mut out = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (da, wa) = self.entries[i];
+            let (db, wb) = other.entries[j];
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => {
+                    out.push((da, wa));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((db, wb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let w = wa + wb;
+                    if w != 0.0 {
+                        out.push((da, w));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend_from_slice(&other.entries[j..]);
+        SparseVector { entries: out }
+    }
+
+    /// Scales every component by `factor`.
+    pub fn scale(&self, factor: f32) -> SparseVector {
+        if factor == 0.0 {
+            return SparseVector::zero();
+        }
+        SparseVector {
+            entries: self.entries.iter().map(|(d, w)| (*d, w * factor)).collect(),
+        }
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let mut acc = 0.0f64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (da, wa) = self.entries[i];
+            let (db, wb) = other.entries[j];
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += wa as f64 * wb as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_squared(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| (*w as f64) * (*w as f64)).sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Euclidean distance (Eq. 5), computed with a single sorted merge.
+    pub fn euclidean_distance(&self, other: &SparseVector) -> f64 {
+        let mut acc = 0.0f64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (da, wa) = self.entries[i];
+            let (db, wb) = other.entries[j];
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => {
+                    acc += (wa as f64).powi(2);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += (wb as f64).powi(2);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let d = wa as f64 - wb as f64;
+                    acc += d * d;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for (_, w) in &self.entries[i..] {
+            acc += (*w as f64).powi(2);
+        }
+        for (_, w) in &other.entries[j..] {
+            acc += (*w as f64).powi(2);
+        }
+        acc.sqrt()
+    }
+
+    /// Cosine similarity; 0 when either vector is zero.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Returns a unit-norm copy (zero stays zero).
+    pub fn normalized(&self) -> SparseVector {
+        let n = self.norm();
+        if n == 0.0 {
+            SparseVector::zero()
+        } else {
+            self.scale((1.0 / n) as f32)
+        }
+    }
+
+    /// Keeps only the components whose document id appears in `docs`
+    /// (sorted slice) — the support-filtering half of thematic projection.
+    pub fn restrict_to(&self, docs: &[DocId]) -> SparseVector {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < docs.len() {
+            let (d, w) = self.entries[i];
+            match d.cmp(&docs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push((d, w));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SparseVector { entries: out }
+    }
+
+    /// The documents of the vector's support, in ascending order.
+    pub fn support(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.entries.iter().map(|(d, _)| *d)
+    }
+}
+
+impl FromIterator<(DocId, f32)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (DocId, f32)>>(iter: T) -> SparseVector {
+        SparseVector::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(entries: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_unsorted(entries.iter().map(|(d, w)| (DocId(*d), *w)).collect())
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_merges() {
+        let x = v(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(x.entries(), &[(DocId(1), 2.0), (DocId(3), 1.5)]);
+    }
+
+    #[test]
+    fn zero_weights_dropped() {
+        let x = v(&[(1, 0.0), (2, 1.0)]);
+        assert_eq!(x.nnz(), 1);
+        assert!(!x.is_zero());
+        assert!(v(&[]).is_zero());
+    }
+
+    #[test]
+    fn get_returns_weight_or_zero() {
+        let x = v(&[(1, 2.0), (5, 3.0)]);
+        assert_eq!(x.get(DocId(5)), 3.0);
+        assert_eq!(x.get(DocId(2)), 0.0);
+    }
+
+    #[test]
+    fn add_merges_supports() {
+        let x = v(&[(1, 1.0), (3, 2.0)]);
+        let y = v(&[(2, 5.0), (3, -2.0)]);
+        let s = x.add(&y);
+        assert_eq!(s.entries(), &[(DocId(1), 1.0), (DocId(2), 5.0)]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let x = v(&[(1, 3.0), (2, 4.0)]);
+        assert_eq!(x.norm(), 5.0);
+        let y = v(&[(2, 2.0), (7, 10.0)]);
+        assert_eq!(x.dot(&y), 8.0);
+    }
+
+    #[test]
+    fn euclidean_distance_matches_dense_computation() {
+        let x = v(&[(1, 1.0), (2, 2.0)]);
+        let y = v(&[(2, 4.0), (3, 2.0)]);
+        // dense: (1-0)^2 + (2-4)^2 + (0-2)^2 = 1 + 4 + 4 = 9
+        assert!((x.euclidean_distance(&y) - 3.0).abs() < 1e-9);
+        assert_eq!(x.euclidean_distance(&x), 0.0);
+    }
+
+    #[test]
+    fn distance_to_zero_is_norm() {
+        let x = v(&[(1, 3.0), (2, 4.0)]);
+        assert!((x.euclidean_distance(&SparseVector::zero()) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_bounds_and_zero_behaviour() {
+        let x = v(&[(1, 1.0)]);
+        let y = v(&[(2, 1.0)]);
+        assert_eq!(x.cosine(&y), 0.0);
+        assert!((x.cosine(&x) - 1.0).abs() < 1e-9);
+        assert_eq!(SparseVector::zero().cosine(&x), 0.0);
+    }
+
+    #[test]
+    fn restrict_to_intersects_support() {
+        let x = v(&[(1, 1.0), (3, 2.0), (5, 3.0)]);
+        let r = x.restrict_to(&[DocId(3), DocId(4), DocId(5)]);
+        assert_eq!(r.entries(), &[(DocId(3), 2.0), (DocId(5), 3.0)]);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let x = v(&[(1, 3.0), (2, 4.0)]);
+        assert!((x.normalized().norm() - 1.0).abs() < 1e-6);
+        assert!(SparseVector::zero().normalized().is_zero());
+    }
+
+    #[test]
+    fn scale_by_zero_is_zero() {
+        let x = v(&[(1, 3.0)]);
+        assert!(x.scale(0.0).is_zero());
+        assert_eq!(x.scale(2.0).get(DocId(1)), 6.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let x: SparseVector = vec![(DocId(2), 1.0), (DocId(1), 1.0)].into_iter().collect();
+        assert_eq!(x.support().collect::<Vec<_>>(), vec![DocId(1), DocId(2)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Normalized theme-tag sets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A theme: a normalized, deduplicated, sorted set of tag terms.
+///
+/// "We define a theme as a set of terms that describe the content of an
+/// event or a subscription" (paper §3.2). Tags are normalized like
+/// vocabulary terms (lowercase, single spaces); the set is sorted so equal
+/// tag sets compare and hash equal regardless of declaration order, which
+/// makes [`Theme`] usable as a projection-cache key.
+///
+/// The empty theme is meaningful: it denotes *no thematic information*, and
+/// the parametric space treats it as "do not project" (the non-thematic
+/// behaviour).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Theme {
+    tags: Vec<String>,
+    /// Precomputed fingerprint so hot-path hashing is O(1).
+    fingerprint: u64,
+}
+
+impl Theme {
+    /// Builds a theme from tag strings.
+    ///
+    /// ```
+    /// use tep_semantics::Theme;
+    /// let a = Theme::new(["Energy", "appliances "]);
+    /// let b = Theme::new(["appliances", "energy"]);
+    /// assert_eq!(a, b);
+    /// assert_eq!(a.len(), 2);
+    /// ```
+    pub fn new<I, S>(tags: I) -> Theme
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut normalized: Vec<String> = tags
+            .into_iter()
+            .map(|t| normalize(t.as_ref()))
+            .filter(|t| !t.is_empty())
+            .collect();
+        normalized.sort();
+        normalized.dedup();
+        let mut h = DefaultHasher::new();
+        normalized.hash(&mut h);
+        Theme {
+            fingerprint: h.finish(),
+            tags: normalized,
+        }
+    }
+
+    /// The empty theme (no projection).
+    pub fn empty() -> Theme {
+        Theme::new(std::iter::empty::<&str>())
+    }
+
+    /// The normalized tags, sorted.
+    pub fn tags(&self) -> &[String] {
+        &self.tags
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the theme carries no tags.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Whether every tag of `other` is also a tag of `self`.
+    pub fn contains_theme(&self, other: &Theme) -> bool {
+        other.tags.iter().all(|t| self.tags.binary_search(t).is_ok())
+    }
+
+    /// Whether `tag` (normalized) is in the theme.
+    pub fn contains_tag(&self, tag: &str) -> bool {
+        self.tags.binary_search(&normalize(tag)).is_ok()
+    }
+
+    /// The union of two themes.
+    pub fn union(&self, other: &Theme) -> Theme {
+        Theme::new(self.tags.iter().chain(other.tags.iter()))
+    }
+}
+
+impl Hash for Theme {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+impl fmt::Display for Theme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.tags.join(", "))
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for Theme {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Theme {
+        Theme::new(iter)
+    }
+}
+
+fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for word in raw.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        for ch in word.chars() {
+            out.extend(ch.to_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn normalization_and_order_independence() {
+        let a = Theme::new(["Land  Transport", "protection of nature"]);
+        let b = Theme::new(["protection of nature", "land transport"]);
+        assert_eq!(a, b);
+        assert!(a.contains_tag("LAND TRANSPORT"));
+    }
+
+    #[test]
+    fn dedup_and_empty_tags_removed() {
+        let t = Theme::new(["energy", "energy", "  "]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_theme() {
+        let t = Theme::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "{}");
+    }
+
+    #[test]
+    fn containment() {
+        let small = Theme::new(["energy"]);
+        let big = Theme::new(["energy", "appliances"]);
+        assert!(big.contains_theme(&small));
+        assert!(!small.contains_theme(&big));
+        assert!(big.contains_theme(&Theme::empty()));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Theme::new(["energy"]);
+        let b = Theme::new(["appliances", "energy"]);
+        assert_eq!(a.union(&b).len(), 2);
+    }
+
+    #[test]
+    fn usable_as_hash_key() {
+        let mut map = HashMap::new();
+        map.insert(Theme::new(["a", "b"]), 1);
+        assert_eq!(map.get(&Theme::new(["b", "a"])), Some(&1));
+    }
+
+    #[test]
+    fn display_lists_tags() {
+        let t = Theme::new(["power", "computers"]);
+        assert_eq!(t.to_string(), "{computers, power}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Theme = ["x", "y"].into_iter().collect();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Incremental construction of a [`Thesaurus`].
+
+use crate::concept::{Concept, ConceptId};
+use crate::thesaurus::Thesaurus;
+use crate::{Domain, Term, ThesaurusError};
+use std::collections::HashMap;
+
+/// Builder for a [`Thesaurus`].
+///
+/// Concepts are declared with [`ThesaurusBuilder::concept`]; related-concept
+/// links refer to *preferred terms* and are resolved (and made symmetric)
+/// when [`ThesaurusBuilder::build`] is called, so concepts may link forward
+/// to concepts declared later.
+///
+/// ```
+/// use tep_thesaurus::{Domain, ThesaurusBuilder};
+///
+/// let mut b = ThesaurusBuilder::new();
+/// b.top_terms(Domain::Energy, &["energy policy"]);
+/// b.concept(Domain::Energy, "energy consumption", &["electricity usage"], &["electricity meter"]);
+/// b.concept(Domain::Energy, "electricity meter", &["power meter"], &[]);
+/// let th = b.build()?;
+/// assert_eq!(th.concepts().count(), 2);
+/// # Ok::<(), tep_thesaurus::ThesaurusError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ThesaurusBuilder {
+    concepts: Vec<PendingConcept>,
+    top_terms: HashMap<Domain, Vec<Term>>,
+}
+
+#[derive(Debug)]
+struct PendingConcept {
+    domain: Domain,
+    preferred: Term,
+    alternates: Vec<Term>,
+    related: Vec<Term>,
+}
+
+impl ThesaurusBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ThesaurusBuilder {
+        ThesaurusBuilder::default()
+    }
+
+    /// Declares a concept with its preferred term, alternates (synonyms)
+    /// and related preferred terms (resolved at build time).
+    pub fn concept(
+        &mut self,
+        domain: Domain,
+        preferred: &str,
+        alternates: &[&str],
+        related: &[&str],
+    ) -> &mut ThesaurusBuilder {
+        self.concepts.push(PendingConcept {
+            domain,
+            preferred: Term::new(preferred),
+            alternates: alternates.iter().map(|s| Term::new(s)).collect(),
+            related: related.iter().map(|s| Term::new(s)).collect(),
+        });
+        self
+    }
+
+    /// Declares (appends) top terms for a domain's micro-thesaurus. Top
+    /// terms are the tag vocabulary used to build themes (paper §5.2.4).
+    pub fn top_terms(&mut self, domain: Domain, terms: &[&str]) -> &mut ThesaurusBuilder {
+        self.top_terms
+            .entry(domain)
+            .or_default()
+            .extend(terms.iter().map(|s| Term::new(s)));
+        self
+    }
+
+    /// Resolves links and produces the immutable [`Thesaurus`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThesaurusError`] if a preferred term is empty, duplicated
+    /// within a domain, or a related link targets an undeclared concept.
+    pub fn build(self) -> Result<Thesaurus, ThesaurusError> {
+        let mut by_preferred: HashMap<(Domain, Term), ConceptId> = HashMap::new();
+        for (i, pc) in self.concepts.iter().enumerate() {
+            if pc.preferred.is_empty() {
+                return Err(ThesaurusError::EmptyPreferredTerm);
+            }
+            let key = (pc.domain, pc.preferred.clone());
+            if by_preferred.insert(key, ConceptId(i as u32)).is_some() {
+                return Err(ThesaurusError::DuplicateConcept(pc.preferred.clone()));
+            }
+        }
+
+        // Resolve a related term within the same domain first, falling back
+        // to any domain (EuroVoc RT links may cross micro-thesauri).
+        let resolve = |domain: Domain, term: &Term| -> Option<ConceptId> {
+            by_preferred.get(&(domain, term.clone())).copied().or_else(|| {
+                Domain::ALL
+                    .into_iter()
+                    .find_map(|d| by_preferred.get(&(d, term.clone())).copied())
+            })
+        };
+
+        let mut concepts: Vec<Concept> = Vec::with_capacity(self.concepts.len());
+        for (i, pc) in self.concepts.iter().enumerate() {
+            let mut related = Vec::with_capacity(pc.related.len());
+            for r in &pc.related {
+                let target = resolve(pc.domain, r).ok_or_else(|| ThesaurusError::UnknownRelated {
+                    from: pc.preferred.clone(),
+                    to: r.clone(),
+                })?;
+                if target.index() != i {
+                    related.push(target);
+                }
+            }
+            concepts.push(Concept {
+                id: ConceptId(i as u32),
+                domain: pc.domain,
+                preferred: pc.preferred.clone(),
+                alternates: pc.alternates.clone(),
+                related,
+            });
+        }
+
+        // Make related links symmetric, as EuroVoc RT links are.
+        let pairs: Vec<(usize, ConceptId)> = concepts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.related.iter().map(move |r| (i, *r)))
+            .collect();
+        for (i, r) in pairs {
+            let back = ConceptId(i as u32);
+            let target = &mut concepts[r.index()];
+            if !target.related.contains(&back) {
+                target.related.push(back);
+            }
+        }
+
+        Ok(Thesaurus::from_parts(concepts, self.top_terms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_links_resolve() {
+        let mut b = ThesaurusBuilder::new();
+        b.concept(Domain::Energy, "a", &[], &["b"]);
+        b.concept(Domain::Energy, "b", &[], &[]);
+        let th = b.build().unwrap();
+        let a = th.concept_of("a").unwrap();
+        let b = th.concept_of("b").unwrap();
+        assert_eq!(a.related(), &[b.id()]);
+        // Symmetric back-link.
+        assert_eq!(b.related(), &[a.id()]);
+    }
+
+    #[test]
+    fn duplicate_preferred_in_same_domain_errors() {
+        let mut b = ThesaurusBuilder::new();
+        b.concept(Domain::Energy, "a", &[], &[]);
+        b.concept(Domain::Energy, "a", &[], &[]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ThesaurusError::DuplicateConcept(Term::new("a"))
+        );
+    }
+
+    #[test]
+    fn same_preferred_in_different_domains_is_allowed() {
+        // This is how ambiguous terms are modelled.
+        let mut b = ThesaurusBuilder::new();
+        b.concept(Domain::Energy, "plant", &[], &[]);
+        b.concept(Domain::Environment, "plant", &[], &[]);
+        let th = b.build().unwrap();
+        assert_eq!(th.concepts_of("plant").count(), 2);
+    }
+
+    #[test]
+    fn unknown_related_errors() {
+        let mut b = ThesaurusBuilder::new();
+        b.concept(Domain::Energy, "a", &[], &["nope"]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ThesaurusError::UnknownRelated { .. }));
+    }
+
+    #[test]
+    fn empty_preferred_errors() {
+        let mut b = ThesaurusBuilder::new();
+        b.concept(Domain::Energy, "  ", &[], &[]);
+        assert_eq!(b.build().unwrap_err(), ThesaurusError::EmptyPreferredTerm);
+    }
+
+    #[test]
+    fn self_links_are_dropped() {
+        let mut b = ThesaurusBuilder::new();
+        b.concept(Domain::Energy, "a", &[], &["a"]);
+        let th = b.build().unwrap();
+        assert!(th.concept_of("a").unwrap().related().is_empty());
+    }
+}

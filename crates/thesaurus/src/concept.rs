@@ -1,0 +1,107 @@
+//! Concepts: synonym rings with related-concept links, as in EuroVoc.
+
+use crate::{Domain, Term};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of a [`Concept`] inside one [`crate::Thesaurus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConceptId(pub(crate) u32);
+
+impl ConceptId {
+    /// The raw index of the concept in its thesaurus.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A thesaurus concept: a preferred term, its synonyms, and links to
+/// related concepts, scoped to a single [`Domain`] micro-thesaurus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Concept {
+    pub(crate) id: ConceptId,
+    pub(crate) domain: Domain,
+    pub(crate) preferred: Term,
+    pub(crate) alternates: Vec<Term>,
+    pub(crate) related: Vec<ConceptId>,
+}
+
+impl Concept {
+    /// The concept's identifier.
+    pub fn id(&self) -> ConceptId {
+        self.id
+    }
+
+    /// The micro-thesaurus domain the concept belongs to.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The preferred (canonical) term.
+    pub fn preferred(&self) -> &Term {
+        &self.preferred
+    }
+
+    /// Alternate terms (synonyms / near-synonyms), excluding the preferred
+    /// term.
+    pub fn alternates(&self) -> &[Term] {
+        &self.alternates
+    }
+
+    /// Identifiers of related concepts (EuroVoc `RT` links).
+    pub fn related(&self) -> &[ConceptId] {
+        &self.related
+    }
+
+    /// All terms of the concept: preferred first, then alternates.
+    pub fn terms(&self) -> impl Iterator<Item = &Term> {
+        std::iter::once(&self.preferred).chain(self.alternates.iter())
+    }
+
+    /// Whether `term` names this concept (preferred or alternate).
+    pub fn contains(&self, term: &str) -> bool {
+        self.preferred.as_str() == term || self.alternates.iter().any(|t| t.as_str() == term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concept() -> Concept {
+        Concept {
+            id: ConceptId(3),
+            domain: Domain::Energy,
+            preferred: Term::new("energy consumption"),
+            alternates: vec![Term::new("electricity usage"), Term::new("power usage")],
+            related: vec![ConceptId(4)],
+        }
+    }
+
+    #[test]
+    fn terms_yield_preferred_first() {
+        let c = concept();
+        let terms: Vec<_> = c.terms().map(Term::as_str).collect();
+        assert_eq!(terms, vec!["energy consumption", "electricity usage", "power usage"]);
+    }
+
+    #[test]
+    fn contains_checks_all_terms() {
+        let c = concept();
+        assert!(c.contains("energy consumption"));
+        assert!(c.contains("power usage"));
+        assert!(!c.contains("parking"));
+    }
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(ConceptId(7).to_string(), "c7");
+        assert_eq!(ConceptId(7).index(), 7);
+    }
+}

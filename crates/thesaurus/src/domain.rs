@@ -1,0 +1,108 @@
+//! The six EuroVoc domains used by the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A thematic domain (EuroVoc micro-thesaurus family).
+///
+/// The paper's evaluation (§5.2.2) restricts EuroVoc to the micro-thesauri
+/// of exactly these six domains because they conform to the theme of the
+/// generated smart-city and energy-management events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Road, rail and urban transport: vehicles, parking, traffic.
+    Transport,
+    /// Environmental monitoring: air quality, noise, weather, nature.
+    Environment,
+    /// Energy production and consumption: electricity, metering, appliances.
+    Energy,
+    /// Geography: places, regions, urban structure.
+    Geography,
+    /// Education and communications: teaching, networks, computing.
+    EducationCommunications,
+    /// Social questions: health, housing, demographics.
+    SocialQuestions,
+}
+
+impl Domain {
+    /// All six domains, in canonical order.
+    pub const ALL: [Domain; 6] = [
+        Domain::Transport,
+        Domain::Environment,
+        Domain::Energy,
+        Domain::Geography,
+        Domain::EducationCommunications,
+        Domain::SocialQuestions,
+    ];
+
+    /// Canonical lowercase label, matching the paper's wording.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Transport => "transport",
+            Domain::Environment => "environment",
+            Domain::Energy => "energy",
+            Domain::Geography => "geography",
+            Domain::EducationCommunications => "education and communications",
+            Domain::SocialQuestions => "social questions",
+        }
+    }
+
+    /// Parses a label produced by [`Domain::label`].
+    pub fn from_label(label: &str) -> Option<Domain> {
+        Domain::ALL.into_iter().find(|d| d.label() == label)
+    }
+
+    /// Stable small integer id, useful for indexing per-domain tables.
+    pub fn index(self) -> usize {
+        match self {
+            Domain::Transport => 0,
+            Domain::Environment => 1,
+            Domain::Energy => 2,
+            Domain::Geography => 3,
+            Domain::EducationCommunications => 4,
+            Domain::SocialQuestions => 5,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for d in Domain::ALL {
+            assert_eq!(Domain::from_label(d.label()), Some(d));
+        }
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 6];
+        for d in Domain::ALL {
+            assert!(!seen[d.index()], "duplicate index for {d}");
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn unknown_label_is_none() {
+        assert_eq!(Domain::from_label("astrology"), None);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Domain::Transport.to_string(), "transport");
+        assert_eq!(
+            Domain::EducationCommunications.to_string(),
+            "education and communications"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for thesaurus construction.
+
+use crate::Term;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a [`crate::Thesaurus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ThesaurusError {
+    /// A concept was declared with an empty preferred term.
+    EmptyPreferredTerm,
+    /// The same preferred term was declared twice in the same domain.
+    DuplicateConcept(Term),
+    /// A related-concept link referenced a preferred term that was never
+    /// declared.
+    UnknownRelated {
+        /// The concept declaring the link.
+        from: Term,
+        /// The missing link target.
+        to: Term,
+    },
+}
+
+impl fmt::Display for ThesaurusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThesaurusError::EmptyPreferredTerm => {
+                write!(f, "concept declared with an empty preferred term")
+            }
+            ThesaurusError::DuplicateConcept(t) => {
+                write!(f, "concept `{t}` declared twice in the same domain")
+            }
+            ThesaurusError::UnknownRelated { from, to } => {
+                write!(f, "concept `{from}` links to undeclared concept `{to}`")
+            }
+        }
+    }
+}
+
+impl Error for ThesaurusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = ThesaurusError::DuplicateConcept(Term::new("parking"));
+        assert!(e.to_string().contains("parking"));
+        let e = ThesaurusError::UnknownRelated {
+            from: Term::new("a"),
+            to: Term::new("b"),
+        };
+        assert!(e.to_string().contains('b'));
+    }
+}

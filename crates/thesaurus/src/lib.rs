@@ -1,0 +1,53 @@
+//! # tep-thesaurus
+//!
+//! A synthetic, deterministic, multi-domain thesaurus that substitutes the
+//! [EuroVoc](https://eurovoc.europa.eu/) thesaurus used by the *Thematic
+//! Event Processing* paper (Hasan & Curry, Middleware 2014, §5.2).
+//!
+//! The paper uses EuroVoc for three things, all of which this crate
+//! provides:
+//!
+//! 1. **Semantic expansion** of seed events: replacing terms by synonyms or
+//!    related terms from a domain micro-thesaurus (§5.2.2).
+//! 2. **Theme tags**: the *top terms* of each micro-thesaurus are sampled to
+//!    build event and subscription themes (§5.2.4).
+//! 3. **Concept-based rewriting baseline**: the query-rewriting matcher
+//!    expands subscription terms through an explicit knowledge base (§5.1).
+//!
+//! The built-in instance ([`Thesaurus::eurovoc_like`]) covers the same six
+//! EuroVoc domains the paper selects (`transport`, `environment`, `energy`,
+//! `geography`, `education and communications`, `social questions`) and is
+//! hand-authored so that:
+//!
+//! * every concept has a preferred term plus several alternate terms
+//!   (synonyms) and related concepts, mirroring EuroVoc's structure;
+//! * a controlled set of **ambiguous words** (e.g. *charge*, *current*,
+//!   *plant*, *cell*) appears in concepts of different domains, which is the
+//!   semantic noise that theme tags are designed to filter out.
+//!
+//! ```
+//! use tep_thesaurus::{Domain, Thesaurus};
+//!
+//! let th = Thesaurus::eurovoc_like();
+//! let syns = th.synonyms("energy consumption");
+//! assert!(syns.iter().any(|t| t.as_str() == "electricity usage"));
+//! assert!(!th.top_terms(Domain::Energy).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod builder;
+mod concept;
+mod domain;
+mod error;
+mod eurovoc;
+mod term;
+mod thesaurus;
+
+pub use builder::ThesaurusBuilder;
+pub use concept::{Concept, ConceptId};
+pub use domain::Domain;
+pub use error::ThesaurusError;
+pub use term::Term;
+pub use thesaurus::Thesaurus;

@@ -1,0 +1,132 @@
+//! Normalized single- or multi-word terms.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A normalized term: lowercase, single-space separated words.
+///
+/// Terms are the unit of vocabulary shared between the thesaurus, the
+/// corpus generator, the event model and the distributional space. A term
+/// may be a single word (`"parking"`) or a multi-word expression
+/// (`"energy consumption"`); multi-word terms are decomposed into words by
+/// the indexing layer via [`Term::words`].
+///
+/// ```
+/// use tep_thesaurus::Term;
+///
+/// let t = Term::new("  Energy   Consumption ");
+/// assert_eq!(t.as_str(), "energy consumption");
+/// assert_eq!(t.words().collect::<Vec<_>>(), vec!["energy", "consumption"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Term(String);
+
+impl Term {
+    /// Creates a term, normalizing case and whitespace.
+    pub fn new(raw: &str) -> Term {
+        let mut out = String::with_capacity(raw.len());
+        for word in raw.split_whitespace() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            for ch in word.chars() {
+                out.extend(ch.to_lowercase());
+            }
+        }
+        Term(out)
+    }
+
+    /// The normalized text of the term.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether the normalized term is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the words of a (possibly multi-word) term.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.0.split(' ').filter(|w| !w.is_empty())
+    }
+
+    /// Number of words in the term.
+    pub fn word_count(&self) -> usize {
+        self.words().count()
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(raw: &str) -> Term {
+        Term::new(raw)
+    }
+}
+
+impl From<String> for Term {
+    fn from(raw: String) -> Term {
+        Term::new(&raw)
+    }
+}
+
+impl AsRef<str> for Term {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Term {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn normalizes_case_and_whitespace() {
+        assert_eq!(Term::new("Energy  CONSUMPTION").as_str(), "energy consumption");
+        assert_eq!(Term::new(" x ").as_str(), "x");
+        assert_eq!(Term::new("").as_str(), "");
+        assert!(Term::new("   ").is_empty());
+    }
+
+    #[test]
+    fn words_of_multiword_term() {
+        let t = Term::new("increased energy usage event");
+        assert_eq!(t.word_count(), 4);
+        assert_eq!(t.words().last(), Some("event"));
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup_in_sets() {
+        let mut set = HashSet::new();
+        set.insert(Term::new("Parking"));
+        assert!(set.contains("parking"));
+    }
+
+    #[test]
+    fn from_impls_normalize() {
+        let a: Term = "NOISE Level".into();
+        let b: Term = String::from("noise   level").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_word_term() {
+        let t = Term::new("ozone");
+        assert_eq!(t.word_count(), 1);
+        assert_eq!(t.words().collect::<Vec<_>>(), vec!["ozone"]);
+    }
+}

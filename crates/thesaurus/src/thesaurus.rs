@@ -1,0 +1,373 @@
+//! The immutable thesaurus and its query API.
+
+use crate::concept::{Concept, ConceptId};
+use crate::{Domain, Term};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An immutable multi-domain thesaurus.
+///
+/// Constructed either through [`crate::ThesaurusBuilder`] or as the built-in
+/// EuroVoc-like instance via [`Thesaurus::eurovoc_like`].
+///
+/// Every query is by normalized term text (see [`Term`]); a term may belong
+/// to several concepts (possibly in different domains), which is how
+/// ambiguity is represented.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thesaurus {
+    concepts: Vec<Concept>,
+    top_terms: HashMap<Domain, Vec<Term>>,
+    /// term text -> ids of every concept containing the term.
+    term_index: HashMap<Term, Vec<ConceptId>>,
+}
+
+impl Thesaurus {
+    pub(crate) fn from_parts(
+        concepts: Vec<Concept>,
+        top_terms: HashMap<Domain, Vec<Term>>,
+    ) -> Thesaurus {
+        let mut term_index: HashMap<Term, Vec<ConceptId>> = HashMap::new();
+        for c in &concepts {
+            for t in c.terms() {
+                term_index.entry(t.clone()).or_default().push(c.id());
+            }
+        }
+        Thesaurus {
+            concepts,
+            top_terms,
+            term_index,
+        }
+    }
+
+    /// All concepts, in declaration order.
+    pub fn concepts(&self) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter()
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the thesaurus has no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Looks a concept up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this thesaurus.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// The first concept containing `term`, if any.
+    pub fn concept_of(&self, term: &str) -> Option<&Concept> {
+        self.concepts_of(term).next()
+    }
+
+    /// Every concept containing `term` (several for ambiguous terms).
+    pub fn concepts_of<'a>(&'a self, term: &str) -> impl Iterator<Item = &'a Concept> + 'a {
+        let key = Term::new(term);
+        self.term_index
+            .get(&key)
+            .map(|ids| ids.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|id| self.concept(*id))
+    }
+
+    /// Whether the thesaurus knows `term` at all.
+    pub fn contains(&self, term: &str) -> bool {
+        self.term_index.contains_key(&Term::new(term))
+    }
+
+    /// Synonyms of `term`: every other term of every concept that contains
+    /// `term`. Empty if the term is unknown.
+    pub fn synonyms(&self, term: &str) -> Vec<Term> {
+        let key = Term::new(term);
+        let mut out = Vec::new();
+        for c in self.concepts_of(term) {
+            for t in c.terms() {
+                if *t != key && !out.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Terms of concepts related (one `RT` hop) to concepts of `term`,
+    /// preferred terms only. Empty if the term is unknown.
+    pub fn related_terms(&self, term: &str) -> Vec<Term> {
+        let mut out = Vec::new();
+        for c in self.concepts_of(term) {
+            for rid in c.related() {
+                let pref = self.concept(*rid).preferred().clone();
+                if !out.contains(&pref) {
+                    out.push(pref);
+                }
+            }
+        }
+        out
+    }
+
+    /// Synonyms plus related preferred terms — the expansion set used by
+    /// the paper's semantic-expansion transform (§5.2.2) and the rewriting
+    /// baseline (§5.1). When `within` is given, only expansions whose
+    /// concept lies in one of those domains are returned.
+    pub fn expansions(&self, term: &str, within: Option<&[Domain]>) -> Vec<Term> {
+        let key = Term::new(term);
+        let allowed = |d: Domain| within.map_or(true, |ds| ds.contains(&d));
+        let mut out = Vec::new();
+        for c in self.concepts_of(term) {
+            if !allowed(c.domain()) {
+                continue;
+            }
+            for t in c.terms() {
+                if *t != key && !out.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+            for rid in c.related() {
+                let rc = self.concept(*rid);
+                if !allowed(rc.domain()) {
+                    continue;
+                }
+                let pref = rc.preferred().clone();
+                if pref != key && !out.contains(&pref) {
+                    out.push(pref);
+                }
+            }
+        }
+        out
+    }
+
+    /// Top terms of a domain's micro-thesaurus — the tag vocabulary for
+    /// theme generation (§5.2.4).
+    pub fn top_terms(&self, domain: Domain) -> &[Term] {
+        self.top_terms.get(&domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Top terms across a set of domains, deduplicated, in domain order.
+    pub fn top_terms_of(&self, domains: &[Domain]) -> Vec<Term> {
+        let mut out = Vec::new();
+        for d in domains {
+            for t in self.top_terms(*d) {
+                if !out.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Concepts of one domain.
+    pub fn domain_concepts(&self, domain: Domain) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter().filter(move |c| c.domain() == domain)
+    }
+
+    /// The domains of every concept containing `term`, deduplicated.
+    pub fn domains_of(&self, term: &str) -> Vec<Domain> {
+        let mut out = Vec::new();
+        for c in self.concepts_of(term) {
+            if !out.contains(&c.domain()) {
+                out.push(c.domain());
+            }
+        }
+        out
+    }
+
+    /// Terms that belong to concepts in more than one domain — the
+    /// deliberately ambiguous vocabulary.
+    pub fn ambiguous_terms(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .term_index
+            .iter()
+            .filter(|(t, _)| self.domains_of(t.as_str()).len() > 1)
+            .map(|(t, _)| t.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every distinct term in the thesaurus (preferred and alternates),
+    /// sorted.
+    pub fn all_terms(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = self.term_index.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Returns a degraded copy that keeps each alternate term and each
+    /// related-concept link with probability `keep_fraction`
+    /// (deterministically, from `seed`).
+    ///
+    /// Models an *incomplete* knowledge base — e.g. WordNet's partial
+    /// coverage of EuroVoc's links, which is why the paper's rewriting
+    /// baseline trails the approximate matcher (§5.1). Preferred terms,
+    /// concepts and top terms are always kept.
+    pub fn subsample(&self, keep_fraction: f64, seed: u64) -> Thesaurus {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let keep = keep_fraction.clamp(0.0, 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7E5A);
+        let concepts: Vec<Concept> = self
+            .concepts
+            .iter()
+            .map(|c| Concept {
+                id: c.id,
+                domain: c.domain,
+                preferred: c.preferred.clone(),
+                alternates: c
+                    .alternates
+                    .iter()
+                    .filter(|_| rng.gen_bool(keep))
+                    .cloned()
+                    .collect(),
+                related: c
+                    .related
+                    .iter()
+                    .filter(|_| rng.gen_bool(keep))
+                    .copied()
+                    .collect(),
+            })
+            .collect();
+        Thesaurus::from_parts(concepts, self.top_terms.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThesaurusBuilder;
+
+    fn small() -> Thesaurus {
+        let mut b = ThesaurusBuilder::new();
+        b.top_terms(Domain::Energy, &["energy policy", "electrical industry"]);
+        b.top_terms(Domain::Transport, &["land transport"]);
+        b.concept(
+            Domain::Energy,
+            "energy consumption",
+            &["electricity usage", "power usage"],
+            &["electricity meter"],
+        );
+        b.concept(Domain::Energy, "electricity meter", &["power meter"], &[]);
+        b.concept(Domain::Transport, "parking", &["car park", "garage spot"], &[]);
+        b.concept(Domain::Energy, "charge", &["charging"], &[]);
+        b.concept(Domain::Transport, "charge", &["toll"], &[]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn synonyms_exclude_query_term() {
+        let th = small();
+        let syns = th.synonyms("electricity usage");
+        assert!(syns.iter().any(|t| t.as_str() == "energy consumption"));
+        assert!(syns.iter().any(|t| t.as_str() == "power usage"));
+        assert!(!syns.iter().any(|t| t.as_str() == "electricity usage"));
+    }
+
+    #[test]
+    fn related_terms_are_one_hop_preferred() {
+        let th = small();
+        let rel = th.related_terms("energy consumption");
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0].as_str(), "electricity meter");
+    }
+
+    #[test]
+    fn expansions_union_synonyms_and_related() {
+        let th = small();
+        let exp = th.expansions("energy consumption", None);
+        let strs: Vec<&str> = exp.iter().map(Term::as_str).collect();
+        assert!(strs.contains(&"electricity usage"));
+        assert!(strs.contains(&"electricity meter"));
+    }
+
+    #[test]
+    fn expansions_respect_domain_filter() {
+        let th = small();
+        let all = th.expansions("charge", None);
+        assert!(all.iter().any(|t| t.as_str() == "toll"));
+        let energy_only = th.expansions("charge", Some(&[Domain::Energy]));
+        assert!(energy_only.iter().any(|t| t.as_str() == "charging"));
+        assert!(!energy_only.iter().any(|t| t.as_str() == "toll"));
+    }
+
+    #[test]
+    fn ambiguous_terms_span_domains() {
+        let th = small();
+        let amb = th.ambiguous_terms();
+        assert_eq!(amb, vec![Term::new("charge")]);
+        assert_eq!(th.domains_of("charge").len(), 2);
+    }
+
+    #[test]
+    fn top_terms_per_domain_and_union() {
+        let th = small();
+        assert_eq!(th.top_terms(Domain::Energy).len(), 2);
+        assert_eq!(th.top_terms(Domain::Geography), &[] as &[Term]);
+        let union = th.top_terms_of(&[Domain::Energy, Domain::Transport]);
+        assert_eq!(union.len(), 3);
+    }
+
+    #[test]
+    fn unknown_term_queries_are_empty() {
+        let th = small();
+        assert!(th.synonyms("quasar").is_empty());
+        assert!(th.related_terms("quasar").is_empty());
+        assert!(th.expansions("quasar", None).is_empty());
+        assert!(!th.contains("quasar"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let th = small();
+        assert!(th.contains("Energy Consumption"));
+        assert!(!th.synonyms("POWER usage").is_empty());
+    }
+
+    #[test]
+    fn all_terms_sorted_and_deduplicated() {
+        let th = small();
+        let all = th.all_terms();
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(all, sorted);
+        assert!(all.iter().any(|t| t.as_str() == "car park"));
+    }
+
+    #[test]
+    fn subsample_degrades_links_but_keeps_concepts() {
+        let th = small();
+        let full = th.subsample(1.0, 1);
+        assert_eq!(full.len(), th.len());
+        assert_eq!(
+            full.synonyms("energy consumption").len(),
+            th.synonyms("energy consumption").len()
+        );
+        let none = th.subsample(0.0, 1);
+        assert_eq!(none.len(), th.len());
+        assert!(none.synonyms("energy consumption").is_empty());
+        assert!(none.related_terms("energy consumption").is_empty());
+        // Preferred terms and top terms survive.
+        assert!(none.contains("energy consumption"));
+        assert_eq!(none.top_terms(Domain::Energy).len(), 2);
+        // Deterministic.
+        let a = th.subsample(0.5, 9);
+        let b = th.subsample(0.5, 9);
+        assert_eq!(a.all_terms(), b.all_terms());
+    }
+
+    #[test]
+    fn domain_concepts_filters() {
+        let th = small();
+        assert_eq!(th.domain_concepts(Domain::Energy).count(), 3);
+        assert_eq!(th.domain_concepts(Domain::Transport).count(), 2);
+        assert_eq!(th.domain_concepts(Domain::Geography).count(), 0);
+    }
+}

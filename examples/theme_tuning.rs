@@ -1,0 +1,76 @@
+//! Theme tuning: sweep event/subscription theme sizes on a miniature
+//! workload and print a small effectiveness/throughput grid — a
+//! laptop-scale preview of the paper's Figures 7 and 9. The full
+//! reproduction lives in `cargo run -p tep-bench --bin repro`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example theme_tuning --release
+//! ```
+
+use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
+use tep_eval::ThemeSampler;
+
+fn main() {
+    let cfg = EvalConfig::tiny();
+    println!(
+        "workload: {} events, {} subscriptions",
+        cfg.max_expanded_events, cfg.num_subscriptions
+    );
+    let stack = MatcherStack::build(&cfg);
+    let workload = Workload::generate(&cfg);
+
+    // Baseline: the non-thematic matcher with no tags.
+    let no_theme = ThemeCombination {
+        event_tags: vec![],
+        subscription_tags: vec![],
+    };
+    let base = run_sub_experiment(&stack.non_thematic(), &workload, &no_theme);
+    println!(
+        "baseline (non-thematic): F1 {:.1}%  {:.0} events/sec\n",
+        base.f1() * 100.0,
+        base.throughput
+    );
+
+    let matcher = stack.thematic();
+    let mut sampler = ThemeSampler::new(stack.thesaurus(), cfg.seed);
+    let sizes = [1usize, 3, 6, 12, 24];
+
+    println!("thematic F1% (rows: subscription theme size, cols: event theme size)");
+    print!("  ss\\es |");
+    for es in sizes {
+        print!(" {es:>6}");
+    }
+    println!();
+    for ss in sizes {
+        print!("  {ss:>5} |");
+        for es in sizes {
+            let combo = sampler.sample(es, ss);
+            let r = run_sub_experiment(&matcher, &workload, &combo);
+            let mark = if r.f1() > base.f1() { '+' } else { ' ' };
+            print!(" {mark}{:>4.1}%", r.f1() * 100.0);
+            stack.clear_caches();
+        }
+        println!();
+    }
+
+    println!("\nthematic throughput (events/sec), same grid");
+    print!("  ss\\es |");
+    for es in sizes {
+        print!(" {es:>6}");
+    }
+    println!();
+    for ss in sizes {
+        print!("  {ss:>5} |");
+        for es in sizes {
+            let combo = sampler.sample(es, ss);
+            let r = run_sub_experiment(&matcher, &workload, &combo);
+            print!(" {:>6.0}", r.throughput);
+            stack.clear_caches();
+        }
+        println!();
+    }
+    println!("\n'+' marks cells whose F1 beats the non-thematic baseline.");
+    println!("guideline (paper §5.3.3): few tags for events, more for subscriptions.");
+}

@@ -1,0 +1,156 @@
+//! Broker middleware integration: thematic matching under concurrent
+//! publish load, subscription churn, and back-pressure.
+
+use std::sync::Arc;
+use tep::prelude::*;
+
+fn thematic_matcher() -> Arc<ProbabilisticMatcher<ThematicEsaMeasure>> {
+    let corpus = Corpus::generate(&CorpusConfig::small().with_num_docs(900));
+    let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+        InvertedIndex::build(&corpus),
+    )));
+    Arc::new(ProbabilisticMatcher::new(
+        ThematicEsaMeasure::new(pvsm),
+        MatcherConfig::top1(),
+    ))
+}
+
+#[test]
+fn thematic_broker_delivers_semantic_matches_only() {
+    let broker = Broker::start(
+        thematic_matcher(),
+        BrokerConfig::default()
+            .with_workers(2)
+            // Single-predicate subscription: the relatedness floor for a
+            // pair of unrelated known terms is ~0.41 (unit vectors at 90°,
+            // Eq. 6), so the threshold must sit above it.
+            .with_delivery_threshold(0.50),
+    );
+    let (_, rx) = broker
+        .subscribe(
+            parse_subscription(
+                "({energy policy, building energy}, {type~= increased energy usage event~})",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    broker
+        .publish(
+            parse_event(
+                "({energy policy, building energy}, \
+                 {type: increased energy consumption event, device: kettle})",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    broker
+        .publish(
+            parse_event(
+                "({land transport, road safety}, \
+                 {type: parking space occupied event, street: main street})",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    broker.flush();
+
+    let notifications: Vec<Notification> = rx.try_iter().collect();
+    assert_eq!(
+        notifications.len(),
+        1,
+        "only the energy event may be delivered; got {notifications:?}"
+    );
+    assert_eq!(
+        notifications[0].event.value_of("type"),
+        Some("increased energy consumption event")
+    );
+    assert!(notifications[0].score() >= 0.50);
+    broker.shutdown();
+}
+
+#[test]
+fn concurrent_publishers_all_events_processed() {
+    let broker = Arc::new(Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default().with_workers(4),
+    ));
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..100 {
+                let kind = if i % 2 == 0 { "wanted" } else { "other" };
+                broker
+                    .publish(
+                        parse_event(&format!("{{kind: {kind}, thread: t{t}, seq: n{i}}}")).unwrap(),
+                    )
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    broker.flush();
+    let stats = broker.stats();
+    assert_eq!(stats.published, 400);
+    assert_eq!(stats.processed, 400);
+    assert_eq!(rx.try_iter().count(), 200);
+}
+
+#[test]
+fn subscription_churn_under_load() {
+    let broker = Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default().with_workers(2),
+    );
+    let (id1, rx1) = broker.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+    broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    broker.flush();
+    assert_eq!(rx1.try_iter().count(), 1);
+
+    assert!(broker.unsubscribe(id1));
+    let (_, rx2) = broker.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+    broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    broker.flush();
+    assert_eq!(rx1.try_iter().count(), 0, "unsubscribed channel stays silent");
+    assert_eq!(rx2.try_iter().count(), 1);
+    assert_eq!(broker.subscription_count(), 1);
+    broker.shutdown();
+}
+
+#[test]
+fn notifications_carry_full_match_results() {
+    let broker = Broker::start(
+        thematic_matcher(),
+        BrokerConfig::default().with_delivery_threshold(0.2),
+    );
+    let (_, rx) = broker
+        .subscribe(
+            parse_subscription(
+                "({energy metering, information technology}, {type~= increased energy usage event~, device~= laptop~})",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    broker
+        .publish(
+            parse_event(
+                "({energy metering, information technology}, \
+                 {type: increased energy consumption event, device: computer, office: room 112})",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    broker.flush();
+    let n = rx.try_recv().expect("delivery expected");
+    let mapping = n.result.best().expect("mapping present");
+    assert_eq!(mapping.correspondences().len(), 2);
+    assert!(mapping.score() > 0.0);
+    broker.shutdown();
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration across the whole stack: thesaurus → corpus →
+//! index → distributional space → PVSM → matcher, on the paper's own
+//! examples.
+
+use std::sync::Arc;
+use tep::prelude::*;
+
+fn pvsm() -> Arc<ParametricVectorSpace> {
+    let corpus = Corpus::generate(&CorpusConfig::small().with_num_docs(900));
+    Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+        InvertedIndex::build(&corpus),
+    )))
+}
+
+#[test]
+fn paper_section3_example_matches_with_correct_mapping() {
+    let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top1());
+    let event = parse_event(
+        "({energy, appliances, building}, \
+         {type: increased energy consumption event, measurement unit: kilowatt hour, \
+          device: computer, office: room 112})",
+    )
+    .unwrap();
+    let subscription = parse_subscription(
+        "({power, computers}, \
+         {type= increased energy usage event~, device~= laptop~, office= room 112})",
+    )
+    .unwrap();
+    let result = matcher.match_event(&subscription, &event);
+    let best = result.best().expect("the paper example must match");
+    // σ* from §3: type↔type, device↔device, office↔office.
+    assert_eq!(best.tuple_of(0), Some(0));
+    assert_eq!(best.tuple_of(1), Some(2));
+    assert_eq!(best.tuple_of(2), Some(3));
+    assert!(best.score() > 0.0);
+}
+
+#[test]
+fn section1_parking_terms_are_interchangeable() {
+    // §1: a consumer using 'garage spot occupied' must be able to handle
+    // a 'parking space occupied' event under the approximate matcher.
+    let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top1());
+    let event = parse_event(
+        "({land transport, parking policy}, {type: parking space occupied event})",
+    )
+    .unwrap();
+    let subscription = parse_subscription(
+        "({land transport, parking policy}, {type~= garage spot occupied event~})",
+    )
+    .unwrap();
+    let hit = matcher.match_event(&subscription, &event).score();
+
+    let unrelated = parse_event(
+        "({land transport, parking policy}, {type: ozone reading event})",
+    )
+    .unwrap();
+    let miss = matcher.match_event(&subscription, &unrelated).score();
+    assert!(
+        hit > miss,
+        "semantically equivalent type ({hit}) must outrank an unrelated one ({miss})"
+    );
+}
+
+#[test]
+fn thematic_projection_shrinks_vectors_and_speeds_distance() {
+    let pvsm = pvsm();
+    let energy = Theme::new(["energy policy", "building energy"]);
+    let full = pvsm.project("energy consumption", &Theme::empty());
+    let projected = pvsm.project("energy consumption", &energy);
+    assert!(
+        projected.nnz() < full.nnz(),
+        "projection must filter the space: {} !< {}",
+        projected.nnz(),
+        full.nnz()
+    );
+}
+
+#[test]
+fn exact_predicates_veto_across_the_stack() {
+    let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top1());
+    let event = parse_event("{type: increased energy consumption event, office: room 204}").unwrap();
+    let subscription = parse_subscription(
+        "{type~= increased energy usage event~, office= room 112}",
+    )
+    .unwrap();
+    assert!(matcher.match_event(&subscription, &event).is_empty());
+}
+
+#[test]
+fn top_k_mappings_are_ranked_and_normalized() {
+    let matcher =
+        ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top_k(4));
+    let event = parse_event(
+        "{type: increased energy consumption event, device: computer, \
+         machine: refrigerator, office: room 112}",
+    )
+    .unwrap();
+    let subscription = parse_subscription("{device~= laptop~}").unwrap();
+    let result = matcher.match_event(&subscription, &event);
+    assert!(result.mappings().len() > 1);
+    for pair in result.mappings().windows(2) {
+        assert!(pair[0].score() >= pair[1].score());
+    }
+    let total: f64 = result.mappings().iter().map(|m| m.probability()).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn relational_operators_work_through_the_full_stack() {
+    // §3.4 keeps numeric operators out of the paper's language "for the
+    // sake of discourse simplicity"; this implementation supports them:
+    // an approximate type with an exact numeric bound.
+    let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top1());
+    let subscription = parse_subscription(
+        "({weather monitoring, air quality},          {type~= temperature reading event~, value > 30})",
+    )
+    .unwrap();
+    let hot = parse_event(
+        "({weather monitoring}, {type: ground temperature reading event, value: 34.5})",
+    )
+    .unwrap();
+    let cold = parse_event(
+        "({weather monitoring}, {type: ground temperature reading event, value: 12})",
+    )
+    .unwrap();
+    let hot_score = matcher.match_event(&subscription, &hot).score();
+    let cold_score = matcher.match_event(&subscription, &cold).score();
+    assert!(hot_score > 0.0, "34.5 > 30 must pass the numeric bound");
+    assert_eq!(cold_score, 0.0, "12 > 30 must veto the mapping");
+}
+
+#[test]
+fn full_stack_is_deterministic() {
+    let a = pvsm();
+    let b = pvsm();
+    let theme = Theme::new(["energy policy"]);
+    let ra = a.relatedness("energy consumption", &theme, "electricity usage", &theme);
+    let rb = b.relatedness("energy consumption", &theme, "electricity usage", &theme);
+    assert_eq!(ra, rb);
+}

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) for the core data structures and
+//! algorithms: sparse-vector algebra, the Hungarian solver against brute
+//! force, theme normalization, the subscription-language parser, and the
+//! IR metrics.
+
+use proptest::prelude::*;
+use tep::matcher::assignment::{solve, solve_top_k, CostMatrix};
+use tep::prelude::*;
+use tep::semantics::SparseVector;
+use tep_eval::metrics;
+
+fn sparse_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..24)
+        .prop_map(|entries|
+
+            entries
+                .into_iter()
+                .map(|(d, w)| (tep::corpus::DocId(d), w))
+                .collect::<SparseVector>()
+        )
+}
+
+proptest! {
+    #[test]
+    fn sparse_add_is_commutative(a in sparse_vector(), b in sparse_vector()) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.entries(), ba.entries());
+    }
+
+    #[test]
+    fn sparse_distance_is_a_metric(a in sparse_vector(), b in sparse_vector(), c in sparse_vector()) {
+        let dab = a.euclidean_distance(&b);
+        let dba = b.euclidean_distance(&a);
+        prop_assert!((dab - dba).abs() < 1e-5, "symmetry: {} vs {}", dab, dba);
+        prop_assert!(a.euclidean_distance(&a) < 1e-6, "identity");
+        // Triangle inequality.
+        let dac = a.euclidean_distance(&c);
+        let dcb = c.euclidean_distance(&b);
+        prop_assert!(dab <= dac + dcb + 1e-4, "triangle: {} > {} + {}", dab, dac, dcb);
+    }
+
+    #[test]
+    fn sparse_dot_agrees_with_norms(a in sparse_vector(), b in sparse_vector()) {
+        // |a-b|^2 = |a|^2 + |b|^2 - 2<a,b>
+        let lhs = a.euclidean_distance(&b).powi(2);
+        let rhs = a.norm_squared() + b.norm_squared() - 2.0 * a.dot(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn normalized_vectors_have_unit_norm(a in sparse_vector()) {
+        let n = a.normalized();
+        if a.is_zero() {
+            prop_assert!(n.is_zero());
+        } else {
+            prop_assert!((n.norm() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn restrict_to_is_idempotent_and_shrinking(a in sparse_vector(), docs in proptest::collection::btree_set(0u32..64, 0..32)) {
+        let docs: Vec<tep::corpus::DocId> = docs.into_iter().map(tep::corpus::DocId).collect();
+        let once = a.restrict_to(&docs);
+        let twice = once.restrict_to(&docs);
+        prop_assert_eq!(once.entries(), twice.entries());
+        prop_assert!(once.nnz() <= a.nnz());
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force(
+        n in 2usize..5,
+        extra in 0usize..3,
+        seed in proptest::collection::vec(0.01f64..100.0, 35),
+    ) {
+        let m = n + extra;
+        let data: Vec<f64> = seed.into_iter().take(n * m).collect();
+        prop_assume!(data.len() == n * m);
+        let cost = CostMatrix::from_rows(n, m, data);
+        let sol = solve(&cost).expect("feasible");
+        let best = brute_force(&cost);
+        prop_assert!((sol.total_cost - best).abs() < 1e-6, "{} vs {}", sol.total_cost, best);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_unique(
+        k in 1usize..8,
+        seed in proptest::collection::vec(0.01f64..10.0, 16),
+    ) {
+        let cost = CostMatrix::from_rows(4, 4, seed);
+        let sols = solve_top_k(&cost, k);
+        prop_assert!(sols.len() <= k);
+        for pair in sols.windows(2) {
+            prop_assert!(pair[0].total_cost <= pair[1].total_cost + 1e-9);
+        }
+        for i in 0..sols.len() {
+            for j in i + 1..sols.len() {
+                prop_assert_ne!(&sols[i].assignment, &sols[j].assignment);
+            }
+        }
+    }
+
+    #[test]
+    fn theme_is_order_and_case_insensitive(tags in proptest::collection::vec("[a-z]{1,8}( [a-z]{1,8})?", 0..8)) {
+        let forward = Theme::new(tags.iter().map(String::as_str));
+        let mut reversed_tags = tags.clone();
+        reversed_tags.reverse();
+        let reversed = Theme::new(reversed_tags.iter().map(|t| t.to_uppercase()));
+        prop_assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn subscription_notation_round_trips(
+        attrs in proptest::collection::btree_set("[a-z]{2,8}", 1..5),
+        approx in proptest::collection::vec((any::<bool>(), any::<bool>()), 5),
+    ) {
+        let mut builder = Subscription::builder();
+        for (i, attr) in attrs.iter().enumerate() {
+            let (aa, av) = approx[i % approx.len()];
+            let mut p = Predicate::new(attr, &format!("value {i}"));
+            if aa { p = p.approx_attribute(); }
+            if av { p = p.approx_value(); }
+            builder = builder.predicate(p);
+        }
+        let sub = builder.build().unwrap();
+        let reparsed = tep::events::parse_subscription(&sub.to_string()).unwrap();
+        prop_assert_eq!(sub, reparsed);
+    }
+
+    #[test]
+    fn event_notation_round_trips(
+        attrs in proptest::collection::btree_set("[a-z]{2,8}", 1..5),
+        tags in proptest::collection::btree_set("[a-z]{2,8}", 0..4),
+    ) {
+        let mut builder = Event::builder().theme_tags(tags.iter());
+        for (i, attr) in attrs.iter().enumerate() {
+            builder = builder.tuple(attr, &format!("value {i}"));
+        }
+        let event = builder.build().unwrap();
+        let reparsed = tep::events::parse_event(&event.to_string()).unwrap();
+        prop_assert_eq!(event, reparsed);
+    }
+
+    #[test]
+    fn interpolated_precision_is_bounded_and_monotone(
+        flags in proptest::collection::vec(any::<bool>(), 0..40),
+        total in 0usize..20,
+    ) {
+        let relevant_in_list = flags.iter().filter(|f| **f).count();
+        let total = total.max(relevant_in_list);
+        let p = metrics::interpolated_precision(&flags, total);
+        for v in p {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        for w in p.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12, "interpolated precision must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn f1_is_bounded_by_its_inputs(p in 0.0f64..1.0, r in 0.0f64..1.0) {
+        let f = metrics::f1(p, r);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(f <= p.max(r) + 1e-12);
+        prop_assert!(f >= 0.0);
+    }
+}
+
+/// Brute-force minimum assignment cost over all injective row→column maps.
+fn brute_force(c: &CostMatrix) -> f64 {
+    fn rec(c: &CostMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == c.rows() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for col in 0..c.cols() {
+            if !used[col] {
+                used[col] = true;
+                let v = c.get(row, col) + rec(c, row + 1, used);
+                used[col] = false;
+                best = best.min(v);
+            }
+        }
+        best
+    }
+    rec(c, 0, &mut vec![false; c.cols()])
+}
