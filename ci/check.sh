@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repository quality gate. Run from the repo root:
+#
+#   sh ci/check.sh
+#
+# Mirrors .github/workflows/ci.yml so the gate is reproducible offline.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "All checks passed."

@@ -4,8 +4,34 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
+use std::time::Duration;
 use tep::prelude::*;
 use tep_eval::{EvalConfig, MatcherStack, Workload};
+
+const FLUSH_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Injected panics would otherwise print a backtrace per fault and
+/// dominate the bench output.
+fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected matcher fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("injected matcher fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
 
 fn bench_broker(c: &mut Criterion) {
     let cfg = EvalConfig::tiny();
@@ -43,7 +69,7 @@ fn bench_broker(c: &mut Criterion) {
                     for e in &events {
                         broker.publish(e.clone()).unwrap();
                     }
-                    broker.flush();
+                    broker.flush_timeout(FLUSH_DEADLINE).unwrap();
                     let stats = broker.stats();
                     broker.shutdown();
                     stats.processed
@@ -65,10 +91,39 @@ fn bench_broker(c: &mut Criterion) {
             for e in events.iter().take(32) {
                 broker.publish(e.clone()).unwrap();
             }
-            broker.flush();
+            broker.flush_timeout(FLUSH_DEADLINE).unwrap();
             let stats = broker.stats();
             broker.shutdown();
             stats.processed
+        })
+    });
+    // Supervised-runtime overhead under faults: ~1% of events panic in
+    // the matcher, exercising catch_unwind isolation and quarantine on
+    // the hot path.
+    group.bench_function("exact_workers_2_faulty_1pct", |b| {
+        silence_injected_panics();
+        b.iter(|| {
+            let matcher = FaultInjectingMatcher::new(
+                ExactMatcher::new(),
+                FaultConfig::none(0xBE7C).with_panic_rate(0.01),
+            );
+            let broker = Broker::start(
+                Arc::new(matcher),
+                BrokerConfig::default()
+                    .with_workers(2)
+                    .with_max_match_attempts(1),
+            );
+            let mut receivers = Vec::new();
+            for s in workload.subscriptions().iter().take(8) {
+                receivers.push(broker.subscribe(s.clone()).unwrap().1);
+            }
+            for e in &events {
+                broker.publish(e.clone()).unwrap();
+            }
+            broker.flush_timeout(FLUSH_DEADLINE).unwrap();
+            let stats = broker.stats();
+            broker.shutdown();
+            (stats.processed, stats.worker_panics, stats.quarantined)
         })
     });
     group.finish();

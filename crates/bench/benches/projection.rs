@@ -29,9 +29,12 @@ fn bench_projection(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("distance");
     group.sample_size(50);
-    let energy = Theme::new(
-        ["energy policy", "electrical industry", "energy metering", "building energy"],
-    );
+    let energy = Theme::new([
+        "energy policy",
+        "electrical industry",
+        "energy metering",
+        "building energy",
+    ]);
     let full_a = space.term_vector("energy consumption").normalized();
     let full_b = space.term_vector("electricity usage").normalized();
     let proj_a = (*pvsm.project_normalized("energy consumption", &energy)).clone();

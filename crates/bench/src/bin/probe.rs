@@ -2,8 +2,8 @@
 //! combinations against the non-thematic baseline. Not part of the paper
 //! reproduction; used to tune the synthetic-corpus knobs.
 
-use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 use tep::thesaurus::{Domain, Thesaurus};
+use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("terms") {
@@ -44,15 +44,43 @@ fn main() {
 
     let combos: Vec<(&str, Vec<String>, Vec<String>)> = vec![
         ("all48/all48", all_tags.clone(), all_tags.clone()),
-        ("1perdom/1perdom", one_per_domain.clone(), one_per_domain.clone()),
-        ("2perdom/2perdom", two_per_domain.clone(), two_per_domain.clone()),
-        ("4perdom/4perdom", four_per_domain.clone(), four_per_domain.clone()),
-        ("1perdom/2perdom", one_per_domain.clone(), two_per_domain.clone()),
+        (
+            "1perdom/1perdom",
+            one_per_domain.clone(),
+            one_per_domain.clone(),
+        ),
+        (
+            "2perdom/2perdom",
+            two_per_domain.clone(),
+            two_per_domain.clone(),
+        ),
+        (
+            "4perdom/4perdom",
+            four_per_domain.clone(),
+            four_per_domain.clone(),
+        ),
+        (
+            "1perdom/2perdom",
+            one_per_domain.clone(),
+            two_per_domain.clone(),
+        ),
         ("1perdom/all48", one_per_domain.clone(), all_tags.clone()),
         ("2perdom/all48", two_per_domain.clone(), all_tags.clone()),
-        ("first2/first2", all_tags[..2].to_vec(), all_tags[..2].to_vec()),
-        ("first2/first12", all_tags[..2].to_vec(), all_tags[..12].to_vec()),
-        ("first12/first2", all_tags[..12].to_vec(), all_tags[..2].to_vec()),
+        (
+            "first2/first2",
+            all_tags[..2].to_vec(),
+            all_tags[..2].to_vec(),
+        ),
+        (
+            "first2/first12",
+            all_tags[..2].to_vec(),
+            all_tags[..12].to_vec(),
+        ),
+        (
+            "first12/first2",
+            all_tags[..12].to_vec(),
+            all_tags[..2].to_vec(),
+        ),
     ];
     for (name, ev, sub) in combos {
         let combo = ThemeCombination {
@@ -84,11 +112,20 @@ fn term_diagnostics() {
         .map(|t| t.as_str().to_string())
         .collect();
     let empty = Theme::empty();
-    let energy = Theme::new(["energy policy", "electrical industry", "energy metering", "building energy"]);
+    let energy = Theme::new([
+        "energy policy",
+        "electrical industry",
+        "energy metering",
+        "building energy",
+    ]);
     let allth = Theme::new(th_all.iter().map(|s| s.as_str()));
     let pairs = [
         ("energy consumption", "electricity usage", "synonym"),
-        ("increased energy consumption event", "increased electricity usage event", "syn-phrase"),
+        (
+            "increased energy consumption event",
+            "increased electricity usage event",
+            "syn-phrase",
+        ),
         ("laptop", "computer", "related"),
         ("refrigerator", "fridge", "synonym"),
         ("refrigerator", "laptop", "same-domain-diff"),
@@ -101,12 +138,22 @@ fn term_diagnostics() {
         ("galway", "dublin", "related-geo"),
         ("galway", "eire", "unrelated-ish"),
     ];
-    println!("{:<42} {:<18} {:>8} {:>8} {:>8}", "pair", "kind", "full", "energy", "all48");
+    println!(
+        "{:<42} {:<18} {:>8} {:>8} {:>8}",
+        "pair", "kind", "full", "energy", "all48"
+    );
     for (a, b, kind) in pairs {
         let f = pvsm.relatedness(a, &empty, b, &empty);
         let e = pvsm.relatedness(a, &energy, b, &energy);
         let l = pvsm.relatedness(a, &allth, b, &allth);
-        println!("{:<42} {:<18} {:>8.4} {:>8.4} {:>8.4}", format!("{a} | {b}"), kind, f, e, l);
+        println!(
+            "{:<42} {:<18} {:>8.4} {:>8.4} {:>8.4}",
+            format!("{a} | {b}"),
+            kind,
+            f,
+            e,
+            l
+        );
     }
     // Vector shapes.
     for t in ["energy consumption", "laptop", "room 112"] {

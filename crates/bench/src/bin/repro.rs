@@ -53,13 +53,19 @@ fn parse_args() -> Args {
             }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
-                config.seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+                config.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"));
             }
             c if !c.starts_with('-') => command = c.to_string(),
             other => usage(&format!("unknown flag {other}")),
         }
     }
-    Args { command, out, config }
+    Args {
+        command,
+        out,
+        config,
+    }
 }
 
 fn usage(msg: &str) -> ! {
@@ -173,7 +179,7 @@ fn grid(stack: &MatcherStack, workload: &Workload, out: &Path) -> GridReport {
     let mut done = 0usize;
     let mut progress = |cell: &GridCell| {
         done += 1;
-        if done % 10 == 0 || done == total {
+        if done.is_multiple_of(10) || done == total {
             eprintln!(
                 "#   cell {done}/{total} (es={}, ss={}) f1={:.2} tput={:.0} [{:.0}s elapsed]",
                 cell.event_theme_size,
@@ -186,7 +192,10 @@ fn grid(stack: &MatcherStack, workload: &Workload, out: &Path) -> GridReport {
     };
     let report = run_grid(stack, workload, Some(&mut progress));
     eprintln!("# grid done in {:.1}s", t.elapsed().as_secs_f64());
-    write(&out.join("grid.json"), &serde_json::to_string_pretty(&report).unwrap());
+    write(
+        &out.join("grid.json"),
+        &serde_json::to_string_pretty(&report).unwrap(),
+    );
     report
 }
 
@@ -203,10 +212,19 @@ fn load_or_run_grid(stack: &MatcherStack, workload: &Workload, out: &Path) -> Gr
 
 fn fig7(grid: &GridReport, baseline: &BaselineReport, out: &Path) {
     println!("\n== Figure 7: effectiveness of thematic matcher ==");
-    println!("{}", report::render_heatmap(grid, GridMetric::F1, baseline.f1));
-    println!("summary: {}", report::summarize(grid, GridMetric::F1, baseline.f1));
+    println!(
+        "{}",
+        report::render_heatmap(grid, GridMetric::F1, baseline.f1)
+    );
+    println!(
+        "summary: {}",
+        report::summarize(grid, GridMetric::F1, baseline.f1)
+    );
     println!("paper:   F1 62%-85% above baseline for >70% of combinations; baseline 62%");
-    write(&out.join("fig7_effectiveness.csv"), &report::grid_csv(grid, GridMetric::F1));
+    write(
+        &out.join("fig7_effectiveness.csv"),
+        &report::grid_csv(grid, GridMetric::F1),
+    );
 }
 
 fn fig8(grid: &GridReport, out: &Path) {
@@ -232,7 +250,10 @@ fn fig9(grid: &GridReport, baseline: &BaselineReport, out: &Path) {
         report::summarize(grid, GridMetric::Throughput, baseline.throughput)
     );
     println!("paper:   202-838 ev/s, avg 320 vs 202 baseline; >92% of combinations above baseline");
-    write(&out.join("fig9_throughput.csv"), &report::grid_csv(grid, GridMetric::Throughput));
+    write(
+        &out.join("fig9_throughput.csv"),
+        &report::grid_csv(grid, GridMetric::Throughput),
+    );
 }
 
 fn fig10(grid: &GridReport, out: &Path) {
@@ -273,7 +294,10 @@ fn table1(stack: &MatcherStack, workload: &Workload, out: &Path) {
         "(thematic themes: events {:?}, subscriptions {:?})",
         report.thematic_combination.event_tags, report.thematic_combination.subscription_tags
     );
-    write(&out.join("table1.json"), &serde_json::to_string_pretty(&report).unwrap());
+    write(
+        &out.join("table1.json"),
+        &serde_json::to_string_pretty(&report).unwrap(),
+    );
 }
 
 fn prior_work(stack: &MatcherStack, workload: &Workload, out: &Path) {
@@ -300,7 +324,10 @@ fn prior_work(stack: &MatcherStack, workload: &Workload, out: &Path) {
         "rewriting matcher:        {:.0} ev/s | paper: ~19,100 ev/s",
         report.rewriting_throughput
     );
-    write(&out.join("prior_work.json"), &serde_json::to_string_pretty(&report).unwrap());
+    write(
+        &out.join("prior_work.json"),
+        &serde_json::to_string_pretty(&report).unwrap(),
+    );
 }
 
 fn cold_start(stack: &MatcherStack, workload: &Workload, out: &Path) {
@@ -310,17 +337,26 @@ fn cold_start(stack: &MatcherStack, workload: &Workload, out: &Path) {
     let report = run_cold_start(stack, workload, 25, 6);
     println!("\n== cold start (extension; paper §7 future work) ==");
     for (i, t) in report.batch_throughput.iter().enumerate() {
-        println!("batch {i}: {t:.0} ev/s{}", if i == 0 { "  (cold caches)" } else { "" });
+        println!(
+            "batch {i}: {t:.0} ev/s{}",
+            if i == 0 { "  (cold caches)" } else { "" }
+        );
     }
     println!("warm/cold speedup: {:.2}x", report.warmup_speedup);
-    write(&out.join("cold_start.json"), &serde_json::to_string_pretty(&report).unwrap());
+    write(
+        &out.join("cold_start.json"),
+        &serde_json::to_string_pretty(&report).unwrap(),
+    );
 }
 
 fn tagging(stack: &MatcherStack, workload: &Workload, out: &Path) {
     eprintln!("# running tagging-modes experiment ...");
     let report = run_tagging_modes(stack, workload, &[2, 4, 8, 16], 3);
     println!("\n== tagging modes (extension; paper §2.3 loose vs no coupling) ==");
-    println!("{:<12} {:>18} {:>18}", "theme size", "contained F1", "free F1");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "theme size", "contained F1", "free F1"
+    );
     for row in &report.rows {
         println!(
             "{:<12} {:>12.1}% ±{:>3.1} {:>12.1}% ±{:>3.1}",
@@ -331,5 +367,8 @@ fn tagging(stack: &MatcherStack, workload: &Workload, out: &Path) {
             row.free_f1_std * 100.0
         );
     }
-    write(&out.join("tagging_modes.json"), &serde_json::to_string_pretty(&report).unwrap());
+    write(
+        &out.join("tagging_modes.json"),
+        &serde_json::to_string_pretty(&report).unwrap(),
+    );
 }

@@ -93,7 +93,11 @@ pub fn grid_csv(report: &GridReport, metric: GridMetric) -> String {
 pub fn scatter_csv(report: &GridReport, metric: GridMetric) -> String {
     let mut out = String::from("mean,std\n");
     for c in &report.cells {
-        out.push_str(&format!("{:.6},{:.6}\n", metric.mean_of(c), metric.std_of(c)));
+        out.push_str(&format!(
+            "{:.6},{:.6}\n",
+            metric.mean_of(c),
+            metric.std_of(c)
+        ));
     }
     out
 }
@@ -164,8 +168,14 @@ mod tests {
     fn heatmap_marks_baseline_crossings() {
         let r = tiny_report();
         let text = render_heatmap(&r, GridMetric::F1, 0.62);
-        assert!(text.contains('#'), "cell above baseline must be marked #\n{text}");
-        assert!(text.contains('.'), "cell below baseline must be marked .\n{text}");
+        assert!(
+            text.contains('#'),
+            "cell above baseline must be marked #\n{text}"
+        );
+        assert!(
+            text.contains('.'),
+            "cell below baseline must be marked .\n{text}"
+        );
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! The broker runtime.
 
-use crate::config::BrokerConfig;
+use crate::config::{BrokerConfig, PublishPolicy};
 use crate::notification::Notification;
 use crate::stats::{BrokerStats, StatsInner};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::supervisor::{supervisor_loop, DeadLetter, DeadLetterQueue, Job};
+use crossbeam::channel::{bounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
 use tep_matcher::Matcher;
+
+/// Default deadline for the bare [`Broker::flush`] convenience wrapper.
+const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Identifier handed out by [`Broker::subscribe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,28 +35,54 @@ impl fmt::Display for SubscriptionId {
 pub enum BrokerError {
     /// The broker has been shut down.
     Closed,
+    /// The ingress queue was full and the publish policy is
+    /// [`PublishPolicy::Reject`].
+    QueueFull,
+    /// The ingress queue stayed full past the [`PublishPolicy::Timeout`]
+    /// deadline.
+    PublishTimeout,
+    /// [`Broker::flush_timeout`] reached its deadline with events still in
+    /// flight.
+    FlushTimeout,
 }
 
 impl fmt::Display for BrokerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BrokerError::Closed => write!(f, "broker is shut down"),
+            BrokerError::QueueFull => write!(f, "ingress queue is full"),
+            BrokerError::PublishTimeout => write!(f, "publish timed out on a full ingress queue"),
+            BrokerError::FlushTimeout => write!(f, "flush deadline passed with events in flight"),
         }
     }
 }
 
 impl Error for BrokerError {}
 
-struct Registration {
-    subscription: Arc<Subscription>,
-    sender: Sender<Notification>,
+/// One subscriber's registry entry.
+pub(crate) struct Registration {
+    pub(crate) subscription: Arc<Subscription>,
+    pub(crate) sender: Sender<Notification>,
+    /// Kept only under [`crate::SubscriberPolicy::DropOldest`], where the
+    /// broker itself evicts queued notifications.
+    pub(crate) receiver: Option<Receiver<Notification>>,
+    /// Consecutive full-channel drops, for
+    /// [`crate::SubscriberPolicy::DisconnectAfter`].
+    pub(crate) consecutive_full: AtomicU64,
 }
 
-struct Shared {
-    registry: RwLock<HashMap<SubscriptionId, Arc<Registration>>>,
-    stats: Arc<StatsInner>,
-    threshold: f64,
-    notification_capacity: usize,
+/// State shared between the broker handle, its workers, and the
+/// supervisor.
+pub(crate) struct Shared {
+    pub(crate) registry: RwLock<HashMap<SubscriptionId, Arc<Registration>>>,
+    pub(crate) stats: Arc<StatsInner>,
+    pub(crate) config: BrokerConfig,
+    /// The ingress sender; `None` once the broker is closed. Workers exit
+    /// when every sender (this one plus transient publish clones) is gone
+    /// and the queue has drained.
+    pub(crate) ingress: RwLock<Option<Sender<Job>>>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) dead_letters: DeadLetterQueue,
 }
 
 /// A thread-pool publish/subscribe broker around any [`Matcher`].
@@ -60,41 +91,47 @@ struct Shared {
 /// against every registered subscription; matches at or above the
 /// configured delivery threshold are sent to the subscriber's channel.
 /// Ordering across workers is not guaranteed (synchronization decoupling).
+///
+/// The worker pool is **supervised**: matcher panics are isolated per
+/// match test (or, with isolation disabled, crash the worker and the
+/// supervisor respawns it), repeatedly-failing events are quarantined to a
+/// bounded dead-letter queue, and overload at both the ingress queue and
+/// the subscriber channels is governed by explicit policies
+/// ([`PublishPolicy`], [`crate::SubscriberPolicy`]). See the crate docs
+/// for the full failure model.
 pub struct Broker {
     shared: Arc<Shared>,
-    ingress: Option<Sender<Arc<Event>>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     next_id: AtomicU64,
 }
 
 impl Broker {
-    /// Starts the broker with `config.workers` matching threads.
+    /// Starts the broker with `config.workers` matching threads plus one
+    /// supervisor thread.
     pub fn start<M>(matcher: Arc<M>, config: BrokerConfig) -> Broker
     where
         M: Matcher + Send + Sync + 'static + ?Sized,
     {
+        let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             registry: RwLock::new(HashMap::new()),
             stats: Arc::new(StatsInner::default()),
-            threshold: config.delivery_threshold,
-            notification_capacity: config.notification_capacity,
+            dead_letters: DeadLetterQueue::new(config.dead_letter_capacity),
+            config,
+            ingress: RwLock::new(Some(tx)),
+            shutdown: AtomicBool::new(false),
         });
-        let (tx, rx) = bounded::<Arc<Event>>(config.queue_capacity.max(1));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let rx: Receiver<Arc<Event>> = rx.clone();
-                let shared = Arc::clone(&shared);
-                let matcher = Arc::clone(&matcher);
-                std::thread::Builder::new()
-                    .name(format!("tep-broker-{i}"))
-                    .spawn(move || worker_loop(rx, shared, matcher))
-                    .expect("spawn broker worker")
-            })
-            .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tep-broker-supervisor".into())
+                .spawn(move || supervisor_loop(shared, matcher, rx, worker_count))
+                .expect("spawn broker supervisor")
+        };
         Broker {
             shared,
-            ingress: Some(tx),
-            workers,
+            supervisor: Some(supervisor),
             next_id: AtomicU64::new(0),
         }
     }
@@ -104,21 +141,28 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// [`BrokerError::Closed`] after [`Broker::shutdown`].
+    /// [`BrokerError::Closed`] after [`Broker::shutdown`] or
+    /// [`Broker::close`].
     pub fn subscribe(
         &self,
         subscription: Subscription,
     ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
-        if self.ingress.is_none() {
+        if self.is_closed() {
             return Err(BrokerError::Closed);
         }
         let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = bounded(self.shared.notification_capacity.max(1));
+        let (tx, rx) = bounded(self.shared.config.notification_capacity.max(1));
+        let keep_receiver = matches!(
+            self.shared.config.subscriber_policy,
+            crate::config::SubscriberPolicy::DropOldest
+        );
         self.shared.registry.write().insert(
             id,
             Arc::new(Registration {
                 subscription: Arc::new(subscription),
                 sender: tx,
+                receiver: keep_receiver.then(|| rx.clone()),
+                consecutive_full: AtomicU64::new(0),
             }),
         );
         Ok((id, rx))
@@ -134,29 +178,91 @@ impl Broker {
         self.shared.registry.read().len()
     }
 
-    /// Publishes an event (blocks only when the ingress queue is full).
+    /// Publishes an event under the configured [`PublishPolicy`].
     ///
     /// # Errors
     ///
-    /// [`BrokerError::Closed`] after [`Broker::shutdown`].
+    /// * [`BrokerError::Closed`] after shutdown;
+    /// * [`BrokerError::QueueFull`] under [`PublishPolicy::Reject`] when
+    ///   the ingress queue is full;
+    /// * [`BrokerError::PublishTimeout`] under [`PublishPolicy::Timeout`]
+    ///   when the queue stays full past the deadline.
+    ///
+    /// Rejected and timed-out publishes are counted in
+    /// [`BrokerStats::rejected_publishes`]; `published` counts only
+    /// accepted events.
     pub fn publish(&self, event: Event) -> Result<(), BrokerError> {
-        let Some(tx) = &self.ingress else {
+        // Clone the sender out of the lock so a blocking send never holds
+        // the registry of the ingress.
+        let Some(tx) = self.shared.ingress.read().clone() else {
             return Err(BrokerError::Closed);
         };
-        self.shared.stats.published.fetch_add(1, Ordering::Relaxed);
-        tx.send(Arc::new(event)).map_err(|_| BrokerError::Closed)
+        let job = Job::new(event);
+        let result = match self.shared.config.publish_policy {
+            PublishPolicy::Block => tx.send(job).map_err(|_| BrokerError::Closed),
+            PublishPolicy::Timeout(deadline) => {
+                tx.send_timeout(job, deadline).map_err(|e| match e {
+                    SendTimeoutError::Timeout(_) => BrokerError::PublishTimeout,
+                    SendTimeoutError::Disconnected(_) => BrokerError::Closed,
+                })
+            }
+            PublishPolicy::Reject => tx.try_send(job).map_err(|e| match e {
+                TrySendError::Full(_) => BrokerError::QueueFull,
+                TrySendError::Disconnected(_) => BrokerError::Closed,
+            }),
+        };
+        match result {
+            Ok(()) => {
+                self.shared.stats.published.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, BrokerError::QueueFull | BrokerError::PublishTimeout) {
+                    self.shared
+                        .stats
+                        .rejected_publishes
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
     }
 
-    /// Blocks until every published event has been matched (busy-waits in
-    /// 100µs steps; intended for tests and benchmarks, not hot paths).
-    pub fn flush(&self) {
+    /// Blocks until every accepted event has finished its matching pass
+    /// (delivered, dropped, or quarantined), or until `timeout` passes.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::FlushTimeout`] when events are still in flight at
+    /// the deadline — e.g. the queue is deeper than the deadline allows,
+    /// or a matcher is wedged.
+    pub fn flush_timeout(&self, timeout: Duration) -> Result<(), BrokerError> {
+        let deadline = Instant::now() + timeout;
         loop {
             let s = self.stats();
             if s.processed >= s.published {
-                return;
+                return Ok(());
             }
-            std::thread::sleep(std::time::Duration::from_micros(100));
+            if Instant::now() >= deadline {
+                return Err(BrokerError::FlushTimeout);
+            }
+            std::thread::sleep(Duration::from_micros(100));
         }
+    }
+
+    /// Blocks until every accepted event has been matched, with a
+    /// generous default deadline (60 s).
+    ///
+    /// Convenience wrapper over [`Broker::flush_timeout`] for tests,
+    /// examples, and benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// If the default deadline passes — at that point the broker is
+    /// considered wedged and panicking beats hanging the caller forever.
+    pub fn flush(&self) {
+        self.flush_timeout(DEFAULT_FLUSH_DEADLINE)
+            .expect("broker flush exceeded its default 60s deadline");
     }
 
     /// A snapshot of the broker's counters.
@@ -164,17 +270,49 @@ impl Broker {
         self.shared.stats.snapshot()
     }
 
-    /// Stops accepting events, drains the queue and joins the workers.
+    /// The quarantined events currently in the dead-letter queue, oldest
+    /// first (bounded; the oldest entries may have been evicted).
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.shared.dead_letters.snapshot()
+    }
+
+    /// Removes and returns everything in the dead-letter queue.
+    pub fn drain_dead_letters(&self) -> Vec<DeadLetter> {
+        self.shared.dead_letters.drain()
+    }
+
+    /// Number of events currently quarantined.
+    pub fn dead_letter_count(&self) -> usize {
+        self.shared.dead_letters.len()
+    }
+
+    /// Whether [`Broker::close`] or [`Broker::shutdown`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.shared.ingress.read().is_none()
+    }
+
+    /// Stops accepting events without consuming the broker: subsequent
+    /// [`Broker::publish`] / [`Broker::subscribe`] calls return
+    /// [`BrokerError::Closed`], while queued events still drain and
+    /// stats/dead letters remain readable. Safe to call from any thread,
+    /// any number of times.
+    pub fn close(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Dropping the ingress sender disconnects the queue once transient
+        // publish clones finish; workers exit after draining it.
+        self.shared.ingress.write().take();
+    }
+
+    /// Stops accepting events, drains the queue, and joins the workers
+    /// and the supervisor.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
     fn shutdown_in_place(&mut self) {
-        // Dropping the only ingress sender closes the channel; workers
-        // exit once the queue drains.
-        self.ingress = None;
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        self.close();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -183,7 +321,7 @@ impl fmt::Debug for Broker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Broker")
             .field("subscriptions", &self.subscription_count())
-            .field("workers", &self.workers.len())
+            .field("closed", &self.is_closed())
             .field("stats", &self.stats())
             .finish()
     }
@@ -195,49 +333,54 @@ impl Drop for Broker {
     }
 }
 
-fn worker_loop<M>(rx: Receiver<Arc<Event>>, shared: Arc<Shared>, matcher: Arc<M>)
-where
-    M: Matcher + Send + Sync + ?Sized,
-{
-    for event in rx.iter() {
-        // Snapshot the registry so matching never holds the lock.
-        let registrations: Vec<(SubscriptionId, Arc<Registration>)> = shared
-            .registry
-            .read()
-            .iter()
-            .map(|(id, r)| (*id, Arc::clone(r)))
-            .collect();
-        for (id, reg) in registrations {
-            shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
-            let result = matcher.match_event(&reg.subscription, &event);
-            if !result.is_empty() && result.is_match(shared.threshold) {
-                let notification = Notification {
-                    subscription: id,
-                    event: Arc::clone(&event),
-                    result,
-                };
-                match reg.sender.try_send(notification) {
-                    Ok(()) => {
-                        shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                        shared.stats.delivery_failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-        }
-        shared.stats.processed.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SubscriberPolicy;
     use tep_events::{parse_event, parse_subscription};
-    use tep_matcher::ExactMatcher;
+    use tep_matcher::{ExactMatcher, FaultConfig, FaultInjectingMatcher, MatchResult};
 
     fn broker() -> Broker {
-        Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default().with_workers(2))
+        Broker::start(
+            Arc::new(ExactMatcher::new()),
+            BrokerConfig::default().with_workers(2),
+        )
+    }
+
+    /// Keeps injected panics from spamming test output: installs a hook
+    /// that silences panics whose payload is the injected-fault marker.
+    fn silence_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("injected"))
+                    || info
+                        .payload()
+                        .downcast_ref::<String>()
+                        .is_some_and(|m| m.contains("injected"));
+                if !injected {
+                    default_hook(info);
+                }
+            }));
+        });
+    }
+
+    /// A matcher that panics on every event whose `k` value is `boom`.
+    #[derive(Debug)]
+    struct BoomMatcher;
+
+    impl Matcher for BoomMatcher {
+        fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+            if event.value_of("k") == Some("boom") {
+                panic!("injected test fault");
+            }
+            ExactMatcher::new().match_event(subscription, event)
+        }
     }
 
     #[test]
@@ -246,13 +389,17 @@ mod tests {
         let (id, rx) = b
             .subscribe(parse_subscription("{device= computer}").unwrap())
             .unwrap();
-        b.publish(parse_event("{device: computer}").unwrap()).unwrap();
+        b.publish(parse_event("{device: computer}").unwrap())
+            .unwrap();
         b.publish(parse_event("{device: laptop}").unwrap()).unwrap();
         b.flush();
         let n = rx.try_recv().expect("one delivery");
         assert_eq!(n.subscription, id);
         assert_eq!(n.score(), 1.0);
-        assert!(rx.try_recv().is_err(), "non-matching event must not deliver");
+        assert!(
+            rx.try_recv().is_err(),
+            "non-matching event must not deliver"
+        );
         let stats = b.stats();
         assert_eq!(stats.published, 2);
         assert_eq!(stats.processed, 2);
@@ -284,14 +431,26 @@ mod tests {
     }
 
     #[test]
-    fn dropped_receiver_counts_as_failure() {
+    fn dropped_receiver_counts_and_reaps_the_registration() {
         let b = broker();
         let (_, rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
         drop(rx);
         b.publish(parse_event("{a: 1}").unwrap()).unwrap();
         b.flush();
-        assert_eq!(b.stats().delivery_failures, 1);
-        assert_eq!(b.stats().notifications, 0);
+        let stats = b.stats();
+        assert_eq!(stats.dropped_disconnected, 1);
+        assert_eq!(stats.delivery_failures(), 1);
+        assert_eq!(stats.notifications, 0);
+        assert_eq!(stats.disconnected_subscribers, 1);
+        assert_eq!(
+            b.subscription_count(),
+            0,
+            "dead registration must be reaped, not leaked"
+        );
+        // Later events no longer pay a match test for the dead subscriber.
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.flush();
+        assert_eq!(b.stats().dropped_disconnected, 1);
     }
 
     #[test]
@@ -315,9 +474,12 @@ mod tests {
             ..BrokerConfig::default()
         };
         let b = Broker::start(Arc::new(ExactMatcher::new()), config);
-        let (_, rx) = b.subscribe(parse_subscription("{k= hit}").unwrap()).unwrap();
+        let (_, rx) = b
+            .subscribe(parse_subscription("{k= hit}").unwrap())
+            .unwrap();
         for i in 0..64 {
-            b.publish(parse_event(&format!("{{k: hit, i: n{i}}}")).unwrap()).unwrap();
+            b.publish(parse_event(&format!("{{k: hit, i: n{i}}}")).unwrap())
+                .unwrap();
         }
         b.flush();
         assert_eq!(b.stats().processed, 64);
@@ -327,7 +489,9 @@ mod tests {
     #[test]
     fn many_events_all_processed() {
         let b = broker();
-        let (_, rx) = b.subscribe(parse_subscription("{kind= wanted}").unwrap()).unwrap();
+        let (_, rx) = b
+            .subscribe(parse_subscription("{kind= wanted}").unwrap())
+            .unwrap();
         for i in 0..200 {
             let kind = if i % 4 == 0 { "wanted" } else { "other" };
             b.publish(parse_event(&format!("{{kind: {kind}, seq: n{i}}}")).unwrap())
@@ -338,5 +502,280 @@ mod tests {
         assert_eq!(delivered, 50);
         assert_eq!(b.stats().processed, 200);
         assert_eq!(b.stats().match_tests, 200);
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_on_full_queue() {
+        silence_injected_panics();
+        // No workers can drain while the single worker sleeps on a slow
+        // matcher, so the 1-slot queue fills immediately.
+        let slow = FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(1).with_latency(1.0, Duration::from_millis(50)),
+        );
+        let config = BrokerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            publish_policy: PublishPolicy::Reject,
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(slow), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        let mut rejected = 0;
+        for i in 0..16 {
+            if b.publish(parse_event(&format!("{{k: v{i}}}")).unwrap())
+                == Err(BrokerError::QueueFull)
+            {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "a 1-slot queue must reject under burst");
+        let stats = b.stats();
+        assert_eq!(stats.rejected_publishes, rejected);
+        b.flush();
+        let stats = b.stats();
+        assert_eq!(
+            stats.processed, stats.published,
+            "accepted events all process"
+        );
+    }
+
+    #[test]
+    fn timeout_policy_gives_up_after_deadline() {
+        silence_injected_panics();
+        let slow = FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(1).with_latency(1.0, Duration::from_millis(100)),
+        );
+        let config = BrokerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            publish_policy: PublishPolicy::Timeout(Duration::from_millis(5)),
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(slow), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        let mut saw_timeout = false;
+        for i in 0..8 {
+            if b.publish(parse_event(&format!("{{k: v{i}}}")).unwrap())
+                == Err(BrokerError::PublishTimeout)
+            {
+                saw_timeout = true;
+                break;
+            }
+        }
+        assert!(saw_timeout, "publish must time out against a wedged queue");
+        assert!(b.stats().rejected_publishes >= 1);
+    }
+
+    #[test]
+    fn isolated_panic_poisons_neither_worker_nor_other_events() {
+        silence_injected_panics();
+        let config = BrokerConfig::default()
+            .with_workers(2)
+            .with_max_match_attempts(1);
+        let b = Broker::start(Arc::new(BoomMatcher), config);
+        let (_, rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+        for i in 0..20 {
+            let k = if i % 5 == 0 { "boom" } else { "ok" };
+            b.publish(parse_event(&format!("{{k: {k}, seq: n{i}}}")).unwrap())
+                .unwrap();
+        }
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+        let stats = b.stats();
+        assert_eq!(
+            stats.processed, 20,
+            "faulty events still count as processed"
+        );
+        assert_eq!(stats.worker_panics, 4);
+        assert_eq!(stats.quarantined, 4);
+        assert_eq!(
+            stats.workers_respawned, 0,
+            "isolation must not kill workers"
+        );
+        assert_eq!(stats.live_workers, 2);
+        assert_eq!(rx.try_iter().count(), 16, "clean events all deliver");
+        assert_eq!(b.dead_letter_count(), 4);
+        assert!(b
+            .dead_letters()
+            .iter()
+            .all(|d| d.event.value_of("k") == Some("boom") && d.attempts == 1));
+    }
+
+    #[test]
+    fn unisolated_panic_kills_worker_and_supervisor_respawns_it() {
+        silence_injected_panics();
+        let config = BrokerConfig::default()
+            .with_workers(2)
+            .with_panic_isolation(false)
+            .with_max_match_attempts(1);
+        let b = Broker::start(Arc::new(BoomMatcher), config);
+        let (_, rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+        for i in 0..20 {
+            let k = if i % 5 == 0 { "boom" } else { "ok" };
+            b.publish(parse_event(&format!("{{k: {k}, seq: n{i}}}")).unwrap())
+                .unwrap();
+        }
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.processed, 20);
+        assert_eq!(stats.worker_panics, 4, "each boom kills one worker");
+        assert_eq!(stats.workers_respawned, 4);
+        assert_eq!(stats.quarantined, 4);
+        assert_eq!(stats.live_workers, 2, "the pool must be back to strength");
+        assert_eq!(rx.try_iter().count(), 16);
+        b.shutdown();
+    }
+
+    #[test]
+    fn retry_budget_is_spent_before_quarantine() {
+        silence_injected_panics();
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_max_match_attempts(3);
+        let b = Broker::start(Arc::new(BoomMatcher), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+        b.publish(parse_event("{k: boom}").unwrap()).unwrap();
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.worker_panics, 3, "all three attempts panic");
+        assert_eq!(stats.quarantined, 1);
+        let letters = b.dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].attempts, 3);
+    }
+
+    #[test]
+    fn dead_letter_queue_is_bounded() {
+        silence_injected_panics();
+        let config = BrokerConfig {
+            workers: 1,
+            max_match_attempts: 1,
+            dead_letter_capacity: 4,
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(BoomMatcher), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+        for i in 0..10 {
+            b.publish(parse_event(&format!("{{k: boom, seq: n{i}}}")).unwrap())
+                .unwrap();
+        }
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(
+            b.stats().quarantined,
+            10,
+            "the counter keeps the full total"
+        );
+        assert_eq!(b.dead_letter_count(), 4, "the queue keeps only the newest");
+        let drained = b.drain_dead_letters();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(b.dead_letter_count(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_policy_keeps_the_newest_notifications() {
+        let config = BrokerConfig {
+            workers: 1,
+            notification_capacity: 4,
+            subscriber_policy: SubscriberPolicy::DropOldest,
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (_, rx) = b
+            .subscribe(parse_subscription("{k= hit}").unwrap())
+            .unwrap();
+        for i in 0..12 {
+            b.publish(parse_event(&format!("{{k: hit, seq: n{i}}}")).unwrap())
+                .unwrap();
+        }
+        b.flush();
+        let received: Vec<String> = rx
+            .try_iter()
+            .map(|n| n.event.value_of("seq").unwrap_or_default().to_string())
+            .collect();
+        assert_eq!(received.len(), 4, "channel keeps exactly its capacity");
+        assert!(
+            received.contains(&"n11".to_string()),
+            "newest must survive, got {received:?}"
+        );
+        let stats = b.stats();
+        assert_eq!(stats.dropped_full, 8);
+        assert_eq!(
+            stats.notifications, 12,
+            "every notification was admitted once"
+        );
+    }
+
+    #[test]
+    fn disconnect_after_policy_reaps_slow_subscribers() {
+        let config = BrokerConfig {
+            workers: 1,
+            notification_capacity: 2,
+            subscriber_policy: SubscriberPolicy::DisconnectAfter(3),
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        // `slow` never drains its 2-slot channel; `healthy` is drained
+        // after every event (flushing per publish keeps this deterministic).
+        let (_, _slow_rx) = b
+            .subscribe(parse_subscription("{k= hit}").unwrap())
+            .unwrap();
+        let (_, healthy_rx) = b
+            .subscribe(parse_subscription("{k= hit}").unwrap())
+            .unwrap();
+        for i in 0..10 {
+            b.publish(parse_event(&format!("{{k: hit, seq: n{i}}}")).unwrap())
+                .unwrap();
+            b.flush();
+            while healthy_rx.try_recv().is_ok() {}
+        }
+        let stats = b.stats();
+        assert_eq!(
+            b.subscription_count(),
+            1,
+            "the wedged subscriber must be reaped after 3 consecutive drops"
+        );
+        assert_eq!(stats.disconnected_subscribers, 1);
+        // 2 delivered before wedging + 3 consecutive drops; then reaped.
+        assert_eq!(stats.dropped_full, 3);
+        b.shutdown();
+    }
+
+    #[test]
+    fn flush_timeout_reports_wedged_queues() {
+        silence_injected_panics();
+        let slow = FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(1).with_latency(1.0, Duration::from_millis(200)),
+        );
+        let b = Broker::start(Arc::new(slow), BrokerConfig::default().with_workers(1));
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        for i in 0..4 {
+            b.publish(parse_event(&format!("{{k: v{i}}}")).unwrap())
+                .unwrap();
+        }
+        assert_eq!(
+            b.flush_timeout(Duration::from_millis(10)),
+            Err(BrokerError::FlushTimeout)
+        );
+        // The generous deadline succeeds once the backlog drains.
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn close_is_idempotent_and_usable_from_shared_references() {
+        let b = broker();
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.close();
+        b.close();
+        assert!(b.is_closed());
+        assert_eq!(
+            b.publish(parse_event("{a: 2}").unwrap()).unwrap_err(),
+            BrokerError::Closed
+        );
+        // Already-accepted events still drain after close.
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(b.stats().processed, 1);
+        b.shutdown();
     }
 }

@@ -1,6 +1,38 @@
 //! Broker configuration.
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What [`crate::Broker::publish`] does when the ingress queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PublishPolicy {
+    /// Block the publisher until a slot frees up (back-pressure; the
+    /// historical behavior).
+    Block,
+    /// Block up to the given deadline, then fail with
+    /// [`crate::BrokerError::PublishTimeout`].
+    Timeout(Duration),
+    /// Fail immediately with [`crate::BrokerError::QueueFull`].
+    Reject,
+}
+
+/// What a matching worker does when a subscriber's notification channel
+/// is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubscriberPolicy {
+    /// Drop the new notification (the historical behavior).
+    DropNewest,
+    /// Evict the oldest queued notification to make room for the new one.
+    ///
+    /// The broker keeps a receiver clone per registration to implement the
+    /// eviction, so in this mode a subscriber dropping its receiver is
+    /// *not* detected as a disconnect — lag is traded for liveness.
+    DropOldest,
+    /// Drop the new notification, and after this many *consecutive*
+    /// full-channel drops reap the registration entirely (the subscriber
+    /// is treated as dead-slow and disconnected).
+    DisconnectAfter(u64),
+}
 
 /// Configuration of the [`crate::Broker`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -11,13 +43,29 @@ pub struct BrokerConfig {
     /// subscriber. The approximate matcher is probabilistic, so delivery
     /// is thresholded rather than boolean.
     pub delivery_threshold: f64,
-    /// Capacity of the ingress event queue; [`crate::Broker::publish`]
-    /// blocks when it is full (back-pressure).
+    /// Capacity of the ingress event queue; what happens when it is full
+    /// is decided by [`BrokerConfig::publish_policy`].
     pub queue_capacity: usize,
-    /// Capacity of each subscriber's notification channel; notifications
-    /// to a full (or dropped) channel are counted as delivery failures
-    /// rather than blocking the matching workers.
+    /// Capacity of each subscriber's notification channel; what happens
+    /// when it is full is decided by [`BrokerConfig::subscriber_policy`].
     pub notification_capacity: usize,
+    /// Ingress overload policy.
+    pub publish_policy: PublishPolicy,
+    /// Subscriber overload policy.
+    pub subscriber_policy: SubscriberPolicy,
+    /// Whether each subscription × event match test runs under
+    /// `catch_unwind`, so a panicking matcher poisons neither the worker
+    /// thread nor the other subscriptions of the event. When disabled, a
+    /// matcher panic kills the worker; the supervisor respawns it and
+    /// recovers the in-flight event (at-least-once: already-delivered
+    /// notifications for that event may repeat).
+    pub isolate_matcher_panics: bool,
+    /// How many times an event's panicking match tests are attempted
+    /// before the event is quarantined to the dead-letter queue.
+    pub max_match_attempts: u32,
+    /// Capacity of the dead-letter queue; when full, the oldest quarantined
+    /// event is evicted to admit the newest.
+    pub dead_letter_capacity: usize,
 }
 
 impl BrokerConfig {
@@ -40,6 +88,30 @@ impl BrokerConfig {
         self.delivery_threshold = threshold;
         self
     }
+
+    /// Replaces the ingress overload policy.
+    pub fn with_publish_policy(mut self, policy: PublishPolicy) -> BrokerConfig {
+        self.publish_policy = policy;
+        self
+    }
+
+    /// Replaces the subscriber overload policy.
+    pub fn with_subscriber_policy(mut self, policy: SubscriberPolicy) -> BrokerConfig {
+        self.subscriber_policy = policy;
+        self
+    }
+
+    /// Replaces the per-event match attempt budget (clamped to at least 1).
+    pub fn with_max_match_attempts(mut self, attempts: u32) -> BrokerConfig {
+        self.max_match_attempts = attempts.max(1);
+        self
+    }
+
+    /// Enables or disables per-match panic isolation.
+    pub fn with_panic_isolation(mut self, isolate: bool) -> BrokerConfig {
+        self.isolate_matcher_panics = isolate;
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -49,6 +121,11 @@ impl Default for BrokerConfig {
             delivery_threshold: 0.25,
             queue_capacity: 1024,
             notification_capacity: 4096,
+            publish_policy: PublishPolicy::Block,
+            subscriber_policy: SubscriberPolicy::DropNewest,
+            isolate_matcher_panics: true,
+            max_match_attempts: 2,
+            dead_letter_capacity: 64,
         }
     }
 }
@@ -63,17 +140,45 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_capacity > 0);
         assert!((0.0..=1.0).contains(&c.delivery_threshold));
+        assert!(c.isolate_matcher_panics);
+        assert!(c.max_match_attempts >= 1);
+        assert!(c.dead_letter_capacity > 0);
+        assert_eq!(c.publish_policy, PublishPolicy::Block);
+        assert_eq!(c.subscriber_policy, SubscriberPolicy::DropNewest);
     }
 
     #[test]
     fn builders() {
-        let c = BrokerConfig::default().with_workers(0).with_delivery_threshold(0.5);
+        let c = BrokerConfig::default()
+            .with_workers(0)
+            .with_delivery_threshold(0.5)
+            .with_publish_policy(PublishPolicy::Reject)
+            .with_subscriber_policy(SubscriberPolicy::DisconnectAfter(3))
+            .with_max_match_attempts(0)
+            .with_panic_isolation(false);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
+        assert_eq!(c.publish_policy, PublishPolicy::Reject);
+        assert_eq!(c.subscriber_policy, SubscriberPolicy::DisconnectAfter(3));
+        assert_eq!(
+            c.max_match_attempts, 1,
+            "attempt budget is clamped to at least 1"
+        );
+        assert!(!c.isolate_matcher_panics);
     }
 
     #[test]
     fn auto_workers_positive() {
         assert!(BrokerConfig::auto_workers().workers >= 1);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let c = BrokerConfig::default()
+            .with_publish_policy(PublishPolicy::Timeout(Duration::from_millis(250)))
+            .with_subscriber_policy(SubscriberPolicy::DropOldest);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: BrokerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 }

@@ -19,6 +19,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
+//! use std::time::Duration;
 //! use tep_broker::{Broker, BrokerConfig};
 //! use tep_matcher::ExactMatcher;
 //! use tep_events::{parse_event, parse_subscription};
@@ -26,12 +27,33 @@
 //! let broker = Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default());
 //! let (_id, rx) = broker.subscribe(parse_subscription("{device= computer}")?)?;
 //! broker.publish(parse_event("{device: computer, office: room 112}")?)?;
-//! broker.flush();
+//! broker.flush_timeout(Duration::from_secs(30))?;
 //! let n = rx.try_recv().expect("notification delivered");
 //! assert_eq!(n.result.score(), 1.0);
 //! broker.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Failure model
+//!
+//! The worker pool is **supervised** (see `DESIGN.md` at the repo root
+//! for the full rationale):
+//!
+//! * matcher panics are caught per subscription × event match test
+//!   ([`BrokerConfig::isolate_matcher_panics`], on by default), so one
+//!   poisonous event cannot take down a worker or starve other
+//!   subscriptions;
+//! * events whose match tests keep panicking past
+//!   [`BrokerConfig::max_match_attempts`] are quarantined into a bounded
+//!   dead-letter queue ([`Broker::dead_letters`]);
+//! * with isolation off, a panic kills the worker and the supervisor
+//!   respawns it, recovering the in-flight event (at-least-once);
+//! * ingress overload is governed by [`PublishPolicy`]
+//!   (block / timeout / reject) and subscriber overload by
+//!   [`SubscriberPolicy`] (drop-newest / drop-oldest / disconnect);
+//! * [`Broker::flush_timeout`] bounds how long a caller waits on the
+//!   liveness invariant: every accepted event is eventually counted in
+//!   [`BrokerStats::processed`] — delivered, dropped, or quarantined.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -40,8 +62,10 @@ mod broker;
 mod config;
 mod notification;
 mod stats;
+mod supervisor;
 
 pub use broker::{Broker, BrokerError, SubscriptionId};
-pub use config::BrokerConfig;
+pub use config::{BrokerConfig, PublishPolicy, SubscriberPolicy};
 pub use notification::Notification;
 pub use stats::BrokerStats;
+pub use supervisor::DeadLetter;

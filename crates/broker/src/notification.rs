@@ -34,9 +34,7 @@ mod tests {
     fn score_delegates_to_result() {
         let n = Notification {
             subscription: SubscriptionId(7),
-            event: Arc::new(
-                Event::builder().tuple("a", "b").build().unwrap(),
-            ),
+            event: Arc::new(Event::builder().tuple("a", "b").build().unwrap()),
             result: MatchResult::no_match(),
         };
         assert_eq!(n.score(), 0.0);

@@ -4,13 +4,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Monotonic broker counters, cheap to read concurrently.
+///
+/// `live_workers` is the one gauge (it can go down); everything else only
+/// ever increases.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
     pub published: AtomicU64,
     pub processed: AtomicU64,
     pub match_tests: AtomicU64,
     pub notifications: AtomicU64,
-    pub delivery_failures: AtomicU64,
+    pub dropped_full: AtomicU64,
+    pub dropped_disconnected: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub workers_respawned: AtomicU64,
+    pub quarantined: AtomicU64,
+    pub rejected_publishes: AtomicU64,
+    pub disconnected_subscribers: AtomicU64,
+    pub live_workers: AtomicU64,
 }
 
 /// A point-in-time snapshot of the broker's counters.
@@ -18,14 +28,42 @@ pub(crate) struct StatsInner {
 pub struct BrokerStats {
     /// Events accepted by [`crate::Broker::publish`].
     pub published: u64,
-    /// Events fully matched against every subscription.
+    /// Events whose matching pass finished (delivered, dropped, or
+    /// quarantined — every accepted event ends up here exactly once).
     pub processed: u64,
     /// Individual subscription × event match tests executed.
     pub match_tests: u64,
     /// Notifications delivered to subscriber channels.
     pub notifications: u64,
-    /// Notifications dropped (subscriber gone or channel full).
-    pub delivery_failures: u64,
+    /// Notifications dropped because a subscriber channel was full.
+    pub dropped_full: u64,
+    /// Notifications dropped because the subscriber hung up.
+    pub dropped_disconnected: u64,
+    /// Matcher panics caught by worker isolation, plus worker threads
+    /// that died to an uncaught panic.
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor after a panic death.
+    pub workers_respawned: u64,
+    /// Events moved to the dead-letter queue after exhausting their match
+    /// attempts.
+    pub quarantined: u64,
+    /// Publishes refused by the ingress overload policy (queue full or
+    /// publish timeout).
+    pub rejected_publishes: u64,
+    /// Subscriber registrations reaped (hung-up receiver, or the
+    /// `DisconnectAfter` policy tripping).
+    pub disconnected_subscribers: u64,
+    /// Worker threads currently alive (a gauge, not a counter).
+    pub live_workers: u64,
+}
+
+impl BrokerStats {
+    /// Total notifications that could not be delivered, whatever the
+    /// reason — the sum of [`BrokerStats::dropped_full`] and
+    /// [`BrokerStats::dropped_disconnected`].
+    pub fn delivery_failures(&self) -> u64 {
+        self.dropped_full + self.dropped_disconnected
+    }
 }
 
 impl StatsInner {
@@ -35,7 +73,14 @@ impl StatsInner {
             processed: self.processed.load(Ordering::Relaxed),
             match_tests: self.match_tests.load(Ordering::Relaxed),
             notifications: self.notifications.load(Ordering::Relaxed),
-            delivery_failures: self.delivery_failures.load(Ordering::Relaxed),
+            dropped_full: self.dropped_full.load(Ordering::Relaxed),
+            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            rejected_publishes: self.rejected_publishes.load(Ordering::Relaxed),
+            disconnected_subscribers: self.disconnected_subscribers.load(Ordering::Relaxed),
+            live_workers: self.live_workers.load(Ordering::Relaxed),
         }
     }
 }
@@ -49,9 +94,19 @@ mod tests {
         let inner = Arc::new(StatsInner::default());
         inner.published.fetch_add(3, Ordering::Relaxed);
         inner.notifications.fetch_add(2, Ordering::Relaxed);
+        inner.worker_panics.fetch_add(1, Ordering::Relaxed);
         let snap = inner.snapshot();
         assert_eq!(snap.published, 3);
         assert_eq!(snap.notifications, 2);
+        assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.processed, 0);
+    }
+
+    #[test]
+    fn delivery_failures_is_the_sum_of_drop_reasons() {
+        let inner = Arc::new(StatsInner::default());
+        inner.dropped_full.fetch_add(4, Ordering::Relaxed);
+        inner.dropped_disconnected.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(inner.snapshot().delivery_failures(), 7);
     }
 }

@@ -1,0 +1,393 @@
+//! Worker threads, panic isolation, and the supervisor that respawns them.
+//!
+//! The failure model:
+//!
+//! * With [`crate::BrokerConfig::isolate_matcher_panics`] **on** (the
+//!   default), every subscription × event match test runs under
+//!   `catch_unwind`. A panicking matcher poisons neither the worker
+//!   thread nor the event's other subscriptions; the panicking pair is
+//!   retried inline up to the per-event attempt budget and the event is
+//!   quarantined to the dead-letter queue if the budget runs out.
+//! * With isolation **off**, a matcher panic kills the worker thread. The
+//!   supervisor notices, recovers the in-flight event from the worker's
+//!   slot (re-enqueueing or quarantining it), and respawns a replacement
+//!   worker. Delivery becomes at-least-once for the recovered event:
+//!   notifications already sent before the crash may repeat.
+//!
+//! Either way the broker's liveness invariant holds: every accepted event
+//! is eventually counted in `processed` (delivered, dropped, or
+//! quarantined), so [`crate::Broker::flush_timeout`] terminates.
+
+use crate::broker::{Registration, Shared, SubscriptionId};
+use crate::config::SubscriberPolicy;
+use crate::notification::Notification;
+use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tep_events::Event;
+use tep_matcher::Matcher;
+
+/// How often the supervisor polls its workers for panic deaths.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(1);
+
+/// A unit of work on the ingress queue: one event plus how many matching
+/// attempts it has already consumed.
+#[derive(Debug, Clone)]
+pub(crate) struct Job {
+    pub(crate) event: Arc<Event>,
+    pub(crate) attempts: u32,
+}
+
+impl Job {
+    pub(crate) fn new(event: Event) -> Job {
+        Job {
+            event: Arc::new(event),
+            attempts: 0,
+        }
+    }
+}
+
+/// An event quarantined after exhausting its match attempts.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The quarantined event.
+    pub event: Arc<Event>,
+    /// Match attempts consumed before quarantine.
+    pub attempts: u32,
+}
+
+/// Bounded FIFO of quarantined events; when full, the oldest entry is
+/// evicted to admit the newest.
+#[derive(Debug)]
+pub(crate) struct DeadLetterQueue {
+    entries: Mutex<VecDeque<DeadLetter>>,
+    capacity: usize,
+}
+
+impl DeadLetterQueue {
+    pub(crate) fn new(capacity: usize) -> DeadLetterQueue {
+        DeadLetterQueue {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, letter: DeadLetter) {
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(letter);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<DeadLetter> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    pub(crate) fn drain(&self) -> Vec<DeadLetter> {
+        self.entries.lock().drain(..).collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+/// Quarantines an event and counts it as processed, so `flush` never
+/// waits on an event that will not be matched again.
+fn quarantine(shared: &Shared, event: Arc<Event>, attempts: u32) {
+    shared.dead_letters.push(DeadLetter { event, attempts });
+    shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+    shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One supervised worker thread.
+struct Worker {
+    /// `None` once the thread has exited and been joined.
+    handle: Option<JoinHandle<()>>,
+    /// The job the worker is currently matching, for crash recovery.
+    inflight: Arc<Mutex<Option<Job>>>,
+    /// Set by the worker as its very last action on a *normal* exit; a
+    /// finished thread with this flag clear died to a panic.
+    done: Arc<AtomicBool>,
+}
+
+fn spawn_worker<M>(
+    index: usize,
+    rx: &Receiver<Job>,
+    shared: &Arc<Shared>,
+    matcher: &Arc<M>,
+) -> Worker
+where
+    M: Matcher + Send + Sync + 'static + ?Sized,
+{
+    let inflight: Arc<Mutex<Option<Job>>> = Arc::new(Mutex::new(None));
+    let done = Arc::new(AtomicBool::new(false));
+    shared.stats.live_workers.fetch_add(1, Ordering::Relaxed);
+    let handle = {
+        let rx = rx.clone();
+        let shared = Arc::clone(shared);
+        let matcher = Arc::clone(matcher);
+        let inflight = Arc::clone(&inflight);
+        let done = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name(format!("tep-broker-{index}"))
+            .spawn(move || {
+                for job in rx.iter() {
+                    *inflight.lock() = Some(job.clone());
+                    process_event(&shared, matcher.as_ref(), job);
+                    inflight.lock().take();
+                }
+                shared.stats.live_workers.fetch_sub(1, Ordering::Relaxed);
+                done.store(true, Ordering::Release);
+            })
+            .expect("spawn broker worker")
+    };
+    Worker {
+        handle: Some(handle),
+        inflight,
+        done,
+    }
+}
+
+/// The supervisor: spawns the initial worker pool, then polls for panic
+/// deaths, recovers in-flight events, and respawns replacements until
+/// shutdown completes (all workers exited normally after the queue
+/// drained).
+pub(crate) fn supervisor_loop<M>(
+    shared: Arc<Shared>,
+    matcher: Arc<M>,
+    rx: Receiver<Job>,
+    worker_count: usize,
+) where
+    M: Matcher + Send + Sync + 'static + ?Sized,
+{
+    let mut workers: Vec<Worker> = (0..worker_count)
+        .map(|i| spawn_worker(i, &rx, &shared, &matcher))
+        .collect();
+    let mut next_index = worker_count;
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        let mut all_exited = true;
+        for worker in &mut workers {
+            match &worker.handle {
+                None => continue, // exited normally earlier
+                Some(handle) if !handle.is_finished() => {
+                    all_exited = false;
+                    continue;
+                }
+                Some(_) => {}
+            }
+            let handle = worker.handle.take().expect("checked above");
+            let join_panicked = handle.join().is_err();
+            if !join_panicked && worker.done.load(Ordering::Acquire) {
+                continue; // normal exit: the queue disconnected and drained
+            }
+            // Panic death: the worker never reached its normal epilogue.
+            shared.stats.live_workers.fetch_sub(1, Ordering::Relaxed);
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(job) = worker.inflight.lock().take() {
+                recover_job(&shared, job);
+            }
+            *worker = spawn_worker(next_index, &rx, &shared, &matcher);
+            next_index += 1;
+            shared
+                .stats
+                .workers_respawned
+                .fetch_add(1, Ordering::Relaxed);
+            all_exited = false;
+        }
+        if shutting_down && all_exited {
+            return;
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
+/// Puts a crashed worker's in-flight job back into circulation: re-enqueue
+/// if it has attempt budget left and the broker is still accepting work,
+/// quarantine otherwise.
+fn recover_job(shared: &Shared, job: Job) {
+    let attempts = job.attempts + 1;
+    if attempts >= shared.config.max_match_attempts {
+        quarantine(shared, job.event, attempts);
+        return;
+    }
+    let requeue = Job {
+        event: Arc::clone(&job.event),
+        attempts,
+    };
+    let sent = shared
+        .ingress
+        .read()
+        .as_ref()
+        .map(|tx| tx.try_send(requeue))
+        .transpose()
+        .is_ok_and(|slot| slot.is_some());
+    if !sent {
+        // Broker closed or queue full: don't risk blocking the supervisor.
+        quarantine(shared, job.event, attempts);
+    }
+}
+
+/// Matches one event against every registered subscription and delivers
+/// the results, honoring panic isolation and the subscriber overload
+/// policy. Increments `processed` exactly once.
+fn process_event<M>(shared: &Shared, matcher: &M, job: Job)
+where
+    M: Matcher + ?Sized,
+{
+    // Snapshot the registry so matching never holds the lock.
+    let registrations: Vec<(SubscriptionId, Arc<Registration>)> = shared
+        .registry
+        .read()
+        .iter()
+        .map(|(id, r)| (*id, Arc::clone(r)))
+        .collect();
+    let mut dead: Vec<SubscriptionId> = Vec::new();
+    let mut exhausted_attempts = 0u32;
+    for (id, reg) in registrations {
+        let result = if shared.config.isolate_matcher_panics {
+            let budget = shared
+                .config
+                .max_match_attempts
+                .saturating_sub(job.attempts)
+                .max(1);
+            let mut outcome = None;
+            for _ in 0..budget {
+                shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    matcher.match_event(&reg.subscription, &job.event)
+                })) {
+                    Ok(r) => {
+                        outcome = Some(r);
+                        break;
+                    }
+                    Err(_) => {
+                        shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            match outcome {
+                Some(r) => r,
+                None => {
+                    exhausted_attempts = exhausted_attempts.max(budget);
+                    continue;
+                }
+            }
+        } else {
+            // Unisolated: a panic here unwinds through the worker loop and
+            // kills the thread; the supervisor recovers the in-flight job.
+            shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
+            matcher.match_event(&reg.subscription, &job.event)
+        };
+        if !result.is_empty() && result.is_match(shared.config.delivery_threshold) {
+            let notification = Notification {
+                subscription: id,
+                event: Arc::clone(&job.event),
+                result,
+            };
+            deliver(shared, id, &reg, notification, &mut dead);
+        }
+    }
+    if !dead.is_empty() {
+        let mut registry = shared.registry.write();
+        for id in dead {
+            if registry.remove(&id).is_some() {
+                shared
+                    .stats
+                    .disconnected_subscribers
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    if exhausted_attempts > 0 {
+        quarantine(
+            shared,
+            Arc::clone(&job.event),
+            job.attempts + exhausted_attempts,
+        );
+    } else {
+        shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Sends one notification under the configured subscriber overload
+/// policy, recording drop reasons and flagging registrations to reap.
+fn deliver(
+    shared: &Shared,
+    id: SubscriptionId,
+    reg: &Registration,
+    notification: Notification,
+    dead: &mut Vec<SubscriptionId>,
+) {
+    match reg.sender.try_send(notification) {
+        Ok(()) => {
+            shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+            reg.consecutive_full.store(0, Ordering::Relaxed);
+        }
+        Err(TrySendError::Full(notification)) => match shared.config.subscriber_policy {
+            SubscriberPolicy::DropNewest => {
+                shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+            }
+            SubscriberPolicy::DropOldest => {
+                drop_oldest_and_send(shared, reg, notification);
+            }
+            SubscriberPolicy::DisconnectAfter(limit) => {
+                shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                let consecutive = reg.consecutive_full.fetch_add(1, Ordering::Relaxed) + 1;
+                if consecutive >= limit {
+                    dead.push(id);
+                }
+            }
+        },
+        Err(TrySendError::Disconnected(_)) => {
+            shared
+                .stats
+                .dropped_disconnected
+                .fetch_add(1, Ordering::Relaxed);
+            dead.push(id);
+        }
+    }
+}
+
+/// `DropOldest`: evict queued notifications until the new one fits. The
+/// registration holds a receiver clone, so the channel can never
+/// disconnect under this policy.
+fn drop_oldest_and_send(shared: &Shared, reg: &Registration, mut notification: Notification) {
+    let Some(evictor) = &reg.receiver else {
+        // Defensive: policy changed after registration; fall back to
+        // dropping the new notification.
+        shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    for _ in 0..8 {
+        match reg.sender.try_send(notification) {
+            Ok(()) => {
+                shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(TrySendError::Full(back)) => {
+                notification = back;
+                match evictor.try_recv() {
+                    Ok(_evicted) => {
+                        shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TryRecvError::Empty) => {
+                        // The subscriber drained concurrently; retry the send.
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Contention beyond the retry bound (or an impossible disconnect):
+    // count the new notification as dropped rather than spin.
+    shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+}

@@ -135,7 +135,10 @@ impl<M: Matcher> CepEngine<M> {
     ///
     /// Panics if the pattern has no leaves (it could never fire).
     pub fn register(&mut self, pattern: Pattern) -> PatternId {
-        assert!(pattern.is_satisfiable(), "pattern has no leaf subscriptions");
+        assert!(
+            pattern.is_satisfiable(),
+            "pattern has no leaf subscriptions"
+        );
         let id = PatternId(self.next_id);
         self.next_id += 1;
         let state = NodeState::for_pattern(&pattern);
@@ -478,10 +481,7 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let mut e = CepEngine::new(
-            ProbabilisticMatcher::new(Half, MatcherConfig::top1()),
-            0.1,
-        );
+        let mut e = CepEngine::new(ProbabilisticMatcher::new(Half, MatcherConfig::top1()), 0.1);
         e.register(Pattern::sequence(
             [Pattern::single(approx("a")), Pattern::single(approx("b"))],
             10,

@@ -66,7 +66,10 @@ pub use tep_thesaurus as thesaurus;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use tep_broker::{Broker, BrokerConfig, Notification};
+    pub use tep_broker::{
+        Broker, BrokerConfig, BrokerError, BrokerStats, DeadLetter, Notification, PublishPolicy,
+        SubscriberPolicy,
+    };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};
     pub use tep_events::{
@@ -74,12 +77,12 @@ pub mod prelude {
     };
     pub use tep_index::{InvertedIndex, Tokenizer};
     pub use tep_matcher::{
-        Combiner, ExactMatcher, MatchMode, MatchResult, Matcher, MatcherConfig,
-        ProbabilisticMatcher, RewritingMatcher,
+        Combiner, ExactMatcher, Fault, FaultConfig, FaultInjectingMatcher, MatchMode, MatchResult,
+        Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher,
     };
     pub use tep_semantics::{
-        DistributionalSpace, EsaMeasure, ParametricVectorSpace, SemanticMeasure, Theme,
-        ThematicEsaMeasure,
+        DistributionalSpace, EsaMeasure, ParametricVectorSpace, SemanticMeasure,
+        ThematicEsaMeasure, Theme,
     };
     pub use tep_thesaurus::{Domain, Term, Thesaurus};
 }

@@ -71,7 +71,10 @@ impl Corpus {
 
     /// Number of documents whose topic was drawn from `domain`.
     pub fn domain_count(&self, domain: Domain) -> usize {
-        self.documents.iter().filter(|d| d.domain() == Some(domain)).count()
+        self.documents
+            .iter()
+            .filter(|d| d.domain() == Some(domain))
+            .count()
     }
 }
 

@@ -7,11 +7,10 @@
 
 /// Common function words; the indexing layer removes these.
 pub(crate) const STOP_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "is", "are",
-    "was", "were", "be", "been", "by", "with", "for", "from", "as", "that",
-    "this", "these", "those", "it", "its", "has", "have", "had", "not", "but",
-    "also", "can", "may", "will", "which", "their", "there", "than", "then",
-    "into", "over", "under", "between", "such", "per", "each", "other",
+    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "is", "are", "was", "were", "be",
+    "been", "by", "with", "for", "from", "as", "that", "this", "these", "those", "it", "its",
+    "has", "have", "had", "not", "but", "also", "can", "may", "will", "which", "their", "there",
+    "than", "then", "into", "over", "under", "between", "such", "per", "each", "other",
 ];
 
 /// Generic content words that appear across all domains.
@@ -22,15 +21,58 @@ pub(crate) const STOP_WORDS: &[&str] = &[
 /// cover essentially the whole corpus and thematic projection would
 /// degenerate to the identity.
 pub(crate) const FILLER_WORDS: &[&str] = &[
-    "report", "study", "analysis", "figures", "amount", "benchmark",
-    "quantification", "framework", "provision", "project", "result",
-    "extent", "number", "record", "summary", "overview", "survey",
-    "example", "case", "model", "method", "approach", "procedure",
-    "change", "increase", "decrease", "average", "total", "annual",
-    "daily", "hourly", "civic", "local", "national", "general", "common",
-    "typical", "observed", "reported", "estimated", "according", "during",
-    "period", "history", "progress", "administration", "authority",
-    "department", "council", "agency", "programme", "strategy",
+    "report",
+    "study",
+    "analysis",
+    "figures",
+    "amount",
+    "benchmark",
+    "quantification",
+    "framework",
+    "provision",
+    "project",
+    "result",
+    "extent",
+    "number",
+    "record",
+    "summary",
+    "overview",
+    "survey",
+    "example",
+    "case",
+    "model",
+    "method",
+    "approach",
+    "procedure",
+    "change",
+    "increase",
+    "decrease",
+    "average",
+    "total",
+    "annual",
+    "daily",
+    "hourly",
+    "civic",
+    "local",
+    "national",
+    "general",
+    "common",
+    "typical",
+    "observed",
+    "reported",
+    "estimated",
+    "according",
+    "during",
+    "period",
+    "history",
+    "progress",
+    "administration",
+    "authority",
+    "department",
+    "council",
+    "agency",
+    "programme",
+    "strategy",
 ];
 
 /// Numeric and code tokens (room numbers, desk codes, years). Real
@@ -38,9 +80,8 @@ pub(crate) const FILLER_WORDS: &[&str] = &[
 /// would collapse onto the same vector — these keep distinct identifiers
 /// distributionally distinct.
 pub(crate) const NUMERIC_FILLER: &[&str] = &[
-    "101", "112", "113", "114", "201", "204", "212", "301", "310", "315",
-    "101a", "112c", "114b", "201a", "204d", "212a", "301c", "310b", "42",
-    "2013", "2014", "2020", "6lowpan", "km", "kw",
+    "101", "112", "113", "114", "201", "204", "212", "301", "310", "315", "101a", "112c", "114b",
+    "201a", "204d", "212a", "301c", "310b", "42", "2013", "2014", "2020", "6lowpan", "km", "kw",
 ];
 
 /// Open-domain background vocabulary: topics far from the six evaluation
@@ -48,25 +89,116 @@ pub(crate) const NUMERIC_FILLER: &[&str] = &[
 /// mostly from these words, standing in for the vast majority of a real
 /// ESA corpus that is unrelated to any given event workload.
 pub(crate) const BACKGROUND_WORDS: &[&str] = &[
-    "history", "war", "battle", "empire", "king", "queen", "dynasty",
-    "revolution", "treaty", "medieval", "ancient", "century", "kingdom",
-    "film", "cinema", "actor", "director", "premiere", "festival",
-    "music", "album", "band", "concert", "orchestra", "symphony", "opera",
-    "novel", "poet", "literature", "chapter", "publisher", "manuscript",
-    "painting", "sculpture", "gallery", "exhibition", "portrait",
-    "museum", "theatre", "ballet", "choreography", "costume",
-    "football", "match", "tournament", "league", "championship", "goal",
-    "athlete", "olympic", "stadium", "referee", "coach", "cricket",
-    "tennis", "marathon", "swimming", "gymnastics", "medal",
-    "election", "parliament", "senate", "minister", "campaign", "ballot",
-    "monarchy", "republic", "constitution", "diplomat", "embassy",
-    "religion", "temple", "cathedral", "monastery", "pilgrimage",
-    "philosophy", "ethics", "logic", "metaphysics", "rhetoric",
-    "astronomy", "galaxy", "telescope", "comet", "nebula", "constellation",
-    "biology", "species", "evolution", "genome", "organism", "fossil",
-    "cuisine", "recipe", "restaurant", "chef", "baking", "vineyard",
-    "fashion", "textile", "garment", "silk", "wool", "embroidery",
-    "mythology", "legend", "folklore", "saga", "deity", "oracle",
+    "history",
+    "war",
+    "battle",
+    "empire",
+    "king",
+    "queen",
+    "dynasty",
+    "revolution",
+    "treaty",
+    "medieval",
+    "ancient",
+    "century",
+    "kingdom",
+    "film",
+    "cinema",
+    "actor",
+    "director",
+    "premiere",
+    "festival",
+    "music",
+    "album",
+    "band",
+    "concert",
+    "orchestra",
+    "symphony",
+    "opera",
+    "novel",
+    "poet",
+    "literature",
+    "chapter",
+    "publisher",
+    "manuscript",
+    "painting",
+    "sculpture",
+    "gallery",
+    "exhibition",
+    "portrait",
+    "museum",
+    "theatre",
+    "ballet",
+    "choreography",
+    "costume",
+    "football",
+    "match",
+    "tournament",
+    "league",
+    "championship",
+    "goal",
+    "athlete",
+    "olympic",
+    "stadium",
+    "referee",
+    "coach",
+    "cricket",
+    "tennis",
+    "marathon",
+    "swimming",
+    "gymnastics",
+    "medal",
+    "election",
+    "parliament",
+    "senate",
+    "minister",
+    "campaign",
+    "ballot",
+    "monarchy",
+    "republic",
+    "constitution",
+    "diplomat",
+    "embassy",
+    "religion",
+    "temple",
+    "cathedral",
+    "monastery",
+    "pilgrimage",
+    "philosophy",
+    "ethics",
+    "logic",
+    "metaphysics",
+    "rhetoric",
+    "astronomy",
+    "galaxy",
+    "telescope",
+    "comet",
+    "nebula",
+    "constellation",
+    "biology",
+    "species",
+    "evolution",
+    "genome",
+    "organism",
+    "fossil",
+    "cuisine",
+    "recipe",
+    "restaurant",
+    "chef",
+    "baking",
+    "vineyard",
+    "fashion",
+    "textile",
+    "garment",
+    "silk",
+    "wool",
+    "embroidery",
+    "mythology",
+    "legend",
+    "folklore",
+    "saga",
+    "deity",
+    "oracle",
 ];
 
 /// Domain words with strong *other* senses that real open-domain corpora
@@ -80,16 +212,47 @@ pub(crate) const BACKGROUND_WORDS: &[&str] = &[
 /// background into its basis and neutralize projection (enforced by a
 /// test in `tep-corpus`).
 pub(crate) const BACKGROUND_AMBIGUOUS: &[&str] = &[
-    "light", "current", "charge", "cell", "iron", "fan", "screen",
-    "platform", "station", "park", "speed", "pressure",
-    "load", "plant", "monitor", "terminal",
-    "bridge", "coach", "signal", "heat", "wind", "square", "floor",
+    "light",
+    "current",
+    "charge",
+    "cell",
+    "iron",
+    "fan",
+    "screen",
+    "platform",
+    "station",
+    "park",
+    "speed",
+    "pressure",
+    "load",
+    "plant",
+    "monitor",
+    "terminal",
+    "bridge",
+    "coach",
+    "signal",
+    "heat",
+    "wind",
+    "square",
+    "floor",
     // High-frequency head words of the event vocabulary whose open-domain
     // usage is extremely broad (a reading of a poem, the usage of a word,
     // consumption in Victorian novels, the event of the season, a room in
     // a castle, a unit of cavalry…).
-    "room", "desk", "event", "reading", "unit", "usage", "consumption",
-    "meter", "space", "ground", "street", "sensor", "device", "country",
+    "room",
+    "desk",
+    "event",
+    "reading",
+    "unit",
+    "usage",
+    "consumption",
+    "meter",
+    "space",
+    "ground",
+    "street",
+    "sensor",
+    "device",
+    "country",
 ];
 
 #[cfg(test)]

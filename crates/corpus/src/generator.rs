@@ -1,7 +1,9 @@
 //! The topic-cluster document generator.
 
 use crate::document::{DocId, Document};
-use crate::filler::{BACKGROUND_AMBIGUOUS, BACKGROUND_WORDS, FILLER_WORDS, NUMERIC_FILLER, STOP_WORDS};
+use crate::filler::{
+    BACKGROUND_AMBIGUOUS, BACKGROUND_WORDS, FILLER_WORDS, NUMERIC_FILLER, STOP_WORDS,
+};
 use crate::{Corpus, CorpusConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -298,14 +300,22 @@ mod tests {
         let corpus = CorpusGenerator::new(&th, CorpusConfig::small()).generate();
         let counts: Vec<usize> = Domain::ALL
             .iter()
-            .map(|d| corpus.documents().filter(|doc| doc.domain() == Some(*d)).count())
+            .map(|d| {
+                corpus
+                    .documents()
+                    .filter(|doc| doc.domain() == Some(*d))
+                    .count()
+            })
             .collect();
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
         assert!(max - min <= 1, "uneven domain coverage: {counts:?}");
         let background = corpus.documents().filter(|d| d.is_background()).count();
         let frac = background as f64 / corpus.len() as f64;
         let want = CorpusConfig::small().background_fraction;
-        assert!((frac - want).abs() < 0.1, "background fraction {frac} vs {want}");
+        assert!(
+            (frac - want).abs() < 0.1,
+            "background fraction {frac} vs {want}"
+        );
     }
 
     #[test]
@@ -343,12 +353,18 @@ mod tests {
             if tops.iter().any(|t| text.contains(&format!(" {t} "))) {
                 with_top_phrase += 1;
             }
-            if text.split(' ').any(|w| w == "energy" || w == "parking" || w == "sensor") {
+            if text
+                .split(' ')
+                .any(|w| w == "energy" || w == "parking" || w == "sensor")
+            {
                 leaked += 1;
             }
         }
         assert!(background > 0);
-        assert!(leaked > 0, "leakage must plant domain words in background docs");
+        assert!(
+            leaked > 0,
+            "leakage must plant domain words in background docs"
+        );
         assert!(
             (with_top_phrase as f64) < 0.2 * background as f64,
             "{with_top_phrase}/{background} background docs embed a top-term phrase"

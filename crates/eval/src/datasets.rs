@@ -56,33 +56,99 @@ pub const MEASUREMENT_UNITS: &[&str] = &[
 
 /// Vehicle brands for mobile sensor platforms.
 pub const CAR_BRANDS: &[&str] = &[
-    "toyota", "ford", "volkswagen", "renault", "peugeot", "fiat", "seat",
-    "opel", "citroen", "nissan", "honda", "hyundai", "kia", "mazda", "skoda",
-    "volvo", "audi", "bmw", "mercedes", "dacia", "suzuki", "mitsubishi",
-    "chevrolet", "jeep", "mini", "smart", "tesla", "lexus", "alfa romeo",
+    "toyota",
+    "ford",
+    "volkswagen",
+    "renault",
+    "peugeot",
+    "fiat",
+    "seat",
+    "opel",
+    "citroen",
+    "nissan",
+    "honda",
+    "hyundai",
+    "kia",
+    "mazda",
+    "skoda",
+    "volvo",
+    "audi",
+    "bmw",
+    "mercedes",
+    "dacia",
+    "suzuki",
+    "mitsubishi",
+    "chevrolet",
+    "jeep",
+    "mini",
+    "smart",
+    "tesla",
+    "lexus",
+    "alfa romeo",
     "land rover",
 ];
 
 /// Indoor appliance platforms (BLUED-style).
 pub const APPLIANCES: &[&str] = &[
-    "refrigerator", "washing machine", "dryer", "dishwasher", "microwave",
-    "oven", "kettle", "air conditioner", "boiler", "laptop", "computer",
-    "printer", "projector", "screen", "television", "lamp", "heater",
-    "vacuum cleaner", "toaster", "coffee maker", "hair dryer", "iron",
-    "fan", "router", "server", "light", "monitor",
+    "refrigerator",
+    "washing machine",
+    "dryer",
+    "dishwasher",
+    "microwave",
+    "oven",
+    "kettle",
+    "air conditioner",
+    "boiler",
+    "laptop",
+    "computer",
+    "printer",
+    "projector",
+    "screen",
+    "television",
+    "lamp",
+    "heater",
+    "vacuum cleaner",
+    "toaster",
+    "coffee maker",
+    "hair dryer",
+    "iron",
+    "fan",
+    "router",
+    "server",
+    "light",
+    "monitor",
 ];
 
 /// Indoor rooms (DERI-building-style).
 pub const ROOMS: &[&str] = &[
-    "room 101", "room 112", "room 114", "room 201", "room 204", "room 212",
-    "room 301", "room 310", "room 315", "meeting room a", "meeting room b",
-    "open space 1", "open space 2", "kitchen", "server room", "lobby",
+    "room 101",
+    "room 112",
+    "room 114",
+    "room 201",
+    "room 204",
+    "room 212",
+    "room 301",
+    "room 310",
+    "room 315",
+    "meeting room a",
+    "meeting room b",
+    "open space 1",
+    "open space 2",
+    "kitchen",
+    "server room",
+    "lobby",
 ];
 
 /// Desks inside rooms.
 pub const DESKS: &[&str] = &[
-    "desk 101a", "desk 112c", "desk 114b", "desk 201a", "desk 204d",
-    "desk 212a", "desk 301c", "desk 310b",
+    "desk 101a",
+    "desk 112c",
+    "desk 114b",
+    "desk 201a",
+    "desk 204d",
+    "desk 212a",
+    "desk 301c",
+    "desk 310b",
 ];
 
 /// Building floors.
@@ -96,14 +162,26 @@ pub const COUNTRIES: &[&str] = &["spain", "ireland", "france"];
 
 /// Urban zones.
 pub const ZONES: &[&str] = &[
-    "building", "city centre", "harbour", "campus", "suburb", "square",
-    "district", "park",
+    "building",
+    "city centre",
+    "harbour",
+    "campus",
+    "suburb",
+    "square",
+    "district",
+    "park",
 ];
 
 /// Streets for outdoor platforms.
 pub const STREETS: &[&str] = &[
-    "main street", "shop street", "quay street", "bridge street",
-    "station road", "market square", "college road", "harbour avenue",
+    "main street",
+    "shop street",
+    "quay street",
+    "bridge street",
+    "station road",
+    "market square",
+    "college road",
+    "harbour avenue",
 ];
 
 #[cfg(test)]

@@ -64,8 +64,7 @@ impl<'t> Expander<'t> {
             None => Some(own),
             Some(_) if own.len() <= 1 => Some(own),
             Some(allowed) => {
-                let both: Vec<Domain> =
-                    own.into_iter().filter(|d| allowed.contains(d)).collect();
+                let both: Vec<Domain> = own.into_iter().filter(|d| allowed.contains(d)).collect();
                 if both.is_empty() {
                     None
                 } else {
@@ -168,6 +167,9 @@ impl<'t> Expander<'t> {
             }
             let try_value_first = self.rng.gen_bool(0.7);
             let (attr, value) = tuples[idx].clone();
+            // Not `if_same_then_else`: try_replace mutates the tuple and
+            // advances the RNG, so the attempt order is load-bearing.
+            #[allow(clippy::if_same_then_else)]
             let done = if try_value_first {
                 self.try_replace(&mut tuples[idx].1, &value, &within)
                     || self.try_replace(&mut tuples[idx].0, &attr, &within)
@@ -191,7 +193,9 @@ impl<'t> Expander<'t> {
             seen.push(attr.clone());
             builder = builder.tuple(&attr, &value);
         }
-        builder.build().expect("expansion preserves event invariants")
+        builder
+            .build()
+            .expect("expansion preserves event invariants")
     }
 
     fn try_replace(&mut self, slot: &mut String, original: &str, within: &[Domain]) -> bool {
@@ -233,8 +237,7 @@ impl<'t> Expander<'t> {
 /// one tuple.
 #[cfg(test)]
 pub(crate) fn differs(a: &Event, b: &Event) -> bool {
-    a.tuples().len() != b.tuples().len()
-        || a.tuples().iter().zip(b.tuples()).any(|(x, y)| x != y)
+    a.tuples().len() != b.tuples().len() || a.tuples().iter().zip(b.tuples()).any(|(x, y)| x != y)
 }
 
 #[cfg(test)]

@@ -56,7 +56,13 @@ impl GridReport {
 
     /// Mean throughput across all cells.
     pub fn mean_throughput(&self) -> f64 {
-        mean(&self.cells.iter().map(|c| c.throughput_mean).collect::<Vec<_>>())
+        mean(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.throughput_mean)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Fraction of cells whose mean F1 exceeds `baseline_f1` (the paper
@@ -65,7 +71,10 @@ impl GridReport {
         if self.cells.is_empty() {
             return 0.0;
         }
-        self.cells.iter().filter(|c| c.f1_mean > baseline_f1).count() as f64
+        self.cells
+            .iter()
+            .filter(|c| c.f1_mean > baseline_f1)
+            .count() as f64
             / self.cells.len() as f64
     }
 

@@ -100,7 +100,10 @@ pub fn run_prior_work(stack: &MatcherStack, workload: &Workload, sets: usize) ->
             cfg.min_predicates,
             cfg.max_predicates,
         );
-        let half: Vec<Subscription> = exact.iter().map(|s| approximate_half(s, &mut rng)).collect();
+        let half: Vec<Subscription> = exact
+            .iter()
+            .map(|s| approximate_half(s, &mut rng))
+            .collect();
         let gt = GroundTruth::compute(workload.seeds(), &exact, workload.provenance());
         let sub_workload = workload.with_subscriptions(exact, half, gt);
         approx_f1.push(run_sub_experiment(&approximate, &sub_workload, &no_theme).f1());

@@ -45,8 +45,7 @@ pub fn run_table1(stack: &MatcherStack, workload: &Workload) -> Table1Report {
     // describe subscriptions, around 2–15". One sample is reported in the
     // table; the thematic row averages three to avoid a lucky/unlucky
     // draw.
-    let thematic_samples: Vec<ThemeCombination> =
-        (0..3).map(|_| sampler.sample(4, 12)).collect();
+    let thematic_samples: Vec<ThemeCombination> = (0..3).map(|_| sampler.sample(4, 12)).collect();
     let thematic_combination = thematic_samples[0].clone();
     let no_theme = ThemeCombination {
         event_tags: Vec::new(),

@@ -121,7 +121,10 @@ mod tests {
             for e in gt.relevant_events(s) {
                 // Every relevant event's seed exactly matches the
                 // subscription, by construction.
-                assert!(gt.is_relevant(s, prov[e]), "provenance seed must be relevant too");
+                assert!(
+                    gt.is_relevant(s, prov[e]),
+                    "provenance seed must be relevant too"
+                );
             }
         }
     }

@@ -8,9 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tep_corpus::Corpus;
 use tep_index::InvertedIndex;
-use tep_matcher::{
-    ExactMatcher, Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher,
-};
+use tep_matcher::{ExactMatcher, Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher};
 use tep_semantics::{
     DistributionalSpace, EsaMeasure, ParametricVectorSpace, PrecomputedMeasure, ThematicEsaMeasure,
 };
@@ -55,7 +53,10 @@ impl MatcherStack {
 
     /// The non-thematic approximate baseline \[16\] (§5.2.5).
     pub fn non_thematic(&self) -> ProbabilisticMatcher<EsaMeasure> {
-        ProbabilisticMatcher::new(EsaMeasure::new(Arc::clone(&self.space)), MatcherConfig::top1())
+        ProbabilisticMatcher::new(
+            EsaMeasure::new(Arc::clone(&self.space)),
+            MatcherConfig::top1(),
+        )
     }
 
     /// The content-based exact baseline (§1.2.1).
@@ -166,7 +167,10 @@ pub fn run_sub_experiment<M: Matcher + ?Sized>(
     let start = Instant::now();
     let mut scores: Vec<Vec<f64>> = Vec::with_capacity(subscriptions.len());
     for sub in &subscriptions {
-        let row: Vec<f64> = events.iter().map(|e| matcher.match_event(sub, e).score()).collect();
+        let row: Vec<f64> = events
+            .iter()
+            .map(|e| matcher.match_event(sub, e).score())
+            .collect();
         scores.push(row);
     }
     let elapsed = start.elapsed();

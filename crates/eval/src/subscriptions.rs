@@ -38,18 +38,14 @@ impl SubscriptionGenerator {
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
             let seed = &seeds[i % seeds.len()];
-            out.push(self.from_seed(seed, min_predicates, max_predicates));
+            out.push(self.subscription_from(seed, min_predicates, max_predicates));
         }
         out
     }
 
-    fn from_seed(&mut self, seed: &Event, min_p: usize, max_p: usize) -> Subscription {
+    fn subscription_from(&mut self, seed: &Event, min_p: usize, max_p: usize) -> Subscription {
         let tuples = seed.tuples();
-        let want = self
-            .rng
-            .gen_range(min_p..=max_p)
-            .min(tuples.len())
-            .max(1);
+        let want = self.rng.gen_range(min_p..=max_p).min(tuples.len()).max(1);
         let mut picked: Vec<usize> = Vec::with_capacity(want);
         // Anchor on the type tuple when present.
         if let Some(pos) = tuples.iter().position(|t| t.attribute() == "type") {
@@ -68,7 +64,9 @@ impl SubscriptionGenerator {
             let t = &tuples[idx];
             builder = builder.predicate_exact(t.attribute(), t.value());
         }
-        builder.build().expect("seed tuples form a valid subscription")
+        builder
+            .build()
+            .expect("seed tuples form a valid subscription")
     }
 }
 

@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn subscriptions_are_fully_approximate() {
         let w = Workload::generate(&EvalConfig::tiny());
-        assert!(w.subscriptions().iter().all(Subscription::is_fully_approximate));
+        assert!(w
+            .subscriptions()
+            .iter()
+            .all(Subscription::is_fully_approximate));
         assert!(w
             .exact_subscriptions()
             .iter()

@@ -78,7 +78,9 @@ mod tests {
         assert!(ModelError::DuplicateAttribute("type".into())
             .to_string()
             .contains("type"));
-        assert!(ParseError::MissingSeparator("abc".into()).to_string().contains("abc"));
+        assert!(ParseError::MissingSeparator("abc".into())
+            .to_string()
+            .contains("abc"));
         let wrapped: ParseError = ModelError::Empty.into();
         assert!(wrapped.to_string().contains("at least one"));
     }

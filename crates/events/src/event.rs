@@ -142,7 +142,10 @@ impl EventBuilder {
             if t.attribute().is_empty() {
                 return Err(ModelError::EmptyAttribute);
             }
-            if self.tuples[..i].iter().any(|p| p.attribute() == t.attribute()) {
+            if self.tuples[..i]
+                .iter()
+                .any(|p| p.attribute() == t.attribute())
+            {
                 return Err(ModelError::DuplicateAttribute(t.attribute().to_string()));
             }
         }
@@ -187,7 +190,10 @@ mod tests {
 
     #[test]
     fn value_lookup_is_normalized() {
-        let e = Event::builder().tuple("Measurement Unit", "kWh").build().unwrap();
+        let e = Event::builder()
+            .tuple("Measurement Unit", "kWh")
+            .build()
+            .unwrap();
         assert_eq!(e.value_of("measurement  unit"), Some("kwh"));
         assert_eq!(e.value_of("missing"), None);
     }

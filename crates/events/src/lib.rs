@@ -42,8 +42,8 @@ mod subscription;
 mod tuple;
 
 pub use error::{ModelError, ParseError};
-pub use operator::ComparisonOp;
 pub use event::{Event, EventBuilder};
+pub use operator::ComparisonOp;
 pub use parser::{parse_event, parse_subscription};
 pub use predicate::Predicate;
 pub use subscription::{DegreeOfApproximation, Subscription, SubscriptionBuilder};

@@ -111,7 +111,13 @@ mod tests {
     #[test]
     fn only_equality_supports_tilde() {
         assert!(ComparisonOp::Eq.supports_approximation());
-        for op in [ComparisonOp::Neq, ComparisonOp::Gt, ComparisonOp::Ge, ComparisonOp::Lt, ComparisonOp::Le] {
+        for op in [
+            ComparisonOp::Neq,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+        ] {
             assert!(!op.supports_approximation());
         }
     }

@@ -285,10 +285,9 @@ mod tests {
 
     #[test]
     fn relational_operators_parse() {
-        let s = parse_subscription(
-            "{temperature~ > 30, noise <= 85, room != room 112, speed >= 50}",
-        )
-        .unwrap();
+        let s =
+            parse_subscription("{temperature~ > 30, noise <= 85, room != room 112, speed >= 50}")
+                .unwrap();
         let p = &s.predicates()[0];
         assert_eq!(p.op(), crate::ComparisonOp::Gt);
         assert!(p.is_attribute_approx());
@@ -314,10 +313,8 @@ mod tests {
 
     #[test]
     fn round_trip_display_parse() {
-        let s = parse_subscription(
-            "({power}, {type= x~, device~= laptop~, office= room 112})",
-        )
-        .unwrap();
+        let s = parse_subscription("({power}, {type= x~, device~= laptop~, office= room 112})")
+            .unwrap();
         let reparsed = parse_subscription(&s.to_string()).unwrap();
         assert_eq!(s, reparsed);
     }

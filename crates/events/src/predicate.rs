@@ -55,7 +55,9 @@ impl Predicate {
     /// Creates a fully approximate predicate (`a~ = v~`), the §5.2.3
     /// 100%-approximation form.
     pub fn approximate(attribute: &str, value: &str) -> Predicate {
-        Predicate::new(attribute, value).approx_attribute().approx_value()
+        Predicate::new(attribute, value)
+            .approx_attribute()
+            .approx_value()
     }
 
     /// Marks the attribute as approximable (`a~`).

@@ -226,7 +226,10 @@ impl SubscriptionBuilder {
             if p.attribute().is_empty() {
                 return Err(ModelError::EmptyAttribute);
             }
-            if self.predicates[..i].iter().any(|q| q.attribute() == p.attribute()) {
+            if self.predicates[..i]
+                .iter()
+                .any(|q| q.attribute() == p.attribute())
+            {
                 return Err(ModelError::DuplicateAttribute(p.attribute().to_string()));
             }
         }
@@ -305,7 +308,10 @@ mod tests {
 
     #[test]
     fn empty_subscription_rejected() {
-        assert_eq!(Subscription::builder().build().unwrap_err(), ModelError::Empty);
+        assert_eq!(
+            Subscription::builder().build().unwrap_err(),
+            ModelError::Empty
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ mod tests {
         let idx = index();
         for wid in 0..idx.vocabulary_len() {
             for p in idx.postings(WordId(wid as u32)).iter() {
-                assert!(p.tf > 0.5 - 1e-6 && p.tf <= 1.0 + 1e-6, "tf {} out of Eq.2 range", p.tf);
+                assert!(
+                    p.tf > 0.5 - 1e-6 && p.tf <= 1.0 + 1e-6,
+                    "tf {} out of Eq.2 range",
+                    p.tf
+                );
             }
         }
     }

@@ -69,9 +69,21 @@ mod tests {
 
     fn list() -> PostingList {
         PostingList::from_sorted(vec![
-            Posting { doc: DocId(1), tf: 0.75, weight: 1.5 },
-            Posting { doc: DocId(4), tf: 1.0, weight: 2.0 },
-            Posting { doc: DocId(9), tf: 0.5, weight: 1.0 },
+            Posting {
+                doc: DocId(1),
+                tf: 0.75,
+                weight: 1.5,
+            },
+            Posting {
+                doc: DocId(4),
+                tf: 1.0,
+                weight: 2.0,
+            },
+            Posting {
+                doc: DocId(9),
+                tf: 0.5,
+                weight: 1.0,
+            },
         ])
     }
 

@@ -25,11 +25,10 @@ pub struct Tokenizer {
 
 /// Default English stop words (function words).
 const DEFAULT_STOP_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "is", "are",
-    "was", "were", "be", "been", "by", "with", "for", "from", "as", "that",
-    "this", "these", "those", "it", "its", "has", "have", "had", "not", "but",
-    "also", "can", "may", "will", "which", "their", "there", "than", "then",
-    "into", "over", "under", "between", "such", "per", "each", "other",
+    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "is", "are", "was", "were", "be",
+    "been", "by", "with", "for", "from", "as", "that", "this", "these", "those", "it", "its",
+    "has", "have", "had", "not", "but", "also", "can", "may", "will", "which", "their", "there",
+    "than", "then", "into", "over", "under", "between", "such", "per", "each", "other",
 ];
 
 impl Tokenizer {
@@ -40,7 +39,10 @@ impl Tokenizer {
         S: Into<String>,
     {
         Tokenizer {
-            stop_words: stop_words.into_iter().map(|s| s.into().to_lowercase()).collect(),
+            stop_words: stop_words
+                .into_iter()
+                .map(|s| s.into().to_lowercase())
+                .collect(),
         }
     }
 
@@ -111,7 +113,10 @@ mod tests {
     #[test]
     fn lowercases() {
         let t = Tokenizer::default();
-        assert_eq!(t.tokenize("Energy CONSUMPTION"), vec!["energy", "consumption"]);
+        assert_eq!(
+            t.tokenize("Energy CONSUMPTION"),
+            vec!["energy", "consumption"]
+        );
     }
 
     #[test]

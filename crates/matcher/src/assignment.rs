@@ -163,7 +163,7 @@ pub fn solve(cost: &CostMatrix) -> Option<Assignment> {
             total += cost.get(p[j] - 1, j - 1);
         }
     }
-    if assignment.iter().any(|&c| c == usize::MAX) || total >= INFEASIBLE_THRESHOLD {
+    if assignment.contains(&usize::MAX) || total >= INFEASIBLE_THRESHOLD {
         return None;
     }
     Some(Assignment {
@@ -305,7 +305,9 @@ mod tests {
         // Deterministic pseudo-random matrices (LCG).
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..30 {

@@ -1,0 +1,300 @@
+//! Deterministic fault injection for chaos testing the broker runtime.
+
+use crate::mapping::MatchResult;
+use crate::matcher::Matcher;
+use std::time::Duration;
+use tep_events::{Event, Subscription};
+
+/// Rates and seed driving a [`FaultInjectingMatcher`].
+///
+/// All rates are probabilities in `[0, 1]`. Panic and error are mutually
+/// exclusive (panic wins); latency is decided independently and can
+/// combine with either.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed mixed into every per-event fault decision.
+    pub seed: u64,
+    /// Probability that matching an event panics.
+    pub panic_rate: f64,
+    /// Probability that matching an event degrades to a no-match result
+    /// without consulting the inner matcher.
+    pub error_rate: f64,
+    /// Probability that matching an event sleeps for [`FaultConfig::latency`]
+    /// before delegating.
+    pub latency_rate: f64,
+    /// The injected latency.
+    pub latency: Duration,
+}
+
+impl FaultConfig {
+    /// A config that injects no faults at all.
+    pub fn none(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            panic_rate: 0.0,
+            error_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::from_micros(50),
+        }
+    }
+
+    /// Replaces the panic rate.
+    pub fn with_panic_rate(mut self, rate: f64) -> FaultConfig {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Replaces the error rate.
+    pub fn with_error_rate(mut self, rate: f64) -> FaultConfig {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Replaces the latency rate and duration.
+    pub fn with_latency(mut self, rate: f64, latency: Duration) -> FaultConfig {
+        self.latency_rate = rate;
+        self.latency = latency;
+        self
+    }
+}
+
+/// The fault (if any) injected for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault; the inner matcher runs normally.
+    None,
+    /// `match_event` panics.
+    Panic,
+    /// `match_event` returns [`MatchResult::no_match`] without running
+    /// the inner matcher.
+    Error,
+    /// `match_event` sleeps before delegating.
+    Latency,
+}
+
+/// A decorator over any [`Matcher`] that injects panics, degraded results,
+/// and latency at configurable rates — the chaos-testing harness for the
+/// supervised broker runtime.
+///
+/// Fault decisions are a **pure function of the event content and the
+/// seed**, not of a stateful RNG: the same event always faults the same
+/// way regardless of which worker thread matches it, how often it is
+/// retried, or how threads interleave. Tests can therefore pre-compute
+/// exactly which events will fault (via [`FaultInjectingMatcher::fault_for`])
+/// and assert broker counters against exact expected values.
+#[derive(Debug)]
+pub struct FaultInjectingMatcher<M> {
+    inner: M,
+    config: FaultConfig,
+}
+
+impl<M: Matcher> FaultInjectingMatcher<M> {
+    /// Wraps `inner` with the given fault configuration.
+    pub fn new(inner: M, config: FaultConfig) -> FaultInjectingMatcher<M> {
+        assert!(
+            (0.0..=1.0).contains(&config.panic_rate)
+                && (0.0..=1.0).contains(&config.error_rate)
+                && (0.0..=1.0).contains(&config.latency_rate),
+            "fault rates must be probabilities"
+        );
+        FaultInjectingMatcher { inner, config }
+    }
+
+    /// The inner matcher.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The fault configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The deterministic primary fault decision for `event` (panic/error);
+    /// latency is decided separately by [`FaultInjectingMatcher::is_slow`].
+    pub fn fault_for(&self, event: &Event) -> Fault {
+        let u = unit_interval(splitmix64(self.event_hash(event)));
+        if u < self.config.panic_rate {
+            Fault::Panic
+        } else if u < self.config.panic_rate + self.config.error_rate {
+            Fault::Error
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Whether matching `event` sleeps for the configured latency.
+    pub fn is_slow(&self, event: &Event) -> bool {
+        let u = unit_interval(splitmix64(self.event_hash(event) ^ 0xA5A5_5A5A_F00D_BEEF));
+        u < self.config.latency_rate
+    }
+
+    /// Whether `event` triggers any fault at all.
+    pub fn is_faulty(&self, event: &Event) -> bool {
+        self.fault_for(event) != Fault::None || self.is_slow(event)
+    }
+
+    fn event_hash(&self, event: &Event) -> u64 {
+        let mut h = self.config.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for tag in event.theme_tags() {
+            h = mix(h, fnv1a(tag));
+        }
+        for t in event.tuples() {
+            h = mix(h, fnv1a(t.attribute()));
+            h = mix(h, fnv1a(t.value()));
+        }
+        h
+    }
+}
+
+impl<M: Matcher> Matcher for FaultInjectingMatcher<M> {
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+        if self.is_slow(event) {
+            std::thread::sleep(self.config.latency);
+        }
+        match self.fault_for(event) {
+            Fault::Panic => panic!("injected matcher fault"),
+            Fault::Error => MatchResult::no_match(),
+            _ => self.inner.match_event(subscription, event),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fault-injecting"
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+fn mix(acc: u64, h: u64) -> u64 {
+    splitmix64(acc ^ h.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn unit_interval(h: u64) -> f64 {
+    // 53 high bits → uniform in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::ExactMatcher;
+    use tep_events::{parse_event, parse_subscription};
+
+    fn matcher(panic_rate: f64, error_rate: f64) -> FaultInjectingMatcher<ExactMatcher> {
+        FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(42)
+                .with_panic_rate(panic_rate)
+                .with_error_rate(error_rate),
+        )
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_event() {
+        let m = matcher(0.3, 0.3);
+        for i in 0..50 {
+            let e = parse_event(&format!("{{k: v{i}}}")).unwrap();
+            let first = m.fault_for(&e);
+            for _ in 0..5 {
+                assert_eq!(m.fault_for(&e), first);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let m = matcher(0.25, 0.25);
+        let mut panics = 0;
+        let mut errors = 0;
+        let total = 2000;
+        for i in 0..total {
+            let e = parse_event(&format!("{{k: v{i}, j: w{i}}}")).unwrap();
+            match m.fault_for(&e) {
+                Fault::Panic => panics += 1,
+                Fault::Error => errors += 1,
+                _ => {}
+            }
+        }
+        let quarter = total / 4;
+        assert!(
+            (panics as i64 - quarter).abs() < total / 10,
+            "{panics}/{total} panics"
+        );
+        assert!(
+            (errors as i64 - quarter).abs() < total / 10,
+            "{errors}/{total} errors"
+        );
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let m = matcher(0.0, 0.0);
+        for i in 0..200 {
+            let e = parse_event(&format!("{{k: v{i}}}")).unwrap();
+            assert_eq!(m.fault_for(&e), Fault::None);
+            assert!(!m.is_slow(&e));
+            assert!(!m.is_faulty(&e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected matcher fault")]
+    fn panic_fault_panics() {
+        let m = matcher(1.0, 0.0);
+        let s = parse_subscription("{k= v}").unwrap();
+        let e = parse_event("{k: v}").unwrap();
+        m.match_event(&s, &e);
+    }
+
+    #[test]
+    fn error_fault_degrades_to_no_match() {
+        let m = matcher(0.0, 1.0);
+        let s = parse_subscription("{k= v}").unwrap();
+        let e = parse_event("{k: v}").unwrap();
+        assert!(m.match_event(&s, &e).is_empty());
+    }
+
+    #[test]
+    fn clean_events_delegate_to_inner() {
+        let m = matcher(0.0, 0.0);
+        let s = parse_subscription("{k= v}").unwrap();
+        let e = parse_event("{k: v}").unwrap();
+        assert_eq!(m.match_event(&s, &e).score(), 1.0);
+    }
+
+    #[test]
+    fn different_seeds_fault_different_events() {
+        let a = FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(1).with_panic_rate(0.5),
+        );
+        let b = FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(2).with_panic_rate(0.5),
+        );
+        let mut differs = false;
+        for i in 0..64 {
+            let e = parse_event(&format!("{{k: v{i}}}")).unwrap();
+            if a.fault_for(&e) != b.fault_for(&e) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "seeds must influence fault decisions");
+    }
+}

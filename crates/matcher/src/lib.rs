@@ -55,12 +55,14 @@
 pub mod assignment;
 mod baselines;
 mod config;
+mod fault;
 mod mapping;
 mod matcher;
 mod similarity;
 
 pub use baselines::{ExactMatcher, RewritingMatcher};
 pub use config::{Combiner, MatchMode, MatcherConfig};
+pub use fault::{Fault, FaultConfig, FaultInjectingMatcher};
 pub use mapping::{Correspondence, Mapping, MatchResult};
 pub use matcher::{Matcher, ProbabilisticMatcher};
 pub use similarity::SimilarityMatrix;

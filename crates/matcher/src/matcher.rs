@@ -71,7 +71,11 @@ impl<M: SemanticMeasure> ProbabilisticMatcher<M> {
 
     /// Builds the similarity matrix for a pair (exposed for diagnostics
     /// and the benchmark harness).
-    pub fn similarity_matrix(&self, subscription: &Subscription, event: &Event) -> SimilarityMatrix {
+    pub fn similarity_matrix(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+    ) -> SimilarityMatrix {
         SimilarityMatrix::build(subscription, event, &self.measure, self.config.combiner)
     }
 }
@@ -187,7 +191,10 @@ mod tests {
             if a == b {
                 1.0
             } else {
-                self.scores.get(&(a.to_string(), b.to_string())).copied().unwrap_or(0.0)
+                self.scores
+                    .get(&(a.to_string(), b.to_string()))
+                    .copied()
+                    .unwrap_or(0.0)
             }
         }
     }
@@ -301,7 +308,11 @@ mod tests {
             .predicate_full_approx("a2", "v2")
             .build()
             .unwrap();
-        let e = Event::builder().tuple("x", "1").tuple("y", "2").build().unwrap();
+        let e = Event::builder()
+            .tuple("x", "1")
+            .tuple("y", "2")
+            .build()
+            .unwrap();
         let m = ProbabilisticMatcher::new(stub, MatcherConfig::top1());
         let best = m.match_event(&s, &e);
         let best = best.best().unwrap();

@@ -161,7 +161,10 @@ mod tests {
             if a == b {
                 1.0
             } else {
-                self.scores.get(&(a.to_string(), b.to_string())).copied().unwrap_or(0.0)
+                self.scores
+                    .get(&(a.to_string(), b.to_string()))
+                    .copied()
+                    .unwrap_or(0.0)
             }
         }
     }
@@ -270,17 +273,21 @@ mod tests {
         // temperature~ > 30 matches a 'thermal reading' attribute through
         // the measure while still requiring the numeric constraint.
         let stub = StubMeasure::default().with("temperature", "thermal reading", 0.8);
-        let e = Event::builder().tuple("thermal reading", "35").build().unwrap();
+        let e = Event::builder()
+            .tuple("thermal reading", "35")
+            .build()
+            .unwrap();
         let s = Subscription::builder()
-            .predicate(
-                Predicate::with_op("temperature", ComparisonOp::Gt, "30").approx_attribute(),
-            )
+            .predicate(Predicate::with_op("temperature", ComparisonOp::Gt, "30").approx_attribute())
             .build()
             .unwrap();
         let m = SimilarityMatrix::build(&s, &e, &stub, Combiner::Product);
         assert!((m.get(0, 0) - 0.8).abs() < 1e-12);
         // Below the bound: vetoed regardless of attribute similarity.
-        let cold = Event::builder().tuple("thermal reading", "20").build().unwrap();
+        let cold = Event::builder()
+            .tuple("thermal reading", "20")
+            .build()
+            .unwrap();
         let m = SimilarityMatrix::build(&s, &cold, &stub, Combiner::Product);
         assert_eq!(m.get(0, 0), 0.0);
     }

@@ -42,7 +42,9 @@ mod space;
 mod sparse;
 mod theme;
 
-pub use measure::{CachedMeasure, EsaMeasure, PrecomputedMeasure, SemanticMeasure, ThematicEsaMeasure};
+pub use measure::{
+    CachedMeasure, EsaMeasure, PrecomputedMeasure, SemanticMeasure, ThematicEsaMeasure,
+};
 pub use projection::ThemeBasis;
 pub use pvsm::ParametricVectorSpace;
 pub use space::DistributionalSpace;

@@ -286,7 +286,10 @@ mod tests {
     #[test]
     fn equal_terms_score_one() {
         let m = EsaMeasure::new(space());
-        assert_eq!(m.relatedness("x y z", &Theme::empty(), "x y z", &Theme::empty()), 1.0);
+        assert_eq!(
+            m.relatedness("x y z", &Theme::empty(), "x y z", &Theme::empty()),
+            1.0
+        );
     }
 
     #[test]
@@ -304,9 +307,9 @@ mod tests {
 
     #[test]
     fn thematic_measure_uses_projection() {
-        let pvsm = Arc::new(ParametricVectorSpace::new(
-            DistributionalSpace::new(InvertedIndex::build(&Corpus::generate(&CorpusConfig::small()))),
-        ));
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&Corpus::generate(&CorpusConfig::small())),
+        )));
         let m = ThematicEsaMeasure::new(pvsm);
         let th = Theme::new(["energy policy", "energy metering"]);
         let syn = m.relatedness("energy consumption", &th, "electricity usage", &th);

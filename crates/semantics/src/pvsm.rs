@@ -224,7 +224,11 @@ mod tests {
         let p = pvsm();
         let a = Theme::new(["land transport"]);
         let b = Theme::new(["air quality"]);
-        for (x, y) in [("parking", "ozone"), ("bus", "rainfall"), ("noise", "noise")] {
+        for (x, y) in [
+            ("parking", "ozone"),
+            ("bus", "rainfall"),
+            ("noise", "noise"),
+        ] {
             let r = p.relatedness(x, &a, y, &b);
             assert!((0.0..=1.0).contains(&r), "relatedness {r} out of range");
         }

@@ -136,7 +136,10 @@ mod tests {
     fn word_vector_support_is_document_frequency() {
         let s = space();
         let wid = s.index().word_id("energy").unwrap();
-        assert_eq!(s.word_vector("energy").nnz(), s.index().document_frequency(wid));
+        assert_eq!(
+            s.word_vector("energy").nnz(),
+            s.index().document_frequency(wid)
+        );
     }
 
     #[test]

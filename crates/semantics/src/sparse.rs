@@ -137,7 +137,10 @@ impl SparseVector {
 
     /// Squared L2 norm.
     pub fn norm_squared(&self) -> f64 {
-        self.entries.iter().map(|(_, w)| (*w as f64) * (*w as f64)).sum()
+        self.entries
+            .iter()
+            .map(|(_, w)| (*w as f64) * (*w as f64))
+            .sum()
     }
 
     /// L2 norm.

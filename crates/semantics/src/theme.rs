@@ -75,7 +75,10 @@ impl Theme {
 
     /// Whether every tag of `other` is also a tag of `self`.
     pub fn contains_theme(&self, other: &Theme) -> bool {
-        other.tags.iter().all(|t| self.tags.binary_search(t).is_ok())
+        other
+            .tags
+            .iter()
+            .all(|t| self.tags.binary_search(t).is_ok())
     }
 
     /// Whether `tag` (normalized) is in the theme.

@@ -92,21 +92,25 @@ impl ThesaurusBuilder {
         // Resolve a related term within the same domain first, falling back
         // to any domain (EuroVoc RT links may cross micro-thesauri).
         let resolve = |domain: Domain, term: &Term| -> Option<ConceptId> {
-            by_preferred.get(&(domain, term.clone())).copied().or_else(|| {
-                Domain::ALL
-                    .into_iter()
-                    .find_map(|d| by_preferred.get(&(d, term.clone())).copied())
-            })
+            by_preferred
+                .get(&(domain, term.clone()))
+                .copied()
+                .or_else(|| {
+                    Domain::ALL
+                        .into_iter()
+                        .find_map(|d| by_preferred.get(&(d, term.clone())).copied())
+                })
         };
 
         let mut concepts: Vec<Concept> = Vec::with_capacity(self.concepts.len());
         for (i, pc) in self.concepts.iter().enumerate() {
             let mut related = Vec::with_capacity(pc.related.len());
             for r in &pc.related {
-                let target = resolve(pc.domain, r).ok_or_else(|| ThesaurusError::UnknownRelated {
-                    from: pc.preferred.clone(),
-                    to: r.clone(),
-                })?;
+                let target =
+                    resolve(pc.domain, r).ok_or_else(|| ThesaurusError::UnknownRelated {
+                        from: pc.preferred.clone(),
+                        to: r.clone(),
+                    })?;
                 if target.index() != i {
                     related.push(target);
                 }

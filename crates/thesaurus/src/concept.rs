@@ -88,7 +88,10 @@ mod tests {
     fn terms_yield_preferred_first() {
         let c = concept();
         let terms: Vec<_> = c.terms().map(Term::as_str).collect();
-        assert_eq!(terms, vec!["energy consumption", "electricity usage", "power usage"]);
+        assert_eq!(
+            terms,
+            vec!["energy consumption", "electricity usage", "power usage"]
+        );
     }
 
     #[test]

@@ -126,187 +126,732 @@ fn top_terms(b: &mut ThesaurusBuilder) {
 
 fn transport(b: &mut ThesaurusBuilder) {
     let d = Domain::Transport;
-    b.concept(d, "parking", &["car park", "garage spot", "parking space", "parking bay"], &["vehicle", "parking occupancy"]);
-    b.concept(d, "parking occupancy", &["occupied spot", "space occupied", "bay occupancy"], &["parking meter"]);
+    b.concept(
+        d,
+        "parking",
+        &["car park", "garage spot", "parking space", "parking bay"],
+        &["vehicle", "parking occupancy"],
+    );
+    b.concept(
+        d,
+        "parking occupancy",
+        &["occupied spot", "space occupied", "bay occupancy"],
+        &["parking meter"],
+    );
     b.concept(d, "parking meter", &["pay station", "ticket machine"], &[]);
-    b.concept(d, "vehicle", &["car", "automobile", "motor vehicle"], &["traffic", "bus", "truck"]);
-    b.concept(d, "traffic", &["road traffic", "traffic flow", "vehicular flow"], &["congestion", "traffic light"]);
-    b.concept(d, "congestion", &["traffic jam", "gridlock", "bottleneck"], &["rush hour"]);
+    b.concept(
+        d,
+        "vehicle",
+        &["car", "automobile", "motor vehicle"],
+        &["traffic", "bus", "truck"],
+    );
+    b.concept(
+        d,
+        "traffic",
+        &["road traffic", "traffic flow", "vehicular flow"],
+        &["congestion", "traffic light"],
+    );
+    b.concept(
+        d,
+        "congestion",
+        &["traffic jam", "gridlock", "bottleneck"],
+        &["rush hour"],
+    );
     b.concept(d, "rush hour", &["peak traffic", "commute peak"], &[]);
-    b.concept(d, "traffic light", &["traffic signal", "stoplight", "signal light"], &["intersection"]);
-    b.concept(d, "intersection", &["junction", "crossroads", "roundabout"], &["road"]);
-    b.concept(d, "road", &["street", "roadway", "carriageway"], &["highway", "lane"]);
+    b.concept(
+        d,
+        "traffic light",
+        &["traffic signal", "stoplight", "signal light"],
+        &["intersection"],
+    );
+    b.concept(
+        d,
+        "intersection",
+        &["junction", "crossroads", "roundabout"],
+        &["road"],
+    );
+    b.concept(
+        d,
+        "road",
+        &["street", "roadway", "carriageway"],
+        &["highway", "lane"],
+    );
     b.concept(d, "highway", &["motorway", "expressway", "freeway"], &[]);
     b.concept(d, "lane", &["traffic lane", "bus lane"], &[]);
-    b.concept(d, "bus", &["coach", "transit bus", "omnibus"], &["bus stop", "public transport"]);
+    b.concept(
+        d,
+        "bus",
+        &["coach", "transit bus", "omnibus"],
+        &["bus stop", "public transport"],
+    );
     b.concept(d, "bus stop", &["transit stop", "coach stop"], &["station"]);
-    b.concept(d, "station", &["terminus", "depot", "transport hub"], &["platform"]);
+    b.concept(
+        d,
+        "station",
+        &["terminus", "depot", "transport hub"],
+        &["platform"],
+    );
     b.concept(d, "platform", &["boarding platform", "quay"], &[]);
-    b.concept(d, "public transport", &["public transit", "mass transit", "collective transport"], &["tram", "railway"]);
+    b.concept(
+        d,
+        "public transport",
+        &["public transit", "mass transit", "collective transport"],
+        &["tram", "railway"],
+    );
     b.concept(d, "tram", &["streetcar", "light rail", "trolley"], &[]);
-    b.concept(d, "railway", &["railroad", "rail network", "rail line"], &["train"]);
+    b.concept(
+        d,
+        "railway",
+        &["railroad", "rail network", "rail line"],
+        &["train"],
+    );
     b.concept(d, "train", &["rail service", "railcar"], &[]);
-    b.concept(d, "truck", &["lorry", "heavy goods vehicle", "freight vehicle"], &["freight"]);
-    b.concept(d, "freight", &["cargo", "goods transport", "haulage"], &["load"]);
+    b.concept(
+        d,
+        "truck",
+        &["lorry", "heavy goods vehicle", "freight vehicle"],
+        &["freight"],
+    );
+    b.concept(
+        d,
+        "freight",
+        &["cargo", "goods transport", "haulage"],
+        &["load"],
+    );
     b.concept(d, "load", &["payload", "shipment"], &[]);
-    b.concept(d, "speed", &["velocity", "travel speed", "vehicle speed"], &["speed limit"]);
-    b.concept(d, "speed limit", &["speed restriction", "maximum speed"], &[]);
-    b.concept(d, "bicycle", &["bike", "cycle", "pushbike"], &["cycle lane"]);
+    b.concept(
+        d,
+        "speed",
+        &["velocity", "travel speed", "vehicle speed"],
+        &["speed limit"],
+    );
+    b.concept(
+        d,
+        "speed limit",
+        &["speed restriction", "maximum speed"],
+        &[],
+    );
+    b.concept(
+        d,
+        "bicycle",
+        &["bike", "cycle", "pushbike"],
+        &["cycle lane"],
+    );
     b.concept(d, "cycle lane", &["bike path", "cycleway"], &[]);
     b.concept(d, "pedestrian", &["walker", "foot traffic"], &["crosswalk"]);
-    b.concept(d, "crosswalk", &["pedestrian crossing", "zebra crossing"], &[]);
-    b.concept(d, "toll", &["road charge", "congestion charge", "road pricing"], &["charge"]);
+    b.concept(
+        d,
+        "crosswalk",
+        &["pedestrian crossing", "zebra crossing"],
+        &[],
+    );
+    b.concept(
+        d,
+        "toll",
+        &["road charge", "congestion charge", "road pricing"],
+        &["charge"],
+    );
     b.concept(d, "charge", &["levy", "fee"], &[]);
     b.concept(d, "driver", &["motorist", "chauffeur", "operator"], &[]);
-    b.concept(d, "fuel", &["petrol", "gasoline", "diesel"], &["fuel station"]);
-    b.concept(d, "fuel station", &["petrol station", "filling station", "gas station"], &[]);
-    b.concept(d, "electric vehicle", &["ev", "battery car", "plug in vehicle"], &["charging point", "vehicle"]);
-    b.concept(d, "charging point", &["charging station", "ev charger", "charge point"], &[]);
-    b.concept(d, "route", &["itinerary", "path", "course"], &["navigation"]);
+    b.concept(
+        d,
+        "fuel",
+        &["petrol", "gasoline", "diesel"],
+        &["fuel station"],
+    );
+    b.concept(
+        d,
+        "fuel station",
+        &["petrol station", "filling station", "gas station"],
+        &[],
+    );
+    b.concept(
+        d,
+        "electric vehicle",
+        &["ev", "battery car", "plug in vehicle"],
+        &["charging point", "vehicle"],
+    );
+    b.concept(
+        d,
+        "charging point",
+        &["charging station", "ev charger", "charge point"],
+        &[],
+    );
+    b.concept(
+        d,
+        "route",
+        &["itinerary", "path", "course"],
+        &["navigation"],
+    );
     b.concept(d, "navigation", &["wayfinding", "routing", "guidance"], &[]);
-    b.concept(d, "accident", &["collision", "crash", "road incident"], &["road safety measure"]);
-    b.concept(d, "road safety measure", &["traffic calming", "safety barrier"], &[]);
-    b.concept(d, "garage", &["parking garage", "multi storey car park", "car lot"], &["parking"]);
-    b.concept(d, "licence plate", &["number plate", "registration plate"], &[]);
+    b.concept(
+        d,
+        "accident",
+        &["collision", "crash", "road incident"],
+        &["road safety measure"],
+    );
+    b.concept(
+        d,
+        "road safety measure",
+        &["traffic calming", "safety barrier"],
+        &[],
+    );
+    b.concept(
+        d,
+        "garage",
+        &["parking garage", "multi storey car park", "car lot"],
+        &["parking"],
+    );
+    b.concept(
+        d,
+        "licence plate",
+        &["number plate", "registration plate"],
+        &[],
+    );
     b.concept(d, "detour", &["diversion", "alternative route"], &[]);
     b.concept(d, "taxi", &["cab", "ride hailing", "minicab"], &[]);
 }
 
 fn environment(b: &mut ThesaurusBuilder) {
     let d = Domain::Environment;
-    b.concept(d, "temperature", &["air temperature", "ambient temperature", "thermal reading"], &["heat wave", "ground temperature"]);
-    b.concept(d, "ground temperature", &["soil temperature", "surface temperature"], &[]);
+    b.concept(
+        d,
+        "temperature",
+        &["air temperature", "ambient temperature", "thermal reading"],
+        &["heat wave", "ground temperature"],
+    );
+    b.concept(
+        d,
+        "ground temperature",
+        &["soil temperature", "surface temperature"],
+        &[],
+    );
     b.concept(d, "heat wave", &["hot spell", "extreme heat"], &[]);
-    b.concept(d, "relative humidity", &["humidity", "air moisture", "moisture level"], &["dew point"]);
+    b.concept(
+        d,
+        "relative humidity",
+        &["humidity", "air moisture", "moisture level"],
+        &["dew point"],
+    );
     b.concept(d, "dew point", &["condensation point"], &[]);
-    b.concept(d, "atmospheric pressure", &["barometric pressure", "air pressure", "pressure"], &[]);
-    b.concept(d, "wind speed", &["wind velocity", "gust speed"], &["wind direction", "anemometer"]);
+    b.concept(
+        d,
+        "atmospheric pressure",
+        &["barometric pressure", "air pressure", "pressure"],
+        &[],
+    );
+    b.concept(
+        d,
+        "wind speed",
+        &["wind velocity", "gust speed"],
+        &["wind direction", "anemometer"],
+    );
     b.concept(d, "wind direction", &["wind bearing", "wind heading"], &[]);
     b.concept(d, "anemometer", &["wind sensor", "wind gauge"], &[]);
-    b.concept(d, "rainfall", &["precipitation", "rain amount", "pluviometry"], &["rain gauge", "flood"]);
+    b.concept(
+        d,
+        "rainfall",
+        &["precipitation", "rain amount", "pluviometry"],
+        &["rain gauge", "flood"],
+    );
     b.concept(d, "rain gauge", &["pluviometer", "udometer"], &[]);
-    b.concept(d, "flood", &["flooding", "inundation", "high water"], &["water flow"]);
-    b.concept(d, "water flow", &["stream flow", "flow rate", "discharge"], &["river", "current"]);
+    b.concept(
+        d,
+        "flood",
+        &["flooding", "inundation", "high water"],
+        &["water flow"],
+    );
+    b.concept(
+        d,
+        "water flow",
+        &["stream flow", "flow rate", "discharge"],
+        &["river", "current"],
+    );
     b.concept(d, "current", &["water current", "stream current"], &[]);
     b.concept(d, "river", &["stream", "watercourse", "waterway"], &[]);
-    b.concept(d, "water quality", &["water purity", "potable water quality"], &["water resources management"]);
-    b.concept(d, "water resources management", &["water management", "water conservation"], &[]);
-    b.concept(d, "noise", &["noise level", "sound level", "acoustic level"], &["noise pollution measure", "decibel"]);
-    b.concept(d, "noise pollution measure", &["noise abatement", "sound insulation"], &[]);
+    b.concept(
+        d,
+        "water quality",
+        &["water purity", "potable water quality"],
+        &["water resources management"],
+    );
+    b.concept(
+        d,
+        "water resources management",
+        &["water management", "water conservation"],
+        &[],
+    );
+    b.concept(
+        d,
+        "noise",
+        &["noise level", "sound level", "acoustic level"],
+        &["noise pollution measure", "decibel"],
+    );
+    b.concept(
+        d,
+        "noise pollution measure",
+        &["noise abatement", "sound insulation"],
+        &[],
+    );
     b.concept(d, "decibel", &["sound intensity unit", "db level"], &[]);
-    b.concept(d, "air pollution", &["air contamination", "smog", "atmospheric pollution"], &["particles", "ozone", "no2", "co"]);
-    b.concept(d, "particles", &["particulate matter", "fine particles", "dust particles", "pm10"], &[]);
+    b.concept(
+        d,
+        "air pollution",
+        &["air contamination", "smog", "atmospheric pollution"],
+        &["particles", "ozone", "no2", "co"],
+    );
+    b.concept(
+        d,
+        "particles",
+        &[
+            "particulate matter",
+            "fine particles",
+            "dust particles",
+            "pm10",
+        ],
+        &[],
+    );
     b.concept(d, "ozone", &["o3", "trioxygen", "ozone concentration"], &[]);
     b.concept(d, "no2", &["nitrogen dioxide", "nitrogen oxide"], &[]);
     b.concept(d, "co", &["carbon monoxide", "monoxide"], &[]);
-    b.concept(d, "co2", &["carbon dioxide", "carbon emissions"], &["emission"]);
-    b.concept(d, "emission", &["pollutant release", "exhaust emission"], &[]);
-    b.concept(d, "solar radiation", &["sunlight intensity", "insolation", "solar irradiance"], &["radiation", "uv index"]);
-    b.concept(d, "radiation", &["radiant energy", "irradiation"], &["radiation par"]);
-    b.concept(d, "radiation par", &["photosynthetically active radiation", "par level"], &[]);
+    b.concept(
+        d,
+        "co2",
+        &["carbon dioxide", "carbon emissions"],
+        &["emission"],
+    );
+    b.concept(
+        d,
+        "emission",
+        &["pollutant release", "exhaust emission"],
+        &[],
+    );
+    b.concept(
+        d,
+        "solar radiation",
+        &["sunlight intensity", "insolation", "solar irradiance"],
+        &["radiation", "uv index"],
+    );
+    b.concept(
+        d,
+        "radiation",
+        &["radiant energy", "irradiation"],
+        &["radiation par"],
+    );
+    b.concept(
+        d,
+        "radiation par",
+        &["photosynthetically active radiation", "par level"],
+        &[],
+    );
     b.concept(d, "uv index", &["ultraviolet index", "uv level"], &[]);
-    b.concept(d, "soil moisture tension", &["soil water tension", "soil suction", "soil moisture"], &["soil"]);
+    b.concept(
+        d,
+        "soil moisture tension",
+        &["soil water tension", "soil suction", "soil moisture"],
+        &["soil"],
+    );
     b.concept(d, "soil", &["ground", "earth", "topsoil"], &["erosion"]);
     b.concept(d, "erosion", &["soil loss", "land degradation"], &[]);
-    b.concept(d, "plant", &["flora", "vegetation", "greenery"], &["tree", "park"]);
+    b.concept(
+        d,
+        "plant",
+        &["flora", "vegetation", "greenery"],
+        &["tree", "park"],
+    );
     b.concept(d, "tree", &["woodland", "forest cover"], &[]);
-    b.concept(d, "park", &["green space", "public garden", "urban park"], &[]);
+    b.concept(
+        d,
+        "park",
+        &["green space", "public garden", "urban park"],
+        &[],
+    );
     b.concept(d, "wildlife", &["fauna", "wild animals"], &["habitat"]);
     b.concept(d, "habitat", &["biotope", "natural environment"], &[]);
-    b.concept(d, "recycling", &["waste recovery", "material reuse"], &["waste"]);
+    b.concept(
+        d,
+        "recycling",
+        &["waste recovery", "material reuse"],
+        &["waste"],
+    );
     b.concept(d, "waste", &["refuse", "garbage", "litter"], &["waste bin"]);
-    b.concept(d, "waste bin", &["trash can", "litter bin", "refuse container"], &[]);
-    b.concept(d, "light", &["daylight", "illuminance", "ambient light"], &["light sensor"]);
-    b.concept(d, "light sensor", &["photometer", "lux meter", "luminosity sensor"], &[]);
-    b.concept(d, "weather station", &["meteorological station", "climate station"], &["station"]);
+    b.concept(
+        d,
+        "waste bin",
+        &["trash can", "litter bin", "refuse container"],
+        &[],
+    );
+    b.concept(
+        d,
+        "light",
+        &["daylight", "illuminance", "ambient light"],
+        &["light sensor"],
+    );
+    b.concept(
+        d,
+        "light sensor",
+        &["photometer", "lux meter", "luminosity sensor"],
+        &[],
+    );
+    b.concept(
+        d,
+        "weather station",
+        &["meteorological station", "climate station"],
+        &["station"],
+    );
 }
 
 fn energy(b: &mut ThesaurusBuilder) {
     let d = Domain::Energy;
-    b.concept(d, "energy consumption", &["electricity usage", "power usage", "energy use", "energy usage", "electricity consumption", "power consumption"], &["energy meter", "energy demand peak"]);
-    b.concept(d, "energy demand peak", &["consumption peak", "peak demand", "peak load", "usage peak"], &["load"]);
-    b.concept(d, "load", &["electrical load", "demand load"], &["load shedding"]);
-    b.concept(d, "load shedding", &["rolling blackout", "demand curtailment"], &[]);
-    b.concept(d, "energy meter", &["electricity meter", "power meter", "smart meter", "utility meter"], &["kilowatt hour"]);
-    b.concept(d, "kilowatt hour", &["kwh", "unit of electricity", "kilowatt hours"], &["watt"]);
+    b.concept(
+        d,
+        "energy consumption",
+        &[
+            "electricity usage",
+            "power usage",
+            "energy use",
+            "energy usage",
+            "electricity consumption",
+            "power consumption",
+        ],
+        &["energy meter", "energy demand peak"],
+    );
+    b.concept(
+        d,
+        "energy demand peak",
+        &["consumption peak", "peak demand", "peak load", "usage peak"],
+        &["load"],
+    );
+    b.concept(
+        d,
+        "load",
+        &["electrical load", "demand load"],
+        &["load shedding"],
+    );
+    b.concept(
+        d,
+        "load shedding",
+        &["rolling blackout", "demand curtailment"],
+        &[],
+    );
+    b.concept(
+        d,
+        "energy meter",
+        &[
+            "electricity meter",
+            "power meter",
+            "smart meter",
+            "utility meter",
+        ],
+        &["kilowatt hour"],
+    );
+    b.concept(
+        d,
+        "kilowatt hour",
+        &["kwh", "unit of electricity", "kilowatt hours"],
+        &["watt"],
+    );
     b.concept(d, "watt", &["wattage", "power unit"], &[]);
-    b.concept(d, "voltage", &["electric potential", "volt level"], &["current"]);
-    b.concept(d, "current", &["electric current", "amperage"], &["circuit"]);
-    b.concept(d, "circuit", &["electrical circuit", "wiring loop"], &["fuse"]);
+    b.concept(
+        d,
+        "voltage",
+        &["electric potential", "volt level"],
+        &["current"],
+    );
+    b.concept(
+        d,
+        "current",
+        &["electric current", "amperage"],
+        &["circuit"],
+    );
+    b.concept(
+        d,
+        "circuit",
+        &["electrical circuit", "wiring loop"],
+        &["fuse"],
+    );
     b.concept(d, "fuse", &["circuit breaker", "cutout"], &[]);
-    b.concept(d, "power grid", &["electricity grid", "distribution network", "transmission grid"], &["substation", "network"]);
+    b.concept(
+        d,
+        "power grid",
+        &[
+            "electricity grid",
+            "distribution network",
+            "transmission grid",
+        ],
+        &["substation", "network"],
+    );
     b.concept(d, "network", &["grid network", "supply network"], &[]);
-    b.concept(d, "substation", &["transformer station", "switching station"], &["station"]);
-    b.concept(d, "station", &["power station", "generating station"], &["power plant"]);
-    b.concept(d, "power plant", &["generating plant", "power facility"], &["plant", "turbine"]);
+    b.concept(
+        d,
+        "substation",
+        &["transformer station", "switching station"],
+        &["station"],
+    );
+    b.concept(
+        d,
+        "station",
+        &["power station", "generating station"],
+        &["power plant"],
+    );
+    b.concept(
+        d,
+        "power plant",
+        &["generating plant", "power facility"],
+        &["plant", "turbine"],
+    );
     b.concept(d, "plant", &["industrial plant", "production plant"], &[]);
-    b.concept(d, "turbine", &["generator turbine", "rotor"], &["generator"]);
+    b.concept(
+        d,
+        "turbine",
+        &["generator turbine", "rotor"],
+        &["generator"],
+    );
     b.concept(d, "generator", &["dynamo", "alternator"], &[]);
-    b.concept(d, "solar panel", &["photovoltaic panel", "pv module", "solar module"], &["solar power", "renewable source"]);
-    b.concept(d, "solar power", &["photovoltaic energy", "solar energy"], &[]);
-    b.concept(d, "renewable source", &["renewables", "green energy", "clean energy"], &["wind power"]);
-    b.concept(d, "wind power", &["wind energy", "wind generation"], &["wind farm"]);
+    b.concept(
+        d,
+        "solar panel",
+        &["photovoltaic panel", "pv module", "solar module"],
+        &["solar power", "renewable source"],
+    );
+    b.concept(
+        d,
+        "solar power",
+        &["photovoltaic energy", "solar energy"],
+        &[],
+    );
+    b.concept(
+        d,
+        "renewable source",
+        &["renewables", "green energy", "clean energy"],
+        &["wind power"],
+    );
+    b.concept(
+        d,
+        "wind power",
+        &["wind energy", "wind generation"],
+        &["wind farm"],
+    );
     b.concept(d, "wind farm", &["wind park", "turbine field"], &[]);
-    b.concept(d, "battery", &["accumulator", "storage battery", "energy storage"], &["cell", "charge"]);
+    b.concept(
+        d,
+        "battery",
+        &["accumulator", "storage battery", "energy storage"],
+        &["cell", "charge"],
+    );
     b.concept(d, "cell", &["battery cell", "electrochemical cell"], &[]);
-    b.concept(d, "charge", &["charging", "recharge", "battery charge"], &[]);
-    b.concept(d, "appliance", &["household appliance", "electrical appliance", "domestic appliance", "appliances"], &["refrigerator", "washing machine"]);
+    b.concept(
+        d,
+        "charge",
+        &["charging", "recharge", "battery charge"],
+        &[],
+    );
+    b.concept(
+        d,
+        "appliance",
+        &[
+            "household appliance",
+            "electrical appliance",
+            "domestic appliance",
+            "appliances",
+        ],
+        &["refrigerator", "washing machine"],
+    );
     b.concept(d, "refrigerator", &["fridge", "cooler unit", "icebox"], &[]);
-    b.concept(d, "washing machine", &["washer", "laundry machine"], &["dryer"]);
+    b.concept(
+        d,
+        "washing machine",
+        &["washer", "laundry machine"],
+        &["dryer"],
+    );
     b.concept(d, "dryer", &["tumble dryer", "clothes dryer"], &[]);
     b.concept(d, "dishwasher", &["dish washing machine"], &[]);
     b.concept(d, "microwave", &["microwave oven"], &["oven"]);
     b.concept(d, "oven", &["stove", "cooker", "range"], &[]);
     b.concept(d, "kettle", &["electric kettle", "water boiler"], &[]);
-    b.concept(d, "air conditioner", &["ac unit", "cooling unit", "air conditioning"], &["hvac"]);
-    b.concept(d, "hvac", &["climate control", "heating ventilation"], &["heating"]);
-    b.concept(d, "heating", &["heater", "space heating", "radiator heating"], &["boiler"]);
+    b.concept(
+        d,
+        "air conditioner",
+        &["ac unit", "cooling unit", "air conditioning"],
+        &["hvac"],
+    );
+    b.concept(
+        d,
+        "hvac",
+        &["climate control", "heating ventilation"],
+        &["heating"],
+    );
+    b.concept(
+        d,
+        "heating",
+        &["heater", "space heating", "radiator heating"],
+        &["boiler"],
+    );
     b.concept(d, "boiler", &["furnace", "heating boiler"], &[]);
-    b.concept(d, "lighting", &["illumination", "light fixture", "luminaire"], &["light", "street light"]);
+    b.concept(
+        d,
+        "lighting",
+        &["illumination", "light fixture", "luminaire"],
+        &["light", "street light"],
+    );
     b.concept(d, "light", &["lamp", "light bulb"], &[]);
-    b.concept(d, "street light", &["street lamp", "streetlight", "public lighting"], &[]);
-    b.concept(d, "energy efficiency measure", &["energy saving", "efficiency improvement", "consumption reduction"], &["insulation"]);
+    b.concept(
+        d,
+        "street light",
+        &["street lamp", "streetlight", "public lighting"],
+        &[],
+    );
+    b.concept(
+        d,
+        "energy efficiency measure",
+        &[
+            "energy saving",
+            "efficiency improvement",
+            "consumption reduction",
+        ],
+        &["insulation"],
+    );
     b.concept(d, "insulation", &["thermal insulation", "lagging"], &[]);
-    b.concept(d, "standby power", &["vampire power", "idle consumption", "phantom load"], &[]);
-    b.concept(d, "fan", &["ventilator", "cooling fan", "extractor fan"], &["air conditioner"]);
-    b.concept(d, "iron", &["smoothing iron", "clothes iron", "flat iron"], &["appliance"]);
-    b.concept(d, "tariff", &["electricity price", "energy rate", "unit price"], &[]);
+    b.concept(
+        d,
+        "standby power",
+        &["vampire power", "idle consumption", "phantom load"],
+        &[],
+    );
+    b.concept(
+        d,
+        "fan",
+        &["ventilator", "cooling fan", "extractor fan"],
+        &["air conditioner"],
+    );
+    b.concept(
+        d,
+        "iron",
+        &["smoothing iron", "clothes iron", "flat iron"],
+        &["appliance"],
+    );
+    b.concept(
+        d,
+        "tariff",
+        &["electricity price", "energy rate", "unit price"],
+        &[],
+    );
 }
 
 fn geography(b: &mut ThesaurusBuilder) {
     let d = Domain::Geography;
-    b.concept(d, "city", &["urban area", "municipality", "town", "metropolis"], &["district", "region"]);
-    b.concept(d, "district", &["borough", "quarter", "neighbourhood", "city district"], &["zone"]);
+    b.concept(
+        d,
+        "city",
+        &["urban area", "municipality", "town", "metropolis"],
+        &["district", "region"],
+    );
+    b.concept(
+        d,
+        "district",
+        &["borough", "quarter", "neighbourhood", "city district"],
+        &["zone"],
+    );
     b.concept(d, "zone", &["area", "sector", "precinct"], &[]);
-    b.concept(d, "region", &["province", "county", "territory"], &["country"]);
-    b.concept(d, "country", &["nation", "state", "sovereign state"], &["continent"]);
+    b.concept(
+        d,
+        "region",
+        &["province", "county", "territory"],
+        &["country"],
+    );
+    b.concept(
+        d,
+        "country",
+        &["nation", "state", "sovereign state"],
+        &["continent"],
+    );
     b.concept(d, "continent", &["landmass", "continental area"], &[]);
-    b.concept(d, "ireland", &["eire", "republic of ireland"], &["galway", "dublin"]);
+    b.concept(
+        d,
+        "ireland",
+        &["eire", "republic of ireland"],
+        &["galway", "dublin"],
+    );
     b.concept(d, "galway", &["galway city", "city of galway"], &[]);
     b.concept(d, "dublin", &["dublin city", "city of dublin"], &[]);
     b.concept(d, "spain", &["kingdom of spain", "espana"], &["santander"]);
-    b.concept(d, "santander", &["santander city", "cantabrian capital"], &[]);
-    b.concept(d, "europe", &["european countries", "european continent", "old continent"], &[]);
+    b.concept(
+        d,
+        "santander",
+        &["santander city", "cantabrian capital"],
+        &[],
+    );
+    b.concept(
+        d,
+        "europe",
+        &["european countries", "european continent", "old continent"],
+        &[],
+    );
     b.concept(d, "france", &["french republic"], &["bordeaux"]);
     b.concept(d, "bordeaux", &["bordeaux city", "port of the moon"], &[]);
-    b.concept(d, "coast", &["shoreline", "seaside", "coastal strip"], &["harbour"]);
+    b.concept(
+        d,
+        "coast",
+        &["shoreline", "seaside", "coastal strip"],
+        &["harbour"],
+    );
     b.concept(d, "harbour", &["port", "seaport", "marina"], &[]);
     b.concept(d, "mountain", &["peak", "summit", "highlands"], &["valley"]);
     b.concept(d, "valley", &["vale", "river basin"], &[]);
-    b.concept(d, "map", &["cartography", "street map", "city map"], &["grid"]);
-    b.concept(d, "grid", &["map grid", "coordinate grid"], &["coordinates"]);
-    b.concept(d, "coordinates", &["latitude longitude", "geolocation", "gps position"], &[]);
-    b.concept(d, "building", &["edifice", "premises", "structure"], &["floor", "campus"]);
+    b.concept(
+        d,
+        "map",
+        &["cartography", "street map", "city map"],
+        &["grid"],
+    );
+    b.concept(
+        d,
+        "grid",
+        &["map grid", "coordinate grid"],
+        &["coordinates"],
+    );
+    b.concept(
+        d,
+        "coordinates",
+        &["latitude longitude", "geolocation", "gps position"],
+        &[],
+    );
+    b.concept(
+        d,
+        "building",
+        &["edifice", "premises", "structure"],
+        &["floor", "campus"],
+    );
     b.concept(d, "floor", &["storey", "level", "ground floor"], &["room"]);
-    b.concept(d, "room", &["chamber", "office room", "indoor space"], &["office", "desk"]);
+    b.concept(
+        d,
+        "room",
+        &["chamber", "office room", "indoor space"],
+        &["office", "desk"],
+    );
     b.concept(d, "office", &["workplace", "bureau", "workspace"], &[]);
     b.concept(d, "desk", &["workstation desk", "work table"], &[]);
-    b.concept(d, "campus", &["university grounds", "institutional site"], &[]);
+    b.concept(
+        d,
+        "campus",
+        &["university grounds", "institutional site"],
+        &[],
+    );
     b.concept(d, "square", &["plaza", "town square", "piazza"], &[]);
     b.concept(d, "park", &["national park", "nature reserve"], &[]);
-    b.concept(d, "population density", &["inhabitants per area", "settlement density"], &[]);
+    b.concept(
+        d,
+        "population density",
+        &["inhabitants per area", "settlement density"],
+        &[],
+    );
     b.concept(d, "land parcel", &["plot", "lot", "cadastral unit"], &[]);
-    b.concept(d, "suburb", &["outskirts", "periphery", "commuter belt"], &[]);
+    b.concept(
+        d,
+        "suburb",
+        &["outskirts", "periphery", "commuter belt"],
+        &[],
+    );
     b.concept(d, "current", &["ocean current", "sea current"], &[]);
     b.concept(d, "island", &["isle", "islet"], &[]);
     b.concept(d, "bridge", &["viaduct", "overpass"], &[]);
@@ -314,83 +859,367 @@ fn geography(b: &mut ThesaurusBuilder) {
 
 fn education_communications(b: &mut ThesaurusBuilder) {
     let d = Domain::EducationCommunications;
-    b.concept(d, "computer", &["desktop computer", "workstation", "personal computer", "pc"], &["laptop", "server"]);
-    b.concept(d, "laptop", &["notebook", "portable computer", "notebook computer"], &["tablet"]);
+    b.concept(
+        d,
+        "computer",
+        &["desktop computer", "workstation", "personal computer", "pc"],
+        &["laptop", "server"],
+    );
+    b.concept(
+        d,
+        "laptop",
+        &["notebook", "portable computer", "notebook computer"],
+        &["tablet"],
+    );
     b.concept(d, "tablet", &["tablet computer", "slate device"], &[]);
-    b.concept(d, "server", &["host machine", "server node", "compute node"], &["data centre"]);
-    b.concept(d, "data centre", &["server farm", "computing facility", "data center"], &[]);
-    b.concept(d, "cpu usage", &["processor usage", "cpu load", "processor utilization"], &["cpu"]);
-    b.concept(d, "cpu", &["processor", "central processing unit", "microprocessor"], &[]);
-    b.concept(d, "memory usage", &["ram usage", "memory utilization", "memory load"], &["memory"]);
-    b.concept(d, "memory", &["ram", "main memory", "system memory"], &["storage"]);
-    b.concept(d, "storage", &["disk", "hard drive", "solid state drive"], &[]);
-    b.concept(d, "network", &["computer network", "data network", "lan"], &["router", "bandwidth", "internet"]);
-    b.concept(d, "router", &["gateway", "network switch", "access point"], &[]);
-    b.concept(d, "bandwidth", &["data rate", "network capacity", "throughput"], &["traffic"]);
-    b.concept(d, "traffic", &["network traffic", "data traffic", "packet flow"], &[]);
-    b.concept(d, "internet", &["world wide web", "web", "cyberspace"], &["protocol"]);
-    b.concept(d, "protocol", &["communication protocol", "network protocol"], &[]);
-    b.concept(d, "device", &["equipment", "apparatus", "gadget"], &["sensor"]);
-    b.concept(d, "measurement unit", &["unit of measurement", "measuring unit"], &[]);
-    b.concept(d, "sensor", &["detector", "sensing device", "transducer"], &["sensor platform", "signal"]);
-    b.concept(d, "sensor platform", &["sensing node", "sensor board", "mote"], &[]);
-    b.concept(d, "signal", &["transmission signal", "radio signal"], &["noise"]);
+    b.concept(
+        d,
+        "server",
+        &["host machine", "server node", "compute node"],
+        &["data centre"],
+    );
+    b.concept(
+        d,
+        "data centre",
+        &["server farm", "computing facility", "data center"],
+        &[],
+    );
+    b.concept(
+        d,
+        "cpu usage",
+        &["processor usage", "cpu load", "processor utilization"],
+        &["cpu"],
+    );
+    b.concept(
+        d,
+        "cpu",
+        &["processor", "central processing unit", "microprocessor"],
+        &[],
+    );
+    b.concept(
+        d,
+        "memory usage",
+        &["ram usage", "memory utilization", "memory load"],
+        &["memory"],
+    );
+    b.concept(
+        d,
+        "memory",
+        &["ram", "main memory", "system memory"],
+        &["storage"],
+    );
+    b.concept(
+        d,
+        "storage",
+        &["disk", "hard drive", "solid state drive"],
+        &[],
+    );
+    b.concept(
+        d,
+        "network",
+        &["computer network", "data network", "lan"],
+        &["router", "bandwidth", "internet"],
+    );
+    b.concept(
+        d,
+        "router",
+        &["gateway", "network switch", "access point"],
+        &[],
+    );
+    b.concept(
+        d,
+        "bandwidth",
+        &["data rate", "network capacity", "throughput"],
+        &["traffic"],
+    );
+    b.concept(
+        d,
+        "traffic",
+        &["network traffic", "data traffic", "packet flow"],
+        &[],
+    );
+    b.concept(
+        d,
+        "internet",
+        &["world wide web", "web", "cyberspace"],
+        &["protocol"],
+    );
+    b.concept(
+        d,
+        "protocol",
+        &["communication protocol", "network protocol"],
+        &[],
+    );
+    b.concept(
+        d,
+        "device",
+        &["equipment", "apparatus", "gadget"],
+        &["sensor"],
+    );
+    b.concept(
+        d,
+        "measurement unit",
+        &["unit of measurement", "measuring unit"],
+        &[],
+    );
+    b.concept(
+        d,
+        "sensor",
+        &["detector", "sensing device", "transducer"],
+        &["sensor platform", "signal"],
+    );
+    b.concept(
+        d,
+        "sensor platform",
+        &["sensing node", "sensor board", "mote"],
+        &[],
+    );
+    b.concept(
+        d,
+        "signal",
+        &["transmission signal", "radio signal"],
+        &["noise"],
+    );
     b.concept(d, "noise", &["signal noise", "interference", "static"], &[]);
     b.concept(d, "antenna", &["aerial", "radio mast"], &["cell"]);
     b.concept(d, "cell", &["network cell", "coverage cell"], &[]);
-    b.concept(d, "message", &["notification", "alert", "communication"], &["event stream"]);
-    b.concept(d, "event stream", &["data stream", "message flow", "event feed"], &[]);
-    b.concept(d, "platform", &["software platform", "computing platform", "middleware platform"], &[]);
+    b.concept(
+        d,
+        "message",
+        &["notification", "alert", "communication"],
+        &["event stream"],
+    );
+    b.concept(
+        d,
+        "event stream",
+        &["data stream", "message flow", "event feed"],
+        &[],
+    );
+    b.concept(
+        d,
+        "platform",
+        &[
+            "software platform",
+            "computing platform",
+            "middleware platform",
+        ],
+        &[],
+    );
     b.concept(d, "terminal", &["console", "command line", "tty"], &[]);
-    b.concept(d, "software", &["application", "program", "app"], &["operating system"]);
+    b.concept(
+        d,
+        "software",
+        &["application", "program", "app"],
+        &["operating system"],
+    );
     b.concept(d, "operating system", &["os", "system software"], &[]);
-    b.concept(d, "database", &["data store", "repository", "data base"], &["query"]);
-    b.concept(d, "query", &["search request", "lookup", "retrieval request"], &[]);
-    b.concept(d, "school", &["primary school", "educational establishment"], &["university", "classroom"]);
-    b.concept(d, "university", &["college", "higher education institution", "academy"], &["lecture"]);
+    b.concept(
+        d,
+        "database",
+        &["data store", "repository", "data base"],
+        &["query"],
+    );
+    b.concept(
+        d,
+        "query",
+        &["search request", "lookup", "retrieval request"],
+        &[],
+    );
+    b.concept(
+        d,
+        "school",
+        &["primary school", "educational establishment"],
+        &["university", "classroom"],
+    );
+    b.concept(
+        d,
+        "university",
+        &["college", "higher education institution", "academy"],
+        &["lecture"],
+    );
     b.concept(d, "lecture", &["class", "seminar", "course session"], &[]);
     b.concept(d, "classroom", &["teaching room", "lecture hall"], &[]);
-    b.concept(d, "teacher", &["instructor", "lecturer", "educator"], &["student"]);
+    b.concept(
+        d,
+        "teacher",
+        &["instructor", "lecturer", "educator"],
+        &["student"],
+    );
     b.concept(d, "student", &["pupil", "learner", "undergraduate"], &[]);
-    b.concept(d, "projector", &["beamer", "overhead projector"], &["screen"]);
+    b.concept(
+        d,
+        "projector",
+        &["beamer", "overhead projector"],
+        &["screen"],
+    );
     b.concept(d, "screen", &["display", "monitor", "display panel"], &[]);
     b.concept(d, "printer", &["printing device", "laser printer"], &[]);
-    b.concept(d, "telephone", &["phone", "handset", "telephony"], &["mobile phone"]);
-    b.concept(d, "mobile phone", &["smartphone", "cell phone", "cellular phone"], &[]);
+    b.concept(
+        d,
+        "telephone",
+        &["phone", "handset", "telephony"],
+        &["mobile phone"],
+    );
+    b.concept(
+        d,
+        "mobile phone",
+        &["smartphone", "cell phone", "cellular phone"],
+        &[],
+    );
     b.concept(d, "broadcast", &["transmission", "radio broadcast"], &[]);
 }
 
 fn social_questions(b: &mut ThesaurusBuilder) {
     let d = Domain::SocialQuestions;
-    b.concept(d, "public health", &["community health", "population health"], &["hospital", "wellbeing"]);
-    b.concept(d, "hospital", &["clinic", "medical centre", "infirmary"], &["ambulance"]);
-    b.concept(d, "ambulance", &["emergency vehicle", "paramedic unit"], &[]);
-    b.concept(d, "wellbeing", &["welfare", "quality of life", "life satisfaction"], &[]);
-    b.concept(d, "housing", &["accommodation", "dwelling", "residence"], &["apartment", "household"]);
-    b.concept(d, "apartment", &["flat", "condominium", "housing unit"], &[]);
-    b.concept(d, "household", &["family unit", "domestic unit", "home"], &["occupant"]);
-    b.concept(d, "occupant", &["resident", "inhabitant", "tenant"], &["occupancy"]);
-    b.concept(d, "occupancy", &["occupation level", "presence", "utilisation"], &[]);
-    b.concept(d, "population", &["populace", "residents", "citizenry"], &["census"]);
-    b.concept(d, "census", &["population count", "demographic survey"], &[]);
-    b.concept(d, "employment", &["jobs", "labour market", "occupation"], &["working conditions"]);
-    b.concept(d, "working conditions", &["workplace conditions", "labour conditions"], &["safety at work"]);
-    b.concept(d, "safety at work", &["occupational safety", "workplace safety"], &[]);
-    b.concept(d, "elderly care", &["care of the aged", "senior care", "geriatric care"], &["care home"]);
+    b.concept(
+        d,
+        "public health",
+        &["community health", "population health"],
+        &["hospital", "wellbeing"],
+    );
+    b.concept(
+        d,
+        "hospital",
+        &["clinic", "medical centre", "infirmary"],
+        &["ambulance"],
+    );
+    b.concept(
+        d,
+        "ambulance",
+        &["emergency vehicle", "paramedic unit"],
+        &[],
+    );
+    b.concept(
+        d,
+        "wellbeing",
+        &["welfare", "quality of life", "life satisfaction"],
+        &[],
+    );
+    b.concept(
+        d,
+        "housing",
+        &["accommodation", "dwelling", "residence"],
+        &["apartment", "household"],
+    );
+    b.concept(
+        d,
+        "apartment",
+        &["flat", "condominium", "housing unit"],
+        &[],
+    );
+    b.concept(
+        d,
+        "household",
+        &["family unit", "domestic unit", "home"],
+        &["occupant"],
+    );
+    b.concept(
+        d,
+        "occupant",
+        &["resident", "inhabitant", "tenant"],
+        &["occupancy"],
+    );
+    b.concept(
+        d,
+        "occupancy",
+        &["occupation level", "presence", "utilisation"],
+        &[],
+    );
+    b.concept(
+        d,
+        "population",
+        &["populace", "residents", "citizenry"],
+        &["census"],
+    );
+    b.concept(
+        d,
+        "census",
+        &["population count", "demographic survey"],
+        &[],
+    );
+    b.concept(
+        d,
+        "employment",
+        &["jobs", "labour market", "occupation"],
+        &["working conditions"],
+    );
+    b.concept(
+        d,
+        "working conditions",
+        &["workplace conditions", "labour conditions"],
+        &["safety at work"],
+    );
+    b.concept(
+        d,
+        "safety at work",
+        &["occupational safety", "workplace safety"],
+        &[],
+    );
+    b.concept(
+        d,
+        "elderly care",
+        &["care of the aged", "senior care", "geriatric care"],
+        &["care home"],
+    );
     b.concept(d, "care home", &["nursing home", "retirement home"], &[]);
-    b.concept(d, "childcare", &["child care", "nursery care", "creche"], &[]);
-    b.concept(d, "accessibility", &["barrier free access", "disabled access", "universal access"], &[]);
-    b.concept(d, "community centre", &["community hall", "civic centre"], &[]);
+    b.concept(
+        d,
+        "childcare",
+        &["child care", "nursery care", "creche"],
+        &[],
+    );
+    b.concept(
+        d,
+        "accessibility",
+        &["barrier free access", "disabled access", "universal access"],
+        &[],
+    );
+    b.concept(
+        d,
+        "community centre",
+        &["community hall", "civic centre"],
+        &[],
+    );
     b.concept(d, "pressure", &["social pressure", "stress", "strain"], &[]);
-    b.concept(d, "crime", &["criminal offence", "delinquency"], &["security"]);
-    b.concept(d, "security", &["public safety", "safety", "protection"], &["surveillance"]);
-    b.concept(d, "surveillance", &["monitoring", "observation", "cctv watch"], &[]);
-    b.concept(d, "emergency", &["crisis", "incident", "urgent situation"], &["alarm"]);
+    b.concept(
+        d,
+        "crime",
+        &["criminal offence", "delinquency"],
+        &["security"],
+    );
+    b.concept(
+        d,
+        "security",
+        &["public safety", "safety", "protection"],
+        &["surveillance"],
+    );
+    b.concept(
+        d,
+        "surveillance",
+        &["monitoring", "observation", "cctv watch"],
+        &[],
+    );
+    b.concept(
+        d,
+        "emergency",
+        &["crisis", "incident", "urgent situation"],
+        &["alarm"],
+    );
     b.concept(d, "alarm", &["alert signal", "warning", "siren"], &[]);
-    b.concept(d, "pension", &["retirement benefit", "old age pension"], &[]);
+    b.concept(
+        d,
+        "pension",
+        &["retirement benefit", "old age pension"],
+        &[],
+    );
     b.concept(d, "income", &["earnings", "revenue", "wages"], &[]);
     b.concept(d, "migration", &["immigration", "population movement"], &[]);
-    b.concept(d, "volunteering", &["voluntary work", "community service"], &[]);
+    b.concept(
+        d,
+        "volunteering",
+        &["voluntary work", "community service"],
+        &[],
+    );
     b.concept(d, "nutrition", &["diet", "food intake"], &[]);
 }
 
@@ -402,7 +1231,11 @@ mod tests {
     #[test]
     fn builds_without_error() {
         let th = Thesaurus::eurovoc_like();
-        assert!(th.len() > 150, "expected a rich thesaurus, got {}", th.len());
+        assert!(
+            th.len() > 150,
+            "expected a rich thesaurus, got {}",
+            th.len()
+        );
     }
 
     #[test]
@@ -457,7 +1290,10 @@ mod tests {
     fn has_cross_domain_ambiguity() {
         let th = Thesaurus::eurovoc_like();
         let amb = th.ambiguous_terms();
-        for w in ["charge", "current", "plant", "cell", "light", "station", "park", "network", "noise", "traffic", "platform", "load"] {
+        for w in [
+            "charge", "current", "plant", "cell", "light", "station", "park", "network", "noise",
+            "traffic", "platform", "load",
+        ] {
             assert!(
                 amb.contains(&Term::new(w)),
                 "expected `{w}` to be ambiguous, got {amb:?}"

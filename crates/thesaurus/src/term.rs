@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn normalizes_case_and_whitespace() {
-        assert_eq!(Term::new("Energy  CONSUMPTION").as_str(), "energy consumption");
+        assert_eq!(
+            Term::new("Energy  CONSUMPTION").as_str(),
+            "energy consumption"
+        );
         assert_eq!(Term::new(" x ").as_str(), "x");
         assert_eq!(Term::new("").as_str(), "");
         assert!(Term::new("   ").is_empty());

@@ -120,7 +120,7 @@ impl Thesaurus {
     /// concept lies in one of those domains are returned.
     pub fn expansions(&self, term: &str, within: Option<&[Domain]>) -> Vec<Term> {
         let key = Term::new(term);
-        let allowed = |d: Domain| within.map_or(true, |ds| ds.contains(&d));
+        let allowed = |d: Domain| within.is_none_or(|ds| ds.contains(&d));
         let mut out = Vec::new();
         for c in self.concepts_of(term) {
             if !allowed(c.domain()) {
@@ -148,7 +148,10 @@ impl Thesaurus {
     /// Top terms of a domain's micro-thesaurus — the tag vocabulary for
     /// theme generation (§5.2.4).
     pub fn top_terms(&self, domain: Domain) -> &[Term] {
-        self.top_terms.get(&domain).map(Vec::as_slice).unwrap_or(&[])
+        self.top_terms
+            .get(&domain)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Top terms across a set of domains, deduplicated, in domain order.
@@ -255,7 +258,12 @@ mod tests {
             &["electricity meter"],
         );
         b.concept(Domain::Energy, "electricity meter", &["power meter"], &[]);
-        b.concept(Domain::Transport, "parking", &["car park", "garage spot"], &[]);
+        b.concept(
+            Domain::Transport,
+            "parking",
+            &["car park", "garage spot"],
+            &[],
+        );
         b.concept(Domain::Energy, "charge", &["charging"], &[]);
         b.concept(Domain::Transport, "charge", &["toll"], &[]);
         b.build().unwrap()

@@ -41,14 +41,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The stream, in the vendors' own words.
     let stream = [
-        (5u64, "({energy policy}, {type: ozone reading event, zone: city centre})"),
+        (
+            5u64,
+            "({energy policy}, {type: ozone reading event, zone: city centre})",
+        ),
         // The grid operator announces a peak — phrased as 'peak demand'.
-        (10, "({energy demand}, {type: peak demand event, area: city centre})"),
+        (
+            10,
+            "({energy demand}, {type: peak demand event, area: city centre})",
+        ),
         // A street light reports energy — phrased as 'street lamp power consumption'.
-        (18, "({energy metering, building energy}, \
-              {type: street lamp power consumption event, street: main street})"),
+        (
+            18,
+            "({energy metering, building energy}, \
+              {type: street lamp power consumption event, street: main street})",
+        ),
         // Another, but far outside the window.
-        (90, "({energy metering}, {type: street lamp power consumption event, street: quay street})"),
+        (
+            90,
+            "({energy metering}, {type: street lamp power consumption event, street: quay street})",
+        ),
     ];
 
     let mut total = 0usize;
@@ -56,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let detections = engine.feed(&Timestamped::new(parse_event(text)?, ts));
         total += detections.len();
         for d in &detections {
-            println!("t={ts}: COMPLEX DETECTION (confidence {:.3})", d.probability);
+            println!(
+                "t={ts}: COMPLEX DETECTION (confidence {:.3})",
+                d.probability
+            );
             for (ets, e) in &d.events {
                 println!("    t={ets}  {}", e.value_of("type").unwrap_or("?"));
             }
@@ -65,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("t={ts}: no detection");
         }
     }
-    assert_eq!(total, 1, "exactly the in-window peak→street-light pair must fire");
+    assert_eq!(
+        total, 1,
+        "exactly the in-window peak→street-light pair must fire"
+    );
     Ok(())
 }

@@ -22,10 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The four approaches of Table 1.
     let exact = ExactMatcher::new();
     let rewriting = RewritingMatcher::new(Arc::clone(&thesaurus));
-    let non_thematic = ProbabilisticMatcher::new(
-        EsaMeasure::new(Arc::clone(&space)),
-        MatcherConfig::top1(),
-    );
+    let non_thematic =
+        ProbabilisticMatcher::new(EsaMeasure::new(Arc::clone(&space)), MatcherConfig::top1());
     let thematic = ProbabilisticMatcher::new(
         ThematicEsaMeasure::new(Arc::clone(&pvsm)),
         MatcherConfig::top_k(3),
@@ -86,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // mappings with their probabilities — input for a downstream
     // complex-event-processing stage (paper §6.2).
     let result = thematic.match_event(&subscription, &events[1]);
-    println!("\ntop-{} mappings for the second event:", result.mappings().len());
+    println!(
+        "\ntop-{} mappings for the second event:",
+        result.mappings().len()
+    );
     for (i, m) in result.mappings().iter().enumerate() {
         println!("  #{i}: {m}");
     }

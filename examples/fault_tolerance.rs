@@ -1,0 +1,102 @@
+//! The supervised broker runtime surviving a misbehaving matcher: seeded
+//! panic injection, per-match isolation, quarantine to the dead-letter
+//! queue, and an ingress overload policy — all observable through
+//! `BrokerStats`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example fault_tolerance --release
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tep::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Injected panics are part of the demo; keep their backtraces out of
+    // the output (real faults still print normally).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected matcher fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // A matcher that panics on ~2% of events and dawdles on ~1%,
+    // deterministically per event content.
+    let matcher = Arc::new(FaultInjectingMatcher::new(
+        ExactMatcher::new(),
+        FaultConfig::none(2014)
+            .with_panic_rate(0.02)
+            .with_latency(0.01, Duration::from_micros(300)),
+    ));
+
+    let config = BrokerConfig {
+        // The subscriber drains only at the end, so the channel must hold
+        // the whole run — otherwise DropNewest sheds the overflow.
+        notification_capacity: 8192,
+        ..BrokerConfig::default()
+            .with_workers(4)
+            .with_max_match_attempts(1)
+            .with_publish_policy(PublishPolicy::Timeout(Duration::from_millis(100)))
+    };
+    let broker = Broker::start(Arc::clone(&matcher), config);
+    let (_, rx) = broker.subscribe(parse_subscription("{kind= reading}")?)?;
+
+    let total = 5_000;
+    let mut faulty = 0;
+    for i in 0..total {
+        let event = parse_event(&format!(
+            "{{kind: reading, sensor: s{}, seq: n{i}}}",
+            i % 64
+        ))?;
+        if matcher.fault_for(&event) == Fault::Panic {
+            faulty += 1;
+        }
+        broker.publish(event)?;
+    }
+    broker.flush_timeout(Duration::from_secs(10))?;
+
+    let stats = broker.stats();
+    let delivered = rx.try_iter().count() as u64;
+    println!("published            {}", stats.published);
+    println!("processed            {}", stats.processed);
+    println!("delivered            {delivered}");
+    println!("injected panics      {faulty}");
+    println!("worker panics caught {}", stats.worker_panics);
+    println!("quarantined          {}", stats.quarantined);
+    println!("workers respawned    {}", stats.workers_respawned);
+    println!("live workers         {}", stats.live_workers);
+    let letters = broker.dead_letters();
+    println!(
+        "dead letters held    {} (capacity-bounded; first seq = {})",
+        letters.len(),
+        letters
+            .first()
+            .and_then(|d| d.event.value_of("seq"))
+            .unwrap_or("-")
+    );
+
+    assert_eq!(stats.processed, stats.published, "liveness: nothing lost");
+    assert_eq!(
+        stats.worker_panics, faulty,
+        "every injected panic was caught"
+    );
+    assert_eq!(
+        stats.quarantined, faulty,
+        "every faulty event was quarantined"
+    );
+    assert_eq!(
+        delivered,
+        stats.published - faulty,
+        "every clean event was delivered"
+    );
+    println!("\nall faults contained; no worker died, no clean event was lost.");
+    broker.shutdown();
+    Ok(())
+}

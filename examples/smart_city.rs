@@ -16,6 +16,7 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 use tep::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -72,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for text in events {
         broker.publish(parse_event(text)?)?;
     }
-    broker.flush();
+    broker.flush_timeout(Duration::from_secs(30))?;
 
     println!("\nnotifications delivered to alice:");
     let mut delivered = 0;

@@ -9,8 +9,8 @@
 //! cargo run --example theme_tuning --release
 //! ```
 
-use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 use tep_eval::ThemeSampler;
+use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
     let cfg = EvalConfig::tiny();

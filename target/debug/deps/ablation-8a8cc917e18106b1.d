@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8a8cc917e18106b1.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8a8cc917e18106b1: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

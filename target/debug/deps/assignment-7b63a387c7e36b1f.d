@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assignment-7b63a387c7e36b1f.d: crates/bench/benches/assignment.rs
+
+/root/repo/target/debug/deps/assignment-7b63a387c7e36b1f: crates/bench/benches/assignment.rs
+
+crates/bench/benches/assignment.rs:

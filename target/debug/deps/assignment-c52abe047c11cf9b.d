@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assignment-c52abe047c11cf9b.d: crates/bench/benches/assignment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassignment-c52abe047c11cf9b.rmeta: crates/bench/benches/assignment.rs Cargo.toml
+
+crates/bench/benches/assignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

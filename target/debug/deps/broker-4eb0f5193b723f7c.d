@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker-4eb0f5193b723f7c.d: crates/bench/benches/broker.rs
+
+/root/repo/target/debug/deps/broker-4eb0f5193b723f7c: crates/bench/benches/broker.rs
+
+crates/bench/benches/broker.rs:

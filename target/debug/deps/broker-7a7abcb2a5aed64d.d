@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broker-7a7abcb2a5aed64d.d: crates/bench/benches/broker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroker-7a7abcb2a5aed64d.rmeta: crates/bench/benches/broker.rs Cargo.toml
+
+crates/bench/benches/broker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_chaos-4deccb5cb0558382.d: crates/core/../../tests/broker_chaos.rs
+
+/root/repo/target/debug/deps/broker_chaos-4deccb5cb0558382: crates/core/../../tests/broker_chaos.rs
+
+crates/core/../../tests/broker_chaos.rs:

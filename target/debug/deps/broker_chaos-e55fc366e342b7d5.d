@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broker_chaos-e55fc366e342b7d5.d: crates/core/../../tests/broker_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroker_chaos-e55fc366e342b7d5.rmeta: crates/core/../../tests/broker_chaos.rs Cargo.toml
+
+crates/core/../../tests/broker_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

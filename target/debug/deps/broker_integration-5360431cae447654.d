@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broker_integration-5360431cae447654.d: crates/core/../../tests/broker_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroker_integration-5360431cae447654.rmeta: crates/core/../../tests/broker_integration.rs Cargo.toml
+
+crates/core/../../tests/broker_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_integration-64818af1f1ac1e5d.d: crates/core/../../tests/broker_integration.rs
+
+/root/repo/target/debug/deps/broker_integration-64818af1f1ac1e5d: crates/core/../../tests/broker_integration.rs
+
+crates/core/../../tests/broker_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_score-a8e187adfa333610.d: crates/eval/tests/debug_score.rs
+
+/root/repo/target/debug/deps/debug_score-a8e187adfa333610: crates/eval/tests/debug_score.rs
+
+crates/eval/tests/debug_score.rs:

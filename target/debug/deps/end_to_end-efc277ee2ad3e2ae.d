@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-efc277ee2ad3e2ae.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-efc277ee2ad3e2ae: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_build-49417aee0f4b6ca7.d: crates/bench/benches/index_build.rs
+
+/root/repo/target/debug/deps/index_build-49417aee0f4b6ca7: crates/bench/benches/index_build.rs
+
+crates/bench/benches/index_build.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_build-646b61791e9b473f.d: crates/bench/benches/index_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_build-646b61791e9b473f.rmeta: crates/bench/benches/index_build.rs Cargo.toml
+
+crates/bench/benches/index_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

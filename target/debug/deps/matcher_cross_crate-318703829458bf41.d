@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matcher_cross_crate-318703829458bf41.d: crates/core/../../tests/matcher_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatcher_cross_crate-318703829458bf41.rmeta: crates/core/../../tests/matcher_cross_crate.rs Cargo.toml
+
+crates/core/../../tests/matcher_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher_cross_crate-a25439ceea008911.d: crates/core/../../tests/matcher_cross_crate.rs
+
+/root/repo/target/debug/deps/matcher_cross_crate-a25439ceea008911: crates/core/../../tests/matcher_cross_crate.rs
+
+crates/core/../../tests/matcher_cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matching-3cd6e6e11937e369.d: crates/bench/benches/matching.rs
+
+/root/repo/target/debug/deps/matching-3cd6e6e11937e369: crates/bench/benches/matching.rs
+
+crates/bench/benches/matching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-4ce7a973ec1938aa.d: crates/core/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-4ce7a973ec1938aa.rmeta: crates/core/../../tests/pipeline.rs Cargo.toml
+
+crates/core/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

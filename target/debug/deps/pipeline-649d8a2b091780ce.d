@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-649d8a2b091780ce.d: crates/core/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-649d8a2b091780ce: crates/core/../../tests/pipeline.rs
+
+crates/core/../../tests/pipeline.rs:

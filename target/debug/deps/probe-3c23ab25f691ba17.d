@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-3c23ab25f691ba17.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-3c23ab25f691ba17: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

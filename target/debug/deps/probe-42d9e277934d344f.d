@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-42d9e277934d344f.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-42d9e277934d344f: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-c80e47371a7ffe60.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-c80e47371a7ffe60: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection-1e7d9dfe84f77426.d: crates/bench/benches/projection.rs
+
+/root/repo/target/debug/deps/projection-1e7d9dfe84f77426: crates/bench/benches/projection.rs
+
+crates/bench/benches/projection.rs:

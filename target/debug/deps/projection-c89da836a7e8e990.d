@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/projection-c89da836a7e8e990.d: crates/bench/benches/projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprojection-c89da836a7e8e990.rmeta: crates/bench/benches/projection.rs Cargo.toml
+
+crates/bench/benches/projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

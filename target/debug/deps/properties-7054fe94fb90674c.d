@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7054fe94fb90674c.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7054fe94fb90674c: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-26aca5708c439ab7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-26aca5708c439ab7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-26aca5708c439ab7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

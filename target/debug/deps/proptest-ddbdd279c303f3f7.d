@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ddbdd279c303f3f7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ddbdd279c303f3f7: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0be9b034bbf5d360.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0be9b034bbf5d360: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-146a5b7f2872870b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-146a5b7f2872870b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

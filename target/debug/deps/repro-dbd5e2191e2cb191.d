@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-dbd5e2191e2cb191.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-dbd5e2191e2cb191: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

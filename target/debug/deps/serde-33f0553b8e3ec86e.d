@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-33f0553b8e3ec86e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-33f0553b8e3ec86e: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-472ae5c855289464.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-472ae5c855289464.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-472ae5c855289464.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-64f7bfe21fa88158.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-64f7bfe21fa88158.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-64f7bfe21fa88158.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b3c4878d30e78d39.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-b3c4878d30e78d39: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

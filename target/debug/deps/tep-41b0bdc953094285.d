@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tep-41b0bdc953094285.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/tep-41b0bdc953094285: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tep-6079ddbb3cf9617e.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep-6079ddbb3cf9617e.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

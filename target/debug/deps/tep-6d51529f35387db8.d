@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tep-6d51529f35387db8.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep-6d51529f35387db8.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tep-8549a105edc0a2f1.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libtep-8549a105edc0a2f1.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libtep-8549a105edc0a2f1.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tep-aecb967bfdf5987b.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libtep-aecb967bfdf5987b.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libtep-aecb967bfdf5987b.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

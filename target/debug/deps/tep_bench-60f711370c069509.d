@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tep_bench-60f711370c069509.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libtep_bench-60f711370c069509.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libtep_bench-60f711370c069509.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

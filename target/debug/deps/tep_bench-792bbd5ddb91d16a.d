@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tep_bench-792bbd5ddb91d16a.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/tep_bench-792bbd5ddb91d16a: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

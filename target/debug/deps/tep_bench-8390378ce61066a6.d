@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tep_bench-8390378ce61066a6.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/tep_bench-8390378ce61066a6: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tep_bench-d5af8eb08e286ff9.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libtep_bench-d5af8eb08e286ff9.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libtep_bench-d5af8eb08e286ff9.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

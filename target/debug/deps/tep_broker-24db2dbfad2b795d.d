@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_broker-24db2dbfad2b795d.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_broker-24db2dbfad2b795d.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs Cargo.toml
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/config.rs:
+crates/broker/src/notification.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/supervisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tep_broker-31b0a424c4c955d3.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs
+
+/root/repo/target/debug/deps/tep_broker-31b0a424c4c955d3: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/config.rs:
+crates/broker/src/notification.rs:
+crates/broker/src/stats.rs:

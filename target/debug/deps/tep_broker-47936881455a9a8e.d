@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tep_broker-47936881455a9a8e.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+/root/repo/target/debug/deps/tep_broker-47936881455a9a8e: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/config.rs:
+crates/broker/src/notification.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/supervisor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tep_broker-c0ba344f678224e6.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+/root/repo/target/debug/deps/libtep_broker-c0ba344f678224e6.rlib: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+/root/repo/target/debug/deps/libtep_broker-c0ba344f678224e6.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/config.rs:
+crates/broker/src/notification.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/supervisor.rs:

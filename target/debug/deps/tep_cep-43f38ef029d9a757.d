@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tep_cep-43f38ef029d9a757.d: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs crates/cep/src/proptests.rs
+
+/root/repo/target/debug/deps/tep_cep-43f38ef029d9a757: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs crates/cep/src/proptests.rs
+
+crates/cep/src/lib.rs:
+crates/cep/src/engine.rs:
+crates/cep/src/pattern.rs:
+crates/cep/src/proptests.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tep_cep-749f9d46378788a5.d: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_cep-749f9d46378788a5.rmeta: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs Cargo.toml
+
+crates/cep/src/lib.rs:
+crates/cep/src/engine.rs:
+crates/cep/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

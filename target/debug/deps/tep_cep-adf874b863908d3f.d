@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tep_cep-adf874b863908d3f.d: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs crates/cep/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_cep-adf874b863908d3f.rmeta: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs crates/cep/src/proptests.rs Cargo.toml
+
+crates/cep/src/lib.rs:
+crates/cep/src/engine.rs:
+crates/cep/src/pattern.rs:
+crates/cep/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

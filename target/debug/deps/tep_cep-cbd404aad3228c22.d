@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tep_cep-cbd404aad3228c22.d: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+/root/repo/target/debug/deps/libtep_cep-cbd404aad3228c22.rlib: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+/root/repo/target/debug/deps/libtep_cep-cbd404aad3228c22.rmeta: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+crates/cep/src/lib.rs:
+crates/cep/src/engine.rs:
+crates/cep/src/pattern.rs:

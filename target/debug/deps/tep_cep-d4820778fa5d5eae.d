@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tep_cep-d4820778fa5d5eae.d: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+/root/repo/target/debug/deps/libtep_cep-d4820778fa5d5eae.rlib: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+/root/repo/target/debug/deps/libtep_cep-d4820778fa5d5eae.rmeta: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+crates/cep/src/lib.rs:
+crates/cep/src/engine.rs:
+crates/cep/src/pattern.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_corpus-2e4aada32824c438.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_corpus-2e4aada32824c438.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/corpus.rs:
+crates/corpus/src/document.rs:
+crates/corpus/src/filler.rs:
+crates/corpus/src/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tep_corpus-6522ce7dcfa1b865.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+/root/repo/target/debug/deps/libtep_corpus-6522ce7dcfa1b865.rlib: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+/root/repo/target/debug/deps/libtep_corpus-6522ce7dcfa1b865.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/corpus.rs:
+crates/corpus/src/document.rs:
+crates/corpus/src/filler.rs:
+crates/corpus/src/generator.rs:

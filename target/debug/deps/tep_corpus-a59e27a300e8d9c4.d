@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tep_corpus-a59e27a300e8d9c4.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+/root/repo/target/debug/deps/tep_corpus-a59e27a300e8d9c4: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/corpus.rs:
+crates/corpus/src/document.rs:
+crates/corpus/src/filler.rs:
+crates/corpus/src/generator.rs:

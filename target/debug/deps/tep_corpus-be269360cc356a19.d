@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_corpus-be269360cc356a19.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_corpus-be269360cc356a19.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/corpus.rs:
+crates/corpus/src/document.rs:
+crates/corpus/src/filler.rs:
+crates/corpus/src/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/tep_eval-a1e9c228fb993f86.d: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/baseline.rs crates/eval/src/experiments/cold_start.rs crates/eval/src/experiments/grid.rs crates/eval/src/experiments/prior_work.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/tagging_modes.rs crates/eval/src/metrics.rs crates/eval/src/config.rs crates/eval/src/expansion.rs crates/eval/src/ground_truth.rs crates/eval/src/runner.rs crates/eval/src/seed.rs crates/eval/src/subscriptions.rs crates/eval/src/themes.rs crates/eval/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_eval-a1e9c228fb993f86.rmeta: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/baseline.rs crates/eval/src/experiments/cold_start.rs crates/eval/src/experiments/grid.rs crates/eval/src/experiments/prior_work.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/tagging_modes.rs crates/eval/src/metrics.rs crates/eval/src/config.rs crates/eval/src/expansion.rs crates/eval/src/ground_truth.rs crates/eval/src/runner.rs crates/eval/src/seed.rs crates/eval/src/subscriptions.rs crates/eval/src/themes.rs crates/eval/src/workload.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/datasets.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/baseline.rs:
+crates/eval/src/experiments/cold_start.rs:
+crates/eval/src/experiments/grid.rs:
+crates/eval/src/experiments/prior_work.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/experiments/tagging_modes.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/config.rs:
+crates/eval/src/expansion.rs:
+crates/eval/src/ground_truth.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/seed.rs:
+crates/eval/src/subscriptions.rs:
+crates/eval/src/themes.rs:
+crates/eval/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/tep_eval-e3bd54dfd5bdb0e5.d: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/baseline.rs crates/eval/src/experiments/cold_start.rs crates/eval/src/experiments/grid.rs crates/eval/src/experiments/prior_work.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/tagging_modes.rs crates/eval/src/metrics.rs crates/eval/src/config.rs crates/eval/src/expansion.rs crates/eval/src/ground_truth.rs crates/eval/src/runner.rs crates/eval/src/seed.rs crates/eval/src/subscriptions.rs crates/eval/src/themes.rs crates/eval/src/workload.rs
+
+/root/repo/target/debug/deps/tep_eval-e3bd54dfd5bdb0e5: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/baseline.rs crates/eval/src/experiments/cold_start.rs crates/eval/src/experiments/grid.rs crates/eval/src/experiments/prior_work.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/tagging_modes.rs crates/eval/src/metrics.rs crates/eval/src/config.rs crates/eval/src/expansion.rs crates/eval/src/ground_truth.rs crates/eval/src/runner.rs crates/eval/src/seed.rs crates/eval/src/subscriptions.rs crates/eval/src/themes.rs crates/eval/src/workload.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/datasets.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/baseline.rs:
+crates/eval/src/experiments/cold_start.rs:
+crates/eval/src/experiments/grid.rs:
+crates/eval/src/experiments/prior_work.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/experiments/tagging_modes.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/config.rs:
+crates/eval/src/expansion.rs:
+crates/eval/src/ground_truth.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/seed.rs:
+crates/eval/src/subscriptions.rs:
+crates/eval/src/themes.rs:
+crates/eval/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tep_events-005440ab9b04231a.d: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_events-005440ab9b04231a.rmeta: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs Cargo.toml
+
+crates/events/src/lib.rs:
+crates/events/src/error.rs:
+crates/events/src/event.rs:
+crates/events/src/operator.rs:
+crates/events/src/parser.rs:
+crates/events/src/predicate.rs:
+crates/events/src/subscription.rs:
+crates/events/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tep_events-c73fb1a733545e14.d: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+/root/repo/target/debug/deps/tep_events-c73fb1a733545e14: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+crates/events/src/lib.rs:
+crates/events/src/error.rs:
+crates/events/src/event.rs:
+crates/events/src/operator.rs:
+crates/events/src/parser.rs:
+crates/events/src/predicate.rs:
+crates/events/src/subscription.rs:
+crates/events/src/tuple.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_events-e648367b8d71a76d.d: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+/root/repo/target/debug/deps/libtep_events-e648367b8d71a76d.rlib: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+/root/repo/target/debug/deps/libtep_events-e648367b8d71a76d.rmeta: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+crates/events/src/lib.rs:
+crates/events/src/error.rs:
+crates/events/src/event.rs:
+crates/events/src/operator.rs:
+crates/events/src/parser.rs:
+crates/events/src/predicate.rs:
+crates/events/src/subscription.rs:
+crates/events/src/tuple.rs:

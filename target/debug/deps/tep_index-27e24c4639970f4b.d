@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tep_index-27e24c4639970f4b.d: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/debug/deps/libtep_index-27e24c4639970f4b.rlib: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/debug/deps/libtep_index-27e24c4639970f4b.rmeta: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+crates/index/src/lib.rs:
+crates/index/src/inverted.rs:
+crates/index/src/postings.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/vocab.rs:

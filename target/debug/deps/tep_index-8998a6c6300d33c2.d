@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tep_index-8998a6c6300d33c2.d: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/debug/deps/tep_index-8998a6c6300d33c2: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+crates/index/src/lib.rs:
+crates/index/src/inverted.rs:
+crates/index/src/postings.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/vocab.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tep_index-a35095cc04a9ddea.d: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_index-a35095cc04a9ddea.rmeta: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs Cargo.toml
+
+crates/index/src/lib.rs:
+crates/index/src/inverted.rs:
+crates/index/src/postings.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

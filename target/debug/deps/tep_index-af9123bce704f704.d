@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tep_index-af9123bce704f704.d: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/debug/deps/libtep_index-af9123bce704f704.rlib: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/debug/deps/libtep_index-af9123bce704f704.rmeta: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+crates/index/src/lib.rs:
+crates/index/src/inverted.rs:
+crates/index/src/postings.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/vocab.rs:

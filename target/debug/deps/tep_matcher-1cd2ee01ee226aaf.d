@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tep_matcher-1cd2ee01ee226aaf.d: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_matcher-1cd2ee01ee226aaf.rmeta: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs Cargo.toml
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/assignment.rs:
+crates/matcher/src/baselines.rs:
+crates/matcher/src/config.rs:
+crates/matcher/src/fault.rs:
+crates/matcher/src/mapping.rs:
+crates/matcher/src/matcher.rs:
+crates/matcher/src/similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

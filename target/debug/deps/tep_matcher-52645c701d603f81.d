@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tep_matcher-52645c701d603f81.d: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+/root/repo/target/debug/deps/tep_matcher-52645c701d603f81: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/assignment.rs:
+crates/matcher/src/baselines.rs:
+crates/matcher/src/config.rs:
+crates/matcher/src/fault.rs:
+crates/matcher/src/mapping.rs:
+crates/matcher/src/matcher.rs:
+crates/matcher/src/similarity.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tep_matcher-56ce3dc7c16e633b.d: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_matcher-56ce3dc7c16e633b.rmeta: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs Cargo.toml
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/assignment.rs:
+crates/matcher/src/baselines.rs:
+crates/matcher/src/config.rs:
+crates/matcher/src/fault.rs:
+crates/matcher/src/mapping.rs:
+crates/matcher/src/matcher.rs:
+crates/matcher/src/similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

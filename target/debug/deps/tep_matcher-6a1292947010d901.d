@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_matcher-6a1292947010d901.d: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+/root/repo/target/debug/deps/libtep_matcher-6a1292947010d901.rlib: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+/root/repo/target/debug/deps/libtep_matcher-6a1292947010d901.rmeta: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/assignment.rs:
+crates/matcher/src/baselines.rs:
+crates/matcher/src/config.rs:
+crates/matcher/src/fault.rs:
+crates/matcher/src/mapping.rs:
+crates/matcher/src/matcher.rs:
+crates/matcher/src/similarity.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tep_semantics-799f841916abd437.d: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+/root/repo/target/debug/deps/libtep_semantics-799f841916abd437.rlib: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+/root/repo/target/debug/deps/libtep_semantics-799f841916abd437.rmeta: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/measure.rs:
+crates/semantics/src/projection.rs:
+crates/semantics/src/pvsm.rs:
+crates/semantics/src/space.rs:
+crates/semantics/src/sparse.rs:
+crates/semantics/src/theme.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tep_semantics-de03f7ffa83b01b7.d: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+/root/repo/target/debug/deps/tep_semantics-de03f7ffa83b01b7: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/measure.rs:
+crates/semantics/src/projection.rs:
+crates/semantics/src/pvsm.rs:
+crates/semantics/src/space.rs:
+crates/semantics/src/sparse.rs:
+crates/semantics/src/theme.rs:

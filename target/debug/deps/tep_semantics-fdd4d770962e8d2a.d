@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tep_semantics-fdd4d770962e8d2a.d: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_semantics-fdd4d770962e8d2a.rmeta: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs Cargo.toml
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/measure.rs:
+crates/semantics/src/projection.rs:
+crates/semantics/src/pvsm.rs:
+crates/semantics/src/space.rs:
+crates/semantics/src/sparse.rs:
+crates/semantics/src/theme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tep_thesaurus-0f5083016b600f7c.d: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/debug/deps/tep_thesaurus-0f5083016b600f7c: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+crates/thesaurus/src/lib.rs:
+crates/thesaurus/src/builder.rs:
+crates/thesaurus/src/concept.rs:
+crates/thesaurus/src/domain.rs:
+crates/thesaurus/src/error.rs:
+crates/thesaurus/src/eurovoc.rs:
+crates/thesaurus/src/term.rs:
+crates/thesaurus/src/thesaurus.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_thesaurus-7a77aa0f53548f4e.d: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/debug/deps/libtep_thesaurus-7a77aa0f53548f4e.rlib: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/debug/deps/libtep_thesaurus-7a77aa0f53548f4e.rmeta: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+crates/thesaurus/src/lib.rs:
+crates/thesaurus/src/builder.rs:
+crates/thesaurus/src/concept.rs:
+crates/thesaurus/src/domain.rs:
+crates/thesaurus/src/error.rs:
+crates/thesaurus/src/eurovoc.rs:
+crates/thesaurus/src/term.rs:
+crates/thesaurus/src/thesaurus.rs:

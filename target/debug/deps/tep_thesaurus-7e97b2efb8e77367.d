@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tep_thesaurus-7e97b2efb8e77367.d: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/debug/deps/libtep_thesaurus-7e97b2efb8e77367.rlib: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/debug/deps/libtep_thesaurus-7e97b2efb8e77367.rmeta: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+crates/thesaurus/src/lib.rs:
+crates/thesaurus/src/builder.rs:
+crates/thesaurus/src/concept.rs:
+crates/thesaurus/src/domain.rs:
+crates/thesaurus/src/error.rs:
+crates/thesaurus/src/eurovoc.rs:
+crates/thesaurus/src/term.rs:
+crates/thesaurus/src/thesaurus.rs:

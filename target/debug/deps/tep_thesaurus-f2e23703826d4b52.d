@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tep_thesaurus-f2e23703826d4b52.d: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtep_thesaurus-f2e23703826d4b52.rmeta: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs Cargo.toml
+
+crates/thesaurus/src/lib.rs:
+crates/thesaurus/src/builder.rs:
+crates/thesaurus/src/concept.rs:
+crates/thesaurus/src/domain.rs:
+crates/thesaurus/src/error.rs:
+crates/thesaurus/src/eurovoc.rs:
+crates/thesaurus/src/term.rs:
+crates/thesaurus/src/thesaurus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

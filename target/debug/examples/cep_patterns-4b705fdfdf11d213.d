@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cep_patterns-4b705fdfdf11d213.d: crates/core/../../examples/cep_patterns.rs
+
+/root/repo/target/debug/examples/cep_patterns-4b705fdfdf11d213: crates/core/../../examples/cep_patterns.rs
+
+crates/core/../../examples/cep_patterns.rs:

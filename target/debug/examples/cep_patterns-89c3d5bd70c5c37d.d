@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cep_patterns-89c3d5bd70c5c37d.d: crates/core/../../examples/cep_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcep_patterns-89c3d5bd70c5c37d.rmeta: crates/core/../../examples/cep_patterns.rs Cargo.toml
+
+crates/core/../../examples/cep_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

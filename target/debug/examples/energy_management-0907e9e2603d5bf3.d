@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_management-0907e9e2603d5bf3.d: crates/core/../../examples/energy_management.rs
+
+/root/repo/target/debug/examples/energy_management-0907e9e2603d5bf3: crates/core/../../examples/energy_management.rs
+
+crates/core/../../examples/energy_management.rs:

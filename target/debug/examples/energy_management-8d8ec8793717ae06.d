@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_management-8d8ec8793717ae06.d: crates/core/../../examples/energy_management.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_management-8d8ec8793717ae06.rmeta: crates/core/../../examples/energy_management.rs Cargo.toml
+
+crates/core/../../examples/energy_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerance-67eb6f60f5d7f457.d: crates/core/../../examples/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerance-67eb6f60f5d7f457.rmeta: crates/core/../../examples/fault_tolerance.rs Cargo.toml
+
+crates/core/../../examples/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

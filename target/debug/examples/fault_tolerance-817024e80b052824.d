@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-817024e80b052824.d: crates/core/../../examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-817024e80b052824: crates/core/../../examples/fault_tolerance.rs
+
+crates/core/../../examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-126d05c07b6c099d.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-126d05c07b6c099d: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

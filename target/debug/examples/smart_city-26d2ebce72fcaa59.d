@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_city-26d2ebce72fcaa59.d: crates/core/../../examples/smart_city.rs
+
+/root/repo/target/debug/examples/smart_city-26d2ebce72fcaa59: crates/core/../../examples/smart_city.rs
+
+crates/core/../../examples/smart_city.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_city-778e58c31fb202fc.d: crates/core/../../examples/smart_city.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_city-778e58c31fb202fc.rmeta: crates/core/../../examples/smart_city.rs Cargo.toml
+
+crates/core/../../examples/smart_city.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

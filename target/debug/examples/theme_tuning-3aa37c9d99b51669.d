@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theme_tuning-3aa37c9d99b51669.d: crates/core/../../examples/theme_tuning.rs
+
+/root/repo/target/debug/examples/theme_tuning-3aa37c9d99b51669: crates/core/../../examples/theme_tuning.rs
+
+crates/core/../../examples/theme_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/theme_tuning-73c3bd6b3be98e8d.d: crates/core/../../examples/theme_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtheme_tuning-73c3bd6b3be98e8d.rmeta: crates/core/../../examples/theme_tuning.rs Cargo.toml
+
+crates/core/../../examples/theme_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/broker-dd72d76fdb4e2285.d: crates/bench/benches/broker.rs
+
+/root/repo/target/release/deps/broker-dd72d76fdb4e2285: crates/bench/benches/broker.rs
+
+crates/bench/benches/broker.rs:

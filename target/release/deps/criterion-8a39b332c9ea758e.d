@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8a39b332c9ea758e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8a39b332c9ea758e.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8a39b332c9ea758e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-acc5d2e4e20bd115.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-acc5d2e4e20bd115: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4b3fe06e82a70164.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4b3fe06e82a70164.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4b3fe06e82a70164.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

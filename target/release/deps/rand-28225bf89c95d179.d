@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-28225bf89c95d179.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-28225bf89c95d179.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-28225bf89c95d179.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-dcb364a4f94431a2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-dcb364a4f94431a2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

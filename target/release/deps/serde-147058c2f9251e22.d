@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-147058c2f9251e22.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-147058c2f9251e22.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-147058c2f9251e22.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

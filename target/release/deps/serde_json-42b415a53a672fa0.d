@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-42b415a53a672fa0.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-42b415a53a672fa0.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-42b415a53a672fa0.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

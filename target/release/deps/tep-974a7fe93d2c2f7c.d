@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tep-974a7fe93d2c2f7c.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libtep-974a7fe93d2c2f7c.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libtep-974a7fe93d2c2f7c.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tep_bench-9a99b3209d623be7.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libtep_bench-9a99b3209d623be7.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libtep_bench-9a99b3209d623be7.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tep_broker-e31c1197b26d53df.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+/root/repo/target/release/deps/libtep_broker-e31c1197b26d53df.rlib: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+/root/repo/target/release/deps/libtep_broker-e31c1197b26d53df.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/config.rs crates/broker/src/notification.rs crates/broker/src/stats.rs crates/broker/src/supervisor.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/config.rs:
+crates/broker/src/notification.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/supervisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tep_cep-a3fc245fd470edad.d: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+/root/repo/target/release/deps/libtep_cep-a3fc245fd470edad.rlib: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+/root/repo/target/release/deps/libtep_cep-a3fc245fd470edad.rmeta: crates/cep/src/lib.rs crates/cep/src/engine.rs crates/cep/src/pattern.rs
+
+crates/cep/src/lib.rs:
+crates/cep/src/engine.rs:
+crates/cep/src/pattern.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tep_corpus-2215f72412048774.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+/root/repo/target/release/deps/libtep_corpus-2215f72412048774.rlib: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+/root/repo/target/release/deps/libtep_corpus-2215f72412048774.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/corpus.rs crates/corpus/src/document.rs crates/corpus/src/filler.rs crates/corpus/src/generator.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/corpus.rs:
+crates/corpus/src/document.rs:
+crates/corpus/src/filler.rs:
+crates/corpus/src/generator.rs:

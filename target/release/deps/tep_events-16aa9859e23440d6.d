@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tep_events-16aa9859e23440d6.d: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+/root/repo/target/release/deps/libtep_events-16aa9859e23440d6.rlib: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+/root/repo/target/release/deps/libtep_events-16aa9859e23440d6.rmeta: crates/events/src/lib.rs crates/events/src/error.rs crates/events/src/event.rs crates/events/src/operator.rs crates/events/src/parser.rs crates/events/src/predicate.rs crates/events/src/subscription.rs crates/events/src/tuple.rs
+
+crates/events/src/lib.rs:
+crates/events/src/error.rs:
+crates/events/src/event.rs:
+crates/events/src/operator.rs:
+crates/events/src/parser.rs:
+crates/events/src/predicate.rs:
+crates/events/src/subscription.rs:
+crates/events/src/tuple.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tep_index-5f21e8740874b2cc.d: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/release/deps/libtep_index-5f21e8740874b2cc.rlib: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+/root/repo/target/release/deps/libtep_index-5f21e8740874b2cc.rmeta: crates/index/src/lib.rs crates/index/src/inverted.rs crates/index/src/postings.rs crates/index/src/tokenizer.rs crates/index/src/vocab.rs
+
+crates/index/src/lib.rs:
+crates/index/src/inverted.rs:
+crates/index/src/postings.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/vocab.rs:

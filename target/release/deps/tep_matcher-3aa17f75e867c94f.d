@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tep_matcher-3aa17f75e867c94f.d: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+/root/repo/target/release/deps/libtep_matcher-3aa17f75e867c94f.rlib: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+/root/repo/target/release/deps/libtep_matcher-3aa17f75e867c94f.rmeta: crates/matcher/src/lib.rs crates/matcher/src/assignment.rs crates/matcher/src/baselines.rs crates/matcher/src/config.rs crates/matcher/src/fault.rs crates/matcher/src/mapping.rs crates/matcher/src/matcher.rs crates/matcher/src/similarity.rs
+
+crates/matcher/src/lib.rs:
+crates/matcher/src/assignment.rs:
+crates/matcher/src/baselines.rs:
+crates/matcher/src/config.rs:
+crates/matcher/src/fault.rs:
+crates/matcher/src/mapping.rs:
+crates/matcher/src/matcher.rs:
+crates/matcher/src/similarity.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tep_semantics-7923f87008ca231a.d: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+/root/repo/target/release/deps/libtep_semantics-7923f87008ca231a.rlib: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+/root/repo/target/release/deps/libtep_semantics-7923f87008ca231a.rmeta: crates/semantics/src/lib.rs crates/semantics/src/measure.rs crates/semantics/src/projection.rs crates/semantics/src/pvsm.rs crates/semantics/src/space.rs crates/semantics/src/sparse.rs crates/semantics/src/theme.rs
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/measure.rs:
+crates/semantics/src/projection.rs:
+crates/semantics/src/pvsm.rs:
+crates/semantics/src/space.rs:
+crates/semantics/src/sparse.rs:
+crates/semantics/src/theme.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tep_thesaurus-5475f2214491ef7e.d: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/release/deps/libtep_thesaurus-5475f2214491ef7e.rlib: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+/root/repo/target/release/deps/libtep_thesaurus-5475f2214491ef7e.rmeta: crates/thesaurus/src/lib.rs crates/thesaurus/src/builder.rs crates/thesaurus/src/concept.rs crates/thesaurus/src/domain.rs crates/thesaurus/src/error.rs crates/thesaurus/src/eurovoc.rs crates/thesaurus/src/term.rs crates/thesaurus/src/thesaurus.rs
+
+crates/thesaurus/src/lib.rs:
+crates/thesaurus/src/builder.rs:
+crates/thesaurus/src/concept.rs:
+crates/thesaurus/src/domain.rs:
+crates/thesaurus/src/error.rs:
+crates/thesaurus/src/eurovoc.rs:
+crates/thesaurus/src/term.rs:
+crates/thesaurus/src/thesaurus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-98223fd41bfe5bf7.d: crates/core/../../examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-98223fd41bfe5bf7: crates/core/../../examples/fault_tolerance.rs
+
+crates/core/../../examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_city-61c142e9a1805305.d: crates/core/../../examples/smart_city.rs
+
+/root/repo/target/release/examples/smart_city-61c142e9a1805305: crates/core/../../examples/smart_city.rs
+
+crates/core/../../examples/smart_city.rs:

@@ -1,0 +1,207 @@
+//! Chaos integration tests: a seeded [`FaultInjectingMatcher`] drives
+//! panics and latency through the supervised broker while the tests
+//! assert liveness (everything drains within a deadline), counter
+//! consistency, and zero lost non-faulty events.
+//!
+//! Fault decisions are a pure function of event content and the seed, so
+//! the expected panic/delivery counts are precomputed exactly — the
+//! assertions are equalities, not tolerances.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tep::prelude::*;
+
+/// Keeps the injected panics from flooding test output: anything whose
+/// payload mentions the injected-fault marker is silenced, everything
+/// else goes to the default hook.
+fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected matcher fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("injected matcher fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// The expected outcome of one chaos run, precomputed from the seeded
+/// fault decisions before any event is published.
+struct Expectation {
+    panics: u64,
+    errors: u64,
+    delivered: u64,
+}
+
+fn precompute(matcher: &FaultInjectingMatcher<ExactMatcher>, events: &[Event]) -> Expectation {
+    let mut exp = Expectation {
+        panics: 0,
+        errors: 0,
+        delivered: 0,
+    };
+    for e in events {
+        match matcher.fault_for(e) {
+            Fault::Panic => exp.panics += 1,
+            Fault::Error => exp.errors += 1,
+            // Latency-only and clean events still match; every event in
+            // the chaos workload satisfies the subscription.
+            _ => exp.delivered += 1,
+        }
+    }
+    exp
+}
+
+fn chaos_events(count: usize) -> Vec<Event> {
+    (0..count)
+        .map(|i| parse_event(&format!("{{kind: wanted, seq: n{i}}}")).unwrap())
+        .collect()
+}
+
+#[test]
+fn chaos_isolated_panics_lose_no_clean_events() {
+    silence_injected_panics();
+    let started = Instant::now();
+
+    let matcher = Arc::new(FaultInjectingMatcher::new(
+        ExactMatcher::new(),
+        FaultConfig::none(0xC4A05)
+            .with_panic_rate(0.01)
+            .with_error_rate(0.005)
+            .with_latency(0.002, Duration::from_micros(200)),
+    ));
+    let events = chaos_events(10_000);
+    let exp = precompute(&matcher, &events);
+    assert!(exp.panics > 0, "the seed must inject some panics");
+
+    // One subscription + an attempt budget of 1 makes the counter algebra
+    // exact: every faulty event costs exactly one caught panic and one
+    // quarantine slot-less increment.
+    let config = BrokerConfig {
+        workers: 4,
+        notification_capacity: 16_384,
+        max_match_attempts: 1,
+        ..BrokerConfig::default()
+    };
+    let workers = config.workers as u64;
+    let broker = Broker::start(Arc::clone(&matcher), config);
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+    for e in &events {
+        broker.publish(e.clone()).unwrap();
+    }
+    broker
+        .flush_timeout(Duration::from_secs(20))
+        .expect("chaos workload must drain within the deadline");
+
+    let stats = broker.stats();
+    assert_eq!(stats.published, 10_000);
+    assert_eq!(
+        stats.processed, 10_000,
+        "every accepted event finishes exactly once"
+    );
+    assert_eq!(stats.match_tests, 10_000);
+    assert_eq!(
+        stats.worker_panics, exp.panics,
+        "every injected panic is caught once"
+    );
+    assert_eq!(
+        stats.quarantined, exp.panics,
+        "every panicking event is quarantined"
+    );
+    assert_eq!(
+        stats.workers_respawned, 0,
+        "isolation must keep every worker alive"
+    );
+    assert_eq!(
+        stats.live_workers, workers,
+        "the full pool survives the chaos run"
+    );
+    assert_eq!(stats.notifications, exp.delivered);
+    assert_eq!(stats.dropped_full, 0);
+    assert_eq!(stats.dropped_disconnected, 0);
+    assert_eq!(
+        rx.try_iter().count() as u64,
+        exp.delivered,
+        "every non-faulty match must be delivered (errors degrade {} events)",
+        exp.errors
+    );
+    let letters = broker.dead_letters();
+    assert!(letters
+        .iter()
+        .all(|d| matcher.fault_for(&d.event) == Fault::Panic));
+    broker.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "chaos test must stay within its time budget"
+    );
+}
+
+#[test]
+fn chaos_unisolated_panics_are_survived_by_respawn() {
+    silence_injected_panics();
+    let started = Instant::now();
+
+    let matcher = Arc::new(FaultInjectingMatcher::new(
+        ExactMatcher::new(),
+        FaultConfig::none(0xD15EA5E).with_panic_rate(0.01),
+    ));
+    let events = chaos_events(4_000);
+    let exp = precompute(&matcher, &events);
+    assert!(exp.panics > 0, "the seed must inject some panics");
+
+    let config = BrokerConfig {
+        workers: 4,
+        notification_capacity: 16_384,
+        max_match_attempts: 1,
+        isolate_matcher_panics: false,
+        ..BrokerConfig::default()
+    };
+    let workers = config.workers as u64;
+    let broker = Broker::start(Arc::clone(&matcher), config);
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+    for e in &events {
+        broker.publish(e.clone()).unwrap();
+    }
+    broker
+        .flush_timeout(Duration::from_secs(20))
+        .expect("chaos workload must drain despite worker deaths");
+
+    let stats = broker.stats();
+    assert_eq!(stats.published, 4_000);
+    assert_eq!(stats.processed, 4_000);
+    assert_eq!(
+        stats.worker_panics, exp.panics,
+        "each faulty event kills one worker"
+    );
+    assert_eq!(
+        stats.workers_respawned, exp.panics,
+        "each death is answered by a respawn"
+    );
+    assert_eq!(stats.quarantined, exp.panics);
+    assert_eq!(
+        stats.live_workers, workers,
+        "the pool is back to full strength"
+    );
+    // The faulty events crash before any delivery (single subscription),
+    // so at-least-once recovery cannot duplicate notifications here.
+    assert_eq!(stats.notifications, exp.delivered);
+    assert_eq!(rx.try_iter().count() as u64, exp.delivered);
+    broker.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "chaos test must stay within its time budget"
+    );
+}

@@ -2,6 +2,7 @@
 //! publish load, subscription churn, and back-pressure.
 
 use std::sync::Arc;
+use std::time::Duration;
 use tep::prelude::*;
 
 fn thematic_matcher() -> Arc<ProbabilisticMatcher<ThematicEsaMeasure>> {
@@ -53,7 +54,9 @@ fn thematic_broker_delivers_semantic_matches_only() {
             .unwrap(),
         )
         .unwrap();
-    broker.flush();
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("broker must drain within the deadline");
 
     let notifications: Vec<Notification> = rx.try_iter().collect();
     assert_eq!(
@@ -96,7 +99,9 @@ fn concurrent_publishers_all_events_processed() {
     for h in handles {
         h.join().unwrap();
     }
-    broker.flush();
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("broker must drain within the deadline");
     let stats = broker.stats();
     assert_eq!(stats.published, 400);
     assert_eq!(stats.processed, 400);
@@ -109,16 +114,28 @@ fn subscription_churn_under_load() {
         Arc::new(ExactMatcher::new()),
         BrokerConfig::default().with_workers(2),
     );
-    let (id1, rx1) = broker.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+    let (id1, rx1) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
     broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
-    broker.flush();
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("broker must drain within the deadline");
     assert_eq!(rx1.try_iter().count(), 1);
 
     assert!(broker.unsubscribe(id1));
-    let (_, rx2) = broker.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+    let (_, rx2) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
     broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
-    broker.flush();
-    assert_eq!(rx1.try_iter().count(), 0, "unsubscribed channel stays silent");
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("broker must drain within the deadline");
+    assert_eq!(
+        rx1.try_iter().count(),
+        0,
+        "unsubscribed channel stays silent"
+    );
     assert_eq!(rx2.try_iter().count(), 1);
     assert_eq!(broker.subscription_count(), 1);
     broker.shutdown();
@@ -147,10 +164,147 @@ fn notifications_carry_full_match_results() {
             .unwrap(),
         )
         .unwrap();
-    broker.flush();
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("broker must drain within the deadline");
     let n = rx.try_recv().expect("delivery expected");
     let mapping = n.result.best().expect("mapping present");
     assert_eq!(mapping.correspondences().len(), 2);
     assert!(mapping.score() > 0.0);
+    broker.shutdown();
+}
+
+#[test]
+fn publishes_racing_shutdown_fail_cleanly() {
+    let broker = Arc::new(Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default().with_workers(2),
+    ));
+    let (_, _rx) = broker
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            let mut accepted = 0u64;
+            for i in 0..200 {
+                match broker.publish(
+                    parse_event(&format!("{{kind: wanted, thread: t{t}, seq: n{i}}}")).unwrap(),
+                ) {
+                    Ok(()) => accepted += 1,
+                    Err(BrokerError::Closed) => break,
+                    Err(other) => panic!("unexpected publish error: {other}"),
+                }
+            }
+            accepted
+        }));
+    }
+    // Close mid-stream from the main thread; publishers must either get
+    // their event accepted or see a clean `Closed`, never a hang or panic.
+    std::thread::sleep(Duration::from_millis(1));
+    broker.close();
+    let accepted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("accepted events must still drain after close");
+    let stats = broker.stats();
+    assert_eq!(
+        stats.published, accepted,
+        "publish accounting must agree with callers"
+    );
+    assert_eq!(
+        stats.processed, accepted,
+        "every accepted event must be processed"
+    );
+    assert!(
+        broker
+            .subscribe(parse_subscription("{a= 1}").unwrap())
+            .is_err(),
+        "subscribe after close must fail"
+    );
+}
+
+#[test]
+fn subscribes_racing_shutdown_fail_cleanly() {
+    let broker = Arc::new(Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default().with_workers(1),
+    ));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..100 {
+                match broker.subscribe(parse_subscription(&format!("{{a= {i}}}")).unwrap()) {
+                    Ok(_) => {}
+                    Err(BrokerError::Closed) => return,
+                    Err(other) => panic!("unexpected subscribe error: {other}"),
+                }
+            }
+        }));
+    }
+    broker.close();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn shutdown_after_close_and_drop_after_shutdown_are_safe() {
+    // close() then drop: Drop's shutdown_in_place must be a no-op second
+    // time around, not a double-join or deadlock.
+    let broker = Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default());
+    broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    broker.close();
+    broker.close();
+    drop(broker);
+
+    // shutdown() consumes the broker and Drop runs right behind it.
+    let broker = Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default());
+    broker.shutdown();
+}
+
+#[test]
+fn shutdown_with_full_ingress_queue_drains_and_rejects_cleanly() {
+    // One slot, one worker wedged behind a slow matcher: the queue is full
+    // at close time, yet close must not lose accepted events or hang.
+    let slow = FaultInjectingMatcher::new(
+        ExactMatcher::new(),
+        FaultConfig::none(7).with_latency(1.0, Duration::from_millis(20)),
+    );
+    let broker = Broker::start(
+        Arc::new(slow),
+        BrokerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            publish_policy: PublishPolicy::Reject,
+            ..BrokerConfig::default()
+        },
+    );
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{k= hit}").unwrap())
+        .unwrap();
+    let mut accepted = 0;
+    for i in 0..8 {
+        match broker.publish(parse_event(&format!("{{k: hit, seq: n{i}}}")).unwrap()) {
+            Ok(()) => accepted += 1,
+            Err(BrokerError::QueueFull) => {}
+            Err(other) => panic!("unexpected publish error: {other}"),
+        }
+    }
+    broker.close();
+    assert_eq!(
+        broker.publish(parse_event("{k: hit}").unwrap()),
+        Err(BrokerError::Closed),
+        "post-close publishes must report Closed, not QueueFull"
+    );
+    broker
+        .flush_timeout(Duration::from_secs(30))
+        .expect("the full queue must drain after close");
+    assert_eq!(broker.stats().processed, accepted);
+    assert_eq!(rx.try_iter().count(), accepted as usize);
     broker.shutdown();
 }

@@ -40,20 +40,17 @@ fn section1_parking_terms_are_interchangeable() {
     // §1: a consumer using 'garage spot occupied' must be able to handle
     // a 'parking space occupied' event under the approximate matcher.
     let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top1());
-    let event = parse_event(
-        "({land transport, parking policy}, {type: parking space occupied event})",
-    )
-    .unwrap();
+    let event =
+        parse_event("({land transport, parking policy}, {type: parking space occupied event})")
+            .unwrap();
     let subscription = parse_subscription(
         "({land transport, parking policy}, {type~= garage spot occupied event~})",
     )
     .unwrap();
     let hit = matcher.match_event(&subscription, &event).score();
 
-    let unrelated = parse_event(
-        "({land transport, parking policy}, {type: ozone reading event})",
-    )
-    .unwrap();
+    let unrelated =
+        parse_event("({land transport, parking policy}, {type: ozone reading event})").unwrap();
     let miss = matcher.match_event(&subscription, &unrelated).score();
     assert!(
         hit > miss,
@@ -78,11 +75,10 @@ fn thematic_projection_shrinks_vectors_and_speeds_distance() {
 #[test]
 fn exact_predicates_veto_across_the_stack() {
     let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm()), MatcherConfig::top1());
-    let event = parse_event("{type: increased energy consumption event, office: room 204}").unwrap();
-    let subscription = parse_subscription(
-        "{type~= increased energy usage event~, office= room 112}",
-    )
-    .unwrap();
+    let event =
+        parse_event("{type: increased energy consumption event, office: room 204}").unwrap();
+    let subscription =
+        parse_subscription("{type~= increased energy usage event~, office= room 112}").unwrap();
     assert!(matcher.match_event(&subscription, &event).is_empty());
 }
 
@@ -119,10 +115,9 @@ fn relational_operators_work_through_the_full_stack() {
         "({weather monitoring}, {type: ground temperature reading event, value: 34.5})",
     )
     .unwrap();
-    let cold = parse_event(
-        "({weather monitoring}, {type: ground temperature reading event, value: 12})",
-    )
-    .unwrap();
+    let cold =
+        parse_event("({weather monitoring}, {type: ground temperature reading event, value: 12})")
+            .unwrap();
     let hot_score = matcher.match_event(&subscription, &hot).score();
     let cold_score = matcher.match_event(&subscription, &cold).score();
     assert!(hot_score > 0.0, "34.5 > 30 must pass the numeric bound");

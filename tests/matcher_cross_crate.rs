@@ -27,10 +27,9 @@ fn stack() -> Stack {
 fn every_matcher_accepts_a_verbatim_match() {
     let s = stack();
     let event = parse_event("{type: increased energy consumption event, device: laptop}").unwrap();
-    let subscription = parse_subscription(
-        "{type~= increased energy consumption event~, device~= laptop~}",
-    )
-    .unwrap();
+    let subscription =
+        parse_subscription("{type~= increased energy consumption event~, device~= laptop~}")
+            .unwrap();
     for (name, score) in [
         ("exact", 1.0),
         ("rewriting", 1.0),
@@ -65,7 +64,10 @@ fn recall_strictly_widens_from_exact_to_approximate() {
     // In-thesaurus synonym: 'notebook' is an alternate of 'laptop'.
     let synonym = parse_event("{device: notebook}").unwrap();
     assert_eq!(s.exact.match_event(&subscription, &synonym).score(), 0.0);
-    assert_eq!(s.rewriting.match_event(&subscription, &synonym).score(), 1.0);
+    assert_eq!(
+        s.rewriting.match_event(&subscription, &synonym).score(),
+        1.0
+    );
     assert!(s.non_thematic.match_event(&subscription, &synonym).score() > 0.0);
 
     // Out-of-thesaurus but distributionally related: 'computer' is not in
@@ -97,17 +99,18 @@ fn thematic_and_non_thematic_agree_without_themes() {
     // With empty themes the PVSM is the identity, so both probabilistic
     // matchers must produce identical scores.
     let s = stack();
-    let subscription = parse_subscription(
-        "{type~= increased energy usage event~, device~= laptop~}",
-    )
-    .unwrap();
+    let subscription =
+        parse_subscription("{type~= increased energy usage event~, device~= laptop~}").unwrap();
     let event = parse_event(
         "{type: increased energy consumption event, device: computer, office: room 112}",
     )
     .unwrap();
     let a = s.non_thematic.match_event(&subscription, &event).score();
     let b = s.thematic.match_event(&subscription, &event).score();
-    assert!((a - b).abs() < 1e-6, "non-thematic {a} vs thematic-empty {b}");
+    assert!(
+        (a - b).abs() < 1e-6,
+        "non-thematic {a} vs thematic-empty {b}"
+    );
 }
 
 #[test]

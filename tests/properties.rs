@@ -10,14 +10,12 @@ use tep::semantics::SparseVector;
 use tep_eval::metrics;
 
 fn sparse_vector() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..24)
-        .prop_map(|entries|
-
-            entries
-                .into_iter()
-                .map(|(d, w)| (tep::corpus::DocId(d), w))
-                .collect::<SparseVector>()
-        )
+    proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..24).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(d, w)| (tep::corpus::DocId(d), w))
+            .collect::<SparseVector>()
+    })
 }
 
 proptest! {

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::new`], [`Throughput::Elements`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed batches
+//! until a small time budget is spent, reporting mean wall-clock ns/iter
+//! (plus element throughput when configured). There is no statistical
+//! analysis, HTML report, or baseline comparison — the goal is that
+//! `cargo bench` compiles, runs quickly offline, and prints usable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver; one per `criterion_group!` function.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Unit describing how many items one benchmark iteration processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter, e.g. `solve/8`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { id: name }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+            budget: self.measurement_time,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+            budget: self.measurement_time,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.iterations == 0 {
+            eprintln!("  {}/{}: no iterations recorded", self.name, id.id);
+            return;
+        }
+        let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+        let mut line = format!(
+            "  {}/{}: {} iters, {:.1} ns/iter",
+            self.name, id.id, bencher.iterations, ns_per_iter
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if ns_per_iter > 0.0 {
+                let elems_per_sec = n as f64 * 1e9 / ns_per_iter;
+                line.push_str(&format!(", {elems_per_sec:.0} elem/s"));
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine repeatedly until the measurement budget is spent,
+    /// recording total elapsed time and iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (also catches panics early with a small iteration count).
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        loop {
+            let before = Instant::now();
+            black_box(routine());
+            self.total += before.elapsed();
+            self.iterations += 1;
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sample");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &m| b.iter(|| m * 7));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_counts_iterations() {
+        benches();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("direct");
+        group.measurement_time(Duration::from_millis(2));
+        let mut saw_iters = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1u32);
+            saw_iters = b.iterations;
+        });
+        assert!(saw_iters > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("solve", 8).id, "solve/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+}

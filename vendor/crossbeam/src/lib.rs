@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] subset the broker uses: multi-producer,
+//! multi-consumer bounded channels with disconnect detection, non-blocking
+//! and deadline-bounded sends, and blocking/non-blocking receives. Built on
+//! `std::sync::{Mutex, Condvar}`; semantics mirror `crossbeam-channel`:
+//! a channel disconnects when all peers on the other side are dropped.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

@@ -1,0 +1,649 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`Strategy`] trait with `prop_map`, range strategies for integers
+//! and floats, tuple strategies, `any::<bool>()`, [`Just`], a
+//! regex-subset string strategy (`"[a-z]{2,8}"`-style patterns),
+//! [`collection::vec`] / [`collection::btree_set`], and the
+//! [`proptest!`] / `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! case number and message only), a fixed deterministic seed per test
+//! name (override case count with `PROPTEST_CASES`), and rejection via
+//! `prop_assume!` simply retries with fresh input up to a bounded number
+//! of attempts.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+pub use test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Marker strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! any_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+any_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+// ------------------------------------------------------- string strategies
+
+/// `&str` patterns are interpreted as a small regex subset: literal
+/// characters, `[a-z]`-style classes, `( ... )` groups, and the
+/// quantifiers `{m,n}`, `{n}`, `?`, `*`, `+` (the unbounded ones capped
+/// at 8 repetitions).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = regex::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let mut out = String::new();
+        regex::generate(&pattern, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use super::TestRng;
+    use rand::Rng;
+
+    pub(crate) struct Term {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Term>),
+    }
+
+    pub(crate) fn parse(pattern: &str) -> Result<Vec<Term>, String> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.reverse(); // pop() from the front
+        let seq = parse_seq(&mut chars, false)?;
+        if chars.is_empty() {
+            Ok(seq)
+        } else {
+            Err("unbalanced `)`".into())
+        }
+    }
+
+    fn parse_seq(rest: &mut Vec<char>, in_group: bool) -> Result<Vec<Term>, String> {
+        let mut terms = Vec::new();
+        while let Some(c) = rest.pop() {
+            let node = match c {
+                ')' if in_group => return Ok(terms),
+                '[' => Node::Class(parse_class(rest)?),
+                '(' => Node::Group(parse_seq(rest, true)?),
+                '\\' => Node::Literal(rest.pop().ok_or("dangling escape")?),
+                '|' | '.' | '^' | '$' => return Err(format!("unsupported metachar `{c}`")),
+                c => Node::Literal(c),
+            };
+            let (min, max) = parse_quantifier(rest)?;
+            terms.push(Term { node, min, max });
+        }
+        if in_group {
+            Err("unterminated group".into())
+        } else {
+            Ok(terms)
+        }
+    }
+
+    fn parse_class(rest: &mut Vec<char>) -> Result<Vec<(char, char)>, String> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = rest.pop().ok_or("unterminated class")?;
+            match c {
+                ']' => break,
+                '^' if ranges.is_empty() => return Err("negated classes unsupported".into()),
+                c => {
+                    if rest.last() == Some(&'-')
+                        && rest.get(rest.len().wrapping_sub(2)) != Some(&']')
+                    {
+                        rest.pop(); // the '-'
+                        let hi = rest.pop().ok_or("unterminated range")?;
+                        if hi < c {
+                            return Err(format!("descending range {c}-{hi}"));
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty class".into());
+        }
+        Ok(ranges)
+    }
+
+    fn parse_quantifier(rest: &mut Vec<char>) -> Result<(u32, u32), String> {
+        match rest.last() {
+            Some('?') => {
+                rest.pop();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                rest.pop();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                rest.pop();
+                Ok((1, 8))
+            }
+            Some('{') => {
+                rest.pop();
+                let mut body = String::new();
+                loop {
+                    match rest.pop().ok_or("unterminated quantifier")? {
+                        '}' => break,
+                        c => body.push(c),
+                    }
+                }
+                let parts: Vec<&str> = body.split(',').collect();
+                let parse_u32 = |s: &str| {
+                    s.trim()
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad bound `{s}`"))
+                };
+                match parts.as_slice() {
+                    [n] => {
+                        let n = parse_u32(n)?;
+                        Ok((n, n))
+                    }
+                    [m, n] => Ok((parse_u32(m)?, parse_u32(n)?)),
+                    _ => Err(format!("bad quantifier `{{{body}}}`")),
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    pub(crate) fn generate(terms: &[Term], rng: &mut TestRng, out: &mut String) {
+        for term in terms {
+            let count = rng.gen_range(term.min..=term.max);
+            for _ in 0..count {
+                match &term.node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        let c = char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo);
+                        out.push(c);
+                    }
+                    Node::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- collections
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection length: a fixed size or a range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max_inclusive)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `BTreeSet` whose size is drawn from `size`. Duplicate
+    /// elements are retried a bounded number of times, so a narrow element
+    /// domain may yield a smaller set than requested.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 8 + 8 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+// ------------------------------------------------------------- test runner
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Deterministic RNG driving all strategies.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Non-success outcome of one generated test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property failed; the test panics with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the input; the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn default_cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+
+    fn name_seed(name: &str) -> u64 {
+        // FNV-1a, stable across runs and platforms.
+        let mut hash = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
+    }
+
+    /// Executes `test` against `PROPTEST_CASES` (default 64) generated
+    /// inputs, seeded deterministically from the test name. Rejected cases
+    /// (via `prop_assume!`) are retried with fresh input up to a bound.
+    pub fn run<F>(name: &str, mut test: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = default_cases();
+        let base = name_seed(name);
+        let max_attempts = cases * 8 + 16;
+        let mut passed = 0u64;
+        let mut attempt = 0u64;
+        while passed < cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "proptest `{name}`: too many rejected cases \
+                     ({passed}/{cases} passed in {attempt} attempts)"
+                );
+            }
+            let mut rng =
+                TestRng::seed_from_u64(base.wrapping_add(attempt.wrapping_mul(0x9e3779b97f4a7c15)));
+            attempt += 1;
+            match test(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed (case {passed}, attempt {attempt}): {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests. Each function body runs once per generated
+/// case with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}:{}: assertion failed: {}", file!(), line!(), stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}:{}: {}", file!(), line!(), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two expressions are not equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case, retrying with fresh input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> super::TestRng {
+        super::TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let f = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let (a, b) = Strategy::generate(&(0usize..4, 1u64..5), &mut rng);
+            assert!(a < 4 && (1..5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z]{2,8}", &mut rng);
+            assert!((2..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = Strategy::generate(&"[a-z]{1,8}( [a-z]{1,8})?", &mut rng);
+            let words: Vec<&str> = t.split(' ').collect();
+            assert!(
+                (1..=2).contains(&words.len()) && words.iter().all(|w| (1..=8).contains(&w.len())),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0u32..64, 0..24), &mut rng);
+            assert!(v.len() < 24);
+            let fixed = Strategy::generate(&crate::collection::vec(0.0f64..1.0, 35usize), &mut rng);
+            assert_eq!(fixed.len(), 35);
+            let s = Strategy::generate(&crate::collection::btree_set(0u32..64, 1..5), &mut rng);
+            assert!(!s.is_empty() && s.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + u32::from(flag) - u32::from(flag), x);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        #[test]
+        fn macro_supports_assume_and_map(
+            v in crate::collection::vec(1u32..10, 1..6),
+            limit in 0u32..20,
+        ) {
+            prop_assume!(limit > 0);
+            let capped = v.iter().map(|&x| x.min(limit)).collect::<Vec<_>>();
+            prop_assert_eq!(capped.len(), v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run("always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}

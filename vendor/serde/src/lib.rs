@@ -1,0 +1,616 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is unavailable in this build environment (no network, no
+//! registry cache), so this shim provides a deliberately small replacement:
+//! a JSON-shaped [`Value`] data model, [`Serialize`]/[`Deserialize`] traits
+//! that convert to and from it, and a `derive` feature re-exporting the
+//! companion `serde_derive` proc-macros. The derive supports the subset the
+//! workspace uses: named/tuple structs, enums with unit/tuple/struct
+//! variants, `#[serde(default)]` on fields, and `#[serde(transparent)]`
+//! containers. `serde_json` renders [`Value`] to JSON text and back.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable type maps onto.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map with string keys (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (accepts integer values).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) => u64::try_from(*i).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f.is_finite() && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in map entries (helper used by derived code).
+pub fn value_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// A struct field absent from the input.
+    pub fn missing_field(container: &str, field: &str) -> Error {
+        Error(format!("missing field `{field}` in `{container}`"))
+    }
+
+    /// A type mismatch between the input value and the target type.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        let shape = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        };
+        Error(format!("expected {what}, got {shape}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a [`Value`] into `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<bool, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<$t, Error> {
+                let raw = value.as_i64().ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<$t, Error> {
+                let raw = value.as_u64().ok_or_else(|| Error::expected("unsigned integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<f64, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<f32, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<String, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<char, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("single-char string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", value)),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ wrappers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Box<T>, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(value: &Value) -> Result<Arc<T>, Error> {
+        T::deserialize(value).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+// --------------------------------------------------------------- collections
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Vec<T>, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::deserialize(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<BTreeSet<T>, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        // Sort for stable output where the element renders as a string.
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<HashSet<T>, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+/// Renders a map key to its JSON object-key string. Mirrors serde_json's
+/// rule: keys must serialize to strings or integers.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.serialize() {
+        Value::Str(s) => s,
+        Value::I64(i) => i.to_string(),
+        Value::U64(u) => u.to_string(),
+        other => panic!("map key must serialize to a string or integer, got {other:?}"),
+    }
+}
+
+/// Recovers a map key from its JSON object-key string, trying the string
+/// form first and falling back to integer forms for numeric key types.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::U64(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::I64(i)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!(
+        "cannot deserialize map key from `{key}`"
+    )))
+}
+
+fn map_to_value<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+{
+    // Stable key order for reproducible JSON output.
+    let mut rendered: Vec<(String, Value)> = entries
+        .map(|(k, v)| (key_to_string(k), v.serialize()))
+        .collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Map(rendered)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn deserialize(value: &Value) -> Result<BTreeMap<K, V>, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", value))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn deserialize(value: &Value) -> Result<HashMap<K, V>, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", value))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+// -------------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<($($name,)+), Error> {
+                let items = value.as_seq().ok_or_else(|| Error::expected("tuple sequence", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ------------------------------------------------------------------ std time
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(value: &Value) -> Result<Duration, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::expected("duration map", value))?;
+        let secs = value_get(entries, "secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::missing_field("Duration", "secs"))?;
+        let nanos = value_get(entries, "nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::missing_field("Duration", "nanos"))?;
+        Ok(Duration::new(secs, nanos as u32))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&5u32.serialize()), Ok(5));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(
+            f64::deserialize(&Value::I64(2)),
+            Ok(2.0),
+            "ints coerce to floats"
+        );
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(3u32, 0.5f32), (9, 1.25)];
+        let round = Vec::<(u32, f32)>::deserialize(&v.serialize()).unwrap();
+        assert_eq!(v, round);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1usize);
+        assert_eq!(
+            BTreeMap::<String, usize>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn options_and_duration() {
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::deserialize(&Value::U64(7)), Ok(Some(7)));
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::deserialize(&d.serialize()), Ok(d));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u32::deserialize(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u32>::deserialize(&Value::Bool(true)).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`) targeting the companion
+//! `serde` shim's `Value` data model. Supported shapes — the ones this
+//! workspace actually uses:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured per field);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences);
+//! * `#[serde(transparent)]` single-field containers;
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Generics and lifetimes are unsupported and panic at expansion time with
+//! a clear message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("deserialize impl must parse")
+}
+
+struct Field {
+    /// JSON name (raw-identifier prefix stripped).
+    name: String,
+    /// Code-level accessor (keeps `r#`).
+    accessor: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn is_punct(tt: Option<&TokenTree>, c: char) -> bool {
+    matches!(tt, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(tt: Option<&TokenTree>, word: &str) -> bool {
+    matches!(tt, Some(TokenTree::Ident(id)) if id.to_string() == word)
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any of them is a
+/// `#[serde(...)]` attribute containing `flag` as a bare word.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize, flag: &str) -> bool {
+    let mut found = false;
+    while is_punct(tokens.get(*i), '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if is_ident(inner.first(), "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let words = args.stream().to_string();
+                    if words.split(',').any(|w| w.trim() == flag) {
+                        found = true;
+                    }
+                }
+            }
+            *i += 2;
+        } else {
+            panic!("serde_derive shim: malformed attribute");
+        }
+    }
+    found
+}
+
+/// Consumes a visibility modifier (`pub`, `pub(crate)`, ...).
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if is_ident(tokens.get(*i), "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a token list on commas at angle-bracket depth zero. Commas inside
+/// parenthesised/bracketed groups are naturally invisible (they live inside
+/// a `TokenTree::Group`); only `<...>` generic arguments need depth
+/// tracking. Empty chunks (trailing commas) are dropped.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<Field> {
+    split_top_level(group_tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            let default = eat_attrs(&chunk, &mut i, "default");
+            eat_visibility(&chunk, &mut i);
+            let accessor = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other:?}"),
+            };
+            if !is_punct(chunk.get(i + 1), ':') {
+                panic!("serde_derive shim: expected `:` after field `{accessor}`");
+            }
+            let name = accessor.strip_prefix("r#").unwrap_or(&accessor).to_string();
+            Field {
+                name,
+                accessor,
+                default,
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(group_tokens: Vec<TokenTree>) -> usize {
+    split_top_level(group_tokens).len()
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        let transparent = eat_attrs(&tokens, &mut i, "transparent");
+        eat_visibility(&tokens, &mut i);
+        let keyword = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+        };
+        i += 1;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected type name, got {other:?}"),
+        };
+        i += 1;
+        if is_punct(tokens.get(i), '<') {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+        let body = match keyword.as_str() {
+            "struct" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream().into_iter().collect()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream().into_iter().collect()))
+                }
+                other => {
+                    panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}")
+                }
+            },
+            "enum" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let variants = split_top_level(g.stream().into_iter().collect())
+                        .into_iter()
+                        .map(|chunk| {
+                            let mut j = 0;
+                            eat_attrs(&chunk, &mut j, "");
+                            let vname = match chunk.get(j) {
+                                Some(TokenTree::Ident(id)) => id.to_string(),
+                                other => panic!(
+                                    "serde_derive shim: expected variant name in `{name}`, got {other:?}"
+                                ),
+                            };
+                            let body = match chunk.get(j + 1) {
+                                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                                    VariantBody::Tuple(count_tuple_fields(
+                                        g.stream().into_iter().collect(),
+                                    ))
+                                }
+                                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                    VariantBody::Named(parse_named_fields(
+                                        g.stream().into_iter().collect(),
+                                    ))
+                                }
+                                _ => VariantBody::Unit,
+                            };
+                            Variant { name: vname, body }
+                        })
+                        .collect();
+                    Body::Enum(variants)
+                }
+                other => panic!("serde_derive shim: unsupported enum body for `{name}`: {other:?}"),
+            },
+            other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+        };
+        Item {
+            name,
+            transparent,
+            body,
+        }
+    }
+
+    // ------------------------------------------------------------- codegen
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Named(fields) if self.transparent => {
+                let f = single_field(fields, name);
+                format!("::serde::Serialize::serialize(&self.{})", f.accessor)
+            }
+            Body::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{}\"), ::serde::Serialize::serialize(&self.{}))",
+                            f.name, f.accessor
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+            Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Body::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| serialize_variant_arm(name, v))
+                    .collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Named(fields) if self.transparent => {
+                let f = single_field(fields, name);
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::deserialize(value)? }})",
+                    f.accessor
+                )
+            }
+            Body::Named(fields) => {
+                let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
+                format!(
+                    "let entries = match value.as_map() {{\n                         ::std::option::Option::Some(e) => e,\n                         ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::expected(\"map for struct {name}\", value)),\n                     }};\n                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Body::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))"
+            ),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = match value.as_seq() {{\n                         ::std::option::Option::Some(s) => s,\n                         ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::expected(\"sequence for struct {name}\", value)),\n                     }};\n                     if items.len() != {n} {{\n                         return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n                     }}\n                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Body::Enum(variants) => deserialize_enum_body(name, variants),
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n                 fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n             }}"
+        )
+    }
+}
+
+fn single_field<'a>(fields: &'a [Field], name: &str) -> &'a Field {
+    match fields {
+        [only] => only,
+        _ => panic!("serde_derive shim: #[serde(transparent)] on `{name}` needs exactly one field"),
+    }
+}
+
+fn named_field_init(container: &str, f: &Field) -> String {
+    let fallback = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{container}\", \"{}\"))",
+            f.name
+        )
+    };
+    format!(
+        "{}: match ::serde::value_get(entries, \"{}\") {{\n             ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize(v)?,\n             ::std::option::Option::None => {{ {fallback} }}\n         }}",
+        f.accessor, f.name
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.body {
+        VariantBody::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantBody::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::serialize(f0))]),"
+        ),
+        VariantBody::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantBody::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.accessor.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), ::serde::Serialize::serialize({}))",
+                        f.name, f.accessor
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{}]))]),",
+                binds.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.body, VariantBody::Unit))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::std::result::Result::Ok({enum_name}::{0}),",
+                v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.body {
+                VariantBody::Unit => None,
+                VariantBody::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({enum_name}::{vname}(::serde::Deserialize::deserialize(inner)?)),"
+                )),
+                VariantBody::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n                             let items = match inner.as_seq() {{\n                                 ::std::option::Option::Some(s) if s.len() == {n} => s,\n                                 _ => return ::std::result::Result::Err(::serde::Error::custom(\"bad payload for variant {vname}\")),\n                             }};\n                             ::std::result::Result::Ok({enum_name}::{vname}({}))\n                         }}",
+                        items.join(", ")
+                    ))
+                }
+                VariantBody::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| named_field_init(enum_name, f))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n                             let entries = match inner.as_map() {{\n                                 ::std::option::Option::Some(e) => e,\n                                 ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"bad payload for variant {vname}\")),\n                             }};\n                             ::std::result::Result::Ok({enum_name}::{vname} {{ {} }})\n                         }}",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n             ::serde::Value::Str(s) => match s.as_str() {{\n                 {}\n                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{other}}` of {enum_name}\"))),\n             }},\n             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n                 let (key, inner) = &entries[0];\n                 match key.as_str() {{\n                     {}\n                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{other}}` of {enum_name}\"))),\n                 }}\n             }}\n             other => ::std::result::Result::Err(::serde::Error::expected(\"enum {enum_name}\", other)),\n         }}",
+        unit_arms.join("\n                 "),
+        payload_arms.join("\n                     ")
+    )
+}
