@@ -18,4 +18,7 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> bench smoke (BENCH_throughput.json)"
+cargo run -p tep-bench --release --offline --bin probe -- bench --out BENCH_throughput.json
+
 echo "All checks passed."

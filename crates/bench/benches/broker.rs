@@ -97,6 +97,33 @@ fn bench_broker(c: &mut Criterion) {
             stats.processed
         })
     });
+    // Theme-indexed routing: one domain tag per side (round-robin) so an
+    // event only overlaps ~1/6 of the subscriptions; dispatch skips the
+    // rest without a match test.
+    group.bench_function("thematic_workers_2_routed", |b| {
+        let matcher = Arc::new(stack.thematic());
+        b.iter(|| {
+            let broker = Broker::start(
+                Arc::clone(&matcher),
+                BrokerConfig::default()
+                    .with_workers(2)
+                    .with_routing_policy(RoutingPolicy::ThemeOverlap),
+            );
+            let mut receivers = Vec::new();
+            for (i, s) in workload.subscriptions().iter().take(8).enumerate() {
+                let tag = [tags[i % tags.len()].clone()];
+                receivers.push(broker.subscribe(s.with_theme_tags(tag)).unwrap().1);
+            }
+            for (i, e) in events.iter().take(32).enumerate() {
+                let tag = [tags[i % tags.len()].clone()];
+                broker.publish(e.with_theme_tags(tag)).unwrap();
+            }
+            broker.flush_timeout(FLUSH_DEADLINE).unwrap();
+            let stats = broker.stats();
+            broker.shutdown();
+            (stats.processed, stats.routing_skipped)
+        })
+    });
     // Supervised-runtime overhead under faults: ~1% of events panic in
     // the matcher, exercising catch_unwind isolation and quarantine on
     // the hot path.
@@ -127,6 +154,31 @@ fn bench_broker(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Cache visibility: one extra thematic pass reporting the semantic
+    // cache counters alongside the throughput numbers above.
+    let broker = Broker::start(
+        Arc::new(stack.thematic()),
+        BrokerConfig::default().with_workers(2),
+    );
+    let mut receivers = Vec::new();
+    for s in workload.subscriptions().iter().take(8) {
+        receivers.push(broker.subscribe(s.with_theme_tags(tags.clone())).unwrap().1);
+    }
+    for e in events.iter().take(32) {
+        broker.publish(e.clone()).unwrap();
+    }
+    broker.flush_timeout(FLUSH_DEADLINE).unwrap();
+    let cache = broker.stats().semantic_cache;
+    broker.shutdown();
+    println!(
+        "broker_publish/thematic cache: hit rate {:.1}% ({} hits, {} misses, {} evictions, {} pinned)",
+        cache.hit_rate() * 100.0,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.pinned,
+    );
 }
 
 criterion_group!(benches, bench_broker);

@@ -1,14 +1,26 @@
 //! Calibration probe: prints thematic F1/throughput for hand-picked theme
 //! combinations against the non-thematic baseline. Not part of the paper
 //! reproduction; used to tune the synthetic-corpus knobs.
+//!
+//! `probe bench [--out PATH]` instead runs the end-to-end broker
+//! throughput scenarios and writes the machine-readable
+//! `BENCH_throughput.json` (default path), printing one summary line per
+//! scenario with events/sec and the semantic-cache hit rate.
 
 use tep::thesaurus::{Domain, Thesaurus};
 use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("terms") {
-        term_diagnostics();
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("terms") => {
+            term_diagnostics();
+            return;
+        }
+        Some("bench") => {
+            bench_throughput();
+            return;
+        }
+        _ => {}
     }
     let cfg = EvalConfig::quick();
     let stack = MatcherStack::build(&cfg);
@@ -96,6 +108,36 @@ fn main() {
         );
         stack.clear_caches();
     }
+}
+
+/// Broker throughput scenarios → `BENCH_throughput.json` (run with
+/// `probe bench [--out PATH]`).
+fn bench_throughput() {
+    let out = {
+        let mut it = std::env::args().skip(2);
+        let mut path = String::from("BENCH_throughput.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => path = it.next().expect("--out needs a value"),
+                other => {
+                    eprintln!("usage: probe bench [--out PATH] (unknown arg {other:?})");
+                    std::process::exit(2);
+                }
+            }
+        }
+        path
+    };
+    // The faulty-matcher scenario panics on purpose (isolated by the
+    // broker); keep the smoke-step output to the summary lines.
+    std::panic::set_hook(Box::new(|_| {}));
+    let results = tep_bench::throughput::run_broker_scenarios();
+    let _ = std::panic::take_hook();
+    for r in &results {
+        println!("{}", r.summary());
+    }
+    let json = tep_bench::throughput::render_json(&results);
+    std::fs::write(&out, json).expect("write throughput JSON");
+    println!("wrote {out}");
 }
 
 /// Term-level diagnostics: full-space vs projected relatedness for

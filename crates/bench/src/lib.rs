@@ -17,3 +17,4 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod throughput;

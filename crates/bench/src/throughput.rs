@@ -1,0 +1,276 @@
+//! End-to-end broker throughput scenarios with machine-readable output.
+//!
+//! `probe bench` runs these and writes `BENCH_throughput.json`, the file
+//! CI's bench smoke step regenerates so throughput regressions show up as
+//! a diff. Each scenario reports events/sec **and** the semantic cache
+//! counters sampled from the matcher, so cache-efficiency regressions are
+//! visible alongside raw throughput.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tep::prelude::*;
+use tep_eval::{EvalConfig, MatcherStack, Workload};
+
+/// Deadline for draining a scenario's backlog; generous because CI
+/// machines can be slow and a missed flush would abort the probe.
+const FLUSH_DEADLINE: Duration = Duration::from_secs(120);
+
+/// The measured outcome of one broker scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioThroughput {
+    /// Scenario name (stable identifier, used as the JSON key).
+    pub name: String,
+    /// Events published (and fully processed).
+    pub events: u64,
+    /// Wall-clock seconds from first publish to drained queue.
+    pub elapsed_secs: f64,
+    /// `events / elapsed_secs`.
+    pub events_per_sec: f64,
+    /// Subscription × event match tests actually executed.
+    pub match_tests: u64,
+    /// Notifications delivered.
+    pub notifications: u64,
+    /// Pairs skipped by theme-overlap routing (0 under broadcast).
+    pub routing_skipped: u64,
+    /// Semantic cache counters sampled after the run.
+    pub cache: CacheStats,
+}
+
+impl ScenarioThroughput {
+    /// One JSON object (no trailing newline).
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"events\":{},\"elapsed_secs\":{:.6},",
+                "\"events_per_sec\":{:.1},\"match_tests\":{},\"notifications\":{},",
+                "\"routing_skipped\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"cache_evictions\":{},\"cache_hit_rate\":{:.4}}}"
+            ),
+            self.name,
+            self.events,
+            self.elapsed_secs,
+            self.events_per_sec,
+            self.match_tests,
+            self.notifications,
+            self.routing_skipped,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.hit_rate(),
+        )
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<26} {:>8.0} ev/s  ({} events, {:.2}s)  tests={} skipped={} cache-hit={:.1}%",
+            self.name,
+            self.events_per_sec,
+            self.events,
+            self.elapsed_secs,
+            self.match_tests,
+            self.routing_skipped,
+            self.cache.hit_rate() * 100.0,
+        )
+    }
+}
+
+/// Renders the scenario list as the `BENCH_throughput.json` document.
+pub fn render_json(results: &[ScenarioThroughput]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Publishes `events` through a fresh broker `rounds` times and measures
+/// the drain.
+fn run_scenario<M>(
+    name: &str,
+    matcher: Arc<M>,
+    config: BrokerConfig,
+    subscriptions: &[Subscription],
+    events: &[Event],
+    rounds: usize,
+) -> ScenarioThroughput
+where
+    M: Matcher + Send + Sync + 'static,
+{
+    let broker = Broker::start(matcher, config);
+    let receivers: Vec<_> = subscriptions
+        .iter()
+        .map(|s| broker.subscribe(s.clone()).expect("subscribe").1)
+        .collect();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for e in events {
+            broker.publish(e.clone()).expect("publish");
+        }
+    }
+    broker.flush_timeout(FLUSH_DEADLINE).expect("flush");
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = broker.stats();
+    for rx in &receivers {
+        // Drain so the channel teardown is uniform across scenarios.
+        while rx.try_recv().is_ok() {}
+    }
+    broker.shutdown();
+    let events_total = (events.len() * rounds) as u64;
+    ScenarioThroughput {
+        name: name.to_string(),
+        events: events_total,
+        elapsed_secs: elapsed,
+        events_per_sec: events_total as f64 / elapsed,
+        match_tests: stats.match_tests,
+        notifications: stats.notifications,
+        routing_skipped: stats.routing_skipped,
+        cache: stats.semantic_cache,
+    }
+}
+
+/// Runs the standard broker scenarios at the seed bench's scale:
+///
+/// * `seed_exact_broadcast` — exact matcher, pure middleware overhead;
+/// * `seed_thematic_broadcast` — the thematic matcher against every
+///   subscription (the paper's configuration, and the PR-over-PR
+///   throughput headline);
+/// * `thematic_theme_routed` — the same thematic matcher with
+///   single-domain themes and `RoutingPolicy::ThemeOverlap`, showing what
+///   theme-indexed routing saves;
+/// * `faulty_exact_1pct` — the supervised-runtime overhead scenario: ~1%
+///   of events panic in the matcher.
+pub fn run_broker_scenarios() -> Vec<ScenarioThroughput> {
+    let cfg = EvalConfig::tiny();
+    let stack = MatcherStack::build(&cfg);
+    let workload = Workload::generate(&cfg);
+    let th = Thesaurus::eurovoc_like();
+    let domain_tags: Vec<String> = Domain::ALL
+        .iter()
+        .map(|d| th.top_terms(*d)[0].as_str().to_string())
+        .collect();
+
+    let base_events: Vec<Event> = workload.events().iter().take(128).cloned().collect();
+    let base_subs: Vec<Subscription> = workload.subscriptions().iter().take(8).cloned().collect();
+
+    // Seed scenario theming: every event and subscription carries the
+    // one-tag-per-domain set, exactly like the criterion broker bench.
+    let themed_events: Vec<Event> = base_events
+        .iter()
+        .map(|e| e.with_theme_tags(domain_tags.clone()))
+        .collect();
+    let themed_subs: Vec<Subscription> = base_subs
+        .iter()
+        .map(|s| s.with_theme_tags(domain_tags.clone()))
+        .collect();
+
+    // Routed scenario theming: one domain per side, round-robin, so an
+    // event overlaps ~1/6 of the subscriptions and routing has something
+    // to skip.
+    let routed_events: Vec<Event> = base_events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| e.with_theme_tags([domain_tags[i % domain_tags.len()].clone()]))
+        .collect();
+    let routed_subs: Vec<Subscription> = base_subs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.with_theme_tags([domain_tags[i % domain_tags.len()].clone()]))
+        .collect();
+
+    vec![
+        run_scenario(
+            "seed_exact_broadcast",
+            Arc::new(ExactMatcher::new()),
+            BrokerConfig::default().with_workers(2),
+            &base_subs,
+            &base_events,
+            16,
+        ),
+        run_scenario(
+            "seed_thematic_broadcast",
+            Arc::new(stack.thematic()),
+            BrokerConfig::default().with_workers(2),
+            &themed_subs,
+            &themed_events,
+            4,
+        ),
+        run_scenario(
+            "thematic_theme_routed",
+            Arc::new(stack.thematic()),
+            BrokerConfig::default()
+                .with_workers(2)
+                .with_routing_policy(RoutingPolicy::ThemeOverlap),
+            &routed_subs,
+            &routed_events,
+            4,
+        ),
+        run_scenario(
+            "faulty_exact_1pct",
+            Arc::new(FaultInjectingMatcher::new(
+                ExactMatcher::new(),
+                FaultConfig::none(0xBE7C).with_panic_rate(0.01),
+            )),
+            BrokerConfig::default()
+                .with_workers(2)
+                .with_max_match_attempts(1),
+            &base_subs,
+            &base_events,
+            16,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioThroughput {
+        ScenarioThroughput {
+            name: "s".into(),
+            events: 10,
+            elapsed_secs: 0.5,
+            events_per_sec: 20.0,
+            match_tests: 80,
+            notifications: 3,
+            routing_skipped: 2,
+            cache: CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                entries: 4,
+                pinned: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_machine_readable() {
+        let doc = render_json(&[sample(), sample()]);
+        let parsed: serde_json::JsonValue = serde_json::from_str(&doc).expect("valid JSON");
+        let root = parsed.as_map().expect("object root");
+        let scenarios = serde::value_get(root, "scenarios")
+            .and_then(|v| v.as_seq())
+            .expect("scenario array");
+        assert_eq!(scenarios.len(), 2);
+        let first = scenarios[0].as_map().expect("scenario object");
+        let field = |k: &str| serde::value_get(first, k).expect(k);
+        assert_eq!(field("name").as_str(), Some("s"));
+        assert_eq!(field("events_per_sec").as_f64(), Some(20.0));
+        assert_eq!(field("cache_hits").as_u64(), Some(3));
+        assert_eq!(field("cache_hit_rate").as_f64(), Some(0.75));
+    }
+
+    #[test]
+    fn summary_mentions_throughput_and_hit_rate() {
+        let line = sample().summary();
+        assert!(line.contains("ev/s"));
+        assert!(line.contains("cache-hit=75.0%"));
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::config::{BrokerConfig, PublishPolicy};
 use crate::notification::Notification;
+use crate::routing::RoutingTable;
 use crate::stats::{BrokerStats, StatsInner};
 use crate::supervisor::{supervisor_loop, DeadLetter, DeadLetterQueue, Job};
 use crossbeam::channel::{bounded, Receiver, SendTimeoutError, Sender, TrySendError};
@@ -14,7 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
-use tep_matcher::Matcher;
+use tep_matcher::{CacheStats, Matcher};
 
 /// Default deadline for the bare [`Broker::flush`] convenience wrapper.
 const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_secs(60);
@@ -71,10 +72,28 @@ pub(crate) struct Registration {
     pub(crate) consecutive_full: AtomicU64,
 }
 
+/// Type-erased handles into the matcher for the subscription lifecycle.
+///
+/// The matcher itself moves into the supervisor thread at start-up and the
+/// broker handle is not generic over it, so the subscribe/unsubscribe path
+/// reaches it through these boxed closures instead.
+pub(crate) struct MatcherHooks {
+    /// Called once per [`Broker::subscribe`]: lets the matcher precompute
+    /// and pin the subscription's projections before any event arrives.
+    pub(crate) prepare: Box<dyn Fn(&Subscription) + Send + Sync>,
+    /// Called once when a subscription leaves the registry (unsubscribe or
+    /// reap): releases whatever `prepare` pinned.
+    pub(crate) release: Box<dyn Fn(&Subscription) + Send + Sync>,
+    /// Samples the matcher's semantic cache counters.
+    pub(crate) cache_stats: Box<dyn Fn() -> CacheStats + Send + Sync>,
+}
+
 /// State shared between the broker handle, its workers, and the
 /// supervisor.
 pub(crate) struct Shared {
     pub(crate) registry: RwLock<HashMap<SubscriptionId, Arc<Registration>>>,
+    pub(crate) routing: RoutingTable,
+    pub(crate) hooks: MatcherHooks,
     pub(crate) stats: Arc<StatsInner>,
     pub(crate) config: BrokerConfig,
     /// The ingress sender; `None` once the broker is closed. Workers exit
@@ -114,8 +133,24 @@ impl Broker {
     {
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
         let worker_count = config.workers.max(1);
+        let hooks = MatcherHooks {
+            prepare: {
+                let m = Arc::clone(&matcher);
+                Box::new(move |s| m.prepare_subscription(s))
+            },
+            release: {
+                let m = Arc::clone(&matcher);
+                Box::new(move |s| m.release_subscription(s))
+            },
+            cache_stats: {
+                let m = Arc::clone(&matcher);
+                Box::new(move || m.cache_stats())
+            },
+        };
         let shared = Arc::new(Shared {
             registry: RwLock::new(HashMap::new()),
+            routing: RoutingTable::new(),
+            hooks,
             stats: Arc::new(StatsInner::default()),
             dead_letters: DeadLetterQueue::new(config.dead_letter_capacity),
             config,
@@ -156,10 +191,19 @@ impl Broker {
             self.shared.config.subscriber_policy,
             crate::config::SubscriberPolicy::DropOldest
         );
+        let subscription = Arc::new(subscription);
+        // Warm the matcher's caches (and pin the subscription's
+        // projections) before the subscription can receive traffic.
+        (self.shared.hooks.prepare)(&subscription);
+        // Index into the routing table *before* the registry insert:
+        // dispatch resolves candidates through the registry, so a routing
+        // entry without a registry entry is invisible, while the converse
+        // could skip a legitimate match.
+        self.shared.routing.insert(id, subscription.theme_tags());
         self.shared.registry.write().insert(
             id,
             Arc::new(Registration {
-                subscription: Arc::new(subscription),
+                subscription,
                 sender: tx,
                 receiver: keep_receiver.then(|| rx.clone()),
                 consecutive_full: AtomicU64::new(0),
@@ -170,7 +214,14 @@ impl Broker {
 
     /// Removes a subscription; returns whether it existed.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        self.shared.registry.write().remove(&id).is_some()
+        let Some(reg) = self.shared.registry.write().remove(&id) else {
+            return false;
+        };
+        self.shared
+            .routing
+            .remove(id, reg.subscription.theme_tags());
+        (self.shared.hooks.release)(&reg.subscription);
+        true
     }
 
     /// Number of live subscriptions.
@@ -239,7 +290,9 @@ impl Broker {
     pub fn flush_timeout(&self, timeout: Duration) -> Result<(), BrokerError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let s = self.stats();
+            // Raw counter snapshot: the poll loop doesn't need the cache
+            // stats `Broker::stats` samples from the matcher.
+            let s = self.shared.stats.snapshot();
             if s.processed >= s.published {
                 return Ok(());
             }
@@ -265,9 +318,12 @@ impl Broker {
             .expect("broker flush exceeded its default 60s deadline");
     }
 
-    /// A snapshot of the broker's counters.
+    /// A snapshot of the broker's counters, including the matcher's
+    /// semantic cache counters.
     pub fn stats(&self) -> BrokerStats {
-        self.shared.stats.snapshot()
+        let mut stats = self.shared.stats.snapshot();
+        stats.semantic_cache = (self.shared.hooks.cache_stats)();
+        stats
     }
 
     /// The quarantined events currently in the dead-letter queue, oldest
@@ -336,7 +392,7 @@ impl Drop for Broker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SubscriberPolicy;
+    use crate::config::{RoutingPolicy, SubscriberPolicy};
     use tep_events::{parse_event, parse_subscription};
     use tep_matcher::{ExactMatcher, FaultConfig, FaultInjectingMatcher, MatchResult};
 
@@ -617,6 +673,17 @@ mod tests {
                 .unwrap();
         }
         b.flush_timeout(Duration::from_secs(10)).unwrap();
+        // `flush` returns when the last boom is quarantined, which the
+        // supervisor does *before* finishing the matching respawn — give
+        // the bookkeeping a moment to settle before asserting on it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            let s = b.stats();
+            if s.workers_respawned == 4 && s.live_workers == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let stats = b.stats();
         assert_eq!(stats.processed, 20);
         assert_eq!(stats.worker_panics, 4, "each boom kills one worker");
@@ -760,6 +827,132 @@ mod tests {
         );
         // The generous deadline succeeds once the backlog drains.
         b.flush_timeout(Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn theme_overlap_routes_by_shared_tags() {
+        let config = BrokerConfig::default()
+            .with_workers(2)
+            .with_routing_policy(RoutingPolicy::ThemeOverlap);
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (_, power_rx) = b
+            .subscribe(parse_subscription("({power}, {k= v})").unwrap())
+            .unwrap();
+        let (_, transport_rx) = b
+            .subscribe(parse_subscription("({transport}, {k= v})").unwrap())
+            .unwrap();
+        let (_, bare_rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+
+        b.publish(parse_event("({power, grid}, {k: v})").unwrap())
+            .unwrap();
+        b.flush();
+        assert_eq!(power_rx.try_iter().count(), 1, "shared tag delivers");
+        assert_eq!(bare_rx.try_iter().count(), 1, "theme-less stays broadcast");
+        assert_eq!(
+            transport_rx.try_iter().count(),
+            0,
+            "disjoint themes must not deliver under ThemeOverlap"
+        );
+        let stats = b.stats();
+        assert_eq!(stats.match_tests, 2, "the disjoint pair is never tested");
+        assert_eq!(stats.routing_skipped, 1);
+
+        // A theme-less event reaches only the broadcast set.
+        b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        b.flush();
+        assert_eq!(bare_rx.try_iter().count(), 1);
+        assert_eq!(power_rx.try_iter().count(), 0);
+        assert_eq!(transport_rx.try_iter().count(), 0);
+        let stats = b.stats();
+        assert_eq!(stats.match_tests, 3);
+        assert_eq!(stats.routing_skipped, 3);
+        b.shutdown();
+    }
+
+    #[test]
+    fn broadcast_policy_still_delivers_across_disjoint_themes() {
+        // The default policy must keep the historical semantics: a
+        // theme-agnostic matcher delivers regardless of theme overlap.
+        let b = broker();
+        let (_, rx) = b
+            .subscribe(parse_subscription("({transport}, {k= v})").unwrap())
+            .unwrap();
+        b.publish(parse_event("({power}, {k: v})").unwrap())
+            .unwrap();
+        b.flush();
+        assert_eq!(rx.try_iter().count(), 1);
+        assert_eq!(b.stats().routing_skipped, 0);
+    }
+
+    #[test]
+    fn unsubscribe_and_reap_maintain_the_routing_table() {
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_routing_policy(RoutingPolicy::ThemeOverlap);
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (id, _rx) = b
+            .subscribe(parse_subscription("({power}, {k= v})").unwrap())
+            .unwrap();
+        assert!(b.unsubscribe(id));
+        b.publish(parse_event("({power}, {k: v})").unwrap())
+            .unwrap();
+        b.flush();
+        let stats = b.stats();
+        assert_eq!(stats.match_tests, 0);
+        assert_eq!(
+            stats.routing_skipped, 0,
+            "unsubscribe must clear the routing entry with the registration"
+        );
+
+        // A hung-up subscriber is reaped from the routing table too.
+        let (_, dead_rx) = b
+            .subscribe(parse_subscription("({power}, {k= v})").unwrap())
+            .unwrap();
+        drop(dead_rx);
+        b.publish(parse_event("({power}, {k: v})").unwrap())
+            .unwrap();
+        b.flush();
+        assert_eq!(b.stats().disconnected_subscribers, 1);
+        assert_eq!(b.subscription_count(), 0);
+        b.publish(parse_event("({power}, {k: v})").unwrap())
+            .unwrap();
+        b.flush();
+        let stats = b.stats();
+        assert_eq!(stats.match_tests, 1, "reaped subscribers cost nothing");
+        assert_eq!(
+            stats.routing_skipped, 0,
+            "reap must clear the routing entry, not just the registry"
+        );
+        b.shutdown();
+    }
+
+    #[test]
+    fn subscription_lifecycle_reaches_matcher_caches() {
+        use tep_corpus::{Corpus, CorpusConfig};
+        use tep_index::InvertedIndex;
+        use tep_matcher::{MatcherConfig, ProbabilisticMatcher};
+        use tep_semantics::{DistributionalSpace, ParametricVectorSpace, ThematicEsaMeasure};
+        let corpus = Corpus::generate(&CorpusConfig::small());
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&corpus),
+        )));
+        let matcher =
+            ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm), MatcherConfig::top1());
+        let b = Broker::start(Arc::new(matcher), BrokerConfig::default().with_workers(1));
+        let (id, _rx) = b
+            .subscribe(parse_subscription("({energy policy}, {type~= energy usage~})").unwrap())
+            .unwrap();
+        assert!(
+            b.stats().semantic_cache.pinned > 0,
+            "subscribe must pin the subscription's projections"
+        );
+        assert!(b.unsubscribe(id));
+        assert_eq!(
+            b.stats().semantic_cache.pinned,
+            0,
+            "unsubscribe must release the pins"
+        );
+        b.shutdown();
     }
 
     #[test]

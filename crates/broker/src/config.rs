@@ -34,6 +34,28 @@ pub enum SubscriberPolicy {
     DisconnectAfter(u64),
 }
 
+/// How the broker selects which subscriptions an event is matched
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Run a match test against every registered subscription (the
+    /// historical behavior, and the default).
+    Broadcast,
+    /// Theme-indexed routing: an event is only tested against
+    /// subscriptions sharing at least one theme tag with it, plus every
+    /// theme-less subscription (those opt out of routing and stay
+    /// broadcast).
+    ///
+    /// This is a **delivery semantic**, not a pure optimization: a
+    /// theme-agnostic matcher (e.g. exact matching) delivers across
+    /// disjoint themes under [`RoutingPolicy::Broadcast`] but not under
+    /// this policy. Thematic matchers already score disjoint-theme pairs
+    /// near zero, so for them the observable difference is throughput —
+    /// skipped pairs are counted in
+    /// [`crate::BrokerStats::routing_skipped`].
+    ThemeOverlap,
+}
+
 /// Configuration of the [`crate::Broker`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BrokerConfig {
@@ -66,6 +88,8 @@ pub struct BrokerConfig {
     /// Capacity of the dead-letter queue; when full, the oldest quarantined
     /// event is evicted to admit the newest.
     pub dead_letter_capacity: usize,
+    /// How events are routed to subscriptions for match testing.
+    pub routing_policy: RoutingPolicy,
 }
 
 impl BrokerConfig {
@@ -112,6 +136,12 @@ impl BrokerConfig {
         self.isolate_matcher_panics = isolate;
         self
     }
+
+    /// Replaces the routing policy.
+    pub fn with_routing_policy(mut self, policy: RoutingPolicy) -> BrokerConfig {
+        self.routing_policy = policy;
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -126,6 +156,7 @@ impl Default for BrokerConfig {
             isolate_matcher_panics: true,
             max_match_attempts: 2,
             dead_letter_capacity: 64,
+            routing_policy: RoutingPolicy::Broadcast,
         }
     }
 }
@@ -145,6 +176,7 @@ mod tests {
         assert!(c.dead_letter_capacity > 0);
         assert_eq!(c.publish_policy, PublishPolicy::Block);
         assert_eq!(c.subscriber_policy, SubscriberPolicy::DropNewest);
+        assert_eq!(c.routing_policy, RoutingPolicy::Broadcast);
     }
 
     #[test]
@@ -155,7 +187,8 @@ mod tests {
             .with_publish_policy(PublishPolicy::Reject)
             .with_subscriber_policy(SubscriberPolicy::DisconnectAfter(3))
             .with_max_match_attempts(0)
-            .with_panic_isolation(false);
+            .with_panic_isolation(false)
+            .with_routing_policy(RoutingPolicy::ThemeOverlap);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
         assert_eq!(c.publish_policy, PublishPolicy::Reject);
@@ -165,6 +198,7 @@ mod tests {
             "attempt budget is clamped to at least 1"
         );
         assert!(!c.isolate_matcher_panics);
+        assert_eq!(c.routing_policy, RoutingPolicy::ThemeOverlap);
     }
 
     #[test]
@@ -176,7 +210,8 @@ mod tests {
     fn config_round_trips_through_json() {
         let c = BrokerConfig::default()
             .with_publish_policy(PublishPolicy::Timeout(Duration::from_millis(250)))
-            .with_subscriber_policy(SubscriberPolicy::DropOldest);
+            .with_subscriber_policy(SubscriberPolicy::DropOldest)
+            .with_routing_policy(RoutingPolicy::ThemeOverlap);
         let json = serde_json::to_string(&c).unwrap();
         let back: BrokerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);

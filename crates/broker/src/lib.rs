@@ -61,11 +61,12 @@
 mod broker;
 mod config;
 mod notification;
+mod routing;
 mod stats;
 mod supervisor;
 
 pub use broker::{Broker, BrokerError, SubscriptionId};
-pub use config::{BrokerConfig, PublishPolicy, SubscriberPolicy};
+pub use config::{BrokerConfig, PublishPolicy, RoutingPolicy, SubscriberPolicy};
 pub use notification::Notification;
 pub use stats::BrokerStats;
 pub use supervisor::DeadLetter;

@@ -1,0 +1,146 @@
+//! The theme-indexed subscription table behind
+//! [`crate::RoutingPolicy::ThemeOverlap`].
+//!
+//! Subscriptions are indexed by their (already normalized) theme tags so
+//! dispatch can fetch the candidate set for an event with a handful of
+//! hash lookups instead of scanning the whole registry. Theme-less
+//! subscriptions opt out of routing: they live in a separate broadcast
+//! set and are candidates for every event.
+
+use crate::broker::SubscriptionId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Maps theme tags to the subscriptions carrying them, plus the broadcast
+/// set of theme-less subscriptions.
+///
+/// The table is maintained unconditionally (subscribe/unsubscribe/reap)
+/// and only *consulted* under [`crate::RoutingPolicy::ThemeOverlap`], so
+/// flipping the policy needs no rebuild.
+#[derive(Debug, Default)]
+pub(crate) struct RoutingTable {
+    inner: RwLock<RoutingInner>,
+}
+
+#[derive(Debug, Default)]
+struct RoutingInner {
+    by_tag: HashMap<String, Vec<SubscriptionId>>,
+    broadcast: Vec<SubscriptionId>,
+}
+
+impl RoutingTable {
+    pub(crate) fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// Indexes `id` under each of its theme tags, or into the broadcast
+    /// set when it has none.
+    pub(crate) fn insert(&self, id: SubscriptionId, tags: &[String]) {
+        let mut inner = self.inner.write();
+        if tags.is_empty() {
+            inner.broadcast.push(id);
+        } else {
+            for tag in tags {
+                inner.by_tag.entry(tag.clone()).or_default().push(id);
+            }
+        }
+    }
+
+    /// Removes `id` from the index; `tags` must be the tags it was
+    /// inserted with (they are immutable on `Subscription`).
+    pub(crate) fn remove(&self, id: SubscriptionId, tags: &[String]) {
+        let mut inner = self.inner.write();
+        if tags.is_empty() {
+            inner.broadcast.retain(|x| *x != id);
+        } else {
+            for tag in tags {
+                if let Some(ids) = inner.by_tag.get_mut(tag) {
+                    ids.retain(|x| *x != id);
+                    if ids.is_empty() {
+                        inner.by_tag.remove(tag);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The candidate subscriptions for an event carrying `tags`: every
+    /// themed subscription sharing at least one tag, plus the whole
+    /// broadcast set. A theme-less event reaches only the broadcast set.
+    ///
+    /// The result is sorted and deduplicated (a subscription sharing two
+    /// tags with the event appears once).
+    pub(crate) fn candidates(&self, tags: &[String]) -> Vec<SubscriptionId> {
+        let inner = self.inner.read();
+        let mut out = inner.broadcast.clone();
+        for tag in tags {
+            if let Some(ids) = inner.by_tag.get(tag) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn themed_events_reach_overlapping_and_broadcast_subscriptions() {
+        let table = RoutingTable::new();
+        table.insert(SubscriptionId(1), &tags(&["power", "computers"]));
+        table.insert(SubscriptionId(2), &tags(&["transport"]));
+        table.insert(SubscriptionId(3), &tags(&[])); // broadcast
+        assert_eq!(
+            table.candidates(&tags(&["computers"])),
+            [SubscriptionId(1), SubscriptionId(3)]
+        );
+        assert_eq!(
+            table.candidates(&tags(&["transport", "power"])),
+            [SubscriptionId(1), SubscriptionId(2), SubscriptionId(3)]
+        );
+    }
+
+    #[test]
+    fn themeless_events_reach_only_the_broadcast_set() {
+        let table = RoutingTable::new();
+        table.insert(SubscriptionId(1), &tags(&["power"]));
+        table.insert(SubscriptionId(2), &tags(&[]));
+        assert_eq!(table.candidates(&[]), [SubscriptionId(2)]);
+    }
+
+    #[test]
+    fn multi_tag_overlap_is_deduplicated() {
+        let table = RoutingTable::new();
+        table.insert(SubscriptionId(7), &tags(&["a", "b"]));
+        assert_eq!(table.candidates(&tags(&["a", "b"])), [SubscriptionId(7)]);
+    }
+
+    #[test]
+    fn remove_clears_every_index_entry() {
+        let table = RoutingTable::new();
+        table.insert(SubscriptionId(1), &tags(&["a", "b"]));
+        table.insert(SubscriptionId(2), &tags(&[]));
+        table.remove(SubscriptionId(1), &tags(&["a", "b"]));
+        table.remove(SubscriptionId(2), &tags(&[]));
+        assert!(table.candidates(&tags(&["a", "b"])).is_empty());
+        assert!(table.candidates(&[]).is_empty());
+        // Emptied per-tag buckets are dropped entirely.
+        assert!(table.inner.read().by_tag.is_empty());
+    }
+
+    #[test]
+    fn removing_an_unknown_id_is_a_no_op() {
+        let table = RoutingTable::new();
+        table.insert(SubscriptionId(1), &tags(&["a"]));
+        table.remove(SubscriptionId(9), &tags(&["a", "zz"]));
+        assert_eq!(table.candidates(&tags(&["a"])), [SubscriptionId(1)]);
+    }
+}

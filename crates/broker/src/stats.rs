@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use tep_matcher::CacheStats;
 
 /// Monotonic broker counters, cheap to read concurrently.
 ///
@@ -21,6 +22,7 @@ pub(crate) struct StatsInner {
     pub rejected_publishes: AtomicU64,
     pub disconnected_subscribers: AtomicU64,
     pub live_workers: AtomicU64,
+    pub routing_skipped: AtomicU64,
 }
 
 /// A point-in-time snapshot of the broker's counters.
@@ -55,6 +57,14 @@ pub struct BrokerStats {
     pub disconnected_subscribers: u64,
     /// Worker threads currently alive (a gauge, not a counter).
     pub live_workers: u64,
+    /// Subscription × event pairs skipped without a match test by
+    /// [`crate::RoutingPolicy::ThemeOverlap`] because the themes did not
+    /// overlap. Always 0 under [`crate::RoutingPolicy::Broadcast`].
+    pub routing_skipped: u64,
+    /// Semantic-layer cache counters (projection and measure-memo
+    /// caches), sampled from the matcher when the snapshot is taken. All
+    /// zeros for matchers without caches.
+    pub semantic_cache: CacheStats,
 }
 
 impl BrokerStats {
@@ -81,6 +91,9 @@ impl StatsInner {
             rejected_publishes: self.rejected_publishes.load(Ordering::Relaxed),
             disconnected_subscribers: self.disconnected_subscribers.load(Ordering::Relaxed),
             live_workers: self.live_workers.load(Ordering::Relaxed),
+            routing_skipped: self.routing_skipped.load(Ordering::Relaxed),
+            // Filled in by `Broker::stats`, which can reach the matcher.
+            semantic_cache: CacheStats::default(),
         }
     }
 }

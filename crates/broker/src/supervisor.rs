@@ -19,7 +19,7 @@
 //! quarantined), so [`crate::Broker::flush_timeout`] terminates.
 
 use crate::broker::{Registration, Shared, SubscriptionId};
-use crate::config::SubscriberPolicy;
+use crate::config::{RoutingPolicy, SubscriberPolicy};
 use crate::notification::Notification;
 use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
 use parking_lot::Mutex;
@@ -235,20 +235,40 @@ fn recover_job(shared: &Shared, job: Job) {
     }
 }
 
-/// Matches one event against every registered subscription and delivers
-/// the results, honoring panic isolation and the subscriber overload
-/// policy. Increments `processed` exactly once.
+/// Matches one event against its candidate subscriptions and delivers
+/// the results, honoring the routing policy, panic isolation, and the
+/// subscriber overload policy. Increments `processed` exactly once.
 fn process_event<M>(shared: &Shared, matcher: &M, job: Job)
 where
     M: Matcher + ?Sized,
 {
-    // Snapshot the registry so matching never holds the lock.
-    let registrations: Vec<(SubscriptionId, Arc<Registration>)> = shared
-        .registry
-        .read()
-        .iter()
-        .map(|(id, r)| (*id, Arc::clone(r)))
-        .collect();
+    // Snapshot the candidates so matching never holds the registry lock.
+    let registrations: Vec<(SubscriptionId, Arc<Registration>)> = match shared.config.routing_policy
+    {
+        RoutingPolicy::Broadcast => shared
+            .registry
+            .read()
+            .iter()
+            .map(|(id, r)| (*id, Arc::clone(r)))
+            .collect(),
+        RoutingPolicy::ThemeOverlap => {
+            let ids = shared.routing.candidates(job.event.theme_tags());
+            let registry = shared.registry.read();
+            let total = registry.len();
+            let candidates: Vec<_> = ids
+                .iter()
+                .filter_map(|id| registry.get(id).map(|r| (*id, Arc::clone(r))))
+                .collect();
+            let skipped = total.saturating_sub(candidates.len()) as u64;
+            if skipped > 0 {
+                shared
+                    .stats
+                    .routing_skipped
+                    .fetch_add(skipped, Ordering::Relaxed);
+            }
+            candidates
+        }
+    };
     let mut dead: Vec<SubscriptionId> = Vec::new();
     let mut exhausted_attempts = 0u32;
     for (id, reg) in registrations {
@@ -296,14 +316,24 @@ where
         }
     }
     if !dead.is_empty() {
-        let mut registry = shared.registry.write();
-        for id in dead {
-            if registry.remove(&id).is_some() {
-                shared
-                    .stats
-                    .disconnected_subscribers
-                    .fetch_add(1, Ordering::Relaxed);
+        let mut reaped: Vec<(SubscriptionId, Arc<Registration>)> = Vec::new();
+        {
+            let mut registry = shared.registry.write();
+            for id in dead {
+                if let Some(reg) = registry.remove(&id) {
+                    shared
+                        .stats
+                        .disconnected_subscribers
+                        .fetch_add(1, Ordering::Relaxed);
+                    reaped.push((id, reg));
+                }
             }
+        }
+        // Routing and matcher cleanup run outside the registry lock; a
+        // routing entry without a registry entry is never dispatched to.
+        for (id, reg) in reaped {
+            shared.routing.remove(id, reg.subscription.theme_tags());
+            (shared.hooks.release)(&reg.subscription);
         }
     }
     if exhausted_attempts > 0 {

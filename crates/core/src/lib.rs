@@ -68,7 +68,7 @@ pub use tep_thesaurus as thesaurus;
 pub mod prelude {
     pub use tep_broker::{
         Broker, BrokerConfig, BrokerError, BrokerStats, DeadLetter, Notification, PublishPolicy,
-        SubscriberPolicy,
+        RoutingPolicy, SubscriberPolicy,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};
@@ -81,7 +81,7 @@ pub mod prelude {
         Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher,
     };
     pub use tep_semantics::{
-        DistributionalSpace, EsaMeasure, ParametricVectorSpace, SemanticMeasure,
+        CacheStats, DistributionalSpace, EsaMeasure, ParametricVectorSpace, SemanticMeasure,
         ThematicEsaMeasure, Theme,
     };
     pub use tep_thesaurus::{Domain, Term, Thesaurus};

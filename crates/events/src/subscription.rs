@@ -82,6 +82,21 @@ impl Subscription {
         }
     }
 
+    /// Whether this subscription shares at least one theme tag with
+    /// `event`. Both sides' tags are normalized at construction, so the
+    /// comparison is exact; a theme-less side (no tags) never overlaps.
+    ///
+    /// This is the broker's theme-routing gate: under
+    /// `RoutingPolicy::ThemeOverlap`, a themed subscription only sees the
+    /// events it shares a tag with.
+    pub fn shares_theme_with(&self, event: &crate::Event) -> bool {
+        // Tag lists are tiny (a handful of tags); a nested scan beats any
+        // set machinery and allocates nothing.
+        self.theme_tags
+            .iter()
+            .any(|t| event.theme_tags().contains(t))
+    }
+
     /// Returns a copy with the given theme tags instead of the current
     /// ones (the evaluation associates one theme combination at a time,
     /// Fig. 6).
@@ -294,6 +309,23 @@ mod tests {
     fn with_theme_tags_replaces() {
         let s = example().with_theme_tags(["Land Transport"]);
         assert_eq!(s.theme_tags(), ["land transport"]);
+    }
+
+    #[test]
+    fn theme_overlap_with_events() {
+        let event = crate::Event::builder()
+            .theme_tags(["Computers", "networking"])
+            .tuple("type", "x")
+            .build()
+            .unwrap();
+        assert!(example().shares_theme_with(&event), "shared tag: computers");
+        let disjoint = example().with_theme_tags(["energy"]);
+        assert!(!disjoint.shares_theme_with(&event));
+        // Theme-less sides never overlap.
+        let themeless = example().with_theme_tags(Vec::<String>::new());
+        assert!(!themeless.shares_theme_with(&event));
+        let bare_event = crate::Event::builder().tuple("type", "x").build().unwrap();
+        assert!(!example().shares_theme_with(&bare_event));
     }
 
     #[test]

@@ -162,6 +162,18 @@ impl<M: Matcher> Matcher for FaultInjectingMatcher<M> {
     fn name(&self) -> &'static str {
         "fault-injecting"
     }
+
+    fn prepare_subscription(&self, subscription: &Subscription) {
+        self.inner.prepare_subscription(subscription)
+    }
+
+    fn release_subscription(&self, subscription: &Subscription) {
+        self.inner.release_subscription(subscription)
+    }
+
+    fn cache_stats(&self) -> tep_semantics::CacheStats {
+        self.inner.cache_stats()
+    }
 }
 
 fn fnv1a(s: &str) -> u64 {

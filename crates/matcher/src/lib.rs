@@ -66,3 +66,4 @@ pub use fault::{Fault, FaultConfig, FaultInjectingMatcher};
 pub use mapping::{Correspondence, Mapping, MatchResult};
 pub use matcher::{Matcher, ProbabilisticMatcher};
 pub use similarity::SimilarityMatrix;
+pub use tep_semantics::CacheStats;

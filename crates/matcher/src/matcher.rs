@@ -6,7 +6,7 @@ use crate::mapping::{Correspondence, Mapping, MatchResult};
 use crate::similarity::SimilarityMatrix;
 use std::fmt;
 use tep_events::{Event, Subscription};
-use tep_semantics::SemanticMeasure;
+use tep_semantics::{theme_for_tags, CacheStats, SemanticMeasure};
 
 /// A single-event matcher `M` deciding the semantic relevance between a
 /// subscription and an event (paper §3.5).
@@ -18,6 +18,23 @@ pub trait Matcher: Send + Sync {
     fn name(&self) -> &'static str {
         "matcher"
     }
+
+    /// Called when `subscription` registers with a broker: lets the
+    /// matcher precompute and **pin** per-subscription state — the
+    /// normalized thematic projections of every approximate predicate
+    /// term — so they stay resident for the subscription's lifetime.
+    /// Default: no-op.
+    fn prepare_subscription(&self, _subscription: &Subscription) {}
+
+    /// Releases the state pinned by [`Self::prepare_subscription`].
+    /// Default: no-op.
+    fn release_subscription(&self, _subscription: &Subscription) {}
+
+    /// Aggregated semantic-cache counters behind this matcher (zeros when
+    /// it keeps no caches).
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
 }
 
 impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
@@ -26,6 +43,15 @@ impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn prepare_subscription(&self, subscription: &Subscription) {
+        (**self).prepare_subscription(subscription)
+    }
+    fn release_subscription(&self, subscription: &Subscription) {
+        (**self).release_subscription(subscription)
+    }
+    fn cache_stats(&self) -> CacheStats {
+        (**self).cache_stats()
     }
 }
 
@@ -154,6 +180,38 @@ impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
 
     fn name(&self) -> &'static str {
         self.display_name
+    }
+
+    fn prepare_subscription(&self, subscription: &Subscription) {
+        let (_, theme) = theme_for_tags(subscription.theme_tags());
+        for_each_approx_term(subscription, |term| {
+            self.measure.prepare_term(term, &theme);
+        });
+    }
+
+    fn release_subscription(&self, subscription: &Subscription) {
+        let (_, theme) = theme_for_tags(subscription.theme_tags());
+        for_each_approx_term(subscription, |term| {
+            self.measure.release_term(term, &theme);
+        });
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.measure.cache_stats()
+    }
+}
+
+/// The predicate terms the measure will be asked about: approximate
+/// attributes always, approximate values only under `=` (relational
+/// operators compare numerically, never semantically).
+fn for_each_approx_term(subscription: &Subscription, mut f: impl FnMut(&str)) {
+    for p in subscription.predicates() {
+        if p.is_attribute_approx() {
+            f(p.attribute());
+        }
+        if p.is_value_approx() && p.op() == tep_events::ComparisonOp::Eq {
+            f(p.value());
+        }
     }
 }
 

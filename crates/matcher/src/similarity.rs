@@ -2,7 +2,7 @@
 
 use crate::config::Combiner;
 use tep_events::{ComparisonOp, Event, Subscription};
-use tep_semantics::{SemanticMeasure, Theme};
+use tep_semantics::{theme_for_tags, SemanticMeasure};
 
 /// The `n × m` matrix of combined similarities between the `n` predicates
 /// of a subscription and the `m` tuples of an event.
@@ -47,8 +47,11 @@ impl SimilarityMatrix {
         combiner: Combiner,
         floor: f64,
     ) -> Option<SimilarityMatrix> {
-        let ths = Theme::new(subscription.theme_tags());
-        let the = Theme::new(event.theme_tags());
+        // Interned lookup: repeat tag lists skip `Theme::new`'s
+        // normalize-sort-hash work, the old per-call allocation hot spot.
+        let (_, ths) = theme_for_tags(subscription.theme_tags());
+        let (_, the) = theme_for_tags(event.theme_tags());
+        let (ths, the) = (ths.as_ref(), the.as_ref());
         let rows = subscription.predicates().len();
         let cols = event.tuples().len();
         let mut data = Vec::with_capacity(rows * cols);
@@ -56,7 +59,7 @@ impl SimilarityMatrix {
             let mut feasible = false;
             for t in event.tuples() {
                 let attr_sim = if p.is_attribute_approx() {
-                    measure.relatedness(p.attribute(), &ths, t.attribute(), &the)
+                    measure.relatedness(p.attribute(), ths, t.attribute(), the)
                 } else {
                     exact(p.attribute(), t.attribute())
                 };
@@ -69,7 +72,7 @@ impl SimilarityMatrix {
                     let value_sim = match p.op() {
                         ComparisonOp::Eq => {
                             if p.is_value_approx() {
-                                measure.relatedness(p.value(), &ths, t.value(), &the)
+                                measure.relatedness(p.value(), ths, t.value(), the)
                             } else {
                                 exact(p.value(), t.value())
                             }
@@ -141,6 +144,7 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
     use tep_events::{Event, Subscription};
+    use tep_semantics::Theme;
 
     /// A deterministic stub measure for unit tests.
     #[derive(Debug, Default)]

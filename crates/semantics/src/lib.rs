@@ -35,18 +35,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod intern;
 mod measure;
 mod projection;
 mod pvsm;
+mod shard;
 mod space;
 mod sparse;
 mod theme;
 
+pub use intern::{
+    intern_term, intern_theme, resolve_term, resolve_theme, theme_for_tags, TermId, ThemeId,
+};
 pub use measure::{
     CachedMeasure, EsaMeasure, PrecomputedMeasure, SemanticMeasure, ThematicEsaMeasure,
 };
 pub use projection::ThemeBasis;
-pub use pvsm::ParametricVectorSpace;
+pub use pvsm::{ParametricVectorSpace, PvsmCacheStats};
+pub use shard::{CacheStats, ShardedCache};
 pub use space::DistributionalSpace;
 pub use sparse::SparseVector;
 pub use theme::Theme;

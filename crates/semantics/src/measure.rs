@@ -1,9 +1,10 @@
 //! The semantic-measure abstraction and its implementations.
 
+use crate::intern::{intern_term, intern_theme, TermId, ThemeId};
 use crate::pvsm::ParametricVectorSpace;
+use crate::shard::{CacheStats, ShardedCache};
 use crate::space::DistributionalSpace;
 use crate::theme::Theme;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -24,6 +25,21 @@ pub trait SemanticMeasure: Send + Sync + fmt::Debug {
     fn name(&self) -> &'static str {
         "measure"
     }
+
+    /// Precomputes (and, where the implementation supports it, **pins**)
+    /// the state needed to score `term` under `theme`, so long-lived
+    /// consumers — a broker subscription's predicate terms — stay resident
+    /// across cache eviction. Default: no-op.
+    fn prepare_term(&self, _term: &str, _theme: &Theme) {}
+
+    /// Releases one [`Self::prepare_term`] pin. Default: no-op.
+    fn release_term(&self, _term: &str, _theme: &Theme) {}
+
+    /// Aggregated hit/miss/eviction counters over every cache this measure
+    /// consults (memo tables, projection caches, …). Default: zeros.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
 }
 
 impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
@@ -32,6 +48,15 @@ impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn prepare_term(&self, term: &str, theme: &Theme) {
+        (**self).prepare_term(term, theme)
+    }
+    fn release_term(&self, term: &str, theme: &Theme) {
+        (**self).release_term(term, theme)
+    }
+    fn cache_stats(&self) -> CacheStats {
+        (**self).cache_stats()
     }
 }
 
@@ -65,6 +90,18 @@ impl SemanticMeasure for EsaMeasure {
     fn name(&self) -> &'static str {
         "esa"
     }
+
+    fn prepare_term(&self, term: &str, _theme: &Theme) {
+        self.space.pin_term(term);
+    }
+
+    fn release_term(&self, term: &str, _theme: &Theme) {
+        self.space.unpin_term(term);
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.space.cache_stats()
+    }
 }
 
 /// The **thematic** measure: ESA over the [`ParametricVectorSpace`] —
@@ -95,6 +132,32 @@ impl SemanticMeasure for ThematicEsaMeasure {
     fn name(&self) -> &'static str {
         "thematic-esa"
     }
+
+    fn prepare_term(&self, term: &str, theme: &Theme) {
+        self.pvsm.pin_projection(term, theme);
+    }
+
+    fn release_term(&self, term: &str, theme: &Theme) {
+        let (term_id, theme_id) = (intern_term(term), intern_theme(theme));
+        self.pvsm.unpin_projection(term_id, theme_id);
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.pvsm.cache_stats().total()
+    }
+}
+
+/// Fully canonicalized memo key: the two `(term, theme)` sides ordered by
+/// interned symbol so both orientations of the symmetric measure — and, in
+/// particular, **equal terms under different themes** — probe one entry.
+type MeasureKey = (TermId, ThemeId, TermId, ThemeId);
+
+fn canonical_key(ts: TermId, ths: ThemeId, te: TermId, the: ThemeId) -> MeasureKey {
+    if (ts, ths) <= (te, the) {
+        (ts, ths, te, the)
+    } else {
+        (te, the, ts, ths)
+    }
 }
 
 /// Memoizes another measure per `(term, theme, term, theme)` tuple.
@@ -102,39 +165,53 @@ impl SemanticMeasure for ThematicEsaMeasure {
 /// Heterogeneous event workloads repeat the same attribute/value terms
 /// across thousands of events, so the hit rate is high; this is the
 /// "caching" optimization the paper lists under future throughput work
-/// (§5.3.2).
+/// (§5.3.2). Keys are interned symbols (no allocation on a warm probe),
+/// canonically ordered over *both* the term and the theme — the previous
+/// key ordered by term only, so the symmetric pair `sm(t, A, t, B)` /
+/// `sm(t, B, t, A)` occupied two entries — and the table is sharded and
+/// bounded ([`ShardedCache`]) so long-running brokers don't grow it
+/// without limit.
 pub struct CachedMeasure<M> {
     inner: M,
-    cache: RwLock<HashMap<(String, Theme, String, Theme), f64>>,
+    cache: ShardedCache<MeasureKey, f64>,
 }
 
+/// Bound on memoized score pairs.
+const MEASURE_CAPACITY: usize = 1 << 18;
+
 impl<M: SemanticMeasure> CachedMeasure<M> {
-    /// Wraps `inner` with an unbounded memo table.
+    /// Wraps `inner` with a bounded, sharded memo table.
     pub fn new(inner: M) -> CachedMeasure<M> {
         CachedMeasure {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: ShardedCache::new(16, MEASURE_CAPACITY),
         }
     }
 
     /// Number of memoized pairs.
     pub fn len(&self) -> usize {
-        self.cache.read().len()
+        self.cache.len()
     }
 
     /// Whether the memo table is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.read().is_empty()
+        self.cache.is_empty()
     }
 
     /// Drops all memoized scores.
     pub fn clear(&self) {
-        self.cache.write().clear();
+        self.cache.clear();
     }
 
     /// The wrapped measure.
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    /// Counters for the memo table alone (excluding the inner measure's
+    /// caches; [`SemanticMeasure::cache_stats`] reports both merged).
+    pub fn memo_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -149,23 +226,34 @@ impl<M: SemanticMeasure> fmt::Debug for CachedMeasure<M> {
 
 impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
     fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
-        // Canonicalize the symmetric pair to double the hit rate.
-        let (a, tha, b, thb) = if term_s <= term_e {
-            (term_s, theme_s, term_e, theme_e)
-        } else {
-            (term_e, theme_e, term_s, theme_s)
-        };
-        let key = (a.to_string(), tha.clone(), b.to_string(), thb.clone());
-        if let Some(v) = self.cache.read().get(&key) {
-            return *v;
-        }
-        let v = self.inner.relatedness(term_s, theme_s, term_e, theme_e);
-        self.cache.write().insert(key, v);
-        v
+        let key = canonical_key(
+            intern_term(term_s),
+            intern_theme(theme_s),
+            intern_term(term_e),
+            intern_theme(theme_e),
+        );
+        // The inner call keeps the caller's argument order: the measure is
+        // symmetric by contract, and not reordering keeps the float path
+        // bit-identical to the uncached measure.
+        self.cache.get_or_insert_with(&key, || {
+            self.inner.relatedness(term_s, theme_s, term_e, theme_e)
+        })
     }
 
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn prepare_term(&self, term: &str, theme: &Theme) {
+        self.inner.prepare_term(term, theme);
+    }
+
+    fn release_term(&self, term: &str, theme: &Theme) {
+        self.inner.release_term(term, theme);
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats().merge(self.inner.cache_stats())
     }
 }
 
@@ -301,8 +389,39 @@ mod tests {
         let ba = m.relatedness("garage", &e, "parking", &e);
         assert_eq!(m.len(), 1, "symmetric pair must hit the same entry");
         assert_eq!(ab, ba);
+        let stats = m.memo_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn cached_measure_canonicalizes_equal_terms_across_themes() {
+        // Regression: the old key ordered by *term only*, so the symmetric
+        // pair sm(t, A, t, B) / sm(t, B, t, A) occupied two entries.
+        let m = CachedMeasure::new(EsaMeasure::new(space()));
+        let a = Theme::new(["energy policy"]);
+        let b = Theme::new(["land transport"]);
+        let ab = m.relatedness("parking", &a, "parking", &b);
+        assert_eq!(m.len(), 1);
+        let ba = m.relatedness("parking", &b, "parking", &a);
+        assert_eq!(m.len(), 1, "equal terms across themes must share one entry");
+        assert_eq!(ab, ba);
+        assert_eq!(m.memo_stats().hits, 1);
+    }
+
+    #[test]
+    fn prepare_and_release_pin_through_the_stack() {
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&Corpus::generate(&CorpusConfig::small())),
+        )));
+        let m = CachedMeasure::new(ThematicEsaMeasure::new(Arc::clone(&pvsm)));
+        let th = Theme::new(["energy policy"]);
+        m.prepare_term("energy consumption", &th);
+        assert_eq!(pvsm.cache_stats().normalized.pinned, 1);
+        m.release_term("energy consumption", &th);
+        assert_eq!(pvsm.cache_stats().normalized.pinned, 0);
+        assert!(m.cache_stats().misses > 0, "pin warm-up registers traffic");
     }
 
     #[test]

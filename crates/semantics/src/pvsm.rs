@@ -1,12 +1,39 @@
 //! The Parametric Vector Space Model (paper §4) with memoization.
 
+use crate::intern::{intern_term, intern_theme, resolve_term, resolve_theme, TermId, ThemeId};
 use crate::projection::ThemeBasis;
+use crate::shard::{CacheStats, ShardedCache};
 use crate::space::{relatedness_from_distance, DistributionalSpace};
 use crate::sparse::SparseVector;
 use crate::theme::Theme;
-use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Shard count for the PVSM caches; high enough that 2–8 broker workers
+/// rarely collide on a shard lock.
+const SHARDS: usize = 16;
+/// Bound on cached theme bases (themes are workload vocabulary, not data).
+const BASIS_CAPACITY: usize = 4_096;
+/// Bound on cached projections per table (raw and normalized).
+const PROJECTION_CAPACITY: usize = 1 << 17;
+
+/// Per-cache counter snapshot for the PVSM; see
+/// [`ParametricVectorSpace::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PvsmCacheStats {
+    /// Theme-basis cache counters.
+    pub basis: CacheStats,
+    /// Raw-projection cache counters.
+    pub projection: CacheStats,
+    /// Normalized-projection cache counters.
+    pub normalized: CacheStats,
+}
+
+impl PvsmCacheStats {
+    /// Sum of the three caches, for flat reporting.
+    pub fn total(&self) -> CacheStats {
+        self.basis.merge(self.projection).merge(self.normalized)
+    }
+}
 
 /// The paper's Parametric Vector Space Model: a distributional space whose
 /// vectors are *projected into thematic dimensions passed as parameters
@@ -17,17 +44,20 @@ use std::sync::Arc;
 /// recur across events, the PVSM memoizes:
 ///
 /// * the **theme basis** per [`Theme`] (Fig. 5 step 3);
-/// * the **projected vector** per `(term, theme)` pair (step 4 input).
+/// * the **projected vector** per `(term, theme)` pair (step 4 input),
+///   both raw and unit-normalized.
 ///
-/// Both caches are concurrency-safe; a PVSM can be shared across broker
-/// worker threads.
+/// All cache keys are interned `(ThemeId, TermId)` symbols (see
+/// [`crate::intern`]), so a warm lookup allocates nothing, and all caches
+/// are sharded and bounded ([`ShardedCache`]); a PVSM can be shared across
+/// broker worker threads.
 #[derive(Debug)]
 pub struct ParametricVectorSpace {
     space: DistributionalSpace,
-    basis_cache: RwLock<HashMap<Theme, Arc<ThemeBasis>>>,
-    projection_cache: RwLock<HashMap<(Theme, String), Arc<SparseVector>>>,
+    basis_cache: ShardedCache<ThemeId, Arc<ThemeBasis>>,
+    projection_cache: ShardedCache<(ThemeId, TermId), Arc<SparseVector>>,
     /// Unit-norm copies of the projections, used by the relatedness path.
-    normalized_cache: RwLock<HashMap<(Theme, String), Arc<SparseVector>>>,
+    normalized_cache: ShardedCache<(ThemeId, TermId), Arc<SparseVector>>,
 }
 
 impl ParametricVectorSpace {
@@ -35,9 +65,9 @@ impl ParametricVectorSpace {
     pub fn new(space: DistributionalSpace) -> ParametricVectorSpace {
         ParametricVectorSpace {
             space,
-            basis_cache: RwLock::new(HashMap::new()),
-            projection_cache: RwLock::new(HashMap::new()),
-            normalized_cache: RwLock::new(HashMap::new()),
+            basis_cache: ShardedCache::new(SHARDS, BASIS_CAPACITY),
+            projection_cache: ShardedCache::new(SHARDS, PROJECTION_CAPACITY),
+            normalized_cache: ShardedCache::new(SHARDS, PROJECTION_CAPACITY),
         }
     }
 
@@ -48,40 +78,79 @@ impl ParametricVectorSpace {
 
     /// The (memoized) basis of `theme`.
     pub fn basis(&self, theme: &Theme) -> Arc<ThemeBasis> {
-        if let Some(b) = self.basis_cache.read().get(theme) {
-            return Arc::clone(b);
-        }
-        let computed = Arc::new(ThemeBasis::compute(&self.space, theme));
-        let mut cache = self.basis_cache.write();
-        Arc::clone(cache.entry(theme.clone()).or_insert(computed))
+        let id = intern_theme(theme);
+        self.basis_cache
+            .get_or_insert_with(&id, || Arc::new(ThemeBasis::compute(&self.space, theme)))
+    }
+
+    /// The (memoized) basis of an interned theme.
+    pub fn basis_by_id(&self, theme: ThemeId) -> Arc<ThemeBasis> {
+        self.basis_cache.get_or_insert_with(&theme, || {
+            Arc::new(ThemeBasis::compute(&self.space, &resolve_theme(theme)))
+        })
     }
 
     /// The (memoized) thematic projection of `term` given `theme`
     /// (Algorithm 1). The empty theme yields the full-space vector.
     pub fn project(&self, term: &str, theme: &Theme) -> Arc<SparseVector> {
-        let key = (theme.clone(), term.to_string());
-        if let Some(v) = self.projection_cache.read().get(&key) {
-            return Arc::clone(v);
-        }
-        let vector = if theme.is_empty() {
+        let key = (intern_theme(theme), intern_term(term));
+        self.projection_cache
+            .get_or_insert_with(&key, || self.compute_projection(term, theme))
+    }
+
+    /// Interned-key variant of [`Self::project`]; the hot path once both
+    /// symbols are known — probing allocates nothing.
+    pub fn project_ids(&self, term: TermId, theme: ThemeId) -> Arc<SparseVector> {
+        self.projection_cache
+            .get_or_insert_with(&(theme, term), || {
+                self.compute_projection(&resolve_term(term), &resolve_theme(theme))
+            })
+    }
+
+    fn compute_projection(&self, term: &str, theme: &Theme) -> Arc<SparseVector> {
+        if theme.is_empty() {
             Arc::new(self.space.term_vector(term))
         } else {
             Arc::new(self.basis(theme).project_term(&self.space, term))
-        };
-        let mut cache = self.projection_cache.write();
-        Arc::clone(cache.entry(key).or_insert(vector))
+        }
     }
 
     /// The (memoized) unit-norm thematic projection of `term` given
     /// `theme`. The zero vector stays zero.
     pub fn project_normalized(&self, term: &str, theme: &Theme) -> Arc<SparseVector> {
-        let key = (theme.clone(), term.to_string());
-        if let Some(v) = self.normalized_cache.read().get(&key) {
-            return Arc::clone(v);
-        }
-        let normalized = Arc::new(self.project(term, theme).normalized());
-        let mut cache = self.normalized_cache.write();
-        Arc::clone(cache.entry(key).or_insert(normalized))
+        let key = (intern_theme(theme), intern_term(term));
+        self.normalized_cache
+            .get_or_insert_with(&key, || Arc::new(self.project(term, theme).normalized()))
+    }
+
+    /// Interned-key variant of [`Self::project_normalized`].
+    pub fn project_normalized_ids(&self, term: TermId, theme: ThemeId) -> Arc<SparseVector> {
+        self.normalized_cache
+            .get_or_insert_with(&(theme, term), || {
+                Arc::new(self.project_ids(term, theme).normalized())
+            })
+    }
+
+    /// Precomputes and **pins** the normalized projection of
+    /// `(term, theme)` (and the theme's basis) so cache rotation cannot
+    /// evict it; used by the broker to keep live subscriptions' projections
+    /// resident for their whole lifetime. Pins are refcounted; release with
+    /// [`Self::unpin_projection`].
+    pub fn pin_projection(&self, term: &str, theme: &Theme) -> (TermId, ThemeId) {
+        let (term_id, theme_id) = (intern_term(term), intern_theme(theme));
+        self.basis_cache.pin_with(&theme_id, || {
+            Arc::new(ThemeBasis::compute(&self.space, theme))
+        });
+        self.normalized_cache.pin_with(&(theme_id, term_id), || {
+            Arc::new(self.project_ids(term_id, theme_id).normalized())
+        });
+        (term_id, theme_id)
+    }
+
+    /// Releases one pin taken by [`Self::pin_projection`].
+    pub fn unpin_projection(&self, term: TermId, theme: ThemeId) {
+        self.normalized_cache.unpin(&(theme, term));
+        self.basis_cache.unpin(&theme);
     }
 
     /// Euclidean distance between the raw thematic projections of two
@@ -122,20 +191,53 @@ impl ParametricVectorSpace {
         relatedness_from_distance(vs.euclidean_distance(&ve))
     }
 
-    /// Number of cached theme bases and projected vectors.
-    pub fn cache_sizes(&self) -> (usize, usize) {
+    /// Interned-symbol variant of [`Self::relatedness`]. Term interning is
+    /// exact (no normalization), so `term_s == term_e` iff the ids are
+    /// equal — the float path is identical to the string variant.
+    pub fn relatedness_ids(
+        &self,
+        term_s: TermId,
+        theme_s: ThemeId,
+        term_e: TermId,
+        theme_e: ThemeId,
+    ) -> f64 {
+        if term_s == term_e {
+            return 1.0;
+        }
+        let vs = self.project_normalized_ids(term_s, theme_s);
+        let ve = self.project_normalized_ids(term_e, theme_e);
+        if vs.is_zero() || ve.is_zero() {
+            return 0.0;
+        }
+        relatedness_from_distance(vs.euclidean_distance(&ve))
+    }
+
+    /// Number of cached theme bases, raw projections, and normalized
+    /// projections.
+    pub fn cache_sizes(&self) -> (usize, usize, usize) {
         (
-            self.basis_cache.read().len(),
-            self.projection_cache.read().len(),
+            self.basis_cache.len(),
+            self.projection_cache.len(),
+            self.normalized_cache.len(),
         )
     }
 
-    /// Drops all memoized bases and projections (used by the timing
-    /// harness to measure cold-start behaviour).
+    /// Hit / miss / eviction counters for each PVSM cache.
+    pub fn cache_stats(&self) -> PvsmCacheStats {
+        PvsmCacheStats {
+            basis: self.basis_cache.stats(),
+            projection: self.projection_cache.stats(),
+            normalized: self.normalized_cache.stats(),
+        }
+    }
+
+    /// Drops all memoized bases and projections — including pinned entries
+    /// (outstanding pins degrade to no-ops). Used by the timing harness to
+    /// measure cold-start behaviour.
     pub fn clear_caches(&self) {
-        self.basis_cache.write().clear();
-        self.projection_cache.write().clear();
-        self.normalized_cache.write().clear();
+        self.basis_cache.clear();
+        self.projection_cache.clear();
+        self.normalized_cache.clear();
     }
 }
 
@@ -155,11 +257,26 @@ mod tests {
         let p = pvsm();
         let th = Theme::new(["energy policy"]);
         let _ = p.relatedness("energy consumption", &th, "electricity usage", &th);
-        let (bases, projections) = p.cache_sizes();
+        let (bases, projections, normalized) = p.cache_sizes();
         assert_eq!(bases, 1);
         assert_eq!(projections, 2);
+        assert_eq!(normalized, 2);
         p.clear_caches();
-        assert_eq!(p.cache_sizes(), (0, 0));
+        assert_eq!(p.cache_sizes(), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_stats_track_hits_and_misses() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let a = p.project("energy consumption", &th);
+        let b = p.project("energy consumption", &th);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = p.cache_stats();
+        assert_eq!(stats.projection.hits, 1);
+        assert_eq!(stats.projection.misses, 1);
+        assert_eq!(stats.projection.entries, 1);
+        assert_eq!(stats.total().entries, 2, "basis + projection resident");
     }
 
     #[test]
@@ -170,6 +287,44 @@ mod tests {
         let b = p.project("energy consumption", &th);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn id_and_string_paths_agree_exactly() {
+        let p = pvsm();
+        let ths = Theme::new(["energy policy"]);
+        let the = Theme::new(["energy metering"]);
+        let (ts, te) = (
+            intern_term("energy consumption"),
+            intern_term("electricity usage"),
+        );
+        let (ids, ide) = (intern_theme(&ths), intern_theme(&the));
+        let via_strings = p.relatedness("energy consumption", &ths, "electricity usage", &the);
+        let via_ids = p.relatedness_ids(ts, ids, te, ide);
+        assert_eq!(
+            via_strings.to_bits(),
+            via_ids.to_bits(),
+            "id path must be bit-identical"
+        );
+        assert_eq!(p.relatedness_ids(ts, ids, ts, ide), 1.0);
+    }
+
+    #[test]
+    fn pinned_projection_survives_clear_of_unpinned_neighbours() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let (tid, thid) = p.pin_projection("energy consumption", &th);
+        let stats = p.cache_stats();
+        assert_eq!(stats.normalized.pinned, 1);
+        assert_eq!(stats.basis.pinned, 1);
+        let pinned = p.project_normalized_ids(tid, thid);
+        assert!((pinned.norm() - 1.0).abs() < 1e-4);
+        p.unpin_projection(tid, thid);
+        let stats = p.cache_stats();
+        assert_eq!(stats.normalized.pinned, 0);
+        // Still cached after unpin (demoted to the hot generation).
+        let again = p.project_normalized_ids(tid, thid);
+        assert!(Arc::ptr_eq(&pinned, &again));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The plain (non-thematic) distributional vector space of §3.1.
 
+use crate::intern::{intern_term, resolve_term, TermId};
+use crate::shard::{CacheStats, ShardedCache};
 use crate::sparse::SparseVector;
-use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::Arc;
 use tep_index::{InvertedIndex, Tokenizer};
+
+/// Bound on memoized normalized term vectors.
+const TERM_CACHE_CAPACITY: usize = 1 << 16;
 
 /// The ESA-style distributional vector space (paper §3.1, Fig. 5 steps
 /// 1–2): each word is a TF/IDF-weighted vector of documents, a multi-word
@@ -18,9 +21,10 @@ use tep_index::{InvertedIndex, Tokenizer};
 pub struct DistributionalSpace {
     index: Arc<InvertedIndex>,
     tokenizer: Tokenizer,
-    /// Memoized unit-norm term vectors; shared across clones so the PVSM
-    /// and the non-thematic measure reuse one table.
-    normalized_cache: Arc<RwLock<HashMap<String, Arc<SparseVector>>>>,
+    /// Memoized unit-norm term vectors, keyed by interned [`TermId`] so a
+    /// warm probe allocates nothing; shared across clones so the PVSM and
+    /// the non-thematic measure reuse one table.
+    normalized_cache: Arc<ShardedCache<TermId, Arc<SparseVector>>>,
 }
 
 impl DistributionalSpace {
@@ -29,7 +33,7 @@ impl DistributionalSpace {
         DistributionalSpace {
             index: Arc::new(index),
             tokenizer: Tokenizer::default(),
-            normalized_cache: Arc::new(RwLock::new(HashMap::new())),
+            normalized_cache: Arc::new(ShardedCache::new(16, TERM_CACHE_CAPACITY)),
         }
     }
 
@@ -38,7 +42,7 @@ impl DistributionalSpace {
         DistributionalSpace {
             index,
             tokenizer,
-            normalized_cache: Arc::new(RwLock::new(HashMap::new())),
+            normalized_cache: Arc::new(ShardedCache::new(16, TERM_CACHE_CAPACITY)),
         }
     }
 
@@ -103,12 +107,36 @@ impl DistributionalSpace {
     /// the hot path of the non-thematic measure; the memo table is shared
     /// by clones of this space.
     pub fn term_vector_normalized(&self, term: &str) -> Arc<SparseVector> {
-        if let Some(v) = self.normalized_cache.read().get(term) {
-            return Arc::clone(v);
-        }
-        let v = Arc::new(self.term_vector(term).normalized());
-        let mut cache = self.normalized_cache.write();
-        Arc::clone(cache.entry(term.to_string()).or_insert(v))
+        let id = intern_term(term);
+        self.normalized_cache
+            .get_or_insert_with(&id, || Arc::new(self.term_vector(term).normalized()))
+    }
+
+    /// Interned-key variant of [`Self::term_vector_normalized`].
+    pub fn term_vector_normalized_id(&self, term: TermId) -> Arc<SparseVector> {
+        self.normalized_cache.get_or_insert_with(&term, || {
+            Arc::new(self.term_vector(&resolve_term(term)).normalized())
+        })
+    }
+
+    /// Precomputes and pins the normalized vector of `term` so cache
+    /// rotation never evicts it; pins are refcounted — release with
+    /// [`Self::unpin_term`].
+    pub fn pin_term(&self, term: &str) -> TermId {
+        let id = intern_term(term);
+        self.normalized_cache
+            .pin_with(&id, || Arc::new(self.term_vector(term).normalized()));
+        id
+    }
+
+    /// Releases one [`Self::pin_term`] pin.
+    pub fn unpin_term(&self, term: &str) {
+        self.normalized_cache.unpin(&intern_term(term));
+    }
+
+    /// Hit / miss / eviction counters for the term-vector cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.normalized_cache.stats()
     }
 
     /// The query tokenizer.

@@ -47,6 +47,34 @@ proptest! {
     }
 
     #[test]
+    fn sparse_distance_matches_dense_reference(a in sparse_vector(), b in sparse_vector()) {
+        // Expand both sides over the full 64-slot doc range and take the
+        // textbook dense L2 distance; the sparse merge-based walk must
+        // agree on every randomized input, not just the fixed unit cases.
+        let mut dense_a = [0.0f64; 64];
+        for (d, w) in a.entries() {
+            dense_a[d.0 as usize] = *w as f64;
+        }
+        let mut dense_b = [0.0f64; 64];
+        for (d, w) in b.entries() {
+            dense_b[d.0 as usize] = *w as f64;
+        }
+        let reference = dense_a
+            .iter()
+            .zip(dense_b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let sparse = a.euclidean_distance(&b);
+        prop_assert!(
+            (sparse - reference).abs() < 1e-4 * (1.0 + reference),
+            "sparse {} vs dense {}",
+            sparse,
+            reference
+        );
+    }
+
+    #[test]
     fn normalized_vectors_have_unit_norm(a in sparse_vector()) {
         let n = a.normalized();
         if a.is_zero() {

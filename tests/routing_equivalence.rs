@@ -1,0 +1,84 @@
+//! Property test for theme-indexed routing: under
+//! `RoutingPolicy::ThemeOverlap`, dispatch through the broker's routing
+//! table must deliver exactly the notification set of brute-force
+//! dispatch applying the same theme-overlap gate — routing may skip work,
+//! never a match. Theme-less subscriptions opt out of routing and must
+//! stay broadcast.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tep::prelude::*;
+
+const TAG_POOL: [&str; 4] = ["power", "transport", "water", "networking"];
+
+/// A random subset of the tag pool (possibly empty = theme-less side).
+fn tag_set() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set(0usize..TAG_POOL.len(), 0..=3)
+        .prop_map(|s| s.into_iter().map(|i| TAG_POOL[i].to_string()).collect())
+}
+
+proptest! {
+    #[test]
+    fn theme_routing_equals_brute_force_dispatch(
+        sub_tags in proptest::collection::vec(tag_set(), 1..6),
+        event_tags in proptest::collection::vec(tag_set(), 1..8),
+    ) {
+        // Every subscription's predicate matches every event, so which
+        // notifications arrive is decided purely by the routing gate.
+        let broker = Broker::start(
+            Arc::new(ExactMatcher::new()),
+            BrokerConfig::default()
+                .with_workers(1)
+                .with_routing_policy(RoutingPolicy::ThemeOverlap),
+        );
+        let mut subs = Vec::new();
+        for tags in &sub_tags {
+            let s = Subscription::builder()
+                .theme_tags(tags.iter().map(String::as_str))
+                .predicate_exact("k", "v")
+                .build()
+                .unwrap();
+            let (id, rx) = broker.subscribe(s.clone()).unwrap();
+            subs.push((id, s, rx));
+        }
+        let mut events = Vec::new();
+        for (i, tags) in event_tags.iter().enumerate() {
+            let e = Event::builder()
+                .theme_tags(tags.iter().map(String::as_str))
+                .tuple("k", "v")
+                .tuple("seq", &format!("n{i}"))
+                .build()
+                .unwrap();
+            broker.publish(e.clone()).unwrap();
+            events.push(e);
+        }
+        broker.flush();
+
+        // Brute force over all pairs: theme-less subscriptions receive
+        // everything (broadcast opt-out); themed ones need a shared tag.
+        let mut expected = BTreeSet::new();
+        for (id, s, _) in &subs {
+            for (i, e) in events.iter().enumerate() {
+                if s.theme_tags().is_empty() || s.shares_theme_with(e) {
+                    expected.insert((id.0, i));
+                }
+            }
+        }
+
+        let mut delivered = BTreeSet::new();
+        for (id, _, rx) in &subs {
+            while let Ok(n) = rx.try_recv() {
+                let seq = n.event.value_of("seq").expect("seq tuple");
+                let i: usize = seq[1..].parse().expect("seq number");
+                delivered.insert((id.0, i));
+            }
+        }
+        prop_assert_eq!(
+            &delivered,
+            &expected,
+            "routed dispatch must deliver exactly the brute-force gate's set"
+        );
+        broker.shutdown();
+    }
+}
