@@ -18,7 +18,8 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
-echo "==> bench smoke (BENCH_throughput.json)"
-cargo run -p tep-bench --release --offline --bin probe -- bench --out BENCH_throughput.json
+echo "==> bench smoke (BENCH_throughput.json + BENCH_metrics.prom)"
+cargo run -p tep-bench --release --offline --bin probe -- \
+    bench --out BENCH_throughput.json --prom BENCH_metrics.prom
 
 echo "All checks passed."

@@ -170,6 +170,7 @@ fn bench_broker(c: &mut Criterion) {
     }
     broker.flush_timeout(FLUSH_DEADLINE).unwrap();
     let cache = broker.stats().semantic_cache;
+    let stages = broker.stage_latencies();
     broker.shutdown();
     println!(
         "broker_publish/thematic cache: hit rate {:.1}% ({} hits, {} misses, {} evictions, {} pinned)",
@@ -179,6 +180,22 @@ fn bench_broker(c: &mut Criterion) {
         cache.evictions,
         cache.pinned,
     );
+    // Per-stage latency percentiles for the same pass, so the criterion
+    // report shows where the wall-clock goes, not just the total.
+    for (name, h) in [
+        ("queue_wait", &stages.queue_wait),
+        ("match", &stages.match_combined()),
+        ("deliver", &stages.deliver),
+    ] {
+        println!(
+            "broker_publish/thematic stage {name}: n={} p50={:.1}µs p95={:.1}µs p99={:.1}µs max={:.1}µs",
+            h.count(),
+            h.p50().as_nanos() as f64 / 1e3,
+            h.p95().as_nanos() as f64 / 1e3,
+            h.p99().as_nanos() as f64 / 1e3,
+            h.max().as_nanos() as f64 / 1e3,
+        );
+    }
 }
 
 criterion_group!(benches, bench_broker);

@@ -110,22 +110,27 @@ fn main() {
     }
 }
 
-/// Broker throughput scenarios → `BENCH_throughput.json` (run with
-/// `probe bench [--out PATH]`).
+/// Broker throughput scenarios → `BENCH_throughput.json` plus a
+/// Prometheus-text metrics export (run with
+/// `probe bench [--out PATH] [--prom PATH]`).
 fn bench_throughput() {
-    let out = {
+    let (out, prom_out) = {
         let mut it = std::env::args().skip(2);
         let mut path = String::from("BENCH_throughput.json");
+        let mut prom = String::from("BENCH_metrics.prom");
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--out" => path = it.next().expect("--out needs a value"),
+                "--prom" => prom = it.next().expect("--prom needs a value"),
                 other => {
-                    eprintln!("usage: probe bench [--out PATH] (unknown arg {other:?})");
+                    eprintln!(
+                        "usage: probe bench [--out PATH] [--prom PATH] (unknown arg {other:?})"
+                    );
                     std::process::exit(2);
                 }
             }
         }
-        path
+        (path, prom)
     };
     // The faulty-matcher scenario panics on purpose (isolated by the
     // broker); keep the smoke-step output to the summary lines.
@@ -134,10 +139,27 @@ fn bench_throughput() {
     let _ = std::panic::take_hook();
     for r in &results {
         println!("{}", r.summary());
+        for stage in &r.stages {
+            // Empty classes (e.g. thematic buckets in an exact scenario)
+            // would only add noise to the summary.
+            if stage.count > 0 {
+                println!("{}", stage.summary());
+            }
+        }
     }
     let json = tep_bench::throughput::render_json(&results);
     std::fs::write(&out, json).expect("write throughput JSON");
     println!("wrote {out}");
+    // One scenario's full Prometheus export as the metrics artifact; the
+    // thematic broadcast run exercises every stage class.
+    if let Some(r) = results
+        .iter()
+        .find(|r| r.name == "seed_thematic_broadcast")
+        .or(results.first())
+    {
+        std::fs::write(&prom_out, &r.prometheus).expect("write Prometheus metrics");
+        println!("wrote {prom_out} ({} scenario)", r.name);
+    }
 }
 
 /// Term-level diagnostics: full-space vs projected relatedness for

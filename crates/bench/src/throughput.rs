@@ -15,6 +15,75 @@ use tep_eval::{EvalConfig, MatcherStack, Workload};
 /// machines can be slow and a missed flush would abort the probe.
 const FLUSH_DEADLINE: Duration = Duration::from_secs(120);
 
+/// Percentile summary of one pipeline stage's latency histogram
+/// (nanosecond units), as reported in `BENCH_throughput.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePercentiles {
+    /// Stage name (`queue_wait`, `match`, `match_exact`,
+    /// `match_thematic`, `match_cached`, or `deliver`).
+    pub stage: String,
+    /// Samples recorded into the stage histogram.
+    pub count: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Largest recorded latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StagePercentiles {
+    fn from_snapshot(stage: &str, snap: &HistogramSnapshot) -> StagePercentiles {
+        StagePercentiles {
+            stage: stage.to_string(),
+            count: snap.count(),
+            p50_ns: snap.p50().as_nanos() as u64,
+            p95_ns: snap.p95().as_nanos() as u64,
+            p99_ns: snap.p99().as_nanos() as u64,
+            max_ns: snap.max().as_nanos() as u64,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"stage\":\"{}\",\"count\":{},\"p50_ns\":{},",
+                "\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}"
+            ),
+            self.stage, self.count, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns,
+        )
+    }
+
+    /// One human-readable line (microsecond units for legibility).
+    pub fn summary(&self) -> String {
+        format!(
+            "  stage {:<14} n={:<7} p50={:>9.1}µs p95={:>9.1}µs p99={:>9.1}µs max={:>9.1}µs",
+            self.stage,
+            self.count,
+            self.p50_ns as f64 / 1e3,
+            self.p95_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
+/// Builds the standard per-stage percentile list from a broker's stage
+/// latency snapshot: queue wait, combined match, the three match
+/// classes, and deliver.
+pub fn stage_percentiles(stages: &StageLatencies) -> Vec<StagePercentiles> {
+    vec![
+        StagePercentiles::from_snapshot("queue_wait", &stages.queue_wait),
+        StagePercentiles::from_snapshot("match", &stages.match_combined()),
+        StagePercentiles::from_snapshot("match_exact", &stages.match_exact),
+        StagePercentiles::from_snapshot("match_thematic", &stages.match_thematic),
+        StagePercentiles::from_snapshot("match_cached", &stages.match_cached),
+        StagePercentiles::from_snapshot("deliver", &stages.deliver),
+    ]
+}
+
 /// The measured outcome of one broker scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioThroughput {
@@ -34,6 +103,12 @@ pub struct ScenarioThroughput {
     pub routing_skipped: u64,
     /// Semantic cache counters sampled after the run.
     pub cache: CacheStats,
+    /// Per-stage latency percentiles sampled after the run.
+    pub stages: Vec<StagePercentiles>,
+    /// The scenario broker's full Prometheus-text metrics export, taken
+    /// after the drain (kept out of the JSON document; `probe bench`
+    /// writes one scenario's export to `BENCH_metrics.prom`).
+    pub prometheus: String,
 }
 
 impl ScenarioThroughput {
@@ -44,7 +119,7 @@ impl ScenarioThroughput {
                 "{{\"name\":\"{}\",\"events\":{},\"elapsed_secs\":{:.6},",
                 "\"events_per_sec\":{:.1},\"match_tests\":{},\"notifications\":{},",
                 "\"routing_skipped\":{},\"cache_hits\":{},\"cache_misses\":{},",
-                "\"cache_evictions\":{},\"cache_hit_rate\":{:.4}}}"
+                "\"cache_evictions\":{},\"cache_hit_rate\":{:.4},\"stages\":[{}]}}"
             ),
             self.name,
             self.events,
@@ -57,6 +132,11 @@ impl ScenarioThroughput {
             self.cache.misses,
             self.cache.evictions,
             self.cache.hit_rate(),
+            self.stages
+                .iter()
+                .map(StagePercentiles::to_json)
+                .collect::<Vec<_>>()
+                .join(","),
         )
     }
 
@@ -117,6 +197,8 @@ where
     broker.flush_timeout(FLUSH_DEADLINE).expect("flush");
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let stats = broker.stats();
+    let stages = stage_percentiles(&broker.stage_latencies());
+    let prometheus = broker.metrics().render_prometheus();
     for rx in &receivers {
         // Drain so the channel teardown is uniform across scenarios.
         while rx.try_recv().is_ok() {}
@@ -132,6 +214,8 @@ where
         notifications: stats.notifications,
         routing_skipped: stats.routing_skipped,
         cache: stats.semantic_cache,
+        stages,
+        prometheus,
     }
 }
 
@@ -247,6 +331,15 @@ mod tests {
                 entries: 4,
                 pinned: 0,
             },
+            stages: vec![StagePercentiles {
+                stage: "queue_wait".into(),
+                count: 10,
+                p50_ns: 1_000,
+                p95_ns: 5_000,
+                p99_ns: 9_000,
+                max_ns: 12_000,
+            }],
+            prometheus: String::new(),
         }
     }
 
@@ -265,6 +358,20 @@ mod tests {
         assert_eq!(field("events_per_sec").as_f64(), Some(20.0));
         assert_eq!(field("cache_hits").as_u64(), Some(3));
         assert_eq!(field("cache_hit_rate").as_f64(), Some(0.75));
+        let stages = field("stages").as_seq().expect("stage array");
+        assert_eq!(stages.len(), 1);
+        let stage = stages[0].as_map().expect("stage object");
+        let sfield = |k: &str| serde::value_get(stage, k).expect(k);
+        assert_eq!(sfield("stage").as_str(), Some("queue_wait"));
+        assert_eq!(sfield("p95_ns").as_u64(), Some(5_000));
+        assert_eq!(sfield("max_ns").as_u64(), Some(12_000));
+    }
+
+    #[test]
+    fn stage_summary_is_microsecond_scaled() {
+        let line = sample().stages[0].summary();
+        assert!(line.contains("queue_wait"));
+        assert!(line.contains("p95=      5.0µs"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::{BrokerConfig, PublishPolicy};
 use crate::notification::Notification;
 use crate::routing::RoutingTable;
-use crate::stats::{BrokerStats, StatsInner};
+use crate::stats::{BrokerStats, EventTrace, StageLatencies, StatsInner};
 use crate::supervisor::{supervisor_loop, DeadLetter, DeadLetterQueue, Job};
 use crossbeam::channel::{bounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::RwLock;
@@ -16,6 +16,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
 use tep_matcher::{CacheStats, Matcher};
+use tep_obs::{MetricsRegistry, TraceRing};
 
 /// Default deadline for the bare [`Broker::flush`] convenience wrapper.
 const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_secs(60);
@@ -70,6 +71,10 @@ pub(crate) struct Registration {
     /// Consecutive full-channel drops, for
     /// [`crate::SubscriberPolicy::DisconnectAfter`].
     pub(crate) consecutive_full: AtomicU64,
+    /// Whether any predicate carries the `~` approximation — precomputed
+    /// at subscribe time so the match-latency instrumentation classifies
+    /// each test without walking the predicates again.
+    pub(crate) approx: bool,
 }
 
 /// Type-erased handles into the matcher for the subscription lifecycle.
@@ -102,6 +107,9 @@ pub(crate) struct Shared {
     pub(crate) ingress: RwLock<Option<Sender<Job>>>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) dead_letters: DeadLetterQueue,
+    /// Bounded per-event pipeline traces; capacity 0 (the default)
+    /// disables tracing.
+    pub(crate) trace: TraceRing<EventTrace>,
 }
 
 /// A thread-pool publish/subscribe broker around any [`Matcher`].
@@ -122,6 +130,8 @@ pub struct Broker {
     shared: Arc<Shared>,
     supervisor: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Publish-order sequence numbers for [`EventTrace::seq`].
+    next_seq: AtomicU64,
 }
 
 impl Broker {
@@ -153,6 +163,7 @@ impl Broker {
             hooks,
             stats: Arc::new(StatsInner::default()),
             dead_letters: DeadLetterQueue::new(config.dead_letter_capacity),
+            trace: TraceRing::new(config.trace_capacity),
             config,
             ingress: RwLock::new(Some(tx)),
             shutdown: AtomicBool::new(false),
@@ -168,6 +179,7 @@ impl Broker {
             shared,
             supervisor: Some(supervisor),
             next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
         }
     }
 
@@ -192,6 +204,10 @@ impl Broker {
             crate::config::SubscriberPolicy::DropOldest
         );
         let subscription = Arc::new(subscription);
+        let approx = subscription
+            .predicates()
+            .iter()
+            .any(|p| p.is_attribute_approx() || p.is_value_approx());
         // Warm the matcher's caches (and pin the subscription's
         // projections) before the subscription can receive traffic.
         (self.shared.hooks.prepare)(&subscription);
@@ -207,6 +223,7 @@ impl Broker {
                 sender: tx,
                 receiver: keep_receiver.then(|| rx.clone()),
                 consecutive_full: AtomicU64::new(0),
+                approx,
             }),
         );
         Ok((id, rx))
@@ -248,7 +265,7 @@ impl Broker {
         let Some(tx) = self.shared.ingress.read().clone() else {
             return Err(BrokerError::Closed);
         };
-        let job = Job::new(event);
+        let job = Job::new(event, self.next_seq.fetch_add(1, Ordering::Relaxed));
         let result = match self.shared.config.publish_policy {
             PublishPolicy::Block => tx.send(job).map_err(|_| BrokerError::Closed),
             PublishPolicy::Timeout(deadline) => {
@@ -309,13 +326,13 @@ impl Broker {
     /// Convenience wrapper over [`Broker::flush_timeout`] for tests,
     /// examples, and benchmarks.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If the default deadline passes — at that point the broker is
-    /// considered wedged and panicking beats hanging the caller forever.
-    pub fn flush(&self) {
+    /// [`BrokerError::FlushTimeout`] if the default deadline passes — at
+    /// that point the broker is effectively wedged, and the caller
+    /// decides whether that is fatal.
+    pub fn flush(&self) -> Result<(), BrokerError> {
         self.flush_timeout(DEFAULT_FLUSH_DEADLINE)
-            .expect("broker flush exceeded its default 60s deadline");
     }
 
     /// A snapshot of the broker's counters, including the matcher's
@@ -324,6 +341,145 @@ impl Broker {
         let mut stats = self.shared.stats.snapshot();
         stats.semantic_cache = (self.shared.hooks.cache_stats)();
         stats
+    }
+
+    /// A snapshot of the per-stage latency histograms: ingress queue
+    /// wait, match tests (split exact / thematic-cold / cache-warm), and
+    /// notification delivery.
+    pub fn stage_latencies(&self) -> StageLatencies {
+        self.shared.stats.stage.snapshot()
+    }
+
+    /// The last [`BrokerConfig::trace_capacity`] per-event pipeline
+    /// traces, oldest first. Empty unless tracing was enabled.
+    pub fn traces(&self) -> Vec<EventTrace> {
+        self.shared.trace.snapshot()
+    }
+
+    /// Every broker counter and stage histogram bundled into a
+    /// [`MetricsRegistry`], ready for
+    /// [`MetricsRegistry::render_prometheus`] or
+    /// [`MetricsRegistry::render_json`].
+    pub fn metrics(&self) -> MetricsRegistry {
+        let stats = self.stats();
+        let stages = self.stage_latencies();
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "tep_published_total",
+            "Events accepted by publish",
+            stats.published,
+        )
+        .counter(
+            "tep_processed_total",
+            "Events whose matching pass finished",
+            stats.processed,
+        )
+        .counter(
+            "tep_match_tests_total",
+            "Subscription x event match tests executed",
+            stats.match_tests,
+        )
+        .counter(
+            "tep_notifications_total",
+            "Notifications delivered to subscriber channels",
+            stats.notifications,
+        )
+        .counter(
+            "tep_dropped_full_total",
+            "Notifications dropped on a full subscriber channel",
+            stats.dropped_full,
+        )
+        .counter(
+            "tep_dropped_disconnected_total",
+            "Notifications dropped on a hung-up subscriber",
+            stats.dropped_disconnected,
+        )
+        .counter(
+            "tep_worker_panics_total",
+            "Matcher panics caught or fatal to a worker",
+            stats.worker_panics,
+        )
+        .counter(
+            "tep_workers_respawned_total",
+            "Workers respawned by the supervisor",
+            stats.workers_respawned,
+        )
+        .counter(
+            "tep_quarantined_total",
+            "Events moved to the dead-letter queue",
+            stats.quarantined,
+        )
+        .counter(
+            "tep_rejected_publishes_total",
+            "Publishes refused by the ingress overload policy",
+            stats.rejected_publishes,
+        )
+        .counter(
+            "tep_disconnected_subscribers_total",
+            "Subscriber registrations reaped",
+            stats.disconnected_subscribers,
+        )
+        .counter(
+            "tep_routing_skipped_total",
+            "Match tests skipped by theme routing",
+            stats.routing_skipped,
+        )
+        .counter(
+            "tep_semantic_cache_hits_total",
+            "Semantic cache hits across the matcher's caches",
+            stats.semantic_cache.hits,
+        )
+        .counter(
+            "tep_semantic_cache_misses_total",
+            "Semantic cache misses across the matcher's caches",
+            stats.semantic_cache.misses,
+        )
+        .counter(
+            "tep_semantic_cache_evictions_total",
+            "Semantic cache entries dropped by rotation",
+            stats.semantic_cache.evictions,
+        )
+        .gauge(
+            "tep_live_workers",
+            "Worker threads currently alive",
+            stats.live_workers as f64,
+        )
+        .gauge(
+            "tep_semantic_cache_entries",
+            "Resident semantic cache entries",
+            stats.semantic_cache.entries as f64,
+        )
+        .gauge(
+            "tep_dead_letters",
+            "Events currently quarantined",
+            self.dead_letter_count() as f64,
+        )
+        .histogram(
+            "tep_stage_queue_wait_seconds",
+            "Publish to dequeue queue wait",
+            stages.queue_wait,
+        )
+        .histogram(
+            "tep_stage_match_exact_seconds",
+            "Match-test latency, exact-only subscriptions",
+            stages.match_exact,
+        )
+        .histogram(
+            "tep_stage_match_thematic_seconds",
+            "Match-test latency, approximate subscriptions with a cache miss",
+            stages.match_thematic,
+        )
+        .histogram(
+            "tep_stage_match_cached_seconds",
+            "Match-test latency, approximate subscriptions served from warm caches",
+            stages.match_cached,
+        )
+        .histogram(
+            "tep_stage_deliver_seconds",
+            "Match decision to subscriber-channel hand-off",
+            stages.deliver,
+        );
+        reg
     }
 
     /// The quarantined events currently in the dead-letter queue, oldest
@@ -448,7 +604,7 @@ mod tests {
         b.publish(parse_event("{device: computer}").unwrap())
             .unwrap();
         b.publish(parse_event("{device: laptop}").unwrap()).unwrap();
-        b.flush();
+        b.flush().unwrap();
         let n = rx.try_recv().expect("one delivery");
         assert_eq!(n.subscription, id);
         assert_eq!(n.score(), 1.0);
@@ -470,7 +626,7 @@ mod tests {
         let (_, rx2) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
         assert_eq!(b.subscription_count(), 2);
         b.publish(parse_event("{a: 1}").unwrap()).unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert!(rx1.try_recv().is_ok());
         assert!(rx2.try_recv().is_ok());
     }
@@ -482,7 +638,7 @@ mod tests {
         assert!(b.unsubscribe(id));
         assert!(!b.unsubscribe(id));
         b.publish(parse_event("{a: 1}").unwrap()).unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert!(rx.try_recv().is_err());
     }
 
@@ -492,7 +648,7 @@ mod tests {
         let (_, rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
         drop(rx);
         b.publish(parse_event("{a: 1}").unwrap()).unwrap();
-        b.flush();
+        b.flush().unwrap();
         let stats = b.stats();
         assert_eq!(stats.dropped_disconnected, 1);
         assert_eq!(stats.delivery_failures(), 1);
@@ -505,7 +661,7 @@ mod tests {
         );
         // Later events no longer pay a match test for the dead subscriber.
         b.publish(parse_event("{a: 1}").unwrap()).unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(b.stats().dropped_disconnected, 1);
     }
 
@@ -537,7 +693,7 @@ mod tests {
             b.publish(parse_event(&format!("{{k: hit, i: n{i}}}")).unwrap())
                 .unwrap();
         }
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(b.stats().processed, 64);
         assert_eq!(rx.try_iter().count(), 64);
     }
@@ -553,7 +709,7 @@ mod tests {
             b.publish(parse_event(&format!("{{kind: {kind}, seq: n{i}}}")).unwrap())
                 .unwrap();
         }
-        b.flush();
+        b.flush().unwrap();
         let delivered = rx.try_iter().count();
         assert_eq!(delivered, 50);
         assert_eq!(b.stats().processed, 200);
@@ -588,7 +744,7 @@ mod tests {
         assert!(rejected > 0, "a 1-slot queue must reject under burst");
         let stats = b.stats();
         assert_eq!(stats.rejected_publishes, rejected);
-        b.flush();
+        b.flush().unwrap();
         let stats = b.stats();
         assert_eq!(
             stats.processed, stats.published,
@@ -755,7 +911,7 @@ mod tests {
             b.publish(parse_event(&format!("{{k: hit, seq: n{i}}}")).unwrap())
                 .unwrap();
         }
-        b.flush();
+        b.flush().unwrap();
         let received: Vec<String> = rx
             .try_iter()
             .map(|n| n.event.value_of("seq").unwrap_or_default().to_string())
@@ -793,7 +949,7 @@ mod tests {
         for i in 0..10 {
             b.publish(parse_event(&format!("{{k: hit, seq: n{i}}}")).unwrap())
                 .unwrap();
-            b.flush();
+            b.flush().unwrap();
             while healthy_rx.try_recv().is_ok() {}
         }
         let stats = b.stats();
@@ -845,7 +1001,7 @@ mod tests {
 
         b.publish(parse_event("({power, grid}, {k: v})").unwrap())
             .unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(power_rx.try_iter().count(), 1, "shared tag delivers");
         assert_eq!(bare_rx.try_iter().count(), 1, "theme-less stays broadcast");
         assert_eq!(
@@ -859,7 +1015,7 @@ mod tests {
 
         // A theme-less event reaches only the broadcast set.
         b.publish(parse_event("{k: v}").unwrap()).unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(bare_rx.try_iter().count(), 1);
         assert_eq!(power_rx.try_iter().count(), 0);
         assert_eq!(transport_rx.try_iter().count(), 0);
@@ -879,7 +1035,7 @@ mod tests {
             .unwrap();
         b.publish(parse_event("({power}, {k: v})").unwrap())
             .unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(rx.try_iter().count(), 1);
         assert_eq!(b.stats().routing_skipped, 0);
     }
@@ -896,7 +1052,7 @@ mod tests {
         assert!(b.unsubscribe(id));
         b.publish(parse_event("({power}, {k: v})").unwrap())
             .unwrap();
-        b.flush();
+        b.flush().unwrap();
         let stats = b.stats();
         assert_eq!(stats.match_tests, 0);
         assert_eq!(
@@ -911,12 +1067,12 @@ mod tests {
         drop(dead_rx);
         b.publish(parse_event("({power}, {k: v})").unwrap())
             .unwrap();
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(b.stats().disconnected_subscribers, 1);
         assert_eq!(b.subscription_count(), 0);
         b.publish(parse_event("({power}, {k: v})").unwrap())
             .unwrap();
-        b.flush();
+        b.flush().unwrap();
         let stats = b.stats();
         assert_eq!(stats.match_tests, 1, "reaped subscribers cost nothing");
         assert_eq!(

@@ -90,6 +90,12 @@ pub struct BrokerConfig {
     pub dead_letter_capacity: usize,
     /// How events are routed to subscriptions for match testing.
     pub routing_policy: RoutingPolicy,
+    /// Capacity of the per-event trace ring ([`crate::Broker::traces`]):
+    /// the broker keeps the last `trace_capacity` [`crate::EventTrace`]
+    /// records. `0` (the default) disables tracing entirely — the hot
+    /// path then pays nothing for it.
+    #[serde(default)]
+    pub trace_capacity: usize,
 }
 
 impl BrokerConfig {
@@ -142,6 +148,12 @@ impl BrokerConfig {
         self.routing_policy = policy;
         self
     }
+
+    /// Replaces the trace-ring capacity (`0` disables tracing).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> BrokerConfig {
+        self.trace_capacity = capacity;
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -157,6 +169,7 @@ impl Default for BrokerConfig {
             max_match_attempts: 2,
             dead_letter_capacity: 64,
             routing_policy: RoutingPolicy::Broadcast,
+            trace_capacity: 0,
         }
     }
 }
@@ -177,6 +190,7 @@ mod tests {
         assert_eq!(c.publish_policy, PublishPolicy::Block);
         assert_eq!(c.subscriber_policy, SubscriberPolicy::DropNewest);
         assert_eq!(c.routing_policy, RoutingPolicy::Broadcast);
+        assert_eq!(c.trace_capacity, 0, "tracing is opt-in");
     }
 
     #[test]
@@ -188,7 +202,8 @@ mod tests {
             .with_subscriber_policy(SubscriberPolicy::DisconnectAfter(3))
             .with_max_match_attempts(0)
             .with_panic_isolation(false)
-            .with_routing_policy(RoutingPolicy::ThemeOverlap);
+            .with_routing_policy(RoutingPolicy::ThemeOverlap)
+            .with_trace_capacity(128);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
         assert_eq!(c.publish_policy, PublishPolicy::Reject);
@@ -199,6 +214,7 @@ mod tests {
         );
         assert!(!c.isolate_matcher_panics);
         assert_eq!(c.routing_policy, RoutingPolicy::ThemeOverlap);
+        assert_eq!(c.trace_capacity, 128);
     }
 
     #[test]

@@ -68,5 +68,8 @@ mod supervisor;
 pub use broker::{Broker, BrokerError, SubscriptionId};
 pub use config::{BrokerConfig, PublishPolicy, RoutingPolicy, SubscriberPolicy};
 pub use notification::Notification;
-pub use stats::BrokerStats;
+pub use stats::{BrokerStats, EventTrace, StageLatencies};
 pub use supervisor::DeadLetter;
+// Re-exported so downstream code can consume [`Broker::metrics`] and
+// [`Broker::stage_latencies`] without depending on `tep-obs` directly.
+pub use tep_obs::{HistogramSnapshot, MetricsRegistry};

@@ -1,8 +1,10 @@
-//! Broker runtime counters.
+//! Broker runtime counters and per-stage latency instrumentation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tep_matcher::CacheStats;
+use tep_obs::{HistogramSnapshot, LatencyHistogram};
 
 /// Monotonic broker counters, cheap to read concurrently.
 ///
@@ -23,6 +25,105 @@ pub(crate) struct StatsInner {
     pub disconnected_subscribers: AtomicU64,
     pub live_workers: AtomicU64,
     pub routing_skipped: AtomicU64,
+    /// Per-stage latency histograms, recorded wait-free on the hot path.
+    pub stage: StageTimers,
+}
+
+/// Lock-free per-stage latency histograms of the event pipeline. Workers
+/// record into these concurrently; [`StageTimers::snapshot`] produces the
+/// public [`StageLatencies`] view.
+#[derive(Debug, Default)]
+pub(crate) struct StageTimers {
+    /// Publish → dequeue: time an accepted event sat on the ingress queue.
+    pub queue_wait: LatencyHistogram,
+    /// Match tests against exact-only subscriptions (no `~` predicate).
+    pub match_exact: LatencyHistogram,
+    /// Match tests against approximate subscriptions that missed at least
+    /// one semantic cache (paid a projection / vector computation).
+    pub match_thematic: LatencyHistogram,
+    /// Match tests against approximate subscriptions served entirely from
+    /// warm semantic caches.
+    pub match_cached: LatencyHistogram,
+    /// Match decision → notification handed to the subscriber channel.
+    pub deliver: LatencyHistogram,
+}
+
+impl StageTimers {
+    pub(crate) fn snapshot(&self) -> StageLatencies {
+        StageLatencies {
+            queue_wait: self.queue_wait.snapshot(),
+            match_exact: self.match_exact.snapshot(),
+            match_thematic: self.match_thematic.snapshot(),
+            match_cached: self.match_cached.snapshot(),
+            deliver: self.deliver.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the broker's per-stage latency
+/// distributions ([`crate::Broker::stage_latencies`]).
+///
+/// Match latency is split three ways at record time: subscriptions with no
+/// approximate (`~`) predicate land in [`StageLatencies::match_exact`];
+/// approximate subscriptions are classified per test by sampling the
+/// matcher's monotone cache-miss counter around the call —
+/// [`StageLatencies::match_thematic`] when the test paid at least one
+/// semantic-cache miss, [`StageLatencies::match_cached`] when it was
+/// served warm. The classification is approximate under concurrency
+/// (another worker's miss can land inside the sampled window) and
+/// matchers without semantic caches report every approximate test as
+/// cached; use [`StageLatencies::match_combined`] when the split does not
+/// matter.
+#[derive(Debug, Clone, Default)]
+pub struct StageLatencies {
+    /// Publish → dequeue queue-wait distribution.
+    pub queue_wait: HistogramSnapshot,
+    /// Match-test latency against exact-only subscriptions.
+    pub match_exact: HistogramSnapshot,
+    /// Match-test latency against approximate subscriptions that missed a
+    /// semantic cache.
+    pub match_thematic: HistogramSnapshot,
+    /// Match-test latency against approximate subscriptions served from
+    /// warm caches.
+    pub match_cached: HistogramSnapshot,
+    /// Match decision → subscriber-channel hand-off latency.
+    pub deliver: HistogramSnapshot,
+}
+
+impl StageLatencies {
+    /// All match tests merged into one distribution, regardless of
+    /// exact/thematic/cache classification.
+    pub fn match_combined(&self) -> HistogramSnapshot {
+        self.match_exact
+            .merged(&self.match_thematic)
+            .merged(&self.match_cached)
+    }
+}
+
+/// One event's trip through the pipeline, captured in the bounded trace
+/// ring when [`crate::BrokerConfig::trace_capacity`] is non-zero
+/// ([`crate::Broker::traces`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTrace {
+    /// Publish-order sequence number assigned by
+    /// [`crate::Broker::publish`].
+    pub seq: u64,
+    /// Candidate subscriptions the routing policy selected for this event.
+    pub candidates: usize,
+    /// Subscriptions skipped without a match test by theme routing.
+    pub routing_skipped: usize,
+    /// Match tests actually executed (retries included).
+    pub match_tests: usize,
+    /// Notifications handed to subscriber channels.
+    pub notifications: usize,
+    /// Whether the event ended in the dead-letter queue.
+    pub quarantined: bool,
+}
+
+/// Nanoseconds between two [`Instant`]s, saturating at zero; `u64` holds
+/// ~584 years, so the cast cannot truncate a real measurement.
+pub(crate) fn nanos_between(start: Instant, end: Instant) -> u64 {
+    end.saturating_duration_since(start).as_nanos() as u64
 }
 
 /// A point-in-time snapshot of the broker's counters.

@@ -21,6 +21,7 @@
 use crate::broker::{Registration, Shared, SubscriptionId};
 use crate::config::{RoutingPolicy, SubscriberPolicy};
 use crate::notification::Notification;
+use crate::stats::{nanos_between, EventTrace};
 use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -28,7 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tep_events::Event;
 use tep_matcher::Matcher;
 
@@ -41,13 +42,21 @@ const SUPERVISOR_POLL: Duration = Duration::from_millis(1);
 pub(crate) struct Job {
     pub(crate) event: Arc<Event>,
     pub(crate) attempts: u32,
+    /// Publish-order sequence number, stable across retries; keys the
+    /// event's [`EventTrace`].
+    pub(crate) seq: u64,
+    /// When this job entered (or re-entered) the ingress queue; the
+    /// queue-wait histogram measures from here to the worker's dequeue.
+    pub(crate) enqueued_at: Instant,
 }
 
 impl Job {
-    pub(crate) fn new(event: Event) -> Job {
+    pub(crate) fn new(event: Event, seq: u64) -> Job {
         Job {
             event: Arc::new(event),
             attempts: 0,
+            seq,
+            enqueued_at: Instant::now(),
         }
     }
 }
@@ -194,12 +203,15 @@ pub(crate) fn supervisor_loop<M>(
             if let Some(job) = worker.inflight.lock().take() {
                 recover_job(&shared, job);
             }
-            *worker = spawn_worker(next_index, &rx, &shared, &matcher);
-            next_index += 1;
+            // Count the respawn *before* spawning the replacement so a
+            // stats reader never observes the pool back at full strength
+            // with the respawn counter still lagging.
             shared
                 .stats
                 .workers_respawned
                 .fetch_add(1, Ordering::Relaxed);
+            *worker = spawn_worker(next_index, &rx, &shared, &matcher);
+            next_index += 1;
             all_exited = false;
         }
         if shutting_down && all_exited {
@@ -221,6 +233,10 @@ fn recover_job(shared: &Shared, job: Job) {
     let requeue = Job {
         event: Arc::clone(&job.event),
         attempts,
+        seq: job.seq,
+        // Reset the clock: the queue-wait histogram measures time spent
+        // queued, not the crashed attempt that preceded the requeue.
+        enqueued_at: Instant::now(),
     };
     let sent = shared
         .ingress
@@ -242,7 +258,16 @@ fn process_event<M>(shared: &Shared, matcher: &M, job: Job)
 where
     M: Matcher + ?Sized,
 {
+    // Stage 1 (queue wait): publish → this dequeue. Retried jobs record
+    // one sample per pass, timed from their requeue.
+    let dequeued = Instant::now();
+    shared
+        .stats
+        .stage
+        .queue_wait
+        .record_nanos(nanos_between(job.enqueued_at, dequeued));
     // Snapshot the candidates so matching never holds the registry lock.
+    let mut trace_skipped = 0usize;
     let registrations: Vec<(SubscriptionId, Arc<Registration>)> = match shared.config.routing_policy
     {
         RoutingPolicy::Broadcast => shared
@@ -266,13 +291,28 @@ where
                     .routing_skipped
                     .fetch_add(skipped, Ordering::Relaxed);
             }
+            trace_skipped = skipped as usize;
             candidates
         }
     };
+    let trace_candidates = registrations.len();
+    let mut trace_match_tests = 0usize;
+    let mut trace_notifications = 0usize;
     let mut dead: Vec<SubscriptionId> = Vec::new();
     let mut exhausted_attempts = 0u32;
     for (id, reg) in registrations {
-        let result = if shared.config.isolate_matcher_panics {
+        // Stage 2 (match test). Approximate subscriptions are classified
+        // by sampling the matcher's miss counter around the call: a miss
+        // delta means the test computed a projection (thematic-cold), no
+        // delta means warm caches served it. Exact-only subscriptions
+        // skip the sampling entirely.
+        let miss_before = if reg.approx {
+            matcher.cache_miss_count()
+        } else {
+            0
+        };
+        let match_start = Instant::now();
+        let outcome = if shared.config.isolate_matcher_panics {
             let budget = shared
                 .config
                 .max_match_attempts
@@ -281,6 +321,7 @@ where
             let mut outcome = None;
             for _ in 0..budget {
                 shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
+                trace_match_tests += 1;
                 match catch_unwind(AssertUnwindSafe(|| {
                     matcher.match_event(&reg.subscription, &job.event)
                 })) {
@@ -293,26 +334,43 @@ where
                     }
                 }
             }
-            match outcome {
-                Some(r) => r,
-                None => {
-                    exhausted_attempts = exhausted_attempts.max(budget);
-                    continue;
-                }
+            if outcome.is_none() {
+                exhausted_attempts = exhausted_attempts.max(budget);
             }
+            outcome
         } else {
             // Unisolated: a panic here unwinds through the worker loop and
             // kills the thread; the supervisor recovers the in-flight job.
             shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
-            matcher.match_event(&reg.subscription, &job.event)
+            trace_match_tests += 1;
+            Some(matcher.match_event(&reg.subscription, &job.event))
         };
+        // Chain the timestamps: the match end doubles as the deliver
+        // start, halving the clock reads on the hot path.
+        let match_end = Instant::now();
+        let match_nanos = nanos_between(match_start, match_end);
+        let stage = &shared.stats.stage;
+        if !reg.approx {
+            stage.match_exact.record_nanos(match_nanos);
+        } else if matcher.cache_miss_count() > miss_before {
+            stage.match_thematic.record_nanos(match_nanos);
+        } else {
+            stage.match_cached.record_nanos(match_nanos);
+        }
+        let Some(result) = outcome else { continue };
         if !result.is_empty() && result.is_match(shared.config.delivery_threshold) {
             let notification = Notification {
                 subscription: id,
                 event: Arc::clone(&job.event),
                 result,
             };
-            deliver(shared, id, &reg, notification, &mut dead);
+            // Stage 3 (deliver): match decision → channel hand-off.
+            if deliver(shared, id, &reg, notification, &mut dead) {
+                trace_notifications += 1;
+            }
+            stage
+                .deliver
+                .record_nanos(nanos_between(match_end, Instant::now()));
         }
     }
     if !dead.is_empty() {
@@ -336,7 +394,8 @@ where
             (shared.hooks.release)(&reg.subscription);
         }
     }
-    if exhausted_attempts > 0 {
+    let quarantined = exhausted_attempts > 0;
+    if quarantined {
         quarantine(
             shared,
             Arc::clone(&job.event),
@@ -345,35 +404,47 @@ where
     } else {
         shared.stats.processed.fetch_add(1, Ordering::Relaxed);
     }
+    if shared.trace.is_enabled() {
+        shared.trace.push(EventTrace {
+            seq: job.seq,
+            candidates: trace_candidates,
+            routing_skipped: trace_skipped,
+            match_tests: trace_match_tests,
+            notifications: trace_notifications,
+            quarantined,
+        });
+    }
 }
 
 /// Sends one notification under the configured subscriber overload
 /// policy, recording drop reasons and flagging registrations to reap.
+/// Returns whether the notification was admitted to the channel.
 fn deliver(
     shared: &Shared,
     id: SubscriptionId,
     reg: &Registration,
     notification: Notification,
     dead: &mut Vec<SubscriptionId>,
-) {
+) -> bool {
     match reg.sender.try_send(notification) {
         Ok(()) => {
             shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
             reg.consecutive_full.store(0, Ordering::Relaxed);
+            true
         }
         Err(TrySendError::Full(notification)) => match shared.config.subscriber_policy {
             SubscriberPolicy::DropNewest => {
                 shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                false
             }
-            SubscriberPolicy::DropOldest => {
-                drop_oldest_and_send(shared, reg, notification);
-            }
+            SubscriberPolicy::DropOldest => drop_oldest_and_send(shared, reg, notification),
             SubscriberPolicy::DisconnectAfter(limit) => {
                 shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
                 let consecutive = reg.consecutive_full.fetch_add(1, Ordering::Relaxed) + 1;
                 if consecutive >= limit {
                     dead.push(id);
                 }
+                false
             }
         },
         Err(TrySendError::Disconnected(_)) => {
@@ -382,25 +453,31 @@ fn deliver(
                 .dropped_disconnected
                 .fetch_add(1, Ordering::Relaxed);
             dead.push(id);
+            false
         }
     }
 }
 
 /// `DropOldest`: evict queued notifications until the new one fits. The
 /// registration holds a receiver clone, so the channel can never
-/// disconnect under this policy.
-fn drop_oldest_and_send(shared: &Shared, reg: &Registration, mut notification: Notification) {
+/// disconnect under this policy. Returns whether the new notification
+/// was admitted.
+fn drop_oldest_and_send(
+    shared: &Shared,
+    reg: &Registration,
+    mut notification: Notification,
+) -> bool {
     let Some(evictor) = &reg.receiver else {
         // Defensive: policy changed after registration; fall back to
         // dropping the new notification.
         shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
-        return;
+        return false;
     };
     for _ in 0..8 {
         match reg.sender.try_send(notification) {
             Ok(()) => {
                 shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
-                return;
+                return true;
             }
             Err(TrySendError::Full(back)) => {
                 notification = back;
@@ -420,4 +497,5 @@ fn drop_oldest_and_send(shared: &Shared, reg: &Registration, mut notification: N
     // Contention beyond the retry bound (or an impossible disconnect):
     // count the new notification as dropped rather than spin.
     shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+    false
 }

@@ -67,8 +67,9 @@ pub use tep_thesaurus as thesaurus;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use tep_broker::{
-        Broker, BrokerConfig, BrokerError, BrokerStats, DeadLetter, Notification, PublishPolicy,
-        RoutingPolicy, SubscriberPolicy,
+        Broker, BrokerConfig, BrokerError, BrokerStats, DeadLetter, EventTrace, HistogramSnapshot,
+        MetricsRegistry, Notification, PublishPolicy, RoutingPolicy, StageLatencies,
+        SubscriberPolicy,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};

@@ -33,6 +33,20 @@ const DEFAULT_STOP_WORDS: &[&str] = &[
 
 impl Tokenizer {
     /// Creates a tokenizer with a caller-provided stop-word list.
+    ///
+    /// Stop words and tokens are normalized by the same whole-string
+    /// [`str::to_lowercase`], so context-sensitive casings agree on both
+    /// sides — e.g. the Greek final sigma, where a per-character lowering
+    /// would produce `"οδοσ"` for a token but `"οδος"` for the stop word
+    /// and the filter would silently never match:
+    ///
+    /// ```
+    /// use tep_index::Tokenizer;
+    ///
+    /// let t = Tokenizer::with_stop_words(["ΟΔΟΣ"]);
+    /// assert!(t.is_stop_word("οδος"));
+    /// assert_eq!(t.tokenize("ΟΔΟΣ ΠΑΝΕΠΙΣΤΗΜΙΟΥ"), vec!["πανεπιστημιου"]);
+    /// ```
     pub fn with_stop_words<I, S>(stop_words: I) -> Tokenizer
     where
         I: IntoIterator<Item = S>,
@@ -64,7 +78,7 @@ impl Tokenizer {
         let mut current = String::new();
         for ch in text.chars() {
             if ch.is_alphanumeric() {
-                current.extend(ch.to_lowercase());
+                current.push(ch);
             } else if !current.is_empty() {
                 self.flush(&mut current, &mut out);
             }
@@ -76,10 +90,13 @@ impl Tokenizer {
     }
 
     fn flush(&self, current: &mut String, out: &mut Vec<String>) {
-        if current.chars().count() >= 2 && !self.is_stop_word(current) {
-            out.push(std::mem::take(current));
-        } else {
-            current.clear();
+        // Lower the token as a whole string, the same normalization
+        // `with_stop_words` applies: per-character `char::to_lowercase`
+        // is context-insensitive and disagrees with it on e.g. the Greek
+        // final sigma, which left non-ASCII stop words unfilterable.
+        let token = std::mem::take(current).to_lowercase();
+        if token.chars().count() >= 2 && !self.is_stop_word(&token) {
+            out.push(token);
         }
     }
 }
@@ -137,6 +154,20 @@ mod tests {
         // "no2", "co" style capability names: 2 chars are kept.
         let t = Tokenizer::default();
         assert_eq!(t.tokenize("co no2 o3"), vec!["co", "no2", "o3"]);
+    }
+
+    #[test]
+    fn non_ascii_stop_words_filter_like_tokens() {
+        // Regression: `tokenize` used per-char `char::to_lowercase` while
+        // `with_stop_words` used `str::to_lowercase`; the two disagree on
+        // context-sensitive casings (Greek capital sigma at word end
+        // lowers to final sigma only as a whole string), so a stop word
+        // like "ΟΔΟΣ" could never match its own tokenization.
+        let t = Tokenizer::with_stop_words(["ΟΔΟΣ", "STRASSE"]);
+        assert_eq!(t.tokenize("ΟΔΟΣ ΑΘΗΝΑΣ"), vec!["αθηνας"]);
+        assert_eq!(t.tokenize("Strasse 12"), vec!["12"]);
+        // Tokens themselves use the context-sensitive form too.
+        assert_eq!(t.tokenize("ΜΕΓΑΣ"), vec!["μεγας"]);
     }
 
     #[test]

@@ -174,6 +174,10 @@ impl<M: Matcher> Matcher for FaultInjectingMatcher<M> {
     fn cache_stats(&self) -> tep_semantics::CacheStats {
         self.inner.cache_stats()
     }
+
+    fn cache_miss_count(&self) -> u64 {
+        self.inner.cache_miss_count()
+    }
 }
 
 fn fnv1a(s: &str) -> u64 {

@@ -35,6 +35,16 @@ pub trait Matcher: Send + Sync {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// The monotone cache-**miss** counter alone, implemented with plain
+    /// atomic loads so the broker can sample it around an individual
+    /// match test and attribute the latency to the cache-warm or
+    /// cache-cold histogram ([`Self::cache_stats`] counts resident
+    /// entries under shard locks and is too heavy for that). Matchers
+    /// without caches return 0.
+    fn cache_miss_count(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
@@ -52,6 +62,9 @@ impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
     }
     fn cache_stats(&self) -> CacheStats {
         (**self).cache_stats()
+    }
+    fn cache_miss_count(&self) -> u64 {
+        (**self).cache_miss_count()
     }
 }
 
@@ -198,6 +211,10 @@ impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
 
     fn cache_stats(&self) -> CacheStats {
         self.measure.cache_stats()
+    }
+
+    fn cache_miss_count(&self) -> u64 {
+        self.measure.cache_miss_count()
     }
 }
 

@@ -1,0 +1,353 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! Values are nanoseconds bucketed HDR-style: below [`SUB`] each value
+//! has its own bucket; above, every power of two is split into [`SUB`]
+//! linear sub-buckets, bounding the relative quantile error at
+//! `1 / SUB` (12.5%) while keeping the whole table at [`BUCKET_COUNT`]
+//! slots — small enough to snapshot and merge freely.
+//!
+//! Recording is wait-free: three relaxed `fetch_add`s and one
+//! `fetch_max`, no locks, no allocation. Snapshots read the counters
+//! without stopping writers, so a snapshot taken mid-traffic can be off
+//! by in-flight increments — fine for monitoring, which only ever looks
+//! at settled or statistically large counts.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power of two (8 → ≤12.5% quantile error).
+const SUB_BITS: u32 = 3;
+/// `2^SUB_BITS`.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` nanosecond range.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB as usize;
+
+/// Index of the bucket holding `v` (nanoseconds).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // floor(log2 v) >= SUB_BITS
+        let shift = exp - SUB_BITS;
+        (((exp - SUB_BITS + 1) as u64) << SUB_BITS) as usize + ((v >> shift) - SUB) as usize
+    }
+}
+
+/// Largest value (inclusive, nanoseconds) stored in bucket `index`.
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB as usize {
+        index as u64
+    } else {
+        let group = (index >> SUB_BITS) as u32; // >= 1
+        let offset = index as u64 & (SUB - 1);
+        let upper = ((SUB + offset + 1) as u128) << (group - 1);
+        (upper - 1).min(u64::MAX as u128) as u64
+    }
+}
+
+/// A lock-free latency histogram; see the module docs for the layout.
+///
+/// Shareable by reference across threads; all methods take `&self`.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count())
+            .field("p50", &snap.quantile(0.5))
+            .field("max", &snap.max())
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one raw nanosecond value.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Freezes the current counts into a mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram counts with quantile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no recorded values.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKET_COUNT],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Sum of all recorded values, as a duration.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum)
+    }
+
+    /// Largest recorded value (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max)
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> Duration {
+        self.sum
+            .checked_div(self.count())
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the value of that rank, clamped to the observed
+    /// maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_upper(i).min(self.max));
+            }
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Duration {
+        self.quantile(0.90)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Adds `other`'s counts into `self` (histograms over the same fixed
+    /// bucket layout always merge exactly).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The merged copy of `self` and `other`.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Non-empty buckets as `(upper_bound_nanos_inclusive, count)`,
+    /// ascending — the raw material for Prometheus `le` buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_sub_and_within_error_above() {
+        // Below SUB every value has its own bucket.
+        for v in 0..SUB {
+            let i = bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(bucket_upper(i), v);
+        }
+        // Above SUB the upper bound is within 1/SUB of the value.
+        for v in [8u64, 9, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper {upper} must cover {v}");
+            // The bucket below must not cover v.
+            assert!(bucket_upper(i - 1) < v);
+            let rel = (upper - v) as f64 / v as f64;
+            assert!(rel <= 1.0 / SUB as f64, "rel error {rel} at {v}");
+        }
+        // Bucket indices are monotone and contiguous at group edges.
+        for v in 1..4096u64 {
+            let a = bucket_index(v - 1);
+            let b = bucket_index(v);
+            assert!(b == a || b == a + 1, "gap between {} and {v}", v - 1);
+        }
+        // The extremes stay in range.
+        assert!(bucket_index(u64::MAX) < BUCKET_COUNT);
+        assert_eq!(bucket_upper(bucket_index(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 100 values: 1..=100 µs.
+        for us in 1..=100u64 {
+            h.record_nanos(us * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), Duration::from_micros(100));
+        // Each estimate must be within the bucket's 12.5% relative error
+        // of the true quantile.
+        for (q, true_us) in [(0.5, 50u64), (0.9, 90), (0.99, 99)] {
+            let est = s.quantile(q).as_nanos() as f64;
+            let truth = (true_us * 1_000) as f64;
+            assert!(
+                est >= truth && est <= truth * 1.125,
+                "q={q}: est {est} vs true {truth}"
+            );
+        }
+        assert_eq!(s.quantile(1.0), Duration::from_micros(100));
+        // Mean of 1..=100 µs is 50.5 µs.
+        let mean = s.mean().as_nanos();
+        assert!((50_000..=51_000).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = LatencyHistogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.99), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
+        for v in 0..1_000u64 {
+            let target = if v % 2 == 0 { &a } else { &b };
+            target.record_nanos(v * 17);
+            all.record_nanos(v * 17);
+        }
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged, all.snapshot(), "merge must equal single-stream");
+        assert_eq!(merged.count(), 1_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_nanos(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn quantile_rank_edges() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(5);
+        let s = h.snapshot();
+        // Every quantile of a single observation is that observation.
+        assert_eq!(s.quantile(0.0), Duration::from_nanos(5));
+        assert_eq!(s.quantile(0.5), Duration::from_nanos(5));
+        assert_eq!(s.quantile(1.0), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn record_duration_clamps_and_counts() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_secs(2));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert!(s.max() >= Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,32 @@
+//! # tep-obs
+//!
+//! Dependency-free observability primitives for the thematic event
+//! processing pipeline (hand-rolled in the spirit of the `vendor/`
+//! stand-ins — crates.io is not reachable from the build environment, so
+//! no `hdrhistogram`/`prometheus` dependency is possible):
+//!
+//! * [`LatencyHistogram`] — a lock-free, log-linear-bucketed latency
+//!   histogram: recording is a handful of relaxed atomic adds, snapshots
+//!   are consistent-enough counter reads, and snapshots merge, so
+//!   per-stage and per-shard histograms can be aggregated after the fact;
+//! * [`HistogramSnapshot`] — the frozen counts with quantile
+//!   (p50/p90/p95/p99/max) and mean estimation;
+//! * [`MetricsRegistry`] — a flat registry of counters, gauges, and
+//!   histogram snapshots rendering both the Prometheus text exposition
+//!   format and a JSON document;
+//! * [`TraceRing`] — a bounded MPMC ring buffer keeping the last N
+//!   per-event traces for debugging routing decisions.
+//!
+//! The crate is intentionally free of tep dependencies so any layer
+//! (semantics, matcher, broker, bench) can use it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod hist;
+mod registry;
+mod trace;
+
+pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use registry::MetricsRegistry;
+pub use trace::TraceRing;

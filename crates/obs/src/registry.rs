@@ -1,0 +1,183 @@
+//! A flat metrics registry with Prometheus-text and JSON rendering.
+
+use crate::hist::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// A point-in-time collection of named metrics, built by the component
+/// that owns the counters (e.g. the broker) and rendered to either the
+/// [Prometheus text exposition format] or a JSON document.
+///
+/// [Prometheus text exposition format]:
+///     https://prometheus.io/docs/instrumenting/exposition_formats/
+///
+/// Conventions follow Prometheus: counters end in `_total`, histograms
+/// are recorded in nanoseconds but exposed in **seconds** with
+/// cumulative `le` buckets, plus `_sum` and `_count` series.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, String, u64)>,
+    gauges: Vec<(String, String, f64)>,
+    histograms: Vec<(String, String, HistogramSnapshot)>,
+}
+
+/// Renders a nanosecond value as a Prometheus seconds literal.
+fn secs(nanos: u64) -> String {
+    format!("{}", nanos as f64 / 1e9)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds a monotone counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.counters.push((name.into(), help.into(), value));
+        self
+    }
+
+    /// Adds a gauge (a value that can go both ways).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.gauges.push((name.into(), help.into(), value));
+        self
+    }
+
+    /// Adds a latency histogram snapshot (nanosecond-valued).
+    pub fn histogram(&mut self, name: &str, help: &str, snap: HistogramSnapshot) -> &mut Self {
+        self.histograms.push((name.into(), help.into(), snap));
+        self
+    }
+
+    /// The Prometheus text exposition document.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, value) in &self.counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, help, value) in &self.gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, help, snap) in &self.histograms {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (upper_ns, count) in snap.nonzero_buckets() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    secs(upper_ns)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", secs(snap.sum().as_nanos() as u64));
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        }
+        out
+    }
+
+    /// A JSON document with counters, gauges, and per-histogram
+    /// percentile summaries (nanosecond units, suffixed `_ns`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, _, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, _, value)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, _, snap)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                concat!(
+                    "{}\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, ",
+                    "\"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}, ",
+                    "\"sum_ns\": {}}}"
+                ),
+                sep,
+                name,
+                snap.count(),
+                snap.p50().as_nanos(),
+                snap.p90().as_nanos(),
+                snap.p95().as_nanos(),
+                snap.p99().as_nanos(),
+                snap.max().as_nanos(),
+                snap.mean().as_nanos(),
+                snap.sum().as_nanos(),
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    fn registry() -> MetricsRegistry {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100] {
+            h.record_nanos(us * 1_000);
+        }
+        let mut r = MetricsRegistry::new();
+        r.counter("tep_published_total", "Events accepted.", 42)
+            .gauge("tep_live_workers", "Worker threads alive.", 4.0)
+            .histogram("tep_stage_match_seconds", "Match latency.", h.snapshot());
+        r
+    }
+
+    #[test]
+    fn prometheus_export_is_well_formed() {
+        let text = registry().render_prometheus();
+        assert!(text.contains("# TYPE tep_published_total counter"));
+        assert!(text.contains("tep_published_total 42"));
+        assert!(text.contains("# TYPE tep_live_workers gauge"));
+        assert!(text.contains("tep_live_workers 4"));
+        assert!(text.contains("# TYPE tep_stage_match_seconds histogram"));
+        assert!(text.contains("tep_stage_match_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("tep_stage_match_seconds_count 3"));
+        // Sum = 111 µs.
+        assert!(text.contains("tep_stage_match_seconds_sum 0.000111"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_export_contains_percentiles() {
+        let json = registry().render_json();
+        assert!(json.contains("\"tep_published_total\": 42"));
+        assert!(json.contains("\"tep_live_workers\": 4"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"p99_ns\""));
+        // Braces balance (cheap well-formedness check without a parser).
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_documents() {
+        let r = MetricsRegistry::new();
+        assert!(r.render_prometheus().is_empty());
+        let json = r.render_json();
+        assert!(json.contains("\"counters\": {"));
+        assert!(json.contains("\"histograms\": {"));
+    }
+}

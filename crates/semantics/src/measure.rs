@@ -40,6 +40,15 @@ pub trait SemanticMeasure: Send + Sync + fmt::Debug {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// The aggregated **miss counter alone**, monotone, sampled on the
+    /// match hot path to attribute latency to cache-warm vs. cache-cold
+    /// work — implementations must keep this to plain atomic loads
+    /// ([`Self::cache_stats`] may walk shard locks to count entries and
+    /// is too heavy to call per match test). Default: 0 (no caches).
+    fn cache_miss_count(&self) -> u64 {
+        0
+    }
 }
 
 impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
@@ -57,6 +66,9 @@ impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
     }
     fn cache_stats(&self) -> CacheStats {
         (**self).cache_stats()
+    }
+    fn cache_miss_count(&self) -> u64 {
+        (**self).cache_miss_count()
     }
 }
 
@@ -102,6 +114,10 @@ impl SemanticMeasure for EsaMeasure {
     fn cache_stats(&self) -> CacheStats {
         self.space.cache_stats()
     }
+
+    fn cache_miss_count(&self) -> u64 {
+        self.space.miss_count()
+    }
 }
 
 /// The **thematic** measure: ESA over the [`ParametricVectorSpace`] —
@@ -144,6 +160,10 @@ impl SemanticMeasure for ThematicEsaMeasure {
 
     fn cache_stats(&self) -> CacheStats {
         self.pvsm.cache_stats().total()
+    }
+
+    fn cache_miss_count(&self) -> u64 {
+        self.pvsm.miss_count()
     }
 }
 
@@ -254,6 +274,10 @@ impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
 
     fn cache_stats(&self) -> CacheStats {
         self.cache.stats().merge(self.inner.cache_stats())
+    }
+
+    fn cache_miss_count(&self) -> u64 {
+        self.cache.miss_count() + self.inner.cache_miss_count()
     }
 }
 

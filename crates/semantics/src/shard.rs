@@ -286,6 +286,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
+    /// The miss counter alone — a single relaxed atomic load, no shard
+    /// locks. Cheap enough to sample around an individual match test,
+    /// which is how the broker attributes match latency to cache-warm
+    /// vs. cache-cold paths ([`Self::stats`] walks every shard to count
+    /// entries and is far too heavy for that).
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
     /// Counter + occupancy snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -104,6 +104,12 @@ fn chaos_isolated_panics_lose_no_clean_events() {
         .flush_timeout(Duration::from_secs(20))
         .expect("chaos workload must drain within the deadline");
 
+    // Unlike the unisolated sibling below, no settle poll is needed here:
+    // with isolation on, every counter asserted (panics, quarantines,
+    // match tests, notifications) is incremented by the worker *before*
+    // the same worker increments `processed`, so once `flush_timeout`
+    // observes processed == published the snapshot is final — no
+    // supervisor-thread bookkeeping is in flight.
     let stats = broker.stats();
     assert_eq!(stats.published, 10_000);
     assert_eq!(
@@ -178,6 +184,21 @@ fn chaos_unisolated_panics_are_survived_by_respawn() {
     broker
         .flush_timeout(Duration::from_secs(20))
         .expect("chaos workload must drain despite worker deaths");
+
+    // `flush_timeout` returns the moment the last crashed event is
+    // recovered (quarantined), which the supervisor does *before*
+    // finishing the matching respawn — so `workers_respawned` and
+    // `live_workers` can lag `processed` by a few supervisor poll ticks.
+    // Poll until the bookkeeping settles instead of asserting on a
+    // snapshot racing the supervisor thread.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let s = broker.stats();
+        if s.workers_respawned == exp.panics && s.live_workers == workers {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
 
     let stats = broker.stats();
     assert_eq!(stats.published, 4_000);

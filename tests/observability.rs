@@ -1,0 +1,269 @@
+//! Integration tests for the pipeline observability layer: stage latency
+//! histograms, the metrics registry export, and the per-event trace ring.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tep::prelude::*;
+
+fn exact_broker(config: BrokerConfig) -> Broker {
+    Broker::start(Arc::new(ExactMatcher::new()), config)
+}
+
+/// Under no-fault, no-overload conditions the stage histogram counts are
+/// exact functions of the broker counters: one queue-wait sample per
+/// processed event, one match sample per match test, one deliver sample
+/// per notification.
+#[test]
+fn stage_latency_counts_reconcile_with_broker_counters() {
+    let b = exact_broker(BrokerConfig::default().with_workers(2));
+    let (_, rx) = b
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+    let (_, _other) = b
+        .subscribe(parse_subscription("{kind= other}").unwrap())
+        .unwrap();
+    for i in 0..500 {
+        let kind = if i % 5 == 0 { "wanted" } else { "other" };
+        b.publish(parse_event(&format!("{{kind: {kind}, seq: n{i}}}")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+
+    let stats = b.stats();
+    let stages = b.stage_latencies();
+    assert_eq!(stats.processed, 500);
+    assert_eq!(
+        stages.queue_wait.count(),
+        stats.processed,
+        "one queue-wait sample per processed event"
+    );
+    assert_eq!(
+        stages.match_combined().count(),
+        stats.match_tests,
+        "one match sample per match test"
+    );
+    assert_eq!(
+        stages.match_exact.count(),
+        stats.match_tests,
+        "exact-only subscriptions must all land in the exact bucket"
+    );
+    assert_eq!(stages.match_thematic.count(), 0);
+    assert_eq!(stages.match_cached.count(), 0);
+    assert_eq!(
+        stages.deliver.count(),
+        stats.notifications,
+        "one deliver sample per admitted notification"
+    );
+    // `rx` sees only the "wanted" fifth; the rest went to `_other`.
+    assert_eq!(rx.try_iter().count(), 100);
+    assert_eq!(stats.notifications, 500);
+
+    // Percentiles are monotone and bounded by the recorded max.
+    for h in [&stages.queue_wait, &stages.match_exact, &stages.deliver] {
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert!(h.sum() >= h.max(), "sum of samples is at least the max");
+    }
+    b.shutdown();
+}
+
+/// A thematic matcher's approximate subscriptions are classified by
+/// cache temperature: the first pass over unseen event vocabulary pays
+/// semantic-cache misses (thematic-cold), repeats are served warm.
+#[test]
+fn thematic_match_tests_split_by_cache_temperature() {
+    let corpus = Corpus::generate(&CorpusConfig::small());
+    let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+        InvertedIndex::build(&corpus),
+    )));
+    let matcher = ProbabilisticMatcher::new(ThematicEsaMeasure::new(pvsm), MatcherConfig::top1());
+    // A single worker keeps the miss-delta sampling free of concurrent
+    // misses from other match tests.
+    let b = Broker::start(Arc::new(matcher), BrokerConfig::default().with_workers(1));
+    let (_, _rx) = b
+        .subscribe(
+            parse_subscription("({energy policy}, {type~= increased energy usage event~})")
+                .unwrap(),
+        )
+        .unwrap();
+    let event = parse_event(
+        "({energy policy}, {type: increased energy consumption event, device: computer})",
+    )
+    .unwrap();
+    b.publish(event.clone()).unwrap();
+    b.flush().unwrap();
+    let cold = b.stage_latencies();
+    assert_eq!(
+        cold.match_exact.count(),
+        0,
+        "an approximate subscription never lands in the exact bucket"
+    );
+    assert!(
+        cold.match_thematic.count() >= 1,
+        "first sight of the event vocabulary must pay a cache miss"
+    );
+
+    for _ in 0..5 {
+        b.publish(event.clone()).unwrap();
+    }
+    b.flush().unwrap();
+    let warm = b.stage_latencies();
+    let stats = b.stats();
+    assert_eq!(warm.match_combined().count(), stats.match_tests);
+    assert!(
+        warm.match_cached.count() >= 1,
+        "repeat events must be served from warm caches"
+    );
+    b.shutdown();
+}
+
+/// The Prometheus text export carries every broker counter plus the
+/// cumulative stage histograms; the JSON export parses and reports the
+/// same counts.
+#[test]
+fn metrics_export_prometheus_and_json() {
+    let b = exact_broker(BrokerConfig::default().with_workers(1));
+    let (_, rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    for i in 0..8 {
+        b.publish(parse_event(&format!("{{k: v, i: n{i}}}")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+    drop(rx);
+
+    let text = b.metrics().render_prometheus();
+    assert!(text.contains("# TYPE tep_published_total counter"));
+    assert!(text.contains("tep_published_total 8"));
+    assert!(text.contains("tep_match_tests_total 8"));
+    assert!(text.contains("tep_notifications_total 8"));
+    assert!(text.contains("# TYPE tep_live_workers gauge"));
+    assert!(text.contains("tep_live_workers 1"));
+    assert!(text.contains("# TYPE tep_stage_queue_wait_seconds histogram"));
+    assert!(text.contains("tep_stage_queue_wait_seconds_bucket{le=\"+Inf\"} 8"));
+    assert!(text.contains("tep_stage_queue_wait_seconds_count 8"));
+    assert!(text.contains("tep_stage_queue_wait_seconds_sum "));
+    assert!(text.contains("tep_stage_match_exact_seconds_count 8"));
+    assert!(text.contains("tep_stage_deliver_seconds_count 8"));
+
+    let json = b.metrics().render_json();
+    assert!(json.contains("\"tep_published_total\": 8"));
+    assert!(json.contains("\"tep_stage_queue_wait_seconds\": {\"count\": 8,"));
+    assert!(json.contains("\"p99_ns\""));
+    // Braces balance (cheap well-formedness check without a JSON parser).
+    assert_eq!(
+        json.matches(['{', '[']).count(),
+        json.matches(['}', ']']).count()
+    );
+    b.shutdown();
+}
+
+/// With theme routing and tracing enabled, a routed event's trace shows
+/// the candidate set after the skip, and the skip itself.
+#[test]
+fn trace_ring_records_routing_skips() {
+    let config = BrokerConfig::default()
+        .with_workers(1)
+        .with_routing_policy(RoutingPolicy::ThemeOverlap)
+        .with_trace_capacity(8);
+    let b = exact_broker(config);
+    let (_, power_rx) = b
+        .subscribe(parse_subscription("({power}, {k= v})").unwrap())
+        .unwrap();
+    let (_, _transport_rx) = b
+        .subscribe(parse_subscription("({transport}, {k= v})").unwrap())
+        .unwrap();
+
+    b.publish(parse_event("({power}, {k: v})").unwrap())
+        .unwrap();
+    b.flush().unwrap();
+    let traces = b.traces();
+    assert_eq!(traces.len(), 1);
+    let t = &traces[0];
+    assert_eq!(t.seq, 0);
+    assert_eq!(t.candidates, 1, "only the power subscription is tested");
+    assert_eq!(
+        t.routing_skipped, 1,
+        "the transport subscription is skipped"
+    );
+    assert_eq!(t.match_tests, 1);
+    assert_eq!(t.notifications, 1);
+    assert!(!t.quarantined);
+    assert_eq!(power_rx.try_iter().count(), 1);
+
+    // The ring is bounded: flooding it keeps only the newest entries.
+    for i in 0..20 {
+        b.publish(parse_event(&format!("({{power}}, {{k: v, i: n{i}}})")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+    let traces = b.traces();
+    assert_eq!(traces.len(), 8, "ring truncates to its capacity");
+    assert_eq!(
+        traces.last().unwrap().seq,
+        20,
+        "the newest event's trace survives"
+    );
+    b.shutdown();
+}
+
+/// Tracing is opt-in: with the default capacity of 0 the ring stays
+/// empty no matter how much traffic flows.
+#[test]
+fn tracing_disabled_by_default() {
+    let b = exact_broker(BrokerConfig::default().with_workers(1));
+    let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    for i in 0..16 {
+        b.publish(parse_event(&format!("{{k: v, i: n{i}}}")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+    assert!(b.traces().is_empty());
+    // The stage histograms still record.
+    assert_eq!(b.stage_latencies().queue_wait.count(), 16);
+    b.shutdown();
+}
+
+/// A quarantined event's trace is flagged, with its retried match tests
+/// counted.
+#[test]
+fn trace_flags_quarantined_events() {
+    /// Panics on every `k: boom` event.
+    #[derive(Debug)]
+    struct BoomMatcher;
+    impl Matcher for BoomMatcher {
+        fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+            if event.value_of("k") == Some("boom") {
+                panic!("injected observability fault");
+            }
+            ExactMatcher::new().match_event(subscription, event)
+        }
+    }
+    // Silence the injected panic in test output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected observability fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let config = BrokerConfig::default()
+        .with_workers(1)
+        .with_max_match_attempts(2)
+        .with_trace_capacity(4);
+    let b = Broker::start(Arc::new(BoomMatcher), config);
+    let (_, _rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+    b.publish(parse_event("{k: boom}").unwrap()).unwrap();
+    b.flush_timeout(Duration::from_secs(10)).unwrap();
+    let traces = b.traces();
+    assert_eq!(traces.len(), 1);
+    assert!(traces[0].quarantined);
+    assert_eq!(traces[0].match_tests, 2, "both retry attempts are counted");
+    assert_eq!(traces[0].notifications, 0);
+    let _ = std::panic::take_hook();
+    b.shutdown();
+}

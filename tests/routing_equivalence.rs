@@ -53,7 +53,7 @@ proptest! {
             broker.publish(e.clone()).unwrap();
             events.push(e);
         }
-        broker.flush();
+        broker.flush().unwrap();
 
         // Brute force over all pairs: theme-less subscriptions receive
         // everything (broadcast opt-out); themed ones need a shared tag.
