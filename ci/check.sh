@@ -18,8 +18,15 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
-echo "==> bench smoke (BENCH_throughput.json + BENCH_metrics.prom)"
+echo "==> bench smoke (BENCH_throughput.json + BENCH_metrics.prom + explain/span dumps)"
 cargo run -p tep-bench --release --offline --bin probe -- \
     bench --out BENCH_throughput.json --prom BENCH_metrics.prom
+
+echo "==> perf gate (vs ci/perf_baseline.json)"
+# CI shared runners are noisy; the committed thresholds assume bare
+# metal, so give the shared-runner path extra headroom by default.
+PERF_GATE_MAX_DROP="${PERF_GATE_MAX_DROP:-0.25}" \
+PERF_GATE_MAX_P99_GROWTH="${PERF_GATE_MAX_P99_GROWTH:-2.0}" \
+    sh ci/perf_gate.sh
 
 echo "All checks passed."

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Perf-regression gate. Run from the repo root after a bench run has
+# produced a fresh BENCH_throughput.json:
+#
+#   sh ci/perf_gate.sh [baseline] [current]
+#
+# Compares the fresh document against the committed baseline
+# (ci/perf_baseline.json) and exits non-zero if any scenario's
+# throughput drops more than 25% or any stage's p99 more than doubles.
+# Thresholds can be loosened for noisy runners via the environment:
+#
+#   PERF_GATE_MAX_DROP=0.40 PERF_GATE_MAX_P99_GROWTH=3.0 sh ci/perf_gate.sh
+#
+# To refresh the baseline after an intentional perf change:
+#
+#   cargo run -p tep-bench --release --offline --bin probe -- \
+#       bench --out ci/perf_baseline.json --prom /dev/null
+set -eu
+
+BASELINE="${1:-ci/perf_baseline.json}"
+CURRENT="${2:-BENCH_throughput.json}"
+
+if [ -x target/release/probe ]; then
+    target/release/probe perf-gate --baseline "$BASELINE" --current "$CURRENT"
+else
+    cargo run -p tep-bench --release --offline --bin probe -- \
+        perf-gate --baseline "$BASELINE" --current "$CURRENT"
+fi

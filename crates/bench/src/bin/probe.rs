@@ -5,9 +5,18 @@
 //! `probe bench [--out PATH]` instead runs the end-to-end broker
 //! throughput scenarios and writes the machine-readable
 //! `BENCH_throughput.json` (default path), printing one summary line per
-//! scenario with events/sec and the semantic-cache hit rate.
+//! scenario with events/sec and the semantic-cache hit rate. With
+//! `--serve ADDR` it also exposes `/metrics`, `/healthz`, and `/explain`
+//! over HTTP for the duration of the run.
+//!
+//! `probe perf-gate [--baseline PATH] [--current PATH]` compares a fresh
+//! throughput document against the committed baseline and exits non-zero
+//! on a regression (see `ci/perf_gate.sh`).
 
+use std::sync::{Arc, RwLock};
+use tep::prelude::{render_explanations_json, serve, Broker, ScrapeHandlers};
 use tep::thesaurus::{Domain, Thesaurus};
+use tep_bench::gate::GateConfig;
 use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
@@ -18,6 +27,10 @@ fn main() {
         }
         Some("bench") => {
             bench_throughput();
+            return;
+        }
+        Some("perf-gate") => {
+            perf_gate();
             return;
         }
         _ => {}
@@ -110,33 +123,81 @@ fn main() {
     }
 }
 
+/// The broker currently visible to the scrape endpoints. Scenarios swap
+/// themselves in as they start; the handlers read whatever is live.
+type BrokerSlot = Arc<RwLock<Option<Arc<Broker>>>>;
+
+fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
+    let metrics_slot = Arc::clone(slot);
+    let health_slot = Arc::clone(slot);
+    let explain_slot = Arc::clone(slot);
+    ScrapeHandlers::new(
+        move || match metrics_slot.read().unwrap().as_ref() {
+            Some(b) => b.metrics().render_prometheus(),
+            None => String::from("# no scenario running\n"),
+        },
+        move || match health_slot.read().unwrap().as_ref() {
+            Some(b) => {
+                let stats = b.stats();
+                format!(
+                    "{{\"status\":\"ok\",\"live_workers\":{},\"quarantined\":{},\"processed\":{},\"published\":{}}}\n",
+                    stats.live_workers, stats.quarantined, stats.processed, stats.published,
+                )
+            }
+            None => String::from("{\"status\":\"idle\"}\n"),
+        },
+        move || match explain_slot.read().unwrap().as_ref() {
+            Some(b) => render_explanations_json(&b.explain_last(100)),
+            None => String::from("[]\n"),
+        },
+    )
+}
+
 /// Broker throughput scenarios → `BENCH_throughput.json` plus a
-/// Prometheus-text metrics export (run with
-/// `probe bench [--out PATH] [--prom PATH]`).
+/// Prometheus-text metrics export and explain/span dumps (run with
+/// `probe bench [--out PATH] [--prom PATH] [--serve ADDR]`).
 fn bench_throughput() {
-    let (out, prom_out) = {
+    let (out, prom_out, serve_addr) = {
         let mut it = std::env::args().skip(2);
         let mut path = String::from("BENCH_throughput.json");
         let mut prom = String::from("BENCH_metrics.prom");
+        let mut addr: Option<String> = None;
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--out" => path = it.next().expect("--out needs a value"),
                 "--prom" => prom = it.next().expect("--prom needs a value"),
+                "--serve" => addr = Some(it.next().expect("--serve needs an address")),
                 other => {
                     eprintln!(
-                        "usage: probe bench [--out PATH] [--prom PATH] (unknown arg {other:?})"
+                        "usage: probe bench [--out PATH] [--prom PATH] [--serve ADDR] \
+                         (unknown arg {other:?})"
                     );
                     std::process::exit(2);
                 }
             }
         }
-        (path, prom)
+        (path, prom, addr)
+    };
+    let slot: BrokerSlot = Arc::new(RwLock::new(None));
+    let server = serve_addr.map(|addr| {
+        let server = serve(&addr, scrape_handlers(&slot)).expect("bind scrape server");
+        println!(
+            "serving /metrics /healthz /explain on http://{}",
+            server.local_addr()
+        );
+        server
+    });
+    let observer_slot = Arc::clone(&slot);
+    let observer = move |_name: &str, broker: &Arc<Broker>| {
+        *observer_slot.write().unwrap() = Some(Arc::clone(broker));
     };
     // The faulty-matcher scenario panics on purpose (isolated by the
     // broker); keep the smoke-step output to the summary lines.
     std::panic::set_hook(Box::new(|_| {}));
-    let results = tep_bench::throughput::run_broker_scenarios();
+    let results = tep_bench::throughput::run_broker_scenarios_observed(&observer);
+    let (explain_json, spans_json) = tep_bench::throughput::instrumented_dump(&observer);
     let _ = std::panic::take_hook();
+    *slot.write().unwrap() = None;
     for r in &results {
         println!("{}", r.summary());
         for stage in &r.stages {
@@ -159,6 +220,66 @@ fn bench_throughput() {
     {
         std::fs::write(&prom_out, &r.prometheus).expect("write Prometheus metrics");
         println!("wrote {prom_out} ({} scenario)", r.name);
+    }
+    std::fs::write("BENCH_explain.json", explain_json).expect("write explain dump");
+    std::fs::write("BENCH_spans.json", spans_json).expect("write span dump");
+    println!("wrote BENCH_explain.json BENCH_spans.json (instrumented_dump scenario)");
+    drop(server);
+}
+
+/// Perf-regression gate: compares a fresh throughput document against the
+/// committed baseline (run with
+/// `probe perf-gate [--baseline PATH] [--current PATH]`). Exits 1 on any
+/// violation or unreadable/malformed document.
+fn perf_gate() {
+    let (baseline, current) = {
+        let mut it = std::env::args().skip(2);
+        let mut baseline = String::from("ci/perf_baseline.json");
+        let mut current = String::from("BENCH_throughput.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--baseline" => baseline = it.next().expect("--baseline needs a value"),
+                "--current" => current = it.next().expect("--current needs a value"),
+                other => {
+                    eprintln!(
+                        "usage: probe perf-gate [--baseline PATH] [--current PATH] \
+                         (unknown arg {other:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        (baseline, current)
+    };
+    let mut cfg = GateConfig::default();
+    if let Ok(v) = std::env::var("PERF_GATE_MAX_DROP") {
+        cfg.max_drop = v.parse().expect("PERF_GATE_MAX_DROP must be a float");
+    }
+    if let Ok(v) = std::env::var("PERF_GATE_MAX_P99_GROWTH") {
+        cfg.max_p99_growth = v.parse().expect("PERF_GATE_MAX_P99_GROWTH must be a float");
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf gate: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let base_doc = read(&baseline);
+    let cur_doc = read(&current);
+    match tep_bench::gate::compare(&base_doc, &cur_doc, &cfg) {
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            std::process::exit(1);
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                eprintln!("perf gate: {v}");
+            }
+            println!("{} ({baseline} vs {current})", report.summary());
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -1,0 +1,292 @@
+//! The CI performance-regression gate: compares a freshly generated
+//! `BENCH_throughput.json` against the committed baseline
+//! (`ci/perf_baseline.json`) and reports violations.
+//!
+//! Two families of checks, both tolerant by design (CI machines are
+//! noisy):
+//!
+//! * **throughput** — a scenario's events/sec may not drop more than
+//!   [`GateConfig::max_drop`] below its baseline;
+//! * **tail latency** — a stage's p99 may not grow past
+//!   [`GateConfig::max_p99_growth`] × baseline, and only stages with
+//!   enough baseline samples and a non-trivial baseline p99 are compared
+//!   at all (micro-stages are pure jitter).
+
+use serde::value_get;
+use serde_json::JsonValue;
+
+/// Thresholds for [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    /// Maximum tolerated fractional throughput drop (0.25 = 25%).
+    pub max_drop: f64,
+    /// Maximum tolerated p99 growth factor (2.0 = p99 may double).
+    pub max_p99_growth: f64,
+    /// Stages with fewer baseline samples than this are skipped: a p99
+    /// over a few hundred samples is within one order statistic of the
+    /// max, i.e. pure noise.
+    pub min_stage_count: u64,
+    /// Stages whose baseline p99 is below this (nanoseconds) are skipped:
+    /// sub-50µs tails are dominated by scheduler noise.
+    pub min_p99_ns: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            max_drop: 0.25,
+            max_p99_growth: 2.0,
+            min_stage_count: 500,
+            min_p99_ns: 50_000,
+        }
+    }
+}
+
+/// The outcome of one baseline/current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Scenarios present in the baseline and compared.
+    pub scenarios_checked: usize,
+    /// Stage p99 comparisons that cleared the noise floors.
+    pub stages_checked: usize,
+    /// Human-readable violations; empty means the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            format!(
+                "perf gate PASSED ({} scenarios, {} stage comparisons)",
+                self.scenarios_checked, self.stages_checked
+            )
+        } else {
+            format!(
+                "perf gate FAILED: {} violation(s) across {} scenarios",
+                self.violations.len(),
+                self.scenarios_checked
+            )
+        }
+    }
+}
+
+/// One scenario's gate-relevant numbers.
+struct ScenarioNumbers {
+    name: String,
+    events_per_sec: f64,
+    /// `(stage name, sample count, p99 nanoseconds)`.
+    stages: Vec<(String, u64, u64)>,
+}
+
+fn parse_scenarios(doc: &str, label: &str) -> Result<Vec<ScenarioNumbers>, String> {
+    let parsed: JsonValue =
+        serde_json::from_str(doc).map_err(|e| format!("{label}: invalid JSON: {e:?}"))?;
+    let root = parsed
+        .as_map()
+        .ok_or_else(|| format!("{label}: root is not an object"))?;
+    let scenarios = value_get(root, "scenarios")
+        .and_then(|v| v.as_seq())
+        .ok_or_else(|| format!("{label}: missing \"scenarios\" array"))?;
+    let mut out = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let obj = s
+            .as_map()
+            .ok_or_else(|| format!("{label}: scenario {i} is not an object"))?;
+        let name = value_get(obj, "name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{label}: scenario {i} has no name"))?
+            .to_string();
+        let events_per_sec = value_get(obj, "events_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{label}: scenario {name:?} has no events_per_sec"))?;
+        let mut stages = Vec::new();
+        if let Some(list) = value_get(obj, "stages").and_then(|v| v.as_seq()) {
+            for st in list {
+                let Some(stage) = st.as_map() else { continue };
+                let Some(stage_name) = value_get(stage, "stage").and_then(|v| v.as_str()) else {
+                    continue;
+                };
+                let count = value_get(stage, "count")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                let p99 = value_get(stage, "p99_ns")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                stages.push((stage_name.to_string(), count, p99));
+            }
+        }
+        out.push(ScenarioNumbers {
+            name,
+            events_per_sec,
+            stages,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares `current` (a fresh `BENCH_throughput.json` document) against
+/// `baseline` (the committed one) under `cfg`.
+///
+/// Every scenario in the baseline must exist in the current run; new
+/// scenarios in the current run are ignored (they have no baseline to
+/// regress against).
+///
+/// # Errors
+///
+/// A `String` describing the problem when either document fails to parse
+/// — a malformed artifact must fail the gate loudly, not pass silently.
+pub fn compare(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateReport, String> {
+    let base = parse_scenarios(baseline, "baseline")?;
+    let cur = parse_scenarios(current, "current")?;
+    if base.is_empty() {
+        return Err("baseline: no scenarios to compare against".to_string());
+    }
+    let mut violations = Vec::new();
+    let mut stages_checked = 0usize;
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.name == b.name) else {
+            violations.push(format!(
+                "scenario {:?}: present in baseline but missing from the current run",
+                b.name
+            ));
+            continue;
+        };
+        let floor = b.events_per_sec * (1.0 - cfg.max_drop);
+        if c.events_per_sec < floor {
+            violations.push(format!(
+                "scenario {:?}: throughput dropped {:.1}% ({:.0} → {:.0} ev/s, limit {:.0}%)",
+                b.name,
+                (1.0 - c.events_per_sec / b.events_per_sec) * 100.0,
+                b.events_per_sec,
+                c.events_per_sec,
+                cfg.max_drop * 100.0,
+            ));
+        }
+        for (stage, count, p99) in &b.stages {
+            if *count < cfg.min_stage_count || *p99 < cfg.min_p99_ns {
+                continue;
+            }
+            let Some((_, _, cur_p99)) = c.stages.iter().find(|(s, _, _)| s == stage) else {
+                continue;
+            };
+            stages_checked += 1;
+            let ceiling = *p99 as f64 * cfg.max_p99_growth;
+            if *cur_p99 as f64 > ceiling {
+                violations.push(format!(
+                    "scenario {:?} stage {:?}: p99 grew {:.1}x ({} ns → {} ns, limit {:.1}x)",
+                    b.name,
+                    stage,
+                    *cur_p99 as f64 / *p99 as f64,
+                    p99,
+                    cur_p99,
+                    cfg.max_p99_growth,
+                ));
+            }
+        }
+    }
+    Ok(GateReport {
+        scenarios_checked: base.len(),
+        stages_checked,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ev_s: f64, p99_big: u64, p99_small: u64) -> String {
+        format!(
+            concat!(
+                "{{\"scenarios\": [\n",
+                "  {{\"name\":\"alpha\",\"events_per_sec\":{:.1},\"stages\":[\n",
+                "    {{\"stage\":\"match\",\"count\":5000,\"p99_ns\":{}}},\n",
+                "    {{\"stage\":\"deliver\",\"count\":12,\"p99_ns\":{}}}\n",
+                "  ]}}\n",
+                "]}}\n"
+            ),
+            ev_s, p99_big, p99_small,
+        )
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let d = doc(100_000.0, 200_000, 1_000);
+        let report = compare(&d, &d, &GateConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(report.scenarios_checked, 1);
+        assert_eq!(report.stages_checked, 1, "the 12-sample stage is skipped");
+        assert!(report.summary().contains("PASSED"));
+    }
+
+    #[test]
+    fn small_regressions_stay_within_tolerance() {
+        let base = doc(100_000.0, 200_000, 1_000);
+        let cur = doc(80_000.0, 350_000, 900_000);
+        let report = compare(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(
+            report.passed(),
+            "20% drop and 1.75x p99 are tolerated: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn doctored_throughput_regression_fails() {
+        let base = doc(100_000.0, 200_000, 1_000);
+        let cur = doc(50_000.0, 200_000, 1_000);
+        let report = compare(&base, &cur, &GateConfig::default()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("throughput dropped 50.0%"));
+        assert!(report.summary().contains("FAILED"));
+    }
+
+    #[test]
+    fn doctored_p99_regression_fails() {
+        let base = doc(100_000.0, 200_000, 1_000);
+        let cur = doc(100_000.0, 600_000, 1_000);
+        let report = compare(&base, &cur, &GateConfig::default()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("p99 grew 3.0x"));
+    }
+
+    #[test]
+    fn noise_floors_skip_small_stages() {
+        // The 12-sample stage regresses 900x but sits under the count
+        // floor; the big stage's baseline p99 under min_p99_ns is also
+        // skipped when configured higher.
+        let base = doc(100_000.0, 200_000, 1_000);
+        let cur = doc(100_000.0, 200_000, 900_000);
+        let report = compare(&base, &cur, &GateConfig::default()).unwrap();
+        assert!(report.passed());
+        let strict = GateConfig {
+            min_stage_count: 1,
+            min_p99_ns: 0,
+            ..GateConfig::default()
+        };
+        let report = compare(&base, &cur, &strict).unwrap();
+        assert!(!report.passed(), "dropping the floors exposes the jump");
+    }
+
+    #[test]
+    fn missing_scenario_is_a_violation() {
+        let base = doc(100_000.0, 200_000, 1_000);
+        let report = compare(&base, "{\"scenarios\": []}", &GateConfig::default()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("missing from the current run"));
+    }
+
+    #[test]
+    fn malformed_documents_error_loudly() {
+        let d = doc(100_000.0, 200_000, 1_000);
+        assert!(compare("not json", &d, &GateConfig::default()).is_err());
+        assert!(compare(&d, "{}", &GateConfig::default()).is_err());
+        assert!(compare("{\"scenarios\": []}", &d, &GateConfig::default()).is_err());
+    }
+}

@@ -16,5 +16,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod report;
 pub mod throughput;

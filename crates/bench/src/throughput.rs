@@ -170,6 +170,12 @@ pub fn render_json(results: &[ScenarioThroughput]) -> String {
     out
 }
 
+/// Hook invoked with each scenario's broker right after the subscriptions
+/// register and before the first publish — how the probe's `--serve` mode
+/// points the live scrape endpoints at whichever broker is currently
+/// benching. The no-op observer costs nothing.
+pub type ScenarioObserver = dyn Fn(&str, &Arc<Broker>) + Sync;
+
 /// Publishes `events` through a fresh broker `rounds` times and measures
 /// the drain.
 fn run_scenario<M>(
@@ -179,15 +185,17 @@ fn run_scenario<M>(
     subscriptions: &[Subscription],
     events: &[Event],
     rounds: usize,
+    observer: &ScenarioObserver,
 ) -> ScenarioThroughput
 where
     M: Matcher + Send + Sync + 'static,
 {
-    let broker = Broker::start(matcher, config);
+    let broker = Arc::new(Broker::start(matcher, config));
     let receivers: Vec<_> = subscriptions
         .iter()
         .map(|s| broker.subscribe(s.clone()).expect("subscribe").1)
         .collect();
+    observer(name, &broker);
     let start = Instant::now();
     for _ in 0..rounds {
         for e in events {
@@ -203,7 +211,10 @@ where
         // Drain so the channel teardown is uniform across scenarios.
         while rx.try_recv().is_ok() {}
     }
-    broker.shutdown();
+    // An observer may still hold a clone (the scrape server keeps serving
+    // the last scenario's counters); close the intake here and let the
+    // final `Arc` drop join the threads.
+    broker.close();
     let events_total = (events.len() * rounds) as u64;
     ScenarioThroughput {
         name: name.to_string(),
@@ -231,6 +242,12 @@ where
 /// * `faulty_exact_1pct` — the supervised-runtime overhead scenario: ~1%
 ///   of events panic in the matcher.
 pub fn run_broker_scenarios() -> Vec<ScenarioThroughput> {
+    run_broker_scenarios_observed(&|_, _| {})
+}
+
+/// [`run_broker_scenarios`] with an observer that receives each
+/// scenario's live broker before its first publish.
+pub fn run_broker_scenarios_observed(observer: &ScenarioObserver) -> Vec<ScenarioThroughput> {
     let cfg = EvalConfig::tiny();
     let stack = MatcherStack::build(&cfg);
     let workload = Workload::generate(&cfg);
@@ -276,6 +293,7 @@ pub fn run_broker_scenarios() -> Vec<ScenarioThroughput> {
             &base_subs,
             &base_events,
             16,
+            observer,
         ),
         run_scenario(
             "seed_thematic_broadcast",
@@ -284,6 +302,7 @@ pub fn run_broker_scenarios() -> Vec<ScenarioThroughput> {
             &themed_subs,
             &themed_events,
             4,
+            observer,
         ),
         run_scenario(
             "thematic_theme_routed",
@@ -294,6 +313,7 @@ pub fn run_broker_scenarios() -> Vec<ScenarioThroughput> {
             &routed_subs,
             &routed_events,
             4,
+            observer,
         ),
         run_scenario(
             "faulty_exact_1pct",
@@ -307,8 +327,60 @@ pub fn run_broker_scenarios() -> Vec<ScenarioThroughput> {
             &base_subs,
             &base_events,
             16,
+            observer,
         ),
     ]
+}
+
+/// Runs a small fully instrumented thematic broker (explanation ring on,
+/// 1-in-4 span sampling) and returns the `(explanations, spans)` JSON
+/// documents — the `BENCH_explain.json` / `BENCH_spans.json` artifacts.
+///
+/// Deliberately separate from the throughput scenarios: those run with
+/// observability off so the committed perf baseline measures the
+/// unobserved hot path.
+pub fn instrumented_dump(observer: &ScenarioObserver) -> (String, String) {
+    let cfg = EvalConfig::tiny();
+    let stack = MatcherStack::build(&cfg);
+    let workload = Workload::generate(&cfg);
+    let th = Thesaurus::eurovoc_like();
+    let domain_tags: Vec<String> = Domain::ALL
+        .iter()
+        .map(|d| th.top_terms(*d)[0].as_str().to_string())
+        .collect();
+    let events: Vec<Event> = workload
+        .events()
+        .iter()
+        .take(32)
+        .map(|e| e.with_theme_tags(domain_tags.clone()))
+        .collect();
+    let subs: Vec<Subscription> = workload
+        .subscriptions()
+        .iter()
+        .take(4)
+        .map(|s| s.with_theme_tags(domain_tags.clone()))
+        .collect();
+    let config = BrokerConfig::default()
+        .with_workers(2)
+        .with_explain_capacity(256)
+        .with_span_sampling(4);
+    let broker = Arc::new(Broker::start(Arc::new(stack.thematic()), config));
+    let receivers: Vec<_> = subs
+        .iter()
+        .map(|s| broker.subscribe(s.clone()).expect("subscribe").1)
+        .collect();
+    observer("instrumented_dump", &broker);
+    for e in &events {
+        broker.publish(e.clone()).expect("publish");
+    }
+    broker.flush_timeout(FLUSH_DEADLINE).expect("flush");
+    let explanations = render_explanations_json(&broker.explain_last(256));
+    let spans = render_spans_json(&broker.spans());
+    for rx in &receivers {
+        while rx.try_recv().is_ok() {}
+    }
+    broker.close();
+    (explanations, spans)
 }
 
 #[cfg(test)]

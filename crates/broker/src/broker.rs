@@ -1,6 +1,7 @@
 //! The broker runtime.
 
 use crate::config::{BrokerConfig, PublishPolicy};
+use crate::explain::MatchExplanation;
 use crate::notification::Notification;
 use crate::routing::RoutingTable;
 use crate::stats::{BrokerStats, EventTrace, StageLatencies, StatsInner};
@@ -16,7 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
 use tep_matcher::{CacheStats, Matcher};
-use tep_obs::{MetricsRegistry, TraceRing};
+use tep_obs::{span_tree, MetricsRegistry, SpanCollector, SpanNode, SpanRecord, TraceRing};
 
 /// Default deadline for the bare [`Broker::flush`] convenience wrapper.
 const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_secs(60);
@@ -75,6 +76,28 @@ pub(crate) struct Registration {
     /// at subscribe time so the match-latency instrumentation classifies
     /// each test without walking the predicates again.
     pub(crate) approx: bool,
+    /// Whether this subscriber opted into per-notification explanations
+    /// ([`SubscribeOptions::explain`]).
+    pub(crate) explain: bool,
+}
+
+/// Per-subscription options for [`Broker::subscribe_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct SubscribeOptions {
+    /// Attach a [`MatchExplanation`] to every notification delivered to
+    /// this subscriber, regardless of
+    /// [`BrokerConfig::explain_capacity`]. Off by default: explanations
+    /// rebuild the similarity matrix per delivery (cache-warm, but not
+    /// free).
+    pub explain: bool,
+}
+
+impl SubscribeOptions {
+    /// Options with per-notification explanations enabled.
+    pub fn explained() -> SubscribeOptions {
+        SubscribeOptions { explain: true }
+    }
 }
 
 /// Type-erased handles into the matcher for the subscription lifecycle.
@@ -110,6 +133,12 @@ pub(crate) struct Shared {
     /// Bounded per-event pipeline traces; capacity 0 (the default)
     /// disables tracing.
     pub(crate) trace: TraceRing<EventTrace>,
+    /// Bounded per-match-test explanations; capacity 0 (the default)
+    /// disables the ring.
+    pub(crate) explain: TraceRing<MatchExplanation>,
+    /// Sampled causal spans; disabled unless
+    /// [`BrokerConfig::span_sample_every`] is non-zero.
+    pub(crate) spans: SpanCollector,
 }
 
 /// A thread-pool publish/subscribe broker around any [`Matcher`].
@@ -164,6 +193,8 @@ impl Broker {
             stats: Arc::new(StatsInner::default()),
             dead_letters: DeadLetterQueue::new(config.dead_letter_capacity),
             trace: TraceRing::new(config.trace_capacity),
+            explain: TraceRing::new(config.explain_capacity),
+            spans: SpanCollector::new(config.span_capacity, config.span_sample_every),
             config,
             ingress: RwLock::new(Some(tx)),
             shutdown: AtomicBool::new(false),
@@ -193,6 +224,22 @@ impl Broker {
     pub fn subscribe(
         &self,
         subscription: Subscription,
+    ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
+        self.subscribe_with(subscription, SubscribeOptions::default())
+    }
+
+    /// Registers a subscription with per-subscription [`SubscribeOptions`]
+    /// (e.g. [`SubscribeOptions::explain`] to attach a
+    /// [`MatchExplanation`] to every delivered notification).
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Closed`] after [`Broker::shutdown`] or
+    /// [`Broker::close`].
+    pub fn subscribe_with(
+        &self,
+        subscription: Subscription,
+        options: SubscribeOptions,
     ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
         if self.is_closed() {
             return Err(BrokerError::Closed);
@@ -224,6 +271,7 @@ impl Broker {
                 receiver: keep_receiver.then(|| rx.clone()),
                 consecutive_full: AtomicU64::new(0),
                 approx,
+                explain: options.explain,
             }),
         );
         Ok((id, rx))
@@ -265,7 +313,16 @@ impl Broker {
         let Some(tx) = self.shared.ingress.read().clone() else {
             return Err(BrokerError::Closed);
         };
-        let job = Job::new(event, self.next_seq.fetch_add(1, Ordering::Relaxed));
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Sampled events reserve their root span id up front so every
+        // downstream span of this event can parent to it; unsampled
+        // traffic pays one modulo and a branch.
+        let span = self
+            .shared
+            .spans
+            .sampled(seq)
+            .then(|| (self.shared.spans.start_span(), Instant::now()));
+        let job = Job::new(event, seq, span.map(|(id, _)| id));
         let result = match self.shared.config.publish_policy {
             PublishPolicy::Block => tx.send(job).map_err(|_| BrokerError::Closed),
             PublishPolicy::Timeout(deadline) => {
@@ -282,6 +339,18 @@ impl Broker {
         match result {
             Ok(()) => {
                 self.shared.stats.published.fetch_add(1, Ordering::Relaxed);
+                if let Some((id, start)) = span {
+                    // The publish span covers policy wait + enqueue.
+                    self.shared.spans.record(
+                        id,
+                        None,
+                        seq,
+                        "publish",
+                        start,
+                        Instant::now(),
+                        vec![],
+                    );
+                }
                 Ok(())
             }
             Err(e) => {
@@ -304,6 +373,7 @@ impl Broker {
     /// [`BrokerError::FlushTimeout`] when events are still in flight at
     /// the deadline — e.g. the queue is deeper than the deadline allows,
     /// or a matcher is wedged.
+    #[must_use = "flush can time out; check the result before reading counters"]
     pub fn flush_timeout(&self, timeout: Duration) -> Result<(), BrokerError> {
         let deadline = Instant::now() + timeout;
         loop {
@@ -331,6 +401,7 @@ impl Broker {
     /// [`BrokerError::FlushTimeout`] if the default deadline passes — at
     /// that point the broker is effectively wedged, and the caller
     /// decides whether that is fatal.
+    #[must_use = "flush can time out; check the result before reading counters"]
     pub fn flush(&self) -> Result<(), BrokerError> {
         self.flush_timeout(DEFAULT_FLUSH_DEADLINE)
     }
@@ -354,6 +425,29 @@ impl Broker {
     /// traces, oldest first. Empty unless tracing was enabled.
     pub fn traces(&self) -> Vec<EventTrace> {
         self.shared.trace.snapshot()
+    }
+
+    /// The newest `n` match explanations, oldest first. Empty unless
+    /// [`BrokerConfig::explain_capacity`] is non-zero.
+    pub fn explain_last(&self, n: usize) -> Vec<MatchExplanation> {
+        let mut all = self.shared.explain.snapshot();
+        let keep_from = all.len().saturating_sub(n);
+        all.drain(..keep_from);
+        all
+    }
+
+    /// The retained causal spans across all sampled events, oldest first.
+    /// Empty unless [`BrokerConfig::span_sample_every`] is non-zero.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.shared.spans.snapshot()
+    }
+
+    /// The causal span tree(s) for the event with sequence number `seq`:
+    /// publish → route → match tests → deliveries, reconstructed from the
+    /// span ring. Empty for unsampled events; spans whose parents were
+    /// evicted surface as extra roots.
+    pub fn span_tree(&self, seq: u64) -> Vec<SpanNode> {
+        span_tree(&self.shared.spans.snapshot(), seq)
     }
 
     /// Every broker counter and stage histogram bundled into a
@@ -392,6 +486,18 @@ impl Broker {
         .counter(
             "tep_dropped_disconnected_total",
             "Notifications dropped on a hung-up subscriber",
+            stats.dropped_disconnected,
+        )
+        .counter_with(
+            "tep_dropped_total",
+            "Notifications dropped, by reason",
+            &[("reason", "full")],
+            stats.dropped_full,
+        )
+        .counter_with(
+            "tep_dropped_total",
+            "Notifications dropped, by reason",
+            &[("reason", "disconnected")],
             stats.dropped_disconnected,
         )
         .counter(
@@ -1108,6 +1214,135 @@ mod tests {
             0,
             "unsubscribe must release the pins"
         );
+        b.shutdown();
+    }
+
+    #[test]
+    fn explain_ring_captures_accepts_and_rejects() {
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_explain_capacity(16);
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (id, _rx) = b
+            .subscribe(parse_subscription("{device= computer}").unwrap())
+            .unwrap();
+        b.publish(parse_event("{device: computer}").unwrap())
+            .unwrap();
+        b.publish(parse_event("{device: laptop}").unwrap()).unwrap();
+        b.flush().unwrap();
+        let explanations = b.explain_last(10);
+        assert_eq!(explanations.len(), 2, "accepted AND rejected tests");
+        let accepted = explanations
+            .iter()
+            .find(|e| e.outcome == crate::MatchOutcome::Delivered)
+            .expect("one delivered explanation");
+        assert_eq!(accepted.subscription, id);
+        assert_eq!(accepted.score, 1.0);
+        assert_eq!(accepted.threshold, 0.25);
+        assert_eq!(accepted.temperature, crate::CacheTemperature::Exact);
+        let detail = accepted.detail.as_ref().expect("delivered tests explain");
+        assert_eq!(detail.predicates.len(), 1);
+        assert_eq!(detail.predicates[0].similarity, 1.0);
+        let rejected = explanations
+            .iter()
+            .find(|e| e.outcome == crate::MatchOutcome::NoMapping)
+            .expect("one rejected explanation");
+        assert_eq!(rejected.score, 0.0);
+        // explain_last(n) keeps only the newest n.
+        assert_eq!(b.explain_last(1).len(), 1);
+        assert_eq!(b.explain_last(0).len(), 0);
+        b.shutdown();
+    }
+
+    #[test]
+    fn explanations_are_off_by_default() {
+        let b = broker();
+        let (_, rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.flush().unwrap();
+        assert!(b.explain_last(100).is_empty());
+        assert!(rx.try_recv().unwrap().explanation.is_none());
+        assert!(b.spans().is_empty());
+    }
+
+    #[test]
+    fn subscribe_with_attaches_explanations_to_notifications() {
+        let b = broker();
+        let (_, rx) = b
+            .subscribe_with(
+                parse_subscription("{a= 1}").unwrap(),
+                SubscribeOptions::explained(),
+            )
+            .unwrap();
+        b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        b.flush().unwrap();
+        let n = rx.try_recv().unwrap();
+        let e = n.explanation.expect("opt-in attaches the explanation");
+        assert_eq!(e.outcome, crate::MatchOutcome::Delivered);
+        assert_eq!(e.score, 1.0);
+        assert!(e.detail.is_some());
+        // The broker-wide ring stays off: attachment is per-subscriber.
+        assert!(b.explain_last(10).is_empty());
+        b.shutdown();
+    }
+
+    #[test]
+    fn sampled_events_reconstruct_a_span_tree() {
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_span_sampling(2);
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        for _ in 0..4 {
+            b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        }
+        b.flush().unwrap();
+        // 1-in-2 sampling: seqs 0 and 2 traced, 1 and 3 not.
+        assert!(b.span_tree(1).is_empty());
+        assert!(b.span_tree(3).is_empty());
+        let tree = b.span_tree(0);
+        assert_eq!(tree.len(), 1, "one root per event");
+        let root = &tree[0];
+        assert_eq!(root.record.name, "publish");
+        assert_eq!(root.children.len(), 1);
+        let route = &root.children[0];
+        assert_eq!(route.record.name, "route");
+        assert_eq!(route.children.len(), 1);
+        let m = &route.children[0];
+        assert_eq!(m.record.name, "match");
+        assert_eq!(m.children.len(), 1);
+        assert_eq!(m.children[0].record.name, "deliver");
+        assert_eq!(root.size(), 4, "publish → route → match → deliver");
+        b.shutdown();
+    }
+
+    #[test]
+    fn quarantined_events_explain_the_panic_and_span_the_quarantine() {
+        silence_injected_panics();
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_max_match_attempts(1)
+            .with_explain_capacity(8)
+            .with_span_sampling(1);
+        let b = Broker::start(Arc::new(BoomMatcher), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+        b.publish(parse_event("{k: boom}").unwrap()).unwrap();
+        b.flush_timeout(Duration::from_secs(10)).unwrap();
+        let explanations = b.explain_last(8);
+        assert_eq!(explanations.len(), 1);
+        match &explanations[0].outcome {
+            crate::MatchOutcome::Panicked { reason } => {
+                assert_eq!(reason, "injected test fault");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(explanations[0].detail.is_none());
+        let tree = b.span_tree(0);
+        assert_eq!(tree.len(), 1);
+        let route = &tree[0].children[0];
+        let names: Vec<&str> = route.children.iter().map(|c| c.record.name).collect();
+        assert!(names.contains(&"match"));
+        assert!(names.contains(&"quarantine"));
         b.shutdown();
     }
 

@@ -96,6 +96,27 @@ pub struct BrokerConfig {
     /// path then pays nothing for it.
     #[serde(default)]
     pub trace_capacity: usize,
+    /// Capacity of the match-explanation ring
+    /// ([`crate::Broker::explain_last`]): the broker keeps the last
+    /// `explain_capacity` [`crate::MatchExplanation`] records. `0` (the
+    /// default) disables the ring; subscribers can still opt in per
+    /// subscription via [`crate::SubscribeOptions::explain`].
+    #[serde(default)]
+    pub explain_capacity: usize,
+    /// Deterministic 1-in-k causal span sampling: every k-th published
+    /// event (by sequence number) records a publish → route → match →
+    /// deliver span tree ([`crate::Broker::span_tree`]). `0` (the
+    /// default) disables span tracing entirely.
+    #[serde(default)]
+    pub span_sample_every: u64,
+    /// Capacity of the span ring: the broker keeps the newest
+    /// `span_capacity` [`crate::SpanRecord`]s across all sampled events.
+    #[serde(default = "default_span_capacity")]
+    pub span_capacity: usize,
+}
+
+fn default_span_capacity() -> usize {
+    1024
 }
 
 impl BrokerConfig {
@@ -154,6 +175,26 @@ impl BrokerConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Replaces the match-explanation ring capacity (`0` disables the
+    /// ring).
+    pub fn with_explain_capacity(mut self, capacity: usize) -> BrokerConfig {
+        self.explain_capacity = capacity;
+        self
+    }
+
+    /// Enables deterministic 1-in-`k` causal span sampling (`0` disables
+    /// span tracing).
+    pub fn with_span_sampling(mut self, k: u64) -> BrokerConfig {
+        self.span_sample_every = k;
+        self
+    }
+
+    /// Replaces the span-ring capacity.
+    pub fn with_span_capacity(mut self, capacity: usize) -> BrokerConfig {
+        self.span_capacity = capacity;
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -170,6 +211,9 @@ impl Default for BrokerConfig {
             dead_letter_capacity: 64,
             routing_policy: RoutingPolicy::Broadcast,
             trace_capacity: 0,
+            explain_capacity: 0,
+            span_sample_every: 0,
+            span_capacity: default_span_capacity(),
         }
     }
 }
@@ -191,6 +235,9 @@ mod tests {
         assert_eq!(c.subscriber_policy, SubscriberPolicy::DropNewest);
         assert_eq!(c.routing_policy, RoutingPolicy::Broadcast);
         assert_eq!(c.trace_capacity, 0, "tracing is opt-in");
+        assert_eq!(c.explain_capacity, 0, "explanations are opt-in");
+        assert_eq!(c.span_sample_every, 0, "span sampling is opt-in");
+        assert_eq!(c.span_capacity, 1024);
     }
 
     #[test]
@@ -203,7 +250,10 @@ mod tests {
             .with_max_match_attempts(0)
             .with_panic_isolation(false)
             .with_routing_policy(RoutingPolicy::ThemeOverlap)
-            .with_trace_capacity(128);
+            .with_trace_capacity(128)
+            .with_explain_capacity(64)
+            .with_span_sampling(10)
+            .with_span_capacity(256);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
         assert_eq!(c.publish_policy, PublishPolicy::Reject);
@@ -215,6 +265,9 @@ mod tests {
         assert!(!c.isolate_matcher_panics);
         assert_eq!(c.routing_policy, RoutingPolicy::ThemeOverlap);
         assert_eq!(c.trace_capacity, 128);
+        assert_eq!(c.explain_capacity, 64);
+        assert_eq!(c.span_sample_every, 10);
+        assert_eq!(c.span_capacity, 256);
     }
 
     #[test]
@@ -228,6 +281,17 @@ mod tests {
             .with_publish_policy(PublishPolicy::Timeout(Duration::from_millis(250)))
             .with_subscriber_policy(SubscriberPolicy::DropOldest)
             .with_routing_policy(RoutingPolicy::ThemeOverlap);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: BrokerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn observability_round_trips_through_json() {
+        let c = BrokerConfig::default()
+            .with_explain_capacity(32)
+            .with_span_sampling(4)
+            .with_span_capacity(512);
         let json = serde_json::to_string(&c).unwrap();
         let back: BrokerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);

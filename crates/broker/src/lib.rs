@@ -60,16 +60,23 @@
 
 mod broker;
 mod config;
+mod explain;
 mod notification;
 mod routing;
 mod stats;
 mod supervisor;
 
-pub use broker::{Broker, BrokerError, SubscriptionId};
+pub use broker::{Broker, BrokerError, SubscribeOptions, SubscriptionId};
 pub use config::{BrokerConfig, PublishPolicy, RoutingPolicy, SubscriberPolicy};
+pub use explain::{render_explanations_json, CacheTemperature, MatchExplanation, MatchOutcome};
 pub use notification::Notification;
 pub use stats::{BrokerStats, EventTrace, StageLatencies};
 pub use supervisor::DeadLetter;
-// Re-exported so downstream code can consume [`Broker::metrics`] and
-// [`Broker::stage_latencies`] without depending on `tep-obs` directly.
-pub use tep_obs::{HistogramSnapshot, MetricsRegistry};
+// Re-exported so downstream code can consume [`Broker::metrics`],
+// [`Broker::stage_latencies`], [`Broker::span_tree`], and the scrape
+// server without depending on `tep-obs` or `tep-matcher` directly.
+pub use tep_matcher::{MatchDetail, PredicateExplanation, RelatednessDetail};
+pub use tep_obs::{
+    render_spans_json, serve, span_tree, HistogramSnapshot, MetricsRegistry, ScrapeHandlers,
+    ScrapeServer, SpanNode, SpanRecord,
+};

@@ -1,6 +1,7 @@
 //! Notifications delivered to subscribers.
 
 use crate::broker::SubscriptionId;
+use crate::explain::MatchExplanation;
 use std::sync::Arc;
 use tep_events::Event;
 use tep_matcher::MatchResult;
@@ -17,6 +18,10 @@ pub struct Notification {
     pub event: Arc<Event>,
     /// The matcher's result (score ≥ the broker's delivery threshold).
     pub result: MatchResult,
+    /// The full match explanation, present only for subscribers that
+    /// opted in via [`crate::SubscribeOptions::explain`]. Boxed: the
+    /// common (unexplained) notification stays small.
+    pub explanation: Option<Box<MatchExplanation>>,
 }
 
 impl Notification {
@@ -36,8 +41,10 @@ mod tests {
             subscription: SubscriptionId(7),
             event: Arc::new(Event::builder().tuple("a", "b").build().unwrap()),
             result: MatchResult::no_match(),
+            explanation: None,
         };
         assert_eq!(n.score(), 0.0);
         assert_eq!(n.subscription, SubscriptionId(7));
+        assert!(n.explanation.is_none(), "explanations are opt-in");
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::broker::{Registration, Shared, SubscriptionId};
 use crate::config::{RoutingPolicy, SubscriberPolicy};
+use crate::explain::{CacheTemperature, MatchExplanation, MatchOutcome};
 use crate::notification::Notification;
 use crate::stats::{nanos_between, EventTrace};
 use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
@@ -48,15 +49,19 @@ pub(crate) struct Job {
     /// When this job entered (or re-entered) the ingress queue; the
     /// queue-wait histogram measures from here to the worker's dequeue.
     pub(crate) enqueued_at: Instant,
+    /// The event's root (publish) span id, when the event was sampled
+    /// for causal tracing; `None` means no spans are recorded for it.
+    pub(crate) span: Option<u64>,
 }
 
 impl Job {
-    pub(crate) fn new(event: Event, seq: u64) -> Job {
+    pub(crate) fn new(event: Event, seq: u64, span: Option<u64>) -> Job {
         Job {
             event: Arc::new(event),
             attempts: 0,
             seq,
             enqueued_at: Instant::now(),
+            span,
         }
     }
 }
@@ -237,6 +242,7 @@ fn recover_job(shared: &Shared, job: Job) {
         // Reset the clock: the queue-wait histogram measures time spent
         // queued, not the crashed attempt that preceded the requeue.
         enqueued_at: Instant::now(),
+        span: job.span,
     };
     let sent = shared
         .ingress
@@ -248,6 +254,44 @@ fn recover_job(shared: &Shared, job: Job) {
     if !sent {
         // Broker closed or queue full: don't risk blocking the supervisor.
         quarantine(shared, job.event, attempts);
+    }
+}
+
+/// Extracts a human-readable reason from a caught panic payload. Matcher
+/// panics are almost always `panic!("message")` strings; anything else
+/// degrades to a placeholder rather than losing the explanation.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Assembles one [`MatchExplanation`] from the test's context.
+#[allow(clippy::too_many_arguments)]
+fn explanation_for(
+    shared: &Shared,
+    job: &Job,
+    id: SubscriptionId,
+    reg: &Registration,
+    score: f64,
+    temperature: CacheTemperature,
+    outcome: MatchOutcome,
+    detail: Option<tep_matcher::MatchDetail>,
+) -> MatchExplanation {
+    MatchExplanation {
+        seq: job.seq,
+        subscription: id,
+        score,
+        threshold: shared.config.delivery_threshold,
+        subscription_themes: reg.subscription.theme_tags().to_vec(),
+        event_themes: job.event.theme_tags().to_vec(),
+        temperature,
+        outcome,
+        detail,
     }
 }
 
@@ -296,6 +340,23 @@ where
         }
     };
     let trace_candidates = registrations.len();
+    // The route span covers dequeue → candidate snapshot and parents
+    // every match test of the event; `None` for unsampled events keeps
+    // the hot path to a branch per stage.
+    let route_span = job.span.map(|parent| {
+        shared.spans.record_new(
+            Some(parent),
+            job.seq,
+            "route",
+            dequeued,
+            Instant::now(),
+            vec![
+                ("candidates".to_string(), trace_candidates.to_string()),
+                ("routing_skipped".to_string(), trace_skipped.to_string()),
+            ],
+        )
+    });
+    let explain_ring = shared.explain.is_enabled();
     let mut trace_match_tests = 0usize;
     let mut trace_notifications = 0usize;
     let mut dead: Vec<SubscriptionId> = Vec::new();
@@ -312,6 +373,7 @@ where
             0
         };
         let match_start = Instant::now();
+        let mut last_panic: Option<String> = None;
         let outcome = if shared.config.isolate_matcher_panics {
             let budget = shared
                 .config
@@ -329,8 +391,9 @@ where
                         outcome = Some(r);
                         break;
                     }
-                    Err(_) => {
+                    Err(payload) => {
                         shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        last_panic = Some(panic_reason(payload.as_ref()));
                     }
                 }
             }
@@ -350,27 +413,140 @@ where
         let match_end = Instant::now();
         let match_nanos = nanos_between(match_start, match_end);
         let stage = &shared.stats.stage;
-        if !reg.approx {
+        let temperature = if !reg.approx {
             stage.match_exact.record_nanos(match_nanos);
+            CacheTemperature::Exact
         } else if matcher.cache_miss_count() > miss_before {
             stage.match_thematic.record_nanos(match_nanos);
+            CacheTemperature::ThematicCold
         } else {
             stage.match_cached.record_nanos(match_nanos);
-        }
-        let Some(result) = outcome else { continue };
-        if !result.is_empty() && result.is_match(shared.config.delivery_threshold) {
+            CacheTemperature::CacheWarm
+        };
+        let Some(result) = outcome else {
+            // Every attempt panicked; the event is quarantined below.
+            if let Some(route) = route_span {
+                shared.spans.record_new(
+                    Some(route),
+                    job.seq,
+                    "match",
+                    match_start,
+                    match_end,
+                    vec![
+                        ("subscription".to_string(), id.to_string()),
+                        ("temperature".to_string(), temperature.as_str().to_string()),
+                        ("outcome".to_string(), "panicked".to_string()),
+                    ],
+                );
+            }
+            if explain_ring {
+                let reason = last_panic.unwrap_or_else(|| "unknown panic".to_string());
+                shared.explain.push(explanation_for(
+                    shared,
+                    &job,
+                    id,
+                    &reg,
+                    0.0,
+                    temperature,
+                    MatchOutcome::Panicked { reason },
+                    None,
+                ));
+            }
+            continue;
+        };
+        let score = result.score();
+        let mapped = !result.is_empty();
+        let delivering = mapped && result.is_match(shared.config.delivery_threshold);
+        // Explanations are computed once per test, after the result, and
+        // only when someone will read them: the broker-wide ring, or the
+        // subscriber's own opt-in on a delivery.
+        let detail = (explain_ring || (reg.explain && delivering))
+            .then(|| matcher.explain_match(&reg.subscription, &job.event, &result));
+        let match_span = route_span.map(|route| {
+            shared.spans.record_new(
+                Some(route),
+                job.seq,
+                "match",
+                match_start,
+                match_end,
+                vec![
+                    ("subscription".to_string(), id.to_string()),
+                    ("temperature".to_string(), temperature.as_str().to_string()),
+                    ("score".to_string(), format!("{score}")),
+                ],
+            )
+        });
+        if delivering {
+            let attached = reg.explain.then(|| {
+                Box::new(explanation_for(
+                    shared,
+                    &job,
+                    id,
+                    &reg,
+                    score,
+                    temperature,
+                    MatchOutcome::Delivered,
+                    detail.clone(),
+                ))
+            });
             let notification = Notification {
                 subscription: id,
                 event: Arc::clone(&job.event),
                 result,
+                explanation: attached,
             };
             // Stage 3 (deliver): match decision → channel hand-off.
-            if deliver(shared, id, &reg, notification, &mut dead) {
+            let admitted = deliver(shared, id, &reg, notification, &mut dead);
+            if admitted {
                 trace_notifications += 1;
             }
+            let deliver_end = Instant::now();
             stage
                 .deliver
-                .record_nanos(nanos_between(match_end, Instant::now()));
+                .record_nanos(nanos_between(match_end, deliver_end));
+            if let Some(parent) = match_span {
+                shared.spans.record_new(
+                    Some(parent),
+                    job.seq,
+                    "deliver",
+                    match_end,
+                    deliver_end,
+                    vec![("admitted".to_string(), admitted.to_string())],
+                );
+            }
+            if explain_ring {
+                let outcome = if admitted {
+                    MatchOutcome::Delivered
+                } else {
+                    MatchOutcome::DeliveryDropped
+                };
+                shared.explain.push(explanation_for(
+                    shared,
+                    &job,
+                    id,
+                    &reg,
+                    score,
+                    temperature,
+                    outcome,
+                    detail,
+                ));
+            }
+        } else if explain_ring {
+            let outcome = if mapped {
+                MatchOutcome::BelowThreshold
+            } else {
+                MatchOutcome::NoMapping
+            };
+            shared.explain.push(explanation_for(
+                shared,
+                &job,
+                id,
+                &reg,
+                score,
+                temperature,
+                outcome,
+                detail,
+            ));
         }
     }
     if !dead.is_empty() {
@@ -401,6 +577,20 @@ where
             Arc::clone(&job.event),
             job.attempts + exhausted_attempts,
         );
+        if let Some(route) = route_span {
+            let now = Instant::now();
+            shared.spans.record_new(
+                Some(route),
+                job.seq,
+                "quarantine",
+                now,
+                now,
+                vec![(
+                    "attempts".to_string(),
+                    (job.attempts + exhausted_attempts).to_string(),
+                )],
+            );
+        }
     } else {
         shared.stats.processed.fetch_add(1, Ordering::Relaxed);
     }

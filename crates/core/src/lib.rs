@@ -67,9 +67,11 @@ pub use tep_thesaurus as thesaurus;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use tep_broker::{
-        Broker, BrokerConfig, BrokerError, BrokerStats, DeadLetter, EventTrace, HistogramSnapshot,
-        MetricsRegistry, Notification, PublishPolicy, RoutingPolicy, StageLatencies,
-        SubscriberPolicy,
+        render_explanations_json, render_spans_json, serve, span_tree, Broker, BrokerConfig,
+        BrokerError, BrokerStats, CacheTemperature, DeadLetter, EventTrace, HistogramSnapshot,
+        MatchExplanation, MatchOutcome, MetricsRegistry, Notification, PublishPolicy,
+        RoutingPolicy, ScrapeHandlers, ScrapeServer, SpanNode, SpanRecord, StageLatencies,
+        SubscribeOptions, SubscriberPolicy,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};
@@ -78,12 +80,13 @@ pub mod prelude {
     };
     pub use tep_index::{InvertedIndex, Tokenizer};
     pub use tep_matcher::{
-        Combiner, ExactMatcher, Fault, FaultConfig, FaultInjectingMatcher, MatchMode, MatchResult,
-        Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher,
+        Combiner, ExactMatcher, Fault, FaultConfig, FaultInjectingMatcher, MatchDetail, MatchMode,
+        MatchResult, Matcher, MatcherConfig, PredicateExplanation, ProbabilisticMatcher,
+        RewritingMatcher,
     };
     pub use tep_semantics::{
-        CacheStats, DistributionalSpace, EsaMeasure, ParametricVectorSpace, SemanticMeasure,
-        ThematicEsaMeasure, Theme,
+        CacheStats, DistributionalSpace, EsaMeasure, ParametricVectorSpace, RelatednessDetail,
+        SemanticMeasure, ThematicEsaMeasure, Theme,
     };
     pub use tep_thesaurus::{Domain, Term, Thesaurus};
 }

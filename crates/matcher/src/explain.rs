@@ -1,0 +1,100 @@
+//! Post-hoc match explanations: why a subscription/event pair scored the
+//! way it did, predicate by predicate.
+//!
+//! Explanations are computed **after** a match test from its
+//! [`MatchResult`] — the hot path never pays for them, and a match is
+//! never re-run. The probabilistic matcher rebuilds its similarity
+//! matrix (cache-warm: the hot path just computed the same cells) and
+//! asks the measure to [`explain`](tep_semantics::SemanticMeasure::explain)
+//! the approximate sides, surfacing the raw distances and projection
+//! dimensionalities behind each cell.
+
+use crate::mapping::MatchResult;
+use tep_events::{Event, Subscription};
+use tep_semantics::RelatednessDetail;
+
+/// How one subscription predicate related to the event, in the best
+/// mapping (or, for rejected pairs, against its most similar tuple).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PredicateExplanation {
+    /// Predicate index within the subscription.
+    pub predicate: usize,
+    /// The predicate's attribute term.
+    pub attribute: String,
+    /// The predicate's value term.
+    pub value: String,
+    /// Index of the event tuple this predicate was paired with: the best
+    /// mapping's assignment, or the row's most similar tuple when no
+    /// valid mapping exists. `None` when the event has no tuples or the
+    /// pairing is unknown (e.g. a matcher without matrix access).
+    pub tuple: Option<usize>,
+    /// The paired tuple's attribute.
+    pub tuple_attribute: Option<String>,
+    /// The paired tuple's value.
+    pub tuple_value: Option<String>,
+    /// The combined attribute/value similarity of the pair (the matrix
+    /// cell the mapping score is a product of).
+    pub similarity: f64,
+    /// Distance/projection evidence for the attribute side, when it was
+    /// scored semantically (`attribute~`).
+    pub attribute_detail: Option<RelatednessDetail>,
+    /// Distance/projection evidence for the value side, when it was
+    /// scored semantically (`value~` under `=`; relational operators
+    /// compare numerically and carry no geometry).
+    pub value_detail: Option<RelatednessDetail>,
+}
+
+/// A full per-predicate account of one match test.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchDetail {
+    /// The matcher's display name.
+    pub matcher: &'static str,
+    /// The best mapping's score (0.0 when no valid mapping exists).
+    pub score: f64,
+    /// Whether a valid mapping exists at all (threshold not considered).
+    pub mapped: bool,
+    /// One entry per subscription predicate, in predicate order.
+    pub predicates: Vec<PredicateExplanation>,
+}
+
+impl MatchDetail {
+    /// Builds the measure-free baseline explanation straight from a
+    /// result: pairings and similarities from the best mapping, no
+    /// geometric detail. This is what matchers without a similarity
+    /// matrix (exact, rewriting) report.
+    pub fn from_result(
+        matcher: &'static str,
+        subscription: &Subscription,
+        event: &Event,
+        result: &MatchResult,
+    ) -> MatchDetail {
+        let best = result.best();
+        let predicates = subscription
+            .predicates()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let corr = best.and_then(|m| m.correspondences().iter().find(|c| c.predicate == i));
+                let tuple = corr.map(|c| c.tuple);
+                let paired = tuple.and_then(|j| event.tuples().get(j));
+                PredicateExplanation {
+                    predicate: i,
+                    attribute: p.attribute().to_string(),
+                    value: p.value().to_string(),
+                    tuple,
+                    tuple_attribute: paired.map(|t| t.attribute().to_string()),
+                    tuple_value: paired.map(|t| t.value().to_string()),
+                    similarity: corr.map_or(0.0, |c| c.similarity),
+                    attribute_detail: None,
+                    value_detail: None,
+                }
+            })
+            .collect();
+        MatchDetail {
+            matcher,
+            score: result.score(),
+            mapped: !result.is_empty(),
+            predicates,
+        }
+    }
+}

@@ -163,6 +163,17 @@ impl<M: Matcher> Matcher for FaultInjectingMatcher<M> {
         "fault-injecting"
     }
 
+    fn explain_match(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        result: &MatchResult,
+    ) -> crate::explain::MatchDetail {
+        // Explanations come from the inner matcher: the wrapper only
+        // decides *whether* a match ran, never how it scored.
+        self.inner.explain_match(subscription, event, result)
+    }
+
     fn prepare_subscription(&self, subscription: &Subscription) {
         self.inner.prepare_subscription(subscription)
     }

@@ -55,6 +55,7 @@
 pub mod assignment;
 mod baselines;
 mod config;
+mod explain;
 mod fault;
 mod mapping;
 mod matcher;
@@ -62,8 +63,9 @@ mod similarity;
 
 pub use baselines::{ExactMatcher, RewritingMatcher};
 pub use config::{Combiner, MatchMode, MatcherConfig};
+pub use explain::{MatchDetail, PredicateExplanation};
 pub use fault::{Fault, FaultConfig, FaultInjectingMatcher};
 pub use mapping::{Correspondence, Mapping, MatchResult};
 pub use matcher::{Matcher, ProbabilisticMatcher};
 pub use similarity::SimilarityMatrix;
-pub use tep_semantics::CacheStats;
+pub use tep_semantics::{CacheStats, RelatednessDetail};

@@ -2,10 +2,11 @@
 
 use crate::assignment::{self, CostMatrix};
 use crate::config::{MatchMode, MatcherConfig};
+use crate::explain::{MatchDetail, PredicateExplanation};
 use crate::mapping::{Correspondence, Mapping, MatchResult};
 use crate::similarity::SimilarityMatrix;
 use std::fmt;
-use tep_events::{Event, Subscription};
+use tep_events::{ComparisonOp, Event, Subscription};
 use tep_semantics::{theme_for_tags, CacheStats, SemanticMeasure};
 
 /// A single-event matcher `M` deciding the semantic relevance between a
@@ -17,6 +18,21 @@ pub trait Matcher: Send + Sync {
     /// A short name for reports ("thematic", "non-thematic", "exact", …).
     fn name(&self) -> &'static str {
         "matcher"
+    }
+
+    /// Explains a result previously produced by
+    /// [`Self::match_event`] for the same pair: per-predicate pairings,
+    /// similarities, and (for semantic matchers) the distances and
+    /// projection dimensionalities behind them. **Off the hot path** —
+    /// called only when explanations are requested; the match itself is
+    /// never re-run. Default: pairings from the result, no geometry.
+    fn explain_match(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        result: &MatchResult,
+    ) -> MatchDetail {
+        MatchDetail::from_result(self.name(), subscription, event, result)
     }
 
     /// Called when `subscription` registers with a broker: lets the
@@ -53,6 +69,14 @@ impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn explain_match(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        result: &MatchResult,
+    ) -> MatchDetail {
+        (**self).explain_match(subscription, event, result)
     }
     fn prepare_subscription(&self, subscription: &Subscription) {
         (**self).prepare_subscription(subscription)
@@ -193,6 +217,70 @@ impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
 
     fn name(&self) -> &'static str {
         self.display_name
+    }
+
+    fn explain_match(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        result: &MatchResult,
+    ) -> MatchDetail {
+        if subscription.predicates().is_empty() || event.tuples().is_empty() {
+            return MatchDetail::from_result(self.display_name, subscription, event, result);
+        }
+        // Rebuild the full (unpruned) matrix: for accepted results this
+        // replays cache-warm cells; for rejected ones it fills in the
+        // rows the pruned hot-path build skipped, so rejections explain
+        // every predicate too.
+        let matrix = self.similarity_matrix(subscription, event);
+        let (_, ths) = theme_for_tags(subscription.theme_tags());
+        let (_, the) = theme_for_tags(event.theme_tags());
+        let (ths, the) = (ths.as_ref(), the.as_ref());
+        let best = result.best();
+        let predicates = subscription
+            .predicates()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Pair with the best mapping's tuple; for rejected pairs,
+                // with the row's most similar tuple.
+                let j = best.and_then(|m| m.tuple_of(i)).unwrap_or_else(|| {
+                    (0..matrix.cols())
+                        .max_by(|&a, &b| {
+                            matrix
+                                .get(i, a)
+                                .partial_cmp(&matrix.get(i, b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap_or(0)
+                });
+                let t = &event.tuples()[j];
+                let attribute_detail = p
+                    .is_attribute_approx()
+                    .then(|| self.measure.explain(p.attribute(), ths, t.attribute(), the));
+                // Mirror the similarity-matrix semantics: the value side
+                // is semantic only for approximate `=` predicates.
+                let value_detail = (p.is_value_approx() && p.op() == ComparisonOp::Eq)
+                    .then(|| self.measure.explain(p.value(), ths, t.value(), the));
+                PredicateExplanation {
+                    predicate: i,
+                    attribute: p.attribute().to_string(),
+                    value: p.value().to_string(),
+                    tuple: Some(j),
+                    tuple_attribute: Some(t.attribute().to_string()),
+                    tuple_value: Some(t.value().to_string()),
+                    similarity: matrix.get(i, j),
+                    attribute_detail,
+                    value_detail,
+                }
+            })
+            .collect();
+        MatchDetail {
+            matcher: self.display_name,
+            score: result.score(),
+            mapped: !result.is_empty(),
+            predicates,
+        }
     }
 
     fn prepare_subscription(&self, subscription: &Subscription) {
@@ -397,6 +485,98 @@ mod tests {
         // Optimal: p0↔x (0.81), p1↔y (0.04) beats p0↔y (0.04), p1↔x (0.64).
         assert_eq!(t0, 0);
         assert_eq!(t1, 1);
+    }
+
+    #[test]
+    fn explain_matches_the_accepted_mapping() {
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        let sub = paper_subscription();
+        let event = paper_event();
+        let r = m.match_event(&sub, &event);
+        let d = m.explain_match(&sub, &event, &r);
+        assert!(d.mapped);
+        assert_eq!(d.matcher, "probabilistic");
+        assert!((d.score - r.score()).abs() < 1e-12);
+        assert_eq!(d.predicates.len(), 3);
+        // Pairings mirror the best mapping.
+        assert_eq!(d.predicates[0].tuple, Some(0));
+        assert_eq!(d.predicates[1].tuple, Some(2));
+        assert_eq!(d.predicates[2].tuple, Some(3));
+        // Per-predicate similarities multiply back into the score.
+        let product: f64 = d.predicates.iter().map(|p| p.similarity).product();
+        assert!((product - r.score()).abs() < 1e-9);
+        // Predicate 0 (`type` approx value) has value geometry only;
+        // predicate 1 (full approx) has both; predicate 2 (exact) none.
+        assert!(d.predicates[0].attribute_detail.is_none());
+        assert!(d.predicates[0].value_detail.is_some());
+        assert!(d.predicates[1].attribute_detail.is_some());
+        assert!(d.predicates[1].value_detail.is_some());
+        assert!(d.predicates[2].attribute_detail.is_none());
+        assert!(d.predicates[2].value_detail.is_none());
+        assert_eq!(
+            d.predicates[1].tuple_attribute.as_deref(),
+            Some("device"),
+            "paired tuple text is carried along"
+        );
+        // StubMeasure uses the default explain: score only, no distance.
+        let vd = d.predicates[0].value_detail.unwrap();
+        assert!((vd.score - 0.9).abs() < 1e-12);
+        assert_eq!(vd.distance, None);
+    }
+
+    #[test]
+    fn explain_covers_rejections_with_best_rows() {
+        // The exact predicate fails → no mapping; the explanation still
+        // pairs every predicate with its most similar tuple.
+        let s = Subscription::builder()
+            .predicate_approx_value("type", "increased energy usage event")
+            .predicate_exact("office", "room 999")
+            .build()
+            .unwrap();
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        let event = paper_event();
+        let r = m.match_event(&s, &event);
+        assert!(r.is_empty());
+        let d = m.explain_match(&s, &event, &r);
+        assert!(!d.mapped);
+        assert_eq!(d.score, 0.0);
+        assert_eq!(d.predicates.len(), 2);
+        // Row argmax: the type predicate's best tuple is tuple 0 (0.9).
+        assert_eq!(d.predicates[0].tuple, Some(0));
+        assert!((d.predicates[0].similarity - 0.9).abs() < 1e-12);
+        // The failed exact row reports a zero similarity.
+        assert_eq!(d.predicates[1].similarity, 0.0);
+    }
+
+    #[test]
+    fn default_explain_reports_pairings_without_geometry() {
+        use crate::baselines::ExactMatcher;
+        let m = ExactMatcher::new();
+        let s = Subscription::builder()
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap();
+        let event = paper_event();
+        let r = m.match_event(&s, &event);
+        assert!(!r.is_empty());
+        let d = m.explain_match(&s, &event, &r);
+        assert!(d.mapped);
+        assert_eq!(d.predicates.len(), 1);
+        assert_eq!(d.predicates[0].tuple, Some(3), "office ↔ office");
+        assert_eq!(d.predicates[0].similarity, 1.0);
+        assert!(d.predicates[0].attribute_detail.is_none());
+        assert!(d.predicates[0].value_detail.is_none());
+
+        // A rejected pair through the default path: no pairing is known.
+        let miss = Subscription::builder()
+            .predicate_exact("office", "room 999")
+            .build()
+            .unwrap();
+        let r = m.match_event(&miss, &event);
+        let d = m.explain_match(&miss, &event, &r);
+        assert!(!d.mapped);
+        assert_eq!(d.predicates[0].tuple, None);
+        assert_eq!(d.predicates[0].similarity, 0.0);
     }
 
     #[test]

@@ -15,7 +15,14 @@
 //!   histogram snapshots rendering both the Prometheus text exposition
 //!   format and a JSON document;
 //! * [`TraceRing`] — a bounded MPMC ring buffer keeping the last N
-//!   per-event traces for debugging routing decisions.
+//!   per-event traces for debugging routing decisions;
+//! * [`SpanCollector`] / [`SpanRecord`] / [`span_tree`] — causal
+//!   parent/child spans with deterministic 1-in-k sampling, so one
+//!   event's publish → route → match → deliver journey reconstructs as
+//!   a tree;
+//! * [`serve`] / [`ScrapeHandlers`] — a single-threaded blocking HTTP
+//!   scrape server (std `TcpListener`) exposing `/metrics`, `/healthz`,
+//!   and `/explain`.
 //!
 //! The crate is intentionally free of tep dependencies so any layer
 //! (semantics, matcher, broker, bench) can use it without cycles.
@@ -23,10 +30,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod escape;
 mod hist;
 mod registry;
+mod serve;
+mod span;
 mod trace;
 
+pub use escape::{escape_json, is_valid_label_name, is_valid_metric_name};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use registry::MetricsRegistry;
+pub use serve::{serve, ScrapeHandlers, ScrapeServer};
+pub use span::{render_spans_json, span_tree, SpanCollector, SpanNode, SpanRecord};
 pub use trace::TraceRing;

@@ -1,7 +1,13 @@
 //! A flat metrics registry with Prometheus-text and JSON rendering.
 
+use crate::escape::{
+    escape_help, escape_json, escape_label_value, is_valid_label_name, is_valid_metric_name,
+};
 use crate::hist::HistogramSnapshot;
 use std::fmt::Write as _;
+
+/// Label pairs attached to one sample (empty for unlabeled metrics).
+type Labels = Vec<(String, String)>;
 
 /// A point-in-time collection of named metrics, built by the component
 /// that owns the counters (e.g. the broker) and rendered to either the
@@ -13,16 +19,73 @@ use std::fmt::Write as _;
 /// Conventions follow Prometheus: counters end in `_total`, histograms
 /// are recorded in nanoseconds but exposed in **seconds** with
 /// cumulative `le` buckets, plus `_sum` and `_count` series.
+///
+/// Metric and label names are validated at registration time (invalid
+/// names panic — they are programming errors, not data) and label
+/// values are escaped on render, so no registered sample can corrupt
+/// the scrape text. Several samples may share a metric name as long as
+/// their label sets differ; `# HELP`/`# TYPE` headers are emitted once
+/// per name.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Vec<(String, String, u64)>,
-    gauges: Vec<(String, String, f64)>,
+    counters: Vec<(String, String, Labels, u64)>,
+    gauges: Vec<(String, String, Labels, f64)>,
     histograms: Vec<(String, String, HistogramSnapshot)>,
 }
 
 /// Renders a nanosecond value as a Prometheus seconds literal.
 fn secs(nanos: u64) -> String {
     format!("{}", nanos as f64 / 1e9)
+}
+
+/// Panics unless `name` is a valid Prometheus metric name.
+fn check_metric_name(name: &str) {
+    assert!(
+        is_valid_metric_name(name),
+        "invalid Prometheus metric name: {name:?}"
+    );
+}
+
+/// Validates label names and clones the pairs into owned storage.
+fn check_labels(metric: &str, labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(
+                is_valid_label_name(k),
+                "invalid Prometheus label name {k:?} on metric {metric:?}"
+            );
+            (k.to_string(), v.to_string())
+        })
+        .collect()
+}
+
+/// Renders `name{k="v",...}` with label values escaped (bare `name`
+/// when the label set is empty).
+fn series(name: &str, labels: &Labels) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Writes the `# HELP`/`# TYPE` header once per metric name.
+fn header(out: &mut String, emitted: &mut Vec<String>, name: &str, help: &str, kind: &str) {
+    if emitted.iter().any(|n| n == name) {
+        return;
+    }
+    emitted.push(name.to_string());
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
 impl MetricsRegistry {
@@ -32,19 +95,64 @@ impl MetricsRegistry {
     }
 
     /// Adds a monotone counter.
+    ///
+    /// # Panics
+    /// If `name` is not a valid Prometheus metric name.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
-        self.counters.push((name.into(), help.into(), value));
+        self.counter_with(name, help, &[], value)
+    }
+
+    /// Adds a monotone counter carrying label pairs. The same metric
+    /// name may be registered repeatedly with different label sets.
+    ///
+    /// # Panics
+    /// If `name` or any label name is invalid; label *values* are
+    /// arbitrary and escaped on render.
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) -> &mut Self {
+        check_metric_name(name);
+        let labels = check_labels(name, labels);
+        self.counters
+            .push((name.into(), help.into(), labels, value));
         self
     }
 
     /// Adds a gauge (a value that can go both ways).
+    ///
+    /// # Panics
+    /// If `name` is not a valid Prometheus metric name.
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
-        self.gauges.push((name.into(), help.into(), value));
+        self.gauge_with(name, help, &[], value)
+    }
+
+    /// Adds a gauge carrying label pairs.
+    ///
+    /// # Panics
+    /// If `name` or any label name is invalid.
+    pub fn gauge_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut Self {
+        check_metric_name(name);
+        let labels = check_labels(name, labels);
+        self.gauges.push((name.into(), help.into(), labels, value));
         self
     }
 
     /// Adds a latency histogram snapshot (nanosecond-valued).
+    ///
+    /// # Panics
+    /// If `name` is not a valid Prometheus metric name.
     pub fn histogram(&mut self, name: &str, help: &str, snap: HistogramSnapshot) -> &mut Self {
+        check_metric_name(name);
         self.histograms.push((name.into(), help.into(), snap));
         self
     }
@@ -52,19 +160,17 @@ impl MetricsRegistry {
     /// The Prometheus text exposition document.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, help, value) in &self.counters {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+        let mut emitted: Vec<String> = Vec::new();
+        for (name, help, labels, value) in &self.counters {
+            header(&mut out, &mut emitted, name, help, "counter");
+            let _ = writeln!(out, "{} {value}", series(name, labels));
         }
-        for (name, help, value) in &self.gauges {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+        for (name, help, labels, value) in &self.gauges {
+            header(&mut out, &mut emitted, name, help, "gauge");
+            let _ = writeln!(out, "{} {value}", series(name, labels));
         }
         for (name, help, snap) in &self.histograms {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            header(&mut out, &mut emitted, name, help, "histogram");
             let mut cumulative = 0u64;
             for (upper_ns, count) in snap.nonzero_buckets() {
                 cumulative += count;
@@ -82,17 +188,20 @@ impl MetricsRegistry {
     }
 
     /// A JSON document with counters, gauges, and per-histogram
-    /// percentile summaries (nanosecond units, suffixed `_ns`).
+    /// percentile summaries (nanosecond units, suffixed `_ns`). Labeled
+    /// samples are keyed by their full `name{k="v"}` series string.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
-        for (i, (name, _, value)) in self.counters.iter().enumerate() {
+        for (i, (name, _, labels, value)) in self.counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+            let key = escape_json(&series(name, labels));
+            let _ = write!(out, "{sep}\n    \"{key}\": {value}");
         }
         out.push_str("\n  },\n  \"gauges\": {");
-        for (i, (name, _, value)) in self.gauges.iter().enumerate() {
+        for (i, (name, _, labels, value)) in self.gauges.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+            let key = escape_json(&series(name, labels));
+            let _ = write!(out, "{sep}\n    \"{key}\": {value}");
         }
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, (name, _, snap)) in self.histograms.iter().enumerate() {
@@ -160,6 +269,65 @@ mod tests {
     }
 
     #[test]
+    fn labeled_counters_share_one_header_and_escape_values() {
+        let mut r = MetricsRegistry::new();
+        r.counter_with(
+            "tep_dropped_total",
+            "Dropped, by reason.",
+            &[("reason", "full")],
+            3,
+        )
+        .counter_with(
+            "tep_dropped_total",
+            "Dropped, by reason.",
+            &[("reason", "dis\\connec\"ted\nx")],
+            1,
+        );
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE tep_dropped_total counter").count(),
+            1,
+            "one TYPE header per metric name"
+        );
+        assert_eq!(text.matches("# HELP tep_dropped_total").count(), 1);
+        assert!(text.contains("tep_dropped_total{reason=\"full\"} 3"));
+        // Backslash, quote, and newline are escaped per the exposition
+        // format, keeping the document line-oriented.
+        assert!(
+            text.contains("tep_dropped_total{reason=\"dis\\\\connec\\\"ted\\nx\"} 1"),
+            "escaped label value missing:\n{text}"
+        );
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let mut r = MetricsRegistry::new();
+        r.counter("x_total", "multi\nline \\ help", 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP x_total multi\\nline \\\\ help"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn invalid_metric_name_is_rejected_at_registration() {
+        MetricsRegistry::new().counter("bad name", "help", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus label name")]
+    fn invalid_label_name_is_rejected_at_registration() {
+        MetricsRegistry::new().counter_with("ok_total", "help", &[("bad-label", "v")], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn invalid_histogram_name_is_rejected_at_registration() {
+        MetricsRegistry::new().histogram("no newlines\nhere", "help", HistogramSnapshot::empty());
+    }
+
+    #[test]
     fn json_export_contains_percentiles() {
         let json = registry().render_json();
         assert!(json.contains("\"tep_published_total\": 42"));
@@ -167,6 +335,22 @@ mod tests {
         assert!(json.contains("\"count\": 3"));
         assert!(json.contains("\"p99_ns\""));
         // Braces balance (cheap well-formedness check without a parser).
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_export_escapes_labeled_series_keys() {
+        let mut r = MetricsRegistry::new();
+        r.counter_with("d_total", "h", &[("reason", "a\"b")], 7);
+        let json = r.render_json();
+        // The series key `d_total{reason="a\"b"}` must itself be
+        // JSON-escaped inside the document.
+        assert!(
+            json.contains("\"d_total{reason=\\\"a\\\\\\\"b\\\"}\": 7"),
+            "{json}"
+        );
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close);

@@ -1,0 +1,275 @@
+//! A dependency-free blocking HTTP scrape server.
+//!
+//! One `std::net::TcpListener` on one thread, serving three read-only
+//! endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition,
+//! * `GET /healthz` — liveness JSON (supervisor state, quarantine depth),
+//! * `GET /explain` — JSON array of recent match explanations.
+//!
+//! The handlers are plain closures supplied by the embedding process, so
+//! this crate stays free of tep dependencies and the broker stays free
+//! of networking. Requests are served sequentially — a scrape endpoint
+//! is polled by one Prometheus server every few seconds, not by a
+//! crowd — which keeps the implementation at one thread, zero
+//! dependencies, and no connection bookkeeping.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-request read timeout: a scraper that stalls mid-request must not
+/// wedge the single serving thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Upper bound on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+type Handler = Box<dyn Fn() -> String + Send + Sync>;
+
+/// The three endpoint bodies, produced on demand by the embedder.
+pub struct ScrapeHandlers {
+    metrics: Handler,
+    healthz: Handler,
+    explain: Handler,
+}
+
+impl ScrapeHandlers {
+    /// Bundles the `/metrics`, `/healthz`, and `/explain` body
+    /// producers. Each is called once per matching request, on the
+    /// serving thread.
+    pub fn new(
+        metrics: impl Fn() -> String + Send + Sync + 'static,
+        healthz: impl Fn() -> String + Send + Sync + 'static,
+        explain: impl Fn() -> String + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        ScrapeHandlers {
+            metrics: Box::new(metrics),
+            healthz: Box::new(healthz),
+            explain: Box::new(explain),
+        }
+    }
+}
+
+impl fmt::Debug for ScrapeHandlers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScrapeHandlers").finish_non_exhaustive()
+    }
+}
+
+/// A running scrape server; dropping (or calling
+/// [`ScrapeServer::shutdown`]) stops the serving thread.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// The bound address (useful with port 0, which picks a free port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it with one throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:9900"`, port 0 for an ephemeral port)
+/// and serves the scrape endpoints on a background thread until the
+/// returned [`ScrapeServer`] is shut down or dropped.
+pub fn serve(addr: impl ToSocketAddrs, handlers: ScrapeHandlers) -> io::Result<ScrapeServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("tep-scrape".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = handle_connection(&mut stream, &handlers);
+            }
+        })?;
+    Ok(ScrapeServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Reads the request head and writes one response.
+fn handle_connection(stream: &mut TcpStream, handlers: &ScrapeHandlers) -> io::Result<()> {
+    let head = read_request_head(stream)?;
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore any query string: `/metrics?x=1` still scrapes.
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                (handlers.metrics)(),
+            ),
+            "/healthz" => ("200 OK", "application/json", (handlers.healthz)()),
+            "/explain" => ("200 OK", "application/json", (handlers.explain)()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics, /healthz, /explain\n".to_string(),
+            ),
+        }
+    };
+
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> ScrapeServer {
+        serve(
+            "127.0.0.1:0",
+            ScrapeHandlers::new(
+                || "# TYPE t_total counter\nt_total 1\n".to_string(),
+                || "{\"status\":\"ok\"}".to_string(),
+                || "[]".to_string(),
+            ),
+        )
+        .expect("bind ephemeral port")
+    }
+
+    fn request(addr: SocketAddr, head: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(head.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    #[test]
+    fn serves_all_three_endpoints() {
+        let server = start();
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(metrics.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(metrics.ends_with("t_total 1\n"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(health.contains("Content-Type: application/json"));
+        assert!(health.ends_with("{\"status\":\"ok\"}"));
+
+        let explain = get(addr, "/explain?limit=5");
+        assert!(explain.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(explain.ends_with("[]"), "query string is ignored");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let server = start();
+        let addr = server.local_addr();
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404 Not Found\r\n"));
+        let post = request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let server = start();
+        let resp = get(server.local_addr(), "/healthz");
+        let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_stops_the_server() {
+        let server = start();
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released: either connects are refused or a fresh
+        // bind on the same port succeeds.
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+                || TcpListener::bind(addr).is_ok()
+        );
+    }
+}

@@ -48,7 +48,8 @@ pub use intern::{
     intern_term, intern_theme, resolve_term, resolve_theme, theme_for_tags, TermId, ThemeId,
 };
 pub use measure::{
-    CachedMeasure, EsaMeasure, PrecomputedMeasure, SemanticMeasure, ThematicEsaMeasure,
+    CachedMeasure, EsaMeasure, PrecomputedMeasure, RelatednessDetail, SemanticMeasure,
+    ThematicEsaMeasure,
 };
 pub use projection::ThemeBasis;
 pub use pvsm::{ParametricVectorSpace, PvsmCacheStats};

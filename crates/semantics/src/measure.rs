@@ -9,6 +9,44 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// A relatedness score together with the geometric evidence behind it,
+/// for explainability: the raw distance the score was derived from (Eq.
+/// 6) and the dimensionality of each side's vector before and after
+/// theme projection.
+///
+/// `distance` is `None` when no distance was taken — equal terms
+/// short-circuit to `1.0`, zero projections to `0.0`, and non-geometric
+/// measures (e.g. [`PrecomputedMeasure`]) never take one. Dimensionality
+/// fields are zero for measures without vector representations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RelatednessDetail {
+    /// The relatedness score, identical to what
+    /// [`SemanticMeasure::relatedness`] returns for the same arguments.
+    pub score: f64,
+    /// Euclidean distance between the (normalized, projected) vectors,
+    /// when the geometric path was taken.
+    pub distance: Option<f64>,
+    /// Non-zero dimensions of the subscription term's full-space vector.
+    pub dims_full_s: usize,
+    /// Non-zero dimensions of the event term's full-space vector.
+    pub dims_full_e: usize,
+    /// Non-zero dimensions of the subscription term's projected vector.
+    pub dims_projected_s: usize,
+    /// Non-zero dimensions of the event term's projected vector.
+    pub dims_projected_e: usize,
+}
+
+impl RelatednessDetail {
+    /// A score-only detail (no geometry), for measures that don't keep
+    /// vector representations.
+    pub fn score_only(score: f64) -> RelatednessDetail {
+        RelatednessDetail {
+            score,
+            ..RelatednessDetail::default()
+        }
+    }
+}
+
 /// The paper's semantic measure
 /// `sm : T × 2^TH × T × 2^TH → [0, 1]` (§4.3): relatedness between a
 /// subscription-side term and an event-side term, each contextualized by
@@ -20,6 +58,21 @@ use std::sync::Arc;
 pub trait SemanticMeasure: Send + Sync + fmt::Debug {
     /// Semantic relatedness in `[0, 1]`.
     fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64;
+
+    /// The relatedness score plus the evidence behind it, for
+    /// explainability. **Off the hot path** — implementations may
+    /// recompute vectors; the contract is only that `explain(..).score`
+    /// equals `relatedness(..)` for the same arguments. Default: score
+    /// with no geometry.
+    fn explain(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> RelatednessDetail {
+        RelatednessDetail::score_only(self.relatedness(term_s, theme_s, term_e, theme_e))
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str {
@@ -54,6 +107,15 @@ pub trait SemanticMeasure: Send + Sync + fmt::Debug {
 impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
     fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
         (**self).relatedness(term_s, theme_s, term_e, theme_e)
+    }
+    fn explain(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> RelatednessDetail {
+        (**self).explain(term_s, theme_s, term_e, theme_e)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -97,6 +159,31 @@ impl SemanticMeasure for EsaMeasure {
             return 1.0;
         }
         self.space.relatedness(term_s, term_e)
+    }
+
+    fn explain(&self, term_s: &str, _ths: &Theme, term_e: &str, _the: &Theme) -> RelatednessDetail {
+        // Non-thematic: "projection" is the identity, so the projected
+        // dimensionality equals the full-space one.
+        let vs = self.space.term_vector_normalized(term_s);
+        let ve = self.space.term_vector_normalized(term_e);
+        let mut detail = RelatednessDetail {
+            score: 0.0,
+            distance: None,
+            dims_full_s: vs.nnz(),
+            dims_full_e: ve.nnz(),
+            dims_projected_s: vs.nnz(),
+            dims_projected_e: ve.nnz(),
+        };
+        // The same short-circuit order as `relatedness`, so the score is
+        // bit-identical.
+        if term_s == term_e {
+            detail.score = 1.0;
+        } else if !vs.is_zero() && !ve.is_zero() {
+            let d = vs.euclidean_distance(&ve);
+            detail.distance = Some(d);
+            detail.score = crate::space::relatedness_from_distance(d);
+        }
+        detail
     }
 
     fn name(&self) -> &'static str {
@@ -143,6 +230,17 @@ impl ThematicEsaMeasure {
 impl SemanticMeasure for ThematicEsaMeasure {
     fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
         self.pvsm.relatedness(term_s, theme_s, term_e, theme_e)
+    }
+
+    fn explain(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> RelatednessDetail {
+        self.pvsm
+            .explain_relatedness(term_s, theme_s, term_e, theme_e)
     }
 
     fn name(&self) -> &'static str {
@@ -258,6 +356,19 @@ impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
         self.cache.get_or_insert_with(&key, || {
             self.inner.relatedness(term_s, theme_s, term_e, theme_e)
         })
+    }
+
+    fn explain(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> RelatednessDetail {
+        // Bypass the score memo: explanations need the geometry, which
+        // the memo doesn't keep. The inner measure is deterministic, so
+        // the score still matches what the memoized path returned.
+        self.inner.explain(term_s, theme_s, term_e, theme_e)
     }
 
     fn name(&self) -> &'static str {
@@ -483,6 +594,85 @@ mod tests {
         let from_table = pre.relatedness("parking", &e, "garage", &e);
         let direct = inner.relatedness("parking", &e, "garage", &e);
         assert!((from_table - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_score_is_bit_identical_to_relatedness() {
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&Corpus::generate(&CorpusConfig::small())),
+        )));
+        let thematic = ThematicEsaMeasure::new(Arc::clone(&pvsm));
+        let esa = EsaMeasure::new(Arc::new(DistributionalSpace::new(InvertedIndex::build(
+            &Corpus::generate(&CorpusConfig::small()),
+        ))));
+        let th = Theme::new(["energy policy"]);
+        let e = Theme::empty();
+        let pairs = [
+            ("energy consumption", "electricity usage"),
+            ("parking", "garage"),
+            ("energy consumption", "energy consumption"),
+            ("no such term at all", "garage"),
+        ];
+        for (a, b) in pairs {
+            for (ths, the) in [(&th, &th), (&e, &th), (&e, &e)] {
+                let d = thematic.explain(a, ths, b, the);
+                assert_eq!(
+                    d.score.to_bits(),
+                    thematic.relatedness(a, ths, b, the).to_bits(),
+                    "thematic explain({a:?}, {b:?}) must reproduce the score"
+                );
+            }
+            let d = esa.explain(a, &e, b, &e);
+            assert_eq!(d.score.to_bits(), esa.relatedness(a, &e, b, &e).to_bits());
+        }
+    }
+
+    #[test]
+    fn explain_reports_distance_and_projection_dims() {
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&Corpus::generate(&CorpusConfig::small())),
+        )));
+        let m = ThematicEsaMeasure::new(pvsm);
+        let th = Theme::new(["energy policy"]);
+        let d = m.explain("energy consumption", &th, "electricity usage", &th);
+        let dist = d.distance.expect("distinct known terms take a distance");
+        assert!((d.score - 1.0 / (dist + 1.0)).abs() < 1e-12, "Eq. 6 holds");
+        assert!(d.dims_full_s > 0 && d.dims_full_e > 0);
+        assert!(
+            d.dims_projected_s <= d.dims_full_s,
+            "projection can only drop dimensions"
+        );
+        assert!(d.dims_projected_e <= d.dims_full_e);
+
+        // Equal terms short-circuit: score 1.0, no distance taken.
+        let eq = m.explain("energy consumption", &th, "energy consumption", &th);
+        assert_eq!(eq.score, 1.0);
+        assert_eq!(eq.distance, None);
+
+        // Unknown terms project to zero: score 0.0, no distance taken.
+        let unk = m.explain("zzz qqq xxx", &th, "electricity usage", &th);
+        assert_eq!(unk.score, 0.0);
+        assert_eq!(unk.distance, None);
+        assert_eq!(unk.dims_projected_s, 0);
+    }
+
+    #[test]
+    fn cached_and_precomputed_explain_fall_back_sensibly() {
+        let cached = CachedMeasure::new(EsaMeasure::new(space()));
+        let e = Theme::empty();
+        // Warm the memo, then explain: scores agree through the cache.
+        let hot = cached.relatedness("parking", &e, "garage", &e);
+        let d = cached.explain("parking", &e, "garage", &e);
+        assert_eq!(d.score.to_bits(), hot.to_bits());
+        assert!(d.distance.is_some());
+
+        // Precomputed has no geometry: default explain, score only.
+        let mut pre = PrecomputedMeasure::new(0.1);
+        pre.insert("laptop", "computer", 0.9);
+        let d = pre.explain("laptop", &e, "computer", &e);
+        assert_eq!(d.score, 0.9);
+        assert_eq!(d.distance, None);
+        assert_eq!((d.dims_full_s, d.dims_projected_s), (0, 0));
     }
 
     #[test]

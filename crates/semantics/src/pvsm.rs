@@ -1,6 +1,7 @@
 //! The Parametric Vector Space Model (paper §4) with memoization.
 
 use crate::intern::{intern_term, intern_theme, resolve_term, resolve_theme, TermId, ThemeId};
+use crate::measure::RelatednessDetail;
 use crate::projection::ThemeBasis;
 use crate::shard::{CacheStats, ShardedCache};
 use crate::space::{relatedness_from_distance, DistributionalSpace};
@@ -210,6 +211,42 @@ impl ParametricVectorSpace {
             return 0.0;
         }
         relatedness_from_distance(vs.euclidean_distance(&ve))
+    }
+
+    /// [`Self::relatedness`] plus the evidence behind the score: the raw
+    /// distance (when the geometric path was taken) and each side's
+    /// dimensionality before and after theme projection.
+    ///
+    /// Off the hot path: the full-space vectors are recomputed rather
+    /// than cached (only projections are memoized), but the score comes
+    /// from the same normalized projections the hot path uses, so it is
+    /// bit-identical to [`Self::relatedness`].
+    pub fn explain_relatedness(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> RelatednessDetail {
+        let vs = self.project_normalized(term_s, theme_s);
+        let ve = self.project_normalized(term_e, theme_e);
+        let mut detail = RelatednessDetail {
+            score: 0.0,
+            distance: None,
+            dims_full_s: self.space.term_vector(term_s).nnz(),
+            dims_full_e: self.space.term_vector(term_e).nnz(),
+            dims_projected_s: vs.nnz(),
+            dims_projected_e: ve.nnz(),
+        };
+        // Same short-circuit order as `relatedness`.
+        if term_s == term_e {
+            detail.score = 1.0;
+        } else if !vs.is_zero() && !ve.is_zero() {
+            let d = vs.euclidean_distance(&ve);
+            detail.distance = Some(d);
+            detail.score = relatedness_from_distance(d);
+        }
+        detail
     }
 
     /// Number of cached theme bases, raw projections, and normalized

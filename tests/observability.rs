@@ -1,5 +1,6 @@
 //! Integration tests for the pipeline observability layer: stage latency
-//! histograms, the metrics registry export, and the per-event trace ring.
+//! histograms, the metrics registry export, the per-event trace ring,
+//! match explanations, causal span trees, and the scrape endpoints.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -7,6 +8,20 @@ use tep::prelude::*;
 
 fn exact_broker(config: BrokerConfig) -> Broker {
     Broker::start(Arc::new(ExactMatcher::new()), config)
+}
+
+fn thematic_broker(config: BrokerConfig) -> Broker {
+    let corpus = Corpus::generate(&CorpusConfig::small().with_num_docs(900));
+    let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+        InvertedIndex::build(&corpus),
+    )));
+    Broker::start(
+        Arc::new(ProbabilisticMatcher::new(
+            ThematicEsaMeasure::new(pvsm),
+            MatcherConfig::top1(),
+        )),
+        config,
+    )
 }
 
 /// Under no-fault, no-overload conditions the stage histogram counts are
@@ -266,4 +281,382 @@ fn trace_flags_quarantined_events() {
     assert_eq!(traces[0].notifications, 0);
     let _ = std::panic::take_hook();
     b.shutdown();
+}
+
+/// With the explain ring enabled, every match test — accepted or
+/// rejected — leaves a full explanation: score vs. threshold, themes,
+/// cache temperature, and per-predicate distances with the PVSM
+/// projection dimensionalities.
+#[test]
+fn explain_last_reports_accepted_and_rejected_tests() {
+    let b = thematic_broker(
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_explain_capacity(64),
+    );
+    let (hit, _hit_rx) = b
+        .subscribe(
+            parse_subscription(
+                "({energy policy, building energy}, {type~= increased energy usage event~})",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let (miss, _miss_rx) = b
+        .subscribe(parse_subscription("{kind= other}").unwrap())
+        .unwrap();
+    let event = parse_event(
+        "({energy policy, building energy}, \
+         {type: increased energy consumption event, device: kettle})",
+    )
+    .unwrap();
+    b.publish(event.clone()).unwrap();
+    b.flush().unwrap();
+
+    let explanations = b.explain_last(16);
+    assert_eq!(explanations.len(), 2, "one explanation per match test");
+
+    let accepted = explanations.iter().find(|e| e.subscription == hit).unwrap();
+    assert!(accepted.is_accepted());
+    assert_eq!(accepted.outcome, MatchOutcome::Delivered);
+    assert!(
+        (accepted.threshold - 0.25).abs() < 1e-9,
+        "the default delivery threshold is recorded"
+    );
+    assert!(accepted.score >= accepted.threshold);
+    assert_eq!(
+        accepted.temperature,
+        CacheTemperature::ThematicCold,
+        "first sight of the event vocabulary pays cache misses"
+    );
+    assert!(accepted
+        .subscription_themes
+        .iter()
+        .any(|t| t == "energy policy"));
+    assert!(accepted.event_themes.iter().any(|t| t == "building energy"));
+    let detail = accepted
+        .detail
+        .as_ref()
+        .expect("ring explanations carry full per-predicate detail");
+    assert!(detail.mapped);
+    let p = detail
+        .predicates
+        .iter()
+        .find(|p| p.attribute == "type")
+        .expect("the type predicate is explained");
+    let vd = p
+        .value_detail
+        .as_ref()
+        .expect("an approximate predicate explains its value relatedness");
+    assert!(
+        vd.distance.is_some(),
+        "the raw distance behind 1/(1+d) is exposed"
+    );
+    assert!(
+        vd.dims_projected_s <= vd.dims_full_s,
+        "thematic projection may only shrink the PVSM dimensionality"
+    );
+
+    let rejected = explanations
+        .iter()
+        .find(|e| e.subscription == miss)
+        .unwrap();
+    assert!(!rejected.is_accepted());
+    assert_eq!(
+        rejected.temperature,
+        CacheTemperature::Exact,
+        "an exact-only subscription never touches the semantic caches"
+    );
+
+    // Re-publishing the same event serves the vocabulary from warm
+    // caches, and the explanation says so.
+    for _ in 0..5 {
+        b.publish(event.clone()).unwrap();
+    }
+    b.flush().unwrap();
+    let warm = b.explain_last(4);
+    let last = warm.iter().rfind(|e| e.subscription == hit).unwrap();
+    assert_eq!(last.temperature, CacheTemperature::CacheWarm);
+    b.shutdown();
+}
+
+/// Explanations attach to notifications only for subscribers that opted
+/// in via [`SubscribeOptions::explained`]; the ring stays independent.
+#[test]
+fn subscribe_with_attaches_explanations_only_when_opted_in() {
+    let b = exact_broker(BrokerConfig::default().with_workers(1));
+    let (_, plain_rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    let (_, rich_rx) = b
+        .subscribe_with(
+            parse_subscription("{k= v}").unwrap(),
+            SubscribeOptions::explained(),
+        )
+        .unwrap();
+    b.publish(parse_event("{k: v}").unwrap()).unwrap();
+    b.flush().unwrap();
+
+    let plain = plain_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(plain.explanation.is_none(), "explanations are opt-in");
+    let rich = rich_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    let e = rich
+        .explanation
+        .expect("the opted-in subscriber gets the explanation");
+    assert_eq!(e.outcome, MatchOutcome::Delivered);
+    assert_eq!(e.temperature, CacheTemperature::Exact);
+    assert!(e.detail.is_some());
+    assert!(
+        b.explain_last(8).is_empty(),
+        "notification explanations do not require the ring"
+    );
+    b.shutdown();
+}
+
+/// A sampled event's journey reconstructs as a causal tree:
+/// publish → route → match → deliver.
+#[test]
+fn span_tree_reconstructs_an_event_journey() {
+    let b = exact_broker(
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_span_sampling(1)
+            .with_span_capacity(64),
+    );
+    let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    b.publish(parse_event("{k: v}").unwrap()).unwrap();
+    b.flush().unwrap();
+
+    let tree = b.span_tree(0);
+    assert_eq!(tree.len(), 1, "one root: the publish span");
+    let publish = &tree[0];
+    assert_eq!(publish.record.name, "publish");
+    assert_eq!(publish.record.seq, 0);
+    assert_eq!(publish.size(), 4, "publish → route → match → deliver");
+    assert_eq!(publish.children.len(), 1);
+    let route = &publish.children[0];
+    assert_eq!(route.record.name, "route");
+    let match_span = route
+        .children
+        .iter()
+        .find(|n| n.record.name == "match")
+        .expect("the match test is spanned");
+    assert_eq!(match_span.children.len(), 1);
+    assert_eq!(match_span.children[0].record.name, "deliver");
+    b.shutdown();
+}
+
+/// `with_span_sampling(k)` samples exactly the events whose sequence
+/// number is a multiple of k — deterministic, not probabilistic.
+#[test]
+fn span_sampling_is_deterministic_one_in_k() {
+    let b = exact_broker(
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_span_sampling(3)
+            .with_span_capacity(256),
+    );
+    let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    for i in 0..9 {
+        b.publish(parse_event(&format!("{{k: v, i: n{i}}}")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+
+    let mut sampled: Vec<u64> = b.spans().iter().map(|s| s.seq).collect();
+    sampled.sort_unstable();
+    sampled.dedup();
+    assert_eq!(sampled, vec![0, 3, 6]);
+    for seq in [0, 3, 6] {
+        assert_eq!(
+            b.span_tree(seq).len(),
+            1,
+            "each sampled event has a complete tree"
+        );
+    }
+    for seq in [1, 2, 4, 5, 7, 8] {
+        assert!(b.span_tree(seq).is_empty());
+    }
+    b.shutdown();
+}
+
+/// A quarantined event's explanations carry the panic reason, and its
+/// span tree ends in a quarantine leaf.
+#[test]
+fn quarantined_explanations_carry_the_panic_reason() {
+    /// Panics on every event.
+    #[derive(Debug)]
+    struct BoomMatcher;
+    impl Matcher for BoomMatcher {
+        fn match_event(&self, _subscription: &Subscription, _event: &Event) -> MatchResult {
+            panic!("injected observability fault");
+        }
+    }
+    // Silence the injected panic in test output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected observability fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let config = BrokerConfig::default()
+        .with_workers(1)
+        .with_max_match_attempts(2)
+        .with_explain_capacity(16)
+        .with_span_sampling(1);
+    let b = Broker::start(Arc::new(BoomMatcher), config);
+    let (_, _rx) = b.subscribe(parse_subscription("{k= ok}").unwrap()).unwrap();
+    b.publish(parse_event("{k: boom}").unwrap()).unwrap();
+    b.flush_timeout(Duration::from_secs(10)).unwrap();
+
+    let explanations = b.explain_last(16);
+    assert_eq!(
+        explanations.len(),
+        1,
+        "the whole retry budget collapses into one explanation"
+    );
+    let e = &explanations[0];
+    match &e.outcome {
+        MatchOutcome::Panicked { reason } => {
+            assert!(reason.contains("injected observability fault"))
+        }
+        other => panic!("expected a panicked outcome, got {other:?}"),
+    }
+    assert!(
+        e.detail.is_none(),
+        "a panicked test has no result to explain"
+    );
+    assert!(!e.is_accepted());
+    assert_eq!(b.stats().match_tests, 2, "both attempts were counted");
+
+    fn names<'a>(nodes: &'a [SpanNode], out: &mut Vec<&'a str>) {
+        for n in nodes {
+            out.push(n.record.name);
+            names(&n.children, out);
+        }
+    }
+    let tree = b.span_tree(0);
+    assert_eq!(tree.len(), 1, "one publish root despite the retries");
+    let mut all = Vec::new();
+    names(&tree, &mut all);
+    assert_eq!(
+        all.iter().filter(|n| **n == "match").count(),
+        1,
+        "one match span covers the whole retry budget"
+    );
+    assert!(
+        all.contains(&"quarantine"),
+        "the dead-letter move is spanned"
+    );
+    let _ = std::panic::take_hook();
+    b.shutdown();
+}
+
+/// The explain ring reconciles exactly with the broker counters: one
+/// explanation per match test, none for routing-skipped candidates, and
+/// delivered outcomes equal to the notification count.
+#[test]
+fn explanation_counts_reconcile_with_match_counters() {
+    let config = BrokerConfig::default()
+        .with_workers(1)
+        .with_routing_policy(RoutingPolicy::ThemeOverlap)
+        .with_explain_capacity(1024);
+    let b = exact_broker(config);
+    let (_, _power_rx) = b
+        .subscribe(parse_subscription("({power}, {k= v})").unwrap())
+        .unwrap();
+    let (_, _transport_rx) = b
+        .subscribe(parse_subscription("({transport}, {k= v})").unwrap())
+        .unwrap();
+    for i in 0..40 {
+        let theme = if i % 2 == 0 { "power" } else { "transport" };
+        b.publish(parse_event(&format!("({{{theme}}}, {{k: v, i: n{i}}})")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+
+    let stats = b.stats();
+    let explanations = b.explain_last(1024);
+    assert_eq!(
+        explanations.len() as u64,
+        stats.match_tests,
+        "every match test leaves exactly one explanation"
+    );
+    assert_eq!(stats.match_tests, 40, "theme routing halves the candidates");
+    assert_eq!(
+        stats.routing_skipped, 40,
+        "skipped candidates leave no explanation"
+    );
+    let delivered = explanations
+        .iter()
+        .filter(|e| e.outcome == MatchOutcome::Delivered)
+        .count() as u64;
+    assert_eq!(delivered, stats.notifications);
+    b.shutdown();
+}
+
+/// The scrape server answers `/metrics`, `/healthz`, and `/explain` with
+/// live broker state over plain HTTP.
+#[test]
+fn scrape_endpoints_serve_metrics_health_and_explanations() {
+    use std::io::{Read, Write};
+    let b = Arc::new(exact_broker(
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_explain_capacity(32),
+    ));
+    let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    for i in 0..4 {
+        b.publish(parse_event(&format!("{{k: v, i: n{i}}}")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+
+    let (mb, hb, eb) = (Arc::clone(&b), Arc::clone(&b), Arc::clone(&b));
+    let server = serve(
+        "127.0.0.1:0",
+        ScrapeHandlers::new(
+            move || mb.metrics().render_prometheus(),
+            move || {
+                format!(
+                    "{{\"status\":\"ok\",\"quarantined\":{}}}\n",
+                    hb.stats().quarantined
+                )
+            },
+            move || render_explanations_json(&eb.explain_last(32)),
+        ),
+    )
+    .expect("bind on an ephemeral port");
+    let addr = server.local_addr();
+    let get = |path: &str| {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+
+    let metrics = get("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(metrics.contains("text/plain"));
+    assert!(metrics.contains("tep_published_total 4"));
+    let health = get("/healthz");
+    assert!(health.contains("\"status\":\"ok\""));
+    assert!(health.contains("\"quarantined\":0"));
+    let explain = get("/explain");
+    assert!(explain.contains("application/json"));
+    assert!(explain.contains("\"outcome\": \"delivered\""));
+    assert!(get("/nope").starts_with("HTTP/1.1 404"));
+    server.shutdown();
+    // The handlers hold broker clones, so tear down via `close` (any
+    // thread) rather than the by-value `shutdown`.
+    b.close();
 }
