@@ -1,28 +1,41 @@
 #!/usr/bin/env sh
-# Perf-regression gate. Run from the repo root after a bench run has
-# produced a fresh BENCH_throughput.json:
+# Perf- and quality-regression gates. Run from the repo root after a
+# bench run has produced fresh BENCH_throughput.json and
+# BENCH_quality.json documents:
 #
 #   sh ci/perf_gate.sh [baseline] [current]
 #
-# Compares the fresh document against the committed baseline
-# (ci/perf_baseline.json) and exits non-zero if any scenario's
+# First compares the fresh throughput document against the committed
+# baseline (ci/perf_baseline.json): exits non-zero if any scenario's
 # throughput drops more than 25% or any stage's p99 more than doubles.
-# Thresholds can be loosened for noisy runners via the environment:
+# Then compares the fresh quality document against
+# ci/quality_baseline.json: exits non-zero if any sufficiently-sampled
+# scenario's live F1 drops more than 10 points below baseline, or the
+# live F1 disagrees with the offline eval F1 beyond its own confidence
+# interval. Thresholds can be loosened for noisy runners via the
+# environment:
 #
-#   PERF_GATE_MAX_DROP=0.40 PERF_GATE_MAX_P99_GROWTH=3.0 sh ci/perf_gate.sh
+#   PERF_GATE_MAX_DROP=0.40 PERF_GATE_MAX_P99_GROWTH=3.0 \
+#   QUALITY_GATE_MAX_F1_DROP=0.15 QUALITY_GATE_MIN_SAMPLES=150 \
+#       sh ci/perf_gate.sh
 #
-# To refresh the baseline after an intentional perf change:
+# To refresh the baselines after an intentional change:
 #
 #   cargo run -p tep-bench --release --offline --bin probe -- \
 #       bench --out ci/perf_baseline.json --prom /dev/null
+#   cp BENCH_quality.json ci/quality_baseline.json
 set -eu
 
 BASELINE="${1:-ci/perf_baseline.json}"
 CURRENT="${2:-BENCH_throughput.json}"
+QUALITY_BASELINE="${QUALITY_BASELINE:-ci/quality_baseline.json}"
+QUALITY_CURRENT="${QUALITY_CURRENT:-BENCH_quality.json}"
 
 if [ -x target/release/probe ]; then
-    target/release/probe perf-gate --baseline "$BASELINE" --current "$CURRENT"
+    PROBE=target/release/probe
 else
-    cargo run -p tep-bench --release --offline --bin probe -- \
-        perf-gate --baseline "$BASELINE" --current "$CURRENT"
+    PROBE="cargo run -p tep-bench --release --offline --bin probe --"
 fi
+
+$PROBE perf-gate --baseline "$BASELINE" --current "$CURRENT"
+$PROBE quality-gate --baseline "$QUALITY_BASELINE" --current "$QUALITY_CURRENT"

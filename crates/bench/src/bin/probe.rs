@@ -11,12 +11,14 @@
 //!
 //! `probe perf-gate [--baseline PATH] [--current PATH]` compares a fresh
 //! throughput document against the committed baseline and exits non-zero
-//! on a regression (see `ci/perf_gate.sh`).
+//! on a regression (see `ci/perf_gate.sh`), and
+//! `probe quality-gate [--baseline PATH] [--current PATH]` does the same
+//! for the matching-quality document.
 
 use std::sync::{Arc, RwLock};
-use tep::prelude::{render_explanations_json, serve, Broker, ScrapeHandlers};
+use tep::prelude::{render_explanations_json, render_quality_json, serve, Broker, ScrapeHandlers};
 use tep::thesaurus::{Domain, Thesaurus};
-use tep_bench::gate::GateConfig;
+use tep_bench::gate::{GateConfig, QualityGateConfig};
 use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
@@ -31,6 +33,10 @@ fn main() {
         }
         Some("perf-gate") => {
             perf_gate();
+            return;
+        }
+        Some("quality-gate") => {
+            quality_gate();
             return;
         }
         _ => {}
@@ -131,6 +137,8 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     let metrics_slot = Arc::clone(slot);
     let health_slot = Arc::clone(slot);
     let explain_slot = Arc::clone(slot);
+    let quality_slot = Arc::clone(slot);
+    let top_slot = Arc::clone(slot);
     ScrapeHandlers::new(
         move || match metrics_slot.read().unwrap().as_ref() {
             Some(b) => b.metrics().render_prometheus(),
@@ -151,11 +159,27 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
             None => String::from("[]\n"),
         },
     )
+    .with_quality(move || {
+        match quality_slot
+            .read()
+            .unwrap()
+            .as_ref()
+            .and_then(|b| b.quality())
+        {
+            Some(report) => render_quality_json(&report),
+            None => String::from("{\"status\":\"no quality sampling installed\"}\n"),
+        }
+    })
+    .with_top(move || match top_slot.read().unwrap().as_ref() {
+        Some(b) => b.top_json(10),
+        None => String::from("{\"themes\":[],\"terms\":[]}\n"),
+    })
 }
 
 /// Broker throughput scenarios → `BENCH_throughput.json` plus a
-/// Prometheus-text metrics export and explain/span dumps (run with
-/// `probe bench [--out PATH] [--prom PATH] [--serve ADDR]`).
+/// Prometheus-text metrics export, explain/span dumps, and the
+/// live-vs-offline matching-quality document `BENCH_quality.json` (run
+/// with `probe bench [--out PATH] [--prom PATH] [--serve ADDR]`).
 fn bench_throughput() {
     let (out, prom_out, serve_addr) = {
         let mut it = std::env::args().skip(2);
@@ -182,7 +206,7 @@ fn bench_throughput() {
     let server = serve_addr.map(|addr| {
         let server = serve(&addr, scrape_handlers(&slot)).expect("bind scrape server");
         println!(
-            "serving /metrics /healthz /explain on http://{}",
+            "serving /metrics /healthz /explain /quality /top on http://{}",
             server.local_addr()
         );
         server
@@ -196,6 +220,7 @@ fn bench_throughput() {
     std::panic::set_hook(Box::new(|_| {}));
     let results = tep_bench::throughput::run_broker_scenarios_observed(&observer);
     let (explain_json, spans_json) = tep_bench::throughput::instrumented_dump(&observer);
+    let quality_results = tep_bench::quality::run_quality_scenarios_observed(&observer);
     let _ = std::panic::take_hook();
     *slot.write().unwrap() = None;
     for r in &results {
@@ -224,6 +249,12 @@ fn bench_throughput() {
     std::fs::write("BENCH_explain.json", explain_json).expect("write explain dump");
     std::fs::write("BENCH_spans.json", spans_json).expect("write span dump");
     println!("wrote BENCH_explain.json BENCH_spans.json (instrumented_dump scenario)");
+    for q in &quality_results {
+        println!("{}", q.summary());
+    }
+    let quality_json = tep_bench::quality::render_json(&quality_results);
+    std::fs::write("BENCH_quality.json", quality_json).expect("write quality JSON");
+    println!("wrote BENCH_quality.json");
     drop(server);
 }
 
@@ -274,6 +305,64 @@ fn perf_gate() {
         Ok(report) => {
             for v in &report.violations {
                 eprintln!("perf gate: {v}");
+            }
+            println!("{} ({baseline} vs {current})", report.summary());
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Quality-regression gate: compares a fresh quality document against
+/// the committed baseline (run with
+/// `probe quality-gate [--baseline PATH] [--current PATH]`). Exits 1 on
+/// any violation or unreadable/malformed document.
+fn quality_gate() {
+    let (baseline, current) = {
+        let mut it = std::env::args().skip(2);
+        let mut baseline = String::from("ci/quality_baseline.json");
+        let mut current = String::from("BENCH_quality.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--baseline" => baseline = it.next().expect("--baseline needs a value"),
+                "--current" => current = it.next().expect("--current needs a value"),
+                other => {
+                    eprintln!(
+                        "usage: probe quality-gate [--baseline PATH] [--current PATH] \
+                         (unknown arg {other:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        (baseline, current)
+    };
+    let mut cfg = QualityGateConfig::default();
+    if let Ok(v) = std::env::var("QUALITY_GATE_MAX_F1_DROP") {
+        cfg.max_f1_drop = v.parse().expect("QUALITY_GATE_MAX_F1_DROP must be a float");
+    }
+    if let Ok(v) = std::env::var("QUALITY_GATE_MIN_SAMPLES") {
+        cfg.min_samples = v
+            .parse()
+            .expect("QUALITY_GATE_MIN_SAMPLES must be an integer");
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("quality gate: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let base_doc = read(&baseline);
+    let cur_doc = read(&current);
+    match tep_bench::gate::compare_quality(&base_doc, &cur_doc, &cfg) {
+        Err(e) => {
+            eprintln!("quality gate: {e}");
+            std::process::exit(1);
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                eprintln!("quality gate: {v}");
             }
             println!("{} ({baseline} vs {current})", report.summary());
             if !report.passed() {

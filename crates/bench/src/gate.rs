@@ -11,6 +11,15 @@
 //!   [`GateConfig::max_p99_growth`] × baseline, and only stages with
 //!   enough baseline samples and a non-trivial baseline p99 are compared
 //!   at all (micro-stages are pure jitter).
+//!
+//! A third family, [`compare_quality`], gates the matching-quality
+//! artifact (`BENCH_quality.json` vs `ci/quality_baseline.json`): a
+//! scenario's live F1 may not drop more than
+//! [`QualityGateConfig::max_f1_drop`] points below its baseline, and the
+//! live estimate must agree with the offline population F1 within its
+//! own confidence interval. Scenarios with too few judged samples are
+//! held to neither bar — a 1-in-k estimate over a handful of samples is
+//! noise, not signal.
 
 use serde::value_get;
 use serde_json::JsonValue;
@@ -197,6 +206,171 @@ pub fn compare(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateRe
     })
 }
 
+/// Thresholds for [`compare_quality`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityGateConfig {
+    /// Maximum tolerated absolute live-F1 drop below baseline
+    /// (0.10 = ten F1 points).
+    pub max_f1_drop: f64,
+    /// Scenarios with fewer judged live samples than this are skipped:
+    /// a sampled F1 over a few dozen decisions swings whole points on
+    /// one flipped sample.
+    pub min_samples: u64,
+}
+
+impl Default for QualityGateConfig {
+    fn default() -> QualityGateConfig {
+        QualityGateConfig {
+            max_f1_drop: 0.10,
+            min_samples: 200,
+        }
+    }
+}
+
+/// The outcome of one quality baseline/current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityGateReport {
+    /// Scenarios present in the baseline.
+    pub scenarios_checked: usize,
+    /// Scenarios that cleared the sample-count noise floor and were held
+    /// to the F1 floor and CI-agreement bars.
+    pub scenarios_gated: usize,
+    /// Human-readable violations; empty means the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl QualityGateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            format!(
+                "quality gate PASSED ({} scenarios, {} above the sample floor)",
+                self.scenarios_checked, self.scenarios_gated
+            )
+        } else {
+            format!(
+                "quality gate FAILED: {} violation(s) across {} scenarios",
+                self.violations.len(),
+                self.scenarios_checked
+            )
+        }
+    }
+}
+
+/// One quality scenario's gate-relevant numbers.
+struct QualityNumbers {
+    name: String,
+    samples: u64,
+    live_f1: f64,
+    within_ci: bool,
+}
+
+fn parse_quality(doc: &str, label: &str) -> Result<Vec<QualityNumbers>, String> {
+    let parsed: JsonValue =
+        serde_json::from_str(doc).map_err(|e| format!("{label}: invalid JSON: {e:?}"))?;
+    let root = parsed
+        .as_map()
+        .ok_or_else(|| format!("{label}: root is not an object"))?;
+    let scenarios = value_get(root, "scenarios")
+        .and_then(|v| v.as_seq())
+        .ok_or_else(|| format!("{label}: missing \"scenarios\" array"))?;
+    let mut out = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let obj = s
+            .as_map()
+            .ok_or_else(|| format!("{label}: scenario {i} is not an object"))?;
+        let name = value_get(obj, "name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{label}: scenario {i} has no name"))?
+            .to_string();
+        let samples = value_get(obj, "samples")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("{label}: scenario {name:?} has no samples"))?;
+        let live_f1 = value_get(obj, "live_f1")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{label}: scenario {name:?} has no live_f1"))?;
+        let within_ci = value_get(obj, "within_ci")
+            .and_then(|v| v.as_bool())
+            .ok_or_else(|| format!("{label}: scenario {name:?} has no within_ci"))?;
+        out.push(QualityNumbers {
+            name,
+            samples,
+            live_f1,
+            within_ci,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares `current` (a fresh `BENCH_quality.json` document) against
+/// `baseline` (the committed `ci/quality_baseline.json`) under `cfg`.
+///
+/// Every scenario in the baseline must exist in the current run. The
+/// noise floor is taken from the *current* run's judged sample count:
+/// an under-sampled run proves nothing either way and is reported as
+/// skipped rather than passed.
+///
+/// # Errors
+///
+/// A `String` when either document fails to parse — a malformed
+/// artifact must fail the gate loudly, not pass silently.
+pub fn compare_quality(
+    baseline: &str,
+    current: &str,
+    cfg: &QualityGateConfig,
+) -> Result<QualityGateReport, String> {
+    let base = parse_quality(baseline, "baseline")?;
+    let cur = parse_quality(current, "current")?;
+    if base.is_empty() {
+        return Err("baseline: no quality scenarios to compare against".to_string());
+    }
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.name == b.name) else {
+            violations.push(format!(
+                "quality scenario {:?}: present in baseline but missing from the current run",
+                b.name
+            ));
+            continue;
+        };
+        if c.samples < cfg.min_samples {
+            continue;
+        }
+        checked += 1;
+        let floor = b.live_f1 - cfg.max_f1_drop;
+        if c.live_f1 < floor {
+            violations.push(format!(
+                "quality scenario {:?}: live F1 dropped {:.1} points \
+                 ({:.3} → {:.3} over {} samples, limit {:.1} points)",
+                b.name,
+                (b.live_f1 - c.live_f1) * 100.0,
+                b.live_f1,
+                c.live_f1,
+                c.samples,
+                cfg.max_f1_drop * 100.0,
+            ));
+        }
+        if !c.within_ci {
+            violations.push(format!(
+                "quality scenario {:?}: live F1 {:.3} disagrees with the offline F1 \
+                 beyond its confidence interval ({} samples)",
+                b.name, c.live_f1, c.samples,
+            ));
+        }
+    }
+    Ok(QualityGateReport {
+        scenarios_checked: base.len(),
+        scenarios_gated: checked,
+        violations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +462,90 @@ mod tests {
         assert!(compare("not json", &d, &GateConfig::default()).is_err());
         assert!(compare(&d, "{}", &GateConfig::default()).is_err());
         assert!(compare("{\"scenarios\": []}", &d, &GateConfig::default()).is_err());
+    }
+
+    fn quality_doc(f1: f64, samples: u64, within_ci: bool) -> String {
+        format!(
+            concat!(
+                "{{\"scenarios\": [\n",
+                "  {{\"name\":\"q\",\"sample_every\":100,\"samples\":{},",
+                "\"unknown\":0,\"live_precision\":0.9,\"live_recall\":0.9,",
+                "\"live_f1\":{:.6},\"live_f1_ci_lo\":0.8,\"live_f1_ci_hi\":0.95,",
+                "\"offline_precision\":0.9,\"offline_recall\":0.9,",
+                "\"offline_f1\":{:.6},\"f1_gap\":0.0,\"within_ci\":{},",
+                "\"drift_alerts\":0}}\n",
+                "]}}\n"
+            ),
+            samples, f1, f1, within_ci,
+        )
+    }
+
+    #[test]
+    fn identical_quality_runs_pass() {
+        let d = quality_doc(0.9, 300, true);
+        let report = compare_quality(&d, &d, &QualityGateConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(report.scenarios_checked, 1);
+        assert_eq!(report.scenarios_gated, 1);
+        assert!(report.summary().contains("quality gate PASSED"));
+    }
+
+    #[test]
+    fn small_f1_dips_stay_within_tolerance() {
+        let base = quality_doc(0.90, 300, true);
+        let cur = quality_doc(0.82, 300, true);
+        let report = compare_quality(&base, &cur, &QualityGateConfig::default()).unwrap();
+        assert!(report.passed(), "an 8-point dip is tolerated");
+    }
+
+    #[test]
+    fn doctored_f1_collapse_fails() {
+        let base = quality_doc(0.90, 300, true);
+        let cur = quality_doc(0.70, 300, true);
+        let report = compare_quality(&base, &cur, &QualityGateConfig::default()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("live F1 dropped 20.0 points"));
+        assert!(report.summary().contains("quality gate FAILED"));
+    }
+
+    #[test]
+    fn ci_disagreement_fails() {
+        let base = quality_doc(0.90, 300, true);
+        let cur = quality_doc(0.90, 300, false);
+        let report = compare_quality(&base, &cur, &QualityGateConfig::default()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("beyond its confidence interval"));
+    }
+
+    #[test]
+    fn under_sampled_scenarios_are_skipped_not_gated() {
+        // 50 samples is under the 200-sample floor: even a huge drop
+        // plus a CI flag proves nothing, so the gate must not fire.
+        let base = quality_doc(0.90, 300, true);
+        let cur = quality_doc(0.50, 50, false);
+        let report = compare_quality(&base, &cur, &QualityGateConfig::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.scenarios_gated, 0);
+    }
+
+    #[test]
+    fn missing_quality_scenario_is_a_violation() {
+        let base = quality_doc(0.90, 300, true);
+        let report =
+            compare_quality(&base, "{\"scenarios\": []}", &QualityGateConfig::default()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("missing from the current run"));
+    }
+
+    #[test]
+    fn malformed_quality_documents_error_loudly() {
+        let d = quality_doc(0.9, 300, true);
+        let cfg = QualityGateConfig::default();
+        assert!(compare_quality("not json", &d, &cfg).is_err());
+        assert!(compare_quality(&d, "{}", &cfg).is_err());
+        assert!(compare_quality("{\"scenarios\": []}", &d, &cfg).is_err());
+        // A scenario without the quality fields is malformed, not skipped.
+        let perf_shaped = doc(100_000.0, 200_000, 1_000);
+        assert!(compare_quality(&perf_shaped, &d, &cfg).is_err());
     }
 }

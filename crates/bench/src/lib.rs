@@ -17,5 +17,6 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod quality;
 pub mod report;
 pub mod throughput;

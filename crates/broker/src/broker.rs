@@ -3,6 +3,7 @@
 use crate::config::{BrokerConfig, PublishPolicy};
 use crate::explain::MatchExplanation;
 use crate::notification::Notification;
+use crate::quality::{QualityOracle, QualityReport, QualityState};
 use crate::routing::RoutingTable;
 use crate::stats::{BrokerStats, EventTrace, StageLatencies, StatsInner};
 use crate::supervisor::{supervisor_loop, DeadLetter, DeadLetterQueue, Job};
@@ -12,12 +13,15 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
 use tep_matcher::{CacheStats, Matcher};
-use tep_obs::{span_tree, MetricsRegistry, SpanCollector, SpanNode, SpanRecord, TraceRing};
+use tep_obs::{
+    escape_json, span_tree, CounterFamily, MetricsFrame, MetricsRegistry, SpanCollector, SpanNode,
+    SpanRecord, TopKSketch, TraceRing, WindowRing, WindowedDelta,
+};
 
 /// Default deadline for the bare [`Broker::flush`] convenience wrapper.
 const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_secs(60);
@@ -79,6 +83,10 @@ pub(crate) struct Registration {
     /// Whether this subscriber opted into per-notification explanations
     /// ([`SubscribeOptions::explain`]).
     pub(crate) explain: bool,
+    /// Pre-resolved handle into the per-subscriber notification counter
+    /// family, so the delivery hot path pays one `fetch_add` instead of a
+    /// label lookup. `None` when labeled metrics are off.
+    pub(crate) notif_counter: Option<Arc<AtomicU64>>,
 }
 
 /// Per-subscription options for [`Broker::subscribe_with`].
@@ -139,6 +147,85 @@ pub(crate) struct Shared {
     /// Sampled causal spans; disabled unless
     /// [`BrokerConfig::span_sample_every`] is non-zero.
     pub(crate) spans: SpanCollector,
+    /// Labeled metric families; `None` unless
+    /// [`BrokerConfig::labeled_metrics`] is on, so the disabled hot path
+    /// pays one branch per event.
+    pub(crate) dim: Option<DimMetrics>,
+    /// Ring of periodic cumulative snapshots backing the windowed
+    /// (`{window="..."}`) series. Always present; frames are pushed only
+    /// by the supervisor tick ([`BrokerConfig::window_tick_ms`]) or by an
+    /// explicit [`Broker::tick_window`], so the hot path never touches it.
+    pub(crate) window: WindowRing,
+    /// The shadow quality evaluator; empty unless
+    /// [`Broker::with_quality_sampling`] installed an oracle.
+    pub(crate) quality: OnceLock<Arc<QualityState>>,
+}
+
+/// Labeled (dimensional) metric families, built once at start-up when
+/// [`BrokerConfig::labeled_metrics`] is on. Theme and subscriber
+/// families are capped at [`BrokerConfig::label_cardinality`] series;
+/// excess labels fold into the `_overflow` bucket.
+pub(crate) struct DimMetrics {
+    /// Match tests attributed to each event theme tag (an event with two
+    /// tags counts its tests under both, so the family's sum can exceed
+    /// the bare `tep_match_tests_total`).
+    pub(crate) match_by_theme: CounterFamily,
+    /// Match tests per cache temperature (`exact` / `thematic` /
+    /// `cached`).
+    pub(crate) match_by_temp: CounterFamily,
+    /// Notifications admitted per subscriber id.
+    pub(crate) notif_by_sub: CounterFamily,
+    /// Space-saving sketch of the hottest event theme tags.
+    pub(crate) hot_themes: TopKSketch,
+    /// Space-saving sketch of the hottest event terms (tuple attributes
+    /// and values).
+    pub(crate) hot_terms: TopKSketch,
+}
+
+impl DimMetrics {
+    fn new(cardinality: usize) -> DimMetrics {
+        DimMetrics {
+            match_by_theme: CounterFamily::new(cardinality),
+            // Temperature is a closed three-value set; no cap pressure.
+            match_by_temp: CounterFamily::new(4),
+            notif_by_sub: CounterFamily::new(cardinality),
+            hot_themes: TopKSketch::new(cardinality.max(16)),
+            hot_terms: TopKSketch::new(cardinality.max(16)),
+        }
+    }
+}
+
+/// Cumulative counters and stage histograms captured in each window
+/// frame; names match their `/metrics` series so windowed output lines
+/// up with the cumulative ones.
+const FRAME_COUNTERS: [&str; 5] = [
+    "tep_published_total",
+    "tep_processed_total",
+    "tep_match_tests_total",
+    "tep_notifications_total",
+    "tep_routing_skipped_total",
+];
+
+impl Shared {
+    /// The current cumulative counters and stage histograms as one
+    /// window frame.
+    pub(crate) fn current_frame(&self) -> MetricsFrame {
+        let stats = self.stats.snapshot();
+        let stages = self.stats.stage.snapshot();
+        let mut frame = MetricsFrame::new();
+        frame
+            .counter("tep_published_total", stats.published)
+            .counter("tep_processed_total", stats.processed)
+            .counter("tep_match_tests_total", stats.match_tests)
+            .counter("tep_notifications_total", stats.notifications)
+            .counter("tep_routing_skipped_total", stats.routing_skipped)
+            .histogram("tep_stage_queue_wait_seconds", stages.queue_wait)
+            .histogram("tep_stage_match_exact_seconds", stages.match_exact)
+            .histogram("tep_stage_match_thematic_seconds", stages.match_thematic)
+            .histogram("tep_stage_match_cached_seconds", stages.match_cached)
+            .histogram("tep_stage_deliver_seconds", stages.deliver);
+        frame
+    }
 }
 
 /// A thread-pool publish/subscribe broker around any [`Matcher`].
@@ -195,6 +282,11 @@ impl Broker {
             trace: TraceRing::new(config.trace_capacity),
             explain: TraceRing::new(config.explain_capacity),
             spans: SpanCollector::new(config.span_capacity, config.span_sample_every),
+            dim: config
+                .labeled_metrics
+                .then(|| DimMetrics::new(config.label_cardinality)),
+            window: WindowRing::new(config.window_capacity),
+            quality: OnceLock::new(),
             config,
             ingress: RwLock::new(Some(tx)),
             shutdown: AtomicBool::new(false),
@@ -263,6 +355,13 @@ impl Broker {
         // entry without a registry entry is invisible, while the converse
         // could skip a legitimate match.
         self.shared.routing.insert(id, subscription.theme_tags());
+        // Resolve the labeled-counter handle once, here, so deliveries
+        // never pay a label lookup.
+        let notif_counter = self
+            .shared
+            .dim
+            .as_ref()
+            .map(|dim| dim.notif_by_sub.handle(&id.to_string()));
         self.shared.registry.write().insert(
             id,
             Arc::new(Registration {
@@ -272,6 +371,7 @@ impl Broker {
                 consecutive_full: AtomicU64::new(0),
                 approx,
                 explain: options.explain,
+                notif_counter,
             }),
         );
         Ok((id, rx))
@@ -450,10 +550,114 @@ impl Broker {
         span_tree(&self.shared.spans.snapshot(), seq)
     }
 
+    /// Installs the shadow quality evaluator: deterministically samples
+    /// one in `every` subscription × event match tests, replays each
+    /// sampled pair against `oracle`, and maintains rolling
+    /// precision/recall/F1 with confidence bounds and drift alerts
+    /// (read with [`Broker::quality`]).
+    ///
+    /// A consuming builder so the evaluator is wired before traffic
+    /// flows; the first installation wins — later calls on the same
+    /// broker are ignored.
+    pub fn with_quality_sampling(self, every: u64, oracle: Box<dyn QualityOracle>) -> Broker {
+        let _ = self
+            .shared
+            .quality
+            .set(Arc::new(QualityState::new(every, oracle)));
+        self
+    }
+
+    /// The current rolling quality report, or `None` when no oracle was
+    /// installed via [`Broker::with_quality_sampling`].
+    pub fn quality(&self) -> Option<QualityReport> {
+        self.shared.quality.get().map(|q| q.report())
+    }
+
+    /// Pushes one cumulative snapshot frame into the window ring *now*.
+    ///
+    /// The supervisor does this automatically every
+    /// [`BrokerConfig::window_tick_ms`] when that is non-zero; tests and
+    /// embedders that want deterministic frame boundaries call this
+    /// directly (e.g. once before and once after a burst).
+    pub fn tick_window(&self) {
+        self.shared.window.push(self.shared.current_frame());
+    }
+
+    /// Windowed deltas over roughly the last `span`: counter rates and
+    /// per-stage histogram slices computed from the frame ring. `None`
+    /// until at least two frames exist (no tick has happened yet).
+    pub fn window(&self, span: Duration) -> Option<WindowedDelta> {
+        self.shared.window.window(span)
+    }
+
+    /// The `k` hottest event theme tags by estimated frequency,
+    /// descending. Empty unless [`BrokerConfig::labeled_metrics`] is on.
+    pub fn top_themes(&self, k: usize) -> Vec<(String, u64)> {
+        self.shared
+            .dim
+            .as_ref()
+            .map(|dim| dim.hot_themes.top(k))
+            .unwrap_or_default()
+    }
+
+    /// The `k` hottest event terms (tuple attributes and values) by
+    /// estimated frequency, descending. Empty unless
+    /// [`BrokerConfig::labeled_metrics`] is on.
+    pub fn top_terms(&self, k: usize) -> Vec<(String, u64)> {
+        self.shared
+            .dim
+            .as_ref()
+            .map(|dim| dim.hot_terms.top(k))
+            .unwrap_or_default()
+    }
+
+    /// The `/top` endpoint body: top-`k` themes and terms as JSON.
+    pub fn top_json(&self, k: usize) -> String {
+        fn entries(items: &[(String, u64)]) -> String {
+            let mut out = String::new();
+            for (i, (name, count)) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"name\": \"{}\", \"count\": {count}}}",
+                    escape_json(name)
+                ));
+            }
+            out
+        }
+        format!(
+            "{{\n  \"themes\": [{}],\n  \"terms\": [{}]\n}}\n",
+            entries(&self.top_themes(k)),
+            entries(&self.top_terms(k))
+        )
+    }
+
+    /// Events currently waiting on the ingress queue (0 once closed).
+    pub fn publish_queue_depth(&self) -> usize {
+        self.shared
+            .ingress
+            .read()
+            .as_ref()
+            .map(|tx| tx.len())
+            .unwrap_or(0)
+    }
+
     /// Every broker counter and stage histogram bundled into a
     /// [`MetricsRegistry`], ready for
     /// [`MetricsRegistry::render_prometheus`] or
     /// [`MetricsRegistry::render_json`].
+    ///
+    /// Beyond the cumulative series, the registry carries:
+    ///
+    /// * per-policy routing decisions
+    ///   (`tep_routing_decisions_total{policy="..."}`),
+    /// * queue-depth gauges for the ingress queue and the subscriber
+    ///   channels, so overload policies are observable before they trip,
+    /// * windowed (`{window="10s"|"60s"}`) rates and stage histograms
+    ///   once the window ring has frames (see [`Broker::tick_window`]),
+    /// * labeled families and quality gauges when
+    ///   [`BrokerConfig::labeled_metrics`] / quality sampling are on.
     pub fn metrics(&self) -> MetricsRegistry {
         let stats = self.stats();
         let stages = self.stage_latencies();
@@ -584,8 +788,184 @@ impl Broker {
             "tep_stage_deliver_seconds",
             "Match decision to subscriber-channel hand-off",
             stages.deliver,
+        )
+        .counter_with(
+            "tep_routing_decisions_total",
+            "Events whose candidate set was selected, by routing policy",
+            &[("policy", "broadcast")],
+            stats.routed_broadcast,
+        )
+        .counter_with(
+            "tep_routing_decisions_total",
+            "Events whose candidate set was selected, by routing policy",
+            &[("policy", "theme_overlap")],
+            stats.routed_theme_overlap,
+        )
+        .gauge(
+            "tep_publish_queue_depth",
+            "Events waiting on the ingress queue",
+            self.publish_queue_depth() as f64,
         );
+        self.subscriber_queue_metrics(&mut reg);
+        self.windowed_metrics(&mut reg);
+        self.labeled_metrics(&mut reg);
+        self.quality_metrics(&mut reg);
         reg
+    }
+
+    /// Queue-depth gauges over the subscriber channels: the sum and max
+    /// across all registrations, plus per-subscriber labeled gauges when
+    /// labeled metrics are on (capped at the label cardinality).
+    fn subscriber_queue_metrics(&self, reg: &mut MetricsRegistry) {
+        let mut depths: Vec<(SubscriptionId, usize)> = self
+            .shared
+            .registry
+            .read()
+            .iter()
+            .map(|(id, r)| (*id, r.sender.len()))
+            .collect();
+        let sum: usize = depths.iter().map(|(_, d)| d).sum();
+        let max = depths.iter().map(|(_, d)| *d).max().unwrap_or(0);
+        reg.gauge(
+            "tep_subscriber_queue_depth_sum",
+            "Notifications waiting across all subscriber channels",
+            sum as f64,
+        )
+        .gauge(
+            "tep_subscriber_queue_depth_max",
+            "Deepest subscriber channel backlog",
+            max as f64,
+        );
+        if self.shared.dim.is_none() {
+            return;
+        }
+        // Deterministic export order; the cardinality cap bounds the
+        // series count, mirroring the counter families.
+        depths.sort_by_key(|(id, _)| *id);
+        depths.truncate(self.shared.config.label_cardinality);
+        for (id, depth) in depths {
+            reg.gauge_with(
+                "tep_subscriber_queue_depth",
+                "Notifications waiting per subscriber channel",
+                &[("subscriber", &id.to_string())],
+                depth as f64,
+            );
+        }
+    }
+
+    /// Windowed rates and stage-histogram slices for the last ~10s and
+    /// ~60s, labeled `{window="..."}` next to their cumulative series.
+    fn windowed_metrics(&self, reg: &mut MetricsRegistry) {
+        for (label, span) in [
+            ("10s", Duration::from_secs(10)),
+            ("60s", Duration::from_secs(60)),
+        ] {
+            let Some(delta) = self.shared.window.window(span) else {
+                continue;
+            };
+            for name in FRAME_COUNTERS {
+                if let Some(rate) = delta.rate(name) {
+                    let rate_name = name
+                        .strip_suffix("_total")
+                        .map(|base| format!("{base}_rate"))
+                        .unwrap_or_else(|| format!("{name}_rate"));
+                    reg.gauge_with(
+                        &rate_name,
+                        "Windowed per-second rate of the matching counter",
+                        &[("window", label)],
+                        rate,
+                    );
+                }
+            }
+            for (name, snap) in delta.histograms() {
+                reg.histogram_with(
+                    name,
+                    "Windowed slice of the matching stage histogram",
+                    &[("window", label)],
+                    snap.clone(),
+                );
+            }
+        }
+    }
+
+    /// Labeled counter families and top-k tracking gauges; no-ops when
+    /// [`BrokerConfig::labeled_metrics`] is off.
+    fn labeled_metrics(&self, reg: &mut MetricsRegistry) {
+        let Some(dim) = &self.shared.dim else {
+            return;
+        };
+        for (theme, count) in dim.match_by_theme.snapshot() {
+            reg.counter_with(
+                "tep_theme_match_tests_total",
+                "Match tests attributed to each event theme tag",
+                &[("theme", &theme)],
+                count,
+            );
+        }
+        for (temperature, count) in dim.match_by_temp.snapshot() {
+            reg.counter_with(
+                "tep_match_temperature_total",
+                "Match tests by cache temperature",
+                &[("temperature", &temperature)],
+                count,
+            );
+        }
+        for (subscriber, count) in dim.notif_by_sub.snapshot() {
+            reg.counter_with(
+                "tep_subscriber_notifications_total",
+                "Notifications admitted per subscriber channel",
+                &[("subscriber", &subscriber)],
+                count,
+            );
+        }
+        reg.gauge(
+            "tep_topk_themes_tracked",
+            "Theme slots occupied in the top-k sketch",
+            dim.hot_themes.tracked() as f64,
+        )
+        .gauge(
+            "tep_topk_terms_tracked",
+            "Term slots occupied in the top-k sketch",
+            dim.hot_terms.tracked() as f64,
+        );
+    }
+
+    /// Live-quality gauges from the shadow evaluator; no-ops until
+    /// [`Broker::with_quality_sampling`] installed an oracle.
+    fn quality_metrics(&self, reg: &mut MetricsRegistry) {
+        let Some(report) = self.quality() else {
+            return;
+        };
+        reg.gauge(
+            "tep_quality_precision",
+            "Live sampled precision against the ground-truth oracle",
+            report.precision,
+        )
+        .gauge(
+            "tep_quality_recall",
+            "Live sampled recall against the ground-truth oracle",
+            report.recall,
+        )
+        .gauge(
+            "tep_quality_f1",
+            "Live sampled F1 against the ground-truth oracle",
+            report.f1,
+        )
+        .counter(
+            "tep_quality_samples_total",
+            "Match tests judged by the quality oracle",
+            report.judged(),
+        )
+        .counter(
+            "tep_quality_unknown_total",
+            "Sampled pairs the oracle could not judge",
+            report.unknown,
+        )
+        .gauge(
+            "tep_quality_drift_alerts",
+            "Rolling drift alerts currently raised",
+            report.drift.len() as f64,
+        );
     }
 
     /// The quarantined events currently in the dead-letter queue, oldest
@@ -1360,6 +1740,183 @@ mod tests {
         // Already-accepted events still drain after close.
         b.flush_timeout(Duration::from_secs(10)).unwrap();
         assert_eq!(b.stats().processed, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn routing_decision_counters_split_by_policy() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        b.flush().unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.routed_broadcast, 1);
+        assert_eq!(stats.routed_theme_overlap, 0);
+        let prom = b.metrics().render_prometheus();
+        assert!(prom.contains("tep_routing_decisions_total{policy=\"broadcast\"} 1"));
+        assert!(prom.contains("tep_routing_decisions_total{policy=\"theme_overlap\"} 0"));
+        b.shutdown();
+
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_routing_policy(RoutingPolicy::ThemeOverlap);
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        b.publish(parse_event("({power}, {k: v})").unwrap())
+            .unwrap();
+        b.flush().unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.routed_broadcast, 0);
+        assert_eq!(stats.routed_theme_overlap, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_gauges_are_exported() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        b.flush().unwrap();
+        let prom = b.metrics().render_prometheus();
+        assert!(prom.contains("# TYPE tep_publish_queue_depth gauge"));
+        // Drained broker: nothing queued anywhere, one notification held.
+        assert!(prom.contains("tep_publish_queue_depth 0"));
+        assert!(prom.contains("tep_subscriber_queue_depth_sum 1"));
+        assert!(prom.contains("tep_subscriber_queue_depth_max 1"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn labeled_metrics_export_families_and_topk() {
+        let config = BrokerConfig::default()
+            .with_workers(1)
+            .with_labeled_metrics(true);
+        let b = Broker::start(Arc::new(ExactMatcher::new()), config);
+        let (id, rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        for _ in 0..3 {
+            b.publish(parse_event("({power, grid}, {k: v})").unwrap())
+                .unwrap();
+        }
+        b.flush().unwrap();
+        assert_eq!(rx.try_iter().count(), 3);
+
+        let prom = b.metrics().render_prometheus();
+        assert!(
+            prom.contains("tep_theme_match_tests_total{theme=\"power\"} 3"),
+            "per-theme attribution missing:\n{prom}"
+        );
+        assert!(prom.contains("tep_theme_match_tests_total{theme=\"grid\"} 3"));
+        assert!(prom.contains("tep_match_temperature_total{temperature=\"exact\"} 3"));
+        let sub_series = format!("tep_subscriber_notifications_total{{subscriber=\"{id}\"}} 3");
+        assert!(prom.contains(&sub_series), "missing {sub_series}:\n{prom}");
+        assert!(prom.contains(&format!(
+            "tep_subscriber_queue_depth{{subscriber=\"{id}\"}}"
+        )));
+
+        let themes = b.top_themes(4);
+        assert_eq!(themes.len(), 2);
+        assert!(themes.iter().all(|(_, count)| *count == 3));
+        let terms = b.top_terms(8);
+        assert!(terms.iter().any(|(name, _)| name == "k"));
+        assert!(terms.iter().any(|(name, _)| name == "v"));
+        let top = b.top_json(4);
+        assert!(top.contains("\"themes\""));
+        assert!(top.contains("\"count\": 3"));
+        assert_eq!(
+            top.matches(['{', '[']).count(),
+            top.matches(['}', ']']).count()
+        );
+        b.shutdown();
+    }
+
+    #[test]
+    fn disabled_labeled_metrics_stay_inert() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        b.publish(parse_event("({power}, {k: v})").unwrap())
+            .unwrap();
+        b.flush().unwrap();
+        assert!(b.top_themes(4).is_empty());
+        assert!(b.top_terms(4).is_empty());
+        let prom = b.metrics().render_prometheus();
+        assert!(!prom.contains("tep_theme_match_tests_total"));
+        assert!(!prom.contains("tep_subscriber_notifications_total"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn windowed_series_appear_after_ticks() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        assert!(b.window(Duration::from_secs(10)).is_none(), "no frames yet");
+        b.tick_window();
+        for _ in 0..5 {
+            b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        }
+        b.flush().unwrap();
+        b.tick_window();
+        let delta = b.window(Duration::from_secs(10)).expect("two frames");
+        assert_eq!(delta.counter_delta("tep_published_total"), Some(5));
+        assert_eq!(delta.counter_delta("tep_match_tests_total"), Some(5));
+        assert!(delta.rate("tep_published_total").unwrap() > 0.0);
+        let match_window = delta
+            .histogram("tep_stage_match_exact_seconds")
+            .expect("stage histogram in frame");
+        assert_eq!(match_window.count(), 5);
+
+        let prom = b.metrics().render_prometheus();
+        assert!(
+            prom.contains("tep_published_rate{window=\"10s\"}"),
+            "windowed rate missing:\n{prom}"
+        );
+        assert!(prom.contains("tep_stage_match_exact_seconds_count{window=\"10s\"} 5"));
+        // Cumulative series keep their bare names alongside.
+        assert!(prom.contains("tep_published_total 5"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn quality_sampling_tracks_live_f1() {
+        /// Ground truth: an event is relevant iff its `k` tuple is `v`.
+        struct KvOracle;
+        impl crate::QualityOracle for KvOracle {
+            fn judge(&self, _s: &Subscription, e: &Event) -> Option<bool> {
+                Some(e.value_of("k") == Some("v"))
+            }
+        }
+        let b = Broker::start(
+            Arc::new(ExactMatcher::new()),
+            BrokerConfig::default().with_workers(1),
+        )
+        .with_quality_sampling(1, Box::new(KvOracle));
+        assert!(b.quality().is_some(), "oracle installed");
+        let (_, rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        for i in 0..8 {
+            let event = if i % 2 == 0 { "{k: v}" } else { "{k: w}" };
+            b.publish(parse_event(event).unwrap()).unwrap();
+        }
+        b.flush().unwrap();
+        assert_eq!(rx.try_iter().count(), 4);
+        let report = b.quality().unwrap();
+        // The exact matcher agrees with the oracle perfectly.
+        assert_eq!(report.true_positives, 4);
+        assert_eq!(report.true_negatives, 4);
+        assert_eq!(report.false_positives, 0);
+        assert_eq!(report.false_negatives, 0);
+        assert!((report.f1 - 1.0).abs() < 1e-12);
+        let prom = b.metrics().render_prometheus();
+        assert!(prom.contains("tep_quality_f1 1"));
+        assert!(prom.contains("tep_quality_samples_total 8"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn quality_disabled_reports_none_and_exports_nothing() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        b.flush().unwrap();
+        assert!(b.quality().is_none());
+        assert!(!b.metrics().render_prometheus().contains("tep_quality_"));
         b.shutdown();
     }
 }

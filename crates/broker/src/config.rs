@@ -113,10 +113,41 @@ pub struct BrokerConfig {
     /// `span_capacity` [`crate::SpanRecord`]s across all sampled events.
     #[serde(default = "default_span_capacity")]
     pub span_capacity: usize,
+    /// Whether the broker keeps dimensional (labeled) metrics: per-theme
+    /// and per-temperature match counters, per-subscriber notification
+    /// counters, and the top-k hottest-theme/term sketches behind
+    /// [`crate::Broker::top_themes`]. `false` (the default) keeps the
+    /// hot path at one branch per stage.
+    #[serde(default)]
+    pub labeled_metrics: bool,
+    /// Hard cap on distinct label values per labeled metric family;
+    /// increments past the cap land in the `_overflow` series so total
+    /// counts stay exact while cardinality stays bounded.
+    #[serde(default = "default_label_cardinality")]
+    pub label_cardinality: usize,
+    /// Period, in milliseconds, at which the supervisor pushes a
+    /// cumulative metrics frame into the sliding-window ring that backs
+    /// the `{window="10s"|"60s"}` series in [`crate::Broker::metrics`].
+    /// `0` (the default) disables windowed aggregation.
+    #[serde(default)]
+    pub window_tick_ms: u64,
+    /// Capacity of the sliding-window frame ring (frames beyond it
+    /// evict oldest-first). 128 frames at a 1s tick cover both the 10s
+    /// and 60s windows with slack.
+    #[serde(default = "default_window_capacity")]
+    pub window_capacity: usize,
 }
 
 fn default_span_capacity() -> usize {
     1024
+}
+
+fn default_label_cardinality() -> usize {
+    32
+}
+
+fn default_window_capacity() -> usize {
+    128
 }
 
 impl BrokerConfig {
@@ -195,6 +226,34 @@ impl BrokerConfig {
         self.span_capacity = capacity;
         self
     }
+
+    /// Enables or disables dimensional (labeled) metrics.
+    pub fn with_labeled_metrics(mut self, enabled: bool) -> BrokerConfig {
+        self.labeled_metrics = enabled;
+        self
+    }
+
+    /// Replaces the per-family label cardinality cap (clamped to at
+    /// least 1).
+    pub fn with_label_cardinality(mut self, cap: usize) -> BrokerConfig {
+        self.label_cardinality = cap.max(1);
+        self
+    }
+
+    /// Enables periodic windowed-metrics frames every `tick` (rounded
+    /// to milliseconds; sub-millisecond ticks clamp to 1ms so enabling
+    /// cannot silently disable).
+    pub fn with_window_tick(mut self, tick: Duration) -> BrokerConfig {
+        self.window_tick_ms = (tick.as_millis() as u64).max(1);
+        self
+    }
+
+    /// Replaces the window frame-ring capacity (clamped to at least 2 —
+    /// a window needs two endpoints).
+    pub fn with_window_capacity(mut self, capacity: usize) -> BrokerConfig {
+        self.window_capacity = capacity.max(2);
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -214,6 +273,10 @@ impl Default for BrokerConfig {
             explain_capacity: 0,
             span_sample_every: 0,
             span_capacity: default_span_capacity(),
+            labeled_metrics: false,
+            label_cardinality: default_label_cardinality(),
+            window_tick_ms: 0,
+            window_capacity: default_window_capacity(),
         }
     }
 }
@@ -238,6 +301,10 @@ mod tests {
         assert_eq!(c.explain_capacity, 0, "explanations are opt-in");
         assert_eq!(c.span_sample_every, 0, "span sampling is opt-in");
         assert_eq!(c.span_capacity, 1024);
+        assert!(!c.labeled_metrics, "labeled metrics are opt-in");
+        assert_eq!(c.label_cardinality, 32);
+        assert_eq!(c.window_tick_ms, 0, "windowed metrics are opt-in");
+        assert_eq!(c.window_capacity, 128);
     }
 
     #[test]
@@ -253,7 +320,11 @@ mod tests {
             .with_trace_capacity(128)
             .with_explain_capacity(64)
             .with_span_sampling(10)
-            .with_span_capacity(256);
+            .with_span_capacity(256)
+            .with_labeled_metrics(true)
+            .with_label_cardinality(0)
+            .with_window_tick(Duration::from_micros(100))
+            .with_window_capacity(1);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
         assert_eq!(c.publish_policy, PublishPolicy::Reject);
@@ -268,6 +339,10 @@ mod tests {
         assert_eq!(c.explain_capacity, 64);
         assert_eq!(c.span_sample_every, 10);
         assert_eq!(c.span_capacity, 256);
+        assert!(c.labeled_metrics);
+        assert_eq!(c.label_cardinality, 1, "cardinality cap clamps to 1");
+        assert_eq!(c.window_tick_ms, 1, "sub-ms ticks clamp to 1ms");
+        assert_eq!(c.window_capacity, 2, "window ring clamps to 2 frames");
     }
 
     #[test]
@@ -291,7 +366,11 @@ mod tests {
         let c = BrokerConfig::default()
             .with_explain_capacity(32)
             .with_span_sampling(4)
-            .with_span_capacity(512);
+            .with_span_capacity(512)
+            .with_labeled_metrics(true)
+            .with_label_cardinality(16)
+            .with_window_tick(Duration::from_secs(1))
+            .with_window_capacity(64);
         let json = serde_json::to_string(&c).unwrap();
         let back: BrokerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);

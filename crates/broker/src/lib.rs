@@ -62,6 +62,7 @@ mod broker;
 mod config;
 mod explain;
 mod notification;
+mod quality;
 mod routing;
 mod stats;
 mod supervisor;
@@ -70,6 +71,7 @@ pub use broker::{Broker, BrokerError, SubscribeOptions, SubscriptionId};
 pub use config::{BrokerConfig, PublishPolicy, RoutingPolicy, SubscriberPolicy};
 pub use explain::{render_explanations_json, CacheTemperature, MatchExplanation, MatchOutcome};
 pub use notification::Notification;
+pub use quality::{render_quality_json, DriftAlert, DriftKind, QualityOracle, QualityReport};
 pub use stats::{BrokerStats, EventTrace, StageLatencies};
 pub use supervisor::DeadLetter;
 // Re-exported so downstream code can consume [`Broker::metrics`],
@@ -78,5 +80,5 @@ pub use supervisor::DeadLetter;
 pub use tep_matcher::{MatchDetail, PredicateExplanation, RelatednessDetail};
 pub use tep_obs::{
     render_spans_json, serve, span_tree, HistogramSnapshot, MetricsRegistry, ScrapeHandlers,
-    ScrapeServer, SpanNode, SpanRecord,
+    ScrapeServer, SpanNode, SpanRecord, WindowedDelta,
 };

@@ -25,6 +25,8 @@ pub(crate) struct StatsInner {
     pub disconnected_subscribers: AtomicU64,
     pub live_workers: AtomicU64,
     pub routing_skipped: AtomicU64,
+    pub routed_broadcast: AtomicU64,
+    pub routed_theme_overlap: AtomicU64,
     /// Per-stage latency histograms, recorded wait-free on the hot path.
     pub stage: StageTimers,
 }
@@ -162,6 +164,13 @@ pub struct BrokerStats {
     /// [`crate::RoutingPolicy::ThemeOverlap`] because the themes did not
     /// overlap. Always 0 under [`crate::RoutingPolicy::Broadcast`].
     pub routing_skipped: u64,
+    /// Events whose candidate set was selected by full broadcast
+    /// (either [`crate::RoutingPolicy::Broadcast`], or per-event
+    /// fallbacks under theme routing).
+    pub routed_broadcast: u64,
+    /// Events whose candidate set was selected by the theme-overlap
+    /// index under [`crate::RoutingPolicy::ThemeOverlap`].
+    pub routed_theme_overlap: u64,
     /// Semantic-layer cache counters (projection and measure-memo
     /// caches), sampled from the matcher when the snapshot is taken. All
     /// zeros for matchers without caches.
@@ -193,6 +202,8 @@ impl StatsInner {
             disconnected_subscribers: self.disconnected_subscribers.load(Ordering::Relaxed),
             live_workers: self.live_workers.load(Ordering::Relaxed),
             routing_skipped: self.routing_skipped.load(Ordering::Relaxed),
+            routed_broadcast: self.routed_broadcast.load(Ordering::Relaxed),
+            routed_theme_overlap: self.routed_theme_overlap.load(Ordering::Relaxed),
             // Filled in by `Broker::stats`, which can reach the matcher.
             semantic_cache: CacheStats::default(),
         }

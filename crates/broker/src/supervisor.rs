@@ -185,7 +185,22 @@ pub(crate) fn supervisor_loop<M>(
         .map(|i| spawn_worker(i, &rx, &shared, &matcher))
         .collect();
     let mut next_index = worker_count;
+    // Periodic window frames ride the supervisor's poll loop: zero extra
+    // threads, zero hot-path cost. The initial frame anchors the first
+    // windowed delta (the ring needs two frames to produce one).
+    let window_tick = (shared.config.window_tick_ms > 0)
+        .then(|| Duration::from_millis(shared.config.window_tick_ms));
+    let mut last_frame = Instant::now();
+    if window_tick.is_some() {
+        shared.window.push(shared.current_frame());
+    }
     loop {
+        if let Some(tick) = window_tick {
+            if last_frame.elapsed() >= tick {
+                shared.window.push(shared.current_frame());
+                last_frame = Instant::now();
+            }
+        }
         let shutting_down = shared.shutdown.load(Ordering::Acquire);
         let mut all_exited = true;
         for worker in &mut workers {
@@ -314,13 +329,23 @@ where
     let mut trace_skipped = 0usize;
     let registrations: Vec<(SubscriptionId, Arc<Registration>)> = match shared.config.routing_policy
     {
-        RoutingPolicy::Broadcast => shared
-            .registry
-            .read()
-            .iter()
-            .map(|(id, r)| (*id, Arc::clone(r)))
-            .collect(),
+        RoutingPolicy::Broadcast => {
+            shared
+                .stats
+                .routed_broadcast
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .registry
+                .read()
+                .iter()
+                .map(|(id, r)| (*id, Arc::clone(r)))
+                .collect()
+        }
         RoutingPolicy::ThemeOverlap => {
+            shared
+                .stats
+                .routed_theme_overlap
+                .fetch_add(1, Ordering::Relaxed);
             let ids = shared.routing.candidates(job.event.theme_tags());
             let registry = shared.registry.read();
             let total = registry.len();
@@ -361,6 +386,12 @@ where
     let mut trace_notifications = 0usize;
     let mut dead: Vec<SubscriptionId> = Vec::new();
     let mut exhausted_attempts = 0u32;
+    // Per-temperature test counts, flushed into the labeled families in
+    // one pass at the end of the event (a branch and three adds per
+    // event instead of per test).
+    let mut temp_exact = 0u64;
+    let mut temp_thematic = 0u64;
+    let mut temp_cached = 0u64;
     for (id, reg) in registrations {
         // Stage 2 (match test). Approximate subscriptions are classified
         // by sampling the matcher's miss counter around the call: a miss
@@ -415,12 +446,15 @@ where
         let stage = &shared.stats.stage;
         let temperature = if !reg.approx {
             stage.match_exact.record_nanos(match_nanos);
+            temp_exact += 1;
             CacheTemperature::Exact
         } else if matcher.cache_miss_count() > miss_before {
             stage.match_thematic.record_nanos(match_nanos);
+            temp_thematic += 1;
             CacheTemperature::ThematicCold
         } else {
             stage.match_cached.record_nanos(match_nanos);
+            temp_cached += 1;
             CacheTemperature::CacheWarm
         };
         let Some(result) = outcome else {
@@ -457,6 +491,22 @@ where
         let score = result.score();
         let mapped = !result.is_empty();
         let delivering = mapped && result.is_match(shared.config.delivery_threshold);
+        // Shadow quality sampling: with no oracle installed this is one
+        // `OnceLock` load; with one, unsampled tests add a hash and a
+        // modulo. The broker's decision (`delivering`) is judged against
+        // ground truth off the delivery path's critical data.
+        if let Some(quality) = shared.quality.get() {
+            if quality.should_sample(job.seq, id.0) {
+                let cache = matcher.cache_stats();
+                let lookups = cache.hits + cache.misses;
+                let hit_rate = if lookups == 0 {
+                    0.0
+                } else {
+                    cache.hits as f64 / lookups as f64
+                };
+                quality.record(&reg.subscription, &job.event, delivering, score, hit_rate);
+            }
+        }
         // Explanations are computed once per test, after the result, and
         // only when someone will read them: the broker-wide ring, or the
         // subscriber's own opt-in on a delivery.
@@ -594,6 +644,31 @@ where
     } else {
         shared.stats.processed.fetch_add(1, Ordering::Relaxed);
     }
+    // Labeled families and top-k sketches, one pass per event: theme
+    // attribution, temperature counts, and term frequencies. Disabled
+    // cost is the single branch on `dim`.
+    if let Some(dim) = &shared.dim {
+        let tests = trace_match_tests as u64;
+        for tag in job.event.theme_tags() {
+            if tests > 0 {
+                dim.match_by_theme.add(tag, tests);
+            }
+            dim.hot_themes.record(tag);
+        }
+        for tuple in job.event.tuples() {
+            dim.hot_terms.record(tuple.attribute());
+            dim.hot_terms.record(tuple.value());
+        }
+        if temp_exact > 0 {
+            dim.match_by_temp.add("exact", temp_exact);
+        }
+        if temp_thematic > 0 {
+            dim.match_by_temp.add("thematic", temp_thematic);
+        }
+        if temp_cached > 0 {
+            dim.match_by_temp.add("cached", temp_cached);
+        }
+    }
     if shared.trace.is_enabled() {
         shared.trace.push(EventTrace {
             seq: job.seq,
@@ -619,6 +694,9 @@ fn deliver(
     match reg.sender.try_send(notification) {
         Ok(()) => {
             shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = &reg.notif_counter {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
             reg.consecutive_full.store(0, Ordering::Relaxed);
             true
         }
@@ -667,6 +745,9 @@ fn drop_oldest_and_send(
         match reg.sender.try_send(notification) {
             Ok(()) => {
                 shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+                if let Some(counter) = &reg.notif_counter {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
                 return true;
             }
             Err(TrySendError::Full(back)) => {

@@ -67,11 +67,12 @@ pub use tep_thesaurus as thesaurus;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use tep_broker::{
-        render_explanations_json, render_spans_json, serve, span_tree, Broker, BrokerConfig,
-        BrokerError, BrokerStats, CacheTemperature, DeadLetter, EventTrace, HistogramSnapshot,
-        MatchExplanation, MatchOutcome, MetricsRegistry, Notification, PublishPolicy,
-        RoutingPolicy, ScrapeHandlers, ScrapeServer, SpanNode, SpanRecord, StageLatencies,
-        SubscribeOptions, SubscriberPolicy,
+        render_explanations_json, render_quality_json, render_spans_json, serve, span_tree, Broker,
+        BrokerConfig, BrokerError, BrokerStats, CacheTemperature, DeadLetter, DriftAlert,
+        DriftKind, EventTrace, HistogramSnapshot, MatchExplanation, MatchOutcome, MetricsRegistry,
+        Notification, PublishPolicy, QualityOracle, QualityReport, RoutingPolicy, ScrapeHandlers,
+        ScrapeServer, SpanNode, SpanRecord, StageLatencies, SubscribeOptions, SubscriberPolicy,
+        WindowedDelta,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};

@@ -39,6 +39,7 @@ pub mod metrics;
 mod config;
 mod expansion;
 mod ground_truth;
+mod oracle;
 mod runner;
 mod seed;
 mod subscriptions;
@@ -48,6 +49,7 @@ mod workload;
 pub use config::EvalConfig;
 pub use expansion::Expander;
 pub use ground_truth::GroundTruth;
+pub use oracle::{offline_effectiveness, GroundTruthOracle};
 pub use runner::{run_sub_experiment, MatcherStack, SubExperimentResult};
 pub use seed::SeedGenerator;
 pub use subscriptions::{approximate_all, SubscriptionGenerator};

@@ -94,6 +94,67 @@ pub fn effectiveness(rankings: &[(Vec<bool>, usize)]) -> Effectiveness {
     }
 }
 
+/// Micro-averaged precision/recall/F1 of *thresholded* match decisions.
+///
+/// Where [`Effectiveness`] ranks results and interpolates (the paper's
+/// offline methodology), this scores the broker's operational behavior:
+/// each subscription × event pair is a binary deliver/suppress decision
+/// at a fixed threshold, pooled into one confusion matrix. This is the
+/// population quantity the broker's live shadow sampler estimates, so
+/// the two are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdedEffectiveness {
+    /// Delivered and relevant.
+    pub true_positives: u64,
+    /// Delivered but not relevant.
+    pub false_positives: u64,
+    /// Relevant but suppressed.
+    pub false_negatives: u64,
+    /// Correctly suppressed.
+    pub true_negatives: u64,
+    /// tp / (tp + fp); 0 when nothing was delivered.
+    pub precision: f64,
+    /// tp / (tp + fn); 0 when nothing was relevant.
+    pub recall: f64,
+    /// Harmonic mean of the micro precision and recall.
+    pub f1: f64,
+}
+
+/// Pools `(predicted, relevant)` decision pairs into a micro-averaged
+/// [`ThresholdedEffectiveness`].
+pub fn thresholded_effectiveness(
+    decisions: impl IntoIterator<Item = (bool, bool)>,
+) -> ThresholdedEffectiveness {
+    let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
+    for (predicted, relevant) in decisions {
+        match (predicted, relevant) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    ThresholdedEffectiveness {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+        true_negatives: tn,
+        precision,
+        recall,
+        f1: f1(precision, recall),
+    }
+}
+
 /// The harmonic mean of precision and recall; 0 when both are 0.
 pub fn f1(precision: f64, recall: f64) -> f64 {
     if precision + recall == 0.0 {
@@ -201,6 +262,28 @@ mod tests {
         assert_eq!(f1(0.0, 0.0), 0.0);
         assert_eq!(f1(1.0, 1.0), 1.0);
         assert!((f1(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholded_effectiveness_pools_decisions() {
+        // 2 tp, 1 fp, 1 fn, 2 tn → P = 2/3, R = 2/3, F1 = 2/3.
+        let e = thresholded_effectiveness([
+            (true, true),
+            (true, true),
+            (true, false),
+            (false, true),
+            (false, false),
+            (false, false),
+        ]);
+        assert_eq!(e.true_positives, 2);
+        assert_eq!(e.false_positives, 1);
+        assert_eq!(e.false_negatives, 1);
+        assert_eq!(e.true_negatives, 2);
+        assert!((e.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.f1 - 2.0 / 3.0).abs() < 1e-12);
+        let empty = thresholded_effectiveness([]);
+        assert_eq!(empty.f1, 0.0);
     }
 
     #[test]

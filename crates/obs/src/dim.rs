@@ -1,0 +1,184 @@
+//! Labeled counter families with a hard cardinality cap.
+//!
+//! A dimensional metric (per-theme, per-subscriber, per-temperature) is
+//! a map from a label value to a counter. Unbounded label values are
+//! the classic way to melt a metrics backend, so a [`CounterFamily`]
+//! admits at most `cap` distinct series; every increment beyond that
+//! lands in a shared **overflow** series (exported under the
+//! [`OVERFLOW_LABEL`] value) — total counts stay exact, only the
+//! per-value breakdown saturates.
+//!
+//! The hot path holds an [`Arc<AtomicU64>`] handle resolved once (e.g.
+//! at subscribe time) and pays one relaxed `fetch_add` per increment;
+//! resolving a new label value takes a short write lock, which is rare
+//! by construction (label sets are small and stable).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The label value under which capped-out increments are exported.
+pub const OVERFLOW_LABEL: &str = "_overflow";
+
+/// A capped family of labeled counters; see the module docs.
+///
+/// Shareable by reference across threads; all methods take `&self`.
+pub struct CounterFamily {
+    series: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    cap: usize,
+    overflow: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for CounterFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CounterFamily")
+            .field("cap", &self.cap)
+            .field("series", &self.len())
+            .field("overflow", &self.overflow.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CounterFamily {
+    /// An empty family admitting at most `cap` distinct label values
+    /// (clamped to at least 1).
+    pub fn new(cap: usize) -> CounterFamily {
+        CounterFamily {
+            series: RwLock::new(HashMap::new()),
+            cap: cap.max(1),
+            overflow: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The counter handle for `value`, creating it while the family is
+    /// under its cap; at the cap, the shared overflow handle. Resolve
+    /// once and keep the `Arc` where the call site is hot.
+    pub fn handle(&self, value: &str) -> Arc<AtomicU64> {
+        if let Some(found) = self
+            .series
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(value)
+        {
+            return Arc::clone(found);
+        }
+        let mut series = self.series.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(found) = series.get(value) {
+            return Arc::clone(found);
+        }
+        if series.len() >= self.cap {
+            return Arc::clone(&self.overflow);
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        series.insert(value.to_string(), Arc::clone(&counter));
+        counter
+    }
+
+    /// Adds `n` to `value`'s counter (or to overflow past the cap).
+    pub fn add(&self, value: &str, n: u64) {
+        self.handle(value).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Distinct label values currently admitted (excludes overflow).
+    pub fn len(&self) -> usize {
+        self.series.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no label value has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `(label value, count)` pairs sorted by label value, with
+    /// [`OVERFLOW_LABEL`] appended when any increment overflowed —
+    /// ready to feed `counter_with`.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let series = self.series.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, u64)> = series
+            .iter()
+            .map(|(value, counter)| (value.clone(), counter.load(Ordering::Relaxed)))
+            .collect();
+        drop(series);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        let overflowed = self.overflow.load(Ordering::Relaxed);
+        if overflowed > 0 {
+            out.push((OVERFLOW_LABEL.to_string(), overflowed));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_count_independently() {
+        let family = CounterFamily::new(8);
+        family.add("sports", 3);
+        family.add("finance", 1);
+        family.add("sports", 2);
+        assert_eq!(
+            family.snapshot(),
+            vec![("finance".to_string(), 1), ("sports".to_string(), 5)]
+        );
+        assert_eq!(family.len(), 2);
+    }
+
+    #[test]
+    fn cap_routes_excess_labels_to_overflow() {
+        let family = CounterFamily::new(2);
+        family.add("a", 1);
+        family.add("b", 1);
+        family.add("c", 10);
+        family.add("d", 5);
+        family.add("a", 1); // existing series keep counting
+        assert_eq!(family.len(), 2, "cap admits exactly 2 series");
+        let snap = family.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 1),
+                (OVERFLOW_LABEL.to_string(), 15),
+            ]
+        );
+        // Total counts are preserved exactly.
+        assert_eq!(snap.iter().map(|(_, v)| v).sum::<u64>(), 18);
+    }
+
+    #[test]
+    fn hot_path_handles_are_stable() {
+        let family = CounterFamily::new(4);
+        let h1 = family.handle("sub-1");
+        let h2 = family.handle("sub-1");
+        h1.fetch_add(7, Ordering::Relaxed);
+        h2.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(family.snapshot(), vec![("sub-1".to_string(), 8)]);
+        assert!(family.handle("sub-1").load(Ordering::Relaxed) == 8);
+    }
+
+    #[test]
+    fn concurrent_increments_reconcile() {
+        use std::sync::Arc as StdArc;
+        let family = StdArc::new(CounterFamily::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let family = StdArc::clone(&family);
+                std::thread::spawn(move || {
+                    // Two admitted labels + contention past the cap.
+                    for _ in 0..10_000 {
+                        family.add(if t % 2 == 0 { "even" } else { "odd" }, 1);
+                        family.add(&format!("spill-{t}"), 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total: u64 = family.snapshot().iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 80_000, "no lost increments: {:?}", family.snapshot());
+    }
+}

@@ -215,6 +215,33 @@ impl HistogramSnapshot {
         out
     }
 
+    /// The counts recorded since `earlier` was taken from the same
+    /// histogram: per-bucket saturating subtraction, the raw material for
+    /// windowed rates and windowed percentiles. The delta's `max` is the
+    /// upper bound of its highest non-empty bucket (clamped to the
+    /// cumulative max) — the true windowed maximum is not recoverable
+    /// from bucket counts, but the bound shares the bucketing's ≤12.5%
+    /// relative error.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let max = buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map_or(0, |(i, _)| bucket_upper(i).min(self.max));
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max,
+        }
+    }
+
     /// Non-empty buckets as `(upper_bound_nanos_inclusive, count)`,
     /// ascending — the raw material for Prometheus `le` buckets.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {

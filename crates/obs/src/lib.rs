@@ -22,7 +22,14 @@
 //!   a tree;
 //! * [`serve`] / [`ScrapeHandlers`] — a single-threaded blocking HTTP
 //!   scrape server (std `TcpListener`) exposing `/metrics`, `/healthz`,
-//!   and `/explain`.
+//!   `/explain`, and (when installed) `/quality` and `/top`;
+//! * [`WindowRing`] / [`MetricsFrame`] — sliding-window aggregation
+//!   over periodic cumulative snapshots, turning forever-counters into
+//!   windowed rates and windowed percentiles;
+//! * [`TopKSketch`] — a concurrent space-saving sketch for the top-k
+//!   hottest themes/terms in bounded memory;
+//! * [`CounterFamily`] — labeled counter series under a hard
+//!   cardinality cap with an overflow bucket.
 //!
 //! The crate is intentionally free of tep dependencies so any layer
 //! (semantics, matcher, broker, bench) can use it without cycles.
@@ -30,16 +37,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod dim;
 mod escape;
 mod hist;
 mod registry;
 mod serve;
 mod span;
+mod topk;
 mod trace;
+mod window;
 
+pub use dim::{CounterFamily, OVERFLOW_LABEL};
 pub use escape::{escape_json, is_valid_label_name, is_valid_metric_name};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use registry::MetricsRegistry;
 pub use serve::{serve, ScrapeHandlers, ScrapeServer};
 pub use span::{render_spans_json, span_tree, SpanCollector, SpanNode, SpanRecord};
+pub use topk::TopKSketch;
 pub use trace::TraceRing;
+pub use window::{MetricsFrame, WindowRing, WindowedDelta};

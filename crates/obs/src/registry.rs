@@ -25,12 +25,15 @@ type Labels = Vec<(String, String)>;
 /// values are escaped on render, so no registered sample can corrupt
 /// the scrape text. Several samples may share a metric name as long as
 /// their label sets differ; `# HELP`/`# TYPE` headers are emitted once
-/// per name.
+/// per name. Samples registered more than once under the *same* name
+/// and label set (e.g. per-shard or per-worker copies of one logical
+/// metric) are coalesced on render — counters sum, gauges keep the last
+/// value, histograms merge — so the exposition never repeats a series.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Vec<(String, String, Labels, u64)>,
     gauges: Vec<(String, String, Labels, f64)>,
-    histograms: Vec<(String, String, HistogramSnapshot)>,
+    histograms: Vec<(String, String, Labels, HistogramSnapshot)>,
 }
 
 /// Renders a nanosecond value as a Prometheus seconds literal.
@@ -152,37 +155,116 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is not a valid Prometheus metric name.
     pub fn histogram(&mut self, name: &str, help: &str, snap: HistogramSnapshot) -> &mut Self {
+        self.histogram_with(name, help, &[], snap)
+    }
+
+    /// Adds a latency histogram snapshot carrying label pairs (e.g. a
+    /// `window="10s"` variant next to the cumulative bare series).
+    ///
+    /// # Panics
+    /// If `name` or any label name is invalid.
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: HistogramSnapshot,
+    ) -> &mut Self {
         check_metric_name(name);
-        self.histograms.push((name.into(), help.into(), snap));
+        let labels = check_labels(name, labels);
+        self.histograms
+            .push((name.into(), help.into(), labels, snap));
         self
+    }
+
+    /// Counters with duplicate `(name, labels)` summed, registration
+    /// order preserved (first occurrence wins the position).
+    fn coalesced_counters(&self) -> Vec<(&str, &str, &Labels, u64)> {
+        let mut out: Vec<(&str, &str, &Labels, u64)> = Vec::new();
+        for (name, help, labels, value) in &self.counters {
+            match out
+                .iter_mut()
+                .find(|(n, _, l, _)| *n == name && *l == labels)
+            {
+                Some(entry) => entry.3 += value,
+                None => out.push((name, help, labels, *value)),
+            }
+        }
+        out
+    }
+
+    /// Gauges with duplicate `(name, labels)` collapsed to the last
+    /// registered value (a gauge is a point-in-time reading).
+    fn coalesced_gauges(&self) -> Vec<(&str, &str, &Labels, f64)> {
+        let mut out: Vec<(&str, &str, &Labels, f64)> = Vec::new();
+        for (name, help, labels, value) in &self.gauges {
+            match out
+                .iter_mut()
+                .find(|(n, _, l, _)| *n == name && *l == labels)
+            {
+                Some(entry) => entry.3 = *value,
+                None => out.push((name, help, labels, *value)),
+            }
+        }
+        out
+    }
+
+    /// Histograms with duplicate `(name, labels)` merged bucket-wise
+    /// (per-shard copies of one logical histogram become one series).
+    fn coalesced_histograms(&self) -> Vec<(&str, &str, &Labels, HistogramSnapshot)> {
+        let mut out: Vec<(&str, &str, &Labels, HistogramSnapshot)> = Vec::new();
+        for (name, help, labels, snap) in &self.histograms {
+            match out
+                .iter_mut()
+                .find(|(n, _, l, _)| *n == name && *l == labels)
+            {
+                Some(entry) => entry.3.merge(snap),
+                None => out.push((name, help, labels, snap.clone())),
+            }
+        }
+        out
     }
 
     /// The Prometheus text exposition document.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut emitted: Vec<String> = Vec::new();
-        for (name, help, labels, value) in &self.counters {
+        for (name, help, labels, value) in self.coalesced_counters() {
             header(&mut out, &mut emitted, name, help, "counter");
             let _ = writeln!(out, "{} {value}", series(name, labels));
         }
-        for (name, help, labels, value) in &self.gauges {
+        for (name, help, labels, value) in self.coalesced_gauges() {
             header(&mut out, &mut emitted, name, help, "gauge");
             let _ = writeln!(out, "{} {value}", series(name, labels));
         }
-        for (name, help, snap) in &self.histograms {
+        for (name, help, labels, snap) in self.coalesced_histograms() {
             header(&mut out, &mut emitted, name, help, "histogram");
+            // `le` joins the sample's own labels inside one brace set.
+            let prefix: String = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\",", escape_label_value(v)))
+                .collect();
             let mut cumulative = 0u64;
             for (upper_ns, count) in snap.nonzero_buckets() {
                 cumulative += count;
                 let _ = writeln!(
                     out,
-                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    "{name}_bucket{{{prefix}le=\"{}\"}} {cumulative}",
                     secs(upper_ns)
                 );
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-            let _ = writeln!(out, "{name}_sum {}", secs(snap.sum().as_nanos() as u64));
-            let _ = writeln!(out, "{name}_count {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(&format!("{name}_sum"), labels),
+                secs(snap.sum().as_nanos() as u64)
+            );
+            let _ = writeln!(
+                out,
+                "{} {cumulative}",
+                series(&format!("{name}_count"), labels)
+            );
         }
         out
     }
@@ -192,19 +274,19 @@ impl MetricsRegistry {
     /// samples are keyed by their full `name{k="v"}` series string.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
-        for (i, (name, _, labels, value)) in self.counters.iter().enumerate() {
+        for (i, (name, _, labels, value)) in self.coalesced_counters().iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let key = escape_json(&series(name, labels));
             let _ = write!(out, "{sep}\n    \"{key}\": {value}");
         }
         out.push_str("\n  },\n  \"gauges\": {");
-        for (i, (name, _, labels, value)) in self.gauges.iter().enumerate() {
+        for (i, (name, _, labels, value)) in self.coalesced_gauges().iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let key = escape_json(&series(name, labels));
             let _ = write!(out, "{sep}\n    \"{key}\": {value}");
         }
         out.push_str("\n  },\n  \"histograms\": {");
-        for (i, (name, _, snap)) in self.histograms.iter().enumerate() {
+        for (i, (name, _, labels, snap)) in self.coalesced_histograms().iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
@@ -214,7 +296,7 @@ impl MetricsRegistry {
                     "\"sum_ns\": {}}}"
                 ),
                 sep,
-                name,
+                escape_json(&series(name, labels)),
                 snap.count(),
                 snap.p50().as_nanos(),
                 snap.p90().as_nanos(),
@@ -354,6 +436,80 @@ mod tests {
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn duplicate_series_coalesce_instead_of_repeating() {
+        // Same logical metric registered once per shard/worker: the
+        // exposition must contain one header and ONE summed sample line.
+        let h1 = LatencyHistogram::new();
+        let h2 = LatencyHistogram::new();
+        h1.record_nanos(1_000);
+        h2.record_nanos(2_000);
+        let mut r = MetricsRegistry::new();
+        r.counter("tep_shard_hits_total", "Cache hits.", 10)
+            .counter("tep_shard_hits_total", "Cache hits.", 32)
+            .gauge("tep_shard_entries", "Entries.", 5.0)
+            .gauge("tep_shard_entries", "Entries.", 7.0)
+            .histogram("tep_shard_seconds", "Latency.", h1.snapshot())
+            .histogram("tep_shard_seconds", "Latency.", h2.snapshot());
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE tep_shard_hits_total").count(), 1);
+        assert_eq!(text.matches("tep_shard_hits_total 42").count(), 1);
+        assert!(
+            !text.contains("tep_shard_hits_total 10"),
+            "per-shard values must sum, not repeat:\n{text}"
+        );
+        // Gauges keep the last reading.
+        assert!(text.contains("tep_shard_entries 7"));
+        assert!(!text.contains("tep_shard_entries 5"));
+        // Histograms merge: one _count line with both samples.
+        assert_eq!(text.matches("tep_shard_seconds_count").count(), 1);
+        assert!(text.contains("tep_shard_seconds_count 2"));
+        // JSON sees the coalesced values too.
+        let json = r.render_json();
+        assert!(json.contains("\"tep_shard_hits_total\": 42"));
+        assert!(json.contains("\"tep_shard_entries\": 7"));
+        assert!(json.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn labeled_histograms_render_window_variants() {
+        let cumulative = LatencyHistogram::new();
+        let windowed = LatencyHistogram::new();
+        for us in [1u64, 10, 100] {
+            cumulative.record_nanos(us * 1_000);
+        }
+        windowed.record_nanos(10_000);
+        let mut r = MetricsRegistry::new();
+        r.histogram(
+            "tep_stage_match_seconds",
+            "Match latency.",
+            cumulative.snapshot(),
+        )
+        .histogram_with(
+            "tep_stage_match_seconds",
+            "Match latency.",
+            &[("window", "10s")],
+            windowed.snapshot(),
+        );
+        let text = r.render_prometheus();
+        // One header for both variants.
+        assert_eq!(
+            text.matches("# TYPE tep_stage_match_seconds histogram")
+                .count(),
+            1
+        );
+        // Bare cumulative series and labeled windowed series coexist.
+        assert!(text.contains("tep_stage_match_seconds_count 3"));
+        assert!(text.contains("tep_stage_match_seconds_count{window=\"10s\"} 1"));
+        assert!(
+            text.contains("tep_stage_match_seconds_bucket{window=\"10s\",le="),
+            "windowed buckets must put the window label before le:\n{text}"
+        );
+        assert!(text.contains("tep_stage_match_seconds_sum{window=\"10s\"} 0.00001"));
+        let json = r.render_json();
+        assert!(json.contains("\"tep_stage_match_seconds{window=\\\"10s\\\"}\""));
     }
 
     #[test]

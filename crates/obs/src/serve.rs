@@ -1,11 +1,15 @@
 //! A dependency-free blocking HTTP scrape server.
 //!
-//! One `std::net::TcpListener` on one thread, serving three read-only
+//! One `std::net::TcpListener` on one thread, serving read-only
 //! endpoints:
 //!
 //! * `GET /metrics` — Prometheus text exposition,
 //! * `GET /healthz` — liveness JSON (supervisor state, quarantine depth),
-//! * `GET /explain` — JSON array of recent match explanations.
+//! * `GET /explain` — JSON array of recent match explanations,
+//! * `GET /quality` — live precision/recall/F1 JSON (when the embedder
+//!   installs a handler via [`ScrapeHandlers::with_quality`]),
+//! * `GET /top` — top-k hottest themes/terms JSON (when installed via
+//!   [`ScrapeHandlers::with_top`]).
 //!
 //! The handlers are plain closures supplied by the embedding process, so
 //! this crate stays free of tep dependencies and the broker stays free
@@ -30,17 +34,20 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
 type Handler = Box<dyn Fn() -> String + Send + Sync>;
 
-/// The three endpoint bodies, produced on demand by the embedder.
+/// The endpoint bodies, produced on demand by the embedder.
 pub struct ScrapeHandlers {
     metrics: Handler,
     healthz: Handler,
     explain: Handler,
+    quality: Option<Handler>,
+    top: Option<Handler>,
 }
 
 impl ScrapeHandlers {
     /// Bundles the `/metrics`, `/healthz`, and `/explain` body
     /// producers. Each is called once per matching request, on the
-    /// serving thread.
+    /// serving thread. `/quality` and `/top` answer 404 until installed
+    /// with [`ScrapeHandlers::with_quality`] / [`ScrapeHandlers::with_top`].
     pub fn new(
         metrics: impl Fn() -> String + Send + Sync + 'static,
         healthz: impl Fn() -> String + Send + Sync + 'static,
@@ -50,7 +57,24 @@ impl ScrapeHandlers {
             metrics: Box::new(metrics),
             healthz: Box::new(healthz),
             explain: Box::new(explain),
+            quality: None,
+            top: None,
         }
+    }
+
+    /// Installs the `/quality` body producer (JSON).
+    pub fn with_quality(
+        mut self,
+        quality: impl Fn() -> String + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        self.quality = Some(Box::new(quality));
+        self
+    }
+
+    /// Installs the `/top` body producer (JSON).
+    pub fn with_top(mut self, top: impl Fn() -> String + Send + Sync + 'static) -> ScrapeHandlers {
+        self.top = Some(Box::new(top));
+        self
     }
 }
 
@@ -149,10 +173,20 @@ fn handle_connection(stream: &mut TcpStream, handlers: &ScrapeHandlers) -> io::R
             ),
             "/healthz" => ("200 OK", "application/json", (handlers.healthz)()),
             "/explain" => ("200 OK", "application/json", (handlers.explain)()),
+            "/quality" if handlers.quality.is_some() => (
+                "200 OK",
+                "application/json",
+                (handlers.quality.as_ref().expect("guarded"))(),
+            ),
+            "/top" if handlers.top.is_some() => (
+                "200 OK",
+                "application/json",
+                (handlers.top.as_ref().expect("guarded"))(),
+            ),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /healthz, /explain\n".to_string(),
+                "not found; try /metrics, /healthz, /explain, /quality, /top\n".to_string(),
             ),
         }
     };
@@ -232,6 +266,34 @@ mod tests {
         assert!(explain.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(explain.ends_with("[]"), "query string is ignored");
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn quality_and_top_are_404_until_installed() {
+        let server = start();
+        let addr = server.local_addr();
+        assert!(get(addr, "/quality").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/top").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+
+        let server = serve(
+            "127.0.0.1:0",
+            ScrapeHandlers::new(String::new, String::new, String::new)
+                .with_quality(|| "{\"f1\":0.85}".to_string())
+                .with_top(|| "{\"themes\":[]}".to_string()),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let quality = get(addr, "/quality");
+        assert!(quality.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(quality.contains("Content-Type: application/json"));
+        assert!(quality.ends_with("{\"f1\":0.85}"));
+        let top = get(addr, "/top");
+        assert!(top.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(top.ends_with("{\"themes\":[]}"));
+        // The 404 hint advertises the new endpoints.
+        assert!(get(addr, "/nope").contains("/quality, /top"));
         server.shutdown();
     }
 

@@ -1,0 +1,302 @@
+//! Sliding-window aggregation over periodic cumulative snapshots.
+//!
+//! Cumulative counters and histograms hide drift: a regression ten
+//! minutes ago is invisible under an hour of healthy traffic. The
+//! [`WindowRing`] fixes that without touching the hot path — some
+//! periodic task (the broker's supervisor tick) pushes a
+//! [`MetricsFrame`] of *cumulative* readings, and [`WindowRing::window`]
+//! subtracts the frame nearest the window boundary from the newest one,
+//! yielding windowed rates and windowed percentiles (histogram deltas
+//! merge exactly because every histogram shares one bucket layout; see
+//! [`HistogramSnapshot::delta_since`]).
+//!
+//! The ring is bounded: pushing beyond capacity drops the oldest frame,
+//! so memory is `capacity × frame size` forever. All timing flows
+//! through explicit [`Instant`]s (`push_at`), keeping tests
+//! deterministic.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One periodic reading: cumulative counter values and cumulative
+/// histogram snapshots at a single point in time.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsFrame {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsFrame {
+    /// An empty frame.
+    pub fn new() -> MetricsFrame {
+        MetricsFrame::default()
+    }
+
+    /// Records one cumulative counter reading.
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut Self {
+        self.counters.push((name.to_string(), value));
+        self
+    }
+
+    /// Records one cumulative histogram snapshot.
+    pub fn histogram(&mut self, name: &str, snap: HistogramSnapshot) -> &mut Self {
+        self.histograms.push((name.to_string(), snap));
+        self
+    }
+
+    fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn histogram_value(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+}
+
+/// The difference between the newest frame and the frame closest to the
+/// requested window boundary: what happened *during* the window.
+#[derive(Debug, Clone)]
+pub struct WindowedDelta {
+    span: Duration,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl WindowedDelta {
+    /// The actual time covered — at most the requested window, less when
+    /// the ring is younger than the window.
+    pub fn span(&self) -> Duration {
+        self.span
+    }
+
+    /// How much `name` grew during the window (`None` if the newest
+    /// frame does not carry it).
+    pub fn counter_delta(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// `name`'s per-second rate over the window.
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        let secs = self.span.as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        self.counter_delta(name).map(|d| d as f64 / secs)
+    }
+
+    /// The histogram of values recorded during the window — feed to
+    /// `p50()`/`p95()`/`p99()` for windowed percentiles.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// All counter deltas, in the newest frame's order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histogram deltas, in the newest frame's order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> + '_ {
+        self.histograms.iter().map(|(n, s)| (n.as_str(), s))
+    }
+}
+
+/// A bounded ring of timestamped cumulative frames; see the module docs.
+///
+/// Shareable by reference across threads; pushes and reads take a
+/// single short mutex (this is cold-path code — frames arrive a few
+/// times per second at most).
+#[derive(Debug)]
+pub struct WindowRing {
+    frames: Mutex<VecDeque<(Instant, MetricsFrame)>>,
+    capacity: usize,
+}
+
+impl WindowRing {
+    /// An empty ring holding at most `capacity` frames (minimum 2 — a
+    /// window needs two endpoints).
+    pub fn new(capacity: usize) -> WindowRing {
+        WindowRing {
+            frames: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(2),
+        }
+    }
+
+    /// Pushes a frame stamped now.
+    pub fn push(&self, frame: MetricsFrame) {
+        self.push_at(Instant::now(), frame);
+    }
+
+    /// Pushes a frame with an explicit timestamp (deterministic tests).
+    /// Frames older than the current newest are ignored — time moves
+    /// one way.
+    pub fn push_at(&self, at: Instant, frame: MetricsFrame) {
+        let mut frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((newest, _)) = frames.back() {
+            if at < *newest {
+                return;
+            }
+        }
+        if frames.len() == self.capacity {
+            frames.pop_front();
+        }
+        frames.push_back((at, frame));
+    }
+
+    /// Number of frames currently held.
+    pub fn len(&self) -> usize {
+        self.frames.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no frames have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The delta over (approximately) the last `window` of time: newest
+    /// frame minus the youngest frame at least `window` old. When the
+    /// ring is younger than `window` the oldest frame is used and
+    /// [`WindowedDelta::span`] reports the shorter actual coverage.
+    /// `None` until two frames exist or when the span is zero.
+    pub fn window(&self, window: Duration) -> Option<WindowedDelta> {
+        let frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        if frames.len() < 2 {
+            return None;
+        }
+        let (newest_at, newest) = frames.back().expect("len >= 2");
+        // Youngest frame at least `window` older than the newest; the
+        // ring is ordered, so scan from the back.
+        let (base_at, base) = frames
+            .iter()
+            .rev()
+            .skip(1)
+            .find(|(at, _)| newest_at.duration_since(*at) >= window)
+            .unwrap_or_else(|| frames.front().expect("len >= 2"));
+        let span = newest_at.duration_since(*base_at);
+        if span.is_zero() {
+            return None;
+        }
+        let counters = newest
+            .counters
+            .iter()
+            .map(|(name, now)| {
+                let then = base.counter_value(name).unwrap_or(0);
+                (name.clone(), now.saturating_sub(then))
+            })
+            .collect();
+        let histograms = newest
+            .histograms
+            .iter()
+            .map(|(name, now)| {
+                let delta = match base.histogram_value(name) {
+                    Some(then) => now.delta_since(then),
+                    None => now.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        Some(WindowedDelta {
+            span,
+            counters,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    fn frame(published: u64, latencies_us: &[u64]) -> MetricsFrame {
+        let h = LatencyHistogram::new();
+        for us in latencies_us {
+            h.record_nanos(us * 1_000);
+        }
+        let mut f = MetricsFrame::new();
+        f.counter("published", published)
+            .histogram("match_seconds", h.snapshot());
+        f
+    }
+
+    #[test]
+    fn windowed_rates_and_percentiles_from_cumulative_frames() {
+        let ring = WindowRing::new(16);
+        let t0 = Instant::now();
+        // Cumulative: 0 events at t0, 100 at +10s, 700 at +20s.
+        ring.push_at(t0, frame(0, &[]));
+        ring.push_at(t0 + Duration::from_secs(10), frame(100, &[10, 20]));
+        ring.push_at(
+            t0 + Duration::from_secs(20),
+            frame(700, &[10, 20, 5_000, 5_000, 5_000]),
+        );
+        // Last 10s: 600 events → 60 ev/s; three 5ms latencies recorded.
+        let w = ring.window(Duration::from_secs(10)).unwrap();
+        assert_eq!(w.span(), Duration::from_secs(10));
+        assert_eq!(w.counter_delta("published"), Some(600));
+        assert!((w.rate("published").unwrap() - 60.0).abs() < 1e-9);
+        let h = w.histogram("match_seconds").unwrap();
+        assert_eq!(h.count(), 3);
+        assert!(h.p50() >= Duration::from_micros(5_000));
+        // Last 60s falls back to the full ring: 700 events over 20s.
+        let w = ring.window(Duration::from_secs(60)).unwrap();
+        assert_eq!(w.span(), Duration::from_secs(20));
+        assert_eq!(w.counter_delta("published"), Some(700));
+        assert!((w.rate("published").unwrap() - 35.0).abs() < 1e-9);
+        assert_eq!(w.histogram("match_seconds").unwrap().count(), 5);
+    }
+
+    #[test]
+    fn needs_two_frames() {
+        let ring = WindowRing::new(8);
+        assert!(ring.window(Duration::from_secs(10)).is_none());
+        ring.push_at(Instant::now(), frame(5, &[]));
+        assert!(ring.window(Duration::from_secs(10)).is_none());
+        assert_eq!(ring.len(), 1);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_time_only_moves_forward() {
+        let ring = WindowRing::new(2);
+        let t0 = Instant::now();
+        ring.push_at(t0, frame(1, &[]));
+        ring.push_at(t0 + Duration::from_secs(1), frame(2, &[]));
+        ring.push_at(t0 + Duration::from_secs(2), frame(3, &[]));
+        assert_eq!(ring.len(), 2, "capacity 2 keeps only the newest two");
+        // Backwards timestamps are dropped.
+        ring.push_at(t0, frame(99, &[]));
+        assert_eq!(ring.len(), 2);
+        let w = ring.window(Duration::from_secs(60)).unwrap();
+        assert_eq!(w.counter_delta("published"), Some(1), "3 - 2");
+    }
+
+    #[test]
+    fn counters_missing_from_the_base_frame_count_from_zero() {
+        let ring = WindowRing::new(4);
+        let t0 = Instant::now();
+        ring.push_at(t0, MetricsFrame::new());
+        ring.push_at(t0 + Duration::from_secs(5), frame(40, &[7]));
+        let w = ring.window(Duration::from_secs(5)).unwrap();
+        assert_eq!(w.counter_delta("published"), Some(40));
+        assert_eq!(w.histogram("match_seconds").unwrap().count(), 1);
+        assert_eq!(w.counters().count(), 1);
+        assert_eq!(w.histograms().count(), 1);
+        assert!(w.counter_delta("absent").is_none());
+        assert!(w.rate("absent").is_none());
+    }
+}

@@ -410,6 +410,51 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_counters_reconcile_under_eviction_pressure() {
+        // Disjoint per-thread key ranges: no two threads ever race on the
+        // same key, so every miss inserts exactly one new resident entry
+        // and entries leave residency only through rotation. At
+        // quiescence the counters must reconcile exactly:
+        //
+        //   hits + misses == lookups
+        //   misses        == resident entries + evictions
+        //
+        // The tiny capacity keeps every shard rotating while 8 threads
+        // hammer it, so the equalities are checked *under* eviction
+        // pressure, not on an idle cache.
+        const THREADS: u32 = 8;
+        const KEYS_PER_THREAD: u32 = 300;
+        const PASSES: u32 = 3;
+        let cache: Arc<ShardedCache<u32, u32>> = Arc::new(ShardedCache::new(4, 128));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let base = t * KEYS_PER_THREAD;
+                    for _ in 0..PASSES {
+                        for k in base..base + KEYS_PER_THREAD {
+                            assert_eq!(cache.get_or_insert_with(&k, || k * 3), k * 3);
+                            // Re-touch the thread's base key every
+                            // iteration: promotion keeps it resident, so
+                            // the hit counter moves under rotation too.
+                            assert_eq!(cache.get_or_insert_with(&base, || base * 3), base * 3);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        let lookups = (THREADS * KEYS_PER_THREAD * PASSES * 2) as u64;
+        assert_eq!(stats.hits + stats.misses, lookups);
+        assert_eq!(stats.misses, stats.entries + stats.evictions);
+        assert!(stats.evictions > 0, "capacity 128 must rotate: {stats:?}");
+        assert!(stats.hits > 0, "promoted entries must re-hit: {stats:?}");
+    }
+
+    #[test]
     fn hit_rate_and_merge() {
         let a = CacheStats {
             hits: 3,
