@@ -139,6 +139,7 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     let explain_slot = Arc::clone(slot);
     let quality_slot = Arc::clone(slot);
     let top_slot = Arc::clone(slot);
+    let overload_slot = Arc::clone(slot);
     ScrapeHandlers::new(
         move || match metrics_slot.read().unwrap().as_ref() {
             Some(b) => b.metrics().render_prometheus(),
@@ -174,6 +175,10 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
         Some(b) => b.top_json(10),
         None => String::from("{\"themes\":[],\"terms\":[]}\n"),
     })
+    .with_overload(move || match overload_slot.read().unwrap().as_ref() {
+        Some(b) => b.overload_json(),
+        None => String::from("{\n  \"enabled\": false\n}\n"),
+    })
 }
 
 /// Broker throughput scenarios → `BENCH_throughput.json` plus a
@@ -206,7 +211,7 @@ fn bench_throughput() {
     let server = serve_addr.map(|addr| {
         let server = serve(&addr, scrape_handlers(&slot)).expect("bind scrape server");
         println!(
-            "serving /metrics /healthz /explain /quality /top on http://{}",
+            "serving /metrics /healthz /explain /quality /top /overload on http://{}",
             server.local_addr()
         );
         server
@@ -255,6 +260,12 @@ fn bench_throughput() {
     let quality_json = tep_bench::quality::render_json(&quality_results);
     std::fs::write("BENCH_quality.json", quality_json).expect("write quality JSON");
     println!("wrote BENCH_quality.json");
+    let storm = tep_bench::overload::run_overload_storm(&observer);
+    *slot.write().unwrap() = None;
+    println!("{}", storm.summary());
+    let overload_json = tep_bench::overload::render_json(&storm);
+    std::fs::write("BENCH_overload.json", overload_json).expect("write overload JSON");
+    println!("wrote BENCH_overload.json");
     drop(server);
 }
 

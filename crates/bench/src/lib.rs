@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod overload;
 pub mod quality;
 pub mod report;
 pub mod throughput;

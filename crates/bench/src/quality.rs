@@ -125,6 +125,15 @@ pub fn render_json(results: &[QualityScenario]) -> String {
 /// Publishes `events` through a quality-sampled broker `rounds` times,
 /// reads the live report, then replays the same pairs offline through
 /// the same matcher and oracle.
+///
+/// With `force_state` set, the broker runs with overload control enabled
+/// and pinned to that load state, so the live side matches at the state's
+/// degraded fidelity while the offline replay stays at full fidelity —
+/// `f1_gap` then *is* the measured live-F1 cost of that degradation rung
+/// (and `within_ci` is expected to be false for lossy rungs). Degraded
+/// scenarios are reported in `BENCH_quality.json` but deliberately kept
+/// out of `ci/quality_baseline.json`, so the gate never holds them to the
+/// estimator-agreement bar.
 #[allow(clippy::too_many_arguments)]
 fn run_quality_scenario<M>(
     name: &str,
@@ -135,11 +144,17 @@ fn run_quality_scenario<M>(
     events: &[Event],
     every: u64,
     rounds: usize,
+    force_state: Option<LoadState>,
     observer: &ScenarioObserver,
 ) -> QualityScenario
 where
     M: Matcher + Send + Sync + 'static,
 {
+    let config = if force_state.is_some() {
+        config.with_overload_control(OverloadConfig::default())
+    } else {
+        config
+    };
     let threshold = config.delivery_threshold;
     let broker = Arc::new(
         Broker::start(Arc::clone(&matcher), config)
@@ -149,6 +164,17 @@ where
         .iter()
         .map(|s| broker.subscribe(s.clone()).expect("subscribe").1)
         .collect();
+    if let Some(state) = force_state {
+        // Warm every pair's semantic caches at full fidelity first — the
+        // shared Arc means the broker's workers see the same caches — so
+        // `CacheOnly` measures the warm-cache rung, not a cold start.
+        for sub in subscriptions {
+            for event in events {
+                let _ = matcher.match_event(sub, event);
+            }
+        }
+        broker.force_load_state(Some(state));
+    }
     observer(name, &broker);
     for _ in 0..rounds {
         for e in events {
@@ -207,7 +233,12 @@ where
 ///   (1-in-100 sampling over enough rounds for ~200 samples): live F1
 ///   must agree with offline within its confidence interval;
 /// * `quality_thematic_k1` — the thematic matcher with themed traffic,
-///   exercising approximate scores and the cache-temperature path.
+///   exercising approximate scores and the cache-temperature path;
+/// * `quality_degraded_cache_only` / `quality_degraded_exact_only` — the
+///   thematic matcher (memo-cached) with the broker pinned to
+///   `Overloaded` / `Critical`, measuring the live-F1 cost of each
+///   degraded matching rung against the full-fidelity offline replay
+///   (`f1_gap`). Not part of `ci/quality_baseline.json`.
 pub fn run_quality_scenarios() -> Vec<QualityScenario> {
     run_quality_scenarios_observed(&|_, _| {})
 }
@@ -247,6 +278,7 @@ pub fn run_quality_scenarios_observed(observer: &ScenarioObserver) -> Vec<Qualit
             &base_events,
             1,
             2,
+            None,
             observer,
         ),
         run_quality_scenario(
@@ -258,6 +290,7 @@ pub fn run_quality_scenarios_observed(observer: &ScenarioObserver) -> Vec<Qualit
             &base_events,
             100,
             24,
+            None,
             observer,
         ),
         run_quality_scenario(
@@ -269,6 +302,31 @@ pub fn run_quality_scenarios_observed(observer: &ScenarioObserver) -> Vec<Qualit
             &themed_events,
             1,
             1,
+            None,
+            observer,
+        ),
+        run_quality_scenario(
+            "quality_degraded_cache_only",
+            Arc::new(stack.thematic_cached()),
+            BrokerConfig::default().with_workers(2),
+            &oracle,
+            &themed_subs,
+            &themed_events,
+            1,
+            1,
+            Some(LoadState::Overloaded),
+            observer,
+        ),
+        run_quality_scenario(
+            "quality_degraded_exact_only",
+            Arc::new(stack.thematic_cached()),
+            BrokerConfig::default().with_workers(2),
+            &oracle,
+            &themed_subs,
+            &themed_events,
+            1,
+            1,
+            Some(LoadState::Critical),
             observer,
         ),
     ]
@@ -348,6 +406,7 @@ mod tests {
             &events,
             1,
             1,
+            None,
             &|_, _| {},
         );
         assert!(s.samples > 0, "every match test is sampled");

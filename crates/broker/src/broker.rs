@@ -3,6 +3,7 @@
 use crate::config::{BrokerConfig, PublishPolicy};
 use crate::explain::MatchExplanation;
 use crate::notification::Notification;
+use crate::overload::{BreakerState, LoadState, OverloadController};
 use crate::quality::{QualityOracle, QualityReport, QualityState};
 use crate::routing::RoutingTable;
 use crate::stats::{BrokerStats, EventTrace, StageLatencies, StatsInner};
@@ -87,6 +88,10 @@ pub(crate) struct Registration {
     /// family, so the delivery hot path pays one `fetch_add` instead of a
     /// label lookup. `None` when labeled metrics are off.
     pub(crate) notif_counter: Option<Arc<AtomicU64>>,
+    /// This subscriber's circuit breaker; `None` unless overload control
+    /// is on ([`BrokerConfig::with_overload_control`]), so the disabled
+    /// delivery path pays a single branch.
+    pub(crate) breaker: Option<parking_lot::Mutex<BreakerState>>,
 }
 
 /// Per-subscription options for [`Broker::subscribe_with`].
@@ -105,6 +110,54 @@ impl SubscribeOptions {
     /// Options with per-notification explanations enabled.
     pub fn explained() -> SubscribeOptions {
         SubscribeOptions { explain: true }
+    }
+}
+
+/// Per-event options for [`Broker::publish_with`].
+///
+/// Both fields are advisory until overload control is enabled
+/// ([`BrokerConfig::with_overload_control`]): a broker without it matches
+/// every accepted event regardless of deadline or priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PublishOptions {
+    /// Absolute wall-clock point after which matching this event is
+    /// pointless. Under `Overloaded` or worse, events whose deadline has
+    /// already expired are shed at dequeue
+    /// ([`crate::BrokerStats::shed_deadline`]) instead of matched.
+    pub deadline: Option<Instant>,
+    /// Scheduling priority (`0` lowest, `255` highest; default `100`).
+    /// Under `Critical`, events **below**
+    /// [`crate::OverloadConfig::shed_priority_floor`] are shed
+    /// ([`crate::BrokerStats::shed_load`]).
+    pub priority: u8,
+}
+
+impl Default for PublishOptions {
+    fn default() -> PublishOptions {
+        PublishOptions {
+            deadline: None,
+            priority: 100,
+        }
+    }
+}
+
+impl PublishOptions {
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> PublishOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `ttl` from now.
+    pub fn with_ttl(self, ttl: Duration) -> PublishOptions {
+        self.with_deadline(Instant::now() + ttl)
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: u8) -> PublishOptions {
+        self.priority = priority;
+        self
     }
 }
 
@@ -159,6 +212,10 @@ pub(crate) struct Shared {
     /// The shadow quality evaluator; empty unless
     /// [`Broker::with_quality_sampling`] installed an oracle.
     pub(crate) quality: OnceLock<Arc<QualityState>>,
+    /// The adaptive overload controller; `None` unless
+    /// [`BrokerConfig::with_overload_control`] enabled it, so the hot
+    /// path pays a single branch when it is off.
+    pub(crate) overload: Option<OverloadController>,
 }
 
 /// Labeled (dimensional) metric families, built once at start-up when
@@ -287,6 +344,7 @@ impl Broker {
                 .then(|| DimMetrics::new(config.label_cardinality)),
             window: WindowRing::new(config.window_capacity),
             quality: OnceLock::new(),
+            overload: config.overload.clone().map(OverloadController::new),
             config,
             ingress: RwLock::new(Some(tx)),
             shutdown: AtomicBool::new(false),
@@ -372,6 +430,11 @@ impl Broker {
                 approx,
                 explain: options.explain,
                 notif_counter,
+                breaker: self
+                    .shared
+                    .overload
+                    .as_ref()
+                    .map(|_| parking_lot::Mutex::new(BreakerState::new(id.0))),
             }),
         );
         Ok((id, rx))
@@ -408,6 +471,17 @@ impl Broker {
     /// [`BrokerStats::rejected_publishes`]; `published` counts only
     /// accepted events.
     pub fn publish(&self, event: Event) -> Result<(), BrokerError> {
+        self.publish_with(event, PublishOptions::default())
+    }
+
+    /// Publishes an event with per-event [`PublishOptions`] (deadline and
+    /// priority, consumed by the overload controller's shedding
+    /// decisions).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Broker::publish`].
+    pub fn publish_with(&self, event: Event, options: PublishOptions) -> Result<(), BrokerError> {
         // Clone the sender out of the lock so a blocking send never holds
         // the registry of the ingress.
         let Some(tx) = self.shared.ingress.read().clone() else {
@@ -422,9 +496,19 @@ impl Broker {
             .spans
             .sampled(seq)
             .then(|| (self.shared.spans.start_span(), Instant::now()));
-        let job = Job::new(event, seq, span.map(|(id, _)| id));
+        let job = Job::new(event, seq, span.map(|(id, _)| id), options);
         let result = match self.shared.config.publish_policy {
             PublishPolicy::Block => tx.send(job).map_err(|_| BrokerError::Closed),
+            // A zero timeout is exactly `Reject` with a different error:
+            // one queue-full check and no parked-thread wakeup dance
+            // (`send_timeout(0)` could park and lose the race even with a
+            // free slot).
+            PublishPolicy::Timeout(deadline) if deadline.is_zero() => {
+                tx.try_send(job).map_err(|e| match e {
+                    TrySendError::Full(_) => BrokerError::PublishTimeout,
+                    TrySendError::Disconnected(_) => BrokerError::Closed,
+                })
+            }
             PublishPolicy::Timeout(deadline) => {
                 tx.send_timeout(job, deadline).map_err(|e| match e {
                     SendTimeoutError::Timeout(_) => BrokerError::PublishTimeout,
@@ -571,6 +655,83 @@ impl Broker {
     /// installed via [`Broker::with_quality_sampling`].
     pub fn quality(&self) -> Option<QualityReport> {
         self.shared.quality.get().map(|q| q.report())
+    }
+
+    /// The overload controller's current load state, or `None` when
+    /// overload control is off.
+    pub fn load_state(&self) -> Option<LoadState> {
+        self.shared.overload.as_ref().map(|o| o.current())
+    }
+
+    /// Pins the load state to `state` (or releases the pin with `None`) —
+    /// for overload drills, benches, and the quality harness measuring
+    /// the F1 cost of a degraded matching rung. The organic state machine
+    /// keeps evaluating underneath and resumes control on release. A
+    /// no-op when overload control is off.
+    pub fn force_load_state(&self, state: Option<LoadState>) {
+        if let Some(overload) = &self.shared.overload {
+            overload.force(state);
+        }
+    }
+
+    /// Subscribers whose circuit breaker is currently open (0 when
+    /// overload control is off).
+    pub fn open_breakers(&self) -> usize {
+        if self.shared.overload.is_none() {
+            return 0;
+        }
+        self.shared
+            .registry
+            .read()
+            .values()
+            .filter(|reg| {
+                reg.breaker
+                    .as_ref()
+                    .is_some_and(|breaker| breaker.lock().is_open())
+            })
+            .count()
+    }
+
+    /// The `/overload` endpoint body: load state, queue-wait EWMA, shed
+    /// and breaker counters as JSON. `{"enabled": false}` when overload
+    /// control is off.
+    pub fn overload_json(&self) -> String {
+        let Some(overload) = &self.shared.overload else {
+            return "{\n  \"enabled\": false\n}\n".to_string();
+        };
+        let stats = self.shared.stats.snapshot();
+        let state = overload.current();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"enabled\": true,\n",
+                "  \"state\": \"{state}\",\n",
+                "  \"severity\": {severity},\n",
+                "  \"forced\": {forced},\n",
+                "  \"degraded_matching\": \"{mode}\",\n",
+                "  \"ewma_queue_wait_ms\": {wait:.6},\n",
+                "  \"transitions\": {transitions},\n",
+                "  \"state_age_secs\": {age:.3},\n",
+                "  \"shed_deadline\": {shed_deadline},\n",
+                "  \"shed_load\": {shed_load},\n",
+                "  \"breaker_trips\": {breaker_trips},\n",
+                "  \"breaker_open_drops\": {breaker_open},\n",
+                "  \"open_breakers\": {open_breakers}\n",
+                "}}\n",
+            ),
+            state = escape_json(state.as_str()),
+            severity = state.severity(),
+            forced = overload.forced().is_some(),
+            mode = escape_json(overload.degraded_mode().as_str()),
+            wait = overload.ewma_wait_ms(),
+            transitions = overload.transitions(),
+            age = overload.state_age_secs(),
+            shed_deadline = stats.shed_deadline,
+            shed_load = stats.shed_load,
+            breaker_trips = stats.breaker_trips,
+            breaker_open = stats.breaker_open,
+            open_breakers = self.open_breakers(),
+        )
     }
 
     /// Pushes one cumulative snapshot frame into the window ring *now*.
@@ -810,7 +971,60 @@ impl Broker {
         self.windowed_metrics(&mut reg);
         self.labeled_metrics(&mut reg);
         self.quality_metrics(&mut reg);
+        self.overload_metrics(&mut reg);
         reg
+    }
+
+    /// Load-state, shed, and circuit-breaker series; no-ops when overload
+    /// control is off.
+    fn overload_metrics(&self, reg: &mut MetricsRegistry) {
+        let Some(overload) = &self.shared.overload else {
+            return;
+        };
+        let stats = self.shared.stats.snapshot();
+        reg.gauge(
+            "tep_load_state",
+            "Broker load state (0=healthy 1=elevated 2=overloaded 3=critical)",
+            overload.current().severity() as f64,
+        )
+        .gauge(
+            "tep_load_ewma_queue_wait_ms",
+            "EWMA ingress queue wait driving the load-state machine",
+            overload.ewma_wait_ms(),
+        )
+        .counter(
+            "tep_load_transitions_total",
+            "Load-state machine transitions",
+            overload.transitions(),
+        )
+        .counter_with(
+            "tep_shed_total",
+            "Events shed at dequeue by overload control, by reason",
+            &[("reason", "deadline")],
+            stats.shed_deadline,
+        )
+        .counter_with(
+            "tep_shed_total",
+            "Events shed at dequeue by overload control, by reason",
+            &[("reason", "load")],
+            stats.shed_load,
+        )
+        .counter_with(
+            "tep_dropped_total",
+            "Notifications dropped, by reason",
+            &[("reason", "breaker_open")],
+            stats.breaker_open,
+        )
+        .counter(
+            "tep_breaker_trips_total",
+            "Subscriber circuit-breaker trips (transitions to Open)",
+            stats.breaker_trips,
+        )
+        .gauge(
+            "tep_breakers_open",
+            "Subscribers whose circuit breaker is currently open",
+            self.open_breakers() as f64,
+        );
     }
 
     /// Queue-depth gauges over the subscriber channels: the sum and max
@@ -1264,6 +1478,80 @@ mod tests {
         }
         assert!(saw_timeout, "publish must time out against a wedged queue");
         assert!(b.stats().rejected_publishes >= 1);
+    }
+
+    #[test]
+    fn zero_duration_timeout_behaves_like_reject() {
+        silence_injected_panics();
+        // Same wedged-queue setup as the Reject test: the single worker
+        // sleeps on every match, so the 1-slot queue fills immediately.
+        let slow = FaultInjectingMatcher::new(
+            ExactMatcher::new(),
+            FaultConfig::none(1).with_latency(1.0, Duration::from_millis(50)),
+        );
+        let config = BrokerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            publish_policy: PublishPolicy::Timeout(Duration::ZERO),
+            ..BrokerConfig::default()
+        };
+        let b = Broker::start(Arc::new(slow), config);
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        let mut timed_out = 0u64;
+        let burst_start = Instant::now();
+        for i in 0..16 {
+            match b.publish(parse_event(&format!("{{k: v{i}}}")).unwrap()) {
+                Ok(()) => {}
+                Err(BrokerError::PublishTimeout) => timed_out += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        // One queue-full check, no sleep: the whole burst must come back
+        // immediately (far under the 16 × 50ms a blocking send would
+        // take), and failures surface as PublishTimeout, never QueueFull.
+        assert!(timed_out > 0, "a 1-slot queue must fail fast under burst");
+        assert!(
+            burst_start.elapsed() < Duration::from_millis(200),
+            "zero timeout must not park the publisher"
+        );
+        assert_eq!(b.stats().rejected_publishes, timed_out);
+        b.flush().unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.processed, stats.published);
+    }
+
+    #[test]
+    fn overload_control_is_inert_for_default_traffic() {
+        // Overload control on, default-priority events, no deadlines: the
+        // broker must behave exactly as if the subsystem were off.
+        let b = Broker::start(
+            Arc::new(ExactMatcher::new()),
+            BrokerConfig::default()
+                .with_workers(2)
+                .with_overload_control(crate::OverloadConfig::default()),
+        );
+        assert_eq!(b.load_state(), Some(crate::LoadState::Healthy));
+        let (_, rx) = b.subscribe(parse_subscription("{a= 1}").unwrap()).unwrap();
+        for _ in 0..50 {
+            b.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        }
+        b.flush().unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.notifications, 50);
+        assert_eq!(stats.shed_total(), 0);
+        assert_eq!(rx.try_iter().count(), 50);
+        let json = b.overload_json();
+        assert!(json.contains("\"enabled\": true"), "overload json: {json}");
+    }
+
+    #[test]
+    fn overload_json_reports_disabled_without_config() {
+        let b = broker();
+        assert_eq!(b.load_state(), None);
+        assert!(b.overload_json().contains("\"enabled\": false"));
+        // Forcing is a documented no-op when the subsystem is off.
+        b.force_load_state(Some(crate::LoadState::Critical));
+        assert_eq!(b.load_state(), None);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Broker configuration.
 
+use crate::overload::OverloadConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -136,6 +137,12 @@ pub struct BrokerConfig {
     /// and 60s windows with slack.
     #[serde(default = "default_window_capacity")]
     pub window_capacity: usize,
+    /// Adaptive overload control ([`crate::LoadState`] machine, deadline /
+    /// priority shedding, per-subscriber circuit breakers, and graceful
+    /// matching degradation). `None` (the default) disables the whole
+    /// subsystem — the hot path then pays one branch per event for it.
+    #[serde(default)]
+    pub overload: Option<OverloadConfig>,
 }
 
 fn default_span_capacity() -> usize {
@@ -254,6 +261,14 @@ impl BrokerConfig {
         self.window_capacity = capacity.max(2);
         self
     }
+
+    /// Enables adaptive overload control with the given tuning. See
+    /// [`OverloadConfig`] for the knobs and [`crate::LoadState`] for the
+    /// state machine it drives.
+    pub fn with_overload_control(mut self, overload: OverloadConfig) -> BrokerConfig {
+        self.overload = Some(overload);
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -277,6 +292,7 @@ impl Default for BrokerConfig {
             label_cardinality: default_label_cardinality(),
             window_tick_ms: 0,
             window_capacity: default_window_capacity(),
+            overload: None,
         }
     }
 }
@@ -305,6 +321,7 @@ mod tests {
         assert_eq!(c.label_cardinality, 32);
         assert_eq!(c.window_tick_ms, 0, "windowed metrics are opt-in");
         assert_eq!(c.window_capacity, 128);
+        assert!(c.overload.is_none(), "overload control is opt-in");
     }
 
     #[test]
@@ -374,5 +391,21 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: BrokerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn overload_config_round_trips_through_json() {
+        let c = BrokerConfig::default().with_overload_control(OverloadConfig {
+            shed_priority_floor: 42,
+            ..OverloadConfig::sensitive()
+        });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: BrokerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // A pre-overload config (no `overload` key) still deserializes.
+        let legacy: BrokerConfig =
+            serde_json::from_str(&serde_json::to_string(&BrokerConfig::default()).unwrap())
+                .unwrap();
+        assert!(legacy.overload.is_none());
     }
 }

@@ -51,6 +51,11 @@
 //! * ingress overload is governed by [`PublishPolicy`]
 //!   (block / timeout / reject) and subscriber overload by
 //!   [`SubscriberPolicy`] (drop-newest / drop-oldest / disconnect);
+//! * with [`BrokerConfig::with_overload_control`], an adaptive load-state
+//!   machine ([`LoadState`]) additionally sheds expired-deadline or
+//!   low-priority events at dequeue, degrades matching fidelity
+//!   ([`DegradedMatching`]), and wraps each subscriber in a circuit
+//!   breaker ([`BreakerConfig`]) instead of a hard disconnect cliff;
 //! * [`Broker::flush_timeout`] bounds how long a caller waits on the
 //!   liveness invariant: every accepted event is eventually counted in
 //!   [`BrokerStats::processed`] — delivered, dropped, or quarantined.
@@ -62,22 +67,24 @@ mod broker;
 mod config;
 mod explain;
 mod notification;
+mod overload;
 mod quality;
 mod routing;
 mod stats;
 mod supervisor;
 
-pub use broker::{Broker, BrokerError, SubscribeOptions, SubscriptionId};
+pub use broker::{Broker, BrokerError, PublishOptions, SubscribeOptions, SubscriptionId};
 pub use config::{BrokerConfig, PublishPolicy, RoutingPolicy, SubscriberPolicy};
 pub use explain::{render_explanations_json, CacheTemperature, MatchExplanation, MatchOutcome};
 pub use notification::Notification;
+pub use overload::{BreakerConfig, LoadState, OverloadConfig, ShedReason};
 pub use quality::{render_quality_json, DriftAlert, DriftKind, QualityOracle, QualityReport};
 pub use stats::{BrokerStats, EventTrace, StageLatencies};
 pub use supervisor::DeadLetter;
 // Re-exported so downstream code can consume [`Broker::metrics`],
 // [`Broker::stage_latencies`], [`Broker::span_tree`], and the scrape
 // server without depending on `tep-obs` or `tep-matcher` directly.
-pub use tep_matcher::{MatchDetail, PredicateExplanation, RelatednessDetail};
+pub use tep_matcher::{DegradedMatching, MatchDetail, PredicateExplanation, RelatednessDetail};
 pub use tep_obs::{
     render_spans_json, serve, span_tree, HistogramSnapshot, MetricsRegistry, ScrapeHandlers,
     ScrapeServer, SpanNode, SpanRecord, WindowedDelta,

@@ -1,0 +1,970 @@
+//! Adaptive overload control (off by default; see
+//! [`crate::BrokerConfig::with_overload_control`]).
+//!
+//! Three cooperating pieces:
+//!
+//! * a **load-state machine** ([`LoadState`], [`OverloadController`]):
+//!   `Healthy → Elevated → Overloaded → Critical`, driven by an EWMA of
+//!   ingress queue wait and by queue fill, with hysteresis — the state
+//!   steps *up* immediately when either signal crosses an enter threshold
+//!   and steps *down* one rung at a time only after several consecutive
+//!   calm supervisor ticks below the (lower) exit threshold, so the broker
+//!   cannot flap between reactions at a threshold boundary;
+//! * **deadline / priority shedding** decisions ([`ShedReason`]): in
+//!   `Overloaded` and worse, events whose publish deadline already expired
+//!   are shed at dequeue instead of matched; in `Critical`, events below
+//!   the configured priority floor are shed too;
+//! * **per-subscriber circuit breakers** ([`BreakerState`]): instead of
+//!   the blunt `DisconnectAfter` cliff, consecutive send failures open a
+//!   breaker that drops deliveries for an exponentially backed-off,
+//!   jittered window, then probes the subscriber with a few Half-Open
+//!   sends; only repeated Open cycles reap the subscriber.
+//!
+//! Everything here is pure state-machine logic over injected clocks and
+//! counters — the broker wires it into the hot path, the supervisor ticks
+//! it, and `BrokerStats` carries the counts — so it unit-tests without
+//! threads.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+use tep_matcher::DegradedMatching;
+
+/// The broker's load state, ordered by severity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LoadState {
+    /// Queue wait and fill are below every threshold; full fidelity.
+    #[default]
+    Healthy,
+    /// Early-warning band: matching may degrade, nothing is shed.
+    Elevated,
+    /// Sustained pressure: expired-deadline events are shed at dequeue.
+    Overloaded,
+    /// Survival mode: low-priority events are shed too, matching drops to
+    /// the bottom of the degradation ladder.
+    Critical,
+}
+
+impl LoadState {
+    /// All states, in severity order.
+    pub const ALL: [LoadState; 4] = [
+        LoadState::Healthy,
+        LoadState::Elevated,
+        LoadState::Overloaded,
+        LoadState::Critical,
+    ];
+
+    /// Stable lowercase label for metrics and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoadState::Healthy => "healthy",
+            LoadState::Elevated => "elevated",
+            LoadState::Overloaded => "overloaded",
+            LoadState::Critical => "critical",
+        }
+    }
+
+    /// Severity as a small integer (`healthy = 0 … critical = 3`), the
+    /// value exported as the `tep_load_state` gauge.
+    pub fn severity(self) -> u8 {
+        match self {
+            LoadState::Healthy => 0,
+            LoadState::Elevated => 1,
+            LoadState::Overloaded => 2,
+            LoadState::Critical => 3,
+        }
+    }
+
+    fn from_severity(v: u8) -> Option<LoadState> {
+        LoadState::ALL.get(v as usize).copied()
+    }
+
+    fn step_down(self) -> LoadState {
+        LoadState::from_severity(self.severity().saturating_sub(1)).unwrap_or(LoadState::Healthy)
+    }
+}
+
+/// Why an event was shed at dequeue instead of matched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Its publish deadline had already expired (`Overloaded` and worse).
+    Deadline,
+    /// Its priority fell below the configured floor (`Critical` only).
+    Load,
+}
+
+fn default_ewma_alpha() -> f64 {
+    0.2
+}
+fn default_elevated_wait_ms() -> f64 {
+    2.0
+}
+fn default_overloaded_wait_ms() -> f64 {
+    10.0
+}
+fn default_critical_wait_ms() -> f64 {
+    50.0
+}
+fn default_elevated_fill() -> f64 {
+    0.50
+}
+fn default_overloaded_fill() -> f64 {
+    0.75
+}
+fn default_critical_fill() -> f64 {
+    0.90
+}
+fn default_recovery_factor() -> f64 {
+    0.7
+}
+fn default_recovery_ticks() -> u32 {
+    3
+}
+fn default_tick_ms() -> u64 {
+    5
+}
+fn default_shed_priority_floor() -> u8 {
+    0
+}
+fn default_elevated_matching() -> DegradedMatching {
+    DegradedMatching::Full
+}
+fn default_overloaded_matching() -> DegradedMatching {
+    DegradedMatching::CacheOnly
+}
+fn default_critical_matching() -> DegradedMatching {
+    DegradedMatching::ExactOnly
+}
+fn default_breaker() -> BreakerConfig {
+    BreakerConfig::default()
+}
+
+/// Tuning for the overload-control subsystem. All thresholds have serde
+/// defaults, so persisted configs stay forward-compatible as knobs are
+/// added.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Smoothing factor for the queue-wait EWMA (`0 < α ≤ 1`; higher
+    /// reacts faster).
+    #[serde(default = "default_ewma_alpha")]
+    pub ewma_alpha: f64,
+    /// EWMA queue wait (ms) at which `Elevated` is entered.
+    #[serde(default = "default_elevated_wait_ms")]
+    pub elevated_wait_ms: f64,
+    /// EWMA queue wait (ms) at which `Overloaded` is entered.
+    #[serde(default = "default_overloaded_wait_ms")]
+    pub overloaded_wait_ms: f64,
+    /// EWMA queue wait (ms) at which `Critical` is entered.
+    #[serde(default = "default_critical_wait_ms")]
+    pub critical_wait_ms: f64,
+    /// Queue fill fraction (ingress or any subscriber, `0..=1`) at which
+    /// `Elevated` is entered.
+    #[serde(default = "default_elevated_fill")]
+    pub elevated_fill: f64,
+    /// Fill fraction at which `Overloaded` is entered.
+    #[serde(default = "default_overloaded_fill")]
+    pub overloaded_fill: f64,
+    /// Fill fraction at which `Critical` is entered.
+    #[serde(default = "default_critical_fill")]
+    pub critical_fill: f64,
+    /// Exit thresholds are the enter thresholds scaled by this factor
+    /// (`0 < f < 1`): the hysteresis band that prevents flapping.
+    #[serde(default = "default_recovery_factor")]
+    pub recovery_factor: f64,
+    /// Consecutive calm supervisor ticks required before stepping down one
+    /// state.
+    #[serde(default = "default_recovery_ticks")]
+    pub recovery_ticks: u32,
+    /// How often the supervisor re-evaluates the state (milliseconds).
+    #[serde(default = "default_tick_ms")]
+    pub tick_ms: u64,
+    /// Under `Critical`, events with priority **below** this floor are
+    /// shed. The default floor of 0 sheds nothing (priorities are `u8`),
+    /// so deadline shedding alone applies until the operator opts in.
+    #[serde(default = "default_shed_priority_floor")]
+    pub shed_priority_floor: u8,
+    /// Matching fidelity in `Elevated`.
+    #[serde(default = "default_elevated_matching")]
+    pub elevated_matching: DegradedMatching,
+    /// Matching fidelity in `Overloaded`.
+    #[serde(default = "default_overloaded_matching")]
+    pub overloaded_matching: DegradedMatching,
+    /// Matching fidelity in `Critical`.
+    #[serde(default = "default_critical_matching")]
+    pub critical_matching: DegradedMatching,
+    /// Per-subscriber circuit-breaker tuning.
+    #[serde(default = "default_breaker")]
+    pub breaker: BreakerConfig,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            ewma_alpha: default_ewma_alpha(),
+            elevated_wait_ms: default_elevated_wait_ms(),
+            overloaded_wait_ms: default_overloaded_wait_ms(),
+            critical_wait_ms: default_critical_wait_ms(),
+            elevated_fill: default_elevated_fill(),
+            overloaded_fill: default_overloaded_fill(),
+            critical_fill: default_critical_fill(),
+            recovery_factor: default_recovery_factor(),
+            recovery_ticks: default_recovery_ticks(),
+            tick_ms: default_tick_ms(),
+            shed_priority_floor: default_shed_priority_floor(),
+            elevated_matching: default_elevated_matching(),
+            overloaded_matching: default_overloaded_matching(),
+            critical_matching: default_critical_matching(),
+            breaker: default_breaker(),
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Thresholds tuned for tests and benches: trips at sub-millisecond
+    /// queue waits, re-evaluates every millisecond, and recovers after two
+    /// calm ticks — an overload storm and its recovery both fit inside a
+    /// test's time budget.
+    pub fn sensitive() -> OverloadConfig {
+        OverloadConfig {
+            ewma_alpha: 0.5,
+            elevated_wait_ms: 0.2,
+            overloaded_wait_ms: 1.0,
+            critical_wait_ms: 5.0,
+            recovery_ticks: 2,
+            tick_ms: 1,
+            ..OverloadConfig::default()
+        }
+    }
+
+    /// The matching fidelity this config prescribes for `state`.
+    pub fn matching_for(&self, state: LoadState) -> DegradedMatching {
+        match state {
+            LoadState::Healthy => DegradedMatching::Full,
+            LoadState::Elevated => self.elevated_matching,
+            LoadState::Overloaded => self.overloaded_matching,
+            LoadState::Critical => self.critical_matching,
+        }
+    }
+
+    /// Enter thresholds `(wait_ms, fill)` for `state`; `Healthy` has none.
+    fn enter_thresholds(&self, state: LoadState) -> Option<(f64, f64)> {
+        match state {
+            LoadState::Healthy => None,
+            LoadState::Elevated => Some((self.elevated_wait_ms, self.elevated_fill)),
+            LoadState::Overloaded => Some((self.overloaded_wait_ms, self.overloaded_fill)),
+            LoadState::Critical => Some((self.critical_wait_ms, self.critical_fill)),
+        }
+    }
+}
+
+fn default_failure_threshold() -> u64 {
+    8
+}
+fn default_open_backoff_ms() -> u64 {
+    50
+}
+fn default_max_backoff_ms() -> u64 {
+    5_000
+}
+fn default_half_open_probes() -> u32 {
+    2
+}
+fn default_reap_after_cycles() -> u32 {
+    4
+}
+fn default_jitter_seed() -> u64 {
+    0x5EED
+}
+
+/// Per-subscriber circuit-breaker tuning.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive send failures (queue full) that open the breaker.
+    #[serde(default = "default_failure_threshold")]
+    pub failure_threshold: u64,
+    /// Open window after the first trip (milliseconds); doubles per cycle.
+    #[serde(default = "default_open_backoff_ms")]
+    pub open_backoff_ms: u64,
+    /// Upper bound on the exponential backoff (milliseconds).
+    #[serde(default = "default_max_backoff_ms")]
+    pub max_backoff_ms: u64,
+    /// Successful Half-Open probe sends required to close the breaker.
+    #[serde(default = "default_half_open_probes")]
+    pub half_open_probes: u32,
+    /// Open cycles after which the subscriber is reaped (disconnected).
+    #[serde(default = "default_reap_after_cycles")]
+    pub reap_after_cycles: u32,
+    /// Seed for the deterministic backoff jitter, so N breakers tripped by
+    /// the same storm do not all probe again in the same tick.
+    #[serde(default = "default_jitter_seed")]
+    pub jitter_seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: default_failure_threshold(),
+            open_backoff_ms: default_open_backoff_ms(),
+            max_backoff_ms: default_max_backoff_ms(),
+            half_open_probes: default_half_open_probes(),
+            reap_after_cycles: default_reap_after_cycles(),
+            jitter_seed: default_jitter_seed(),
+        }
+    }
+}
+
+/// splitmix64 finalizer — the same deterministic mixer the quality sampler
+/// uses, here keying backoff jitter off `(seed, breaker key, cycle)`.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(b);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The three classic breaker phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerPhase {
+    /// Deliveries flow; consecutive failures are counted.
+    Closed,
+    /// Deliveries are dropped (counted as `breaker_open`) until `until`.
+    Open { until: Instant, cycles: u32 },
+    /// The backoff expired; up to `remaining` probe sends decide whether
+    /// to close or re-open.
+    HalfOpen { remaining: u32, cycles: u32 },
+}
+
+/// What [`BreakerState::on_failure`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BreakerVerdict {
+    /// Failure counted; the breaker stays closed (or open) for now.
+    Counted,
+    /// The breaker just transitioned to Open (counts as one trip).
+    Tripped,
+    /// Repeated Open cycles exhausted the budget: reap the subscriber.
+    Reap,
+}
+
+/// One subscriber's circuit breaker. Guarded by a mutex in the
+/// registration; all methods take `now` so the logic is clock-injectable.
+#[derive(Debug)]
+pub(crate) struct BreakerState {
+    failures: u64,
+    phase: BreakerPhase,
+    /// Stable per-subscriber jitter key (the subscription id).
+    key: u64,
+}
+
+impl BreakerState {
+    pub(crate) fn new(key: u64) -> BreakerState {
+        BreakerState {
+            failures: 0,
+            phase: BreakerPhase::Closed,
+            key,
+        }
+    }
+
+    /// Whether the breaker currently drops deliveries.
+    pub(crate) fn is_open(&self) -> bool {
+        matches!(self.phase, BreakerPhase::Open { .. })
+    }
+
+    /// Gate one delivery: `true` → attempt the send (Closed, Half-Open
+    /// probe, or an Open window that just expired into Half-Open);
+    /// `false` → drop it without touching the subscriber queue.
+    pub(crate) fn allow(&mut self, config: &BreakerConfig, now: Instant) -> bool {
+        match self.phase {
+            BreakerPhase::Closed | BreakerPhase::HalfOpen { .. } => true,
+            BreakerPhase::Open { until, cycles } => {
+                if now >= until {
+                    self.phase = BreakerPhase::HalfOpen {
+                        remaining: config.half_open_probes.max(1),
+                        cycles,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A delivery succeeded: reset the failure streak; enough Half-Open
+    /// probe successes close the breaker (and forgive past cycles).
+    pub(crate) fn on_success(&mut self) {
+        self.failures = 0;
+        if let BreakerPhase::HalfOpen { remaining, .. } = &mut self.phase {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                self.phase = BreakerPhase::Closed;
+            }
+        }
+    }
+
+    /// A delivery found the subscriber queue full.
+    pub(crate) fn on_failure(&mut self, config: &BreakerConfig, now: Instant) -> BreakerVerdict {
+        match self.phase {
+            BreakerPhase::Closed => {
+                self.failures += 1;
+                if self.failures >= config.failure_threshold.max(1) {
+                    self.trip(config, now, 0);
+                    BreakerVerdict::Tripped
+                } else {
+                    BreakerVerdict::Counted
+                }
+            }
+            BreakerPhase::HalfOpen { cycles, .. } => {
+                let next = cycles + 1;
+                if next >= config.reap_after_cycles.max(1) {
+                    BreakerVerdict::Reap
+                } else {
+                    self.trip(config, now, next);
+                    BreakerVerdict::Tripped
+                }
+            }
+            // `allow` already dropped the delivery while Open; a failure
+            // here can only come from a racing send that was gated before
+            // the trip — count it and move on.
+            BreakerPhase::Open { .. } => BreakerVerdict::Counted,
+        }
+    }
+
+    fn trip(&mut self, config: &BreakerConfig, now: Instant, cycles: u32) {
+        self.failures = 0;
+        let base = config.open_backoff_ms.max(1);
+        let backoff = base
+            .saturating_mul(1u64 << cycles.min(16))
+            .min(config.max_backoff_ms.max(base));
+        // Deterministic jitter in [0, backoff/4]: spreads the re-probe
+        // times of breakers tripped by the same storm.
+        let jitter =
+            mix(config.jitter_seed, self.key.wrapping_add(cycles as u64)) % (backoff / 4 + 1);
+        self.phase = BreakerPhase::Open {
+            until: now + Duration::from_millis(backoff + jitter),
+            cycles,
+        };
+    }
+}
+
+/// Sentinel for "no forced state" in the `forced` atomic.
+const NO_FORCE: u8 = u8::MAX;
+
+/// The shared load-state machine. Workers feed queue-wait samples from the
+/// dequeue path ([`Self::observe_queue_wait`], lock-free); the supervisor
+/// calls [`Self::evaluate`] every `tick_ms`; everything else reads the
+/// current state with a single relaxed load.
+#[derive(Debug)]
+pub(crate) struct OverloadController {
+    config: OverloadConfig,
+    /// EWMA of queue wait in nanoseconds, stored as `f64` bits.
+    ewma_wait_ns: AtomicU64,
+    /// Total queue-wait samples, to detect idle ticks.
+    samples: AtomicU64,
+    /// Samples seen at the previous `evaluate` tick (supervisor-only).
+    last_samples: AtomicU64,
+    state: AtomicU8,
+    forced: AtomicU8,
+    calm_ticks: AtomicU32,
+    transitions: AtomicU64,
+    /// Nanoseconds since `started` of the last transition.
+    state_since_ns: AtomicU64,
+    started: Instant,
+}
+
+impl OverloadController {
+    pub(crate) fn new(config: OverloadConfig) -> OverloadController {
+        OverloadController {
+            config,
+            ewma_wait_ns: AtomicU64::new(0f64.to_bits()),
+            samples: AtomicU64::new(0),
+            last_samples: AtomicU64::new(0),
+            state: AtomicU8::new(LoadState::Healthy.severity()),
+            forced: AtomicU8::new(NO_FORCE),
+            calm_ticks: AtomicU32::new(0),
+            transitions: AtomicU64::new(0),
+            state_since_ns: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &OverloadConfig {
+        &self.config
+    }
+
+    /// Folds one dequeue's queue wait into the EWMA (lock-free CAS loop;
+    /// the first sample seeds the average directly).
+    pub(crate) fn observe_queue_wait(&self, nanos: u64) {
+        let first = self.samples.fetch_add(1, Ordering::Relaxed) == 0;
+        let alpha = self.config.ewma_alpha.clamp(0.01, 1.0);
+        loop {
+            let cur = self.ewma_wait_ns.load(Ordering::Relaxed);
+            let cur_f = f64::from_bits(cur);
+            let next = if first {
+                nanos as f64
+            } else {
+                cur_f + alpha * (nanos as f64 - cur_f)
+            };
+            if self
+                .ewma_wait_ns
+                .compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+    }
+
+    /// The EWMA queue wait in milliseconds.
+    pub(crate) fn ewma_wait_ms(&self) -> f64 {
+        f64::from_bits(self.ewma_wait_ns.load(Ordering::Relaxed)) / 1e6
+    }
+
+    /// The effective state (forced override wins).
+    pub(crate) fn current(&self) -> LoadState {
+        if let Some(s) = LoadState::from_severity(self.forced.load(Ordering::Relaxed)) {
+            return s;
+        }
+        LoadState::from_severity(self.state.load(Ordering::Relaxed)).unwrap_or(LoadState::Healthy)
+    }
+
+    /// Whether the state is pinned by [`Self::force`].
+    pub(crate) fn forced(&self) -> Option<LoadState> {
+        LoadState::from_severity(self.forced.load(Ordering::Relaxed))
+    }
+
+    /// Pins (or with `None` releases) the state — for drills, benches, and
+    /// the quality harness measuring the F1 cost of a degraded rung.
+    pub(crate) fn force(&self, state: Option<LoadState>) {
+        self.forced.store(
+            state.map_or(NO_FORCE, LoadState::severity),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The matching fidelity for the current state.
+    pub(crate) fn degraded_mode(&self) -> DegradedMatching {
+        self.config.matching_for(self.current())
+    }
+
+    /// Shedding decision for one dequeued event; `None` = match it.
+    pub(crate) fn shed_reason(
+        &self,
+        deadline: Option<Instant>,
+        priority: u8,
+        now: Instant,
+    ) -> Option<ShedReason> {
+        let state = self.current();
+        if state < LoadState::Overloaded {
+            return None;
+        }
+        if deadline.is_some_and(|d| now > d) {
+            return Some(ShedReason::Deadline);
+        }
+        if state == LoadState::Critical && priority < self.config.shed_priority_floor {
+            return Some(ShedReason::Load);
+        }
+        None
+    }
+
+    /// One supervisor tick: re-evaluates the state from the EWMA wait and
+    /// the worst observed queue fill. Returns `Some((from, to))` on a
+    /// transition. Single-caller (the supervisor thread); concurrent
+    /// readers only ever see a consistent `state` byte.
+    pub(crate) fn evaluate(&self, fill: f64) -> Option<(LoadState, LoadState)> {
+        // Idle decay: when no event was dequeued since the last tick, the
+        // EWMA would freeze at its storm-time value and the broker could
+        // never recover — decay it as if a zero-wait sample had arrived.
+        let samples = self.samples.load(Ordering::Relaxed);
+        if samples == self.last_samples.swap(samples, Ordering::Relaxed) {
+            let alpha = self.config.ewma_alpha.clamp(0.01, 1.0);
+            loop {
+                let cur = self.ewma_wait_ns.load(Ordering::Relaxed);
+                let next = (f64::from_bits(cur) * (1.0 - alpha)).to_bits();
+                if self
+                    .ewma_wait_ns
+                    .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+
+        let wait_ms = self.ewma_wait_ms();
+        let current = LoadState::from_severity(self.state.load(Ordering::Relaxed))
+            .unwrap_or(LoadState::Healthy);
+
+        // The candidate is the worst state either signal justifies.
+        let mut candidate = LoadState::Healthy;
+        for state in [
+            LoadState::Elevated,
+            LoadState::Overloaded,
+            LoadState::Critical,
+        ] {
+            let Some((enter_wait, enter_fill)) = self.config.enter_thresholds(state) else {
+                continue;
+            };
+            if wait_ms >= enter_wait || fill >= enter_fill {
+                candidate = state;
+            }
+        }
+
+        if candidate > current {
+            // Escalate immediately: overload reactions must not wait out a
+            // calm-down counter.
+            self.calm_ticks.store(0, Ordering::Relaxed);
+            return Some(self.transition(current, candidate));
+        }
+        if current == LoadState::Healthy {
+            return None;
+        }
+        // De-escalation: both signals must sit below the *exit* threshold
+        // (enter × recovery_factor) of the current state for
+        // `recovery_ticks` consecutive ticks, then step down one rung.
+        let factor = self.config.recovery_factor.clamp(0.01, 1.0);
+        let (enter_wait, enter_fill) = self
+            .config
+            .enter_thresholds(current)
+            .expect("non-healthy states have thresholds");
+        if wait_ms < enter_wait * factor && fill < enter_fill * factor {
+            let calm = self.calm_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            if calm >= self.config.recovery_ticks.max(1) {
+                self.calm_ticks.store(0, Ordering::Relaxed);
+                return Some(self.transition(current, current.step_down()));
+            }
+        } else {
+            self.calm_ticks.store(0, Ordering::Relaxed);
+        }
+        None
+    }
+
+    fn transition(&self, from: LoadState, to: LoadState) -> (LoadState, LoadState) {
+        self.state.store(to.severity(), Ordering::Relaxed);
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+        self.state_since_ns
+            .store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        (from, to)
+    }
+
+    /// Number of state transitions since start.
+    pub(crate) fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Seconds the machine has sat in the current state.
+    pub(crate) fn state_age_secs(&self) -> f64 {
+        let since = self.state_since_ns.load(Ordering::Relaxed);
+        (self.started.elapsed().as_nanos() as u64).saturating_sub(since) as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticked(c: &OverloadController, fill: f64, ticks: u32) -> Option<(LoadState, LoadState)> {
+        let mut last = None;
+        for _ in 0..ticks {
+            // Keep the sample counter moving so idle decay stays out of
+            // these hysteresis tests.
+            c.observe_queue_wait(0);
+            if let Some(t) = c.evaluate(fill) {
+                last = Some(t);
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn escalates_immediately_and_recovers_stepwise() {
+        let c = OverloadController::new(OverloadConfig {
+            ewma_alpha: 1.0, // each sample replaces the EWMA: exact control
+            recovery_ticks: 3,
+            ..OverloadConfig::default()
+        });
+        assert_eq!(c.current(), LoadState::Healthy);
+
+        // One 60ms wait sample jumps straight to Critical — no rung-at-a-
+        // time climb on the way up.
+        c.observe_queue_wait(60_000_000);
+        assert_eq!(
+            c.evaluate(0.0),
+            Some((LoadState::Healthy, LoadState::Critical))
+        );
+        assert_eq!(c.current(), LoadState::Critical);
+
+        // Calm samples: no step-down before `recovery_ticks` consecutive
+        // calm evaluations, then exactly one rung per window.
+        c.observe_queue_wait(0);
+        assert_eq!(c.evaluate(0.0), None);
+        c.observe_queue_wait(0);
+        assert_eq!(c.evaluate(0.0), None);
+        c.observe_queue_wait(0);
+        assert_eq!(
+            c.evaluate(0.0),
+            Some((LoadState::Critical, LoadState::Overloaded))
+        );
+        assert_eq!(
+            ticked(&c, 0.0, 3),
+            Some((LoadState::Overloaded, LoadState::Elevated))
+        );
+        assert_eq!(
+            ticked(&c, 0.0, 3),
+            Some((LoadState::Elevated, LoadState::Healthy))
+        );
+        assert_eq!(c.transitions(), 4);
+    }
+
+    #[test]
+    fn hysteresis_band_blocks_flapping() {
+        let c = OverloadController::new(OverloadConfig {
+            ewma_alpha: 1.0,
+            recovery_factor: 0.5,
+            recovery_ticks: 2,
+            ..OverloadConfig::default()
+        });
+        // 2.2ms enters Elevated (threshold 2.0).
+        c.observe_queue_wait(2_200_000);
+        assert!(c.evaluate(0.0).is_some());
+        // 1.5ms is below the enter threshold but above the exit threshold
+        // (1.0ms): the naive machine would flap, this one holds Elevated.
+        for _ in 0..10 {
+            c.observe_queue_wait(1_500_000);
+            assert_eq!(c.evaluate(0.0), None);
+        }
+        assert_eq!(c.current(), LoadState::Elevated);
+    }
+
+    #[test]
+    fn interrupted_calm_restarts_the_recovery_window() {
+        let c = OverloadController::new(OverloadConfig {
+            ewma_alpha: 1.0,
+            recovery_ticks: 3,
+            ..OverloadConfig::default()
+        });
+        c.observe_queue_wait(3_000_000);
+        assert!(c.evaluate(0.0).is_some());
+        // Two calm ticks, then a loud one: the counter must restart.
+        ticked(&c, 0.0, 2);
+        c.observe_queue_wait(1_900_000); // inside the hysteresis band
+        assert_eq!(c.evaluate(0.0), None);
+        assert_eq!(ticked(&c, 0.0, 2), None, "window restarted");
+        assert_eq!(
+            ticked(&c, 0.0, 1),
+            Some((LoadState::Elevated, LoadState::Healthy))
+        );
+    }
+
+    #[test]
+    fn queue_fill_alone_escalates() {
+        let c = OverloadController::new(OverloadConfig::default());
+        c.observe_queue_wait(0);
+        assert_eq!(
+            c.evaluate(0.95),
+            Some((LoadState::Healthy, LoadState::Critical))
+        );
+        assert_eq!(c.current(), LoadState::Critical);
+    }
+
+    #[test]
+    fn idle_decay_recovers_without_traffic() {
+        let c = OverloadController::new(OverloadConfig {
+            ewma_alpha: 0.5,
+            recovery_ticks: 1,
+            ..OverloadConfig::default()
+        });
+        c.observe_queue_wait(100_000_000); // 100ms → Critical
+        assert!(c.evaluate(0.0).is_some());
+        // No further samples: decay alone must walk it back to Healthy.
+        let mut ticks = 0;
+        while c.current() != LoadState::Healthy {
+            c.evaluate(0.0);
+            ticks += 1;
+            assert!(ticks < 1000, "idle decay must converge");
+        }
+    }
+
+    #[test]
+    fn forced_state_overrides_and_releases() {
+        let c = OverloadController::new(OverloadConfig::default());
+        c.force(Some(LoadState::Critical));
+        assert_eq!(c.current(), LoadState::Critical);
+        assert_eq!(c.forced(), Some(LoadState::Critical));
+        assert_eq!(c.degraded_mode(), DegradedMatching::ExactOnly);
+        // The organic machine keeps ticking underneath but the forced
+        // state wins until released.
+        c.observe_queue_wait(0);
+        c.evaluate(0.0);
+        assert_eq!(c.current(), LoadState::Critical);
+        c.force(None);
+        assert_eq!(c.current(), LoadState::Healthy);
+    }
+
+    #[test]
+    fn shed_reasons_follow_state_and_config() {
+        let c = OverloadController::new(OverloadConfig {
+            shed_priority_floor: 10,
+            ..OverloadConfig::default()
+        });
+        let now = Instant::now();
+        let expired = Some(now - Duration::from_millis(1));
+        let future = Some(now + Duration::from_secs(60));
+
+        // Healthy/Elevated shed nothing, expired deadline or not.
+        assert_eq!(c.shed_reason(expired, 0, now), None);
+        c.force(Some(LoadState::Elevated));
+        assert_eq!(c.shed_reason(expired, 0, now), None);
+
+        // Overloaded sheds expired deadlines only.
+        c.force(Some(LoadState::Overloaded));
+        assert_eq!(c.shed_reason(expired, 0, now), Some(ShedReason::Deadline));
+        assert_eq!(c.shed_reason(future, 0, now), None);
+        assert_eq!(c.shed_reason(None, 0, now), None);
+
+        // Critical also sheds below the priority floor.
+        c.force(Some(LoadState::Critical));
+        assert_eq!(c.shed_reason(None, 9, now), Some(ShedReason::Load));
+        assert_eq!(c.shed_reason(None, 10, now), None);
+        assert_eq!(c.shed_reason(expired, 200, now), Some(ShedReason::Deadline));
+    }
+
+    #[test]
+    fn default_priority_floor_sheds_nothing_on_priority() {
+        let c = OverloadController::new(OverloadConfig::default());
+        c.force(Some(LoadState::Critical));
+        assert_eq!(c.shed_reason(None, 0, Instant::now()), None);
+    }
+
+    #[test]
+    fn breaker_full_lifecycle() {
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            open_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+            half_open_probes: 2,
+            reap_after_cycles: 3,
+            jitter_seed: 7,
+        };
+        let mut b = BreakerState::new(42);
+        let t0 = Instant::now();
+
+        // Closed: failures below the threshold keep it closed.
+        assert!(b.allow(&cfg, t0));
+        assert_eq!(b.on_failure(&cfg, t0), BreakerVerdict::Counted);
+        assert_eq!(b.on_failure(&cfg, t0), BreakerVerdict::Counted);
+        assert!(!b.is_open());
+        // A success resets the streak.
+        b.on_success();
+        assert_eq!(b.on_failure(&cfg, t0), BreakerVerdict::Counted);
+        assert_eq!(b.on_failure(&cfg, t0), BreakerVerdict::Counted);
+        assert_eq!(b.on_failure(&cfg, t0), BreakerVerdict::Tripped);
+        assert!(b.is_open());
+
+        // Open: deliveries are gated off until the backoff expires.
+        assert!(!b.allow(&cfg, t0 + Duration::from_millis(1)));
+        // Backoff is base 100ms + jitter ≤ 25ms: by 130ms it is Half-Open.
+        let probe_time = t0 + Duration::from_millis(130);
+        assert!(b.allow(&cfg, probe_time));
+        assert!(!b.is_open());
+
+        // Half-Open: two successful probes close it.
+        b.on_success();
+        assert!(b.allow(&cfg, probe_time));
+        b.on_success();
+        assert_eq!(b.phase, BreakerPhase::Closed);
+    }
+
+    #[test]
+    fn breaker_reprobes_with_doubled_backoff_then_reaps() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            open_backoff_ms: 10,
+            max_backoff_ms: 10_000,
+            half_open_probes: 1,
+            reap_after_cycles: 3,
+            jitter_seed: 7,
+        };
+        let mut b = BreakerState::new(9);
+        let mut now = Instant::now();
+
+        // Cycle 0.
+        assert_eq!(b.on_failure(&cfg, now), BreakerVerdict::Tripped);
+        let mut backoffs = Vec::new();
+        for expected_cycle in 1..3u32 {
+            // Wait out the window (backoff + max jitter), probe, fail.
+            let window = 10u64 << (expected_cycle - 1);
+            now += Duration::from_millis(window + window / 4 + 1);
+            assert!(b.allow(&cfg, now), "cycle {expected_cycle} should probe");
+            assert_eq!(b.on_failure(&cfg, now), BreakerVerdict::Tripped);
+            let BreakerPhase::Open { until, cycles } = b.phase else {
+                panic!("must be open");
+            };
+            assert_eq!(cycles, expected_cycle);
+            backoffs.push(until - now);
+        }
+        assert!(backoffs[1] > backoffs[0], "backoff must grow: {backoffs:?}");
+        // Final cycle: the next half-open failure reaps.
+        now += Duration::from_millis(10_000);
+        assert!(b.allow(&cfg, now));
+        assert_eq!(b.on_failure(&cfg, now), BreakerVerdict::Reap);
+    }
+
+    #[test]
+    fn breaker_backoff_caps_at_max() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            open_backoff_ms: 100,
+            max_backoff_ms: 150,
+            half_open_probes: 1,
+            reap_after_cycles: 100,
+            jitter_seed: 1,
+        };
+        let mut b = BreakerState::new(1);
+        let mut now = Instant::now();
+        b.on_failure(&cfg, now);
+        for _ in 0..5 {
+            now += Duration::from_secs(1);
+            assert!(b.allow(&cfg, now));
+            b.on_failure(&cfg, now);
+            let BreakerPhase::Open { until, .. } = b.phase else {
+                panic!("open");
+            };
+            // max 150ms + 25% jitter headroom
+            assert!(until - now <= Duration::from_millis(188));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_seed_dependent() {
+        let now = Instant::now();
+        let trip_until = |seed: u64, key: u64| {
+            let cfg = BreakerConfig {
+                failure_threshold: 1,
+                jitter_seed: seed,
+                ..BreakerConfig::default()
+            };
+            let mut b = BreakerState::new(key);
+            b.on_failure(&cfg, now);
+            match b.phase {
+                BreakerPhase::Open { until, .. } => until,
+                _ => panic!("open"),
+            }
+        };
+        assert_eq!(trip_until(1, 5), trip_until(1, 5), "same seed: same jitter");
+        // Different keys under one seed should usually differ (that's the
+        // point of per-subscriber jitter); these particular inputs do.
+        assert_ne!(trip_until(1, 5), trip_until(1, 6));
+    }
+
+    #[test]
+    fn load_state_labels_and_severity_round_trip() {
+        for (i, s) in LoadState::ALL.into_iter().enumerate() {
+            assert_eq!(s.severity() as usize, i);
+            assert_eq!(LoadState::from_severity(s.severity()), Some(s));
+        }
+        assert_eq!(LoadState::from_severity(4), None);
+        assert_eq!(LoadState::Critical.as_str(), "critical");
+        assert_eq!(LoadState::Critical.step_down(), LoadState::Overloaded);
+        assert_eq!(LoadState::Healthy.step_down(), LoadState::Healthy);
+    }
+}

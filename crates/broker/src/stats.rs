@@ -27,6 +27,10 @@ pub(crate) struct StatsInner {
     pub routing_skipped: AtomicU64,
     pub routed_broadcast: AtomicU64,
     pub routed_theme_overlap: AtomicU64,
+    pub shed_deadline: AtomicU64,
+    pub shed_load: AtomicU64,
+    pub breaker_open: AtomicU64,
+    pub breaker_trips: AtomicU64,
     /// Per-stage latency histograms, recorded wait-free on the hot path.
     pub stage: StageTimers,
 }
@@ -171,6 +175,18 @@ pub struct BrokerStats {
     /// Events whose candidate set was selected by the theme-overlap
     /// index under [`crate::RoutingPolicy::ThemeOverlap`].
     pub routed_theme_overlap: u64,
+    /// Events shed at dequeue because their publish deadline had already
+    /// expired (overload control, `Overloaded` and worse). Distinct from
+    /// [`BrokerStats::dropped_full`]: shed events never reached matching.
+    pub shed_deadline: u64,
+    /// Events shed at dequeue because their priority fell below the
+    /// configured floor (overload control, `Critical` only).
+    pub shed_load: u64,
+    /// Notifications dropped because the subscriber's circuit breaker was
+    /// open — the subscriber queue was never probed for them.
+    pub breaker_open: u64,
+    /// Circuit-breaker Closed/Half-Open → Open transitions.
+    pub breaker_trips: u64,
     /// Semantic-layer cache counters (projection and measure-memo
     /// caches), sampled from the matcher when the snapshot is taken. All
     /// zeros for matchers without caches.
@@ -179,10 +195,18 @@ pub struct BrokerStats {
 
 impl BrokerStats {
     /// Total notifications that could not be delivered, whatever the
-    /// reason — the sum of [`BrokerStats::dropped_full`] and
-    /// [`BrokerStats::dropped_disconnected`].
+    /// reason — the sum of [`BrokerStats::dropped_full`],
+    /// [`BrokerStats::dropped_disconnected`], and
+    /// [`BrokerStats::breaker_open`].
     pub fn delivery_failures(&self) -> u64 {
-        self.dropped_full + self.dropped_disconnected
+        self.dropped_full + self.dropped_disconnected + self.breaker_open
+    }
+
+    /// Events shed at dequeue by overload control, whatever the reason —
+    /// the sum of [`BrokerStats::shed_deadline`] and
+    /// [`BrokerStats::shed_load`]. These never reached a match test.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_deadline + self.shed_load
     }
 }
 
@@ -204,6 +228,10 @@ impl StatsInner {
             routing_skipped: self.routing_skipped.load(Ordering::Relaxed),
             routed_broadcast: self.routed_broadcast.load(Ordering::Relaxed),
             routed_theme_overlap: self.routed_theme_overlap.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            shed_load: self.shed_load.load(Ordering::Relaxed),
+            breaker_open: self.breaker_open.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             // Filled in by `Broker::stats`, which can reach the matcher.
             semantic_cache: CacheStats::default(),
         }
@@ -232,6 +260,25 @@ mod tests {
         let inner = Arc::new(StatsInner::default());
         inner.dropped_full.fetch_add(4, Ordering::Relaxed);
         inner.dropped_disconnected.fetch_add(3, Ordering::Relaxed);
-        assert_eq!(inner.snapshot().delivery_failures(), 7);
+        inner.breaker_open.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(inner.snapshot().delivery_failures(), 9);
+    }
+
+    #[test]
+    fn shed_counters_are_distinct_from_drop_counters() {
+        let inner = Arc::new(StatsInner::default());
+        inner.shed_deadline.fetch_add(5, Ordering::Relaxed);
+        inner.shed_load.fetch_add(2, Ordering::Relaxed);
+        inner.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        let snap = inner.snapshot();
+        assert_eq!(snap.shed_total(), 7);
+        assert_eq!(snap.shed_deadline, 5);
+        assert_eq!(snap.shed_load, 2);
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(
+            snap.delivery_failures(),
+            0,
+            "shedding is admission control, not delivery failure"
+        );
     }
 }

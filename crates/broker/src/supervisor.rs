@@ -52,16 +52,28 @@ pub(crate) struct Job {
     /// The event's root (publish) span id, when the event was sampled
     /// for causal tracing; `None` means no spans are recorded for it.
     pub(crate) span: Option<u64>,
+    /// Publish deadline from [`crate::PublishOptions`]; consulted only by
+    /// the overload controller's shedding decision.
+    pub(crate) deadline: Option<Instant>,
+    /// Scheduling priority from [`crate::PublishOptions`].
+    pub(crate) priority: u8,
 }
 
 impl Job {
-    pub(crate) fn new(event: Event, seq: u64, span: Option<u64>) -> Job {
+    pub(crate) fn new(
+        event: Event,
+        seq: u64,
+        span: Option<u64>,
+        options: crate::PublishOptions,
+    ) -> Job {
         Job {
             event: Arc::new(event),
             attempts: 0,
             seq,
             enqueued_at: Instant::now(),
             span,
+            deadline: options.deadline,
+            priority: options.priority,
         }
     }
 }
@@ -194,11 +206,31 @@ pub(crate) fn supervisor_loop<M>(
     if window_tick.is_some() {
         shared.window.push(shared.current_frame());
     }
+    // The load-state machine re-evaluates on the same poll loop: worst
+    // observed queue fill (ingress or any subscriber channel) plus the
+    // workers' queue-wait EWMA, every `tick_ms`.
+    let overload_tick = shared
+        .overload
+        .as_ref()
+        .map(|o| Duration::from_millis(o.config().tick_ms.max(1)));
+    let mut last_overload = Instant::now();
     loop {
         if let Some(tick) = window_tick {
             if last_frame.elapsed() >= tick {
                 shared.window.push(shared.current_frame());
                 last_frame = Instant::now();
+            }
+        }
+        if let Some(tick) = overload_tick {
+            if last_overload.elapsed() >= tick {
+                let overload = shared.overload.as_ref().expect("tick implies controller");
+                let mut fill = rx.len() as f64 / shared.config.queue_capacity.max(1) as f64;
+                let sub_capacity = shared.config.notification_capacity.max(1) as f64;
+                for reg in shared.registry.read().values() {
+                    fill = fill.max(reg.sender.len() as f64 / sub_capacity);
+                }
+                overload.evaluate(fill);
+                last_overload = Instant::now();
             }
         }
         let shutting_down = shared.shutdown.load(Ordering::Acquire);
@@ -258,6 +290,8 @@ fn recover_job(shared: &Shared, job: Job) {
         // queued, not the crashed attempt that preceded the requeue.
         enqueued_at: Instant::now(),
         span: job.span,
+        deadline: job.deadline,
+        priority: job.priority,
     };
     let sent = shared
         .ingress
@@ -320,11 +354,54 @@ where
     // Stage 1 (queue wait): publish → this dequeue. Retried jobs record
     // one sample per pass, timed from their requeue.
     let dequeued = Instant::now();
-    shared
-        .stats
-        .stage
-        .queue_wait
-        .record_nanos(nanos_between(job.enqueued_at, dequeued));
+    let queue_wait_nanos = nanos_between(job.enqueued_at, dequeued);
+    shared.stats.stage.queue_wait.record_nanos(queue_wait_nanos);
+    // Overload control (one branch when off): feed the queue-wait EWMA,
+    // then decide whether this event is shed at dequeue and at what
+    // fidelity the survivors are matched. Shed events still count as
+    // `processed` — the liveness invariant (`flush` terminates) must hold
+    // under load shedding too.
+    let mut degraded = tep_matcher::DegradedMatching::Full;
+    if let Some(overload) = &shared.overload {
+        overload.observe_queue_wait(queue_wait_nanos);
+        if let Some(reason) = overload.shed_reason(job.deadline, job.priority, dequeued) {
+            let counter = match reason {
+                crate::ShedReason::Deadline => &shared.stats.shed_deadline,
+                crate::ShedReason::Load => &shared.stats.shed_load,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+            if let Some(parent) = job.span {
+                let now = Instant::now();
+                shared.spans.record_new(
+                    Some(parent),
+                    job.seq,
+                    "shed",
+                    dequeued,
+                    now,
+                    vec![(
+                        "reason".to_string(),
+                        match reason {
+                            crate::ShedReason::Deadline => "deadline".to_string(),
+                            crate::ShedReason::Load => "load".to_string(),
+                        },
+                    )],
+                );
+            }
+            if shared.trace.is_enabled() {
+                shared.trace.push(EventTrace {
+                    seq: job.seq,
+                    candidates: 0,
+                    routing_skipped: 0,
+                    match_tests: 0,
+                    notifications: 0,
+                    quarantined: false,
+                });
+            }
+            return;
+        }
+        degraded = overload.degraded_mode();
+    }
     // Snapshot the candidates so matching never holds the registry lock.
     let mut trace_skipped = 0usize;
     let registrations: Vec<(SubscriptionId, Arc<Registration>)> = match shared.config.routing_policy
@@ -416,7 +493,7 @@ where
                 shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
                 trace_match_tests += 1;
                 match catch_unwind(AssertUnwindSafe(|| {
-                    matcher.match_event(&reg.subscription, &job.event)
+                    matcher.match_event_degraded(&reg.subscription, &job.event, degraded)
                 })) {
                     Ok(r) => {
                         outcome = Some(r);
@@ -437,7 +514,7 @@ where
             // kills the thread; the supervisor recovers the in-flight job.
             shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
             trace_match_tests += 1;
-            Some(matcher.match_event(&reg.subscription, &job.event))
+            Some(matcher.match_event_degraded(&reg.subscription, &job.event, degraded))
         };
         // Chain the timestamps: the match end doubles as the deliver
         // start, halving the clock reads on the hot path.
@@ -684,6 +761,13 @@ where
 /// Sends one notification under the configured subscriber overload
 /// policy, recording drop reasons and flagging registrations to reap.
 /// Returns whether the notification was admitted to the channel.
+///
+/// With overload control on, the subscriber's circuit breaker gates the
+/// send: an Open breaker drops the notification without probing the
+/// channel (`breaker_open`), and full-channel failures feed the breaker
+/// instead of the blunt `DisconnectAfter` cliff — the subscriber is
+/// reaped only after [`crate::BreakerConfig::reap_after_cycles`] Open
+/// cycles failed to find it drained.
 fn deliver(
     shared: &Shared,
     id: SubscriptionId,
@@ -691,6 +775,16 @@ fn deliver(
     notification: Notification,
     dead: &mut Vec<SubscriptionId>,
 ) -> bool {
+    let breaker = match (&shared.overload, &reg.breaker) {
+        (Some(overload), Some(breaker)) => Some((&overload.config().breaker, breaker)),
+        _ => None,
+    };
+    if let Some((config, breaker)) = breaker {
+        if !breaker.lock().allow(config, Instant::now()) {
+            shared.stats.breaker_open.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+    }
     match reg.sender.try_send(notification) {
         Ok(()) => {
             shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
@@ -698,23 +792,45 @@ fn deliver(
                 counter.fetch_add(1, Ordering::Relaxed);
             }
             reg.consecutive_full.store(0, Ordering::Relaxed);
+            if let Some((_, breaker)) = breaker {
+                breaker.lock().on_success();
+            }
             true
         }
-        Err(TrySendError::Full(notification)) => match shared.config.subscriber_policy {
-            SubscriberPolicy::DropNewest => {
-                shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
-                false
-            }
-            SubscriberPolicy::DropOldest => drop_oldest_and_send(shared, reg, notification),
-            SubscriberPolicy::DisconnectAfter(limit) => {
-                shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
-                let consecutive = reg.consecutive_full.fetch_add(1, Ordering::Relaxed) + 1;
-                if consecutive >= limit {
-                    dead.push(id);
+        Err(TrySendError::Full(notification)) => {
+            let admitted = match shared.config.subscriber_policy {
+                SubscriberPolicy::DropNewest => {
+                    shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                    false
                 }
-                false
+                SubscriberPolicy::DropOldest => drop_oldest_and_send(shared, reg, notification),
+                SubscriberPolicy::DisconnectAfter(limit) => {
+                    shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                    let consecutive = reg.consecutive_full.fetch_add(1, Ordering::Relaxed) + 1;
+                    // The breaker supersedes the disconnect cliff: backed-off
+                    // probing beats permanently losing the subscriber.
+                    if consecutive >= limit && breaker.is_none() {
+                        dead.push(id);
+                    }
+                    false
+                }
+            };
+            if let Some((config, breaker)) = breaker {
+                let mut state = breaker.lock();
+                if admitted {
+                    state.on_success();
+                } else {
+                    match state.on_failure(config, Instant::now()) {
+                        crate::overload::BreakerVerdict::Counted => {}
+                        crate::overload::BreakerVerdict::Tripped => {
+                            shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                        }
+                        crate::overload::BreakerVerdict::Reap => dead.push(id),
+                    }
+                }
             }
-        },
+            admitted
+        }
         Err(TrySendError::Disconnected(_)) => {
             shared
                 .stats

@@ -67,12 +67,13 @@ pub use tep_thesaurus as thesaurus;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use tep_broker::{
-        render_explanations_json, render_quality_json, render_spans_json, serve, span_tree, Broker,
-        BrokerConfig, BrokerError, BrokerStats, CacheTemperature, DeadLetter, DriftAlert,
-        DriftKind, EventTrace, HistogramSnapshot, MatchExplanation, MatchOutcome, MetricsRegistry,
-        Notification, PublishPolicy, QualityOracle, QualityReport, RoutingPolicy, ScrapeHandlers,
-        ScrapeServer, SpanNode, SpanRecord, StageLatencies, SubscribeOptions, SubscriberPolicy,
-        WindowedDelta,
+        render_explanations_json, render_quality_json, render_spans_json, serve, span_tree,
+        BreakerConfig, Broker, BrokerConfig, BrokerError, BrokerStats, CacheTemperature,
+        DeadLetter, DriftAlert, DriftKind, EventTrace, HistogramSnapshot, LoadState,
+        MatchExplanation, MatchOutcome, MetricsRegistry, Notification, OverloadConfig,
+        PublishOptions, PublishPolicy, QualityOracle, QualityReport, RoutingPolicy, ScrapeHandlers,
+        ScrapeServer, ShedReason, SpanNode, SpanRecord, StageLatencies, SubscribeOptions,
+        SubscriberPolicy, WindowedDelta,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};
@@ -81,9 +82,9 @@ pub mod prelude {
     };
     pub use tep_index::{InvertedIndex, Tokenizer};
     pub use tep_matcher::{
-        Combiner, ExactMatcher, Fault, FaultConfig, FaultInjectingMatcher, MatchDetail, MatchMode,
-        MatchResult, Matcher, MatcherConfig, PredicateExplanation, ProbabilisticMatcher,
-        RewritingMatcher,
+        Combiner, DegradedMatching, ExactMatcher, Fault, FaultConfig, FaultInjectingMatcher,
+        MatchDetail, MatchMode, MatchResult, Matcher, MatcherConfig, PredicateExplanation,
+        ProbabilisticMatcher, RewritingMatcher,
     };
     pub use tep_semantics::{
         CacheStats, DistributionalSpace, EsaMeasure, ParametricVectorSpace, RelatednessDetail,

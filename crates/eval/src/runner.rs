@@ -10,7 +10,8 @@ use tep_corpus::Corpus;
 use tep_index::InvertedIndex;
 use tep_matcher::{ExactMatcher, Matcher, MatcherConfig, ProbabilisticMatcher, RewritingMatcher};
 use tep_semantics::{
-    DistributionalSpace, EsaMeasure, ParametricVectorSpace, PrecomputedMeasure, ThematicEsaMeasure,
+    CachedMeasure, DistributionalSpace, EsaMeasure, ParametricVectorSpace, PrecomputedMeasure,
+    ThematicEsaMeasure,
 };
 use tep_thesaurus::Thesaurus;
 
@@ -47,6 +48,16 @@ impl MatcherStack {
     pub fn thematic(&self) -> ProbabilisticMatcher<ThematicEsaMeasure> {
         ProbabilisticMatcher::new(
             ThematicEsaMeasure::new(Arc::clone(&self.pvsm)),
+            MatcherConfig::top1(),
+        )
+    }
+
+    /// The thematic matcher with a relatedness memo cache in front — the
+    /// variant whose warm entries make `DegradedMatching::CacheOnly`
+    /// meaningfully semantic during overload drills.
+    pub fn thematic_cached(&self) -> ProbabilisticMatcher<CachedMeasure<ThematicEsaMeasure>> {
+        ProbabilisticMatcher::new(
+            CachedMeasure::new(ThematicEsaMeasure::new(Arc::clone(&self.pvsm))),
             MatcherConfig::top1(),
         )
     }

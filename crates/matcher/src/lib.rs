@@ -66,6 +66,6 @@ pub use config::{Combiner, MatchMode, MatcherConfig};
 pub use explain::{MatchDetail, PredicateExplanation};
 pub use fault::{Fault, FaultConfig, FaultInjectingMatcher};
 pub use mapping::{Correspondence, Mapping, MatchResult};
-pub use matcher::{Matcher, ProbabilisticMatcher};
+pub use matcher::{DegradedMatching, Matcher, ProbabilisticMatcher};
 pub use similarity::SimilarityMatrix;
 pub use tep_semantics::{CacheStats, RelatednessDetail};

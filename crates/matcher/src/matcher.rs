@@ -5,15 +5,63 @@ use crate::config::{MatchMode, MatcherConfig};
 use crate::explain::{MatchDetail, PredicateExplanation};
 use crate::mapping::{Correspondence, Mapping, MatchResult};
 use crate::similarity::SimilarityMatrix;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use tep_events::{ComparisonOp, Event, Subscription};
-use tep_semantics::{theme_for_tags, CacheStats, SemanticMeasure};
+use tep_semantics::{theme_for_tags, CacheStats, SemanticMeasure, Theme};
+
+/// How much semantic fidelity a matcher should spend on one match test —
+/// the degradation ladder an overloaded broker descends (S-ToPSS frames
+/// semantic matching as exactly this layered exact → synonym → semantic
+/// stack; here the rungs are priced by what they compute).
+///
+/// The ordering is by fidelity: `Full > CacheOnly > ExactOnly`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegradedMatching {
+    /// Full semantic matching: compute whatever the measure needs.
+    #[default]
+    Full,
+    /// Cache-warm-only semantics: consult memoized scores and resident
+    /// (pinned) projections via [`SemanticMeasure::relatedness_warm`], but
+    /// never compute a cold projection or basis. Term pairs that are not
+    /// warm score `0.0`.
+    CacheOnly,
+    /// Exact term identity only: equal terms score `1.0`, everything else
+    /// `0.0` — no semantic work at all.
+    ExactOnly,
+}
+
+impl DegradedMatching {
+    /// Stable lowercase label for metrics and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradedMatching::Full => "full",
+            DegradedMatching::CacheOnly => "cache_only",
+            DegradedMatching::ExactOnly => "exact_only",
+        }
+    }
+}
 
 /// A single-event matcher `M` deciding the semantic relevance between a
 /// subscription and an event (paper §3.5).
 pub trait Matcher: Send + Sync {
     /// Matches one event against one subscription.
     fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult;
+
+    /// Matches under a fidelity budget. Matchers that can cheapen their
+    /// work under load (semantic matchers) honour `mode`; everything else
+    /// falls back to [`Self::match_event`] — exact matchers are already at
+    /// the bottom of the ladder. `Full` must behave exactly like
+    /// [`Self::match_event`].
+    fn match_event_degraded(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        mode: DegradedMatching,
+    ) -> MatchResult {
+        let _ = mode;
+        self.match_event(subscription, event)
+    }
 
     /// A short name for reports ("thematic", "non-thematic", "exact", …).
     fn name(&self) -> &'static str {
@@ -66,6 +114,14 @@ pub trait Matcher: Send + Sync {
 impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
     fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
         (**self).match_event(subscription, event)
+    }
+    fn match_event_degraded(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        mode: DegradedMatching,
+    ) -> MatchResult {
+        (**self).match_event_degraded(subscription, event, mode)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -141,19 +197,17 @@ impl<M: SemanticMeasure> ProbabilisticMatcher<M> {
     ) -> SimilarityMatrix {
         SimilarityMatrix::build(subscription, event, &self.measure, self.config.combiner)
     }
-}
 
-impl<M: SemanticMeasure> fmt::Debug for ProbabilisticMatcher<M> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ProbabilisticMatcher")
-            .field("measure", &self.measure)
-            .field("config", &self.config)
-            .finish()
-    }
-}
-
-impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
-    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+    /// The full matching pipeline (Fig. 4) under an arbitrary measure —
+    /// the one implementation behind both [`Matcher::match_event`] (the
+    /// configured measure) and [`Matcher::match_event_degraded`] (the same
+    /// measure behind a fidelity-limiting adapter).
+    fn match_with_measure<S: SemanticMeasure + ?Sized>(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        measure: &S,
+    ) -> MatchResult {
         let n = subscription.predicates().len();
         let m = event.tuples().len();
         if n == 0 || n > m {
@@ -165,7 +219,7 @@ impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
         let Some(matrix) = SimilarityMatrix::build_pruned(
             subscription,
             event,
-            &self.measure,
+            measure,
             self.config.combiner,
             self.config.score_floor,
         ) else {
@@ -213,6 +267,76 @@ impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
             })
             .collect();
         MatchResult::from_mappings(mappings)
+    }
+}
+
+/// Fidelity-limiting adapter: scores through the wrapped measure's warm
+/// state only (or through term identity alone), never computing cold
+/// semantic work. Backs [`Matcher::match_event_degraded`] for
+/// [`ProbabilisticMatcher`].
+#[derive(Debug)]
+struct DegradedMeasure<'a, M: SemanticMeasure> {
+    inner: &'a M,
+    exact_only: bool,
+}
+
+impl<M: SemanticMeasure> SemanticMeasure for DegradedMeasure<'_, M> {
+    fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
+        if term_s == term_e {
+            return 1.0;
+        }
+        if self.exact_only {
+            return 0.0;
+        }
+        self.inner
+            .relatedness_warm(term_s, theme_s, term_e, theme_e)
+            .unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl<M: SemanticMeasure> fmt::Debug for ProbabilisticMatcher<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbabilisticMatcher")
+            .field("measure", &self.measure)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
+    fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
+        self.match_with_measure(subscription, event, &self.measure)
+    }
+
+    fn match_event_degraded(
+        &self,
+        subscription: &Subscription,
+        event: &Event,
+        mode: DegradedMatching,
+    ) -> MatchResult {
+        match mode {
+            DegradedMatching::Full => self.match_event(subscription, event),
+            DegradedMatching::CacheOnly => self.match_with_measure(
+                subscription,
+                event,
+                &DegradedMeasure {
+                    inner: &self.measure,
+                    exact_only: false,
+                },
+            ),
+            DegradedMatching::ExactOnly => self.match_with_measure(
+                subscription,
+                event,
+                &DegradedMeasure {
+                    inner: &self.measure,
+                    exact_only: true,
+                },
+            ),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -577,6 +701,124 @@ mod tests {
         assert!(!d.mapped);
         assert_eq!(d.predicates[0].tuple, None);
         assert_eq!(d.predicates[0].similarity, 0.0);
+    }
+
+    /// A measure whose full path knows every pair but whose warm path only
+    /// knows an allowlisted subset — models a half-warm cache exactly.
+    #[derive(Debug, Default)]
+    struct HalfWarmMeasure {
+        full: StubMeasure,
+        warm: HashMap<(String, String), f64>,
+    }
+
+    impl HalfWarmMeasure {
+        fn warm(mut self, a: &str, b: &str, s: f64) -> HalfWarmMeasure {
+            self.warm.insert((a.into(), b.into()), s);
+            self.warm.insert((b.into(), a.into()), s);
+            self
+        }
+    }
+
+    impl SemanticMeasure for HalfWarmMeasure {
+        fn relatedness(&self, a: &str, ths: &Theme, b: &str, the: &Theme) -> f64 {
+            self.full.relatedness(a, ths, b, the)
+        }
+        fn relatedness_warm(&self, a: &str, _: &Theme, b: &str, _: &Theme) -> Option<f64> {
+            if a == b {
+                return Some(1.0);
+            }
+            self.warm.get(&(a.to_string(), b.to_string())).copied()
+        }
+    }
+
+    #[test]
+    fn degraded_full_is_identical_to_match_event() {
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        let sub = paper_subscription();
+        let event = paper_event();
+        let full = m.match_event(&sub, &event);
+        let degraded = m.match_event_degraded(&sub, &event, DegradedMatching::Full);
+        assert_eq!(full.score().to_bits(), degraded.score().to_bits());
+        assert_eq!(full.is_empty(), degraded.is_empty());
+    }
+
+    #[test]
+    fn cache_only_uses_warm_scores_and_drops_cold_pairs() {
+        // Warm path knows the type synonym but not laptop↔computer: the
+        // full-approx device predicate loses its only feasible tuple, so
+        // the cache-only rung rejects what the full rung accepts.
+        let measure = HalfWarmMeasure {
+            full: stub(),
+            warm: HashMap::new(),
+        }
+        .warm(
+            "increased energy usage event",
+            "increased energy consumption event",
+            0.9,
+        );
+        let m = ProbabilisticMatcher::new(measure, MatcherConfig::top1());
+        let sub = paper_subscription();
+        let event = paper_event();
+        assert!(!m.match_event(&sub, &event).is_empty(), "full path matches");
+        assert!(
+            m.match_event_degraded(&sub, &event, DegradedMatching::CacheOnly)
+                .is_empty(),
+            "cold device pair must sink the cache-only mapping"
+        );
+        // Fully warm: cache-only reproduces the full result exactly.
+        let warm_measure = HalfWarmMeasure {
+            full: stub(),
+            warm: HashMap::new(),
+        }
+        .warm(
+            "increased energy usage event",
+            "increased energy consumption event",
+            0.9,
+        )
+        .warm("laptop", "computer", 0.8);
+        let m = ProbabilisticMatcher::new(warm_measure, MatcherConfig::top1());
+        let full = m.match_event(&sub, &event);
+        let warm = m.match_event_degraded(&sub, &event, DegradedMatching::CacheOnly);
+        assert_eq!(full.score().to_bits(), warm.score().to_bits());
+    }
+
+    #[test]
+    fn exact_only_keeps_term_identity_and_nothing_else() {
+        let m = ProbabilisticMatcher::new(stub(), MatcherConfig::top1());
+        // The paper subscription needs semantics (device~laptop): gone.
+        assert!(m
+            .match_event_degraded(
+                &paper_subscription(),
+                &paper_event(),
+                DegradedMatching::ExactOnly
+            )
+            .is_empty());
+        // A literally identical approximate predicate still matches.
+        let s = Subscription::builder()
+            .predicate_full_approx("device", "computer")
+            .build()
+            .unwrap();
+        let r = m.match_event_degraded(&s, &paper_event(), DegradedMatching::ExactOnly);
+        assert!(!r.is_empty());
+        assert_eq!(r.score(), 1.0);
+    }
+
+    #[test]
+    fn default_degraded_falls_back_to_match_event() {
+        use crate::baselines::ExactMatcher;
+        let m = ExactMatcher::new();
+        let s = Subscription::builder()
+            .predicate_exact("office", "room 112")
+            .build()
+            .unwrap();
+        for mode in [
+            DegradedMatching::Full,
+            DegradedMatching::CacheOnly,
+            DegradedMatching::ExactOnly,
+        ] {
+            assert!(!m.match_event_degraded(&s, &paper_event(), mode).is_empty());
+        }
+        assert_eq!(DegradedMatching::CacheOnly.as_str(), "cache_only");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * `GET /quality` — live precision/recall/F1 JSON (when the embedder
 //!   installs a handler via [`ScrapeHandlers::with_quality`]),
 //! * `GET /top` — top-k hottest themes/terms JSON (when installed via
-//!   [`ScrapeHandlers::with_top`]).
+//!   [`ScrapeHandlers::with_top`]),
+//! * `GET /overload` — load-state / shedding / circuit-breaker JSON (when
+//!   installed via [`ScrapeHandlers::with_overload`]).
 //!
 //! The handlers are plain closures supplied by the embedding process, so
 //! this crate stays free of tep dependencies and the broker stays free
@@ -41,6 +43,7 @@ pub struct ScrapeHandlers {
     explain: Handler,
     quality: Option<Handler>,
     top: Option<Handler>,
+    overload: Option<Handler>,
 }
 
 impl ScrapeHandlers {
@@ -59,6 +62,7 @@ impl ScrapeHandlers {
             explain: Box::new(explain),
             quality: None,
             top: None,
+            overload: None,
         }
     }
 
@@ -74,6 +78,15 @@ impl ScrapeHandlers {
     /// Installs the `/top` body producer (JSON).
     pub fn with_top(mut self, top: impl Fn() -> String + Send + Sync + 'static) -> ScrapeHandlers {
         self.top = Some(Box::new(top));
+        self
+    }
+
+    /// Installs the `/overload` body producer (JSON).
+    pub fn with_overload(
+        mut self,
+        overload: impl Fn() -> String + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        self.overload = Some(Box::new(overload));
         self
     }
 }
@@ -183,10 +196,16 @@ fn handle_connection(stream: &mut TcpStream, handlers: &ScrapeHandlers) -> io::R
                 "application/json",
                 (handlers.top.as_ref().expect("guarded"))(),
             ),
+            "/overload" if handlers.overload.is_some() => (
+                "200 OK",
+                "application/json",
+                (handlers.overload.as_ref().expect("guarded"))(),
+            ),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /healthz, /explain, /quality, /top\n".to_string(),
+                "not found; try /metrics, /healthz, /explain, /quality, /top, /overload\n"
+                    .to_string(),
             ),
         }
     };
@@ -275,13 +294,15 @@ mod tests {
         let addr = server.local_addr();
         assert!(get(addr, "/quality").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/top").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/overload").starts_with("HTTP/1.1 404"));
         server.shutdown();
 
         let server = serve(
             "127.0.0.1:0",
             ScrapeHandlers::new(String::new, String::new, String::new)
                 .with_quality(|| "{\"f1\":0.85}".to_string())
-                .with_top(|| "{\"themes\":[]}".to_string()),
+                .with_top(|| "{\"themes\":[]}".to_string())
+                .with_overload(|| "{\"state\":\"healthy\"}".to_string()),
         )
         .expect("bind ephemeral port");
         let addr = server.local_addr();
@@ -292,8 +313,11 @@ mod tests {
         let top = get(addr, "/top");
         assert!(top.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(top.ends_with("{\"themes\":[]}"));
+        let overload = get(addr, "/overload");
+        assert!(overload.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(overload.ends_with("{\"state\":\"healthy\"}"));
         // The 404 hint advertises the new endpoints.
-        assert!(get(addr, "/nope").contains("/quality, /top"));
+        assert!(get(addr, "/nope").contains("/quality, /top, /overload"));
         server.shutdown();
     }
 

@@ -102,6 +102,27 @@ pub trait SemanticMeasure: Send + Sync + fmt::Debug {
     fn cache_miss_count(&self) -> u64 {
         0
     }
+
+    /// Cache-warm-only relatedness: answer from already-resident state
+    /// (memo tables, pinned projections) **without computing anything
+    /// expensive**, or return `None` when the answer is not warm. The
+    /// contract: a `Some(score)` must equal what [`Self::relatedness`]
+    /// would return for the same arguments, and the probe must not
+    /// perturb cache counters or eviction order.
+    ///
+    /// This is the middle rung of the broker's degradation ladder (exact →
+    /// cache-warm semantic → full semantic): under overload the broker
+    /// keeps whatever semantic fidelity is already paid for and skips only
+    /// the cold computations. Default: `None` (no warm state to consult).
+    fn relatedness_warm(
+        &self,
+        _term_s: &str,
+        _theme_s: &Theme,
+        _term_e: &str,
+        _theme_e: &Theme,
+    ) -> Option<f64> {
+        None
+    }
 }
 
 impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
@@ -131,6 +152,15 @@ impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
     }
     fn cache_miss_count(&self) -> u64 {
         (**self).cache_miss_count()
+    }
+    fn relatedness_warm(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> Option<f64> {
+        (**self).relatedness_warm(term_s, theme_s, term_e, theme_e)
     }
 }
 
@@ -263,6 +293,16 @@ impl SemanticMeasure for ThematicEsaMeasure {
     fn cache_miss_count(&self) -> u64 {
         self.pvsm.miss_count()
     }
+
+    fn relatedness_warm(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> Option<f64> {
+        self.pvsm.relatedness_warm(term_s, theme_s, term_e, theme_e)
+    }
 }
 
 /// Fully canonicalized memo key: the two `(term, theme)` sides ordered by
@@ -390,6 +430,27 @@ impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
     fn cache_miss_count(&self) -> u64 {
         self.cache.miss_count() + self.inner.cache_miss_count()
     }
+
+    fn relatedness_warm(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> Option<f64> {
+        let key = canonical_key(
+            intern_term(term_s),
+            intern_theme(theme_s),
+            intern_term(term_e),
+            intern_theme(theme_e),
+        );
+        // Memoized score first (counter-free peek), then whatever warm
+        // state the inner measure holds (e.g. pinned projections).
+        self.cache.peek(&key).or_else(|| {
+            self.inner
+                .relatedness_warm(term_s, theme_s, term_e, theme_e)
+        })
+    }
 }
 
 /// A fully precomputed, theme-insensitive score table.
@@ -481,6 +542,17 @@ impl SemanticMeasure for PrecomputedMeasure {
 
     fn name(&self) -> &'static str {
         "precomputed-esa"
+    }
+
+    fn relatedness_warm(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> Option<f64> {
+        // The whole table is precomputed — every lookup is "warm".
+        Some(self.relatedness(term_s, theme_s, term_e, theme_e))
     }
 }
 
@@ -673,6 +745,45 @@ mod tests {
         assert_eq!(d.score, 0.9);
         assert_eq!(d.distance, None);
         assert_eq!((d.dims_full_s, d.dims_projected_s), (0, 0));
+    }
+
+    #[test]
+    fn cached_measure_warm_path_uses_memo_then_inner() {
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&Corpus::generate(&CorpusConfig::small())),
+        )));
+        let m = CachedMeasure::new(ThematicEsaMeasure::new(Arc::clone(&pvsm)));
+        let th = Theme::new(["energy policy"]);
+        let (a, b) = ("energy consumption", "electricity usage");
+        // Cold: neither the memo nor the projections know the pair.
+        assert_eq!(m.relatedness_warm(a, &th, b, &th), None);
+        // Full computation memoizes; the warm path then answers exactly.
+        let full = m.relatedness(a, &th, b, &th);
+        assert_eq!(m.relatedness_warm(a, &th, b, &th), Some(full));
+        // Clearing the memo falls through to the inner measure's pinned /
+        // resident projections, which the full call also warmed.
+        m.clear();
+        let via_inner = m
+            .relatedness_warm(a, &th, b, &th)
+            .expect("projections warm");
+        assert_eq!(via_inner.to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn precomputed_measure_is_always_warm() {
+        let mut m = PrecomputedMeasure::new(0.1);
+        m.insert("laptop", "computer", 0.9);
+        let e = Theme::empty();
+        assert_eq!(m.relatedness_warm("laptop", &e, "computer", &e), Some(0.9));
+        assert_eq!(m.relatedness_warm("laptop", &e, "banana", &e), Some(0.1));
+    }
+
+    #[test]
+    fn warm_default_is_none() {
+        let m = EsaMeasure::new(space());
+        let e = Theme::empty();
+        let _ = m.relatedness("parking", &e, "garage", &e);
+        assert_eq!(m.relatedness_warm("parking", &e, "garage", &e), None);
     }
 
     #[test]

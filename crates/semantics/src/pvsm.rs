@@ -213,6 +213,37 @@ impl ParametricVectorSpace {
         relatedness_from_distance(vs.euclidean_distance(&ve))
     }
 
+    /// Cache-warm-only variant of [`Self::relatedness`]: answers **only**
+    /// from already-resident normalized projections and never computes a
+    /// basis or projection. Returns `None` when either side's projection is
+    /// not resident; returns the exact same score as [`Self::relatedness`]
+    /// when both are. Counter-free and promotion-free (see
+    /// [`ShardedCache::peek`]), so a degraded broker probing warm state
+    /// does not perturb cache statistics or LRU ordering.
+    ///
+    /// Subscription-side projections are pinned for the subscription's
+    /// lifetime ([`Self::pin_projection`]), so under a warm workload this
+    /// degrades only the cold event-term tail, not the whole measure.
+    pub fn relatedness_warm(
+        &self,
+        term_s: &str,
+        theme_s: &Theme,
+        term_e: &str,
+        theme_e: &Theme,
+    ) -> Option<f64> {
+        if term_s == term_e {
+            return Some(1.0);
+        }
+        let ks = (intern_theme(theme_s), intern_term(term_s));
+        let ke = (intern_theme(theme_e), intern_term(term_e));
+        let vs = self.normalized_cache.peek(&ks)?;
+        let ve = self.normalized_cache.peek(&ke)?;
+        if vs.is_zero() || ve.is_zero() {
+            return Some(0.0);
+        }
+        Some(relatedness_from_distance(vs.euclidean_distance(&ve)))
+    }
+
     /// [`Self::relatedness`] plus the evidence behind the score: the raw
     /// distance (when the geometric path was taken) and each side's
     /// dimensionality before and after theme projection.
@@ -417,6 +448,41 @@ mod tests {
         let b = Theme::new(["land transport"]);
         assert_eq!(p.relatedness("device", &a, "device", &b), 1.0);
         assert_eq!(p.relatedness("zzz unknown", &a, "zzz unknown", &b), 1.0);
+    }
+
+    #[test]
+    fn relatedness_warm_mirrors_full_path_only_when_resident() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let (a, b) = ("energy consumption", "electricity usage");
+        // Cold cache: no projections resident, no warm answer — but equal
+        // terms short-circuit without any geometry.
+        assert_eq!(p.relatedness_warm(a, &th, b, &th), None);
+        assert_eq!(p.relatedness_warm(a, &th, a, &th), Some(1.0));
+        // One side resident is not enough.
+        p.project_normalized(a, &th);
+        assert_eq!(p.relatedness_warm(a, &th, b, &th), None);
+        // Both resident: bit-identical to the full path, and the probe
+        // itself must not move the cache counters.
+        let full = p.relatedness(a, &th, b, &th);
+        let counters = p.cache_stats().total();
+        let warm = p.relatedness_warm(a, &th, b, &th).expect("both warm");
+        assert_eq!(warm.to_bits(), full.to_bits());
+        assert_eq!(p.cache_stats().total(), counters, "peek is counter-free");
+        // Eviction (clear) takes the warm answer away again.
+        p.clear_caches();
+        assert_eq!(p.relatedness_warm(a, &th, b, &th), None);
+    }
+
+    #[test]
+    fn pinned_projections_stay_warm() {
+        let p = pvsm();
+        let th = Theme::new(["energy policy"]);
+        let (a, b) = ("energy consumption", "electricity usage");
+        p.pin_projection(a, &th);
+        p.pin_projection(b, &th);
+        let warm = p.relatedness_warm(a, &th, b, &th).expect("pinned is warm");
+        assert_eq!(warm.to_bits(), p.relatedness(a, &th, b, &th).to_bits());
     }
 
     #[test]

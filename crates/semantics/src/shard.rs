@@ -170,6 +170,16 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
+    /// Read-only probe: returns the cached value if resident (pinned, hot,
+    /// or previous generation) without promotion and **without touching the
+    /// hit/miss counters** — a peek is not a demand signal. This is the
+    /// primitive behind cache-warm-only lookups (a degraded broker asks
+    /// "what do you already know?" and must not pollute the counters or
+    /// the LRU ordering while doing so).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.get_fast(key)
+    }
+
     /// Read-only probe without promotion or counter updates.
     fn get_fast(&self, key: &K) -> Option<V> {
         let inner = self.shard(key).read();

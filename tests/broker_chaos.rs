@@ -35,6 +35,23 @@ fn silence_injected_panics() {
     });
 }
 
+/// Fault seed for one chaos test: `TEP_CHAOS_SEED` (decimal or `0x` hex)
+/// overrides the per-test default, so CI can sweep a seed matrix without
+/// recompiling. Expectations are precomputed from the same seeded
+/// matcher, so every assertion stays exact under any seed.
+fn chaos_seed(default: u64) -> u64 {
+    match std::env::var("TEP_CHAOS_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| v.parse())
+                .unwrap_or_else(|e| panic!("TEP_CHAOS_SEED {v:?} is not a u64: {e}"))
+        }
+        Err(_) => default,
+    }
+}
+
 /// The expected outcome of one chaos run, precomputed from the seeded
 /// fault decisions before any event is published.
 struct Expectation {
@@ -74,7 +91,7 @@ fn chaos_isolated_panics_lose_no_clean_events() {
 
     let matcher = Arc::new(FaultInjectingMatcher::new(
         ExactMatcher::new(),
-        FaultConfig::none(0xC4A05)
+        FaultConfig::none(chaos_seed(0xC4A05))
             .with_panic_rate(0.01)
             .with_error_rate(0.005)
             .with_latency(0.002, Duration::from_micros(200)),
@@ -153,6 +170,177 @@ fn chaos_isolated_panics_lose_no_clean_events() {
     );
 }
 
+/// Supervisor respawn under sustained overload: unisolated panic storms
+/// while the ingress queue is pinned full by a slow matcher and a
+/// `Reject` publish policy. Every accepted event must finish exactly
+/// once (no double-quarantine from the recovery path) and the flush must
+/// terminate even though most publishes bounce.
+#[test]
+fn chaos_respawn_with_full_ingress_queue() {
+    silence_injected_panics();
+    let started = Instant::now();
+
+    let matcher = Arc::new(FaultInjectingMatcher::new(
+        ExactMatcher::new(),
+        FaultConfig::none(chaos_seed(0x00F0_11ED))
+            .with_panic_rate(0.05)
+            .with_latency(1.0, Duration::from_micros(300)),
+    ));
+    let events = chaos_events(2_000);
+
+    let config = BrokerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        notification_capacity: 16_384,
+        max_match_attempts: 1,
+        isolate_matcher_panics: false,
+        publish_policy: PublishPolicy::Reject,
+        ..BrokerConfig::default()
+    };
+    let workers = config.workers as u64;
+    let broker = Broker::start(Arc::clone(&matcher), config);
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+
+    // The 8-slot queue under a 300 µs/match matcher bounces most publish
+    // attempts; each event retries until it is accepted, so the ingress
+    // queue stays pinned full for the whole storm while every event
+    // still enters the pipeline exactly once.
+    let mut rejected = 0u64;
+    for e in &events {
+        loop {
+            match broker.publish(e.clone()) {
+                Ok(()) => break,
+                Err(BrokerError::QueueFull) => {
+                    rejected += 1;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(other) => panic!("unexpected publish error: {other:?}"),
+            }
+        }
+    }
+    assert!(rejected > 0, "the queue must actually fill");
+    let exp = precompute(&matcher, &events);
+    assert!(exp.panics > 0, "the seed must inject panics into the storm");
+
+    broker
+        .flush_timeout(Duration::from_secs(20))
+        .expect("flush must terminate despite rejections and respawns");
+
+    // Settle poll, as in the unisolated sibling: respawn bookkeeping can
+    // lag the last quarantine by a few supervisor ticks.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let s = broker.stats();
+        if s.workers_respawned == exp.panics && s.live_workers == workers {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let stats = broker.stats();
+    assert_eq!(stats.published, events.len() as u64);
+    assert_eq!(stats.rejected_publishes, rejected);
+    assert_eq!(
+        stats.processed,
+        events.len() as u64,
+        "every accepted event finishes exactly once"
+    );
+    assert_eq!(
+        stats.quarantined, exp.panics,
+        "each crashed event is quarantined exactly once"
+    );
+    assert_eq!(stats.worker_panics, exp.panics);
+    assert_eq!(stats.workers_respawned, exp.panics);
+    assert_eq!(stats.live_workers, workers);
+    assert_eq!(stats.notifications, exp.delivered);
+    assert_eq!(rx.try_iter().count() as u64, exp.delivered);
+    broker.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(40),
+        "chaos test must stay within its time budget"
+    );
+}
+
+/// The tentpole liveness property: a seeded overload storm drives the
+/// load-state machine out of `Healthy`, sheds work, and — once the storm
+/// stops and the subscribers catch up — the broker walks back to
+/// `Healthy` on its own.
+#[test]
+fn chaos_overload_storm_recovers_to_healthy() {
+    silence_injected_panics();
+    let started = Instant::now();
+
+    let matcher = Arc::new(FaultInjectingMatcher::new(
+        ExactMatcher::new(),
+        FaultConfig::none(chaos_seed(0x0057_0714)).with_latency(1.0, Duration::from_micros(300)),
+    ));
+    let config = BrokerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        notification_capacity: 4,
+        ..BrokerConfig::default()
+    }
+    .with_overload_control(OverloadConfig {
+        shed_priority_floor: 50,
+        ..OverloadConfig::sensitive()
+    });
+    let broker = Broker::start(Arc::clone(&matcher), config);
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{kind= wanted}").unwrap())
+        .unwrap();
+
+    let mut peak = LoadState::Healthy;
+    for e in &chaos_events(800) {
+        broker
+            .publish_with(
+                e.clone(),
+                PublishOptions::default()
+                    .with_ttl(Duration::from_millis(1))
+                    .with_priority(10),
+            )
+            .unwrap();
+        peak = peak.max(broker.load_state().expect("overload control is on"));
+    }
+    assert!(
+        peak >= LoadState::Overloaded,
+        "the storm must escalate the state machine, peaked at {peak:?}"
+    );
+
+    broker
+        .flush_timeout(Duration::from_secs(20))
+        .expect("shedding keeps the flush bounded");
+    let stats = broker.stats();
+    assert_eq!(stats.published, 800);
+    assert_eq!(stats.processed, 800, "shed events still count as processed");
+    assert!(
+        stats.shed_deadline + stats.shed_load > 0,
+        "an escalated storm with 1 ms deadlines must shed: {stats:?}"
+    );
+
+    // Storm over: drain the subscriber and poll the organic state machine
+    // back to `Healthy` (idle decay must get there without new traffic).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        while rx.try_recv().is_ok() {}
+        if broker.load_state() == Some(LoadState::Healthy) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "broker must recover to healthy, stuck at {:?}",
+            broker.load_state()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    broker.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(40),
+        "chaos test must stay within its time budget"
+    );
+}
+
 #[test]
 fn chaos_unisolated_panics_are_survived_by_respawn() {
     silence_injected_panics();
@@ -160,7 +348,7 @@ fn chaos_unisolated_panics_are_survived_by_respawn() {
 
     let matcher = Arc::new(FaultInjectingMatcher::new(
         ExactMatcher::new(),
-        FaultConfig::none(0xD15EA5E).with_panic_rate(0.01),
+        FaultConfig::none(chaos_seed(0xD15EA5E)).with_panic_rate(0.01),
     ));
     let events = chaos_events(4_000);
     let exp = precompute(&matcher, &events);

@@ -563,7 +563,8 @@ fn explanation_counts_reconcile_with_match_counters() {
     let config = BrokerConfig::default()
         .with_workers(1)
         .with_routing_policy(RoutingPolicy::ThemeOverlap)
-        .with_explain_capacity(1024);
+        .with_explain_capacity(1024)
+        .with_overload_control(OverloadConfig::default());
     let b = exact_broker(config);
     let (_, _power_rx) = b
         .subscribe(parse_subscription("({power}, {k= v})").unwrap())
@@ -595,6 +596,83 @@ fn explanation_counts_reconcile_with_match_counters() {
         .filter(|e| e.outcome == MatchOutcome::Delivered)
         .count() as u64;
     assert_eq!(delivered, stats.notifications);
+
+    // Shed events are admission-controlled away *before* matching, so
+    // they move `processed` and the shed counters but leave no
+    // explanation and no match test behind.
+    b.force_load_state(Some(LoadState::Overloaded));
+    let expired = std::time::Instant::now() - Duration::from_millis(50);
+    for i in 0..4 {
+        b.publish_with(
+            parse_event(&format!("({{power}}, {{k: v, i: shed{i}}})")).unwrap(),
+            PublishOptions::default().with_deadline(expired),
+        )
+        .unwrap();
+    }
+    b.force_load_state(None);
+    b.flush().unwrap();
+
+    let stats = b.stats();
+    assert_eq!(stats.processed, 44, "shed events still count as processed");
+    assert_eq!(stats.shed_deadline, 4);
+    assert_eq!(stats.shed_total(), 4);
+    assert_eq!(stats.match_tests, 40, "shed events never reach the matcher");
+    assert_eq!(
+        b.explain_last(1024).len() as u64,
+        stats.match_tests,
+        "shed events leave no explanation"
+    );
+    b.shutdown();
+}
+
+/// The split drop accounting reconciles with explanation outcomes: every
+/// above-threshold match is either `Delivered` (== `notifications`) or
+/// `DeliveryDropped` (== full-channel drops + open-breaker drops +
+/// disconnect drops, i.e. `delivery_failures()`), and the breaker-open
+/// share is counted separately from the policy drops.
+#[test]
+fn drop_accounting_reconciles_with_delivery_outcomes() {
+    let overload = OverloadConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            open_backoff_ms: 60_000,
+            max_backoff_ms: 60_000,
+            half_open_probes: 1,
+            reap_after_cycles: 1_000,
+            jitter_seed: 7,
+        },
+        ..OverloadConfig::default()
+    };
+    let mut config = BrokerConfig::default()
+        .with_workers(1)
+        .with_explain_capacity(1024)
+        .with_overload_control(overload);
+    config.notification_capacity = 2;
+    let b = exact_broker(config);
+    let (_, rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+    for i in 0..10 {
+        b.publish(parse_event(&format!("{{k: v, i: n{i}}}")).unwrap())
+            .unwrap();
+    }
+    b.flush().unwrap();
+
+    let stats = b.stats();
+    assert_eq!(stats.notifications, 2, "the channel holds two");
+    assert_eq!(stats.dropped_full, 3, "three failures close the breaker");
+    assert_eq!(stats.breaker_trips, 1);
+    assert_eq!(stats.breaker_open, 5, "the rest die at the open breaker");
+    assert_eq!(stats.dropped_disconnected, 0);
+    assert_eq!(stats.delivery_failures(), 8);
+
+    let explanations = b.explain_last(1024);
+    let outcome = |o: MatchOutcome| explanations.iter().filter(|e| e.outcome == o).count() as u64;
+    assert_eq!(outcome(MatchOutcome::Delivered), stats.notifications);
+    assert_eq!(
+        outcome(MatchOutcome::DeliveryDropped),
+        stats.delivery_failures(),
+        "every non-delivery is one of the split drop counters"
+    );
+    assert_eq!(rx.try_iter().count(), 2);
     b.shutdown();
 }
 

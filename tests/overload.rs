@@ -1,0 +1,324 @@
+//! Adaptive overload control, end to end: admission shedding, the
+//! degraded-matching ladder, and subscriber circuit breakers observed
+//! through the public broker API.
+//!
+//! These tests pin the load state with [`Broker::force_load_state`]
+//! (the drill hook) so each overload reaction can be exercised
+//! deterministically; the organic state-machine escalation is covered by
+//! the chaos suite and the overload-storm bench.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tep::prelude::*;
+use tep::semantics::CachedMeasure;
+
+const FLUSH: Duration = Duration::from_secs(30);
+
+fn exact_broker(overload: OverloadConfig) -> Broker {
+    Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_overload_control(overload),
+    )
+}
+
+#[test]
+fn overload_control_is_off_by_default() {
+    let broker = Broker::start(Arc::new(ExactMatcher::new()), BrokerConfig::default());
+    assert_eq!(broker.load_state(), None);
+    assert_eq!(broker.open_breakers(), 0);
+    assert!(broker.overload_json().contains("\"enabled\": false"));
+
+    // publish_with metadata is accepted and inert without the controller:
+    // deadlines in the past still deliver because nothing sheds.
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
+    let expired = Instant::now() - Duration::from_millis(50);
+    broker
+        .publish_with(
+            parse_event("{a: 1}").unwrap(),
+            PublishOptions::default()
+                .with_deadline(expired)
+                .with_priority(0),
+        )
+        .unwrap();
+    broker.flush_timeout(FLUSH).unwrap();
+    assert!(rx.try_recv().is_ok(), "no controller, no shedding");
+    let stats = broker.stats();
+    assert_eq!(stats.shed_deadline + stats.shed_load, 0);
+    assert_eq!(stats.breaker_trips + stats.breaker_open, 0);
+    broker.close();
+}
+
+#[test]
+fn expired_deadlines_are_shed_under_overloaded() {
+    let broker = exact_broker(OverloadConfig::default());
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
+    broker.force_load_state(Some(LoadState::Overloaded));
+
+    let expired = Instant::now() - Duration::from_millis(50);
+    broker
+        .publish_with(
+            parse_event("{a: 1}").unwrap(),
+            PublishOptions::default().with_deadline(expired),
+        )
+        .unwrap();
+    broker
+        .publish_with(
+            parse_event("{a: 1}").unwrap(),
+            PublishOptions::default().with_deadline(Instant::now() + Duration::from_secs(60)),
+        )
+        .unwrap();
+    broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    broker.flush_timeout(FLUSH).unwrap();
+
+    let stats = broker.stats();
+    assert_eq!(stats.shed_deadline, 1, "only the expired event is shed");
+    assert_eq!(stats.shed_load, 0);
+    assert_eq!(
+        stats.notifications, 2,
+        "live-deadline and no-deadline deliver"
+    );
+    assert_eq!(stats.processed, 3, "shed events still count as processed");
+    assert_eq!(rx.try_iter().count(), 2);
+    assert!(broker.overload_json().contains("\"shed_deadline\": 1"));
+    broker.close();
+}
+
+#[test]
+fn low_priority_events_are_shed_under_critical_only() {
+    let broker = exact_broker(OverloadConfig {
+        shed_priority_floor: 50,
+        ..OverloadConfig::default()
+    });
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
+
+    // Overloaded: the priority floor does not apply yet.
+    broker.force_load_state(Some(LoadState::Overloaded));
+    broker
+        .publish_with(
+            parse_event("{a: 1}").unwrap(),
+            PublishOptions::default().with_priority(10),
+        )
+        .unwrap();
+    broker.flush_timeout(FLUSH).unwrap();
+    assert_eq!(broker.stats().shed_load, 0);
+
+    // Critical: below-floor events are shed, at-or-above-floor survive.
+    broker.force_load_state(Some(LoadState::Critical));
+    broker
+        .publish_with(
+            parse_event("{a: 1}").unwrap(),
+            PublishOptions::default().with_priority(10),
+        )
+        .unwrap();
+    broker
+        .publish_with(
+            parse_event("{a: 1}").unwrap(),
+            PublishOptions::default().with_priority(50),
+        )
+        .unwrap();
+    broker.flush_timeout(FLUSH).unwrap();
+
+    let stats = broker.stats();
+    assert_eq!(stats.shed_load, 1);
+    assert_eq!(stats.shed_deadline, 0);
+    assert_eq!(stats.processed, 3);
+    assert_eq!(rx.try_iter().count(), 2);
+    broker.close();
+}
+
+/// The degradation ladder observed through delivery behavior: a pair of
+/// terms that only matches *semantically* is delivered under `Full`
+/// fidelity, delivered under `CacheOnly` once (and only once) the
+/// relatedness cache is warm, and suppressed under `ExactOnly`.
+#[test]
+fn degraded_matching_ladder_changes_what_is_delivered() {
+    let corpus = Corpus::generate(&CorpusConfig::small().with_num_docs(900));
+    let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+        InvertedIndex::build(&corpus),
+    )));
+    let matcher = Arc::new(ProbabilisticMatcher::new(
+        CachedMeasure::new(ThematicEsaMeasure::new(pvsm)),
+        MatcherConfig::top1(),
+    ));
+    let broker = Broker::start(
+        Arc::clone(&matcher),
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_delivery_threshold(0.50)
+            .with_overload_control(OverloadConfig::default()),
+    );
+    let subscription = parse_subscription(
+        "({energy policy, building energy}, {type~= increased energy usage event~})",
+    )
+    .unwrap();
+    let event = parse_event(
+        "({energy policy, building energy}, \
+         {type: increased energy consumption event, device: kettle})",
+    )
+    .unwrap();
+    let (_, rx) = broker.subscribe(subscription.clone()).unwrap();
+    let recv = |label: &str| -> usize {
+        broker
+            .flush_timeout(FLUSH)
+            .unwrap_or_else(|e| panic!("{label}: {e:?}"));
+        rx.try_iter().count()
+    };
+
+    // Cold cache + CacheOnly: the semantic pair cannot be scored, so the
+    // approximate subscription stays silent.
+    broker.force_load_state(Some(LoadState::Overloaded));
+    assert!(
+        broker
+            .overload_json()
+            .contains("\"degraded_matching\": \"cache_only\""),
+        "{}",
+        broker.overload_json()
+    );
+    broker.publish(event.clone()).unwrap();
+    assert_eq!(recv("cold cache_only"), 0);
+
+    // Full fidelity delivers and warms the cache as a side effect.
+    broker.force_load_state(None);
+    broker.publish(event.clone()).unwrap();
+    assert_eq!(recv("full"), 1);
+
+    // Warm cache + CacheOnly: same decision as full fidelity, served
+    // from the memo table.
+    broker.force_load_state(Some(LoadState::Overloaded));
+    broker.publish(event.clone()).unwrap();
+    assert_eq!(recv("warm cache_only"), 1);
+
+    // ExactOnly: the approximate predicate needs term equality, which
+    // this pair does not have.
+    broker.force_load_state(Some(LoadState::Critical));
+    broker.publish(event.clone()).unwrap();
+    assert_eq!(recv("exact_only"), 0);
+
+    // Releasing the pin restores full fidelity.
+    broker.force_load_state(None);
+    broker.publish(event).unwrap();
+    assert_eq!(recv("restored"), 1);
+    broker.close();
+}
+
+#[test]
+fn breaker_trips_on_consecutive_failures_and_closes_after_probe() {
+    let overload = OverloadConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            open_backoff_ms: 20,
+            max_backoff_ms: 40,
+            half_open_probes: 1,
+            reap_after_cycles: 1_000,
+            jitter_seed: 7,
+        },
+        ..OverloadConfig::default()
+    };
+    let mut config = BrokerConfig::default()
+        .with_workers(1)
+        .with_overload_control(overload);
+    config.notification_capacity = 2;
+    let broker = Broker::start(Arc::new(ExactMatcher::new()), config);
+    let (_, rx) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
+
+    // 2 fills + 3 full-channel failures trip the breaker; everything
+    // after that is dropped at the open breaker without a send attempt.
+    for _ in 0..10 {
+        broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    }
+    broker.flush_timeout(FLUSH).unwrap();
+    let stats = broker.stats();
+    assert_eq!(stats.notifications, 2);
+    assert_eq!(stats.dropped_full, 3, "failures before the trip");
+    assert_eq!(stats.breaker_trips, 1);
+    assert_eq!(
+        stats.breaker_open, 5,
+        "post-trip drops hit the open breaker"
+    );
+    assert_eq!(broker.open_breakers(), 1);
+    assert!(broker.overload_json().contains("\"breaker_trips\": 1"));
+
+    // Subscriber catches up; after the backoff the half-open probe
+    // succeeds and the breaker closes again.
+    assert_eq!(rx.try_iter().count(), 2);
+    std::thread::sleep(Duration::from_millis(60));
+    broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    broker.flush_timeout(FLUSH).unwrap();
+    assert_eq!(rx.try_iter().count(), 1, "probe delivery goes through");
+    assert_eq!(broker.open_breakers(), 0);
+    assert_eq!(broker.stats().breaker_trips, 1, "no second trip");
+    broker.close();
+}
+
+#[test]
+fn breaker_reaps_persistently_failing_subscriber() {
+    let overload = OverloadConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            open_backoff_ms: 1,
+            max_backoff_ms: 2,
+            half_open_probes: 1,
+            reap_after_cycles: 1,
+            jitter_seed: 7,
+        },
+        ..OverloadConfig::default()
+    };
+    let mut config = BrokerConfig::default()
+        .with_workers(1)
+        .with_overload_control(overload);
+    config.notification_capacity = 1;
+    let broker = Broker::start(Arc::new(ExactMatcher::new()), config);
+    // Held open but never drained: the subscriber is dead-slow forever.
+    let (_, _rx) = broker
+        .subscribe(parse_subscription("{a= 1}").unwrap())
+        .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while broker.stats().disconnected_subscribers == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "breaker must reap within the deadline: {:?}",
+            broker.stats()
+        );
+        broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+        broker.flush_timeout(FLUSH).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = broker.stats();
+    assert_eq!(stats.disconnected_subscribers, 1);
+    assert!(stats.breaker_trips >= 1);
+    assert_eq!(broker.open_breakers(), 0, "reaped registration is gone");
+
+    // The reaped subscriber no longer consumes match tests.
+    let before = broker.stats().match_tests;
+    broker.publish(parse_event("{a: 1}").unwrap()).unwrap();
+    broker.flush_timeout(FLUSH).unwrap();
+    assert_eq!(broker.stats().match_tests, before);
+    broker.close();
+}
+
+/// The drill hook is an override, not a latch: releasing it hands
+/// control back to the organic state machine, which reports `Healthy`
+/// on an idle broker.
+#[test]
+fn forced_state_reports_and_releases() {
+    let broker = exact_broker(OverloadConfig::default());
+    assert_eq!(broker.load_state(), Some(LoadState::Healthy));
+    broker.force_load_state(Some(LoadState::Critical));
+    assert_eq!(broker.load_state(), Some(LoadState::Critical));
+    assert!(broker.overload_json().contains("\"forced\": true"));
+    broker.force_load_state(None);
+    assert_eq!(broker.load_state(), Some(LoadState::Healthy));
+    assert!(broker.overload_json().contains("\"forced\": false"));
+    broker.close();
+}
