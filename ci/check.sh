@@ -18,9 +18,9 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
-echo "==> bench smoke (BENCH_throughput.json + BENCH_metrics.prom + explain/span dumps)"
+echo "==> bench smoke (BENCH_throughput.json + BENCH_metrics.prom + alloc/explain/span dumps)"
 cargo run -p tep-bench --release --offline --bin probe -- \
-    bench --out BENCH_throughput.json --prom BENCH_metrics.prom
+    bench --out BENCH_throughput.json --prom BENCH_metrics.prom --alloc
 
 echo "==> perf gate (vs ci/perf_baseline.json)"
 # CI shared runners are noisy; the committed thresholds assume bare

@@ -7,7 +7,9 @@
 #
 # First compares the fresh throughput document against the committed
 # baseline (ci/perf_baseline.json): exits non-zero if any scenario's
-# throughput drops more than 25% or any stage's p99 more than doubles.
+# throughput drops more than 25%, any stage's p99 more than doubles, or
+# any scenario's queue_wait p50 exceeds the absolute 5 ms ceiling
+# (PERF_GATE_MAX_QW_P50_NS overrides; 0 disables).
 # Then compares the fresh quality document against
 # ci/quality_baseline.json: exits non-zero if any sufficiently-sampled
 # scenario's live F1 drops more than 10 points below baseline, or the

@@ -15,6 +15,12 @@
 //! `probe quality-gate [--baseline PATH] [--current PATH]` does the same
 //! for the matching-quality document.
 
+// Register the counting allocator so the throughput document carries real
+// allocations-per-event figures (see `tep_bench::alloc`). The library
+// forbids `unsafe`; the `GlobalAlloc` impl is included per-binary.
+#[path = "../counting_alloc.rs"]
+mod counting_alloc;
+
 use std::sync::{Arc, RwLock};
 use tep::prelude::{render_explanations_json, render_quality_json, serve, Broker, ScrapeHandlers};
 use tep::thesaurus::{Domain, Thesaurus};
@@ -186,26 +192,28 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
 /// live-vs-offline matching-quality document `BENCH_quality.json` (run
 /// with `probe bench [--out PATH] [--prom PATH] [--serve ADDR]`).
 fn bench_throughput() {
-    let (out, prom_out, serve_addr) = {
+    let (out, prom_out, serve_addr, alloc_report) = {
         let mut it = std::env::args().skip(2);
         let mut path = String::from("BENCH_throughput.json");
         let mut prom = String::from("BENCH_metrics.prom");
         let mut addr: Option<String> = None;
+        let mut alloc = false;
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--out" => path = it.next().expect("--out needs a value"),
                 "--prom" => prom = it.next().expect("--prom needs a value"),
                 "--serve" => addr = Some(it.next().expect("--serve needs an address")),
+                "--alloc" => alloc = true,
                 other => {
                     eprintln!(
                         "usage: probe bench [--out PATH] [--prom PATH] [--serve ADDR] \
-                         (unknown arg {other:?})"
+                         [--alloc] (unknown arg {other:?})"
                     );
                     std::process::exit(2);
                 }
             }
         }
-        (path, prom, addr)
+        (path, prom, addr, alloc)
     };
     let slot: BrokerSlot = Arc::new(RwLock::new(None));
     let server = serve_addr.map(|addr| {
@@ -241,6 +249,17 @@ fn bench_throughput() {
     let json = tep_bench::throughput::render_json(&results);
     std::fs::write(&out, json).expect("write throughput JSON");
     println!("wrote {out}");
+    if alloc_report {
+        for r in &results {
+            println!(
+                "  alloc {:<26} {:>10} allocations  {:>8.2} allocs/event",
+                r.name, r.allocations, r.allocs_per_event
+            );
+        }
+        let alloc_json = tep_bench::throughput::render_alloc_json(&results);
+        std::fs::write("BENCH_alloc.json", alloc_json).expect("write alloc report");
+        println!("wrote BENCH_alloc.json");
+    }
     // One scenario's full Prometheus export as the metrics artifact; the
     // thematic broadcast run exercises every stage class.
     if let Some(r) = results
@@ -299,6 +318,11 @@ fn perf_gate() {
     }
     if let Ok(v) = std::env::var("PERF_GATE_MAX_P99_GROWTH") {
         cfg.max_p99_growth = v.parse().expect("PERF_GATE_MAX_P99_GROWTH must be a float");
+    }
+    if let Ok(v) = std::env::var("PERF_GATE_MAX_QW_P50_NS") {
+        cfg.max_queue_wait_p50_ns = v
+            .parse()
+            .expect("PERF_GATE_MAX_QW_P50_NS must be an integer (0 disables)");
     }
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -1,0 +1,62 @@
+//! Steady-state zero-allocation guarantee for the exact-match hot path.
+//!
+//! Registers the counting global allocator (the same `#[path]` include
+//! the `probe` binary uses), warms a broker until every reusable buffer
+//! has reached its high-water mark, then asserts that a sustained
+//! publish→dequeue→match→drain run performs **zero** heap allocations:
+//! the `Arc<Event>` is wrapped once by the caller, the channel ring and
+//! worker batch/inflight/candidate scratches are pre-sized, stat shards
+//! and histograms are wait-free fixed arrays, and `ExactMatcher`'s
+//! no-match verdict never touches the heap.
+
+#[path = "../src/counting_alloc.rs"]
+mod counting_alloc;
+
+use std::sync::Arc;
+use std::time::Duration;
+use tep::prelude::*;
+
+const FLUSH: Duration = Duration::from_secs(60);
+
+#[test]
+fn exact_no_match_steady_state_allocates_nothing() {
+    let broker = Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default().with_workers(1),
+    );
+    // A subscription that never matches: the steady state under test is
+    // the dominant publish→match→miss path, which must stay off the heap.
+    let never = Subscription::builder()
+        .predicate_exact("device", "never-present")
+        .build()
+        .expect("subscription");
+    let (_id, _rx) = broker.subscribe(never).expect("subscribe");
+    let event = Arc::new(
+        Event::builder()
+            .tuple("device", "computer")
+            .tuple("office", "room 112")
+            .build()
+            .expect("event"),
+    );
+
+    // Warmup: first-touch growth (worker candidate scratch, OS-level
+    // lazy init in mutexes/condvars) happens here, outside the window.
+    for _ in 0..512 {
+        broker.publish_arc(Arc::clone(&event)).expect("publish");
+    }
+    broker.flush_timeout(FLUSH).expect("warmup flush");
+
+    let before = tep_bench::alloc::allocation_count();
+    for _ in 0..2048 {
+        broker.publish_arc(Arc::clone(&event)).expect("publish");
+    }
+    broker.flush_timeout(FLUSH).expect("flush");
+    let allocated = tep_bench::alloc::allocation_count() - before;
+
+    assert_eq!(
+        allocated, 0,
+        "steady-state exact no-match path performed {allocated} heap allocations \
+         over 2048 events; the hot path must be allocation-free"
+    );
+    broker.close();
+}

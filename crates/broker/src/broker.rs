@@ -185,10 +185,11 @@ pub(crate) struct Shared {
     pub(crate) hooks: MatcherHooks,
     pub(crate) stats: Arc<StatsInner>,
     pub(crate) config: BrokerConfig,
-    /// The ingress sender; `None` once the broker is closed. Workers exit
-    /// when every sender (this one plus transient publish clones) is gone
-    /// and the queue has drained.
-    pub(crate) ingress: RwLock<Option<Sender<Job>>>,
+    /// The ingress sender, used directly by `publish` — no lock, no
+    /// per-publish clone. [`Broker::close`] closes the channel itself
+    /// ([`Sender::close`]): later sends fail, and workers exit once the
+    /// queue has drained.
+    pub(crate) ingress: Sender<Job>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) dead_letters: DeadLetterQueue,
     /// Bounded per-event pipeline traces; capacity 0 (the default)
@@ -268,7 +269,7 @@ impl Shared {
     /// window frame.
     pub(crate) fn current_frame(&self) -> MetricsFrame {
         let stats = self.stats.snapshot();
-        let stages = self.stats.stage.snapshot();
+        let stages = self.stats.stage_snapshot();
         let mut frame = MetricsFrame::new();
         frame
             .counter("tep_published_total", stats.published)
@@ -334,7 +335,7 @@ impl Broker {
             registry: RwLock::new(HashMap::new()),
             routing: RoutingTable::new(),
             hooks,
-            stats: Arc::new(StatsInner::default()),
+            stats: Arc::new(StatsInner::new(worker_count)),
             dead_letters: DeadLetterQueue::new(config.dead_letter_capacity),
             trace: TraceRing::new(config.trace_capacity),
             explain: TraceRing::new(config.explain_capacity),
@@ -346,7 +347,7 @@ impl Broker {
             quality: OnceLock::new(),
             overload: config.overload.clone().map(OverloadController::new),
             config,
-            ingress: RwLock::new(Some(tx)),
+            ingress: tx,
             shutdown: AtomicBool::new(false),
         });
         let supervisor = {
@@ -471,7 +472,7 @@ impl Broker {
     /// [`BrokerStats::rejected_publishes`]; `published` counts only
     /// accepted events.
     pub fn publish(&self, event: Event) -> Result<(), BrokerError> {
-        self.publish_with(event, PublishOptions::default())
+        self.publish_arc_with(Arc::new(event), PublishOptions::default())
     }
 
     /// Publishes an event with per-event [`PublishOptions`] (deadline and
@@ -482,11 +483,39 @@ impl Broker {
     ///
     /// Same as [`Broker::publish`].
     pub fn publish_with(&self, event: Event, options: PublishOptions) -> Result<(), BrokerError> {
-        // Clone the sender out of the lock so a blocking send never holds
-        // the registry of the ingress.
-        let Some(tx) = self.shared.ingress.read().clone() else {
-            return Err(BrokerError::Closed);
-        };
+        self.publish_arc_with(Arc::new(event), options)
+    }
+
+    /// Publishes an already-shared event without copying it: the broker
+    /// takes a reference to the caller's `Arc<Event>`, and that same
+    /// allocation flows through matching, notifications, traces, and the
+    /// dead-letter queue. This is the zero-copy fast path for callers
+    /// that publish one event to several brokers, retain it after
+    /// publishing, or pre-build their event set (benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Broker::publish`].
+    pub fn publish_arc(&self, event: Arc<Event>) -> Result<(), BrokerError> {
+        self.publish_arc_with(event, PublishOptions::default())
+    }
+
+    /// [`Broker::publish_arc`] with per-event [`PublishOptions`].
+    ///
+    /// All other publish methods funnel here; in steady state the path is
+    /// lock-free and allocation-free — the ingress sender is used in
+    /// place (no `RwLock` read, no sender clone) and the job is a flat
+    /// value around the caller's `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Broker::publish`].
+    pub fn publish_arc_with(
+        &self,
+        event: Arc<Event>,
+        options: PublishOptions,
+    ) -> Result<(), BrokerError> {
+        let tx = &self.shared.ingress;
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         // Sampled events reserve their root span id up front so every
         // downstream span of this event can parent to it; unsampled
@@ -602,7 +631,7 @@ impl Broker {
     /// wait, match tests (split exact / thematic-cold / cache-warm), and
     /// notification delivery.
     pub fn stage_latencies(&self) -> StageLatencies {
-        self.shared.stats.stage.snapshot()
+        self.shared.stats.stage_snapshot()
     }
 
     /// The last [`BrokerConfig::trace_capacity`] per-event pipeline
@@ -794,14 +823,10 @@ impl Broker {
         )
     }
 
-    /// Events currently waiting on the ingress queue (0 once closed).
+    /// Events currently waiting on the ingress queue (drains to 0 after
+    /// close).
     pub fn publish_queue_depth(&self) -> usize {
-        self.shared
-            .ingress
-            .read()
-            .as_ref()
-            .map(|tx| tx.len())
-            .unwrap_or(0)
+        self.shared.ingress.len()
     }
 
     /// Every broker counter and stage histogram bundled into a
@@ -1200,7 +1225,7 @@ impl Broker {
 
     /// Whether [`Broker::close`] or [`Broker::shutdown`] has run.
     pub fn is_closed(&self) -> bool {
-        self.shared.ingress.read().is_none()
+        self.shared.shutdown.load(Ordering::Acquire)
     }
 
     /// Stops accepting events without consuming the broker: subsequent
@@ -1210,9 +1235,9 @@ impl Broker {
     /// any number of times.
     pub fn close(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        // Dropping the ingress sender disconnects the queue once transient
-        // publish clones finish; workers exit after draining it.
-        self.shared.ingress.write().take();
+        // Closing the channel fails in-flight and future sends and wakes
+        // blocked publishers; workers exit after draining what's queued.
+        self.shared.ingress.close();
     }
 
     /// Stops accepting events, drains the queue, and joins the workers

@@ -143,6 +143,15 @@ pub struct BrokerConfig {
     /// subsystem — the hot path then pays one branch per event for it.
     #[serde(default)]
     pub overload: Option<OverloadConfig>,
+    /// Maximum jobs a worker drains from the ingress queue per channel
+    /// acquisition (`recv_batch`). Batching amortizes the queue lock and
+    /// parked-thread wakeups across up to this many events; `1` restores
+    /// job-at-a-time dequeue. Larger batches trade a little scheduling
+    /// fairness between workers for lower per-event queue overhead —
+    /// recovery semantics are unchanged (a crashed worker's entire
+    /// undispatched batch is re-enqueued or quarantined).
+    #[serde(default = "default_dequeue_batch")]
+    pub dequeue_batch: usize,
 }
 
 fn default_span_capacity() -> usize {
@@ -155,6 +164,10 @@ fn default_label_cardinality() -> usize {
 
 fn default_window_capacity() -> usize {
     128
+}
+
+fn default_dequeue_batch() -> usize {
+    32
 }
 
 impl BrokerConfig {
@@ -269,6 +282,13 @@ impl BrokerConfig {
         self.overload = Some(overload);
         self
     }
+
+    /// Replaces the per-acquisition dequeue batch size (clamped to at
+    /// least 1; `1` disables batching).
+    pub fn with_dequeue_batch(mut self, batch: usize) -> BrokerConfig {
+        self.dequeue_batch = batch.max(1);
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -293,6 +313,7 @@ impl Default for BrokerConfig {
             window_tick_ms: 0,
             window_capacity: default_window_capacity(),
             overload: None,
+            dequeue_batch: default_dequeue_batch(),
         }
     }
 }
@@ -322,6 +343,7 @@ mod tests {
         assert_eq!(c.window_tick_ms, 0, "windowed metrics are opt-in");
         assert_eq!(c.window_capacity, 128);
         assert!(c.overload.is_none(), "overload control is opt-in");
+        assert!(c.dequeue_batch >= 1, "batch dequeue must stay enabled");
     }
 
     #[test]
@@ -341,7 +363,8 @@ mod tests {
             .with_labeled_metrics(true)
             .with_label_cardinality(0)
             .with_window_tick(Duration::from_micros(100))
-            .with_window_capacity(1);
+            .with_window_capacity(1)
+            .with_dequeue_batch(0);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
         assert_eq!(c.publish_policy, PublishPolicy::Reject);
@@ -360,6 +383,7 @@ mod tests {
         assert_eq!(c.label_cardinality, 1, "cardinality cap clamps to 1");
         assert_eq!(c.window_tick_ms, 1, "sub-ms ticks clamp to 1ms");
         assert_eq!(c.window_capacity, 2, "window ring clamps to 2 frames");
+        assert_eq!(c.dequeue_batch, 1, "batch size is clamped to at least 1");
     }
 
     #[test]

@@ -9,8 +9,13 @@ use tep_obs::{HistogramSnapshot, LatencyHistogram};
 /// Monotonic broker counters, cheap to read concurrently.
 ///
 /// `live_workers` is the one gauge (it can go down); everything else only
-/// ever increases.
-#[derive(Debug, Default)]
+/// ever increases. Counters a worker bumps per event or per match test
+/// also exist in the per-worker [`WorkerShard`]s: the hot path increments
+/// its own shard (no cross-core cache-line ping-pong), cold paths (the
+/// supervisor, publish, quarantine) increment the base counters here, and
+/// [`StatsInner::snapshot`] reads both — a counter's public value is
+/// always `base + Σ shards`.
+#[derive(Debug)]
 pub(crate) struct StatsInner {
     pub published: AtomicU64,
     pub processed: AtomicU64,
@@ -31,6 +36,40 @@ pub(crate) struct StatsInner {
     pub shed_load: AtomicU64,
     pub breaker_open: AtomicU64,
     pub breaker_trips: AtomicU64,
+    /// Per-stage latency histograms for recorders without a worker shard.
+    pub stage: StageTimers,
+    /// One shard per configured worker, selected by `index % len`. Never
+    /// empty (the default layout has one shard).
+    shards: Box<[WorkerShard]>,
+}
+
+impl Default for StatsInner {
+    fn default() -> StatsInner {
+        StatsInner::new(1)
+    }
+}
+
+/// Hot-path counters and stage timers owned by a single worker.
+///
+/// Workers are the only writers of their own shard, so these atomics are
+/// uncontended in steady state; readers merge all shards on demand.
+/// Cache-line aligned so neighbouring shards never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct WorkerShard {
+    pub processed: AtomicU64,
+    pub match_tests: AtomicU64,
+    pub notifications: AtomicU64,
+    pub dropped_full: AtomicU64,
+    pub dropped_disconnected: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub shed_deadline: AtomicU64,
+    pub shed_load: AtomicU64,
+    pub breaker_open: AtomicU64,
+    pub breaker_trips: AtomicU64,
+    pub routing_skipped: AtomicU64,
+    pub routed_broadcast: AtomicU64,
+    pub routed_theme_overlap: AtomicU64,
     /// Per-stage latency histograms, recorded wait-free on the hot path.
     pub stage: StageTimers,
 }
@@ -103,6 +142,20 @@ impl StageLatencies {
         self.match_exact
             .merged(&self.match_thematic)
             .merged(&self.match_cached)
+    }
+
+    /// Per-stage counts recorded since `earlier` was snapshotted from the
+    /// same broker — how the bench isolates steady-state stage latencies
+    /// from warm-up traffic (see [`HistogramSnapshot::delta_since`] for
+    /// the delta's `max` semantics).
+    pub fn delta_since(&self, earlier: &StageLatencies) -> StageLatencies {
+        StageLatencies {
+            queue_wait: self.queue_wait.delta_since(&earlier.queue_wait),
+            match_exact: self.match_exact.delta_since(&earlier.match_exact),
+            match_thematic: self.match_thematic.delta_since(&earlier.match_thematic),
+            match_cached: self.match_cached.delta_since(&earlier.match_cached),
+            deliver: self.deliver.delta_since(&earlier.deliver),
+        }
     }
 }
 
@@ -211,27 +264,91 @@ impl BrokerStats {
 }
 
 impl StatsInner {
+    /// A stats block with one [`WorkerShard`] per configured worker
+    /// (at least one).
+    pub(crate) fn new(workers: usize) -> StatsInner {
+        StatsInner {
+            published: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            match_tests: AtomicU64::new(0),
+            notifications: AtomicU64::new(0),
+            dropped_full: AtomicU64::new(0),
+            dropped_disconnected: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            rejected_publishes: AtomicU64::new(0),
+            disconnected_subscribers: AtomicU64::new(0),
+            live_workers: AtomicU64::new(0),
+            routing_skipped: AtomicU64::new(0),
+            routed_broadcast: AtomicU64::new(0),
+            routed_theme_overlap: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_load: AtomicU64::new(0),
+            breaker_open: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            stage: StageTimers::default(),
+            shards: (0..workers.max(1))
+                .map(|_| WorkerShard::default())
+                .collect(),
+        }
+    }
+
+    /// The shard worker `index` records into. Respawned workers carry
+    /// monotonically growing indices, hence the modulo.
+    pub(crate) fn shard(&self, index: usize) -> &WorkerShard {
+        &self.shards[index % self.shards.len()]
+    }
+
+    /// `base + Σ shards` for a counter that is sharded across workers.
+    /// Alloc-free: `snapshot` runs inside the broker's 100µs flush poll.
+    fn merged(&self, base: &AtomicU64, pick: impl Fn(&WorkerShard) -> &AtomicU64) -> u64 {
+        base.load(Ordering::Relaxed)
+            + self
+                .shards
+                .iter()
+                .map(|s| pick(s).load(Ordering::Relaxed))
+                .sum::<u64>()
+    }
+
+    /// Stage latency distributions merged across the base timers and
+    /// every worker shard.
+    pub(crate) fn stage_snapshot(&self) -> StageLatencies {
+        let mut out = self.stage.snapshot();
+        for shard in self.shards.iter() {
+            let s = shard.stage.snapshot();
+            out.queue_wait = out.queue_wait.merged(&s.queue_wait);
+            out.match_exact = out.match_exact.merged(&s.match_exact);
+            out.match_thematic = out.match_thematic.merged(&s.match_thematic);
+            out.match_cached = out.match_cached.merged(&s.match_cached);
+            out.deliver = out.deliver.merged(&s.deliver);
+        }
+        out
+    }
+
     pub(crate) fn snapshot(self: &Arc<Self>) -> BrokerStats {
         BrokerStats {
             published: self.published.load(Ordering::Relaxed),
-            processed: self.processed.load(Ordering::Relaxed),
-            match_tests: self.match_tests.load(Ordering::Relaxed),
-            notifications: self.notifications.load(Ordering::Relaxed),
-            dropped_full: self.dropped_full.load(Ordering::Relaxed),
-            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            processed: self.merged(&self.processed, |s| &s.processed),
+            match_tests: self.merged(&self.match_tests, |s| &s.match_tests),
+            notifications: self.merged(&self.notifications, |s| &s.notifications),
+            dropped_full: self.merged(&self.dropped_full, |s| &s.dropped_full),
+            dropped_disconnected: self
+                .merged(&self.dropped_disconnected, |s| &s.dropped_disconnected),
+            worker_panics: self.merged(&self.worker_panics, |s| &s.worker_panics),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             rejected_publishes: self.rejected_publishes.load(Ordering::Relaxed),
             disconnected_subscribers: self.disconnected_subscribers.load(Ordering::Relaxed),
             live_workers: self.live_workers.load(Ordering::Relaxed),
-            routing_skipped: self.routing_skipped.load(Ordering::Relaxed),
-            routed_broadcast: self.routed_broadcast.load(Ordering::Relaxed),
-            routed_theme_overlap: self.routed_theme_overlap.load(Ordering::Relaxed),
-            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
-            shed_load: self.shed_load.load(Ordering::Relaxed),
-            breaker_open: self.breaker_open.load(Ordering::Relaxed),
-            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            routing_skipped: self.merged(&self.routing_skipped, |s| &s.routing_skipped),
+            routed_broadcast: self.merged(&self.routed_broadcast, |s| &s.routed_broadcast),
+            routed_theme_overlap: self
+                .merged(&self.routed_theme_overlap, |s| &s.routed_theme_overlap),
+            shed_deadline: self.merged(&self.shed_deadline, |s| &s.shed_deadline),
+            shed_load: self.merged(&self.shed_load, |s| &s.shed_load),
+            breaker_open: self.merged(&self.breaker_open, |s| &s.breaker_open),
+            breaker_trips: self.merged(&self.breaker_trips, |s| &s.breaker_trips),
             // Filled in by `Broker::stats`, which can reach the matcher.
             semantic_cache: CacheStats::default(),
         }
@@ -253,6 +370,25 @@ mod tests {
         assert_eq!(snap.notifications, 2);
         assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.processed, 0);
+    }
+
+    #[test]
+    fn snapshot_merges_worker_shards_with_base_counters() {
+        let inner = Arc::new(StatsInner::new(3));
+        inner.processed.fetch_add(1, Ordering::Relaxed);
+        inner.shard(0).processed.fetch_add(2, Ordering::Relaxed);
+        inner.shard(1).processed.fetch_add(3, Ordering::Relaxed);
+        // A respawned worker's index wraps onto an existing shard.
+        inner.shard(5).processed.fetch_add(4, Ordering::Relaxed);
+        inner.shard(2).notifications.fetch_add(7, Ordering::Relaxed);
+        let snap = inner.snapshot();
+        assert_eq!(snap.processed, 10, "base + all shards");
+        assert_eq!(snap.notifications, 7);
+
+        inner.stage.queue_wait.record_nanos(1_000);
+        inner.shard(0).stage.queue_wait.record_nanos(2_000);
+        inner.shard(2).stage.queue_wait.record_nanos(3_000);
+        assert_eq!(inner.stage_snapshot().queue_wait.count(), 3);
     }
 
     #[test]

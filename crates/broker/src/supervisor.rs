@@ -22,7 +22,7 @@ use crate::broker::{Registration, Shared, SubscriptionId};
 use crate::config::{RoutingPolicy, SubscriberPolicy};
 use crate::explain::{CacheTemperature, MatchExplanation, MatchOutcome};
 use crate::notification::Notification;
-use crate::stats::{nanos_between, EventTrace};
+use crate::stats::{nanos_between, EventTrace, WorkerShard};
 use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -61,13 +61,13 @@ pub(crate) struct Job {
 
 impl Job {
     pub(crate) fn new(
-        event: Event,
+        event: Arc<Event>,
         seq: u64,
         span: Option<u64>,
         options: crate::PublishOptions,
     ) -> Job {
         Job {
-            event: Arc::new(event),
+            event,
             attempts: 0,
             seq,
             enqueued_at: Instant::now(),
@@ -136,8 +136,11 @@ fn quarantine(shared: &Shared, event: Arc<Event>, attempts: u32) {
 struct Worker {
     /// `None` once the thread has exited and been joined.
     handle: Option<JoinHandle<()>>,
-    /// The job the worker is currently matching, for crash recovery.
-    inflight: Arc<Mutex<Option<Job>>>,
+    /// The worker's dequeued-but-unfinished jobs, for crash recovery: the
+    /// front entry is the one being matched, the rest are its batch's
+    /// remainder. Only the worker pushes and pops; the supervisor drains
+    /// it after a panic death.
+    inflight: Arc<Mutex<VecDeque<Job>>>,
     /// Set by the worker as its very last action on a *normal* exit; a
     /// finished thread with this flag clear died to a panic.
     done: Arc<AtomicBool>,
@@ -148,11 +151,11 @@ fn spawn_worker<M>(
     rx: &Receiver<Job>,
     shared: &Arc<Shared>,
     matcher: &Arc<M>,
+    inflight: Arc<Mutex<VecDeque<Job>>>,
 ) -> Worker
 where
     M: Matcher + Send + Sync + 'static + ?Sized,
 {
-    let inflight: Arc<Mutex<Option<Job>>> = Arc::new(Mutex::new(None));
     let done = Arc::new(AtomicBool::new(false));
     shared.stats.live_workers.fetch_add(1, Ordering::Relaxed);
     let handle = {
@@ -164,10 +167,32 @@ where
         std::thread::Builder::new()
             .name(format!("tep-broker-{index}"))
             .spawn(move || {
-                for job in rx.iter() {
-                    *inflight.lock() = Some(job.clone());
-                    process_event(&shared, matcher.as_ref(), job);
-                    inflight.lock().take();
+                let shard = shared.stats.shard(index);
+                let batch_max = shared.config.dequeue_batch.max(1);
+                // Both scratch buffers are reused across events: the batch
+                // amortizes the channel lock, the candidates vector keeps
+                // the per-event registry snapshot allocation-free once it
+                // has grown to the registry's size.
+                let mut batch: Vec<Job> = Vec::with_capacity(batch_max);
+                let mut candidates: Vec<(SubscriptionId, Arc<Registration>)> = Vec::new();
+                loop {
+                    // Drain the inflight deque first: it holds the batch
+                    // remainder of a crashed predecessor when this worker
+                    // is a respawn, and this worker's own batch otherwise.
+                    loop {
+                        // The job stays at the front of `inflight` while it
+                        // is processed, so a panic death hands the current
+                        // job *and* the batch remainder to the supervisor.
+                        let Some(job) = inflight.lock().front().cloned() else {
+                            break;
+                        };
+                        process_event(&shared, matcher.as_ref(), shard, &mut candidates, job);
+                        inflight.lock().pop_front();
+                    }
+                    if rx.recv_batch(&mut batch, batch_max).is_err() {
+                        break;
+                    }
+                    inflight.lock().extend(batch.drain(..));
                 }
                 shared.stats.live_workers.fetch_sub(1, Ordering::Relaxed);
                 done.store(true, Ordering::Release);
@@ -194,7 +219,19 @@ pub(crate) fn supervisor_loop<M>(
     M: Matcher + Send + Sync + 'static + ?Sized,
 {
     let mut workers: Vec<Worker> = (0..worker_count)
-        .map(|i| spawn_worker(i, &rx, &shared, &matcher))
+        .map(|i| {
+            // Pre-size the deque for a full batch so steady-state
+            // `extend` never reallocates (zero-alloc hot-path guarantee).
+            spawn_worker(
+                i,
+                &rx,
+                &shared,
+                &matcher,
+                Arc::new(Mutex::new(VecDeque::with_capacity(
+                    shared.config.dequeue_batch.max(1),
+                ))),
+            )
+        })
         .collect();
     let mut next_index = worker_count;
     // Periodic window frames ride the supervisor's poll loop: zero extra
@@ -252,7 +289,12 @@ pub(crate) fn supervisor_loop<M>(
             // Panic death: the worker never reached its normal epilogue.
             shared.stats.live_workers.fetch_sub(1, Ordering::Relaxed);
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            if let Some(job) = worker.inflight.lock().take() {
+            // Only the front job was mid-match when the worker died; it
+            // is charged an attempt and re-enqueued (or quarantined). The
+            // rest of its batch was never dispatched — the replacement
+            // worker inherits the deque and processes it as-is, so a full
+            // ingress queue can never force innocent jobs into quarantine.
+            if let Some(job) = worker.inflight.lock().pop_front() {
                 recover_job(&shared, job);
             }
             // Count the respawn *before* spawning the replacement so a
@@ -262,7 +304,8 @@ pub(crate) fn supervisor_loop<M>(
                 .stats
                 .workers_respawned
                 .fetch_add(1, Ordering::Relaxed);
-            *worker = spawn_worker(next_index, &rx, &shared, &matcher);
+            let inherited = Arc::clone(&worker.inflight);
+            *worker = spawn_worker(next_index, &rx, &shared, &matcher, inherited);
             next_index += 1;
             all_exited = false;
         }
@@ -293,14 +336,7 @@ fn recover_job(shared: &Shared, job: Job) {
         deadline: job.deadline,
         priority: job.priority,
     };
-    let sent = shared
-        .ingress
-        .read()
-        .as_ref()
-        .map(|tx| tx.try_send(requeue))
-        .transpose()
-        .is_ok_and(|slot| slot.is_some());
-    if !sent {
+    if shared.ingress.try_send(requeue).is_err() {
         // Broker closed or queue full: don't risk blocking the supervisor.
         quarantine(shared, job.event, attempts);
     }
@@ -347,15 +383,24 @@ fn explanation_for(
 /// Matches one event against its candidate subscriptions and delivers
 /// the results, honoring the routing policy, panic isolation, and the
 /// subscriber overload policy. Increments `processed` exactly once.
-fn process_event<M>(shared: &Shared, matcher: &M, job: Job)
-where
+///
+/// Counters and stage timers go to the calling worker's `shard`;
+/// `candidates` is the worker's reusable scratch for the registry
+/// snapshot (left cleared on return).
+fn process_event<M>(
+    shared: &Shared,
+    matcher: &M,
+    shard: &WorkerShard,
+    candidates: &mut Vec<(SubscriptionId, Arc<Registration>)>,
+    job: Job,
+) where
     M: Matcher + ?Sized,
 {
     // Stage 1 (queue wait): publish → this dequeue. Retried jobs record
     // one sample per pass, timed from their requeue.
     let dequeued = Instant::now();
     let queue_wait_nanos = nanos_between(job.enqueued_at, dequeued);
-    shared.stats.stage.queue_wait.record_nanos(queue_wait_nanos);
+    shard.stage.queue_wait.record_nanos(queue_wait_nanos);
     // Overload control (one branch when off): feed the queue-wait EWMA,
     // then decide whether this event is shed at dequeue and at what
     // fidelity the survivors are matched. Shed events still count as
@@ -366,11 +411,11 @@ where
         overload.observe_queue_wait(queue_wait_nanos);
         if let Some(reason) = overload.shed_reason(job.deadline, job.priority, dequeued) {
             let counter = match reason {
-                crate::ShedReason::Deadline => &shared.stats.shed_deadline,
-                crate::ShedReason::Load => &shared.stats.shed_load,
+                crate::ShedReason::Deadline => &shard.shed_deadline,
+                crate::ShedReason::Load => &shard.shed_load,
             };
             counter.fetch_add(1, Ordering::Relaxed);
-            shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+            shard.processed.fetch_add(1, Ordering::Relaxed);
             if let Some(parent) = job.span {
                 let now = Instant::now();
                 shared.spans.record_new(
@@ -403,45 +448,33 @@ where
         degraded = overload.degraded_mode();
     }
     // Snapshot the candidates so matching never holds the registry lock.
+    // The scratch vector is reused across events, so the snapshot is
+    // allocation-free once it has grown to the registry's size.
     let mut trace_skipped = 0usize;
-    let registrations: Vec<(SubscriptionId, Arc<Registration>)> = match shared.config.routing_policy
-    {
+    candidates.clear();
+    match shared.config.routing_policy {
         RoutingPolicy::Broadcast => {
-            shared
-                .stats
-                .routed_broadcast
-                .fetch_add(1, Ordering::Relaxed);
-            shared
-                .registry
-                .read()
-                .iter()
-                .map(|(id, r)| (*id, Arc::clone(r)))
-                .collect()
+            shard.routed_broadcast.fetch_add(1, Ordering::Relaxed);
+            let registry = shared.registry.read();
+            candidates.extend(registry.iter().map(|(id, r)| (*id, Arc::clone(r))));
         }
         RoutingPolicy::ThemeOverlap => {
-            shared
-                .stats
-                .routed_theme_overlap
-                .fetch_add(1, Ordering::Relaxed);
+            shard.routed_theme_overlap.fetch_add(1, Ordering::Relaxed);
             let ids = shared.routing.candidates(job.event.theme_tags());
             let registry = shared.registry.read();
             let total = registry.len();
-            let candidates: Vec<_> = ids
-                .iter()
-                .filter_map(|id| registry.get(id).map(|r| (*id, Arc::clone(r))))
-                .collect();
+            candidates.extend(
+                ids.iter()
+                    .filter_map(|id| registry.get(id).map(|r| (*id, Arc::clone(r)))),
+            );
             let skipped = total.saturating_sub(candidates.len()) as u64;
             if skipped > 0 {
-                shared
-                    .stats
-                    .routing_skipped
-                    .fetch_add(skipped, Ordering::Relaxed);
+                shard.routing_skipped.fetch_add(skipped, Ordering::Relaxed);
             }
             trace_skipped = skipped as usize;
-            candidates
         }
     };
-    let trace_candidates = registrations.len();
+    let trace_candidates = candidates.len();
     // The route span covers dequeue → candidate snapshot and parents
     // every match test of the event; `None` for unsampled events keeps
     // the hot path to a branch per stage.
@@ -469,7 +502,10 @@ where
     let mut temp_exact = 0u64;
     let mut temp_thematic = 0u64;
     let mut temp_cached = 0u64;
-    for (id, reg) in registrations {
+    // One event, many candidate tests: let the matcher reuse its
+    // event-side scratch (interned symbols) across the whole sweep.
+    matcher.begin_event(&job.event);
+    for (id, reg) in candidates.drain(..) {
         // Stage 2 (match test). Approximate subscriptions are classified
         // by sampling the matcher's miss counter around the call: a miss
         // delta means the test computed a projection (thematic-cold), no
@@ -490,7 +526,7 @@ where
                 .max(1);
             let mut outcome = None;
             for _ in 0..budget {
-                shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
+                shard.match_tests.fetch_add(1, Ordering::Relaxed);
                 trace_match_tests += 1;
                 match catch_unwind(AssertUnwindSafe(|| {
                     matcher.match_event_degraded(&reg.subscription, &job.event, degraded)
@@ -500,7 +536,7 @@ where
                         break;
                     }
                     Err(payload) => {
-                        shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        shard.worker_panics.fetch_add(1, Ordering::Relaxed);
                         last_panic = Some(panic_reason(payload.as_ref()));
                     }
                 }
@@ -512,7 +548,7 @@ where
         } else {
             // Unisolated: a panic here unwinds through the worker loop and
             // kills the thread; the supervisor recovers the in-flight job.
-            shared.stats.match_tests.fetch_add(1, Ordering::Relaxed);
+            shard.match_tests.fetch_add(1, Ordering::Relaxed);
             trace_match_tests += 1;
             Some(matcher.match_event_degraded(&reg.subscription, &job.event, degraded))
         };
@@ -520,7 +556,7 @@ where
         // start, halving the clock reads on the hot path.
         let match_end = Instant::now();
         let match_nanos = nanos_between(match_start, match_end);
-        let stage = &shared.stats.stage;
+        let stage = &shard.stage;
         let temperature = if !reg.approx {
             stage.match_exact.record_nanos(match_nanos);
             temp_exact += 1;
@@ -623,7 +659,7 @@ where
                 explanation: attached,
             };
             // Stage 3 (deliver): match decision → channel hand-off.
-            let admitted = deliver(shared, id, &reg, notification, &mut dead);
+            let admitted = deliver(shared, shard, id, &reg, notification, &mut dead);
             if admitted {
                 trace_notifications += 1;
             }
@@ -719,7 +755,7 @@ where
             );
         }
     } else {
-        shared.stats.processed.fetch_add(1, Ordering::Relaxed);
+        shard.processed.fetch_add(1, Ordering::Relaxed);
     }
     // Labeled families and top-k sketches, one pass per event: theme
     // attribution, temperature counts, and term frequencies. Disabled
@@ -770,6 +806,7 @@ where
 /// cycles failed to find it drained.
 fn deliver(
     shared: &Shared,
+    shard: &WorkerShard,
     id: SubscriptionId,
     reg: &Registration,
     notification: Notification,
@@ -781,13 +818,13 @@ fn deliver(
     };
     if let Some((config, breaker)) = breaker {
         if !breaker.lock().allow(config, Instant::now()) {
-            shared.stats.breaker_open.fetch_add(1, Ordering::Relaxed);
+            shard.breaker_open.fetch_add(1, Ordering::Relaxed);
             return false;
         }
     }
     match reg.sender.try_send(notification) {
         Ok(()) => {
-            shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+            shard.notifications.fetch_add(1, Ordering::Relaxed);
             if let Some(counter) = &reg.notif_counter {
                 counter.fetch_add(1, Ordering::Relaxed);
             }
@@ -800,12 +837,12 @@ fn deliver(
         Err(TrySendError::Full(notification)) => {
             let admitted = match shared.config.subscriber_policy {
                 SubscriberPolicy::DropNewest => {
-                    shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                    shard.dropped_full.fetch_add(1, Ordering::Relaxed);
                     false
                 }
-                SubscriberPolicy::DropOldest => drop_oldest_and_send(shared, reg, notification),
+                SubscriberPolicy::DropOldest => drop_oldest_and_send(shard, reg, notification),
                 SubscriberPolicy::DisconnectAfter(limit) => {
-                    shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                    shard.dropped_full.fetch_add(1, Ordering::Relaxed);
                     let consecutive = reg.consecutive_full.fetch_add(1, Ordering::Relaxed) + 1;
                     // The breaker supersedes the disconnect cliff: backed-off
                     // probing beats permanently losing the subscriber.
@@ -823,7 +860,7 @@ fn deliver(
                     match state.on_failure(config, Instant::now()) {
                         crate::overload::BreakerVerdict::Counted => {}
                         crate::overload::BreakerVerdict::Tripped => {
-                            shared.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                            shard.breaker_trips.fetch_add(1, Ordering::Relaxed);
                         }
                         crate::overload::BreakerVerdict::Reap => dead.push(id),
                     }
@@ -832,10 +869,7 @@ fn deliver(
             admitted
         }
         Err(TrySendError::Disconnected(_)) => {
-            shared
-                .stats
-                .dropped_disconnected
-                .fetch_add(1, Ordering::Relaxed);
+            shard.dropped_disconnected.fetch_add(1, Ordering::Relaxed);
             dead.push(id);
             false
         }
@@ -847,20 +881,20 @@ fn deliver(
 /// disconnect under this policy. Returns whether the new notification
 /// was admitted.
 fn drop_oldest_and_send(
-    shared: &Shared,
+    shard: &WorkerShard,
     reg: &Registration,
     mut notification: Notification,
 ) -> bool {
     let Some(evictor) = &reg.receiver else {
         // Defensive: policy changed after registration; fall back to
         // dropping the new notification.
-        shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+        shard.dropped_full.fetch_add(1, Ordering::Relaxed);
         return false;
     };
     for _ in 0..8 {
         match reg.sender.try_send(notification) {
             Ok(()) => {
-                shared.stats.notifications.fetch_add(1, Ordering::Relaxed);
+                shard.notifications.fetch_add(1, Ordering::Relaxed);
                 if let Some(counter) = &reg.notif_counter {
                     counter.fetch_add(1, Ordering::Relaxed);
                 }
@@ -870,7 +904,7 @@ fn drop_oldest_and_send(
                 notification = back;
                 match evictor.try_recv() {
                     Ok(_evicted) => {
-                        shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                        shard.dropped_full.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(TryRecvError::Empty) => {
                         // The subscriber drained concurrently; retry the send.
@@ -883,6 +917,6 @@ fn drop_oldest_and_send(
     }
     // Contention beyond the retry bound (or an impossible disconnect):
     // count the new notification as dropped rather than spin.
-    shared.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+    shard.dropped_full.fetch_add(1, Ordering::Relaxed);
     false
 }

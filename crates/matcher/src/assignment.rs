@@ -7,10 +7,31 @@
 //! are enumerated with **Murty's algorithm**, which partitions the
 //! solution space around each best assignment.
 
+use std::cell::RefCell;
+
 /// Cost value treated as "forbidden edge".
 const FORBIDDEN: f64 = 1.0e15;
 /// Any assignment whose cost reaches this is infeasible.
 const INFEASIBLE_THRESHOLD: f64 = FORBIDDEN / 2.0;
+
+/// Reusable Hungarian working state: potentials (`u`, `v`), the running
+/// column matching (`p`), the augmenting-path predecessor chain (`way`),
+/// and the per-row Dijkstra state (`minv`, `used`). One instance per
+/// worker thread, recycled across solves, so the steady-state match path
+/// performs no solver allocations.
+#[derive(Default)]
+struct SolveScratch {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+thread_local! {
+    static SOLVE_SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::default());
+}
 
 /// A dense row-major cost matrix for assignment problems.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +49,26 @@ impl CostMatrix {
             cols,
             data: vec![value; rows * cols],
         }
+    }
+
+    /// An empty `0 × 0` matrix, for scratch slots that are later
+    /// [`CostMatrix::refill`]ed.
+    pub const fn empty() -> CostMatrix {
+        CostMatrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Re-shapes this matrix to `rows × cols` with every cell set to
+    /// `value`, recycling the existing buffer — the allocation-free
+    /// equivalent of [`CostMatrix::filled`] for hot-path scratch reuse.
+    pub fn refill(&mut self, rows: usize, cols: usize, value: f64) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, value);
     }
 
     /// Creates a matrix from row-major data.
@@ -101,74 +142,92 @@ pub fn solve(cost: &CostMatrix) -> Option<Assignment> {
     if n == 0 || m == 0 || n > m {
         return None;
     }
-    // Hungarian algorithm with potentials (1-indexed internals).
+    // Hungarian algorithm with potentials (1-indexed internals), working
+    // in the thread's recycled scratch buffers.
     let inf = f64::INFINITY;
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; m + 1];
-    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
-    let mut way = vec![0usize; m + 1];
+    SOLVE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let SolveScratch {
+            u,
+            v,
+            p,
+            way,
+            minv,
+            used,
+        } = &mut *scratch;
+        u.clear();
+        u.resize(n + 1, 0.0);
+        v.clear();
+        v.resize(m + 1, 0.0);
+        p.clear();
+        p.resize(m + 1, 0); // p[j] = row matched to column j
+        way.clear();
+        way.resize(m + 1, 0);
+        minv.resize(m + 1, inf);
+        used.resize(m + 1, false);
 
-    for i in 1..=n {
-        p[0] = i;
-        let mut j0 = 0usize;
-        let mut minv = vec![inf; m + 1];
-        let mut used = vec![false; m + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = inf;
-            let mut j1 = 0usize;
-            for j in 1..=m {
-                if used[j] {
-                    continue;
+        for i in 1..=n {
+            p[0] = i;
+            let mut j0 = 0usize;
+            minv.fill(inf);
+            used.fill(false);
+            loop {
+                used[j0] = true;
+                let i0 = p[j0];
+                let mut delta = inf;
+                let mut j1 = 0usize;
+                for j in 1..=m {
+                    if used[j] {
+                        continue;
+                    }
+                    let cur = cost.get(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
                 }
-                let cur = cost.get(i0 - 1, j - 1) - u[i0] - v[j];
-                if cur < minv[j] {
-                    minv[j] = cur;
-                    way[j] = j0;
+                for j in 0..=m {
+                    if used[j] {
+                        u[p[j]] += delta;
+                        v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
                 }
-                if minv[j] < delta {
-                    delta = minv[j];
-                    j1 = j;
+                j0 = j1;
+                if p[j0] == 0 {
+                    break;
                 }
             }
-            for j in 0..=m {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
+            loop {
+                let j1 = way[j0];
+                p[j0] = p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
                 }
-            }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
             }
         }
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
-    }
 
-    let mut assignment = vec![usize::MAX; n];
-    let mut total = 0.0;
-    for j in 1..=m {
-        if p[j] != 0 {
-            assignment[p[j] - 1] = j - 1;
-            total += cost.get(p[j] - 1, j - 1);
+        let mut assignment = vec![usize::MAX; n];
+        let mut total = 0.0;
+        for j in 1..=m {
+            if p[j] != 0 {
+                assignment[p[j] - 1] = j - 1;
+                total += cost.get(p[j] - 1, j - 1);
+            }
         }
-    }
-    if assignment.contains(&usize::MAX) || total >= INFEASIBLE_THRESHOLD {
-        return None;
-    }
-    Some(Assignment {
-        assignment,
-        total_cost: total,
+        if assignment.contains(&usize::MAX) || total >= INFEASIBLE_THRESHOLD {
+            return None;
+        }
+        Some(Assignment {
+            assignment,
+            total_cost: total,
+        })
     })
 }
 

@@ -27,25 +27,39 @@ impl ExactMatcher {
 
 impl Matcher for ExactMatcher {
     fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
-        let mut correspondences = Vec::with_capacity(subscription.predicates().len());
-        for (i, p) in subscription.predicates().iter().enumerate() {
-            let found = event
-                .tuples()
-                .iter()
-                .position(|t| t.attribute() == p.attribute() && t.value() == p.value());
-            match found {
-                Some(j) => correspondences.push(Correspondence {
+        // Verdict pass first, allocation-free: the broker's steady-state
+        // zero-alloc guarantee rides on a miss not touching the heap, and
+        // misses dominate (most events are irrelevant to a subscription).
+        let preds = subscription.predicates();
+        if preds.is_empty()
+            || !preds.iter().all(|p| {
+                event
+                    .tuples()
+                    .iter()
+                    .any(|t| t.attribute() == p.attribute() && t.value() == p.value())
+            })
+        {
+            return MatchResult::no_match();
+        }
+        // Hit: build the correspondence list (first matching tuple per
+        // predicate, exactly as the verdict pass saw it).
+        let correspondences = preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let j = event
+                    .tuples()
+                    .iter()
+                    .position(|t| t.attribute() == p.attribute() && t.value() == p.value())
+                    .expect("verdict pass found every predicate");
+                Correspondence {
                     predicate: i,
                     tuple: j,
                     similarity: 1.0,
                     probability: 1.0,
-                }),
-                None => return MatchResult::no_match(),
-            }
-        }
-        if correspondences.is_empty() {
-            return MatchResult::no_match();
-        }
+                }
+            })
+            .collect();
         MatchResult::from_mappings(vec![Mapping::new(correspondences)])
     }
 

@@ -159,6 +159,10 @@ impl<M: Matcher> Matcher for FaultInjectingMatcher<M> {
         }
     }
 
+    fn begin_event(&self, event: &Event) {
+        self.inner.begin_event(event)
+    }
+
     fn name(&self) -> &'static str {
         "fault-injecting"
     }

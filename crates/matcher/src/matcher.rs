@@ -6,9 +6,18 @@ use crate::explain::{MatchDetail, PredicateExplanation};
 use crate::mapping::{Correspondence, Mapping, MatchResult};
 use crate::similarity::SimilarityMatrix;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 use tep_events::{ComparisonOp, Event, Subscription};
 use tep_semantics::{theme_for_tags, CacheStats, SemanticMeasure, Theme};
+
+thread_local! {
+    /// Per-worker similarity/cost matrix scratch, recycled across match
+    /// tests: together with the solver's own scratch this makes a
+    /// rejected match test allocation-free in steady state.
+    static MATRIX_SCRATCH: RefCell<(SimilarityMatrix, CostMatrix)> =
+        const { RefCell::new((SimilarityMatrix::empty(), CostMatrix::empty())) };
+}
 
 /// How much semantic fidelity a matcher should spend on one match test —
 /// the degradation ladder an overloaded broker descends (S-ToPSS frames
@@ -62,6 +71,15 @@ pub trait Matcher: Send + Sync {
         let _ = mode;
         self.match_event(subscription, event)
     }
+
+    /// Announces that the calling thread is about to run a sweep of match
+    /// tests for **one** event — the broker calls this once per dequeued
+    /// event, before the first candidate subscription is tested. Matchers
+    /// that keep per-event scratch (interned event-side symbols) use the
+    /// signal to reuse it across the whole sweep; the default is a no-op,
+    /// and correctness never depends on the call (callers that skip it
+    /// simply pay the per-test setup cost again).
+    fn begin_event(&self, _event: &Event) {}
 
     /// A short name for reports ("thematic", "non-thematic", "exact", …).
     fn name(&self) -> &'static str {
@@ -122,6 +140,9 @@ impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
         mode: DegradedMatching,
     ) -> MatchResult {
         (**self).match_event_degraded(subscription, event, mode)
+    }
+    fn begin_event(&self, event: &Event) {
+        (**self).begin_event(event)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -214,59 +235,63 @@ impl<M: SemanticMeasure> ProbabilisticMatcher<M> {
             // A valid mapping needs one distinct tuple per predicate.
             return MatchResult::no_match();
         }
-        // Row-wise construction bails out on the first predicate with no
-        // feasible tuple — the common case on heterogeneous workloads.
-        let Some(matrix) = SimilarityMatrix::build_pruned(
-            subscription,
-            event,
-            measure,
-            self.config.combiner,
-            self.config.score_floor,
-        ) else {
-            return MatchResult::no_match();
-        };
+        MATRIX_SCRATCH.with(|scratch| {
+            let (matrix, cost) = &mut *scratch.borrow_mut();
+            // Row-wise construction bails out on the first predicate with
+            // no feasible tuple — the common case on heterogeneous
+            // workloads.
+            if !matrix.rebuild_pruned(
+                subscription,
+                event,
+                measure,
+                self.config.combiner,
+                self.config.score_floor,
+            ) {
+                return MatchResult::no_match();
+            }
 
-        // Cost = -ln(similarity); cells under the floor become forbidden
-        // edges so a zero-similarity correspondence can never appear in a
-        // reported mapping.
-        let mut cost = CostMatrix::filled(n, m, 0.0);
-        for i in 0..n {
-            for j in 0..m {
-                let s = matrix.get(i, j);
-                if s < self.config.score_floor {
-                    cost.forbid(i, j);
-                } else {
-                    cost.set(i, j, -s.ln());
+            // Cost = -ln(similarity); cells under the floor become
+            // forbidden edges so a zero-similarity correspondence can
+            // never appear in a reported mapping.
+            cost.refill(n, m, 0.0);
+            for i in 0..n {
+                for j in 0..m {
+                    let s = matrix.get(i, j);
+                    if s < self.config.score_floor {
+                        cost.forbid(i, j);
+                    } else {
+                        cost.set(i, j, -s.ln());
+                    }
                 }
             }
-        }
 
-        let solutions = match self.config.mode {
-            MatchMode::Top1 => assignment::solve(&cost).into_iter().collect::<Vec<_>>(),
-            MatchMode::TopK(k) => assignment::solve_top_k(&cost, k),
-        };
-        if solutions.is_empty() {
-            return MatchResult::no_match();
-        }
+            let solutions = match self.config.mode {
+                MatchMode::Top1 => assignment::solve(cost).into_iter().collect::<Vec<_>>(),
+                MatchMode::TopK(k) => assignment::solve_top_k(cost, k),
+            };
+            if solutions.is_empty() {
+                return MatchResult::no_match();
+            }
 
-        let mappings: Vec<Mapping> = solutions
-            .into_iter()
-            .map(|sol| {
-                let correspondences = sol
-                    .assignment
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &j)| Correspondence {
-                        predicate: i,
-                        tuple: j,
-                        similarity: matrix.get(i, j),
-                        probability: matrix.correspondence_probability(i, j),
-                    })
-                    .collect();
-                Mapping::new(correspondences)
-            })
-            .collect();
-        MatchResult::from_mappings(mappings)
+            let mappings: Vec<Mapping> = solutions
+                .into_iter()
+                .map(|sol| {
+                    let correspondences = sol
+                        .assignment
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &j)| Correspondence {
+                            predicate: i,
+                            tuple: j,
+                            similarity: matrix.get(i, j),
+                            probability: matrix.correspondence_probability(i, j),
+                        })
+                        .collect();
+                    Mapping::new(correspondences)
+                })
+                .collect();
+            MatchResult::from_mappings(mappings)
+        })
     }
 }
 
@@ -310,6 +335,10 @@ impl<M: SemanticMeasure> fmt::Debug for ProbabilisticMatcher<M> {
 impl<M: SemanticMeasure> Matcher for ProbabilisticMatcher<M> {
     fn match_event(&self, subscription: &Subscription, event: &Event) -> MatchResult {
         self.match_with_measure(subscription, event, &self.measure)
+    }
+
+    fn begin_event(&self, _event: &Event) {
+        crate::similarity::begin_event_scope();
     }
 
     fn match_event_degraded(

@@ -1,8 +1,62 @@
 //! The combined attributes–values similarity matrix (paper Fig. 4).
 
 use crate::config::Combiner;
+use std::cell::RefCell;
 use tep_events::{ComparisonOp, Event, Subscription};
-use tep_semantics::{theme_for_tags, SemanticMeasure};
+use tep_semantics::{intern_term, theme_for_tags, SemanticMeasure, TermId, ThemeId};
+
+/// Event-scoped interning scratch: one event is matched against many
+/// subscriptions back to back by the same worker thread, so the event
+/// side's interned term ids and theme id are computed once per event and
+/// replayed for every subsequent test in the scope (see
+/// [`begin_event_scope`]).
+struct EventScope {
+    /// `0` = no scope active (callers that never open one — evaluation
+    /// code, direct matcher use — re-intern per test). Bumped by
+    /// [`begin_event_scope`] so stale scratch can never leak into the
+    /// next event.
+    token: u64,
+    /// Whether `tuple_ids` / `the_id` were filled for the current token
+    /// under `flags`.
+    filled: bool,
+    /// The `(any_attr_approx, any_value_approx)` combination the scratch
+    /// was interned under; a subscription with different approximation
+    /// flags re-interns (different sides of the tuples are eligible).
+    flags: (bool, bool),
+    /// Interned event theme id for the current token.
+    the_id: ThemeId,
+    /// Interned `(attribute, value)` ids per tuple.
+    tuple_ids: Vec<(Option<TermId>, Option<TermId>)>,
+}
+
+thread_local! {
+    /// Per-worker scratch for the event side's interned `(attribute,
+    /// value)` term ids — reused across match tests so the steady-state
+    /// matrix build allocates nothing, and across a whole event's
+    /// subscription sweep when an event scope is open.
+    static EVENT_SCOPE: RefCell<EventScope> = const {
+        RefCell::new(EventScope {
+            token: 0,
+            filled: false,
+            flags: (false, false),
+            the_id: ThemeId::EMPTY,
+            tuple_ids: Vec::new(),
+        })
+    };
+}
+
+/// Opens an event scope on the calling thread: until the next call, the
+/// similarity build may reuse the event-side interned symbols across
+/// match tests. Callers must invoke this **per event**, before the
+/// event's first match test ([`crate::Matcher::begin_event`] routes
+/// here); the token bump makes reuse across distinct events impossible.
+pub(crate) fn begin_event_scope() {
+    EVENT_SCOPE.with(|scope| {
+        let mut scope = scope.borrow_mut();
+        scope.token = scope.token.wrapping_add(1).max(1);
+        scope.filled = false;
+    });
+}
 
 /// The `n × m` matrix of combined similarities between the `n` predicates
 /// of a subscription and the `m` tuples of an event.
@@ -47,55 +101,134 @@ impl SimilarityMatrix {
         combiner: Combiner,
         floor: f64,
     ) -> Option<SimilarityMatrix> {
-        // Interned lookup: repeat tag lists skip `Theme::new`'s
-        // normalize-sort-hash work, the old per-call allocation hot spot.
-        let (_, ths) = theme_for_tags(subscription.theme_tags());
-        let (_, the) = theme_for_tags(event.theme_tags());
-        let (ths, the) = (ths.as_ref(), the.as_ref());
-        let rows = subscription.predicates().len();
-        let cols = event.tuples().len();
-        let mut data = Vec::with_capacity(rows * cols);
-        for p in subscription.predicates() {
-            let mut feasible = false;
-            for t in event.tuples() {
-                let attr_sim = if p.is_attribute_approx() {
-                    measure.relatedness(p.attribute(), ths, t.attribute(), the)
-                } else {
-                    exact(p.attribute(), t.attribute())
-                };
-                // A vetoed attribute makes the pair impossible under
-                // Product/GeometricMean/Min; skip the value-side measure
-                // call in that common case.
-                let cell = if attr_sim == 0.0 && combiner != Combiner::ArithmeticMean {
-                    0.0
-                } else {
-                    let value_sim = match p.op() {
-                        ComparisonOp::Eq => {
-                            if p.is_value_approx() {
-                                measure.relatedness(p.value(), ths, t.value(), the)
-                            } else {
-                                exact(p.value(), t.value())
-                            }
-                        }
-                        // Relational operators are boolean by definition.
-                        op => {
-                            if op.evaluate(t.value(), p.value()) {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                    };
-                    combiner.combine(attr_sim, value_sim).clamp(0.0, 1.0)
-                };
-                feasible |= cell >= floor;
-                data.push(cell);
-            }
-            if !feasible {
-                return None;
-            }
+        let mut matrix = SimilarityMatrix::empty();
+        matrix
+            .rebuild_pruned(subscription, event, measure, combiner, floor)
+            .then_some(matrix)
+    }
+
+    /// An empty `0 × 0` matrix, for scratch slots that are later
+    /// [`SimilarityMatrix::rebuild_pruned`]-ed.
+    pub const fn empty() -> SimilarityMatrix {
+        SimilarityMatrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
         }
-        Some(SimilarityMatrix { rows, cols, data })
+    }
+
+    /// [`SimilarityMatrix::build_pruned`] into `self`, recycling the cell
+    /// buffer: the allocation-free form the matcher's hot path uses with
+    /// a per-worker scratch matrix. Returns `false` when some predicate's
+    /// whole row falls below `floor` (the matrix contents are then
+    /// unspecified — check the return value).
+    pub fn rebuild_pruned<M: SemanticMeasure + ?Sized>(
+        &mut self,
+        subscription: &Subscription,
+        event: &Event,
+        measure: &M,
+        combiner: Combiner,
+        floor: f64,
+    ) -> bool {
+        // Batched interning: both themes and every referenced term are
+        // interned at most ONCE per match test — and, inside an event
+        // scope, once per *event* — and each cell probes the measure with
+        // copyable ids (`relatedness_ids`). The old path re-interned all
+        // four symbols — four hash-and-lock round-trips — per cell.
+        let any_attr_approx = subscription
+            .predicates()
+            .iter()
+            .any(|p| p.is_attribute_approx());
+        let any_value_approx = subscription
+            .predicates()
+            .iter()
+            .any(|p| p.is_value_approx() && matches!(p.op(), ComparisonOp::Eq));
+        let semantic = any_attr_approx || any_value_approx;
+        let flags = (any_attr_approx, any_value_approx);
+        // Purely exact subscriptions never consult the measure, so skip
+        // theme resolution entirely on that path.
+        let ths_id = if semantic {
+            theme_for_tags(subscription.theme_tags()).0
+        } else {
+            ThemeId::EMPTY
+        };
+        self.rows = subscription.predicates().len();
+        self.cols = event.tuples().len();
+        let cols = self.cols;
+        self.data.clear();
+        self.data.reserve(self.rows * cols);
+        let data = &mut self.data;
+        EVENT_SCOPE.with(|scope| {
+            let mut scope = scope.borrow_mut();
+            let scope = &mut *scope;
+            if !(scope.token != 0 && scope.filled && scope.flags == flags) {
+                scope.tuple_ids.clear();
+                if semantic {
+                    // Intern only the sides a measure call can actually
+                    // read, mirroring the old per-cell behaviour (e.g.
+                    // free-form numeric values stay out of the interner
+                    // unless some predicate is value-approximate).
+                    scope.the_id = theme_for_tags(event.theme_tags()).0;
+                    for t in event.tuples() {
+                        scope.tuple_ids.push((
+                            any_attr_approx.then(|| intern_term(t.attribute())),
+                            any_value_approx.then(|| intern_term(t.value())),
+                        ));
+                    }
+                } else {
+                    scope.the_id = ThemeId::EMPTY;
+                    scope.tuple_ids.resize(cols, (None, None));
+                }
+                scope.flags = flags;
+                // Only an open scope may replay this scratch: without one
+                // there is no "same event" guarantee across calls.
+                scope.filled = scope.token != 0;
+            }
+            let the_id = scope.the_id;
+            let tuple_ids = &scope.tuple_ids;
+            for p in subscription.predicates() {
+                let p_attr = p.is_attribute_approx().then(|| intern_term(p.attribute()));
+                let p_value = (p.is_value_approx() && matches!(p.op(), ComparisonOp::Eq))
+                    .then(|| intern_term(p.value()));
+                let mut feasible = false;
+                for (t, &(t_attr, t_value)) in event.tuples().iter().zip(tuple_ids.iter()) {
+                    let attr_sim = match (p_attr, t_attr) {
+                        (Some(pa), Some(ta)) => measure.relatedness_ids(pa, ths_id, ta, the_id),
+                        _ => exact(p.attribute(), t.attribute()),
+                    };
+                    // A vetoed attribute makes the pair impossible under
+                    // Product/GeometricMean/Min; skip the value-side measure
+                    // call in that common case.
+                    let cell = if attr_sim == 0.0 && combiner != Combiner::ArithmeticMean {
+                        0.0
+                    } else {
+                        let value_sim = match p.op() {
+                            ComparisonOp::Eq => match (p_value, t_value) {
+                                (Some(pv), Some(tv)) => {
+                                    measure.relatedness_ids(pv, ths_id, tv, the_id)
+                                }
+                                _ => exact(p.value(), t.value()),
+                            },
+                            // Relational operators are boolean by definition.
+                            op => {
+                                if op.evaluate(t.value(), p.value()) {
+                                    1.0
+                                } else {
+                                    0.0
+                                }
+                            }
+                        };
+                        combiner.combine(attr_sim, value_sim).clamp(0.0, 1.0)
+                    };
+                    feasible |= cell >= floor;
+                    data.push(cell);
+                }
+                if !feasible {
+                    return false;
+                }
+            }
+            true
+        })
     }
 
     /// Number of predicates (rows).

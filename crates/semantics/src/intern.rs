@@ -15,12 +15,13 @@
 //! are never recycled; the tables only grow with the *vocabulary*, not with
 //! event volume, so growth is bounded by the corpus and workload schema.
 
+use crate::fxhash::{fx_hash64, FxBuildHasher};
 use crate::theme::Theme;
 use parking_lot::RwLock;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
+
+type FxMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// Interned symbol for a vocabulary term (attribute name, value term, …).
 ///
@@ -33,6 +34,12 @@ impl TermId {
     /// The raw symbol value.
     pub fn as_u32(self) -> u32 {
         self.0
+    }
+
+    /// A placeholder id for pre-zeroed cache slots (never handed out for
+    /// a real term by itself — only meaningful alongside a liveness tag).
+    pub(crate) const fn placeholder() -> TermId {
+        TermId(0)
     }
 }
 
@@ -65,41 +72,41 @@ const TERM_SHARDS: usize = 16;
 struct Interner {
     /// term string → id, sharded by string hash so concurrent interning of
     /// disjoint vocabularies does not contend.
-    term_ids: [RwLock<HashMap<Box<str>, u32>>; TERM_SHARDS],
+    term_ids: [RwLock<FxMap<Box<str>, u32>>; TERM_SHARDS],
     /// id → term string (index = id).
     terms: RwLock<Vec<Arc<str>>>,
     /// canonical theme → id. `Theme` hashes by its precomputed fingerprint,
     /// so probing is O(1) and allocation-free.
-    theme_ids: RwLock<HashMap<Theme, u32>>,
+    theme_ids: RwLock<FxMap<Theme, u32>>,
     /// id → canonical theme (index = id). Slot 0 is the empty theme.
     themes: RwLock<Vec<Arc<Theme>>>,
     /// Verbatim tag-list → theme id front cache, so callers holding a raw
     /// `&[String]` tag slice (events, subscriptions) skip `Theme::new`'s
     /// normalize-sort-dedup-hash work entirely on repeat sightings.
     /// `Vec<String>: Borrow<[String]>` makes the probe allocation-free.
-    tags_front: RwLock<HashMap<Vec<String>, u32>>,
+    tags_front: RwLock<FxMap<Vec<String>, u32>>,
 }
 
 fn interner() -> &'static Interner {
     static INTERNER: OnceLock<Interner> = OnceLock::new();
     INTERNER.get_or_init(|| {
         let empty = Arc::new(Theme::empty());
-        let mut theme_ids = HashMap::new();
+        let mut theme_ids = FxMap::default();
         theme_ids.insert((*empty).clone(), 0);
         Interner {
-            term_ids: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            term_ids: std::array::from_fn(|_| RwLock::new(FxMap::default())),
             terms: RwLock::new(Vec::new()),
             theme_ids: RwLock::new(theme_ids),
             themes: RwLock::new(vec![empty]),
-            tags_front: RwLock::new(HashMap::new()),
+            tags_front: RwLock::new(FxMap::default()),
         }
     })
 }
 
 fn term_shard(term: &str) -> usize {
-    let mut h = DefaultHasher::new();
-    term.hash(&mut h);
-    (h.finish() as usize) % TERM_SHARDS
+    // High word: the shard's inner map hashes with the same function and
+    // indexes buckets by the low bits (see `ShardedCache::shard`).
+    ((fx_hash64(&term) >> 32) as usize) % TERM_SHARDS
 }
 
 /// Interns `term`, returning its stable id. Alloc-free when the term is

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fxhash;
 pub mod intern;
 mod measure;
 mod projection;
@@ -44,6 +45,7 @@ mod space;
 mod sparse;
 mod theme;
 
+pub use fxhash::{fx_hash64, FxBuildHasher, FxHasher};
 pub use intern::{
     intern_term, intern_theme, resolve_term, resolve_theme, theme_for_tags, TermId, ThemeId,
 };

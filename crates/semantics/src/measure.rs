@@ -1,12 +1,14 @@
 //! The semantic-measure abstraction and its implementations.
 
-use crate::intern::{intern_term, intern_theme, TermId, ThemeId};
+use crate::intern::{intern_term, intern_theme, resolve_term, resolve_theme, TermId, ThemeId};
 use crate::pvsm::ParametricVectorSpace;
 use crate::shard::{CacheStats, ShardedCache};
 use crate::space::DistributionalSpace;
 use crate::theme::Theme;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A relatedness score together with the geometric evidence behind it,
@@ -58,6 +60,25 @@ impl RelatednessDetail {
 pub trait SemanticMeasure: Send + Sync + fmt::Debug {
     /// Semantic relatedness in `[0, 1]`.
     fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64;
+
+    /// Relatedness by **interned symbols** — the batched hot path. The
+    /// matcher interns each side's terms and themes once per match test
+    /// and probes per cell with copyable ids, so a warm cell costs one
+    /// memo probe instead of four intern-table round-trips. The contract:
+    /// bit-identical to [`Self::relatedness`] on the strings the ids were
+    /// interned from. Default: resolve and delegate (correct for any
+    /// measure; id-aware implementations override with a direct path).
+    fn relatedness_ids(
+        &self,
+        term_s: TermId,
+        theme_s: ThemeId,
+        term_e: TermId,
+        theme_e: ThemeId,
+    ) -> f64 {
+        let (ts, te) = (resolve_term(term_s), resolve_term(term_e));
+        let (ths, the) = (resolve_theme(theme_s), resolve_theme(theme_e));
+        self.relatedness(&ts, &ths, &te, &the)
+    }
 
     /// The relatedness score plus the evidence behind it, for
     /// explainability. **Off the hot path** — implementations may
@@ -128,6 +149,15 @@ pub trait SemanticMeasure: Send + Sync + fmt::Debug {
 impl<M: SemanticMeasure + ?Sized> SemanticMeasure for Arc<M> {
     fn relatedness(&self, term_s: &str, theme_s: &Theme, term_e: &str, theme_e: &Theme) -> f64 {
         (**self).relatedness(term_s, theme_s, term_e, theme_e)
+    }
+    fn relatedness_ids(
+        &self,
+        term_s: TermId,
+        theme_s: ThemeId,
+        term_e: TermId,
+        theme_e: ThemeId,
+    ) -> f64 {
+        (**self).relatedness_ids(term_s, theme_s, term_e, theme_e)
     }
     fn explain(
         &self,
@@ -262,6 +292,16 @@ impl SemanticMeasure for ThematicEsaMeasure {
         self.pvsm.relatedness(term_s, theme_s, term_e, theme_e)
     }
 
+    fn relatedness_ids(
+        &self,
+        term_s: TermId,
+        theme_s: ThemeId,
+        term_e: TermId,
+        theme_e: ThemeId,
+    ) -> f64 {
+        self.pvsm.relatedness_ids(term_s, theme_s, term_e, theme_e)
+    }
+
     fn explain(
         &self,
         term_s: &str,
@@ -318,6 +358,56 @@ fn canonical_key(ts: TermId, ths: ThemeId, te: TermId, the: ThemeId) -> MeasureK
     }
 }
 
+/// Slots in each worker's L1 score cache (per thread, ~512 KiB). Sized so
+/// a working vocabulary of a few thousand term-pair keys fits with a low
+/// direct-mapped collision rate; the table is allocated lazily on first
+/// use, so threads that never score pay nothing.
+const L1_SLOTS: usize = 16384;
+
+/// One direct-mapped L1 slot. `generation == 0` means empty; live slots
+/// belong to whichever [`CachedMeasure`] generation last wrote them, so
+/// distinct measure instances (and cleared caches) can never serve each
+/// other's scores.
+#[derive(Clone, Copy)]
+struct L1Slot {
+    generation: u32,
+    key: MeasureKey,
+    score: f64,
+}
+
+const EMPTY_L1_SLOT: L1Slot = L1Slot {
+    generation: 0,
+    key: (
+        TermId::placeholder(),
+        ThemeId::EMPTY,
+        TermId::placeholder(),
+        ThemeId::EMPTY,
+    ),
+    score: 0.0,
+};
+
+thread_local! {
+    /// Per-worker L1 in front of the sharded memo: probed and filled with
+    /// no locks, no shared-cache atomics, and (after the one-time table
+    /// allocation) no heap traffic. Direct-mapped: a colliding key simply
+    /// overwrites the slot, and the sharded L2 still backstops it.
+    static MEASURE_L1: RefCell<Vec<L1Slot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Generation source for [`CachedMeasure`] instances. Starts at 1 so the
+/// zeroed empty slot can never match a live measure.
+static NEXT_GENERATION: AtomicU32 = AtomicU32::new(1);
+
+#[inline]
+fn l1_index(key: MeasureKey) -> usize {
+    let k0 = ((key.0.as_u32() as u64) << 32) | key.1.as_u32() as u64;
+    let k1 = ((key.2.as_u32() as u64) << 32) | key.3.as_u32() as u64;
+    // Fibonacci-style mixer; the rotate keeps the two halves from
+    // cancelling when the same term appears on both sides.
+    let h = (k0 ^ k1.rotate_left(23)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - 14)) as usize // log2(L1_SLOTS) top bits
+}
+
 /// Memoizes another measure per `(term, theme, term, theme)` tuple.
 ///
 /// Heterogeneous event workloads repeat the same attribute/value terms
@@ -332,6 +422,13 @@ fn canonical_key(ts: TermId, ths: ThemeId, te: TermId, the: ThemeId) -> MeasureK
 pub struct CachedMeasure<M> {
     inner: M,
     cache: ShardedCache<MeasureKey, f64>,
+    /// Liveness tag for this instance's entries in the thread-local L1;
+    /// re-drawn from [`NEXT_GENERATION`] on [`CachedMeasure::clear`] so
+    /// stale L1 slots die without touching other threads.
+    generation: AtomicU32,
+    /// Probes answered by the thread-local L1 (they bypass the sharded
+    /// cache's own hit counters).
+    l1_hits: AtomicU64,
 }
 
 /// Bound on memoized score pairs.
@@ -343,6 +440,8 @@ impl<M: SemanticMeasure> CachedMeasure<M> {
         CachedMeasure {
             inner,
             cache: ShardedCache::new(16, MEASURE_CAPACITY),
+            generation: AtomicU32::new(NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)),
+            l1_hits: AtomicU64::new(0),
         }
     }
 
@@ -356,9 +455,14 @@ impl<M: SemanticMeasure> CachedMeasure<M> {
         self.cache.is_empty()
     }
 
-    /// Drops all memoized scores.
+    /// Drops all memoized scores, including every thread's L1 entries
+    /// (invalidated wholesale by retiring this instance's generation).
     pub fn clear(&self) {
         self.cache.clear();
+        self.generation.store(
+            NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// The wrapped measure.
@@ -368,8 +472,11 @@ impl<M: SemanticMeasure> CachedMeasure<M> {
 
     /// Counters for the memo table alone (excluding the inner measure's
     /// caches; [`SemanticMeasure::cache_stats`] reports both merged).
+    /// L1-answered probes count as hits.
     pub fn memo_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        stats.hits += self.l1_hits.load(Ordering::Relaxed);
+        stats
     }
 }
 
@@ -398,6 +505,48 @@ impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
         })
     }
 
+    fn relatedness_ids(
+        &self,
+        term_s: TermId,
+        theme_s: ThemeId,
+        term_e: TermId,
+        theme_e: ThemeId,
+    ) -> f64 {
+        // The id-keyed fast path: an L1-warm probe is one direct-mapped
+        // array compare on this thread — no locks, no shared counters.
+        // The canonical key orders by id, exactly as the string path does
+        // after interning, so both paths share entries and stay
+        // bit-identical; the L1 only ever holds scores the sharded cache
+        // produced, so it cannot change a result either.
+        let key = canonical_key(term_s, theme_s, term_e, theme_e);
+        let generation = self.generation.load(Ordering::Relaxed);
+        let index = l1_index(key);
+        let l1_score = MEASURE_L1.with(|l1| {
+            let l1 = l1.borrow();
+            let slot = l1.get(index)?;
+            (slot.generation == generation && slot.key == key).then_some(slot.score)
+        });
+        if let Some(score) = l1_score {
+            self.l1_hits.fetch_add(1, Ordering::Relaxed);
+            return score;
+        }
+        let score = self.cache.get_or_insert_with(&key, || {
+            self.inner.relatedness_ids(term_s, theme_s, term_e, theme_e)
+        });
+        MEASURE_L1.with(|l1| {
+            let mut l1 = l1.borrow_mut();
+            if l1.is_empty() {
+                l1.resize(L1_SLOTS, EMPTY_L1_SLOT);
+            }
+            l1[index] = L1Slot {
+                generation,
+                key,
+                score,
+            };
+        });
+        score
+    }
+
     fn explain(
         &self,
         term_s: &str,
@@ -424,7 +573,7 @@ impl<M: SemanticMeasure> SemanticMeasure for CachedMeasure<M> {
     }
 
     fn cache_stats(&self) -> CacheStats {
-        self.cache.stats().merge(self.inner.cache_stats())
+        self.memo_stats().merge(self.inner.cache_stats())
     }
 
     fn cache_miss_count(&self) -> u64 {
@@ -767,6 +916,54 @@ mod tests {
             .relatedness_warm(a, &th, b, &th)
             .expect("projections warm");
         assert_eq!(via_inner.to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn relatedness_ids_is_bit_identical_and_shares_memo_entries() {
+        let pvsm = Arc::new(ParametricVectorSpace::new(DistributionalSpace::new(
+            InvertedIndex::build(&Corpus::generate(&CorpusConfig::small())),
+        )));
+        let m = CachedMeasure::new(ThematicEsaMeasure::new(pvsm));
+        let th = Theme::new(["energy policy"]);
+        let e = Theme::empty();
+        let pairs = [
+            ("energy consumption", "electricity usage"),
+            ("parking", "garage"),
+            ("parking", "parking"),
+            ("no such term at all", "garage"),
+        ];
+        for (a, b) in pairs {
+            for (ths, the) in [(&th, &th), (&e, &th), (&th, &e)] {
+                let (ta, tb) = (intern_term(a), intern_term(b));
+                let (ia, ib) = (intern_theme(ths), intern_theme(the));
+                // Cold id path, then the string path must *hit* the same
+                // memo entry and agree bitwise.
+                let before = m.memo_stats().misses;
+                let via_ids = m.relatedness_ids(ta, ia, tb, ib);
+                let via_strings = m.relatedness(a, ths, b, the);
+                assert_eq!(via_ids.to_bits(), via_strings.to_bits(), "{a:?} ~ {b:?}");
+                let after = m.memo_stats();
+                assert!(
+                    after.misses <= before + 1,
+                    "string path must share the id path's entry: {after:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_relatedness_ids_resolves_and_delegates() {
+        let m = EsaMeasure::new(space());
+        let e = Theme::empty();
+        let (a, b) = ("parking", "garage");
+        let via_strings = m.relatedness(a, &e, b, &e);
+        let via_ids = m.relatedness_ids(
+            intern_term(a),
+            intern_theme(&e),
+            intern_term(b),
+            intern_theme(&e),
+        );
+        assert_eq!(via_ids.to_bits(), via_strings.to_bits());
     }
 
     #[test]

@@ -178,7 +178,7 @@ mod tests {
         let proj = basis.project_term(&s, "parking");
         // Same support; weights equal because |B| = |D| keeps idf intact.
         assert_eq!(full.nnz(), proj.nnz());
-        for ((d1, w1), (d2, w2)) in full.entries().iter().zip(proj.entries()) {
+        for ((d1, w1), (d2, w2)) in full.iter().zip(proj.iter()) {
             assert_eq!(d1, d2);
             assert!((w1 - w2).abs() < 1e-5);
         }

@@ -19,11 +19,13 @@
 //! Hit / miss / eviction counters are relaxed atomics, cheap enough to
 //! leave on permanently and surfaced through `BrokerStats`.
 
+use crate::fxhash::{fx_hash64, FxBuildHasher};
 use parking_lot::RwLock;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+type FxMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// Counter snapshot for one cache (or a sum over several — see
 /// [`CacheStats::merge`]).
@@ -65,18 +67,18 @@ impl CacheStats {
 }
 
 struct ShardInner<K, V> {
-    hot: HashMap<K, V>,
-    previous: HashMap<K, V>,
+    hot: FxMap<K, V>,
+    previous: FxMap<K, V>,
     /// key → (value, pin refcount); exempt from rotation.
-    pinned: HashMap<K, (V, u32)>,
+    pinned: FxMap<K, (V, u32)>,
 }
 
 impl<K, V> Default for ShardInner<K, V> {
     fn default() -> ShardInner<K, V> {
         ShardInner {
-            hot: HashMap::new(),
-            previous: HashMap::new(),
-            pinned: HashMap::new(),
+            hot: FxMap::default(),
+            previous: FxMap::default(),
+            pinned: FxMap::default(),
         }
     }
 }
@@ -126,9 +128,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     fn shard(&self, key: &K) -> &RwLock<ShardInner<K, V>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() & self.mask) as usize]
+        // Select the shard from the *high* word: the shard's inner maps use
+        // the same hash function and index buckets by the low bits, so
+        // using the low bits here too would leave every map in shard `s`
+        // holding only keys whose low bits equal `s` — clustering its
+        // buckets 2^shards-fold.
+        &self.shards[((fx_hash64(key) >> 32) & self.mask) as usize]
     }
 
     /// Looks up `key`, promoting previous-generation hits back into `hot`.

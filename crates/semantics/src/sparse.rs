@@ -3,16 +3,23 @@
 use serde::{Deserialize, Serialize};
 use tep_corpus::DocId;
 
-/// A sparse vector in the document space: `(DocId, weight)` pairs sorted by
-/// ascending document id, zero weights omitted.
+/// A sparse vector in the document space, stored **structure-of-arrays**:
+/// a sorted `dims` array of document ids and a parallel `vals` array of
+/// weights, zero weights omitted.
 ///
-/// All arithmetic is merge-based over the sorted entry lists, so costs are
-/// `O(nnz)` — the property that makes thematic projection *faster* than
+/// All arithmetic is merge-based over the sorted dimension lists, so costs
+/// are `O(nnz)` — the property that makes thematic projection *faster* than
 /// full-space matching (paper §5.3.2: "the more filtering ... the less time
-/// is required").
+/// is required"). The split layout keeps the merge loops reading two
+/// contiguous `u32` streams and two contiguous `f32` streams — half the
+/// bytes per compared dimension of the old `Vec<(DocId, f32)>` pairs, and a
+/// shape `portable_simd` chunk kernels can consume directly. Every kernel
+/// preserves the exact accumulation order of the pair-based implementation,
+/// so scores are bit-identical.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SparseVector {
-    entries: Vec<(DocId, f32)>,
+    dims: Vec<DocId>,
+    vals: Vec<f32>,
 }
 
 impl SparseVector {
@@ -32,77 +39,118 @@ impl SparseVector {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "entries must be strictly sorted by doc id"
         );
-        SparseVector {
-            entries: entries.into_iter().filter(|(_, w)| *w != 0.0).collect(),
+        let mut out = SparseVector::with_capacity(entries.len());
+        for (d, w) in entries {
+            if w != 0.0 {
+                out.dims.push(d);
+                out.vals.push(w);
+            }
         }
+        out
     }
 
     /// Builds a vector from unsorted entries, summing duplicate ids.
     pub fn from_unsorted(mut entries: Vec<(DocId, f32)>) -> SparseVector {
         entries.sort_by_key(|(d, _)| *d);
-        let mut out: Vec<(DocId, f32)> = Vec::with_capacity(entries.len());
+        let mut out = SparseVector::with_capacity(entries.len());
         for (d, w) in entries {
-            match out.last_mut() {
-                Some((last, acc)) if *last == d => *acc += w,
-                _ => out.push((d, w)),
+            match (out.dims.last(), out.vals.last_mut()) {
+                (Some(last), Some(acc)) if *last == d => *acc += w,
+                _ => {
+                    out.dims.push(d);
+                    out.vals.push(w);
+                }
             }
         }
-        out.retain(|(_, w)| *w != 0.0);
-        SparseVector { entries: out }
+        // Drop components that cancelled to zero (mirrors the pair-based
+        // `retain`).
+        let mut keep = 0;
+        for i in 0..out.vals.len() {
+            if out.vals[i] != 0.0 {
+                out.dims[keep] = out.dims[i];
+                out.vals[keep] = out.vals[i];
+                keep += 1;
+            }
+        }
+        out.dims.truncate(keep);
+        out.vals.truncate(keep);
+        out
     }
 
-    /// The non-zero entries, sorted by document id.
-    pub fn entries(&self) -> &[(DocId, f32)] {
-        &self.entries
+    fn with_capacity(capacity: usize) -> SparseVector {
+        SparseVector {
+            dims: Vec::with_capacity(capacity),
+            vals: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The sorted document ids of the non-zero components.
+    pub fn dims(&self) -> &[DocId] {
+        &self.dims
+    }
+
+    /// The weights parallel to [`Self::dims`].
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// The non-zero `(doc, weight)` components, ascending by document id.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, f32)> + '_ {
+        self.dims.iter().copied().zip(self.vals.iter().copied())
     }
 
     /// Number of non-zero components.
     pub fn nnz(&self) -> usize {
-        self.entries.len()
+        self.dims.len()
     }
 
     /// Whether the vector is zero.
     pub fn is_zero(&self) -> bool {
-        self.entries.is_empty()
+        self.dims.is_empty()
     }
 
     /// The weight at `doc` (0 if absent).
     pub fn get(&self, doc: DocId) -> f32 {
-        self.entries
-            .binary_search_by_key(&doc, |(d, _)| *d)
-            .map(|i| self.entries[i].1)
+        self.dims
+            .binary_search(&doc)
+            .map(|i| self.vals[i])
             .unwrap_or(0.0)
     }
 
     /// Component-wise sum.
     pub fn add(&self, other: &SparseVector) -> SparseVector {
-        let mut out = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut out = SparseVector::with_capacity(self.nnz() + other.nnz());
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < other.entries.len() {
-            let (da, wa) = self.entries[i];
-            let (db, wb) = other.entries[j];
+        while i < self.dims.len() && j < other.dims.len() {
+            let (da, wa) = (self.dims[i], self.vals[i]);
+            let (db, wb) = (other.dims[j], other.vals[j]);
             match da.cmp(&db) {
                 std::cmp::Ordering::Less => {
-                    out.push((da, wa));
+                    out.dims.push(da);
+                    out.vals.push(wa);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push((db, wb));
+                    out.dims.push(db);
+                    out.vals.push(wb);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
                     let w = wa + wb;
                     if w != 0.0 {
-                        out.push((da, w));
+                        out.dims.push(da);
+                        out.vals.push(w);
                     }
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.entries[i..]);
-        out.extend_from_slice(&other.entries[j..]);
-        SparseVector { entries: out }
+        out.dims.extend_from_slice(&self.dims[i..]);
+        out.vals.extend_from_slice(&self.vals[i..]);
+        out.dims.extend_from_slice(&other.dims[j..]);
+        out.vals.extend_from_slice(&other.vals[j..]);
+        out
     }
 
     /// Scales every component by `factor`.
@@ -111,7 +159,8 @@ impl SparseVector {
             return SparseVector::zero();
         }
         SparseVector {
-            entries: self.entries.iter().map(|(d, w)| (*d, w * factor)).collect(),
+            dims: self.dims.clone(),
+            vals: self.vals.iter().map(|w| w * factor).collect(),
         }
     }
 
@@ -119,14 +168,14 @@ impl SparseVector {
     pub fn dot(&self, other: &SparseVector) -> f64 {
         let mut acc = 0.0f64;
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < other.entries.len() {
-            let (da, wa) = self.entries[i];
-            let (db, wb) = other.entries[j];
+        while i < self.dims.len() && j < other.dims.len() {
+            let da = self.dims[i];
+            let db = other.dims[j];
             match da.cmp(&db) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    acc += wa as f64 * wb as f64;
+                    acc += self.vals[i] as f64 * other.vals[j] as f64;
                     i += 1;
                     j += 1;
                 }
@@ -137,10 +186,7 @@ impl SparseVector {
 
     /// Squared L2 norm.
     pub fn norm_squared(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, w)| (*w as f64) * (*w as f64))
-            .sum()
+        self.vals.iter().map(|w| (*w as f64) * (*w as f64)).sum()
     }
 
     /// L2 norm.
@@ -148,34 +194,36 @@ impl SparseVector {
         self.norm_squared().sqrt()
     }
 
-    /// Euclidean distance (Eq. 5), computed with a single sorted merge.
+    /// Euclidean distance (Eq. 5), computed with a single sorted merge
+    /// over the two dimension arrays; the disjoint tails reduce to tight
+    /// sum-of-squares loops over the value arrays alone.
     pub fn euclidean_distance(&self, other: &SparseVector) -> f64 {
         let mut acc = 0.0f64;
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < other.entries.len() {
-            let (da, wa) = self.entries[i];
-            let (db, wb) = other.entries[j];
+        while i < self.dims.len() && j < other.dims.len() {
+            let da = self.dims[i];
+            let db = other.dims[j];
             match da.cmp(&db) {
                 std::cmp::Ordering::Less => {
-                    acc += (wa as f64).powi(2);
+                    acc += (self.vals[i] as f64).powi(2);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    acc += (wb as f64).powi(2);
+                    acc += (other.vals[j] as f64).powi(2);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    let d = wa as f64 - wb as f64;
+                    let d = self.vals[i] as f64 - other.vals[j] as f64;
                     acc += d * d;
                     i += 1;
                     j += 1;
                 }
             }
         }
-        for (_, w) in &self.entries[i..] {
+        for w in &self.vals[i..] {
             acc += (*w as f64).powi(2);
         }
-        for (_, w) in &other.entries[j..] {
+        for w in &other.vals[j..] {
             acc += (*w as f64).powi(2);
         }
         acc.sqrt()
@@ -204,26 +252,26 @@ impl SparseVector {
     /// Keeps only the components whose document id appears in `docs`
     /// (sorted slice) — the support-filtering half of thematic projection.
     pub fn restrict_to(&self, docs: &[DocId]) -> SparseVector {
-        let mut out = Vec::new();
+        let mut out = SparseVector::default();
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < docs.len() {
-            let (d, w) = self.entries[i];
-            match d.cmp(&docs[j]) {
+        while i < self.dims.len() && j < docs.len() {
+            match self.dims[i].cmp(&docs[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push((d, w));
+                    out.dims.push(self.dims[i]);
+                    out.vals.push(self.vals[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        SparseVector { entries: out }
+        out
     }
 
     /// The documents of the vector's support, in ascending order.
     pub fn support(&self) -> impl Iterator<Item = DocId> + '_ {
-        self.entries.iter().map(|(d, _)| *d)
+        self.dims.iter().copied()
     }
 }
 
@@ -241,10 +289,14 @@ mod tests {
         SparseVector::from_unsorted(entries.iter().map(|(d, w)| (DocId(*d), *w)).collect())
     }
 
+    fn pairs(x: &SparseVector) -> Vec<(DocId, f32)> {
+        x.iter().collect()
+    }
+
     #[test]
     fn from_unsorted_sorts_and_merges() {
         let x = v(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
-        assert_eq!(x.entries(), &[(DocId(1), 2.0), (DocId(3), 1.5)]);
+        assert_eq!(pairs(&x), vec![(DocId(1), 2.0), (DocId(3), 1.5)]);
     }
 
     #[test]
@@ -253,6 +305,14 @@ mod tests {
         assert_eq!(x.nnz(), 1);
         assert!(!x.is_zero());
         assert!(v(&[]).is_zero());
+    }
+
+    #[test]
+    fn dims_and_vals_stay_parallel() {
+        let x = v(&[(5, 2.0), (1, 1.0), (9, 3.0)]);
+        assert_eq!(x.dims(), &[DocId(1), DocId(5), DocId(9)]);
+        assert_eq!(x.vals(), &[1.0, 2.0, 3.0]);
+        assert_eq!(x.dims().len(), x.vals().len());
     }
 
     #[test]
@@ -267,7 +327,7 @@ mod tests {
         let x = v(&[(1, 1.0), (3, 2.0)]);
         let y = v(&[(2, 5.0), (3, -2.0)]);
         let s = x.add(&y);
-        assert_eq!(s.entries(), &[(DocId(1), 1.0), (DocId(2), 5.0)]);
+        assert_eq!(pairs(&s), vec![(DocId(1), 1.0), (DocId(2), 5.0)]);
     }
 
     #[test]
@@ -306,7 +366,7 @@ mod tests {
     fn restrict_to_intersects_support() {
         let x = v(&[(1, 1.0), (3, 2.0), (5, 3.0)]);
         let r = x.restrict_to(&[DocId(3), DocId(4), DocId(5)]);
-        assert_eq!(r.entries(), &[(DocId(3), 2.0), (DocId(5), 3.0)]);
+        assert_eq!(pairs(&r), vec![(DocId(3), 2.0), (DocId(5), 3.0)]);
     }
 
     #[test]
@@ -327,5 +387,231 @@ mod tests {
     fn collect_from_iterator() {
         let x: SparseVector = vec![(DocId(2), 1.0), (DocId(1), 1.0)].into_iter().collect();
         assert_eq!(x.support().collect::<Vec<_>>(), vec![DocId(1), DocId(2)]);
+    }
+
+    /// The pair-based (array-of-structs) reference implementation the SoA
+    /// kernels replaced, preserved verbatim so the property tests below
+    /// can assert **bit-identical** results on arbitrary inputs.
+    mod reference {
+        use super::DocId;
+
+        pub struct RefVector {
+            pub entries: Vec<(DocId, f32)>,
+        }
+
+        impl RefVector {
+            pub fn from_unsorted(mut entries: Vec<(DocId, f32)>) -> RefVector {
+                entries.sort_by_key(|(d, _)| *d);
+                let mut out: Vec<(DocId, f32)> = Vec::with_capacity(entries.len());
+                for (d, w) in entries {
+                    match out.last_mut() {
+                        Some((last, acc)) if *last == d => *acc += w,
+                        _ => out.push((d, w)),
+                    }
+                }
+                out.retain(|(_, w)| *w != 0.0);
+                RefVector { entries: out }
+            }
+
+            pub fn add(&self, other: &RefVector) -> RefVector {
+                let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+                let (mut i, mut j) = (0, 0);
+                while i < self.entries.len() && j < other.entries.len() {
+                    let (da, wa) = self.entries[i];
+                    let (db, wb) = other.entries[j];
+                    match da.cmp(&db) {
+                        std::cmp::Ordering::Less => {
+                            out.push((da, wa));
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push((db, wb));
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let w = wa + wb;
+                            if w != 0.0 {
+                                out.push((da, w));
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&self.entries[i..]);
+                out.extend_from_slice(&other.entries[j..]);
+                RefVector { entries: out }
+            }
+
+            pub fn euclidean_distance(&self, other: &RefVector) -> f64 {
+                let mut acc = 0.0f64;
+                let (mut i, mut j) = (0, 0);
+                while i < self.entries.len() && j < other.entries.len() {
+                    let (da, wa) = self.entries[i];
+                    let (db, wb) = other.entries[j];
+                    match da.cmp(&db) {
+                        std::cmp::Ordering::Less => {
+                            acc += (wa as f64).powi(2);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            acc += (wb as f64).powi(2);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let d = wa as f64 - wb as f64;
+                            acc += d * d;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                for (_, w) in &self.entries[i..] {
+                    acc += (*w as f64).powi(2);
+                }
+                for (_, w) in &other.entries[j..] {
+                    acc += (*w as f64).powi(2);
+                }
+                acc.sqrt()
+            }
+
+            pub fn dot(&self, other: &RefVector) -> f64 {
+                let mut acc = 0.0f64;
+                let (mut i, mut j) = (0, 0);
+                while i < self.entries.len() && j < other.entries.len() {
+                    let (da, wa) = self.entries[i];
+                    let (db, wb) = other.entries[j];
+                    match da.cmp(&db) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            acc += wa as f64 * wb as f64;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                acc
+            }
+
+            pub fn norm(&self) -> f64 {
+                self.entries
+                    .iter()
+                    .map(|(_, w)| (*w as f64) * (*w as f64))
+                    .sum::<f64>()
+                    .sqrt()
+            }
+
+            pub fn normalized(&self) -> RefVector {
+                let n = self.norm();
+                if n == 0.0 {
+                    return RefVector {
+                        entries: Vec::new(),
+                    };
+                }
+                let f = (1.0 / n) as f32;
+                RefVector {
+                    entries: self.entries.iter().map(|(d, w)| (*d, w * f)).collect(),
+                }
+            }
+
+            pub fn restrict_to(&self, docs: &[DocId]) -> RefVector {
+                let mut out = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < self.entries.len() && j < docs.len() {
+                    let (d, w) = self.entries[i];
+                    match d.cmp(&docs[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push((d, w));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                RefVector { entries: out }
+            }
+        }
+    }
+
+    /// Deterministic splitmix64 for the property inputs (the workspace's
+    /// vendored rand is available, but a local generator keeps the case
+    /// list reproducible from the seed printed on failure).
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        fn vector(&mut self, max_nnz: usize, dim_range: u32) -> Vec<(DocId, f32)> {
+            let n = (self.next() as usize) % (max_nnz + 1);
+            (0..n)
+                .map(|_| {
+                    let d = DocId((self.next() as u32) % dim_range);
+                    // Mixed-sign, mixed-magnitude weights, occasional zero.
+                    let w = match self.next() % 8 {
+                        0 => 0.0,
+                        k => ((self.next() % 2_000) as f32 - 1_000.0) / (10f32.powi(k as i32 % 4)),
+                    };
+                    (d, w)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn property_soa_kernels_are_bit_identical_to_pair_reference() {
+        use reference::RefVector;
+        let mut rng = Mix(0x5EED_CAFE);
+        for case in 0..500 {
+            let ea = rng.vector(48, 64);
+            let eb = rng.vector(48, 64);
+            let (a, b) = (
+                SparseVector::from_unsorted(ea.clone()),
+                SparseVector::from_unsorted(eb.clone()),
+            );
+            let (ra, rb) = (
+                RefVector::from_unsorted(ea.clone()),
+                RefVector::from_unsorted(eb.clone()),
+            );
+            // Construction agrees entry-for-entry.
+            assert_eq!(pairs(&a), ra.entries, "case {case}: construction");
+            // Distance, dot, and norm are bit-identical.
+            assert_eq!(
+                a.euclidean_distance(&b).to_bits(),
+                ra.euclidean_distance(&rb).to_bits(),
+                "case {case}: distance"
+            );
+            assert_eq!(a.dot(&b).to_bits(), ra.dot(&rb).to_bits(), "case {case}");
+            assert_eq!(a.norm().to_bits(), ra.norm().to_bits(), "case {case}");
+            // Merge-based sum agrees entry-for-entry (bitwise weights).
+            let sum = a.add(&b);
+            let rsum = ra.add(&rb);
+            assert_eq!(sum.nnz(), rsum.entries.len(), "case {case}: add nnz");
+            for ((d1, w1), (d2, w2)) in sum.iter().zip(&rsum.entries) {
+                assert_eq!(d1, *d2, "case {case}: add dim");
+                assert_eq!(w1.to_bits(), w2.to_bits(), "case {case}: add weight");
+            }
+            // Normalization (the projection cache's post-processing step).
+            let na = a.normalized();
+            let rna = ra.normalized();
+            for ((d1, w1), (d2, w2)) in na.iter().zip(&rna.entries) {
+                assert_eq!(d1, *d2);
+                assert_eq!(w1.to_bits(), w2.to_bits(), "case {case}: normalize");
+            }
+            // Support restriction (the filtering half of projection).
+            let mut docs: Vec<DocId> = (0..16).map(|_| DocId((rng.next() as u32) % 64)).collect();
+            docs.sort();
+            docs.dedup();
+            let restricted = a.restrict_to(&docs);
+            let rrestricted = ra.restrict_to(&docs);
+            assert_eq!(pairs(&restricted), rrestricted.entries, "case {case}");
+        }
     }
 }

@@ -23,7 +23,7 @@ proptest! {
     fn sparse_add_is_commutative(a in sparse_vector(), b in sparse_vector()) {
         let ab = a.add(&b);
         let ba = b.add(&a);
-        prop_assert_eq!(ab.entries(), ba.entries());
+        prop_assert_eq!(ab, ba);
     }
 
     #[test]
@@ -52,12 +52,12 @@ proptest! {
         // textbook dense L2 distance; the sparse merge-based walk must
         // agree on every randomized input, not just the fixed unit cases.
         let mut dense_a = [0.0f64; 64];
-        for (d, w) in a.entries() {
-            dense_a[d.0 as usize] = *w as f64;
+        for (d, w) in a.iter() {
+            dense_a[d.0 as usize] = w as f64;
         }
         let mut dense_b = [0.0f64; 64];
-        for (d, w) in b.entries() {
-            dense_b[d.0 as usize] = *w as f64;
+        for (d, w) in b.iter() {
+            dense_b[d.0 as usize] = w as f64;
         }
         let reference = dense_a
             .iter()
@@ -89,7 +89,7 @@ proptest! {
         let docs: Vec<tep::corpus::DocId> = docs.into_iter().map(tep::corpus::DocId).collect();
         let once = a.restrict_to(&docs);
         let twice = once.restrict_to(&docs);
-        prop_assert_eq!(once.entries(), twice.entries());
+        prop_assert_eq!(once, twice);
         prop_assert!(once.nnz() <= a.nnz());
     }
 

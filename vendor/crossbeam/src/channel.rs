@@ -13,6 +13,7 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
             buf: VecDeque::with_capacity(capacity.max(1)),
             senders: 1,
             receivers: 1,
+            closed: false,
         }),
         capacity: capacity.max(1),
         not_empty: Condvar::new(),
@@ -30,6 +31,9 @@ struct State<T> {
     buf: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// Explicitly closed via [`Sender::close`]: sends fail immediately,
+    /// receivers drain what is buffered and then observe a disconnect.
+    closed: bool,
 }
 
 struct Inner<T> {
@@ -118,7 +122,7 @@ impl<T> Sender<T> {
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut state = self.inner.lock();
         loop {
-            if state.receivers == 0 {
+            if state.receivers == 0 || state.closed {
                 return Err(SendError(value));
             }
             if state.buf.len() < self.inner.capacity {
@@ -137,7 +141,7 @@ impl<T> Sender<T> {
     /// Enqueues without blocking, failing when full or disconnected.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
         let mut state = self.inner.lock();
-        if state.receivers == 0 {
+        if state.receivers == 0 || state.closed {
             return Err(TrySendError::Disconnected(value));
         }
         if state.buf.len() >= self.inner.capacity {
@@ -153,7 +157,7 @@ impl<T> Sender<T> {
         let deadline = Instant::now() + timeout;
         let mut state = self.inner.lock();
         loop {
-            if state.receivers == 0 {
+            if state.receivers == 0 || state.closed {
                 return Err(SendTimeoutError::Disconnected(value));
             }
             if state.buf.len() < self.inner.capacity {
@@ -183,6 +187,30 @@ impl<T> Sender<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Closes the channel for **all** handles: every subsequent send (from
+    /// any sender clone) fails with a disconnect error, blocked senders
+    /// wake and fail, and receivers drain what is already buffered before
+    /// observing the disconnect.
+    ///
+    /// This lets an owner shut the channel down without dropping shared
+    /// `Sender` clones — the basis of a lock-free publish path that keeps
+    /// a plain `Sender` instead of `RwLock<Option<Sender>>`.
+    pub fn close(&self) {
+        let mut state = self.inner.lock();
+        if !state.closed {
+            state.closed = true;
+            // Wake both sides: blocked senders must fail, blocked
+            // receivers must re-check for the disconnect.
+            self.inner.not_full.notify_all();
+            self.inner.not_empty.notify_all();
+        }
+    }
+
+    /// Whether [`Sender::close`] was called on any handle of this channel.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
 }
 
 impl<T> Receiver<T> {
@@ -194,7 +222,7 @@ impl<T> Receiver<T> {
                 self.inner.not_full.notify_one();
                 return Ok(value);
             }
-            if state.senders == 0 {
+            if state.senders == 0 || state.closed {
                 return Err(RecvError);
             }
             state = self
@@ -205,6 +233,68 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocks until at least one value is available (or the channel
+    /// disconnects), then moves up to `max` queued values into `buf` under
+    /// a **single** lock acquisition. Returns how many values were
+    /// appended (≥ 1 on `Ok`).
+    ///
+    /// This is the batched dequeue primitive: a worker draining N jobs per
+    /// acquisition pays one mutex round-trip and at most one parked-thread
+    /// wakeup for the whole batch instead of per job. FIFO order is
+    /// preserved — `buf` receives values in exactly the order senders
+    /// enqueued them.
+    pub fn recv_batch(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let mut state = self.inner.lock();
+        loop {
+            if !state.buf.is_empty() {
+                let n = state.buf.len().min(max);
+                buf.extend(state.buf.drain(..n));
+                // Freed `n` capacity slots: wake every blocked sender when
+                // more than one slot opened, else a single one suffices.
+                if n > 1 {
+                    self.inner.not_full.notify_all();
+                } else {
+                    self.inner.not_full.notify_one();
+                }
+                return Ok(n);
+            }
+            if state.senders == 0 || state.closed {
+                return Err(RecvError);
+            }
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking batch drain: moves up to `max` already-queued values
+    /// into `buf`. `Err(TryRecvError::Empty)` when nothing is queued but
+    /// senders remain, `Err(TryRecvError::Disconnected)` when nothing is
+    /// queued and the channel is disconnected (or closed).
+    pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, TryRecvError> {
+        let mut state = self.inner.lock();
+        if state.buf.is_empty() || max == 0 {
+            return if state.senders == 0 || state.closed {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            };
+        }
+        let n = state.buf.len().min(max);
+        buf.extend(state.buf.drain(..n));
+        if n > 1 {
+            self.inner.not_full.notify_all();
+        } else {
+            self.inner.not_full.notify_one();
+        }
+        Ok(n)
+    }
+
     /// Dequeues without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.inner.lock();
@@ -212,7 +302,7 @@ impl<T> Receiver<T> {
             self.inner.not_full.notify_one();
             return Ok(value);
         }
-        if state.senders == 0 {
+        if state.senders == 0 || state.closed {
             Err(TryRecvError::Disconnected)
         } else {
             Err(TryRecvError::Empty)
@@ -228,7 +318,7 @@ impl<T> Receiver<T> {
                 self.inner.not_full.notify_one();
                 return Ok(value);
             }
-            if state.senders == 0 {
+            if state.senders == 0 || state.closed {
                 return Err(RecvTimeoutError::Disconnected);
             }
             let now = Instant::now();
@@ -435,5 +525,166 @@ mod tests {
         tx.send("b").unwrap();
         drop(tx);
         assert_eq!(rx.iter().count(), 2);
+    }
+
+    #[test]
+    fn recv_batch_preserves_fifo_order() {
+        let (tx, rx) = bounded(8);
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_batch(&mut buf, 6), Ok(6));
+        assert_eq!(buf, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recv_batch_caps_at_max_and_leaves_the_rest() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_batch(&mut buf, 3), Ok(3));
+        assert_eq!(buf, vec![0, 1, 2]);
+        assert_eq!(rx.len(), 2);
+        // The remainder comes out in order on the next batch.
+        assert_eq!(rx.recv_batch(&mut buf, 3), Ok(2));
+        assert_eq!(buf, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_batch_returns_partial_when_fewer_queued() {
+        let (tx, rx) = bounded(8);
+        tx.send(42).unwrap();
+        let mut buf = Vec::new();
+        // Asks for far more than is queued: returns what's there, never
+        // blocks waiting to fill the batch.
+        assert_eq!(rx.recv_batch(&mut buf, 64), Ok(1));
+        assert_eq!(buf, vec![42]);
+    }
+
+    #[test]
+    fn recv_batch_zero_max_is_a_no_op() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_batch(&mut buf, 0), Ok(0));
+        assert!(buf.is_empty());
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn recv_batch_blocks_until_first_item() {
+        let (tx, rx) = bounded(4);
+        let h = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let n = rx.recv_batch(&mut buf, 4).unwrap();
+            (n, buf)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(7).unwrap();
+        let (n, buf) = h.join().unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(buf, vec![7]);
+    }
+
+    #[test]
+    fn recv_batch_drains_remainder_after_disconnect() {
+        // Disconnect mid-drain: buffered values must still come out before
+        // the disconnect error surfaces.
+        let (tx, rx) = bounded(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
+        drop(tx);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_batch(&mut buf, 2), Ok(2));
+        assert_eq!(rx.recv_batch(&mut buf, 2), Ok(1));
+        assert_eq!(buf, vec![1, 2, 3]);
+        assert_eq!(rx.recv_batch(&mut buf, 2), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_batch_unblocks_on_disconnect() {
+        let (tx, rx) = bounded::<u32>(1);
+        let h = std::thread::spawn(move || rx.recv_batch(&mut Vec::new(), 4));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_batch_frees_capacity_for_blocked_senders() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let blocked: Vec<_> = (0..2)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(10 + i))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        let mut buf = Vec::new();
+        // Draining two slots must wake *both* blocked senders.
+        assert_eq!(rx.recv_batch(&mut buf, 2), Ok(2));
+        for h in blocked {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(rx.recv_batch(&mut buf, 4), Ok(2));
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn drain_into_is_non_blocking() {
+        let (tx, rx) = bounded(4);
+        let mut buf = Vec::new();
+        assert_eq!(rx.drain_into(&mut buf, 4), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.drain_into(&mut buf, 1), Ok(1));
+        assert_eq!(rx.drain_into(&mut buf, 8), Ok(1));
+        assert_eq!(buf, vec![1, 2]);
+        drop(tx);
+        assert_eq!(rx.drain_into(&mut buf, 4), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn close_fails_future_sends_and_drains_buffered() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        assert!(!tx.is_closed());
+        tx.close();
+        assert!(tx.is_closed());
+        // Every sender clone observes the close immediately.
+        assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+        assert_eq!(tx2.send(3), Err(SendError(3)));
+        // Buffered values drain before the disconnect surfaces.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn close_wakes_blocked_senders_and_receivers() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        let sender = std::thread::spawn(move || tx2.send(2));
+        let receiver = std::thread::spawn(move || {
+            // Drain the one buffered value, then block on an empty queue.
+            let first = rx.recv();
+            let second = rx.recv();
+            (first, second)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        tx.close();
+        // The blocked sender either managed to enqueue before the close or
+        // fails with a disconnect; it must not hang either way.
+        let _ = sender.join().unwrap();
+        let (first, _second) = receiver.join().unwrap();
+        assert_eq!(first, Ok(1));
     }
 }
