@@ -14,11 +14,17 @@
 # ci/quality_baseline.json: exits non-zero if any sufficiently-sampled
 # scenario's live F1 drops more than 10 points below baseline, or the
 # live F1 disagrees with the offline eval F1 beyond its own confidence
-# interval. Thresholds can be loosened for noisy runners via the
-# environment:
+# interval. Finally compares the fresh subscription-aggregation document
+# (BENCH_subindex.json) against ci/subindex_baseline.json: exits non-zero
+# if the million-subscriber population shrank, its hash-consed entry
+# count drifted, its throughput dropped more than 25%, or the
+# large/small throughput ratio fell below the absolute 0.5 floor
+# (SUBINDEX_GATE_MAX_DROP / SUBINDEX_GATE_MIN_RATIO override).
+# Thresholds can be loosened for noisy runners via the environment:
 #
 #   PERF_GATE_MAX_DROP=0.40 PERF_GATE_MAX_P99_GROWTH=3.0 \
 #   QUALITY_GATE_MAX_F1_DROP=0.15 QUALITY_GATE_MIN_SAMPLES=150 \
+#   SUBINDEX_GATE_MAX_DROP=0.50 \
 #       sh ci/perf_gate.sh
 #
 # To refresh the baselines after an intentional change:
@@ -26,12 +32,15 @@
 #   cargo run -p tep-bench --release --offline --bin probe -- \
 #       bench --out ci/perf_baseline.json --prom /dev/null
 #   cp BENCH_quality.json ci/quality_baseline.json
+#   cp BENCH_subindex.json ci/subindex_baseline.json
 set -eu
 
 BASELINE="${1:-ci/perf_baseline.json}"
 CURRENT="${2:-BENCH_throughput.json}"
 QUALITY_BASELINE="${QUALITY_BASELINE:-ci/quality_baseline.json}"
 QUALITY_CURRENT="${QUALITY_CURRENT:-BENCH_quality.json}"
+SUBINDEX_BASELINE="${SUBINDEX_BASELINE:-ci/subindex_baseline.json}"
+SUBINDEX_CURRENT="${SUBINDEX_CURRENT:-BENCH_subindex.json}"
 
 if [ -x target/release/probe ]; then
     PROBE=target/release/probe
@@ -41,3 +50,4 @@ fi
 
 $PROBE perf-gate --baseline "$BASELINE" --current "$CURRENT"
 $PROBE quality-gate --baseline "$QUALITY_BASELINE" --current "$QUALITY_CURRENT"
+$PROBE subindex-gate --baseline "$SUBINDEX_BASELINE" --current "$SUBINDEX_CURRENT"

@@ -22,9 +22,10 @@
 mod counting_alloc;
 
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 use tep::prelude::{render_explanations_json, render_quality_json, serve, Broker, ScrapeHandlers};
 use tep::thesaurus::{Domain, Thesaurus};
-use tep_bench::gate::{GateConfig, QualityGateConfig};
+use tep_bench::gate::{GateConfig, QualityGateConfig, SubindexGateConfig};
 use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
@@ -43,6 +44,10 @@ fn main() {
         }
         Some("quality-gate") => {
             quality_gate();
+            return;
+        }
+        Some("subindex-gate") => {
+            subindex_gate();
             return;
         }
         _ => {}
@@ -146,6 +151,7 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     let quality_slot = Arc::clone(slot);
     let top_slot = Arc::clone(slot);
     let overload_slot = Arc::clone(slot);
+    let refresh_slot = Arc::clone(slot);
     ScrapeHandlers::new(
         move || match metrics_slot.read().unwrap().as_ref() {
             Some(b) => b.metrics().render_prometheus(),
@@ -184,6 +190,15 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     .with_overload(move || match overload_slot.read().unwrap().as_ref() {
         Some(b) => b.overload_json(),
         None => String::from("{\n  \"enabled\": false\n}\n"),
+    })
+    .with_refresh(move || {
+        // Windowed rates are pushed by activity, not by a timer; a scrape
+        // after an idle stretch would otherwise report the stale frame
+        // from whenever traffic last ticked the window. Tick lazily here,
+        // rate-limited so a scrape storm cannot shrink the window frames.
+        if let Some(b) = refresh_slot.read().unwrap().as_ref() {
+            b.tick_window_if_stale(Duration::from_secs(1));
+        }
     })
 }
 
@@ -285,6 +300,18 @@ fn bench_throughput() {
     let overload_json = tep_bench::overload::render_json(&storm);
     std::fs::write("BENCH_overload.json", overload_json).expect("write overload JSON");
     println!("wrote BENCH_overload.json");
+    // The subscription-aggregation scale scenario last: it registers a
+    // million subscribers (override with TEP_SUBINDEX_SUBSCRIBERS for
+    // quick local runs), so let the lighter artifacts land first.
+    let subindex = tep_bench::subindex::run_subindex_scenarios();
+    println!("{}", subindex.small.summary());
+    println!("{}", subindex.large.summary());
+    println!(
+        "  large/small throughput ratio {:.3}",
+        subindex.ratio_vs_small()
+    );
+    std::fs::write("BENCH_subindex.json", subindex.render_json()).expect("write subindex JSON");
+    println!("wrote BENCH_subindex.json");
     drop(server);
 }
 
@@ -343,6 +370,70 @@ fn perf_gate() {
             }
             println!("{} ({baseline} vs {current})", report.summary());
             if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Subscription-index gate: compares a fresh `BENCH_subindex.json`
+/// against the committed baseline (run with
+/// `probe subindex-gate [--baseline PATH] [--current PATH]`). Exits 1 on
+/// any violation or unreadable/malformed document.
+fn subindex_gate() {
+    let (baseline, current) = {
+        let mut it = std::env::args().skip(2);
+        let mut baseline = String::from("ci/subindex_baseline.json");
+        let mut current = String::from("BENCH_subindex.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--baseline" => baseline = it.next().expect("--baseline needs a value"),
+                "--current" => current = it.next().expect("--current needs a value"),
+                other => {
+                    eprintln!(
+                        "usage: probe subindex-gate [--baseline PATH] [--current PATH] \
+                         (unknown arg {other:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        (baseline, current)
+    };
+    let mut cfg = SubindexGateConfig::default();
+    if let Ok(v) = std::env::var("SUBINDEX_GATE_MAX_DROP") {
+        cfg.max_drop = v.parse().expect("SUBINDEX_GATE_MAX_DROP must be a float");
+    }
+    if let Ok(v) = std::env::var("SUBINDEX_GATE_MIN_RATIO") {
+        cfg.min_ratio = v.parse().expect("SUBINDEX_GATE_MIN_RATIO must be a float");
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("subindex gate: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let base_doc = read(&baseline);
+    let cur_doc = read(&current);
+    match tep_bench::gate::compare_subindex(&base_doc, &cur_doc, &cfg) {
+        Err(e) => {
+            eprintln!("subindex gate: {e}");
+            std::process::exit(1);
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                eprintln!("subindex gate: {v}");
+            }
+            if report.passed() {
+                println!(
+                    "subindex gate PASSED ({} populations) ({baseline} vs {current})",
+                    report.scenarios_checked
+                );
+            } else {
+                println!(
+                    "subindex gate FAILED: {} violation(s) ({baseline} vs {current})",
+                    report.violations.len()
+                );
                 std::process::exit(1);
             }
         }

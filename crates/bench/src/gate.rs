@@ -408,6 +408,132 @@ pub fn compare_quality(
     })
 }
 
+/// Thresholds for [`compare_subindex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubindexGateConfig {
+    /// Maximum tolerated fractional drop of the large-population
+    /// events/sec below its baseline (0.25 = 25%).
+    pub max_drop: f64,
+    /// Absolute floor on `ratio_vs_small` (large ev/s over small ev/s).
+    /// Unlike the relative check this never moves with the baseline:
+    /// the subscription index promises that a million subscribers cost
+    /// at most 2× the thousand-subscriber rate, outright.
+    pub min_ratio: f64,
+}
+
+impl Default for SubindexGateConfig {
+    fn default() -> SubindexGateConfig {
+        SubindexGateConfig {
+            max_drop: 0.25,
+            min_ratio: 0.5,
+        }
+    }
+}
+
+/// One population's gate-relevant numbers from `BENCH_subindex.json`.
+struct SubindexNumbers {
+    subscribers: u64,
+    index_entries: u64,
+    events_per_sec: f64,
+}
+
+fn parse_subindex(doc: &str, label: &str) -> Result<(SubindexNumbers, SubindexNumbers), String> {
+    let parsed: JsonValue =
+        serde_json::from_str(doc).map_err(|e| format!("{label}: invalid JSON: {e:?}"))?;
+    let root = parsed
+        .as_map()
+        .ok_or_else(|| format!("{label}: root is not an object"))?;
+    let mut runs = Vec::new();
+    for key in ["small", "large"] {
+        let obj = value_get(root, key)
+            .and_then(|v| v.as_map())
+            .ok_or_else(|| format!("{label}: missing {key:?} object"))?;
+        let field = |name: &str| {
+            value_get(obj, name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{label}: {key}.{name} missing"))
+        };
+        runs.push(SubindexNumbers {
+            subscribers: field("subscribers")? as u64,
+            index_entries: field("index_entries")? as u64,
+            events_per_sec: field("events_per_sec")?,
+        });
+    }
+    let large = runs.pop().expect("two runs");
+    let small = runs.pop().expect("two runs");
+    Ok((small, large))
+}
+
+/// Compares `current` (a fresh `BENCH_subindex.json`) against `baseline`
+/// (the committed section of `ci/perf_baseline.json`'s sibling document)
+/// under `cfg`:
+///
+/// * the large population may not shrink (no gaming the scenario down),
+/// * its hash-consed entry count must equal the baseline's (a changed
+///   pool or broken aggregation shows up as an entry-count drift),
+/// * its events/sec may not drop more than [`SubindexGateConfig::max_drop`],
+/// * and the large/small throughput ratio must clear the absolute
+///   [`SubindexGateConfig::min_ratio`] floor.
+///
+/// # Errors
+///
+/// A `String` when either document fails to parse — a malformed
+/// artifact must fail the gate loudly, not pass silently.
+pub fn compare_subindex(
+    baseline: &str,
+    current: &str,
+    cfg: &SubindexGateConfig,
+) -> Result<GateReport, String> {
+    let (_, base_large) = parse_subindex(baseline, "baseline")?;
+    let (cur_small, cur_large) = parse_subindex(current, "current")?;
+    let mut violations = Vec::new();
+    if cur_large.subscribers < base_large.subscribers {
+        violations.push(format!(
+            "subindex: large population shrank ({} → {} subscribers)",
+            base_large.subscribers, cur_large.subscribers,
+        ));
+    }
+    if cur_large.index_entries != base_large.index_entries {
+        violations.push(format!(
+            "subindex: hash-consed entry count drifted ({} → {})",
+            base_large.index_entries, cur_large.index_entries,
+        ));
+    }
+    let floor = base_large.events_per_sec * (1.0 - cfg.max_drop);
+    if cur_large.events_per_sec < floor {
+        violations.push(format!(
+            "subindex: {}-subscriber throughput dropped {:.1}% ({:.0} → {:.0} ev/s, limit {:.0}%)",
+            cur_large.subscribers,
+            (1.0 - cur_large.events_per_sec / base_large.events_per_sec) * 100.0,
+            base_large.events_per_sec,
+            cur_large.events_per_sec,
+            cfg.max_drop * 100.0,
+        ));
+    }
+    let ratio = if cur_small.events_per_sec > 0.0 {
+        cur_large.events_per_sec / cur_small.events_per_sec
+    } else {
+        0.0
+    };
+    if ratio < cfg.min_ratio {
+        violations.push(format!(
+            "subindex: large/small throughput ratio {:.3} below the absolute floor {:.2} \
+             ({:.0} ev/s at {} subscribers vs {:.0} ev/s at {})",
+            ratio,
+            cfg.min_ratio,
+            cur_large.events_per_sec,
+            cur_large.subscribers,
+            cur_small.events_per_sec,
+            cur_small.subscribers,
+        ));
+    }
+    Ok(GateReport {
+        scenarios_checked: 2,
+        stages_checked: 0,
+        violations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,5 +761,70 @@ mod tests {
         // A scenario without the quality fields is malformed, not skipped.
         let perf_shaped = doc(100_000.0, 2_000_000, 10_000);
         assert!(compare_quality(&perf_shaped, &d, &cfg).is_err());
+    }
+
+    fn subindex_doc(subs: u64, entries: u64, small_evs: f64, large_evs: f64) -> String {
+        format!(
+            concat!(
+                "{{\n  \"small\": {{\"subscribers\":1000,\"index_entries\":{entries},",
+                "\"distinct_subscriptions\":{entries},\"events\":2048,",
+                "\"elapsed_secs\":1.0,\"events_per_sec\":{small},\"match_tests\":100,",
+                "\"match_tests_per_event\":256.0,\"covered_skips\":10,",
+                "\"notifications\":5}},\n  \"large\": {{\"subscribers\":{subs},",
+                "\"index_entries\":{entries},\"distinct_subscriptions\":{entries},",
+                "\"events\":2048,\"elapsed_secs\":1.0,\"events_per_sec\":{large},",
+                "\"match_tests\":100,\"match_tests_per_event\":256.0,",
+                "\"covered_skips\":10,\"notifications\":5}},\n",
+                "  \"ratio_vs_small\": {ratio:.4}\n}}\n"
+            ),
+            subs = subs,
+            entries = entries,
+            small = small_evs,
+            large = large_evs,
+            ratio = large_evs / small_evs,
+        )
+    }
+
+    #[test]
+    fn subindex_gate_passes_identical_documents() {
+        let d = subindex_doc(1_000_000, 512, 100_000.0, 90_000.0);
+        let report = compare_subindex(&d, &d, &SubindexGateConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn subindex_gate_catches_throughput_and_ratio_regressions() {
+        let cfg = SubindexGateConfig::default();
+        let base = subindex_doc(1_000_000, 512, 100_000.0, 90_000.0);
+        // Large-population rate collapsed: both the relative drop and the
+        // absolute large/small ratio floor fire.
+        let bad = subindex_doc(1_000_000, 512, 100_000.0, 40_000.0);
+        let report = compare_subindex(&base, &bad, &cfg).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("dropped")));
+        assert!(report.violations.iter().any(|v| v.contains("ratio")));
+        // Within tolerance and above the ratio floor: passes.
+        let ok = subindex_doc(1_000_000, 512, 100_000.0, 80_000.0);
+        assert!(compare_subindex(&base, &ok, &cfg).unwrap().passed());
+    }
+
+    #[test]
+    fn subindex_gate_catches_entry_drift_and_shrunk_populations() {
+        let cfg = SubindexGateConfig::default();
+        let base = subindex_doc(1_000_000, 512, 100_000.0, 90_000.0);
+        let drifted = subindex_doc(1_000_000, 700, 100_000.0, 90_000.0);
+        let report = compare_subindex(&base, &drifted, &cfg).unwrap();
+        assert!(report.violations.iter().any(|v| v.contains("drifted")));
+        let shrunk = subindex_doc(10_000, 512, 100_000.0, 90_000.0);
+        let report = compare_subindex(&base, &shrunk, &cfg).unwrap();
+        assert!(report.violations.iter().any(|v| v.contains("shrank")));
+    }
+
+    #[test]
+    fn malformed_subindex_documents_error_loudly() {
+        let d = subindex_doc(1_000_000, 512, 100_000.0, 90_000.0);
+        let cfg = SubindexGateConfig::default();
+        assert!(compare_subindex("not json", &d, &cfg).is_err());
+        assert!(compare_subindex(&d, "{}", &cfg).is_err());
     }
 }

@@ -21,4 +21,5 @@ pub mod gate;
 pub mod overload;
 pub mod quality;
 pub mod report;
+pub mod subindex;
 pub mod throughput;

@@ -60,3 +60,78 @@ fn exact_no_match_steady_state_allocates_nothing() {
     );
     broker.close();
 }
+
+#[test]
+fn theme_routed_steady_state_allocates_nothing() {
+    // The regression under test: the old routing table built a fresh
+    // candidate `Vec` (plus a dedup set) per event on the ThemeOverlap
+    // path. The subscription index serves candidates from the worker's
+    // reusable scratch, so the routed path must now hold the same
+    // zero-allocation guarantee as the broadcast path above.
+    let broker = Broker::start(
+        Arc::new(ExactMatcher::new()),
+        BrokerConfig::default()
+            .with_workers(1)
+            .with_routing_policy(RoutingPolicy::ThemeOverlap),
+    );
+    // A mixed population exercising every candidate source: two themed
+    // subscriptions sharing a tag with the event (one a predicate subset
+    // of the other, so a covering edge is live), one disjoint theme that
+    // must be skipped without a test, and one theme-less broadcast entry.
+    let subs = [
+        Subscription::builder()
+            .theme_tag("power")
+            .predicate_exact("device", "never-present")
+            .build()
+            .expect("subscription"),
+        Subscription::builder()
+            .theme_tag("power")
+            .predicate_exact("device", "never-present")
+            .predicate_exact("office", "nowhere")
+            .build()
+            .expect("subscription"),
+        Subscription::builder()
+            .theme_tag("transport")
+            .predicate_exact("device", "never-present")
+            .build()
+            .expect("subscription"),
+        Subscription::builder()
+            .predicate_exact("office", "never-present")
+            .build()
+            .expect("subscription"),
+    ];
+    for sub in subs {
+        let (_id, _rx) = broker.subscribe(sub).expect("subscribe");
+    }
+    let event = Arc::new(
+        Event::builder()
+            .theme_tag("power")
+            .theme_tag("grid")
+            .tuple("device", "computer")
+            .tuple("office", "room 112")
+            .build()
+            .expect("event"),
+    );
+
+    // Warmup grows the dispatch scratch to the index high-water mark and
+    // seeds the interner's theme front cache for this tag list.
+    for _ in 0..512 {
+        broker.publish_arc(Arc::clone(&event)).expect("publish");
+    }
+    broker.flush_timeout(FLUSH).expect("warmup flush");
+
+    let before = tep_bench::alloc::allocation_count();
+    for _ in 0..2048 {
+        broker.publish_arc(Arc::clone(&event)).expect("publish");
+    }
+    broker.flush_timeout(FLUSH).expect("flush");
+    let allocated = tep_bench::alloc::allocation_count() - before;
+
+    assert_eq!(
+        allocated, 0,
+        "steady-state theme-routed no-match path performed {allocated} heap \
+         allocations over 2048 events; candidate collection must reuse the \
+         worker scratch"
+    );
+    broker.close();
+}

@@ -5,8 +5,8 @@ use crate::explain::MatchExplanation;
 use crate::notification::Notification;
 use crate::overload::{BreakerState, LoadState, OverloadController};
 use crate::quality::{QualityOracle, QualityReport, QualityState};
-use crate::routing::RoutingTable;
 use crate::stats::{BrokerStats, EventTrace, StageLatencies, StatsInner};
+use crate::subindex::SubscriptionIndex;
 use crate::supervisor::{supervisor_loop, DeadLetter, DeadLetterQueue, Job};
 use crossbeam::channel::{bounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::RwLock;
@@ -181,7 +181,7 @@ pub(crate) struct MatcherHooks {
 /// supervisor.
 pub(crate) struct Shared {
     pub(crate) registry: RwLock<HashMap<SubscriptionId, Arc<Registration>>>,
-    pub(crate) routing: RoutingTable,
+    pub(crate) index: SubscriptionIndex,
     pub(crate) hooks: MatcherHooks,
     pub(crate) stats: Arc<StatsInner>,
     pub(crate) config: BrokerConfig,
@@ -217,6 +217,9 @@ pub(crate) struct Shared {
     /// [`BrokerConfig::with_overload_control`] enabled it, so the hot
     /// path pays a single branch when it is off.
     pub(crate) overload: Option<OverloadController>,
+    /// When [`Broker::tick_window_if_stale`] last pushed a frame; backs
+    /// the lazy scrape-driven tick used by the probe's `/metrics` server.
+    pub(crate) last_lazy_tick: parking_lot::Mutex<Option<Instant>>,
 }
 
 /// Labeled (dimensional) metric families, built once at start-up when
@@ -333,7 +336,7 @@ impl Broker {
         };
         let shared = Arc::new(Shared {
             registry: RwLock::new(HashMap::new()),
-            routing: RoutingTable::new(),
+            index: SubscriptionIndex::new(),
             hooks,
             stats: Arc::new(StatsInner::new(worker_count)),
             dead_letters: DeadLetterQueue::new(config.dead_letter_capacity),
@@ -345,6 +348,7 @@ impl Broker {
                 .then(|| DimMetrics::new(config.label_cardinality)),
             window: WindowRing::new(config.window_capacity),
             quality: OnceLock::new(),
+            last_lazy_tick: parking_lot::Mutex::new(None),
             overload: config.overload.clone().map(OverloadController::new),
             config,
             ingress: tx,
@@ -392,6 +396,26 @@ impl Broker {
         subscription: Subscription,
         options: SubscribeOptions,
     ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
+        self.subscribe_arc_with(Arc::new(subscription), options)
+    }
+
+    /// Like [`Broker::subscribe`], but takes the subscription behind an
+    /// `Arc` so callers registering many duplicate subscribers (the
+    /// million-subscriber bench) can share one allocation across all of
+    /// them — the index hash-conses duplicates onto one entry either way.
+    pub fn subscribe_arc(
+        &self,
+        subscription: Arc<Subscription>,
+    ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
+        self.subscribe_arc_with(subscription, SubscribeOptions::default())
+    }
+
+    /// [`Broker::subscribe_arc`] with per-subscription options.
+    pub fn subscribe_arc_with(
+        &self,
+        subscription: Arc<Subscription>,
+        options: SubscribeOptions,
+    ) -> Result<(SubscriptionId, Receiver<Notification>), BrokerError> {
         if self.is_closed() {
             return Err(BrokerError::Closed);
         }
@@ -401,7 +425,6 @@ impl Broker {
             self.shared.config.subscriber_policy,
             crate::config::SubscriberPolicy::DropOldest
         );
-        let subscription = Arc::new(subscription);
         let approx = subscription
             .predicates()
             .iter()
@@ -409,11 +432,6 @@ impl Broker {
         // Warm the matcher's caches (and pin the subscription's
         // projections) before the subscription can receive traffic.
         (self.shared.hooks.prepare)(&subscription);
-        // Index into the routing table *before* the registry insert:
-        // dispatch resolves candidates through the registry, so a routing
-        // entry without a registry entry is invisible, while the converse
-        // could skip a legitimate match.
-        self.shared.routing.insert(id, subscription.theme_tags());
         // Resolve the labeled-counter handle once, here, so deliveries
         // never pay a label lookup.
         let notif_counter = self
@@ -421,23 +439,26 @@ impl Broker {
             .dim
             .as_ref()
             .map(|dim| dim.notif_by_sub.handle(&id.to_string()));
-        self.shared.registry.write().insert(
-            id,
-            Arc::new(Registration {
-                subscription,
-                sender: tx,
-                receiver: keep_receiver.then(|| rx.clone()),
-                consecutive_full: AtomicU64::new(0),
-                approx,
-                explain: options.explain,
-                notif_counter,
-                breaker: self
-                    .shared
-                    .overload
-                    .as_ref()
-                    .map(|_| parking_lot::Mutex::new(BreakerState::new(id.0))),
-            }),
-        );
+        let registration = Arc::new(Registration {
+            subscription,
+            sender: tx,
+            receiver: keep_receiver.then(|| rx.clone()),
+            consecutive_full: AtomicU64::new(0),
+            approx,
+            explain: options.explain,
+            notif_counter,
+            breaker: self
+                .shared
+                .overload
+                .as_ref()
+                .map(|_| parking_lot::Mutex::new(BreakerState::new(id.0))),
+        });
+        // Index before the registry insert: the index *is* the dispatch
+        // path now (it fans out to registrations directly), so an indexed
+        // registration is immediately matchable, while the registry entry
+        // only backs bookkeeping (counts, queue gauges, reaping).
+        self.shared.index.insert(id, &registration);
+        self.shared.registry.write().insert(id, registration);
         Ok((id, rx))
     }
 
@@ -446,9 +467,7 @@ impl Broker {
         let Some(reg) = self.shared.registry.write().remove(&id) else {
             return false;
         };
-        self.shared
-            .routing
-            .remove(id, reg.subscription.theme_tags());
+        self.shared.index.remove(id, &reg.subscription);
         (self.shared.hooks.release)(&reg.subscription);
         true
     }
@@ -624,6 +643,8 @@ impl Broker {
     pub fn stats(&self) -> BrokerStats {
         let mut stats = self.shared.stats.snapshot();
         stats.semantic_cache = (self.shared.hooks.cache_stats)();
+        stats.distinct_subscriptions = self.shared.index.distinct_subscriptions() as u64;
+        stats.index_entries = self.shared.index.entry_count() as u64;
         stats
     }
 
@@ -771,6 +792,28 @@ impl Broker {
     /// directly (e.g. once before and once after a burst).
     pub fn tick_window(&self) {
         self.shared.window.push(self.shared.current_frame());
+    }
+
+    /// Pushes a window frame only if at least `min_interval` has elapsed
+    /// since the last frame pushed through this method.
+    ///
+    /// This is the lazy, scrape-driven variant of [`Broker::tick_window`]
+    /// for embedders that serve `/metrics` without a supervisor tick
+    /// (`window_tick_ms` = 0): calling it at the top of every scrape keeps
+    /// the windowed rates fresh — even after long idle stretches — while
+    /// the min-interval guard stops a scrape storm from flooding the ring
+    /// with near-identical frames. Returns whether a frame was pushed.
+    pub fn tick_window_if_stale(&self, min_interval: Duration) -> bool {
+        let mut last = self.shared.last_lazy_tick.lock();
+        let now = Instant::now();
+        if let Some(prev) = *last {
+            if now.saturating_duration_since(prev) < min_interval {
+                return false;
+            }
+        }
+        *last = Some(now);
+        self.shared.window.push(self.shared.current_frame());
+        true
     }
 
     /// Windowed deltas over roughly the last `span`: counter rates and
@@ -921,6 +964,11 @@ impl Broker {
             stats.routing_skipped,
         )
         .counter(
+            "tep_covered_skips_total",
+            "Candidate index entries skipped by covering (subset miss or twin hit)",
+            stats.covered_skips,
+        )
+        .counter(
             "tep_semantic_cache_hits_total",
             "Semantic cache hits across the matcher's caches",
             stats.semantic_cache.hits,
@@ -949,6 +997,16 @@ impl Broker {
             "tep_dead_letters",
             "Events currently quarantined",
             self.dead_letter_count() as f64,
+        )
+        .gauge(
+            "tep_distinct_subscriptions",
+            "Distinct canonical predicate multisets currently subscribed",
+            stats.distinct_subscriptions as f64,
+        )
+        .gauge(
+            "tep_index_entries",
+            "Live hash-consed subscription index entries",
+            stats.index_entries as f64,
         )
         .histogram(
             "tep_stage_queue_wait_seconds",
@@ -1809,7 +1867,12 @@ mod tests {
             "disjoint themes must not deliver under ThemeOverlap"
         );
         let stats = b.stats();
-        assert_eq!(stats.match_tests, 2, "the disjoint pair is never tested");
+        // The two candidates ({power} and the theme-less entry) carry
+        // equal predicate multisets, so they are twins: one test serves
+        // both and the second is a covered skip. The disjoint
+        // {transport} pair is never even a candidate.
+        assert_eq!(stats.match_tests, 1, "one test serves the twin pair");
+        assert_eq!(stats.covered_skips, 1);
         assert_eq!(stats.routing_skipped, 1);
 
         // A theme-less event reaches only the broadcast set.
@@ -1819,7 +1882,8 @@ mod tests {
         assert_eq!(power_rx.try_iter().count(), 0);
         assert_eq!(transport_rx.try_iter().count(), 0);
         let stats = b.stats();
-        assert_eq!(stats.match_tests, 3);
+        assert_eq!(stats.match_tests, 2);
+        assert_eq!(stats.covered_skips, 1, "a lone candidate has no twin");
         assert_eq!(stats.routing_skipped, 3);
         b.shutdown();
     }
@@ -2184,6 +2248,32 @@ mod tests {
         assert!(prom.contains("tep_stage_match_exact_seconds_count{window=\"10s\"} 5"));
         // Cumulative series keep their bare names alongside.
         assert!(prom.contains("tep_published_total 5"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn lazy_tick_refreshes_windowed_rates_between_scrapes() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        // First scrape-driven tick seeds the ring even though nothing
+        // ever called `tick_window` — the stale-window bug this fixes.
+        assert!(b.tick_window_if_stale(Duration::ZERO));
+        for _ in 0..5 {
+            b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        }
+        b.flush().unwrap();
+        // A scrape arriving after the traffic (here: after an idle gap of
+        // zero minimum interval) pushes a fresh frame, so the windowed
+        // delta reflects the activity since the previous scrape.
+        assert!(b.tick_window_if_stale(Duration::ZERO));
+        let delta = b.window(Duration::from_secs(10)).expect("two frames");
+        assert_eq!(delta.counter_delta("tep_published_total"), Some(5));
+
+        // Within the minimum interval the guard refuses: a scrape storm
+        // cannot shrink the frames into meaninglessly small windows.
+        assert!(!b.tick_window_if_stale(Duration::from_secs(60)));
+        // An explicit supervisor-style tick is still allowed alongside.
+        b.tick_window();
         b.shutdown();
     }
 

@@ -69,8 +69,8 @@ mod explain;
 mod notification;
 mod overload;
 mod quality;
-mod routing;
 mod stats;
+mod subindex;
 mod supervisor;
 
 pub use broker::{Broker, BrokerError, PublishOptions, SubscribeOptions, SubscriptionId};

@@ -32,6 +32,7 @@ pub(crate) struct StatsInner {
     pub routing_skipped: AtomicU64,
     pub routed_broadcast: AtomicU64,
     pub routed_theme_overlap: AtomicU64,
+    pub covered_skips: AtomicU64,
     pub shed_deadline: AtomicU64,
     pub shed_load: AtomicU64,
     pub breaker_open: AtomicU64,
@@ -70,6 +71,7 @@ pub(crate) struct WorkerShard {
     pub routing_skipped: AtomicU64,
     pub routed_broadcast: AtomicU64,
     pub routed_theme_overlap: AtomicU64,
+    pub covered_skips: AtomicU64,
     /// Per-stage latency histograms, recorded wait-free on the hot path.
     pub stage: StageTimers,
 }
@@ -228,6 +230,17 @@ pub struct BrokerStats {
     /// Events whose candidate set was selected by the theme-overlap
     /// index under [`crate::RoutingPolicy::ThemeOverlap`].
     pub routed_theme_overlap: u64,
+    /// Candidate index entries skipped without a match test by the
+    /// covering relation: either pruned because a covered subset entry
+    /// missed, or short-circuited because an equal-set twin hit.
+    pub covered_skips: u64,
+    /// Distinct canonical predicate multisets currently subscribed,
+    /// irrespective of theme (a gauge, not a counter). This is what match
+    /// cost scales with under subscription aggregation.
+    pub distinct_subscriptions: u64,
+    /// Live hash-consed index entries (distinct predicate multiset ×
+    /// theme; a gauge, not a counter).
+    pub index_entries: u64,
     /// Events shed at dequeue because their publish deadline had already
     /// expired (overload control, `Overloaded` and worse). Distinct from
     /// [`BrokerStats::dropped_full`]: shed events never reached matching.
@@ -287,6 +300,7 @@ impl StatsInner {
             shed_load: AtomicU64::new(0),
             breaker_open: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
+            covered_skips: AtomicU64::new(0),
             stage: StageTimers::default(),
             shards: (0..workers.max(1))
                 .map(|_| WorkerShard::default())
@@ -345,6 +359,10 @@ impl StatsInner {
             routed_broadcast: self.merged(&self.routed_broadcast, |s| &s.routed_broadcast),
             routed_theme_overlap: self
                 .merged(&self.routed_theme_overlap, |s| &s.routed_theme_overlap),
+            covered_skips: self.merged(&self.covered_skips, |s| &s.covered_skips),
+            // Filled in by `Broker::stats`, which can reach the index.
+            distinct_subscriptions: 0,
+            index_entries: 0,
             shed_deadline: self.merged(&self.shed_deadline, |s| &s.shed_deadline),
             shed_load: self.merged(&self.shed_load, |s| &s.shed_load),
             breaker_open: self.merged(&self.breaker_open, |s| &s.breaker_open),

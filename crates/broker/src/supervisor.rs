@@ -23,6 +23,7 @@ use crate::config::{RoutingPolicy, SubscriberPolicy};
 use crate::explain::{CacheTemperature, MatchExplanation, MatchOutcome};
 use crate::notification::Notification;
 use crate::stats::{nanos_between, EventTrace, WorkerShard};
+use crate::subindex::DispatchScratch;
 use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -31,8 +32,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tep_events::Event;
-use tep_matcher::Matcher;
+use tep_events::{Event, Subscription};
+use tep_matcher::{MatchResult, Matcher};
 
 /// How often the supervisor polls its workers for panic deaths.
 const SUPERVISOR_POLL: Duration = Duration::from_millis(1);
@@ -170,11 +171,12 @@ where
                 let shard = shared.stats.shard(index);
                 let batch_max = shared.config.dequeue_batch.max(1);
                 // Both scratch buffers are reused across events: the batch
-                // amortizes the channel lock, the candidates vector keeps
-                // the per-event registry snapshot allocation-free once it
-                // has grown to the registry's size.
+                // amortizes the channel lock, the dispatch scratch keeps
+                // the per-event candidate snapshot and covering verdicts
+                // allocation-free once its slot arrays have grown to the
+                // index's size.
                 let mut batch: Vec<Job> = Vec::with_capacity(batch_max);
-                let mut candidates: Vec<(SubscriptionId, Arc<Registration>)> = Vec::new();
+                let mut scratch = DispatchScratch::new();
                 loop {
                     // Drain the inflight deque first: it holds the batch
                     // remainder of a crashed predecessor when this worker
@@ -186,7 +188,7 @@ where
                         let Some(job) = inflight.lock().front().cloned() else {
                             break;
                         };
-                        process_event(&shared, matcher.as_ref(), shard, &mut candidates, job);
+                        process_event(&shared, matcher.as_ref(), shard, &mut scratch, job);
                         inflight.lock().pop_front();
                     }
                     if rx.recv_batch(&mut batch, batch_max).is_err() {
@@ -380,18 +382,130 @@ fn explanation_for(
     }
 }
 
-/// Matches one event against its candidate subscriptions and delivers
-/// the results, honoring the routing policy, panic isolation, and the
-/// subscriber overload policy. Increments `processed` exactly once.
+/// One instrumented match test: panic isolation with the per-event
+/// attempt budget, per-attempt `match_tests` accounting, and
+/// cache-temperature classification by sampling the matcher's miss
+/// counter around the call.
+struct TestRun {
+    outcome: Option<MatchResult>,
+    match_start: Instant,
+    match_end: Instant,
+    temperature: CacheTemperature,
+    last_panic: Option<String>,
+    /// Attempt budget burned when every attempt panicked, else 0.
+    exhausted: u32,
+    /// Attempts executed (each counted in `match_tests`).
+    tests_run: usize,
+}
+
+fn run_match_test<M>(
+    shared: &Shared,
+    matcher: &M,
+    shard: &WorkerShard,
+    subscription: &Subscription,
+    approx: bool,
+    job: &Job,
+    degraded: tep_matcher::DegradedMatching,
+) -> TestRun
+where
+    M: Matcher + ?Sized,
+{
+    // Approximate subscriptions are classified by sampling the matcher's
+    // miss counter around the call: a miss delta means the test computed
+    // a projection (thematic-cold), no delta means warm caches served it.
+    // Exact-only subscriptions skip the sampling entirely.
+    let miss_before = if approx {
+        matcher.cache_miss_count()
+    } else {
+        0
+    };
+    let match_start = Instant::now();
+    let mut last_panic: Option<String> = None;
+    let mut tests_run = 0usize;
+    let mut exhausted = 0u32;
+    let outcome = if shared.config.isolate_matcher_panics {
+        let budget = shared
+            .config
+            .max_match_attempts
+            .saturating_sub(job.attempts)
+            .max(1);
+        let mut outcome = None;
+        for _ in 0..budget {
+            shard.match_tests.fetch_add(1, Ordering::Relaxed);
+            tests_run += 1;
+            match catch_unwind(AssertUnwindSafe(|| {
+                matcher.match_event_degraded(subscription, &job.event, degraded)
+            })) {
+                Ok(r) => {
+                    outcome = Some(r);
+                    break;
+                }
+                Err(payload) => {
+                    shard.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    last_panic = Some(panic_reason(payload.as_ref()));
+                }
+            }
+        }
+        if outcome.is_none() {
+            exhausted = budget;
+        }
+        outcome
+    } else {
+        // Unisolated: a panic here unwinds through the worker loop and
+        // kills the thread; the supervisor recovers the in-flight job.
+        shard.match_tests.fetch_add(1, Ordering::Relaxed);
+        tests_run += 1;
+        Some(matcher.match_event_degraded(subscription, &job.event, degraded))
+    };
+    // Chain the timestamps: the match end doubles as the deliver start,
+    // halving the clock reads on the hot path.
+    let match_end = Instant::now();
+    let match_nanos = nanos_between(match_start, match_end);
+    let stage = &shard.stage;
+    let temperature = if !approx {
+        stage.match_exact.record_nanos(match_nanos);
+        CacheTemperature::Exact
+    } else if matcher.cache_miss_count() > miss_before {
+        stage.match_thematic.record_nanos(match_nanos);
+        CacheTemperature::ThematicCold
+    } else {
+        stage.match_cached.record_nanos(match_nanos);
+        CacheTemperature::CacheWarm
+    };
+    TestRun {
+        outcome,
+        match_start,
+        match_end,
+        temperature,
+        last_panic,
+        exhausted,
+        tests_run,
+    }
+}
+
+/// Matches one event against its candidate **index entries** and fans
+/// delivery out to each entry's subscriber list, honoring the routing
+/// policy, panic isolation, covering, and the subscriber overload
+/// policy. Increments `processed` exactly once.
+///
+/// Dispatch is entry-based: the subscription index hash-consed duplicate
+/// subscriptions onto shared entries, so one match test against an
+/// entry's representative serves its whole fan-out (match cost scales
+/// with distinct subscriptions). With a covering-safe matcher the sweep
+/// additionally prunes superset entries on a miss and short-circuits
+/// equal-set twins on a hit (`covered_skips`). Diagnostic modes — the
+/// explain ring and shadow quality sampling — need one test per
+/// subscriber × event pair, so they fall back to per-member testing and
+/// disable covering.
 ///
 /// Counters and stage timers go to the calling worker's `shard`;
-/// `candidates` is the worker's reusable scratch for the registry
-/// snapshot (left cleared on return).
+/// `scratch` is the worker's reusable candidate snapshot + covering
+/// verdict state.
 fn process_event<M>(
     shared: &Shared,
     matcher: &M,
     shard: &WorkerShard,
-    candidates: &mut Vec<(SubscriptionId, Arc<Registration>)>,
+    scratch: &mut DispatchScratch,
     job: Job,
 ) where
     M: Matcher + ?Sized,
@@ -447,34 +561,38 @@ fn process_event<M>(
         }
         degraded = overload.degraded_mode();
     }
-    // Snapshot the candidates so matching never holds the registry lock.
-    // The scratch vector is reused across events, so the snapshot is
-    // allocation-free once it has grown to the registry's size.
-    let mut trace_skipped = 0usize;
-    candidates.clear();
-    match shared.config.routing_policy {
+    // Snapshot the candidate entries from the index so matching never
+    // holds the index lock. The scratch is reused across events, so the
+    // snapshot is allocation-free once its arrays have grown to the
+    // index's size.
+    let all_entries = match shared.config.routing_policy {
         RoutingPolicy::Broadcast => {
             shard.routed_broadcast.fetch_add(1, Ordering::Relaxed);
-            let registry = shared.registry.read();
-            candidates.extend(registry.iter().map(|(id, r)| (*id, Arc::clone(r))));
+            true
         }
         RoutingPolicy::ThemeOverlap => {
             shard.routed_theme_overlap.fetch_add(1, Ordering::Relaxed);
-            let ids = shared.routing.candidates(job.event.theme_tags());
-            let registry = shared.registry.read();
-            let total = registry.len();
-            candidates.extend(
-                ids.iter()
-                    .filter_map(|id| registry.get(id).map(|r| (*id, Arc::clone(r)))),
-            );
-            let skipped = total.saturating_sub(candidates.len()) as u64;
-            if skipped > 0 {
-                shard.routing_skipped.fetch_add(skipped, Ordering::Relaxed);
-            }
-            trace_skipped = skipped as usize;
+            false
         }
     };
-    let trace_candidates = candidates.len();
+    let (total_subs, candidate_subs) =
+        shared
+            .index
+            .collect_candidates(&job.event, all_entries, scratch);
+    // Skip accounting stays in *subscriber* units (as before the index):
+    // every subscriber behind a non-candidate entry was skipped without a
+    // match test.
+    let trace_skipped = if all_entries {
+        0usize
+    } else {
+        total_subs.saturating_sub(candidate_subs) as usize
+    };
+    if trace_skipped > 0 {
+        shard
+            .routing_skipped
+            .fetch_add(trace_skipped as u64, Ordering::Relaxed);
+    }
+    let trace_candidates = candidate_subs as usize;
     // The route span covers dequeue → candidate snapshot and parents
     // every match test of the event; `None` for unsampled events keeps
     // the hot path to a branch per stage.
@@ -492,6 +610,13 @@ fn process_event<M>(
         )
     });
     let explain_ring = shared.explain.is_enabled();
+    // Diagnostic modes need one test (and one explanation or quality
+    // sample) per subscriber × event pair, exactly like pre-index
+    // dispatch — aggregation's one-test-per-entry shortcut would starve
+    // them — so they force per-member sweeps. Covering additionally
+    // requires the matcher to declare conjunctive semantics.
+    let per_member = explain_ring || shared.quality.get().is_some();
+    let covering = !per_member && matcher.covering_safe();
     let mut trace_match_tests = 0usize;
     let mut trace_notifications = 0usize;
     let mut dead: Vec<SubscriptionId> = Vec::new();
@@ -505,211 +630,369 @@ fn process_event<M>(
     // One event, many candidate tests: let the matcher reuse its
     // event-side scratch (interned symbols) across the whole sweep.
     matcher.begin_event(&job.event);
-    for (id, reg) in candidates.drain(..) {
-        // Stage 2 (match test). Approximate subscriptions are classified
-        // by sampling the matcher's miss counter around the call: a miss
-        // delta means the test computed a projection (thematic-cold), no
-        // delta means warm caches served it. Exact-only subscriptions
-        // skip the sampling entirely.
-        let miss_before = if reg.approx {
-            matcher.cache_miss_count()
-        } else {
-            0
-        };
-        let match_start = Instant::now();
-        let mut last_panic: Option<String> = None;
-        let outcome = if shared.config.isolate_matcher_panics {
-            let budget = shared
-                .config
-                .max_match_attempts
-                .saturating_sub(job.attempts)
-                .max(1);
-            let mut outcome = None;
-            for _ in 0..budget {
-                shard.match_tests.fetch_add(1, Ordering::Relaxed);
-                trace_match_tests += 1;
-                match catch_unwind(AssertUnwindSafe(|| {
-                    matcher.match_event_degraded(&reg.subscription, &job.event, degraded)
-                })) {
-                    Ok(r) => {
-                        outcome = Some(r);
-                        break;
+    for ci in 0..scratch.entries.len() {
+        let entry = Arc::clone(&scratch.entries[ci]);
+        if per_member {
+            // Per-pair sweep: every fan-out member is tested against its
+            // own subscription, preserving the one-explanation-per-test
+            // and per-pair quality-sampling invariants.
+            let fan = entry.fanout();
+            for member in fan.iter() {
+                let id = member.id;
+                let reg = &member.reg;
+                let run = run_match_test(
+                    shared,
+                    matcher,
+                    shard,
+                    &reg.subscription,
+                    reg.approx,
+                    &job,
+                    degraded,
+                );
+                trace_match_tests += run.tests_run;
+                match run.temperature {
+                    CacheTemperature::Exact => temp_exact += 1,
+                    CacheTemperature::ThematicCold => temp_thematic += 1,
+                    CacheTemperature::CacheWarm => temp_cached += 1,
+                }
+                let Some(result) = run.outcome else {
+                    exhausted_attempts = exhausted_attempts.max(run.exhausted);
+                    if let Some(route) = route_span {
+                        shared.spans.record_new(
+                            Some(route),
+                            job.seq,
+                            "match",
+                            run.match_start,
+                            run.match_end,
+                            vec![
+                                ("subscription".to_string(), id.to_string()),
+                                (
+                                    "temperature".to_string(),
+                                    run.temperature.as_str().to_string(),
+                                ),
+                                ("outcome".to_string(), "panicked".to_string()),
+                            ],
+                        );
                     }
-                    Err(payload) => {
-                        shard.worker_panics.fetch_add(1, Ordering::Relaxed);
-                        last_panic = Some(panic_reason(payload.as_ref()));
+                    if explain_ring {
+                        let reason = run
+                            .last_panic
+                            .unwrap_or_else(|| "unknown panic".to_string());
+                        shared.explain.push(explanation_for(
+                            shared,
+                            &job,
+                            id,
+                            reg,
+                            0.0,
+                            run.temperature,
+                            MatchOutcome::Panicked { reason },
+                            None,
+                        ));
+                    }
+                    continue;
+                };
+                let score = result.score();
+                let mapped = !result.is_empty();
+                let delivering = mapped && result.is_match(shared.config.delivery_threshold);
+                // Shadow quality sampling: with no oracle installed this
+                // is one `OnceLock` load; with one, unsampled tests add a
+                // hash and a modulo. The broker's decision (`delivering`)
+                // is judged against ground truth off the delivery path's
+                // critical data.
+                if let Some(quality) = shared.quality.get() {
+                    if quality.should_sample(job.seq, id.0) {
+                        let cache = matcher.cache_stats();
+                        let lookups = cache.hits + cache.misses;
+                        let hit_rate = if lookups == 0 {
+                            0.0
+                        } else {
+                            cache.hits as f64 / lookups as f64
+                        };
+                        quality.record(&reg.subscription, &job.event, delivering, score, hit_rate);
                     }
                 }
+                // Explanations are computed once per test, after the
+                // result, and only when someone will read them.
+                let detail = (explain_ring || (reg.explain && delivering))
+                    .then(|| matcher.explain_match(&reg.subscription, &job.event, &result));
+                let match_span = route_span.map(|route| {
+                    shared.spans.record_new(
+                        Some(route),
+                        job.seq,
+                        "match",
+                        run.match_start,
+                        run.match_end,
+                        vec![
+                            ("subscription".to_string(), id.to_string()),
+                            (
+                                "temperature".to_string(),
+                                run.temperature.as_str().to_string(),
+                            ),
+                            ("score".to_string(), format!("{score}")),
+                        ],
+                    )
+                });
+                if delivering {
+                    let attached = reg.explain.then(|| {
+                        Box::new(explanation_for(
+                            shared,
+                            &job,
+                            id,
+                            reg,
+                            score,
+                            run.temperature,
+                            MatchOutcome::Delivered,
+                            detail.clone(),
+                        ))
+                    });
+                    let notification = Notification {
+                        subscription: id,
+                        event: Arc::clone(&job.event),
+                        result,
+                        explanation: attached,
+                    };
+                    // Stage 3 (deliver): match decision → channel hand-off.
+                    let admitted = deliver(shared, shard, id, reg, notification, &mut dead);
+                    if admitted {
+                        trace_notifications += 1;
+                    }
+                    let deliver_end = Instant::now();
+                    shard
+                        .stage
+                        .deliver
+                        .record_nanos(nanos_between(run.match_end, deliver_end));
+                    if let Some(parent) = match_span {
+                        shared.spans.record_new(
+                            Some(parent),
+                            job.seq,
+                            "deliver",
+                            run.match_end,
+                            deliver_end,
+                            vec![("admitted".to_string(), admitted.to_string())],
+                        );
+                    }
+                    if explain_ring {
+                        let outcome = if admitted {
+                            MatchOutcome::Delivered
+                        } else {
+                            MatchOutcome::DeliveryDropped
+                        };
+                        shared.explain.push(explanation_for(
+                            shared,
+                            &job,
+                            id,
+                            reg,
+                            score,
+                            run.temperature,
+                            outcome,
+                            detail,
+                        ));
+                    }
+                } else if explain_ring {
+                    let outcome = if mapped {
+                        MatchOutcome::BelowThreshold
+                    } else {
+                        MatchOutcome::NoMapping
+                    };
+                    shared.explain.push(explanation_for(
+                        shared,
+                        &job,
+                        id,
+                        reg,
+                        score,
+                        run.temperature,
+                        outcome,
+                        detail,
+                    ));
+                }
             }
-            if outcome.is_none() {
-                exhausted_attempts = exhausted_attempts.max(budget);
+            continue;
+        }
+        // Aggregated sweep: one test per entry serves its whole fan-out.
+        if covering {
+            if scratch.is_pruned(&entry) {
+                // A covered subset entry missed; this entry cannot match.
+                shard.covered_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
-            outcome
-        } else {
-            // Unisolated: a panic here unwinds through the worker loop and
-            // kills the thread; the supervisor recovers the in-flight job.
-            shard.match_tests.fetch_add(1, Ordering::Relaxed);
-            trace_match_tests += 1;
-            Some(matcher.match_event_degraded(&reg.subscription, &job.event, degraded))
-        };
-        // Chain the timestamps: the match end doubles as the deliver
-        // start, halving the clock reads on the hot path.
-        let match_end = Instant::now();
-        let match_nanos = nanos_between(match_start, match_end);
-        let stage = &shard.stage;
-        let temperature = if !reg.approx {
-            stage.match_exact.record_nanos(match_nanos);
-            temp_exact += 1;
-            CacheTemperature::Exact
-        } else if matcher.cache_miss_count() > miss_before {
-            stage.match_thematic.record_nanos(match_nanos);
-            temp_thematic += 1;
-            CacheTemperature::ThematicCold
-        } else {
-            stage.match_cached.record_nanos(match_nanos);
-            temp_cached += 1;
-            CacheTemperature::CacheWarm
-        };
-        let Some(result) = outcome else {
-            // Every attempt panicked; the event is quarantined below.
+            if let Some(result) = scratch.take_twin_hit(&entry) {
+                // An equal-set twin hit; deliver its (already permuted)
+                // result to this entry's fan-out without a test.
+                shard.covered_skips.fetch_add(1, Ordering::Relaxed);
+                let score = result.score();
+                let twin_start = Instant::now();
+                let fan = entry.fanout();
+                for member in fan.iter() {
+                    let member_result = member.result_for(&result);
+                    let attached = member.reg.explain.then(|| {
+                        let d = matcher.explain_match(
+                            &member.reg.subscription,
+                            &job.event,
+                            &member_result,
+                        );
+                        Box::new(explanation_for(
+                            shared,
+                            &job,
+                            member.id,
+                            &member.reg,
+                            score,
+                            CacheTemperature::Exact,
+                            MatchOutcome::Delivered,
+                            Some(d),
+                        ))
+                    });
+                    let notification = Notification {
+                        subscription: member.id,
+                        event: Arc::clone(&job.event),
+                        result: member_result,
+                        explanation: attached,
+                    };
+                    let admitted = deliver(
+                        shared,
+                        shard,
+                        member.id,
+                        &member.reg,
+                        notification,
+                        &mut dead,
+                    );
+                    if admitted {
+                        trace_notifications += 1;
+                    }
+                    let deliver_end = Instant::now();
+                    shard
+                        .stage
+                        .deliver
+                        .record_nanos(nanos_between(twin_start, deliver_end));
+                }
+                continue;
+            }
+        }
+        let run = run_match_test(
+            shared,
+            matcher,
+            shard,
+            &entry.representative,
+            entry.approx,
+            &job,
+            degraded,
+        );
+        trace_match_tests += run.tests_run;
+        match run.temperature {
+            CacheTemperature::Exact => temp_exact += 1,
+            CacheTemperature::ThematicCold => temp_thematic += 1,
+            CacheTemperature::CacheWarm => temp_cached += 1,
+        }
+        let Some(result) = run.outcome else {
+            exhausted_attempts = exhausted_attempts.max(run.exhausted);
             if let Some(route) = route_span {
+                let label = entry.fanout().first().map(|m| m.id.to_string());
                 shared.spans.record_new(
                     Some(route),
                     job.seq,
                     "match",
-                    match_start,
-                    match_end,
+                    run.match_start,
+                    run.match_end,
                     vec![
-                        ("subscription".to_string(), id.to_string()),
-                        ("temperature".to_string(), temperature.as_str().to_string()),
+                        (
+                            "subscription".to_string(),
+                            label.unwrap_or_else(|| "entry".to_string()),
+                        ),
+                        (
+                            "temperature".to_string(),
+                            run.temperature.as_str().to_string(),
+                        ),
                         ("outcome".to_string(), "panicked".to_string()),
                     ],
                 );
-            }
-            if explain_ring {
-                let reason = last_panic.unwrap_or_else(|| "unknown panic".to_string());
-                shared.explain.push(explanation_for(
-                    shared,
-                    &job,
-                    id,
-                    &reg,
-                    0.0,
-                    temperature,
-                    MatchOutcome::Panicked { reason },
-                    None,
-                ));
             }
             continue;
         };
         let score = result.score();
         let mapped = !result.is_empty();
         let delivering = mapped && result.is_match(shared.config.delivery_threshold);
-        // Shadow quality sampling: with no oracle installed this is one
-        // `OnceLock` load; with one, unsampled tests add a hash and a
-        // modulo. The broker's decision (`delivering`) is judged against
-        // ground truth off the delivery path's critical data.
-        if let Some(quality) = shared.quality.get() {
-            if quality.should_sample(job.seq, id.0) {
-                let cache = matcher.cache_stats();
-                let lookups = cache.hits + cache.misses;
-                let hit_rate = if lookups == 0 {
-                    0.0
-                } else {
-                    cache.hits as f64 / lookups as f64
-                };
-                quality.record(&reg.subscription, &job.event, delivering, score, hit_rate);
+        if covering {
+            if !mapped {
+                // Conjunctive matcher: a predicate unsupported here stays
+                // unsupported in every superset entry.
+                scratch.record_miss(&entry);
+            } else if delivering {
+                scratch.record_hit(&entry, &result);
             }
         }
-        // Explanations are computed once per test, after the result, and
-        // only when someone will read them: the broker-wide ring, or the
-        // subscriber's own opt-in on a delivery.
-        let detail = (explain_ring || (reg.explain && delivering))
-            .then(|| matcher.explain_match(&reg.subscription, &job.event, &result));
         let match_span = route_span.map(|route| {
+            let label = entry
+                .fanout()
+                .first()
+                .map(|m| m.id.to_string())
+                .unwrap_or_else(|| "entry".to_string());
             shared.spans.record_new(
                 Some(route),
                 job.seq,
                 "match",
-                match_start,
-                match_end,
+                run.match_start,
+                run.match_end,
                 vec![
-                    ("subscription".to_string(), id.to_string()),
-                    ("temperature".to_string(), temperature.as_str().to_string()),
+                    ("subscription".to_string(), label),
+                    (
+                        "temperature".to_string(),
+                        run.temperature.as_str().to_string(),
+                    ),
                     ("score".to_string(), format!("{score}")),
                 ],
             )
         });
         if delivering {
-            let attached = reg.explain.then(|| {
-                Box::new(explanation_for(
-                    shared,
-                    &job,
-                    id,
-                    &reg,
-                    score,
-                    temperature,
-                    MatchOutcome::Delivered,
-                    detail.clone(),
-                ))
-            });
-            let notification = Notification {
-                subscription: id,
-                event: Arc::clone(&job.event),
-                result,
-                explanation: attached,
-            };
-            // Stage 3 (deliver): match decision → channel hand-off.
-            let admitted = deliver(shared, shard, id, &reg, notification, &mut dead);
-            if admitted {
-                trace_notifications += 1;
-            }
-            let deliver_end = Instant::now();
-            stage
-                .deliver
-                .record_nanos(nanos_between(match_end, deliver_end));
-            if let Some(parent) = match_span {
-                shared.spans.record_new(
-                    Some(parent),
-                    job.seq,
-                    "deliver",
-                    match_end,
-                    deliver_end,
-                    vec![("admitted".to_string(), admitted.to_string())],
-                );
-            }
-            if explain_ring {
-                let outcome = if admitted {
-                    MatchOutcome::Delivered
-                } else {
-                    MatchOutcome::DeliveryDropped
+            let fan = entry.fanout();
+            for member in fan.iter() {
+                let member_result = member.result_for(&result);
+                let attached = member.reg.explain.then(|| {
+                    let d =
+                        matcher.explain_match(&member.reg.subscription, &job.event, &member_result);
+                    Box::new(explanation_for(
+                        shared,
+                        &job,
+                        member.id,
+                        &member.reg,
+                        score,
+                        run.temperature,
+                        MatchOutcome::Delivered,
+                        Some(d),
+                    ))
+                });
+                let notification = Notification {
+                    subscription: member.id,
+                    event: Arc::clone(&job.event),
+                    result: member_result,
+                    explanation: attached,
                 };
-                shared.explain.push(explanation_for(
+                // Stage 3 (deliver): match decision → channel hand-off.
+                let admitted = deliver(
                     shared,
-                    &job,
-                    id,
-                    &reg,
-                    score,
-                    temperature,
-                    outcome,
-                    detail,
-                ));
+                    shard,
+                    member.id,
+                    &member.reg,
+                    notification,
+                    &mut dead,
+                );
+                if admitted {
+                    trace_notifications += 1;
+                }
+                let deliver_end = Instant::now();
+                shard
+                    .stage
+                    .deliver
+                    .record_nanos(nanos_between(run.match_end, deliver_end));
+                if let Some(parent) = match_span {
+                    shared.spans.record_new(
+                        Some(parent),
+                        job.seq,
+                        "deliver",
+                        run.match_end,
+                        deliver_end,
+                        vec![("admitted".to_string(), admitted.to_string())],
+                    );
+                }
             }
-        } else if explain_ring {
-            let outcome = if mapped {
-                MatchOutcome::BelowThreshold
-            } else {
-                MatchOutcome::NoMapping
-            };
-            shared.explain.push(explanation_for(
-                shared,
-                &job,
-                id,
-                &reg,
-                score,
-                temperature,
-                outcome,
-                detail,
-            ));
         }
     }
     if !dead.is_empty() {
@@ -726,10 +1009,10 @@ fn process_event<M>(
                 }
             }
         }
-        // Routing and matcher cleanup run outside the registry lock; a
-        // routing entry without a registry entry is never dispatched to.
+        // Index and matcher cleanup run outside the registry lock; an
+        // index entry whose fan-out empties is dropped with its leaves.
         for (id, reg) in reaped {
-            shared.routing.remove(id, reg.subscription.theme_tags());
+            shared.index.remove(id, &reg.subscription);
             (shared.hooks.release)(&reg.subscription);
         }
     }

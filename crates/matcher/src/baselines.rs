@@ -66,6 +66,14 @@ impl Matcher for ExactMatcher {
     fn name(&self) -> &'static str {
         "exact"
     }
+
+    fn covering_safe(&self) -> bool {
+        // Purely conjunctive: every predicate independently requires an
+        // exact (attribute, value) tuple in the event, themes never enter
+        // the verdict, and equal predicate multisets yield equal results
+        // (similarity 1.0 mappings). Subset covering is therefore sound.
+        true
+    }
 }
 
 /// The **concept-based** baseline (paper §1.2.2, evaluated in §5.1 as

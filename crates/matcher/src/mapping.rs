@@ -145,6 +145,33 @@ impl MatchResult {
     pub fn is_empty(&self) -> bool {
         self.mappings.is_empty()
     }
+
+    /// Returns a copy with every correspondence's predicate index mapped
+    /// through `perm` (`perm[old] = new`); indices outside `perm` are kept
+    /// as-is. Used by subscription aggregation: one match test against a
+    /// canonical representative serves subscribers whose predicate lists
+    /// are permutations of each other, and each subscriber's notification
+    /// must index predicates in *that subscriber's* declaration order.
+    pub fn with_remapped_predicates(&self, perm: &[usize]) -> MatchResult {
+        let mappings = self
+            .mappings
+            .iter()
+            .map(|m| {
+                let correspondences = m
+                    .correspondences()
+                    .iter()
+                    .map(|c| Correspondence {
+                        predicate: perm.get(c.predicate).copied().unwrap_or(c.predicate),
+                        ..*c
+                    })
+                    .collect();
+                let mut out = Mapping::new(correspondences);
+                out.set_probability(m.probability());
+                out
+            })
+            .collect();
+        MatchResult { mappings }
+    }
 }
 
 #[cfg(test)]

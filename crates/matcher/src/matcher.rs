@@ -127,6 +127,19 @@ pub trait Matcher: Send + Sync {
     fn cache_miss_count(&self) -> u64 {
         0
     }
+
+    /// Whether this matcher's verdicts are safe to prune by predicate-set
+    /// covering (Shi et al.; S-ToPSS layering). A matcher may return
+    /// `true` only if it is **purely conjunctive and theme-independent**:
+    /// every predicate must independently require support in the event,
+    /// so that for predicate sets `B ⊆ A` a miss on `B` implies a miss on
+    /// `A`, and two subscriptions with equal predicate multisets always
+    /// produce equal results. Approximate/semantic matchers score whole
+    /// mappings and must keep the default `false` — covering-pruning
+    /// their sweeps would change delivered sets.
+    fn covering_safe(&self) -> bool {
+        false
+    }
 }
 
 impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
@@ -166,6 +179,9 @@ impl<T: Matcher + ?Sized> Matcher for std::sync::Arc<T> {
     }
     fn cache_miss_count(&self) -> u64 {
         (**self).cache_miss_count()
+    }
+    fn covering_safe(&self) -> bool {
+        (**self).covering_safe()
     }
 }
 

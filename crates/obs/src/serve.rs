@@ -44,6 +44,7 @@ pub struct ScrapeHandlers {
     quality: Option<Handler>,
     top: Option<Handler>,
     overload: Option<Handler>,
+    refresh: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl ScrapeHandlers {
@@ -63,7 +64,18 @@ impl ScrapeHandlers {
             quality: None,
             top: None,
             overload: None,
+            refresh: None,
         }
+    }
+
+    /// Installs a pre-scrape refresh hook, run before each `/metrics`
+    /// body is produced. Embedders use this to advance lazily-maintained
+    /// state — e.g. pushing a fresh windowed-rate frame — so a scrape
+    /// after an idle stretch reports current numbers instead of the last
+    /// frame some past activity happened to leave behind.
+    pub fn with_refresh(mut self, refresh: impl Fn() + Send + Sync + 'static) -> ScrapeHandlers {
+        self.refresh = Some(Box::new(refresh));
+        self
     }
 
     /// Installs the `/quality` body producer (JSON).
@@ -179,11 +191,16 @@ fn handle_connection(stream: &mut TcpStream, handlers: &ScrapeHandlers) -> io::R
         )
     } else {
         match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                (handlers.metrics)(),
-            ),
+            "/metrics" => {
+                if let Some(refresh) = &handlers.refresh {
+                    refresh();
+                }
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    (handlers.metrics)(),
+                )
+            }
             "/healthz" => ("200 OK", "application/json", (handlers.healthz)()),
             "/explain" => ("200 OK", "application/json", (handlers.explain)()),
             "/quality" if handlers.quality.is_some() => (
@@ -318,6 +335,36 @@ mod tests {
         assert!(overload.ends_with("{\"state\":\"healthy\"}"));
         // The 404 hint advertises the new endpoints.
         assert!(get(addr, "/nope").contains("/quality, /top, /overload"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn refresh_hook_runs_before_each_metrics_scrape_only() {
+        use std::sync::atomic::AtomicUsize;
+        let refreshed = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&refreshed);
+        let counter = Arc::clone(&refreshed);
+        let server = serve(
+            "127.0.0.1:0",
+            ScrapeHandlers::new(
+                move || format!("refreshes {}\n", observed.load(Ordering::SeqCst)),
+                || "{}".to_string(),
+                || "[]".to_string(),
+            )
+            .with_refresh(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // The hook runs before the body producer, so the first scrape
+        // already sees its effect.
+        assert!(get(addr, "/metrics").ends_with("refreshes 1\n"));
+        assert!(get(addr, "/metrics").ends_with("refreshes 2\n"));
+        // Other endpoints never trigger it.
+        let _ = get(addr, "/healthz");
+        let _ = get(addr, "/explain");
+        assert_eq!(refreshed.load(Ordering::SeqCst), 2);
         server.shutdown();
     }
 

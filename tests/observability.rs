@@ -609,8 +609,11 @@ fn explanation_counts_reconcile_with_match_counters() {
         )
         .unwrap();
     }
-    b.force_load_state(None);
+    // Keep the forced state until every event is dequeued: shedding is
+    // decided at dequeue time, so lifting it before the flush races the
+    // worker (shed events still count as processed, so flush terminates).
     b.flush().unwrap();
+    b.force_load_state(None);
 
     let stats = b.stats();
     assert_eq!(stats.processed, 44, "shed events still count as processed");
