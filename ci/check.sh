@@ -27,6 +27,7 @@ echo "==> perf gate (vs ci/perf_baseline.json)"
 # metal, so give the shared-runner path extra headroom by default.
 PERF_GATE_MAX_DROP="${PERF_GATE_MAX_DROP:-0.25}" \
 PERF_GATE_MAX_P99_GROWTH="${PERF_GATE_MAX_P99_GROWTH:-2.0}" \
+SUBINDEX_GATE_MIN_RATIO="${SUBINDEX_GATE_MIN_RATIO:-0.30}" \
     sh ci/perf_gate.sh
 
 echo "All checks passed."

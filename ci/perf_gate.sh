@@ -20,11 +20,18 @@
 # count drifted, its throughput dropped more than 25%, or the
 # large/small throughput ratio fell below the absolute 0.5 floor
 # (SUBINDEX_GATE_MAX_DROP / SUBINDEX_GATE_MIN_RATIO override).
+# Last runs the self-contained observability gate (probe obs-gate): the
+# flight recorder must stay within 1% of recorder-off throughput at its
+# production defaults, allocate nothing across a steady-state tick loop,
+# and freeze well-formed diagnostic bundles for an injected worker panic
+# and a forced Critical load state. It writes BENCH_obsgate.json and the
+# chaos bundle BENCH_diag_bundle.json (OBS_GATE_MAX_OVERHEAD /
+# OBS_GATE_MAX_STEADY_ALLOCS / OBS_GATE_TRIALS override).
 # Thresholds can be loosened for noisy runners via the environment:
 #
 #   PERF_GATE_MAX_DROP=0.40 PERF_GATE_MAX_P99_GROWTH=3.0 \
 #   QUALITY_GATE_MAX_F1_DROP=0.15 QUALITY_GATE_MIN_SAMPLES=150 \
-#   SUBINDEX_GATE_MAX_DROP=0.50 \
+#   SUBINDEX_GATE_MAX_DROP=0.50 OBS_GATE_MAX_OVERHEAD=0.05 \
 #       sh ci/perf_gate.sh
 #
 # To refresh the baselines after an intentional change:
@@ -41,6 +48,8 @@ QUALITY_BASELINE="${QUALITY_BASELINE:-ci/quality_baseline.json}"
 QUALITY_CURRENT="${QUALITY_CURRENT:-BENCH_quality.json}"
 SUBINDEX_BASELINE="${SUBINDEX_BASELINE:-ci/subindex_baseline.json}"
 SUBINDEX_CURRENT="${SUBINDEX_CURRENT:-BENCH_subindex.json}"
+OBSGATE_OUT="${OBSGATE_OUT:-BENCH_obsgate.json}"
+OBSGATE_BUNDLE="${OBSGATE_BUNDLE:-BENCH_diag_bundle.json}"
 
 if [ -x target/release/probe ]; then
     PROBE=target/release/probe
@@ -51,3 +60,4 @@ fi
 $PROBE perf-gate --baseline "$BASELINE" --current "$CURRENT"
 $PROBE quality-gate --baseline "$QUALITY_BASELINE" --current "$QUALITY_CURRENT"
 $PROBE subindex-gate --baseline "$SUBINDEX_BASELINE" --current "$SUBINDEX_CURRENT"
+$PROBE obs-gate --out "$OBSGATE_OUT" --bundle "$OBSGATE_BUNDLE"

@@ -26,6 +26,7 @@ use std::time::Duration;
 use tep::prelude::{render_explanations_json, render_quality_json, serve, Broker, ScrapeHandlers};
 use tep::thesaurus::{Domain, Thesaurus};
 use tep_bench::gate::{GateConfig, QualityGateConfig, SubindexGateConfig};
+use tep_bench::obsgate::ObsGateConfig;
 use tep_eval::{run_sub_experiment, EvalConfig, MatcherStack, ThemeCombination, Workload};
 
 fn main() {
@@ -48,6 +49,10 @@ fn main() {
         }
         Some("subindex-gate") => {
             subindex_gate();
+            return;
+        }
+        Some("obs-gate") => {
+            obs_gate();
             return;
         }
         _ => {}
@@ -152,6 +157,9 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     let top_slot = Arc::clone(slot);
     let overload_slot = Arc::clone(slot);
     let refresh_slot = Arc::clone(slot);
+    let readyz_slot = Arc::clone(slot);
+    let bundle_slot = Arc::clone(slot);
+    let trigger_slot = Arc::clone(slot);
     ScrapeHandlers::new(
         move || match metrics_slot.read().unwrap().as_ref() {
             Some(b) => b.metrics().render_prometheus(),
@@ -200,6 +208,27 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
             b.tick_window_if_stale(Duration::from_secs(1));
         }
     })
+    .with_readyz(move || match readyz_slot.read().unwrap().as_ref() {
+        Some(b) => b.readiness(),
+        None => (false, String::from("{\"ready\":false,\"status\":\"idle\"}\n")),
+    })
+    .with_bundle(move || {
+        bundle_slot
+            .read()
+            .unwrap()
+            .as_ref()
+            .and_then(|b| b.latest_bundle_json())
+            .map(|bundle| (*bundle).clone())
+    })
+    .with_trigger(move || match trigger_slot.read().unwrap().as_ref() {
+        Some(b) => match b.trigger_diagnostic("manual trigger via POST /debug/trigger") {
+            Some(seq) => format!("{{\"triggered\":true,\"bundle_seq\":{seq}}}\n"),
+            None => String::from(
+                "{\"triggered\":false,\"reason\":\"no recorder installed or trigger cooling down\"}\n",
+            ),
+        },
+        None => String::from("{\"triggered\":false,\"reason\":\"no scenario running\"}\n"),
+    })
 }
 
 /// Broker throughput scenarios → `BENCH_throughput.json` plus a
@@ -234,7 +263,8 @@ fn bench_throughput() {
     let server = serve_addr.map(|addr| {
         let server = serve(&addr, scrape_handlers(&slot)).expect("bind scrape server");
         println!(
-            "serving /metrics /healthz /explain /quality /top /overload on http://{}",
+            "serving /metrics /healthz /readyz /explain /quality /top /overload \
+             /debug/bundle /debug/trigger on http://{}",
             server.local_addr()
         );
         server
@@ -437,6 +467,70 @@ fn subindex_gate() {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Observability gate: proves the flight recorder stays within the
+/// throughput-overhead budget, allocates nothing at steady state, and
+/// produces well-formed diagnostic bundles under chaos (run with
+/// `probe obs-gate [--out PATH] [--bundle PATH]`). Exits 1 on any
+/// violation. `OBS_GATE_MAX_OVERHEAD`, `OBS_GATE_MAX_STEADY_ALLOCS`,
+/// and `OBS_GATE_TRIALS` override the thresholds for noisy runners.
+fn obs_gate() {
+    let (out, bundle_out) = {
+        let mut it = std::env::args().skip(2);
+        let mut out = String::from("BENCH_obsgate.json");
+        let mut bundle = String::from("BENCH_diag_bundle.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => out = it.next().expect("--out needs a value"),
+                "--bundle" => bundle = it.next().expect("--bundle needs a value"),
+                other => {
+                    eprintln!(
+                        "usage: probe obs-gate [--out PATH] [--bundle PATH] \
+                         (unknown arg {other:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        (out, bundle)
+    };
+    let mut cfg = ObsGateConfig::default();
+    if let Ok(v) = std::env::var("OBS_GATE_MAX_OVERHEAD") {
+        cfg.max_overhead = v.parse().expect("OBS_GATE_MAX_OVERHEAD must be a float");
+    }
+    if let Ok(v) = std::env::var("OBS_GATE_MAX_STEADY_ALLOCS") {
+        cfg.max_steady_allocs = v
+            .parse()
+            .expect("OBS_GATE_MAX_STEADY_ALLOCS must be an integer");
+    }
+    if let Ok(v) = std::env::var("OBS_GATE_TRIALS") {
+        cfg.trials = v.parse().expect("OBS_GATE_TRIALS must be an integer");
+    }
+    // The chaos check panics a worker on purpose; keep its backtrace out
+    // of the gate output.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = tep_bench::obsgate::run_obs_gate(&cfg);
+    let _ = std::panic::take_hook();
+    println!("{}", result.summary());
+    std::fs::write(&out, result.render_json()).expect("write obs-gate JSON");
+    println!("wrote {out}");
+    // The panic bundle is the richer artifact (a real supervisor-caught
+    // fault); fall back to the forced-critical drill's bundle.
+    if let Some(b) = result
+        .panic_bundle
+        .as_ref()
+        .or(result.critical_bundle.as_ref())
+    {
+        std::fs::write(&bundle_out, b).expect("write diagnostic bundle");
+        println!("wrote {bundle_out}");
+    }
+    for v in &result.violations {
+        eprintln!("obs gate: {v}");
+    }
+    if !result.passed() {
+        std::process::exit(1);
     }
 }
 

@@ -18,6 +18,7 @@
 
 pub mod alloc;
 pub mod gate;
+pub mod obsgate;
 pub mod overload;
 pub mod quality;
 pub mod report;

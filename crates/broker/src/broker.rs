@@ -20,8 +20,9 @@ use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
 use tep_matcher::{CacheStats, Matcher};
 use tep_obs::{
-    escape_json, span_tree, CounterFamily, MetricsFrame, MetricsRegistry, SpanCollector, SpanNode,
-    SpanRecord, TopKSketch, TraceRing, WindowRing, WindowedDelta,
+    escape_json, render_spans_json, span_tree, CounterFamily, FlightRecorder, FrameWriter,
+    MetricsFrame, MetricsRegistry, RecorderConfig, SpanCollector, SpanNode, SpanRecord, TopKSketch,
+    TraceRing, WindowRing, WindowedDelta,
 };
 
 /// Default deadline for the bare [`Broker::flush`] convenience wrapper.
@@ -220,6 +221,10 @@ pub(crate) struct Shared {
     /// When [`Broker::tick_window_if_stale`] last pushed a frame; backs
     /// the lazy scrape-driven tick used by the probe's `/metrics` server.
     pub(crate) last_lazy_tick: parking_lot::Mutex<Option<Instant>>,
+    /// The always-on flight recorder; `None` unless
+    /// [`BrokerConfig::with_flight_recorder`] enabled it, so the dequeue
+    /// hot path pays a single branch when it is off.
+    pub(crate) recorder: Option<FlightRecorder>,
 }
 
 /// Labeled (dimensional) metric families, built once at start-up when
@@ -287,6 +292,201 @@ impl Shared {
             .histogram("tep_stage_deliver_seconds", stages.deliver);
         frame
     }
+
+    /// Writes one flight-recorder diagnostic frame: counters, queue and
+    /// breaker gauges, load state, per-stage latency summaries, and the
+    /// hottest themes. Allocation-free in steady state — counters come
+    /// from a flat atomic snapshot, stages accumulate into the ring's
+    /// reused scratch, and gauges walk the registry without collecting.
+    pub(crate) fn fill_frame(&self, w: &mut FrameWriter<'_>) {
+        let stats = self.stats.snapshot();
+        w.counter("published", stats.published);
+        w.counter("processed", stats.processed);
+        w.counter("match_tests", stats.match_tests);
+        w.counter("notifications", stats.notifications);
+        w.counter("routing_skipped", stats.routing_skipped);
+        w.counter("quarantined", stats.quarantined);
+        w.counter("rejected_publishes", stats.rejected_publishes);
+        w.counter("dropped_full", stats.dropped_full);
+        w.counter("dropped_disconnected", stats.dropped_disconnected);
+        w.counter("worker_panics", stats.worker_panics);
+        w.counter("shed_deadline", stats.shed_deadline);
+        w.counter("shed_load", stats.shed_load);
+        w.counter("breaker_open_drops", stats.breaker_open);
+        w.counter("breaker_trips", stats.breaker_trips);
+        w.gauge("live_workers", stats.live_workers as f64);
+        w.gauge("publish_queue_depth", self.ingress.len() as f64);
+        w.gauge("dead_letters", self.dead_letters.len() as f64);
+        // One registry pass for the subscriber-side gauges.
+        let mut depth_sum = 0usize;
+        let mut depth_max = 0usize;
+        let mut open_breakers = 0usize;
+        for reg in self.registry.read().values() {
+            let depth = reg.sender.len();
+            depth_sum += depth;
+            depth_max = depth_max.max(depth);
+            if reg
+                .breaker
+                .as_ref()
+                .is_some_and(|breaker| breaker.lock().is_open())
+            {
+                open_breakers += 1;
+            }
+        }
+        w.gauge("subscriber_queue_depth_sum", depth_sum as f64);
+        w.gauge("subscriber_queue_depth_max", depth_max as f64);
+        w.gauge("open_breakers", open_breakers as f64);
+        match &self.overload {
+            Some(overload) => {
+                w.label("load_state", overload.current().as_str());
+                w.gauge("ewma_queue_wait_ms", overload.ewma_wait_ms());
+            }
+            None => w.label("load_state", "off"),
+        }
+        w.stage("queue_wait", |snap| {
+            self.stats.accumulate_stage(|t| &t.queue_wait, snap);
+        });
+        w.stage("match_exact", |snap| {
+            self.stats.accumulate_stage(|t| &t.match_exact, snap);
+        });
+        w.stage("match_thematic", |snap| {
+            self.stats.accumulate_stage(|t| &t.match_thematic, snap);
+        });
+        w.stage("match_cached", |snap| {
+            self.stats.accumulate_stage(|t| &t.match_cached, snap);
+        });
+        w.stage("deliver", |snap| {
+            self.stats.accumulate_stage(|t| &t.deliver, snap);
+        });
+        if let Some(dim) = &self.dim {
+            dim.hot_themes
+                .for_each_top(8, |name, count| w.theme(name, count));
+        }
+    }
+
+    /// Fires a diagnostic trigger if the recorder is on and the kind is
+    /// out of cooldown; `detail` is built lazily so hot paths pay nothing
+    /// for a suppressed trigger. Returns the bundle sequence number when
+    /// a bundle was assembled.
+    pub(crate) fn fire_trigger(
+        &self,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) -> Option<u64> {
+        let recorder = self.recorder.as_ref()?;
+        if !recorder.trigger_armed(kind) {
+            return None;
+        }
+        let context = self.diagnostic_context_json();
+        recorder.trigger(kind, &detail(), &context)
+    }
+
+    /// The bundle's `context` object: config fingerprint, headline
+    /// counters, overload state, and the span / explanation ring tails.
+    /// Runs only at trigger time, so it allocates freely.
+    fn diagnostic_context_json(&self) -> String {
+        use std::fmt::Write;
+        let stats = self.stats.snapshot();
+        let fingerprint = config_fingerprint(&self.config);
+        let mut out = String::with_capacity(2048);
+        let _ = write!(
+            out,
+            "{{\n    \"config_fingerprint\": \"{}\",\n    \"config\": \"{}\",\n",
+            fingerprint.1,
+            escape_json(&fingerprint.0)
+        );
+        let _ = writeln!(
+            out,
+            "    \"stats\": {{\"published\": {}, \"processed\": {}, \"notifications\": {}, \
+             \"quarantined\": {}, \"worker_panics\": {}, \"live_workers\": {}, \
+             \"dead_letters\": {}}},",
+            stats.published,
+            stats.processed,
+            stats.notifications,
+            stats.quarantined,
+            stats.worker_panics,
+            stats.live_workers,
+            self.dead_letters.len(),
+        );
+        match &self.overload {
+            Some(overload) => {
+                let state = overload.current();
+                let _ = writeln!(
+                    out,
+                    "    \"overload\": {{\"state\": \"{}\", \"severity\": {}, \
+                     \"forced\": {}, \"ewma_queue_wait_ms\": {:.6}, \"transitions\": {}}},",
+                    escape_json(state.as_str()),
+                    state.severity(),
+                    overload.forced().is_some(),
+                    overload.ewma_wait_ms(),
+                    overload.transitions(),
+                );
+            }
+            None => out.push_str("    \"overload\": {\"enabled\": false},\n"),
+        }
+        if let Some(quality) = self.quality.get() {
+            let report = report_drift_json(&quality.report());
+            let _ = writeln!(out, "    \"quality_drift\": {report},");
+        }
+        let spans = render_spans_json(&self.spans.snapshot());
+        let _ = writeln!(out, "    \"spans\": {},", spans.trim_end());
+        let explanations = crate::explain::render_explanations_json(&self.explain.snapshot());
+        let _ = write!(
+            out,
+            "    \"explanations\": {}\n  }}",
+            explanations.trim_end()
+        );
+        out
+    }
+}
+
+/// Renders a quality report's drift alerts as a JSON string array.
+fn report_drift_json(report: &crate::quality::QualityReport) -> String {
+    let mut out = String::from("[");
+    for (i, alert) in report.drift.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let line = format!(
+            "{:?}: {:.4} -> {:.4}",
+            alert.kind, alert.older, alert.recent
+        );
+        out.push('"');
+        out.push_str(&escape_json(&line));
+        out.push('"');
+    }
+    out.push(']');
+    out
+}
+
+/// A stable human-readable summary of the load-bearing config knobs plus
+/// its FNV-1a hash — enough for an operator reading a bundle to tell
+/// "which configuration was this broker running" without shipping the
+/// whole config (tep-broker renders JSON by hand; serde_json is only a
+/// dev-dependency).
+fn config_fingerprint(config: &BrokerConfig) -> (String, String) {
+    let summary = format!(
+        "workers={} threshold={} queue={} notif={} policy={:?}/{:?} routing={:?} \
+         isolate={} attempts={} batch={} overload={} recorder={}",
+        config.workers,
+        config.delivery_threshold,
+        config.queue_capacity,
+        config.notification_capacity,
+        config.publish_policy,
+        config.subscriber_policy,
+        config.routing_policy,
+        config.isolate_matcher_panics,
+        config.max_match_attempts,
+        config.dequeue_batch,
+        config.overload.is_some(),
+        config.recorder.is_some(),
+    );
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in summary.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (summary, format!("{hash:016x}"))
 }
 
 /// A thread-pool publish/subscribe broker around any [`Matcher`].
@@ -334,6 +534,16 @@ impl Broker {
                 Box::new(move || m.cache_stats())
             },
         };
+        let recorder = config.recorder.as_ref().map(|settings| {
+            let settings = settings.normalized();
+            FlightRecorder::new(RecorderConfig {
+                frame_capacity: settings.frame_capacity,
+                tick_interval: Duration::from_millis(settings.tick_ms.max(1)),
+                spool_dir: settings.spool_dir.as_ref().map(Into::into),
+                spool_capacity: settings.spool_capacity,
+                trigger_cooldown: Duration::from_millis(settings.trigger_cooldown_ms),
+            })
+        });
         let shared = Arc::new(Shared {
             registry: RwLock::new(HashMap::new()),
             index: SubscriptionIndex::new(),
@@ -350,10 +560,19 @@ impl Broker {
             quality: OnceLock::new(),
             last_lazy_tick: parking_lot::Mutex::new(None),
             overload: config.overload.clone().map(OverloadController::new),
+            recorder,
             config,
             ingress: tx,
             shutdown: AtomicBool::new(false),
         });
+        if let Some(recorder) = &shared.recorder {
+            // Warm every ring slot's buffers once, so the steady-state
+            // tick path never allocates — a wrap lands on a slot whose
+            // vectors already hold this frame shape.
+            for _ in 0..recorder.config().frame_capacity {
+                recorder.force_tick(|w| shared.fill_frame(w));
+            }
+        }
         let supervisor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -721,6 +940,15 @@ impl Broker {
     pub fn force_load_state(&self, state: Option<LoadState>) {
         if let Some(overload) = &self.shared.overload {
             overload.force(state);
+            // Forcing bypasses the organic state machine (no transition
+            // event fires), so raise the flight-recorder trigger directly
+            // — a drill should produce the same evidence as the real
+            // thing.
+            if state == Some(LoadState::Critical) {
+                self.shared.fire_trigger("load_critical", || {
+                    "load state forced to critical".to_string()
+                });
+            }
         }
     }
 
@@ -782,6 +1010,59 @@ impl Broker {
             breaker_open = stats.breaker_open,
             open_breakers = self.open_breakers(),
         )
+    }
+
+    /// Fires the manual flight-recorder trigger (the `POST
+    /// /debug/trigger` handler): freezes the frame ring into a
+    /// diagnostic bundle with `detail` as the cause. Returns the bundle
+    /// sequence number, or `None` when the recorder is off or the manual
+    /// trigger kind is still cooling down.
+    pub fn trigger_diagnostic(&self, detail: &str) -> Option<u64> {
+        self.shared.fire_trigger("manual", || detail.to_string())
+    }
+
+    /// The newest diagnostic bundle JSON (the `GET /debug/bundle` body),
+    /// or `None` when the recorder is off or no trigger has fired yet.
+    pub fn latest_bundle_json(&self) -> Option<Arc<String>> {
+        self.shared.recorder.as_ref()?.latest_bundle()
+    }
+
+    /// Records one flight-recorder frame immediately, regardless of the
+    /// tick interval. A no-op when the recorder is off. For tests and
+    /// embedders that want deterministic frame boundaries (the recorder
+    /// otherwise ticks itself from the dequeue path and the supervisor).
+    pub fn record_diagnostic_frame(&self) {
+        if let Some(recorder) = &self.shared.recorder {
+            recorder.force_tick(|w| self.shared.fill_frame(w));
+        }
+    }
+
+    /// Diagnostic bundles assembled so far (0 when the recorder is off).
+    pub fn diagnostic_bundles(&self) -> u64 {
+        self.shared
+            .recorder
+            .as_ref()
+            .map_or(0, |r| r.bundles_assembled())
+    }
+
+    /// The `/readyz` endpoint body: `(ready, JSON)`. Liveness
+    /// (`/healthz`) answers "is the process up"; readiness answers
+    /// "should a front tier route new load here" — `false` once the
+    /// broker is shut down or its load state reaches `Overloaded`, so an
+    /// overloaded shard is drained instead of restarted.
+    pub fn readiness(&self) -> (bool, String) {
+        let state = self.load_state();
+        let overloaded = state.is_some_and(|s| s.severity() >= LoadState::Overloaded.severity());
+        let ready = !self.is_closed() && !overloaded;
+        let body = format!(
+            "{{\"ready\": {ready}, \"load_state\": \"{}\", \"open_breakers\": {}, \
+             \"quarantined\": {}, \"closed\": {}}}\n",
+            escape_json(state.map_or("off", |s| s.as_str())),
+            self.open_breakers(),
+            self.dead_letter_count(),
+            self.is_closed(),
+        );
+        (ready, body)
     }
 
     /// Pushes one cumulative snapshot frame into the window ring *now*.

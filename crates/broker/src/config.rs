@@ -57,6 +57,78 @@ pub enum RoutingPolicy {
     ThemeOverlap,
 }
 
+/// Tuning for the always-on flight recorder
+/// ([`crate::BrokerConfig::recorder`]): the bounded ring of periodic
+/// diagnostic frames that freezes into a JSON bundle when a trigger
+/// (worker panic, breaker trip, `Critical` load state, quality drift, or
+/// a manual request) fires. See `tep_obs::FlightRecorder` for the
+/// mechanism.
+/// In serialized form every numeric field treats `0` (or a missing key)
+/// as "use the built-in default" — see [`RecorderSettings::normalized`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecorderSettings {
+    /// Ring capacity in frames (clamped to at least 2 at broker start).
+    #[serde(default)]
+    pub frame_capacity: usize,
+    /// Frame tick period in milliseconds (clamped to at least 1). At the
+    /// defaults (64 frames × 250 ms) the ring covers the last ~16 s.
+    #[serde(default)]
+    pub tick_ms: u64,
+    /// Directory for the on-disk bundle spool (`tep-diag-<seq>.json`,
+    /// oldest-evicted). `None` (the default) keeps bundles in memory
+    /// only, still served via `GET /debug/bundle`.
+    #[serde(default)]
+    pub spool_dir: Option<String>,
+    /// Bundle files kept on disk before the oldest is evicted.
+    #[serde(default)]
+    pub spool_capacity: usize,
+    /// Per-trigger-kind cooldown in milliseconds, so a flapping breaker
+    /// or a panic loop cannot produce a bundle storm.
+    #[serde(default)]
+    pub trigger_cooldown_ms: u64,
+}
+
+impl Default for RecorderSettings {
+    fn default() -> RecorderSettings {
+        RecorderSettings {
+            frame_capacity: 64,
+            tick_ms: 250,
+            spool_dir: None,
+            spool_capacity: 8,
+            trigger_cooldown_ms: 5_000,
+        }
+    }
+}
+
+impl RecorderSettings {
+    /// Replaces zero-valued numeric fields (the deserialization default
+    /// for a missing key) with the built-in defaults, so a partial
+    /// `{"tick_ms": 50}` config behaves like
+    /// `RecorderSettings { tick_ms: 50, ..Default::default() }`.
+    pub fn normalized(&self) -> RecorderSettings {
+        let defaults = RecorderSettings::default();
+        RecorderSettings {
+            frame_capacity: match self.frame_capacity {
+                0 => defaults.frame_capacity,
+                n => n,
+            },
+            tick_ms: match self.tick_ms {
+                0 => defaults.tick_ms,
+                n => n,
+            },
+            spool_dir: self.spool_dir.clone(),
+            spool_capacity: match self.spool_capacity {
+                0 => defaults.spool_capacity,
+                n => n,
+            },
+            trigger_cooldown_ms: match self.trigger_cooldown_ms {
+                0 => defaults.trigger_cooldown_ms,
+                n => n,
+            },
+        }
+    }
+}
+
 /// Configuration of the [`crate::Broker`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BrokerConfig {
@@ -152,6 +224,12 @@ pub struct BrokerConfig {
     /// undispatched batch is re-enqueued or quarantined).
     #[serde(default = "default_dequeue_batch")]
     pub dequeue_batch: usize,
+    /// Always-on flight recorder: periodic diagnostic frames in a
+    /// bounded ring, frozen into a JSON bundle when a trigger fires.
+    /// `None` (the default) disables the whole subsystem — the hot path
+    /// then pays one branch per dequeued event for it.
+    #[serde(default)]
+    pub recorder: Option<RecorderSettings>,
 }
 
 fn default_span_capacity() -> usize {
@@ -289,6 +367,13 @@ impl BrokerConfig {
         self.dequeue_batch = batch.max(1);
         self
     }
+
+    /// Enables the always-on flight recorder with the given tuning. See
+    /// [`RecorderSettings`] for the knobs.
+    pub fn with_flight_recorder(mut self, settings: RecorderSettings) -> BrokerConfig {
+        self.recorder = Some(settings);
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -314,6 +399,7 @@ impl Default for BrokerConfig {
             window_capacity: default_window_capacity(),
             overload: None,
             dequeue_batch: default_dequeue_batch(),
+            recorder: None,
         }
     }
 }
@@ -344,6 +430,7 @@ mod tests {
         assert_eq!(c.window_capacity, 128);
         assert!(c.overload.is_none(), "overload control is opt-in");
         assert!(c.dequeue_batch >= 1, "batch dequeue must stay enabled");
+        assert!(c.recorder.is_none(), "the flight recorder is opt-in");
     }
 
     #[test]
@@ -431,5 +518,34 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&BrokerConfig::default()).unwrap())
                 .unwrap();
         assert!(legacy.overload.is_none());
+    }
+
+    #[test]
+    fn recorder_config_round_trips_through_json() {
+        let c = BrokerConfig::default().with_flight_recorder(RecorderSettings {
+            frame_capacity: 16,
+            tick_ms: 50,
+            spool_dir: Some("/tmp/tep-diag".to_string()),
+            spool_capacity: 4,
+            trigger_cooldown_ms: 100,
+        });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: BrokerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // A pre-recorder config (no `recorder` key) still deserializes,
+        // and a bare `{}` settings object fills every default.
+        let default_json = serde_json::to_string(&BrokerConfig::default()).unwrap();
+        let legacy_json = default_json.replace(",\"recorder\":null", "");
+        assert_ne!(legacy_json, default_json, "recorder key should strip");
+        let legacy: BrokerConfig = serde_json::from_str(&legacy_json).unwrap();
+        assert!(legacy.recorder.is_none());
+        let bare: RecorderSettings = serde_json::from_str("{}").unwrap();
+        assert_eq!(bare.normalized(), RecorderSettings::default());
+        let partial: RecorderSettings = serde_json::from_str("{\"tick_ms\": 50}").unwrap();
+        assert_eq!(partial.normalized().tick_ms, 50);
+        assert_eq!(
+            partial.normalized().frame_capacity,
+            RecorderSettings::default().frame_capacity
+        );
     }
 }

@@ -74,7 +74,7 @@ mod subindex;
 mod supervisor;
 
 pub use broker::{Broker, BrokerError, PublishOptions, SubscribeOptions, SubscriptionId};
-pub use config::{BrokerConfig, PublishPolicy, RoutingPolicy, SubscriberPolicy};
+pub use config::{BrokerConfig, PublishPolicy, RecorderSettings, RoutingPolicy, SubscriberPolicy};
 pub use explain::{render_explanations_json, CacheTemperature, MatchExplanation, MatchOutcome};
 pub use notification::Notification;
 pub use overload::{BreakerConfig, LoadState, OverloadConfig, ShedReason};
@@ -86,6 +86,7 @@ pub use supervisor::DeadLetter;
 // server without depending on `tep-obs` or `tep-matcher` directly.
 pub use tep_matcher::{DegradedMatching, MatchDetail, PredicateExplanation, RelatednessDetail};
 pub use tep_obs::{
-    render_spans_json, serve, span_tree, HistogramSnapshot, MetricsRegistry, ScrapeHandlers,
-    ScrapeServer, SpanNode, SpanRecord, WindowedDelta,
+    render_spans_json, serve, span_tree, DiagnosticFrame, FlightRecorder, HistogramSnapshot,
+    MetricsRegistry, RecorderConfig, ScrapeHandlers, ScrapeServer, SpanNode, SpanRecord, StageStat,
+    WindowedDelta,
 };

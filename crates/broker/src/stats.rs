@@ -340,6 +340,21 @@ impl StatsInner {
         out
     }
 
+    /// Accumulates one stage's histogram (base timers + every worker
+    /// shard) into a reused snapshot buffer without allocating — the
+    /// flight recorder's frame-tick counterpart of
+    /// [`StatsInner::stage_snapshot`].
+    pub(crate) fn accumulate_stage(
+        &self,
+        pick: impl Fn(&StageTimers) -> &LatencyHistogram,
+        out: &mut HistogramSnapshot,
+    ) {
+        pick(&self.stage).accumulate_into(out);
+        for shard in self.shards.iter() {
+            pick(&shard.stage).accumulate_into(out);
+        }
+    }
+
     pub(crate) fn snapshot(self: &Arc<Self>) -> BrokerStats {
         BrokerStats {
             published: self.published.load(Ordering::Relaxed),

@@ -268,8 +268,37 @@ pub(crate) fn supervisor_loop<M>(
                 for reg in shared.registry.read().values() {
                     fill = fill.max(reg.sender.len() as f64 / sub_capacity);
                 }
-                overload.evaluate(fill);
+                if let Some((from, to)) = overload.evaluate(fill) {
+                    if to == crate::LoadState::Critical {
+                        shared.fire_trigger("load_critical", || {
+                            format!("load state {} -> critical (fill {fill:.3})", from.as_str())
+                        });
+                    }
+                }
                 last_overload = Instant::now();
+            }
+        }
+        // The recorder also ticks here so an idle broker (nothing being
+        // dequeued) keeps producing frames; the CAS claim means a busy
+        // broker's workers and this loop never double-record an interval.
+        if let Some(recorder) = &shared.recorder {
+            let now = Instant::now();
+            if recorder.tick_due(now) {
+                recorder.tick(now, |w| shared.fill_frame(w));
+                // Quality drift is derived (no event fires when an alert
+                // appears), so poll it on the recorder's cadence; the
+                // per-kind cooldown keeps a persistent drift from
+                // storming the spool.
+                if let Some(quality) = shared.quality.get() {
+                    if recorder.trigger_armed("quality_drift") {
+                        let report = quality.report();
+                        if !report.drift.is_empty() {
+                            shared.fire_trigger("quality_drift", || {
+                                format!("{} drift alert(s) raised", report.drift.len())
+                            });
+                        }
+                    }
+                }
             }
         }
         let shutting_down = shared.shutdown.load(Ordering::Acquire);
@@ -291,6 +320,12 @@ pub(crate) fn supervisor_loop<M>(
             // Panic death: the worker never reached its normal epilogue.
             shared.stats.live_workers.fetch_sub(1, Ordering::Relaxed);
             shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            shared.fire_trigger("worker_panic", || {
+                format!(
+                    "worker thread died to an uncaught panic; {} live before respawn",
+                    shared.stats.live_workers.load(Ordering::Relaxed)
+                )
+            });
             // Only the front job was mid-match when the worker died; it
             // is charged an attempt and re-enqueued (or quarantined). The
             // rest of its batch was never dispatched — the replacement
@@ -515,6 +550,15 @@ fn process_event<M>(
     let dequeued = Instant::now();
     let queue_wait_nanos = nanos_between(job.enqueued_at, dequeued);
     shard.stage.queue_wait.record_nanos(queue_wait_nanos);
+    // Flight-recorder tick, riding the dequeue timestamp already taken:
+    // one branch when off, one relaxed load + compare when not yet due,
+    // and an allocation-free frame write for the single claiming worker
+    // when due.
+    if let Some(recorder) = &shared.recorder {
+        if recorder.tick_due(dequeued) {
+            recorder.tick(dequeued, |w| shared.fill_frame(w));
+        }
+    }
     // Overload control (one branch when off): feed the queue-wait EWMA,
     // then decide whether this event is shed at dequeue and at what
     // fidelity the survivors are matched. Shed events still count as
@@ -1144,6 +1188,9 @@ fn deliver(
                         crate::overload::BreakerVerdict::Counted => {}
                         crate::overload::BreakerVerdict::Tripped => {
                             shard.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                            shared.fire_trigger("breaker_trip", || {
+                                format!("subscriber {id} circuit breaker tripped")
+                            });
                         }
                         crate::overload::BreakerVerdict::Reap => dead.push(id),
                     }

@@ -69,11 +69,12 @@ pub mod prelude {
     pub use tep_broker::{
         render_explanations_json, render_quality_json, render_spans_json, serve, span_tree,
         BreakerConfig, Broker, BrokerConfig, BrokerError, BrokerStats, CacheTemperature,
-        DeadLetter, DriftAlert, DriftKind, EventTrace, HistogramSnapshot, LoadState,
-        MatchExplanation, MatchOutcome, MetricsRegistry, Notification, OverloadConfig,
-        PublishOptions, PublishPolicy, QualityOracle, QualityReport, RoutingPolicy, ScrapeHandlers,
-        ScrapeServer, ShedReason, SpanNode, SpanRecord, StageLatencies, SubscribeOptions,
-        SubscriberPolicy, WindowedDelta,
+        DeadLetter, DiagnosticFrame, DriftAlert, DriftKind, EventTrace, FlightRecorder,
+        HistogramSnapshot, LoadState, MatchExplanation, MatchOutcome, MetricsRegistry,
+        Notification, OverloadConfig, PublishOptions, PublishPolicy, QualityOracle, QualityReport,
+        RecorderConfig, RecorderSettings, RoutingPolicy, ScrapeHandlers, ScrapeServer, ShedReason,
+        SpanNode, SpanRecord, StageLatencies, StageStat, SubscribeOptions, SubscriberPolicy,
+        WindowedDelta,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};

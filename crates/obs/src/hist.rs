@@ -109,6 +109,20 @@ impl LatencyHistogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Adds the current counts into `out` without allocating — the
+    /// merge-in-place counterpart of [`LatencyHistogram::snapshot`] +
+    /// [`HistogramSnapshot::merge`], for callers (like the flight
+    /// recorder tick) that reuse one snapshot buffer on a path that must
+    /// stay allocation-free.
+    pub fn accumulate_into(&self, out: &mut HistogramSnapshot) {
+        out.reserve_buckets();
+        for (slot, bucket) in out.buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot += bucket.load(Ordering::Relaxed);
+        }
+        out.sum += self.sum.load(Ordering::Relaxed);
+        out.max = out.max.max(self.max.load(Ordering::Relaxed));
+    }
 }
 
 /// Frozen histogram counts with quantile estimation.
@@ -199,6 +213,22 @@ impl HistogramSnapshot {
     /// 99th percentile.
     pub fn p99(&self) -> Duration {
         self.quantile(0.99)
+    }
+
+    /// Resets to empty in place, keeping the bucket table allocation so
+    /// a reused snapshot buffer never reallocates.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.sum = 0;
+        self.max = 0;
+    }
+
+    /// Grows the bucket table to the full layout if this snapshot was
+    /// built before any accumulation (idempotent; allocates only once).
+    fn reserve_buckets(&mut self) {
+        if self.buckets.len() < BUCKET_COUNT {
+            self.buckets.resize(BUCKET_COUNT, 0);
+        }
     }
 
     /// Adds `other`'s counts into `self` (histograms over the same fixed
@@ -369,6 +399,26 @@ mod tests {
         assert_eq!(s.quantile(0.0), Duration::from_nanos(5));
         assert_eq!(s.quantile(0.5), Duration::from_nanos(5));
         assert_eq!(s.quantile(1.0), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn accumulate_into_matches_snapshot_merge() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for v in 0..500u64 {
+            a.record_nanos(v * 13);
+            b.record_nanos(v * 29);
+        }
+        let mut reused = HistogramSnapshot::empty();
+        a.accumulate_into(&mut reused);
+        b.accumulate_into(&mut reused);
+        assert_eq!(reused, a.snapshot().merged(&b.snapshot()));
+        // Clearing keeps the bucket table and resets the counts.
+        reused.clear();
+        assert!(reused.is_empty());
+        assert_eq!(reused.max(), Duration::ZERO);
+        a.accumulate_into(&mut reused);
+        assert_eq!(reused, a.snapshot());
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   windowed rates and windowed percentiles;
 //! * [`TopKSketch`] — a concurrent space-saving sketch for the top-k
 //!   hottest themes/terms in bounded memory;
+//! * [`FlightRecorder`] / [`DiagnosticFrame`] — an always-on bounded
+//!   ring of periodic diagnostic frames that freezes into a JSON
+//!   diagnostic bundle (with a bounded on-disk spool) when a trigger
+//!   fires, so the evidence of an incident survives the incident;
 //! * [`CounterFamily`] — labeled counter series under a hard
 //!   cardinality cap with an overflow bucket.
 //!
@@ -40,6 +44,7 @@
 mod dim;
 mod escape;
 mod hist;
+mod recorder;
 mod registry;
 mod serve;
 mod span;
@@ -50,6 +55,7 @@ mod window;
 pub use dim::{CounterFamily, OVERFLOW_LABEL};
 pub use escape::{escape_json, is_valid_label_name, is_valid_metric_name};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use recorder::{DiagnosticFrame, FlightRecorder, FrameWriter, RecorderConfig, StageStat};
 pub use registry::MetricsRegistry;
 pub use serve::{serve, ScrapeHandlers, ScrapeServer};
 pub use span::{render_spans_json, span_tree, SpanCollector, SpanNode, SpanRecord};

@@ -1,0 +1,769 @@
+//! The always-on flight recorder: a bounded ring of periodic
+//! [`DiagnosticFrame`]s that freezes into a self-contained JSON
+//! **diagnostic bundle** when a trigger fires.
+//!
+//! The broker's volatile diagnostics (window frames, span rings,
+//! explanation rings, load state, breaker summaries) are each overwritten
+//! within seconds — precisely the horizon on which an incident is
+//! noticed. The recorder closes that gap like an aircraft flight
+//! recorder: it continuously captures cheap periodic frames into a
+//! preallocated ring, and when something goes wrong (a worker panic, a
+//! breaker trip, load-state entry into `Critical`, a quality-drift
+//! alert, or a manual `POST /debug/trigger`) it freezes the ring,
+//! assembles one JSON bundle carrying the frames *plus* the triggering
+//! cause and whatever context the embedder supplies, writes it to a
+//! bounded on-disk spool (`tep-diag-<seq>.json`, oldest evicted), and
+//! keeps the newest bundle in memory for `GET /debug/bundle`.
+//!
+//! Steady-state discipline, in the spirit of the broker's hot path:
+//!
+//! * [`FlightRecorder::tick_due`] is one relaxed atomic load plus an
+//!   `Instant` subtraction — cheap enough for the per-event dequeue path;
+//! * when a tick is due, one caller claims it with a CAS; the frame is
+//!   written into a preallocated ring slot whose buffers are reused
+//!   (`Vec::clear` keeps capacity), so after the slots have warmed the
+//!   tick path performs **zero allocations**;
+//! * a tick that finds the ring locked (a bundle freeze in progress)
+//!   skips the frame rather than block a worker;
+//! * bundle assembly — the rare path — allocates freely.
+//!
+//! The crate stays dependency-free: frames carry only names, numbers and
+//! reusable strings, and the embedder passes richer context (config
+//! fingerprint, span trees, explanations) as a pre-rendered JSON object
+//! at trigger time.
+
+use crate::escape::escape_json;
+use crate::hist::HistogramSnapshot;
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`FlightRecorder`]; see the module docs for the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Ring capacity in frames (clamped to at least 2). At the default
+    /// 64 frames × 250 ms tick the ring covers the last ~16 s.
+    pub frame_capacity: usize,
+    /// Minimum spacing between frames (clamped to at least 1 ms so an
+    /// enabled recorder can never busy-tick).
+    pub tick_interval: Duration,
+    /// Directory for the on-disk bundle spool; `None` keeps bundles in
+    /// memory only. The directory is created on construction; spool I/O
+    /// errors are counted ([`FlightRecorder::spool_errors`]), never
+    /// propagated — diagnostics must not take down the broker.
+    pub spool_dir: Option<PathBuf>,
+    /// Bundle files kept on disk before the oldest is evicted (clamped
+    /// to at least 1 when a spool directory is set).
+    pub spool_capacity: usize,
+    /// Minimum spacing between bundles of the *same* trigger kind, so a
+    /// flapping breaker or a panic loop cannot turn the spool into a
+    /// bundle storm. Distinct kinds are independent.
+    pub trigger_cooldown: Duration,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            frame_capacity: 64,
+            tick_interval: Duration::from_millis(250),
+            spool_dir: None,
+            spool_capacity: 8,
+            trigger_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Fixed-size summary of one stage histogram inside a frame — the frame
+/// stores quantiles rather than bucket tables so a ring of frames stays
+/// small and the tick path stays allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Cumulative recorded values at frame time.
+    pub count: u64,
+    /// Estimated median, nanoseconds.
+    pub p50_ns: u64,
+    /// Estimated 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest recorded value, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A reusable hot-theme slot inside a frame; the `String` keeps its
+/// capacity across frame resets.
+#[derive(Debug, Default)]
+struct ThemeSlot {
+    name: String,
+    count: u64,
+}
+
+/// One periodic snapshot in the recorder ring: counters, gauges, static
+/// labels, per-stage latency summaries, and the hottest themes, all in
+/// reusable storage. Frames are written through a [`FrameWriter`] and
+/// read back from a rendered bundle.
+#[derive(Debug, Default)]
+pub struct DiagnosticFrame {
+    seq: u64,
+    at_ns: u64,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    labels: Vec<(&'static str, &'static str)>,
+    stages: Vec<(&'static str, StageStat)>,
+    themes: Vec<ThemeSlot>,
+    /// Live prefix of `themes`; slots past it keep their capacity.
+    themes_len: usize,
+}
+
+impl DiagnosticFrame {
+    /// Frame sequence number (monotonic across the recorder's life).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Nanoseconds since the recorder's epoch when the frame was taken.
+    pub fn at_ns(&self) -> u64 {
+        self.at_ns
+    }
+
+    /// The recorded counters, in write order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// The recorded gauges, in write order.
+    pub fn gauges(&self) -> &[(&'static str, f64)] {
+        &self.gauges
+    }
+
+    /// The recorded static labels, in write order.
+    pub fn labels(&self) -> &[(&'static str, &'static str)] {
+        &self.labels
+    }
+
+    /// The recorded stage summaries, in write order.
+    pub fn stages(&self) -> &[(&'static str, StageStat)] {
+        &self.stages
+    }
+
+    /// Rewinds every section for the next write, keeping all capacity.
+    fn reset(&mut self, seq: u64, at_ns: u64) {
+        self.seq = seq;
+        self.at_ns = at_ns;
+        self.counters.clear();
+        self.gauges.clear();
+        self.labels.clear();
+        self.stages.clear();
+        self.themes_len = 0;
+    }
+
+    fn render_json(&self, out: &mut String) {
+        use fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"seq\": {}, \"at_ms\": {:.3}",
+            self.seq,
+            self.at_ns as f64 / 1e6
+        );
+        out.push_str(", \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(out, "{sep}\"{}\": {v}", escape_json(name));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(out, "{sep}\"{}\": {v:.3}", escape_json(name));
+        }
+        out.push_str("}, \"labels\": {");
+        for (i, (name, v)) in self.labels.iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{sep}\"{}\": \"{}\"",
+                escape_json(name),
+                escape_json(v)
+            );
+        }
+        out.push_str("}, \"stages\": [");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{sep}{{\"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                escape_json(name),
+                s.count,
+                s.p50_ns,
+                s.p99_ns,
+                s.max_ns
+            );
+        }
+        out.push_str("], \"themes\": [");
+        for (i, slot) in self.themes[..self.themes_len].iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{sep}{{\"name\": \"{}\", \"count\": {}}}",
+                escape_json(&slot.name),
+                slot.count
+            );
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Write access to the frame being ticked, plus the ring's shared
+/// histogram scratch buffer for allocation-free stage summaries.
+pub struct FrameWriter<'a> {
+    frame: &'a mut DiagnosticFrame,
+    scratch: &'a mut HistogramSnapshot,
+}
+
+impl fmt::Debug for FrameWriter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameWriter")
+            .field("seq", &self.frame.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrameWriter<'_> {
+    /// Records a monotonic counter value.
+    pub fn counter(&mut self, name: &'static str, value: u64) {
+        self.frame.counters.push((name, value));
+    }
+
+    /// Records a gauge value.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.frame.gauges.push((name, value));
+    }
+
+    /// Records a static label (e.g. `load_state = "healthy"`); both
+    /// sides are `'static` so a label can never allocate.
+    pub fn label(&mut self, name: &'static str, value: &'static str) {
+        self.frame.labels.push((name, value));
+    }
+
+    /// Records one stage summary: `fill` accumulates histogram counts
+    /// into the reusable scratch snapshot (cleared beforehand), and the
+    /// resulting quantiles are stored as a fixed-size [`StageStat`].
+    pub fn stage(&mut self, name: &'static str, fill: impl FnOnce(&mut HistogramSnapshot)) {
+        self.scratch.clear();
+        fill(self.scratch);
+        let stat = StageStat {
+            count: self.scratch.count(),
+            p50_ns: self.scratch.p50().as_nanos() as u64,
+            p99_ns: self.scratch.p99().as_nanos() as u64,
+            max_ns: self.scratch.max().as_nanos() as u64,
+        };
+        self.frame.stages.push((name, stat));
+    }
+
+    /// Records one hot-theme entry, reusing a pooled `String` slot.
+    /// Allocation-free once the slot pool has seen names at least this
+    /// long.
+    pub fn theme(&mut self, name: &str, count: u64) {
+        if self.frame.themes_len < self.frame.themes.len() {
+            let slot = &mut self.frame.themes[self.frame.themes_len];
+            slot.name.clear();
+            slot.name.push_str(name);
+            slot.count = count;
+        } else {
+            self.frame.themes.push(ThemeSlot {
+                name: name.to_string(),
+                count,
+            });
+        }
+        self.frame.themes_len += 1;
+    }
+}
+
+/// The frame ring plus its shared scratch, behind one mutex.
+struct FrameRing {
+    slots: Vec<DiagnosticFrame>,
+    /// Next slot to (over)write.
+    head: usize,
+    /// Occupied slots (grows to `slots.len()` and stays there).
+    len: usize,
+    next_seq: u64,
+    scratch: HistogramSnapshot,
+}
+
+impl FrameRing {
+    fn write_frame(&mut self, at_ns: u64, fill: impl FnOnce(&mut FrameWriter<'_>)) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = &mut self.slots[self.head];
+        frame.reset(seq, at_ns);
+        fill(&mut FrameWriter {
+            frame,
+            scratch: &mut self.scratch,
+        });
+        self.head = (self.head + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// Occupied slots, oldest first.
+    fn iter_oldest_first(&self) -> impl Iterator<Item = &DiagnosticFrame> {
+        let start = (self.head + self.slots.len() - self.len) % self.slots.len();
+        (0..self.len).map(move |i| &self.slots[(start + i) % self.slots.len()])
+    }
+}
+
+/// Per-kind trigger bookkeeping and the on-disk spool state.
+struct TriggerState {
+    /// `(kind, last fire, ns since epoch)`; trigger kinds are a small
+    /// closed set, so a flat vector beats a map.
+    last_fire: Vec<(&'static str, u64)>,
+    next_bundle_seq: u64,
+    spool: VecDeque<PathBuf>,
+}
+
+/// The flight recorder; see the module docs. All methods take `&self`
+/// and are safe to call from any broker thread.
+pub struct FlightRecorder {
+    config: RecorderConfig,
+    epoch: Instant,
+    /// Nanoseconds-since-epoch at which the next tick is due; claimed by
+    /// CAS so concurrent dequeue paths record at most one frame per
+    /// interval.
+    next_due_ns: AtomicU64,
+    ring: Mutex<FrameRing>,
+    triggers: Mutex<TriggerState>,
+    latest: Mutex<Option<Arc<String>>>,
+    frames_recorded: AtomicU64,
+    bundles_assembled: AtomicU64,
+    spool_errors: AtomicU64,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("config", &self.config)
+            .field("frames_recorded", &self.frames_recorded())
+            .field("bundles_assembled", &self.bundles_assembled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A poisoned diagnostics mutex only means a panicking thread died while
+/// writing plain data into a frame; the data is still the best evidence
+/// available, so recover the guard instead of cascading the panic.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl FlightRecorder {
+    /// Builds a recorder with preallocated (but cold) frame slots. Slot
+    /// buffers grow on their first write; embedders that need the
+    /// zero-allocation guarantee from the very first measured event
+    /// should warm every slot once via [`FlightRecorder::force_tick`].
+    pub fn new(mut config: RecorderConfig) -> FlightRecorder {
+        config.frame_capacity = config.frame_capacity.max(2);
+        config.tick_interval = config.tick_interval.max(Duration::from_millis(1));
+        config.spool_capacity = config.spool_capacity.max(1);
+        if let Some(dir) = &config.spool_dir {
+            // Best-effort: a failed mkdir surfaces later as spool errors.
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let slots = (0..config.frame_capacity)
+            .map(|_| DiagnosticFrame::default())
+            .collect();
+        FlightRecorder {
+            epoch: Instant::now(),
+            next_due_ns: AtomicU64::new(0),
+            ring: Mutex::new(FrameRing {
+                slots,
+                head: 0,
+                len: 0,
+                next_seq: 0,
+                scratch: HistogramSnapshot::empty(),
+            }),
+            triggers: Mutex::new(TriggerState {
+                last_fire: Vec::with_capacity(8),
+                next_bundle_seq: 0,
+                spool: VecDeque::with_capacity(config.spool_capacity),
+            }),
+            latest: Mutex::new(None),
+            frames_recorded: AtomicU64::new(0),
+            bundles_assembled: AtomicU64::new(0),
+            spool_errors: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The recorder's (clamped) configuration.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+
+    fn now_ns(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Whether a periodic frame is due — one relaxed load plus an
+    /// `Instant` subtraction, cheap enough for the per-event dequeue
+    /// path. `now` is the caller's already-taken timestamp, so the check
+    /// adds no clock read.
+    #[inline]
+    pub fn tick_due(&self, now: Instant) -> bool {
+        self.now_ns(now) >= self.next_due_ns.load(Ordering::Relaxed)
+    }
+
+    /// Claims the due tick (CAS; at most one winner per interval) and
+    /// records a frame via `fill`. Returns whether a frame was recorded.
+    /// A freeze in progress (ring locked) forfeits the frame instead of
+    /// blocking the caller.
+    pub fn tick(&self, now: Instant, fill: impl FnOnce(&mut FrameWriter<'_>)) -> bool {
+        let now_ns = self.now_ns(now);
+        let due = self.next_due_ns.load(Ordering::Relaxed);
+        if now_ns < due {
+            return false;
+        }
+        let next = now_ns + self.config.tick_interval.as_nanos() as u64;
+        if self
+            .next_due_ns
+            .compare_exchange(due, next, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return false; // another thread claimed this interval
+        }
+        let Ok(mut ring) = self.ring.try_lock() else {
+            return false; // bundle freeze in progress; skip, don't block
+        };
+        ring.write_frame(now_ns, fill);
+        self.frames_recorded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Records a frame unconditionally — no due check, no claim, blocks
+    /// on the ring lock. For deterministic tests and for warming every
+    /// slot's buffers at start-up so the steady-state tick path never
+    /// allocates.
+    pub fn force_tick(&self, fill: impl FnOnce(&mut FrameWriter<'_>)) {
+        let now_ns = self.now_ns(Instant::now());
+        lock_unpoisoned(&self.ring).write_frame(now_ns, fill);
+        self.frames_recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Occupied ring slots (saturates at the frame capacity).
+    pub fn frames(&self) -> usize {
+        lock_unpoisoned(&self.ring).len
+    }
+
+    /// Total frames recorded over the recorder's life.
+    pub fn frames_recorded(&self) -> u64 {
+        self.frames_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Total bundles assembled over the recorder's life.
+    pub fn bundles_assembled(&self) -> u64 {
+        self.bundles_assembled.load(Ordering::Relaxed)
+    }
+
+    /// Spool writes or evictions that failed (the bundle itself is still
+    /// available via [`FlightRecorder::latest_bundle`]).
+    pub fn spool_errors(&self) -> u64 {
+        self.spool_errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `kind` trigger would currently be accepted — a cheap
+    /// cooldown peek so hot paths can skip building trigger detail and
+    /// context strings while the kind is cooling down.
+    pub fn trigger_armed(&self, kind: &'static str) -> bool {
+        let now_ns = self.now_ns(Instant::now());
+        let triggers = lock_unpoisoned(&self.triggers);
+        self.cooled_down(&triggers, kind, now_ns)
+    }
+
+    fn cooled_down(&self, triggers: &TriggerState, kind: &str, now_ns: u64) -> bool {
+        let cooldown = self.config.trigger_cooldown.as_nanos() as u64;
+        triggers
+            .last_fire
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .is_none_or(|(_, last)| now_ns.saturating_sub(*last) >= cooldown)
+    }
+
+    /// Fires a trigger: freezes the ring, assembles a bundle from the
+    /// frames, the cause, and the embedder's pre-rendered `context_json`
+    /// object, stores it as the latest bundle, and spools it to disk.
+    /// Returns the bundle sequence number, or `None` when the kind is
+    /// still cooling down ([`RecorderConfig::trigger_cooldown`]).
+    pub fn trigger(&self, kind: &'static str, detail: &str, context_json: &str) -> Option<u64> {
+        let now_ns = self.now_ns(Instant::now());
+        let mut triggers = lock_unpoisoned(&self.triggers);
+        if !self.cooled_down(&triggers, kind, now_ns) {
+            return None;
+        }
+        match triggers.last_fire.iter_mut().find(|(k, _)| *k == kind) {
+            Some(entry) => entry.1 = now_ns,
+            None => triggers.last_fire.push((kind, now_ns)),
+        }
+        let seq = triggers.next_bundle_seq;
+        triggers.next_bundle_seq += 1;
+        let bundle = self.render_bundle(seq, kind, detail, now_ns, context_json);
+        self.bundles_assembled.fetch_add(1, Ordering::Relaxed);
+        let bundle = Arc::new(bundle);
+        *lock_unpoisoned(&self.latest) = Some(Arc::clone(&bundle));
+        self.spool(&mut triggers, seq, &bundle);
+        Some(seq)
+    }
+
+    /// The newest assembled bundle, if any trigger has fired.
+    pub fn latest_bundle(&self) -> Option<Arc<String>> {
+        lock_unpoisoned(&self.latest).clone()
+    }
+
+    /// The bundle files currently on disk, oldest first. Empty without a
+    /// spool directory.
+    pub fn spool_files(&self) -> Vec<PathBuf> {
+        lock_unpoisoned(&self.triggers)
+            .spool
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn render_bundle(
+        &self,
+        seq: u64,
+        kind: &str,
+        detail: &str,
+        at_ns: u64,
+        context_json: &str,
+    ) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\n  \"bundle_seq\": {seq},\n  \"cause\": {{\"kind\": \"{}\", \"detail\": \"{}\", \"at_ms\": {:.3}}},\n  \"frames\": [\n",
+            escape_json(kind),
+            escape_json(detail),
+            at_ns as f64 / 1e6
+        );
+        {
+            let ring = lock_unpoisoned(&self.ring);
+            for (i, frame) in ring.iter_oldest_first().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str("    ");
+                frame.render_json(&mut out);
+            }
+        }
+        let context = context_json.trim();
+        let context = if context.is_empty() { "{}" } else { context };
+        let _ = write!(out, "\n  ],\n  \"context\": {context}\n}}\n");
+        out
+    }
+
+    fn spool(&self, triggers: &mut TriggerState, seq: u64, bundle: &str) {
+        let Some(dir) = &self.config.spool_dir else {
+            return;
+        };
+        let path = dir.join(format!("tep-diag-{seq}.json"));
+        if std::fs::write(&path, bundle).is_err() {
+            self.spool_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        triggers.spool.push_back(path);
+        while triggers.spool.len() > self.config.spool_capacity {
+            let oldest = triggers.spool.pop_front().expect("len > capacity >= 1");
+            if std::fs::remove_file(&oldest).is_err() {
+                self.spool_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    fn fill_basic(w: &mut FrameWriter<'_>) {
+        w.counter("processed", 7);
+        w.gauge("queue_depth", 3.0);
+        w.label("load_state", "healthy");
+        let hist = LatencyHistogram::new();
+        hist.record_nanos(1_000);
+        hist.record_nanos(2_000);
+        w.stage("queue_wait", |snap| hist.accumulate_into(snap));
+        w.theme("energy policy", 5);
+    }
+
+    fn unique_spool(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tep-recorder-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn tick_claims_at_most_one_frame_per_interval() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            tick_interval: Duration::from_secs(3600),
+            ..RecorderConfig::default()
+        });
+        let now = Instant::now();
+        assert!(rec.tick_due(now), "a fresh recorder is immediately due");
+        assert!(rec.tick(now, fill_basic));
+        assert!(!rec.tick_due(Instant::now()));
+        assert!(
+            !rec.tick(Instant::now(), fill_basic),
+            "the interval was claimed"
+        );
+        assert_eq!(rec.frames(), 1);
+        assert_eq!(rec.frames_recorded(), 1);
+    }
+
+    #[test]
+    fn concurrent_ticks_record_one_frame() {
+        let rec = Arc::new(FlightRecorder::new(RecorderConfig {
+            tick_interval: Duration::from_secs(3600),
+            ..RecorderConfig::default()
+        }));
+        let winners: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let rec = Arc::clone(&rec);
+                    scope.spawn(move || usize::from(rec.tick(Instant::now(), fill_basic)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1, "exactly one thread claims the due tick");
+        assert_eq!(rec.frames(), 1);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_frames() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            frame_capacity: 3,
+            ..RecorderConfig::default()
+        });
+        for i in 0..5u64 {
+            rec.force_tick(|w| w.counter("i", i));
+        }
+        assert_eq!(rec.frames(), 3);
+        rec.trigger("manual", "wrap test", "{}").expect("bundle");
+        let bundle = rec.latest_bundle().expect("latest");
+        // Only the newest three frames (seq 2, 3, 4) survive the wrap.
+        assert!(!bundle.contains("\"seq\": 1,"));
+        for seq in 2..5 {
+            assert!(bundle.contains(&format!("\"seq\": {seq},")), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn bundle_carries_cause_frames_and_context() {
+        let rec = FlightRecorder::new(RecorderConfig::default());
+        rec.force_tick(fill_basic);
+        rec.force_tick(fill_basic);
+        let seq = rec
+            .trigger(
+                "worker_panic",
+                "worker 3 died: \"boom\"",
+                "{\"workers\": 2}",
+            )
+            .expect("first trigger fires");
+        assert_eq!(seq, 0);
+        let bundle = rec.latest_bundle().expect("latest bundle");
+        assert!(bundle.contains("\"bundle_seq\": 0"));
+        assert!(bundle.contains("\"kind\": \"worker_panic\""));
+        assert!(
+            bundle.contains("worker 3 died: \\\"boom\\\""),
+            "detail is escaped"
+        );
+        assert!(bundle.contains("\"context\": {\"workers\": 2}"));
+        assert!(bundle.contains("\"processed\": 7"));
+        assert!(bundle.contains("\"load_state\": \"healthy\""));
+        assert!(bundle.contains("\"stage\": \"queue_wait\""));
+        assert!(bundle.contains("\"name\": \"energy policy\""));
+        assert_eq!(rec.bundles_assembled(), 1);
+    }
+
+    #[test]
+    fn empty_context_degrades_to_an_empty_object() {
+        let rec = FlightRecorder::new(RecorderConfig::default());
+        rec.trigger("manual", "", "  \n");
+        let bundle = rec.latest_bundle().expect("bundle");
+        assert!(bundle.contains("\"context\": {}"));
+    }
+
+    #[test]
+    fn cooldown_suppresses_same_kind_but_not_other_kinds() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            trigger_cooldown: Duration::from_secs(3600),
+            ..RecorderConfig::default()
+        });
+        assert!(rec.trigger_armed("breaker_trip"));
+        assert_eq!(rec.trigger("breaker_trip", "s1", "{}"), Some(0));
+        assert!(!rec.trigger_armed("breaker_trip"));
+        assert_eq!(
+            rec.trigger("breaker_trip", "s1 again", "{}"),
+            None,
+            "same kind cools down"
+        );
+        assert_eq!(
+            rec.trigger("load_critical", "independent", "{}"),
+            Some(1),
+            "distinct kinds are independent"
+        );
+        // A zero cooldown never suppresses.
+        let eager = FlightRecorder::new(RecorderConfig {
+            trigger_cooldown: Duration::ZERO,
+            ..RecorderConfig::default()
+        });
+        assert_eq!(eager.trigger("manual", "a", "{}"), Some(0));
+        assert_eq!(eager.trigger("manual", "b", "{}"), Some(1));
+    }
+
+    #[test]
+    fn spool_evicts_oldest_bundles() {
+        let dir = unique_spool("evict");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::new(RecorderConfig {
+            spool_dir: Some(dir.clone()),
+            spool_capacity: 2,
+            trigger_cooldown: Duration::ZERO,
+            ..RecorderConfig::default()
+        });
+        rec.force_tick(fill_basic);
+        for i in 0..4 {
+            assert_eq!(rec.trigger("manual", &format!("t{i}"), "{}"), Some(i));
+        }
+        let files = rec.spool_files();
+        assert_eq!(
+            files,
+            vec![dir.join("tep-diag-2.json"), dir.join("tep-diag-3.json")],
+            "only the two newest bundles survive"
+        );
+        assert!(!dir.join("tep-diag-0.json").exists());
+        assert!(!dir.join("tep-diag-1.json").exists());
+        let newest = std::fs::read_to_string(dir.join("tep-diag-3.json")).unwrap();
+        assert!(newest.contains("\"detail\": \"t3\""));
+        assert_eq!(rec.spool_errors(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn steady_state_tick_reuses_frame_buffers() {
+        // Not an allocator-level assertion (that lives in the bench
+        // gate); this checks the mechanism it relies on — capacities
+        // survive frame resets, so refills need no growth.
+        let rec = FlightRecorder::new(RecorderConfig {
+            frame_capacity: 2,
+            ..RecorderConfig::default()
+        });
+        for _ in 0..6 {
+            rec.force_tick(fill_basic);
+        }
+        let ring = lock_unpoisoned(&rec.ring);
+        for frame in ring.slots.iter() {
+            assert!(frame.counters.capacity() >= 1);
+            assert_eq!(frame.themes.len(), 1, "theme slots are pooled, not dropped");
+        }
+    }
+}

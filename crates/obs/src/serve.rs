@@ -4,21 +4,35 @@
 //! endpoints:
 //!
 //! * `GET /metrics` — Prometheus text exposition,
-//! * `GET /healthz` — liveness JSON (supervisor state, quarantine depth),
+//! * `GET /healthz` — **liveness** JSON (is the process serving at all),
+//! * `GET /readyz` — **readiness** JSON (load state, open breakers,
+//!   quarantine depth; 503 while the broker should be drained — when
+//!   installed via [`ScrapeHandlers::with_readyz`]),
 //! * `GET /explain` — JSON array of recent match explanations,
 //! * `GET /quality` — live precision/recall/F1 JSON (when the embedder
 //!   installs a handler via [`ScrapeHandlers::with_quality`]),
 //! * `GET /top` — top-k hottest themes/terms JSON (when installed via
 //!   [`ScrapeHandlers::with_top`]),
 //! * `GET /overload` — load-state / shedding / circuit-breaker JSON (when
-//!   installed via [`ScrapeHandlers::with_overload`]).
+//!   installed via [`ScrapeHandlers::with_overload`]),
+//! * `GET /debug/bundle` — the latest flight-recorder diagnostic bundle
+//!   (404 until one exists; installed via [`ScrapeHandlers::with_bundle`]),
+//! * `POST /debug/trigger` — fires a manual diagnostic trigger (installed
+//!   via [`ScrapeHandlers::with_trigger`]).
+//!
+//! Endpoints live in one route table, so dispatch, method checking
+//! (known path + wrong method → 405), and the 404 help text all derive
+//! from the same registrations — the help text can never drift from the
+//! installed handlers again.
 //!
 //! The handlers are plain closures supplied by the embedding process, so
 //! this crate stays free of tep dependencies and the broker stays free
 //! of networking. Requests are served sequentially — a scrape endpoint
 //! is polled by one Prometheus server every few seconds, not by a
 //! crowd — which keeps the implementation at one thread, zero
-//! dependencies, and no connection bookkeeping.
+//! dependencies, and no connection bookkeeping. Malformed, oversized, or
+//! dropped requests get an error response (or a silently discarded
+//! write); none of them can take the serving thread down.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -34,36 +48,61 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 /// Upper bound on the request head we are willing to buffer.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
-type Handler = Box<dyn Fn() -> String + Send + Sync>;
+/// Produces one response: `(status line, body)`. The content type is
+/// fixed per route.
+type RouteHandler = Box<dyn Fn() -> (&'static str, String) + Send + Sync>;
 
-/// The endpoint bodies, produced on demand by the embedder.
+/// One installed endpoint.
+struct Route {
+    method: &'static str,
+    path: &'static str,
+    content_type: &'static str,
+    respond: RouteHandler,
+}
+
+/// The route table, built by the embedder; see the module docs for the
+/// endpoints.
 pub struct ScrapeHandlers {
-    metrics: Handler,
-    healthz: Handler,
-    explain: Handler,
-    quality: Option<Handler>,
-    top: Option<Handler>,
-    overload: Option<Handler>,
+    routes: Vec<Route>,
     refresh: Option<Box<dyn Fn() + Send + Sync>>,
+}
+
+/// Wraps an infallible body producer as an always-200 route handler.
+fn ok(body: impl Fn() -> String + Send + Sync + 'static) -> RouteHandler {
+    Box::new(move || ("200 OK", body()))
 }
 
 impl ScrapeHandlers {
     /// Bundles the `/metrics`, `/healthz`, and `/explain` body
     /// producers. Each is called once per matching request, on the
-    /// serving thread. `/quality` and `/top` answer 404 until installed
-    /// with [`ScrapeHandlers::with_quality`] / [`ScrapeHandlers::with_top`].
+    /// serving thread. The remaining endpoints answer 404 until
+    /// installed with their `with_*` builder.
     pub fn new(
         metrics: impl Fn() -> String + Send + Sync + 'static,
         healthz: impl Fn() -> String + Send + Sync + 'static,
         explain: impl Fn() -> String + Send + Sync + 'static,
     ) -> ScrapeHandlers {
         ScrapeHandlers {
-            metrics: Box::new(metrics),
-            healthz: Box::new(healthz),
-            explain: Box::new(explain),
-            quality: None,
-            top: None,
-            overload: None,
+            routes: vec![
+                Route {
+                    method: "GET",
+                    path: "/metrics",
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    respond: ok(metrics),
+                },
+                Route {
+                    method: "GET",
+                    path: "/healthz",
+                    content_type: "application/json",
+                    respond: ok(healthz),
+                },
+                Route {
+                    method: "GET",
+                    path: "/explain",
+                    content_type: "application/json",
+                    respond: ok(explain),
+                },
+            ],
             refresh: None,
         }
     }
@@ -83,13 +122,23 @@ impl ScrapeHandlers {
         mut self,
         quality: impl Fn() -> String + Send + Sync + 'static,
     ) -> ScrapeHandlers {
-        self.quality = Some(Box::new(quality));
+        self.routes.push(Route {
+            method: "GET",
+            path: "/quality",
+            content_type: "application/json",
+            respond: ok(quality),
+        });
         self
     }
 
     /// Installs the `/top` body producer (JSON).
     pub fn with_top(mut self, top: impl Fn() -> String + Send + Sync + 'static) -> ScrapeHandlers {
-        self.top = Some(Box::new(top));
+        self.routes.push(Route {
+            method: "GET",
+            path: "/top",
+            content_type: "application/json",
+            respond: ok(top),
+        });
         self
     }
 
@@ -98,14 +147,104 @@ impl ScrapeHandlers {
         mut self,
         overload: impl Fn() -> String + Send + Sync + 'static,
     ) -> ScrapeHandlers {
-        self.overload = Some(Box::new(overload));
+        self.routes.push(Route {
+            method: "GET",
+            path: "/overload",
+            content_type: "application/json",
+            respond: ok(overload),
+        });
         self
+    }
+
+    /// Installs the `/readyz` readiness producer: `(ready, body)`, served
+    /// as 200 when ready and 503 when the broker should be drained.
+    /// Distinct from `/healthz` liveness — an overloaded broker is alive
+    /// (don't restart it) but not ready (stop routing new load to it).
+    pub fn with_readyz(
+        mut self,
+        readyz: impl Fn() -> (bool, String) + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        self.routes.push(Route {
+            method: "GET",
+            path: "/readyz",
+            content_type: "application/json",
+            respond: Box::new(move || {
+                let (ready, body) = readyz();
+                let status = if ready {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                (status, body)
+            }),
+        });
+        self
+    }
+
+    /// Installs the `/debug/bundle` producer: the latest diagnostic
+    /// bundle JSON, or `None` (served as 404) while no trigger has fired
+    /// yet.
+    pub fn with_bundle(
+        mut self,
+        bundle: impl Fn() -> Option<String> + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        self.routes.push(Route {
+            method: "GET",
+            path: "/debug/bundle",
+            content_type: "application/json",
+            respond: Box::new(move || match bundle() {
+                Some(body) => ("200 OK", body),
+                None => (
+                    "404 Not Found",
+                    "{\"error\": \"no bundle yet\"}\n".to_string(),
+                ),
+            }),
+        });
+        self
+    }
+
+    /// Installs the `POST /debug/trigger` handler: fires a manual
+    /// diagnostic trigger and returns its JSON acknowledgement.
+    pub fn with_trigger(
+        mut self,
+        trigger: impl Fn() -> String + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        self.routes.push(Route {
+            method: "POST",
+            path: "/debug/trigger",
+            content_type: "application/json",
+            respond: ok(trigger),
+        });
+        self
+    }
+
+    /// The 404 body, derived from the installed routes so it can never
+    /// drift from what is actually served.
+    fn not_found_help(&self) -> String {
+        let mut help = String::from("not found; try ");
+        for (i, route) in self.routes.iter().enumerate() {
+            if i > 0 {
+                help.push_str(", ");
+            }
+            help.push_str(route.path);
+        }
+        help.push('\n');
+        help
     }
 }
 
 impl fmt::Debug for ScrapeHandlers {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ScrapeHandlers").finish_non_exhaustive()
+        f.debug_struct("ScrapeHandlers")
+            .field(
+                "routes",
+                &self
+                    .routes
+                    .iter()
+                    .map(|r| format!("{} {}", r.method, r.path))
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
     }
 }
 
@@ -176,55 +315,49 @@ pub fn serve(addr: impl ToSocketAddrs, handlers: ScrapeHandlers) -> io::Result<S
 
 /// Reads the request head and writes one response.
 fn handle_connection(stream: &mut TcpStream, handlers: &ScrapeHandlers) -> io::Result<()> {
-    let head = read_request_head(stream)?;
+    let (head, complete) = read_request_head(stream)?;
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let raw_path = parts.next().unwrap_or("");
     // Ignore any query string: `/metrics?x=1` still scrapes.
-    let path = path.split('?').next().unwrap_or(path);
+    let path = raw_path.split('?').next().unwrap_or(raw_path);
 
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if !complete {
+        (
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "request head too large\n".to_string(),
+        )
+    } else if method.is_empty() || !path.starts_with('/') {
+        (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request line\n".to_string(),
+        )
+    } else if let Some(route) = handlers
+        .routes
+        .iter()
+        .find(|r| r.path == path && r.method == method)
+    {
+        if route.path == "/metrics" {
+            if let Some(refresh) = &handlers.refresh {
+                refresh();
+            }
+        }
+        let (status, body) = (route.respond)();
+        (status, route.content_type, body)
+    } else if handlers.routes.iter().any(|r| r.path == path) {
         (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
             "method not allowed\n".to_string(),
         )
     } else {
-        match path {
-            "/metrics" => {
-                if let Some(refresh) = &handlers.refresh {
-                    refresh();
-                }
-                (
-                    "200 OK",
-                    "text/plain; version=0.0.4; charset=utf-8",
-                    (handlers.metrics)(),
-                )
-            }
-            "/healthz" => ("200 OK", "application/json", (handlers.healthz)()),
-            "/explain" => ("200 OK", "application/json", (handlers.explain)()),
-            "/quality" if handlers.quality.is_some() => (
-                "200 OK",
-                "application/json",
-                (handlers.quality.as_ref().expect("guarded"))(),
-            ),
-            "/top" if handlers.top.is_some() => (
-                "200 OK",
-                "application/json",
-                (handlers.top.as_ref().expect("guarded"))(),
-            ),
-            "/overload" if handlers.overload.is_some() => (
-                "200 OK",
-                "application/json",
-                (handlers.overload.as_ref().expect("guarded"))(),
-            ),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found; try /metrics, /healthz, /explain, /quality, /top, /overload\n"
-                    .to_string(),
-            ),
-        }
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            handlers.not_found_help(),
+        )
     };
 
     write!(
@@ -237,21 +370,39 @@ fn handle_connection(stream: &mut TcpStream, handlers: &ScrapeHandlers) -> io::R
     stream.flush()
 }
 
-/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
-fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+/// Reads until the end of the request head (`\r\n\r\n`), EOF, or the
+/// size cap. The flag reports whether the head terminator was seen
+/// before the cap — a `false` with a full buffer means the client sent
+/// an oversized head.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<(String, bool)> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
     loop {
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            // A request that stalls past the read timeout is treated as
+            // what arrived; the response write to a dead peer just fails.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                0
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             break;
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            return Ok((String::from_utf8_lossy(&buf).into_owned(), true));
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Ok((String::from_utf8_lossy(&buf).into_owned(), false));
         }
     }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
+    // EOF before the terminator: serve what we got (an empty or partial
+    // line falls out as 400), never kill the thread.
+    Ok((String::from_utf8_lossy(&buf).into_owned(), true))
 }
 
 #[cfg(test)]
@@ -339,6 +490,91 @@ mod tests {
     }
 
     #[test]
+    fn not_found_help_tracks_installed_routes() {
+        let server = start();
+        let addr = server.local_addr();
+        let base = get(addr, "/nope");
+        assert!(base.contains("try /metrics, /healthz, /explain\n"));
+        assert!(
+            !base.contains("/debug"),
+            "uninstalled routes are not advertised"
+        );
+        server.shutdown();
+
+        let server = serve(
+            "127.0.0.1:0",
+            ScrapeHandlers::new(String::new, String::new, String::new)
+                .with_readyz(|| (true, "{}".to_string()))
+                .with_bundle(|| None)
+                .with_trigger(|| "{}".to_string()),
+        )
+        .expect("bind ephemeral port");
+        let full = get(server.local_addr(), "/nope");
+        assert!(
+            full.contains(
+                "try /metrics, /healthz, /explain, /readyz, /debug/bundle, /debug/trigger\n"
+            ),
+            "derived help lists every installed route: {full}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn readyz_reports_200_when_ready_and_503_when_not() {
+        use std::sync::atomic::AtomicBool;
+        let ready = Arc::new(AtomicBool::new(true));
+        let probe = Arc::clone(&ready);
+        let server = serve(
+            "127.0.0.1:0",
+            ScrapeHandlers::new(String::new, String::new, String::new).with_readyz(move || {
+                let ok = probe.load(Ordering::SeqCst);
+                (ok, format!("{{\"ready\": {ok}}}"))
+            }),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let up = get(addr, "/readyz");
+        assert!(up.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(up.ends_with("{\"ready\": true}"));
+        ready.store(false, Ordering::SeqCst);
+        let down = get(addr, "/readyz");
+        assert!(down.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(down.ends_with("{\"ready\": false}"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bundle_is_404_until_available_and_trigger_is_post_only() {
+        use std::sync::Mutex;
+        let bundle: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let reader = Arc::clone(&bundle);
+        let writer = Arc::clone(&bundle);
+        let server = serve(
+            "127.0.0.1:0",
+            ScrapeHandlers::new(String::new, String::new, String::new)
+                .with_bundle(move || reader.lock().unwrap().clone())
+                .with_trigger(move || {
+                    *writer.lock().unwrap() = Some("{\"bundle_seq\": 0}".to_string());
+                    "{\"triggered\": true}".to_string()
+                }),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let missing = get(addr, "/debug/bundle");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        assert!(missing.contains("no bundle yet"));
+        // The trigger route only answers POST.
+        assert!(get(addr, "/debug/trigger").starts_with("HTTP/1.1 405"));
+        let fired = request(addr, "POST /debug/trigger HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(fired.starts_with("HTTP/1.1 200 OK\r\n"), "{fired}");
+        assert!(fired.ends_with("{\"triggered\": true}"));
+        let found = get(addr, "/debug/bundle");
+        assert!(found.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(found.ends_with("{\"bundle_seq\": 0}"));
+        server.shutdown();
+    }
+
+    #[test]
     fn refresh_hook_runs_before_each_metrics_scrape_only() {
         use std::sync::atomic::AtomicUsize;
         let refreshed = Arc::new(AtomicUsize::new(0));
@@ -390,6 +626,77 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(len, body.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_lines_get_400_and_the_thread_survives() {
+        let server = start();
+        let addr = server.local_addr();
+        for junk in [
+            "GARBAGE\r\n\r\n",
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+            "\0\0\0\0\r\n\r\n",
+        ] {
+            let resp = request(addr, junk);
+            assert!(
+                resp.starts_with("HTTP/1.1 400 Bad Request\r\n"),
+                "junk {junk:?} got {resp:?}"
+            );
+        }
+        // The serving thread survived all of it.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK\r\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_head_gets_431_and_the_thread_survives() {
+        let server = start();
+        let addr = server.local_addr();
+        // A header stream that reaches the cap without ever terminating.
+        // Sized to exactly the cap so the server drains every byte before
+        // responding (a closing socket with unread data would RST the
+        // connection and discard the response we want to assert on).
+        let prefix = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+        let huge = format!("{prefix}{}", "x".repeat(MAX_REQUEST_BYTES - prefix.len()));
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.write_all(huge.as_bytes());
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(
+            resp.starts_with("HTTP/1.1 431 "),
+            "oversized head got {:?}",
+            resp.lines().next()
+        );
+        drop(s);
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200 OK\r\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn partial_reads_and_mid_response_drops_do_not_kill_the_thread() {
+        let server = start();
+        let addr = server.local_addr();
+        // Partial request line, then the client vanishes.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /met").unwrap();
+        } // dropped before the head terminator
+          // Full request, but the client drops before reading the response.
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+        } // dropped mid-response
+          // An empty connection (no bytes at all).
+        {
+            let _s = TcpStream::connect(addr).expect("connect");
+        }
+        // The serving thread is still alive and serving.
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200 OK\r\n"));
         server.shutdown();
     }
 

@@ -177,6 +177,49 @@ impl TopKSketch {
         entries
     }
 
+    /// Visits the `k` hottest keys (hottest first, `k` capped at 16)
+    /// without allocating: the selection runs over a fixed stack array
+    /// and names are borrowed from the resolution map. Ties break by
+    /// slot order rather than by name — use [`TopKSketch::top`] when a
+    /// deterministic tie order matters more than staying off the heap
+    /// (the flight recorder's frame tick is the opposite trade).
+    pub fn for_each_top(&self, k: usize, mut emit: impl FnMut(&str, u64)) {
+        const MAX: usize = 16;
+        let k = k.min(MAX);
+        if k == 0 {
+            return;
+        }
+        let mut best = [(0u64, 0u64); MAX]; // (key hash, count), descending
+        let mut len = 0usize;
+        for slot in self.slots.iter() {
+            let key = slot.key.load(Ordering::Relaxed);
+            if key == 0 {
+                continue;
+            }
+            let count = slot.count.load(Ordering::Relaxed);
+            let mut insert_at = len;
+            while insert_at > 0 && best[insert_at - 1].1 < count {
+                insert_at -= 1;
+            }
+            if insert_at >= k {
+                continue;
+            }
+            if len < k {
+                len += 1;
+            }
+            for j in (insert_at + 1..len).rev() {
+                best[j] = best[j - 1];
+            }
+            best[insert_at] = (key, count);
+        }
+        let names = self.names.read().unwrap_or_else(|e| e.into_inner());
+        for &(key, count) in &best[..len] {
+            if let Some(name) = names.get(&key) {
+                emit(name, count);
+            }
+        }
+    }
+
     /// Occupied slots (distinct keys currently tracked).
     pub fn tracked(&self) -> usize {
         self.slots
@@ -238,6 +281,28 @@ mod tests {
             "space-saving counts over-report, never under: {}",
             top[0].1
         );
+    }
+
+    #[test]
+    fn for_each_top_agrees_with_top() {
+        let sketch = TopKSketch::new(64);
+        for (key, n) in [
+            ("alpha", 50u64),
+            ("beta", 30),
+            ("gamma", 10),
+            ("delta", 3),
+            ("epsilon", 1),
+        ] {
+            sketch.record_n(key, n);
+        }
+        let mut visited: Vec<(String, u64)> = Vec::new();
+        sketch.for_each_top(3, |name, count| visited.push((name.to_string(), count)));
+        assert_eq!(visited, sketch.top(3));
+        // k = 0 visits nothing; k past the tracked set visits everything.
+        sketch.for_each_top(0, |_, _| panic!("k = 0 must not emit"));
+        let mut all = 0usize;
+        sketch.for_each_top(16, |_, _| all += 1);
+        assert_eq!(all, 5);
     }
 
     #[test]

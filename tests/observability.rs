@@ -687,7 +687,8 @@ fn scrape_endpoints_serve_metrics_health_and_explanations() {
     let b = Arc::new(exact_broker(
         BrokerConfig::default()
             .with_workers(1)
-            .with_explain_capacity(32),
+            .with_explain_capacity(32)
+            .with_flight_recorder(RecorderSettings::default()),
     ));
     let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
     for i in 0..4 {
@@ -697,6 +698,7 @@ fn scrape_endpoints_serve_metrics_health_and_explanations() {
     b.flush().unwrap();
 
     let (mb, hb, eb) = (Arc::clone(&b), Arc::clone(&b), Arc::clone(&b));
+    let (rb, bb, tb) = (Arc::clone(&b), Arc::clone(&b), Arc::clone(&b));
     let server = serve(
         "127.0.0.1:0",
         ScrapeHandlers::new(
@@ -708,7 +710,13 @@ fn scrape_endpoints_serve_metrics_health_and_explanations() {
                 )
             },
             move || render_explanations_json(&eb.explain_last(32)),
-        ),
+        )
+        .with_readyz(move || rb.readiness())
+        .with_bundle(move || bb.latest_bundle_json().map(|bundle| (*bundle).clone()))
+        .with_trigger(move || match tb.trigger_diagnostic("scrape test trigger") {
+            Some(seq) => format!("{{\"triggered\":true,\"bundle_seq\":{seq}}}\n"),
+            None => String::from("{\"triggered\":false}\n"),
+        }),
     )
     .expect("bind on an ephemeral port");
     let addr = server.local_addr();
@@ -735,9 +743,78 @@ fn scrape_endpoints_serve_metrics_health_and_explanations() {
     let explain = get("/explain");
     assert!(explain.contains("application/json"));
     assert!(explain.contains("\"outcome\": \"delivered\""));
+    let ready = get("/readyz");
+    assert!(ready.starts_with("HTTP/1.1 200 OK"), "{ready}");
+    assert!(ready.contains("\"ready\": true"), "{ready}");
+    // No trigger has fired yet, so there is no bundle to serve …
+    assert!(get("/debug/bundle").starts_with("HTTP/1.1 404"));
+    // … until a manual POST freezes one.
+    let post = |path: &str| {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    let triggered = post("/debug/trigger");
+    assert!(triggered.starts_with("HTTP/1.1 200 OK"), "{triggered}");
+    assert!(triggered.contains("\"triggered\":true"), "{triggered}");
+    let bundle = get("/debug/bundle");
+    assert!(bundle.starts_with("HTTP/1.1 200 OK"), "{bundle}");
+    assert!(bundle.contains("\"kind\": \"manual\""), "{bundle}");
     assert!(get("/nope").starts_with("HTTP/1.1 404"));
     server.shutdown();
     // The handlers hold broker clones, so tear down via `close` (any
     // thread) rather than the by-value `shutdown`.
+    b.close();
+}
+
+/// Regression test: concurrent `/metrics` scrapes racing the lazy window
+/// refresh must push at most one frame per min-interval — the guard is a
+/// mutex over the last-tick instant, so a scrape storm cannot flood the
+/// window ring with near-identical frames.
+#[test]
+fn concurrent_lazy_ticks_push_at_most_one_frame_per_interval() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    let b = Arc::new(exact_broker(BrokerConfig::default().with_workers(1)));
+    let interval = Duration::from_millis(200);
+    let race = |broker: &Arc<Broker>| {
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let ticked = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let broker = Arc::clone(broker);
+                let barrier = Arc::clone(&barrier);
+                let ticked = Arc::clone(&ticked);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // Each racer scrapes several times, like a storm of
+                    // overlapping Prometheus pollers.
+                    for _ in 0..4 {
+                        if broker.tick_window_if_stale(interval) {
+                            ticked.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        ticked.load(Ordering::Relaxed)
+    };
+
+    assert_eq!(race(&b), 1, "first storm ticks exactly once");
+    assert_eq!(race(&b), 0, "second storm inside the interval never ticks");
+    std::thread::sleep(interval + Duration::from_millis(50));
+    assert_eq!(race(&b), 1, "a stale window ticks exactly once more");
     b.close();
 }
