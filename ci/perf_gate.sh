@@ -27,11 +27,21 @@
 # and a forced Critical load state. It writes BENCH_obsgate.json and the
 # chaos bundle BENCH_diag_bundle.json (OBS_GATE_MAX_OVERHEAD /
 # OBS_GATE_MAX_STEADY_ALLOCS / OBS_GATE_TRIALS override).
+# Finally runs the self-contained cost-attribution gate (probe
+# cost-gate) against the committed ci/cost_baseline.json: sampling cost
+# attribution at its default 1-in-64 rate must stay within 1% of
+# attribution-off throughput, the k=1 charge path may allocate nothing
+# beyond the attribution-off loop, and attributed totals scaled by k
+# must reconcile with the global match+deliver stage histograms (exactly
+# at k=1). It writes BENCH_costs.json (COST_GATE_MAX_OVERHEAD /
+# COST_GATE_MAX_EXTRA_ALLOCS / COST_GATE_MAX_RECONCILE_ERROR /
+# COST_GATE_TRIALS override).
 # Thresholds can be loosened for noisy runners via the environment:
 #
 #   PERF_GATE_MAX_DROP=0.40 PERF_GATE_MAX_P99_GROWTH=3.0 \
 #   QUALITY_GATE_MAX_F1_DROP=0.15 QUALITY_GATE_MIN_SAMPLES=150 \
 #   SUBINDEX_GATE_MAX_DROP=0.50 OBS_GATE_MAX_OVERHEAD=0.05 \
+#   COST_GATE_MAX_OVERHEAD=0.05 \
 #       sh ci/perf_gate.sh
 #
 # To refresh the baselines after an intentional change:
@@ -50,6 +60,8 @@ SUBINDEX_BASELINE="${SUBINDEX_BASELINE:-ci/subindex_baseline.json}"
 SUBINDEX_CURRENT="${SUBINDEX_CURRENT:-BENCH_subindex.json}"
 OBSGATE_OUT="${OBSGATE_OUT:-BENCH_obsgate.json}"
 OBSGATE_BUNDLE="${OBSGATE_BUNDLE:-BENCH_diag_bundle.json}"
+COSTGATE_BASELINE="${COSTGATE_BASELINE:-ci/cost_baseline.json}"
+COSTGATE_OUT="${COSTGATE_OUT:-BENCH_costs.json}"
 
 if [ -x target/release/probe ]; then
     PROBE=target/release/probe
@@ -61,3 +73,4 @@ $PROBE perf-gate --baseline "$BASELINE" --current "$CURRENT"
 $PROBE quality-gate --baseline "$QUALITY_BASELINE" --current "$QUALITY_CURRENT"
 $PROBE subindex-gate --baseline "$SUBINDEX_BASELINE" --current "$SUBINDEX_CURRENT"
 $PROBE obs-gate --out "$OBSGATE_OUT" --bundle "$OBSGATE_BUNDLE"
+$PROBE cost-gate --baseline "$COSTGATE_BASELINE" --out "$COSTGATE_OUT"

@@ -55,6 +55,14 @@ fn main() {
             obs_gate();
             return;
         }
+        Some("cost-gate") => {
+            cost_gate();
+            return;
+        }
+        Some("partition-plan") => {
+            partition_plan();
+            return;
+        }
         _ => {}
     }
     let cfg = EvalConfig::quick();
@@ -158,6 +166,7 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     let overload_slot = Arc::clone(slot);
     let refresh_slot = Arc::clone(slot);
     let readyz_slot = Arc::clone(slot);
+    let costs_slot = Arc::clone(slot);
     let bundle_slot = Arc::clone(slot);
     let trigger_slot = Arc::clone(slot);
     ScrapeHandlers::new(
@@ -197,6 +206,10 @@ fn scrape_handlers(slot: &BrokerSlot) -> ScrapeHandlers {
     })
     .with_overload(move || match overload_slot.read().unwrap().as_ref() {
         Some(b) => b.overload_json(),
+        None => String::from("{\n  \"enabled\": false\n}\n"),
+    })
+    .with_costs(move || match costs_slot.read().unwrap().as_ref() {
+        Some(b) => b.costs_json(),
         None => String::from("{\n  \"enabled\": false\n}\n"),
     })
     .with_refresh(move || {
@@ -264,7 +277,7 @@ fn bench_throughput() {
         let server = serve(&addr, scrape_handlers(&slot)).expect("bind scrape server");
         println!(
             "serving /metrics /healthz /readyz /explain /quality /top /overload \
-             /debug/bundle /debug/trigger on http://{}",
+             /costs /debug/bundle /debug/trigger on http://{}",
             server.local_addr()
         );
         server
@@ -530,6 +543,172 @@ fn obs_gate() {
         eprintln!("obs gate: {v}");
     }
     if !result.passed() {
+        std::process::exit(1);
+    }
+}
+
+/// Cost-attribution gate: proves the sampling profiler stays within the
+/// throughput-overhead budget, allocates nothing at steady state, and
+/// reconciles against the stage histograms (run with
+/// `probe cost-gate [--baseline PATH] [--out PATH]`). Thresholds come
+/// from the committed `ci/cost_baseline.json`; `COST_GATE_MAX_OVERHEAD`,
+/// `COST_GATE_MAX_EXTRA_ALLOCS`, `COST_GATE_MAX_RECONCILE_ERROR`, and
+/// `COST_GATE_TRIALS` override them for noisy runners. Exits 1 on any
+/// violation.
+fn cost_gate() {
+    let (baseline, out) = {
+        let mut it = std::env::args().skip(2);
+        let mut baseline = String::from("ci/cost_baseline.json");
+        let mut out = String::from("BENCH_costs.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--baseline" => baseline = it.next().expect("--baseline needs a value"),
+                "--out" => out = it.next().expect("--out needs a value"),
+                other => {
+                    eprintln!(
+                        "usage: probe cost-gate [--baseline PATH] [--out PATH] \
+                         (unknown arg {other:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        (baseline, out)
+    };
+    let doc = std::fs::read_to_string(&baseline).unwrap_or_else(|e| {
+        eprintln!("cost gate: cannot read {baseline}: {e}");
+        std::process::exit(1);
+    });
+    let mut cfg = tep_bench::costgate::config_from_json(&doc).unwrap_or_else(|e| {
+        eprintln!("cost gate: {baseline}: {e}");
+        std::process::exit(1);
+    });
+    if let Ok(v) = std::env::var("COST_GATE_MAX_OVERHEAD") {
+        cfg.max_overhead = v.parse().expect("COST_GATE_MAX_OVERHEAD must be a float");
+    }
+    if let Ok(v) = std::env::var("COST_GATE_MAX_EXTRA_ALLOCS") {
+        cfg.max_extra_allocs = v
+            .parse()
+            .expect("COST_GATE_MAX_EXTRA_ALLOCS must be an integer");
+    }
+    if let Ok(v) = std::env::var("COST_GATE_MAX_RECONCILE_ERROR") {
+        cfg.max_reconcile_error = v
+            .parse()
+            .expect("COST_GATE_MAX_RECONCILE_ERROR must be a float");
+    }
+    if let Ok(v) = std::env::var("COST_GATE_TRIALS") {
+        cfg.trials = v.parse().expect("COST_GATE_TRIALS must be an integer");
+    }
+    let result = tep_bench::costgate::run_cost_gate(&cfg);
+    println!("{}", result.summary());
+    std::fs::write(&out, result.render_json()).expect("write cost-gate JSON");
+    println!("wrote {out}");
+    for v in &result.violations {
+        eprintln!("cost gate: {v}");
+    }
+    if !result.passed() {
+        std::process::exit(1);
+    }
+}
+
+/// Data-driven partition planner: runs a skewed themed workload with
+/// full (k = 1) cost attribution, feeds the measured per-theme cost
+/// table into the LPT packer, and writes the N-way theme-partition map
+/// (run with `probe partition-plan [--parts N] [--out PATH]`). Exits 1
+/// when no cost was measured or the plan violates its own LPT
+/// certificate.
+fn partition_plan() {
+    use tep::prelude::{parse_event, parse_subscription, BrokerConfig, ExactMatcher};
+    let (parts, out) = {
+        let mut it = std::env::args().skip(2);
+        let mut parts = 4usize;
+        let mut out = String::from("BENCH_partition_plan.json");
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--parts" => {
+                    parts = it
+                        .next()
+                        .expect("--parts needs a value")
+                        .parse()
+                        .expect("--parts must be an integer");
+                }
+                "--out" => out = it.next().expect("--out needs a value"),
+                other => {
+                    eprintln!(
+                        "usage: probe partition-plan [--parts N] [--out PATH] \
+                         (unknown arg {other:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        (parts, out)
+    };
+    // A deliberately skewed synthetic workload: theme i carries i+1
+    // subscribers and (i+1)² publishes, so measured cost — not theme
+    // count — is what the planner has to balance.
+    const THEMES: [&str; 8] = [
+        "energy policy",
+        "power generation",
+        "building energy",
+        "road transport",
+        "air traffic",
+        "water supply",
+        "waste management",
+        "public safety",
+    ];
+    let config = BrokerConfig::default()
+        .with_workers(2)
+        .with_cost_attribution(1);
+    let broker = Broker::start(Arc::new(ExactMatcher::new()), config);
+    let mut receivers = Vec::new();
+    for (i, theme) in THEMES.iter().enumerate() {
+        for _ in 0..=i {
+            let sub = parse_subscription(&format!("({{{theme}}}, {{kind= t{i}}})"))
+                .expect("synthetic subscription");
+            receivers.push(broker.subscribe(sub).expect("subscribe").1);
+        }
+    }
+    for (i, theme) in THEMES.iter().enumerate() {
+        let event =
+            parse_event(&format!("({{{theme}}}, {{kind: t{i}}})")).expect("synthetic event");
+        let event = Arc::new(event);
+        for _ in 0..(i + 1) * (i + 1) {
+            broker.publish_arc(Arc::clone(&event)).expect("publish");
+        }
+    }
+    broker
+        .flush_timeout(Duration::from_secs(120))
+        .expect("flush");
+    let themes: Vec<(String, u64)> = broker
+        .costs()
+        .themes
+        .iter()
+        .map(|t| (t.label.clone(), t.total_ns()))
+        .collect();
+    for rx in &receivers {
+        while rx.try_recv().is_ok() {}
+    }
+    broker.close();
+    if themes.is_empty() {
+        eprintln!("partition plan: the workload measured no per-theme cost");
+        std::process::exit(1);
+    }
+    let plan = tep_bench::partition::plan_partitions(&themes, parts);
+    println!("{}", plan.summary());
+    for bin in &plan.bins {
+        let names: Vec<&str> = bin.themes.iter().map(|(n, _)| n.as_str()).collect();
+        println!(
+            "  part {}: {:>12} ns  [{}]",
+            bin.part,
+            bin.total_ns,
+            names.join(", ")
+        );
+    }
+    std::fs::write(&out, plan.render_json()).expect("write partition plan");
+    println!("wrote {out}");
+    if !plan.within_bound {
+        eprintln!("partition plan: heaviest shard violates the LPT certificate");
         std::process::exit(1);
     }
 }

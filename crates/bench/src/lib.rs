@@ -17,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod costgate;
 pub mod gate;
 pub mod obsgate;
 pub mod overload;
+pub mod partition;
 pub mod quality;
 pub mod report;
 pub mod subindex;

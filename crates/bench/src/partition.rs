@@ -1,0 +1,221 @@
+//! Data-driven theme partition planner (`probe partition-plan`).
+//!
+//! Consumes the broker's per-theme cost table (`Broker::costs().themes`)
+//! and emits a greedy balanced N-way theme-partition map: which
+//! themes a hypothetical N-broker deployment should pin to which shard so
+//! that measured matching + delivery cost — not theme *count* — is what
+//! gets balanced.
+//!
+//! The packing is longest-processing-time (LPT) greedy: themes sorted by
+//! cost descending, each assigned to the currently lightest shard. Graham
+//! 1969 bounds the resulting makespan at `(4/3 − 1/(3N)) × OPT`, and
+//! since `OPT ≥ max(mean load, heaviest theme)` the plan checks its own
+//! prediction against that certificate — a violation means the planner
+//! itself is buggy, not that the workload is hard.
+
+/// One planned shard: its themes and predicted load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionBin {
+    /// Shard number, `0..parts`.
+    pub part: usize,
+    /// Predicted sampled nanoseconds this shard absorbs.
+    pub total_ns: u64,
+    /// `(theme, sampled ns)` pairs pinned to this shard, heaviest first.
+    pub themes: Vec<(String, u64)>,
+}
+
+/// A greedy balanced N-way theme-partition map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// Requested shard count (≥ 1).
+    pub parts: usize,
+    /// Total sampled nanoseconds across every theme.
+    pub total_ns: u64,
+    /// The shards, ordered by part number.
+    pub bins: Vec<PartitionBin>,
+    /// Predicted imbalance factor: heaviest shard ÷ mean shard load
+    /// (1.0 = perfectly balanced; 0.0 when there is no load at all).
+    pub imbalance: f64,
+    /// Graham's LPT approximation factor for this `parts`:
+    /// `4/3 − 1/(3·parts)`.
+    pub lpt_bound: f64,
+    /// Whether the heaviest shard respects the LPT certificate
+    /// `max ≤ bound × max(mean, heaviest theme)`.
+    pub within_bound: bool,
+}
+
+/// Packs `theme_costs` into `parts` shards with LPT greedy. Themes with
+/// zero measured cost still get assigned (round-robin onto the lightest
+/// shard) so the map is total. Ties break deterministically by theme
+/// name, so the same cost table always yields the same plan.
+pub fn plan_partitions(theme_costs: &[(String, u64)], parts: usize) -> PartitionPlan {
+    let parts = parts.max(1);
+    let mut sorted: Vec<(String, u64)> = theme_costs.to_vec();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut bins: Vec<PartitionBin> = (0..parts)
+        .map(|part| PartitionBin {
+            part,
+            total_ns: 0,
+            themes: Vec::new(),
+        })
+        .collect();
+    let heaviest_theme = sorted.first().map_or(0, |(_, ns)| *ns);
+    for (theme, ns) in sorted {
+        // Lightest shard wins; equal loads fall to the lowest part
+        // number, which keeps the plan deterministic.
+        let bin = bins
+            .iter_mut()
+            .min_by_key(|b| (b.total_ns, b.part))
+            .expect("parts >= 1");
+        bin.total_ns += ns;
+        bin.themes.push((theme, ns));
+    }
+    let total_ns: u64 = bins.iter().map(|b| b.total_ns).sum();
+    let max_ns = bins.iter().map(|b| b.total_ns).max().unwrap_or(0);
+    let mean = total_ns as f64 / parts as f64;
+    let imbalance = if mean > 0.0 {
+        max_ns as f64 / mean
+    } else {
+        0.0
+    };
+    let lpt_bound = 4.0 / 3.0 - 1.0 / (3.0 * parts as f64);
+    // OPT can never beat the mean load or the single heaviest theme;
+    // LPT promises max ≤ bound × OPT, so this is a sound self-check.
+    let opt_floor = mean.max(heaviest_theme as f64);
+    let within_bound = max_ns as f64 <= lpt_bound * opt_floor + 1e-9 || total_ns == 0;
+    PartitionPlan {
+        parts,
+        total_ns,
+        bins,
+        imbalance,
+        lpt_bound,
+        within_bound,
+    }
+}
+
+impl PartitionPlan {
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "partition plan: {} themes over {} shards, imbalance {:.3} \
+             (LPT bound {:.3}, certificate {})",
+            self.bins.iter().map(|b| b.themes.len()).sum::<usize>(),
+            self.parts,
+            self.imbalance,
+            self.lpt_bound,
+            if self.within_bound { "ok" } else { "VIOLATED" },
+        )
+    }
+
+    /// The machine-readable `BENCH_partition_plan.json` document.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"parts\": {},", self.parts);
+        let _ = writeln!(out, "  \"total_ns\": {},", self.total_ns);
+        let _ = writeln!(out, "  \"imbalance\": {:.6},", self.imbalance);
+        let _ = writeln!(out, "  \"lpt_bound\": {:.6},", self.lpt_bound);
+        let _ = writeln!(out, "  \"within_bound\": {},", self.within_bound);
+        out.push_str("  \"bins\": [\n");
+        for (i, bin) in self.bins.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"part\": {}, \"total_ns\": {}, \"themes\": [",
+                bin.part, bin.total_ns
+            );
+            for (j, (theme, ns)) in bin.themes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", \"ns\": {ns}}}",
+                    theme.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.bins.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(raw: &[(&str, u64)]) -> Vec<(String, u64)> {
+        raw.iter().map(|(n, c)| (n.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn lpt_balances_the_classic_example() {
+        // 7 jobs on 3 machines: LPT places them 12/15/12 (OPT is 13),
+        // inside Graham's 4/3 − 1/9 factor of the mean-load floor.
+        let plan = plan_partitions(
+            &costs(&[
+                ("a", 7),
+                ("b", 7),
+                ("c", 6),
+                ("d", 6),
+                ("e", 5),
+                ("f", 4),
+                ("g", 4),
+            ]),
+            3,
+        );
+        assert_eq!(plan.total_ns, 39);
+        let max = plan.bins.iter().map(|b| b.total_ns).max().unwrap();
+        assert_eq!(max, 15, "deterministic LPT outcome");
+        assert!(plan.within_bound);
+        assert!(plan.imbalance >= 1.0);
+        assert!(plan.imbalance <= plan.lpt_bound);
+    }
+
+    #[test]
+    fn every_theme_lands_in_exactly_one_bin() {
+        let input = costs(&[("x", 10), ("y", 0), ("z", 3)]);
+        let plan = plan_partitions(&input, 2);
+        let mut seen: Vec<&str> = plan
+            .bins
+            .iter()
+            .flat_map(|b| b.themes.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn plan_is_deterministic_under_cost_ties() {
+        let input = costs(&[("b", 5), ("a", 5), ("d", 5), ("c", 5)]);
+        let first = plan_partitions(&input, 2);
+        let second = plan_partitions(&input, 2);
+        assert_eq!(first, second);
+        // Ties sort by name, so 'a' is placed first.
+        assert_eq!(first.bins[0].themes[0].0, "a");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_stay_sane() {
+        let empty = plan_partitions(&[], 4);
+        assert_eq!(empty.total_ns, 0);
+        assert_eq!(empty.imbalance, 0.0);
+        assert!(empty.within_bound);
+        // One indivisible theme on many shards: the certificate compares
+        // against the heaviest-theme floor instead of flagging a bogus
+        // violation.
+        let single = plan_partitions(&costs(&[("only", 100)]), 4);
+        assert!(single.within_bound);
+        assert_eq!(plan_partitions(&costs(&[("t", 1)]), 0).parts, 1);
+    }
+
+    #[test]
+    fn render_json_carries_the_full_map() {
+        let plan = plan_partitions(&costs(&[("hot", 8), ("warm", 2)]), 2);
+        let json = plan.render_json();
+        assert!(json.contains("\"parts\": 2"));
+        assert!(json.contains("\"name\": \"hot\", \"ns\": 8"));
+        assert!(json.contains("\"within_bound\": true"));
+    }
+}

@@ -20,13 +20,20 @@ use std::time::{Duration, Instant};
 use tep_events::{Event, Subscription};
 use tep_matcher::{CacheStats, Matcher};
 use tep_obs::{
-    escape_json, render_spans_json, span_tree, CounterFamily, FlightRecorder, FrameWriter,
-    MetricsFrame, MetricsRegistry, RecorderConfig, SpanCollector, SpanNode, SpanRecord, TopKSketch,
-    TraceRing, WindowRing, WindowedDelta,
+    escape_json, render_spans_json, span_tree, CostEntry, CostTable, CounterFamily, FlightRecorder,
+    FrameWriter, MetricsFrame, MetricsRegistry, RecorderConfig, SpanCollector, SpanNode,
+    SpanRecord, TopKSketch, TraceRing, WindowRing, WindowedDelta,
 };
 
 /// Default deadline for the bare [`Broker::flush`] convenience wrapper.
 const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_secs(60);
+
+/// The tuned default 1-in-k cost-attribution sampling rate
+/// ([`BrokerConfig::with_cost_attribution`]): the rate the cost gate
+/// certifies at ≤1% throughput overhead. At k = 64 a steady workload
+/// still lands hundreds of samples per second per hot entry, so the
+/// scaled estimate (`sampled × k`) converges quickly.
+pub const DEFAULT_COST_SAMPLE_EVERY: u64 = 64;
 
 /// Identifier handed out by [`Broker::subscribe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -225,6 +232,12 @@ pub(crate) struct Shared {
     /// [`BrokerConfig::with_flight_recorder`] enabled it, so the dequeue
     /// hot path pays a single branch when it is off.
     pub(crate) recorder: Option<FlightRecorder>,
+    /// The sampling cost-attribution tables; `None` unless
+    /// [`BrokerConfig::with_cost_attribution`] enabled them, so the
+    /// dispatch hot path pays a single branch when they are off.
+    pub(crate) cost: Option<CostState>,
+    /// Broker start time, backing the `tep_uptime_seconds` gauge.
+    pub(crate) started: Instant,
 }
 
 /// Labeled (dimensional) metric families, built once at start-up when
@@ -258,6 +271,179 @@ impl DimMetrics {
             hot_themes: TopKSketch::new(cardinality.max(16)),
             hot_terms: TopKSketch::new(cardinality.max(16)),
         }
+    }
+}
+
+/// Sampling cost-attribution state, built once at start-up when
+/// [`BrokerConfig::with_cost_attribution`] is on. A deterministic 1-in-k
+/// sample of dispatches charges measured match and deliver nanoseconds to
+/// the owning subscription-index entry, the event's theme tags, and the
+/// delivered subscribers; scaling any sampled figure by `every`
+/// estimates the true total (exact when `every == 1`).
+pub(crate) struct CostState {
+    /// The 1-in-k sampling rate; always ≥ 1 when the state exists.
+    pub(crate) every: u64,
+    /// Exact per-index-entry totals, keyed by the entry's dense slot and
+    /// stamped with its uid so recycled slots never inherit charges.
+    pub(crate) entries: CostTable,
+    /// Exact per-subscriber totals, keyed by subscription id.
+    pub(crate) subscribers: CostTable,
+    /// Sampled match nanoseconds per event theme tag, capped at
+    /// [`BrokerConfig::label_cardinality`] series.
+    pub(crate) theme_match_ns: CounterFamily,
+    /// Sampled deliver nanoseconds per event theme tag.
+    pub(crate) theme_deliver_ns: CounterFamily,
+    /// Space-saving sketch of the most expensive index entries
+    /// (by sampled match + deliver nanoseconds).
+    pub(crate) hot_entries: TopKSketch,
+    /// Space-saving sketch of the most expensive theme tags.
+    pub(crate) hot_themes: TopKSketch,
+    /// Space-saving sketch of the most expensive subscribers.
+    pub(crate) hot_subscribers: TopKSketch,
+    /// Global sampled match nanoseconds, reconciled against the match
+    /// stage histograms (sampled × every ≈ histogram sum).
+    pub(crate) match_ns: AtomicU64,
+    /// Global sampled deliver nanoseconds.
+    pub(crate) deliver_ns: AtomicU64,
+    /// Sampled dispatches charged so far.
+    pub(crate) samples: AtomicU64,
+}
+
+impl CostState {
+    fn new(every: u64, cardinality: usize) -> CostState {
+        CostState {
+            every: every.max(1),
+            entries: CostTable::new(),
+            subscribers: CostTable::new(),
+            theme_match_ns: CounterFamily::new(cardinality),
+            theme_deliver_ns: CounterFamily::new(cardinality),
+            hot_entries: TopKSketch::new(cardinality.max(16)),
+            hot_themes: TopKSketch::new(cardinality.max(16)),
+            hot_subscribers: TopKSketch::new(cardinality.max(16)),
+            match_ns: AtomicU64::new(0),
+            deliver_ns: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the dispatch of event `seq` against index entry `uid` is
+    /// in the deterministic sample — the same splitmix64 decision the
+    /// quality sampler uses, so the choice is reproducible across runs
+    /// and uncorrelated with publish order.
+    #[inline]
+    pub(crate) fn should_sample(&self, seq: u64, uid: u64) -> bool {
+        crate::quality::mix(seq, uid).is_multiple_of(self.every)
+    }
+
+    /// Charges one sampled dispatch to its index entry and the global
+    /// sampled totals. Allocation-free: the entry label was preformatted
+    /// at subscribe time and the sketch increments tracked keys in place.
+    pub(crate) fn charge_entry(&self, slot: u32, uid: u64, match_ns: u64, deliver_ns: u64) {
+        self.entries
+            .charge(u64::from(slot), uid, match_ns, deliver_ns, |label| {
+                self.hot_entries.record_n(label, match_ns + deliver_ns);
+            });
+        self.match_ns.fetch_add(match_ns, Ordering::Relaxed);
+        self.deliver_ns.fetch_add(deliver_ns, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges a delivered subscriber its share of a sampled dispatch.
+    pub(crate) fn charge_subscriber(&self, id: u64, match_ns: u64, deliver_ns: u64) {
+        self.subscribers
+            .charge(id, id, match_ns, deliver_ns, |label| {
+                self.hot_subscribers.record_n(label, match_ns + deliver_ns);
+            });
+    }
+
+    /// Charges one of the event's theme tags the full sampled cost (an
+    /// event with two tags charges both, like `match_by_theme`).
+    pub(crate) fn charge_theme(&self, tag: &str, match_ns: u64, deliver_ns: u64) {
+        self.theme_match_ns.add(tag, match_ns);
+        self.theme_deliver_ns.add(tag, deliver_ns);
+        self.hot_themes.record_n(tag, match_ns + deliver_ns);
+    }
+
+    /// The per-theme cost table as sorted [`CostEntry`] rows (the
+    /// partition planner's input). Theme rows carry no per-row sample
+    /// count — a dispatch charges every tag of its event — so `samples`
+    /// is 0 on each row.
+    pub(crate) fn theme_entries(&self) -> Vec<CostEntry> {
+        use std::collections::BTreeMap;
+        let mut themes: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for (label, ns) in self.theme_match_ns.snapshot() {
+            themes.entry(label).or_default().0 = ns;
+        }
+        for (label, ns) in self.theme_deliver_ns.snapshot() {
+            themes.entry(label).or_default().1 = ns;
+        }
+        let mut rows: Vec<CostEntry> = themes
+            .into_iter()
+            .map(|(label, (match_ns, deliver_ns))| CostEntry {
+                label,
+                match_ns,
+                deliver_ns,
+                samples: 0,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.label.cmp(&b.label)));
+        rows
+    }
+}
+
+/// A point-in-time cost-attribution report ([`Broker::costs`]).
+///
+/// All nanosecond figures are **sampled** sums: every 1-in-`sample_every`
+/// dispatch contributes its full measured cost, so multiplying a sampled
+/// figure by `sample_every` estimates the true total (exact at
+/// `sample_every == 1`). `entries` / `subscribers` / `themes` are sorted
+/// most-expensive first; the `hot_*` lists are the amortized top-k
+/// sketches feeding the flight recorder (approximate, but allocation-free
+/// to maintain).
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Whether cost attribution is on
+    /// ([`BrokerConfig::with_cost_attribution`]).
+    pub enabled: bool,
+    /// The 1-in-k sampling rate (0 when disabled).
+    pub sample_every: u64,
+    /// Dispatches charged so far.
+    pub samples: u64,
+    /// Sampled match nanoseconds across all charged dispatches.
+    pub sampled_match_ns: u64,
+    /// Sampled deliver nanoseconds across all charged dispatches.
+    pub sampled_deliver_ns: u64,
+    /// Exact sampled totals per subscription-index entry.
+    pub entries: Vec<CostEntry>,
+    /// Exact sampled totals per subscriber.
+    pub subscribers: Vec<CostEntry>,
+    /// Sampled totals per event theme tag (`samples` is 0 on these rows;
+    /// see [`CostState::theme_entries`]).
+    pub themes: Vec<CostEntry>,
+    /// Approximate `(label, sampled ns)` of the most expensive entries.
+    pub hot_entries: Vec<(String, u64)>,
+    /// Approximate `(label, sampled ns)` of the most expensive themes.
+    pub hot_themes: Vec<(String, u64)>,
+    /// Approximate `(label, sampled ns)` of the most expensive
+    /// subscribers.
+    pub hot_subscribers: Vec<(String, u64)>,
+}
+
+impl CostReport {
+    /// Estimated true match nanoseconds (`sampled × sample_every`).
+    pub fn estimated_match_ns(&self) -> u64 {
+        self.sampled_match_ns.saturating_mul(self.sample_every)
+    }
+
+    /// Estimated true deliver nanoseconds (`sampled × sample_every`).
+    pub fn estimated_deliver_ns(&self) -> u64 {
+        self.sampled_deliver_ns.saturating_mul(self.sample_every)
+    }
+
+    /// Estimated true match + deliver nanoseconds.
+    pub fn estimated_total_ns(&self) -> u64 {
+        self.estimated_match_ns()
+            .saturating_add(self.estimated_deliver_ns())
     }
 }
 
@@ -361,6 +547,10 @@ impl Shared {
         if let Some(dim) = &self.dim {
             dim.hot_themes
                 .for_each_top(8, |name, count| w.theme(name, count));
+        }
+        if let Some(cost) = &self.cost {
+            cost.hot_entries
+                .for_each_top(8, |name, ns| w.cost(name, ns));
         }
     }
 
@@ -467,7 +657,7 @@ fn report_drift_json(report: &crate::quality::QualityReport) -> String {
 fn config_fingerprint(config: &BrokerConfig) -> (String, String) {
     let summary = format!(
         "workers={} threshold={} queue={} notif={} policy={:?}/{:?} routing={:?} \
-         isolate={} attempts={} batch={} overload={} recorder={}",
+         isolate={} attempts={} batch={} overload={} recorder={} cost={}",
         config.workers,
         config.delivery_threshold,
         config.queue_capacity,
@@ -480,6 +670,7 @@ fn config_fingerprint(config: &BrokerConfig) -> (String, String) {
         config.dequeue_batch,
         config.overload.is_some(),
         config.recorder.is_some(),
+        config.cost_sample_every,
     );
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for b in summary.as_bytes() {
@@ -561,6 +752,9 @@ impl Broker {
             last_lazy_tick: parking_lot::Mutex::new(None),
             overload: config.overload.clone().map(OverloadController::new),
             recorder,
+            cost: (config.cost_sample_every > 0)
+                .then(|| CostState::new(config.cost_sample_every, config.label_cardinality)),
+            started: Instant::now(),
             config,
             ingress: tx,
             shutdown: AtomicBool::new(false),
@@ -676,7 +870,15 @@ impl Broker {
         // path now (it fans out to registrations directly), so an indexed
         // registration is immediately matchable, while the registry entry
         // only backs bookkeeping (counts, queue gauges, reaping).
-        self.shared.index.insert(id, &registration);
+        let (slot, uid) = self.shared.index.insert(id, &registration);
+        if let Some(cost) = &self.shared.cost {
+            // Preformat the cost labels here so sampled dispatches never
+            // allocate: the table owns the strings, charges borrow them.
+            cost.entries
+                .ensure(u64::from(slot), uid, || format!("entry-{slot}"));
+            cost.subscribers
+                .ensure(id.0, id.0, || format!("sub-{}", id.0));
+        }
         self.shared.registry.write().insert(id, registration);
         Ok((id, rx))
     }
@@ -1012,6 +1214,102 @@ impl Broker {
         )
     }
 
+    /// The current cost-attribution report. `enabled` is `false` (and
+    /// every table empty) unless the broker was started with
+    /// [`BrokerConfig::with_cost_attribution`].
+    pub fn costs(&self) -> CostReport {
+        let Some(cost) = &self.shared.cost else {
+            return CostReport::default();
+        };
+        CostReport {
+            enabled: true,
+            sample_every: cost.every,
+            samples: cost.samples.load(Ordering::Relaxed),
+            sampled_match_ns: cost.match_ns.load(Ordering::Relaxed),
+            sampled_deliver_ns: cost.deliver_ns.load(Ordering::Relaxed),
+            entries: cost.entries.snapshot(),
+            subscribers: cost.subscribers.snapshot(),
+            themes: cost.theme_entries(),
+            hot_entries: cost.hot_entries.top(16),
+            hot_themes: cost.hot_themes.top(16),
+            hot_subscribers: cost.hot_subscribers.top(16),
+        }
+    }
+
+    /// The `/costs` endpoint body: the [`Broker::costs`] report as JSON.
+    /// `{"enabled": false}` when cost attribution is off. Per-entity
+    /// sections are capped at 64 rows (most expensive first) with a
+    /// `*_truncated` count so a million-subscriber broker still scrapes
+    /// cheaply.
+    pub fn costs_json(&self) -> String {
+        use std::fmt::Write;
+        let report = self.costs();
+        if !report.enabled {
+            return "{\n  \"enabled\": false\n}\n".to_string();
+        }
+        fn section(out: &mut String, name: &str, rows: &[CostEntry]) {
+            use std::fmt::Write;
+            const CAP: usize = 64;
+            let shown = rows.len().min(CAP);
+            let _ = write!(out, "  \"{name}\": [");
+            for (i, row) in rows[..shown].iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\": \"{}\", \"match_ns\": {}, \"deliver_ns\": {}, \
+                     \"samples\": {}}}",
+                    escape_json(&row.label),
+                    row.match_ns,
+                    row.deliver_ns,
+                    row.samples,
+                );
+            }
+            let _ = writeln!(out, "],\n  \"{name}_truncated\": {},", rows.len() - shown);
+        }
+        fn hot(out: &mut String, name: &str, rows: &[(String, u64)], last: bool) {
+            use std::fmt::Write;
+            let _ = write!(out, "    \"{name}\": [");
+            for (i, (label, ns)) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\": \"{}\", \"sampled_ns\": {ns}}}",
+                    escape_json(label)
+                );
+            }
+            out.push(']');
+            out.push_str(if last { "\n" } else { ",\n" });
+        }
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\n  \"enabled\": true,\n  \"sample_every\": {},\n  \"samples\": {},\n  \
+             \"sampled_match_ns\": {},\n  \"sampled_deliver_ns\": {},\n  \
+             \"estimated_match_ns\": {},\n  \"estimated_deliver_ns\": {},\n  \
+             \"estimated_total_ns\": {},\n",
+            report.sample_every,
+            report.samples,
+            report.sampled_match_ns,
+            report.sampled_deliver_ns,
+            report.estimated_match_ns(),
+            report.estimated_deliver_ns(),
+            report.estimated_total_ns(),
+        );
+        section(&mut out, "entries", &report.entries);
+        section(&mut out, "subscribers", &report.subscribers);
+        section(&mut out, "themes", &report.themes);
+        out.push_str("  \"top\": {\n");
+        hot(&mut out, "entries", &report.hot_entries, false);
+        hot(&mut out, "themes", &report.hot_themes, false);
+        hot(&mut out, "subscribers", &report.hot_subscribers, true);
+        out.push_str("  }\n}\n");
+        out
+    }
+
     /// Fires the manual flight-recorder trigger (the `POST
     /// /debug/trigger` handler): freezes the frame ring into a
     /// diagnostic bundle with `detail` as the cause. Returns the bundle
@@ -1289,6 +1587,31 @@ impl Broker {
             "Live hash-consed subscription index entries",
             stats.index_entries as f64,
         )
+        .summary(
+            "tep_stage_queue_wait_summary_seconds",
+            "Publish to dequeue queue wait (quantile summary)",
+            stages.queue_wait.clone(),
+        )
+        .summary(
+            "tep_stage_match_exact_summary_seconds",
+            "Match-test latency, exact-only subscriptions (quantile summary)",
+            stages.match_exact.clone(),
+        )
+        .summary(
+            "tep_stage_match_thematic_summary_seconds",
+            "Match-test latency, approximate cache-miss subscriptions (quantile summary)",
+            stages.match_thematic.clone(),
+        )
+        .summary(
+            "tep_stage_match_cached_summary_seconds",
+            "Match-test latency, warm-cache subscriptions (quantile summary)",
+            stages.match_cached.clone(),
+        )
+        .summary(
+            "tep_stage_deliver_summary_seconds",
+            "Match decision to subscriber-channel hand-off (quantile summary)",
+            stages.deliver.clone(),
+        )
         .histogram(
             "tep_stage_queue_wait_seconds",
             "Publish to dequeue queue wait",
@@ -1330,12 +1653,27 @@ impl Broker {
             "tep_publish_queue_depth",
             "Events waiting on the ingress queue",
             self.publish_queue_depth() as f64,
+        )
+        .gauge_with(
+            "tep_build_info",
+            "Build metadata as an info gauge; constant 1",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("git", option_env!("GIT_SHA").unwrap_or("unknown")),
+            ],
+            1.0,
+        )
+        .gauge(
+            "tep_uptime_seconds",
+            "Seconds since the broker started",
+            self.shared.started.elapsed().as_secs_f64(),
         );
         self.subscriber_queue_metrics(&mut reg);
         self.windowed_metrics(&mut reg);
         self.labeled_metrics(&mut reg);
         self.quality_metrics(&mut reg);
         self.overload_metrics(&mut reg);
+        self.cost_metrics(&mut reg);
         reg
     }
 
@@ -1543,6 +1881,70 @@ impl Broker {
             "tep_quality_drift_alerts",
             "Rolling drift alerts currently raised",
             report.drift.len() as f64,
+        );
+    }
+
+    /// Sampled cost-attribution series; no-ops when cost attribution is
+    /// off ([`BrokerConfig::with_cost_attribution`]).
+    fn cost_metrics(&self, reg: &mut MetricsRegistry) {
+        let Some(cost) = &self.shared.cost else {
+            return;
+        };
+        const HELP: &str = "Sampled cost nanoseconds charged, by entity class and stage kind";
+        let entries = cost.entries.totals();
+        let subscribers = cost.subscribers.totals();
+        let theme_match: u64 = cost.theme_match_ns.snapshot().iter().map(|(_, n)| *n).sum();
+        let theme_deliver: u64 = cost
+            .theme_deliver_ns
+            .snapshot()
+            .iter()
+            .map(|(_, n)| *n)
+            .sum();
+        reg.counter_with(
+            "tep_cost_ns_total",
+            HELP,
+            &[("entity", "entry"), ("kind", "match")],
+            entries.match_ns,
+        )
+        .counter_with(
+            "tep_cost_ns_total",
+            HELP,
+            &[("entity", "entry"), ("kind", "deliver")],
+            entries.deliver_ns,
+        )
+        .counter_with(
+            "tep_cost_ns_total",
+            HELP,
+            &[("entity", "subscriber"), ("kind", "match")],
+            subscribers.match_ns,
+        )
+        .counter_with(
+            "tep_cost_ns_total",
+            HELP,
+            &[("entity", "subscriber"), ("kind", "deliver")],
+            subscribers.deliver_ns,
+        )
+        .counter_with(
+            "tep_cost_ns_total",
+            HELP,
+            &[("entity", "theme"), ("kind", "match")],
+            theme_match,
+        )
+        .counter_with(
+            "tep_cost_ns_total",
+            HELP,
+            &[("entity", "theme"), ("kind", "deliver")],
+            theme_deliver,
+        )
+        .counter(
+            "tep_cost_samples_total",
+            "Dispatches charged by the cost sampler",
+            cost.samples.load(Ordering::Relaxed),
+        )
+        .gauge(
+            "tep_cost_sample_every",
+            "Cost-attribution 1-in-k sampling rate",
+            cost.every as f64,
         );
     }
 
@@ -2601,6 +3003,114 @@ mod tests {
         b.flush().unwrap();
         assert!(b.quality().is_none());
         assert!(!b.metrics().render_prometheus().contains("tep_quality_"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn cost_attribution_disabled_is_inert() {
+        let b = broker();
+        let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        b.flush().unwrap();
+        let report = b.costs();
+        assert!(!report.enabled);
+        assert_eq!(report.samples, 0);
+        assert!(report.entries.is_empty());
+        assert_eq!(b.costs_json(), "{\n  \"enabled\": false\n}\n");
+        assert!(!b.metrics().render_prometheus().contains("tep_cost_"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn cost_attribution_reconciles_exactly_at_k_one() {
+        let b = Broker::start(
+            Arc::new(ExactMatcher::new()),
+            BrokerConfig::default()
+                .with_workers(2)
+                .with_cost_attribution(1),
+        );
+        let (_, rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+        let (_, _other) = b
+            .subscribe(parse_subscription("{other= thing}").unwrap())
+            .unwrap();
+        for _ in 0..32 {
+            b.publish(parse_event("{k: v}").unwrap()).unwrap();
+        }
+        b.flush().unwrap();
+        assert_eq!(rx.try_iter().count(), 32);
+        let report = b.costs();
+        assert!(report.enabled);
+        assert_eq!(report.sample_every, 1);
+        assert!(report.samples >= 32, "every dispatch is sampled at k=1");
+        // The invariant the sampler is built around: at k=1 each charged
+        // nanosecond figure is the very value the stage histograms
+        // recorded, so attributed totals equal the histogram sums.
+        let stages = b.stage_latencies();
+        let match_ns = stages.match_exact.sum().as_nanos() as u64
+            + stages.match_thematic.sum().as_nanos() as u64
+            + stages.match_cached.sum().as_nanos() as u64;
+        let deliver_ns = stages.deliver.sum().as_nanos() as u64;
+        assert_eq!(report.sampled_match_ns, match_ns);
+        assert_eq!(report.sampled_deliver_ns, deliver_ns);
+        assert_eq!(report.estimated_total_ns(), match_ns + deliver_ns);
+        // The exact per-entry table carries the same totals.
+        let entry_match: u64 = report.entries.iter().map(|e| e.match_ns).sum();
+        let entry_deliver: u64 = report.entries.iter().map(|e| e.deliver_ns).sum();
+        assert_eq!(entry_match, match_ns);
+        assert_eq!(entry_deliver, deliver_ns);
+        // Labels were preformatted at subscribe time.
+        assert!(report.entries.iter().all(|e| e.label.starts_with("entry-")));
+        assert!(report
+            .subscribers
+            .iter()
+            .all(|e| e.label.starts_with("sub-")));
+        // Untagged events still land in the per-theme table.
+        assert!(report.themes.iter().any(|t| t.label == "untagged"));
+        assert!(!report.hot_entries.is_empty());
+        // JSON and Prometheus surfaces agree it is on.
+        let json = b.costs_json();
+        assert!(json.contains("\"enabled\": true"));
+        assert!(json.contains("\"sample_every\": 1"));
+        assert!(json.contains("\"entries\": [{\"label\": \"entry-"));
+        let prom = b.metrics().render_prometheus();
+        assert!(prom.contains("tep_cost_ns_total"));
+        assert!(prom.contains("entity=\"entry\""));
+        assert!(prom.contains("tep_cost_samples_total"));
+        assert!(prom.contains("tep_cost_sample_every 1"));
+        b.shutdown();
+    }
+
+    #[test]
+    fn cost_sampling_is_deterministic_across_runs() {
+        let run = || {
+            let b = Broker::start(
+                Arc::new(ExactMatcher::new()),
+                BrokerConfig::default()
+                    .with_workers(1)
+                    .with_cost_attribution(4),
+            );
+            let (_, _rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+            for _ in 0..64 {
+                b.publish(parse_event("{k: v}").unwrap()).unwrap();
+            }
+            b.flush().unwrap();
+            let samples = b.costs().samples;
+            b.shutdown();
+            samples
+        };
+        let first = run();
+        assert!(first > 0, "k=4 over 64 events lands some samples");
+        assert!(first < 64, "k=4 samples a strict subset of dispatches");
+        assert_eq!(first, run(), "the sample set is a pure (seq, uid) hash");
+    }
+
+    #[test]
+    fn build_info_and_uptime_are_exported() {
+        let b = broker();
+        let prom = b.metrics().render_prometheus();
+        assert!(prom.contains("tep_build_info{"));
+        assert!(prom.contains(concat!("version=\"", env!("CARGO_PKG_VERSION"), "\"")));
+        assert!(prom.contains("tep_uptime_seconds"));
         b.shutdown();
     }
 }

@@ -230,6 +230,14 @@ pub struct BrokerConfig {
     /// then pays one branch per dequeued event for it.
     #[serde(default)]
     pub recorder: Option<RecorderSettings>,
+    /// Deterministic 1-in-k cost attribution: every sampled dispatch
+    /// (hashed from event sequence and index-entry id, like the quality
+    /// sampler) charges its measured match/deliver nanoseconds to the
+    /// owning subscription-index entry, its themes, and its subscribers
+    /// ([`crate::Broker::costs`]). `0` (the default) disables the whole
+    /// subsystem — the dispatch path then pays one branch for it.
+    #[serde(default)]
+    pub cost_sample_every: u64,
 }
 
 fn default_span_capacity() -> usize {
@@ -374,6 +382,14 @@ impl BrokerConfig {
         self.recorder = Some(settings);
         self
     }
+
+    /// Enables deterministic 1-in-`k` cost attribution (`0` disables
+    /// it). [`crate::DEFAULT_COST_SAMPLE_EVERY`] is the tuned default
+    /// rate the cost gate certifies.
+    pub fn with_cost_attribution(mut self, k: u64) -> BrokerConfig {
+        self.cost_sample_every = k;
+        self
+    }
 }
 
 impl Default for BrokerConfig {
@@ -400,6 +416,7 @@ impl Default for BrokerConfig {
             overload: None,
             dequeue_batch: default_dequeue_batch(),
             recorder: None,
+            cost_sample_every: 0,
         }
     }
 }
@@ -431,6 +448,7 @@ mod tests {
         assert!(c.overload.is_none(), "overload control is opt-in");
         assert!(c.dequeue_batch >= 1, "batch dequeue must stay enabled");
         assert!(c.recorder.is_none(), "the flight recorder is opt-in");
+        assert_eq!(c.cost_sample_every, 0, "cost attribution is opt-in");
     }
 
     #[test]
@@ -451,7 +469,8 @@ mod tests {
             .with_label_cardinality(0)
             .with_window_tick(Duration::from_micros(100))
             .with_window_capacity(1)
-            .with_dequeue_batch(0);
+            .with_dequeue_batch(0)
+            .with_cost_attribution(64);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.delivery_threshold, 0.5);
         assert_eq!(c.publish_policy, PublishPolicy::Reject);
@@ -471,6 +490,7 @@ mod tests {
         assert_eq!(c.window_tick_ms, 1, "sub-ms ticks clamp to 1ms");
         assert_eq!(c.window_capacity, 2, "window ring clamps to 2 frames");
         assert_eq!(c.dequeue_batch, 1, "batch size is clamped to at least 1");
+        assert_eq!(c.cost_sample_every, 64);
     }
 
     #[test]
@@ -498,10 +518,17 @@ mod tests {
             .with_labeled_metrics(true)
             .with_label_cardinality(16)
             .with_window_tick(Duration::from_secs(1))
-            .with_window_capacity(64);
+            .with_window_capacity(64)
+            .with_cost_attribution(32);
         let json = serde_json::to_string(&c).unwrap();
         let back: BrokerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+        // A pre-cost-attribution config (no `cost_sample_every` key)
+        // still deserializes, defaulting to off.
+        let stripped = json.replace(",\"cost_sample_every\":32", "");
+        assert_ne!(stripped, json, "cost key should strip");
+        let legacy: BrokerConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(legacy.cost_sample_every, 0);
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod stats;
 mod subindex;
 mod supervisor;
 
-pub use broker::{Broker, BrokerError, PublishOptions, SubscribeOptions, SubscriptionId};
+pub use broker::{
+    Broker, BrokerError, CostReport, PublishOptions, SubscribeOptions, SubscriptionId,
+    DEFAULT_COST_SAMPLE_EVERY,
+};
 pub use config::{BrokerConfig, PublishPolicy, RecorderSettings, RoutingPolicy, SubscriberPolicy};
 pub use explain::{render_explanations_json, CacheTemperature, MatchExplanation, MatchOutcome};
 pub use notification::Notification;
@@ -86,7 +89,7 @@ pub use supervisor::DeadLetter;
 // server without depending on `tep-obs` or `tep-matcher` directly.
 pub use tep_matcher::{DegradedMatching, MatchDetail, PredicateExplanation, RelatednessDetail};
 pub use tep_obs::{
-    render_spans_json, serve, span_tree, DiagnosticFrame, FlightRecorder, HistogramSnapshot,
-    MetricsRegistry, RecorderConfig, ScrapeHandlers, ScrapeServer, SpanNode, SpanRecord, StageStat,
-    WindowedDelta,
+    render_spans_json, serve, span_tree, CostEntry, DiagnosticFrame, FlightRecorder,
+    HistogramSnapshot, MetricsRegistry, RecorderConfig, ScrapeHandlers, ScrapeServer, SpanNode,
+    SpanRecord, StageStat, WindowedDelta,
 };

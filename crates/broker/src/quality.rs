@@ -97,7 +97,7 @@ impl fmt::Debug for QualityState {
 /// `% every` samples uniformly even when the per-round pair count
 /// divides `every` (a plain `seq % k` would test the *same* pairs every
 /// round on a cyclic workload).
-fn mix(seq: u64, subscription: u64) -> u64 {
+pub(crate) fn mix(seq: u64, subscription: u64) -> u64 {
     let mut z = seq
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(subscription);

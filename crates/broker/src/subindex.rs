@@ -224,6 +224,18 @@ impl IndexEntry {
         self.key.preds.len()
     }
 
+    /// Slot index in the entry table — the dense key cost attribution
+    /// charges against.
+    pub(crate) fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Unique id stamped at insert; distinguishes this entry from any
+    /// later occupant of a recycled slot.
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
+    }
+
     /// Current number of subscribers fanned out from this entry.
     pub(crate) fn fanout_len(&self) -> usize {
         self.fanout_len.load(Ordering::Relaxed)
@@ -307,8 +319,10 @@ impl SubscriptionIndex {
 
     /// Registers a subscriber. Duplicates of an existing canonical form
     /// join that entry's fan-out; new forms allocate an entry and wire its
-    /// covering edges against every related entry.
-    pub(crate) fn insert(&self, id: SubscriptionId, reg: &Arc<Registration>) {
+    /// covering edges against every related entry. Returns the owning
+    /// entry's `(slot, uid)` so callers can key per-entry state (e.g.
+    /// cost-attribution cells) against the hash-consed identity.
+    pub(crate) fn insert(&self, id: SubscriptionId, reg: &Arc<Registration>) -> (u32, u64) {
         let sub = &reg.subscription;
         let (theme_id, theme) = theme_for_tags(sub.theme_tags());
         let key = EntryKey::of(sub, theme_id);
@@ -327,8 +341,9 @@ impl SubscriptionIndex {
             });
             entry.fanout_len.store(fan.len(), Ordering::Relaxed);
             drop(fan);
+            let joined = (entry.slot, entry.uid);
             self.subscribers.fetch_add(1, Ordering::Relaxed);
-            return;
+            return joined;
         }
 
         let slot = match inner.free.pop() {
@@ -449,6 +464,7 @@ impl SubscriptionIndex {
         }
         self.entries.store(inner.by_key.len(), Ordering::Relaxed);
         self.subscribers.fetch_add(1, Ordering::Relaxed);
+        (slot, uid)
     }
 
     /// Removes a subscriber; drops its entry (and the entry's leaves) when

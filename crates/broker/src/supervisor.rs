@@ -18,12 +18,12 @@
 //! is eventually counted in `processed` (delivered, dropped, or
 //! quarantined), so [`crate::Broker::flush_timeout`] terminates.
 
-use crate::broker::{Registration, Shared, SubscriptionId};
+use crate::broker::{CostState, Registration, Shared, SubscriptionId};
 use crate::config::{RoutingPolicy, SubscriberPolicy};
 use crate::explain::{CacheTemperature, MatchExplanation, MatchOutcome};
 use crate::notification::Notification;
 use crate::stats::{nanos_between, EventTrace, WorkerShard};
-use crate::subindex::DispatchScratch;
+use crate::subindex::{DispatchScratch, IndexEntry};
 use crossbeam::channel::{Receiver, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -676,6 +676,17 @@ fn process_event<M>(
     matcher.begin_event(&job.event);
     for ci in 0..scratch.entries.len() {
         let entry = Arc::clone(&scratch.entries[ci]);
+        // Cost attribution: one branch per dispatch when off. When on,
+        // the same deterministic splitmix64 decision the quality sampler
+        // uses picks 1-in-k (event, entry) dispatches whose measured
+        // nanoseconds are charged to the entry, its themes, and its
+        // delivered subscribers.
+        let cost = shared
+            .cost
+            .as_ref()
+            .filter(|c| c.should_sample(job.seq, entry.uid()));
+        let mut cost_match_ns = 0u64;
+        let mut cost_deliver_ns = 0u64;
         if per_member {
             // Per-pair sweep: every fan-out member is tested against its
             // own subscription, preserving the one-explanation-per-test
@@ -698,6 +709,11 @@ fn process_event<M>(
                     CacheTemperature::Exact => temp_exact += 1,
                     CacheTemperature::ThematicCold => temp_thematic += 1,
                     CacheTemperature::CacheWarm => temp_cached += 1,
+                }
+                if cost.is_some() {
+                    // The same span the stage histogram records, so k=1
+                    // attribution reconciles exactly.
+                    cost_match_ns += nanos_between(run.match_start, run.match_end);
                 }
                 let Some(result) = run.outcome else {
                     exhausted_attempts = exhausted_attempts.max(run.exhausted);
@@ -801,10 +817,16 @@ fn process_event<M>(
                         trace_notifications += 1;
                     }
                     let deliver_end = Instant::now();
-                    shard
-                        .stage
-                        .deliver
-                        .record_nanos(nanos_between(run.match_end, deliver_end));
+                    let deliver_ns = nanos_between(run.match_end, deliver_end);
+                    shard.stage.deliver.record_nanos(deliver_ns);
+                    if let Some(cost) = cost {
+                        cost_deliver_ns += deliver_ns;
+                        cost.charge_subscriber(
+                            id.0,
+                            nanos_between(run.match_start, run.match_end),
+                            deliver_ns,
+                        );
+                    }
                     if let Some(parent) = match_span {
                         shared.spans.record_new(
                             Some(parent),
@@ -849,6 +871,9 @@ fn process_event<M>(
                         detail,
                     ));
                 }
+            }
+            if let Some(cost) = cost {
+                flush_entry_cost(cost, &entry, &job, cost_match_ns, cost_deliver_ns);
             }
             continue;
         }
@@ -903,10 +928,15 @@ fn process_event<M>(
                         trace_notifications += 1;
                     }
                     let deliver_end = Instant::now();
-                    shard
-                        .stage
-                        .deliver
-                        .record_nanos(nanos_between(twin_start, deliver_end));
+                    let deliver_ns = nanos_between(twin_start, deliver_end);
+                    shard.stage.deliver.record_nanos(deliver_ns);
+                    if let Some(cost) = cost {
+                        cost_deliver_ns += deliver_ns;
+                        cost.charge_subscriber(member.id.0, 0, deliver_ns);
+                    }
+                }
+                if let Some(cost) = cost {
+                    flush_entry_cost(cost, &entry, &job, cost_match_ns, cost_deliver_ns);
                 }
                 continue;
             }
@@ -925,6 +955,9 @@ fn process_event<M>(
             CacheTemperature::Exact => temp_exact += 1,
             CacheTemperature::ThematicCold => temp_thematic += 1,
             CacheTemperature::CacheWarm => temp_cached += 1,
+        }
+        if cost.is_some() {
+            cost_match_ns += nanos_between(run.match_start, run.match_end);
         }
         let Some(result) = run.outcome else {
             exhausted_attempts = exhausted_attempts.max(run.exhausted);
@@ -948,6 +981,9 @@ fn process_event<M>(
                         ("outcome".to_string(), "panicked".to_string()),
                     ],
                 );
+            }
+            if let Some(cost) = cost {
+                flush_entry_cost(cost, &entry, &job, cost_match_ns, cost_deliver_ns);
             }
             continue;
         };
@@ -1022,10 +1058,18 @@ fn process_event<M>(
                     trace_notifications += 1;
                 }
                 let deliver_end = Instant::now();
-                shard
-                    .stage
-                    .deliver
-                    .record_nanos(nanos_between(run.match_end, deliver_end));
+                let deliver_ns = nanos_between(run.match_end, deliver_end);
+                shard.stage.deliver.record_nanos(deliver_ns);
+                if let Some(cost) = cost {
+                    cost_deliver_ns += deliver_ns;
+                    // An aggregated test served the whole fan-out, so a
+                    // delivered member's match share is an even split.
+                    cost.charge_subscriber(
+                        member.id.0,
+                        cost_match_ns / fan.len().max(1) as u64,
+                        deliver_ns,
+                    );
+                }
                 if let Some(parent) = match_span {
                     shared.spans.record_new(
                         Some(parent),
@@ -1037,6 +1081,9 @@ fn process_event<M>(
                     );
                 }
             }
+        }
+        if let Some(cost) = cost {
+            flush_entry_cost(cost, &entry, &job, cost_match_ns, cost_deliver_ns);
         }
     }
     if !dead.is_empty() {
@@ -1118,6 +1165,32 @@ fn process_event<M>(
             notifications: trace_notifications,
             quarantined,
         });
+    }
+}
+
+/// Flushes one sampled dispatch's measured nanoseconds into the cost
+/// tables: the owning index entry (exact, uid-stamped against slot
+/// recycling), each of the event's theme tags (the full cost, mirroring
+/// `match_by_theme` semantics), and the global sampled totals the
+/// reconciliation invariant checks. Subscriber shares were already
+/// charged at the delivery sites, where per-member timings exist.
+/// Allocation-free in steady state: labels were preformatted at
+/// subscribe time and theme counters hit the family's read path.
+fn flush_entry_cost(
+    cost: &CostState,
+    entry: &IndexEntry,
+    job: &Job,
+    match_ns: u64,
+    deliver_ns: u64,
+) {
+    cost.charge_entry(entry.slot(), entry.uid(), match_ns, deliver_ns);
+    let mut tagged = false;
+    for tag in job.event.theme_tags() {
+        tagged = true;
+        cost.charge_theme(tag, match_ns, deliver_ns);
+    }
+    if !tagged {
+        cost.charge_theme("untagged", match_ns, deliver_ns);
     }
 }
 

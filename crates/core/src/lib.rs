@@ -68,13 +68,13 @@ pub use tep_thesaurus as thesaurus;
 pub mod prelude {
     pub use tep_broker::{
         render_explanations_json, render_quality_json, render_spans_json, serve, span_tree,
-        BreakerConfig, Broker, BrokerConfig, BrokerError, BrokerStats, CacheTemperature,
-        DeadLetter, DiagnosticFrame, DriftAlert, DriftKind, EventTrace, FlightRecorder,
+        BreakerConfig, Broker, BrokerConfig, BrokerError, BrokerStats, CacheTemperature, CostEntry,
+        CostReport, DeadLetter, DiagnosticFrame, DriftAlert, DriftKind, EventTrace, FlightRecorder,
         HistogramSnapshot, LoadState, MatchExplanation, MatchOutcome, MetricsRegistry,
         Notification, OverloadConfig, PublishOptions, PublishPolicy, QualityOracle, QualityReport,
         RecorderConfig, RecorderSettings, RoutingPolicy, ScrapeHandlers, ScrapeServer, ShedReason,
         SpanNode, SpanRecord, StageLatencies, StageStat, SubscribeOptions, SubscriberPolicy,
-        WindowedDelta,
+        WindowedDelta, DEFAULT_COST_SAMPLE_EVERY,
     };
     pub use tep_cep::{CepEngine, Detection, Pattern, Timestamped};
     pub use tep_corpus::{Corpus, CorpusConfig, CorpusGenerator};

@@ -33,7 +33,10 @@
 //!   diagnostic bundle (with a bounded on-disk spool) when a trigger
 //!   fires, so the evidence of an incident survives the incident;
 //! * [`CounterFamily`] — labeled counter series under a hard
-//!   cardinality cap with an overflow bucket.
+//!   cardinality cap with an overflow bucket;
+//! * [`CostTable`] — a sharded exact cost-attribution table charging
+//!   sampled match/deliver nanoseconds to index entries and
+//!   subscribers without allocating on the hot path.
 //!
 //! The crate is intentionally free of tep dependencies so any layer
 //! (semantics, matcher, broker, bench) can use it without cycles.
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod cost;
 mod dim;
 mod escape;
 mod hist;
@@ -52,6 +56,7 @@ mod topk;
 mod trace;
 mod window;
 
+pub use cost::{CostEntry, CostTable, CostTotals};
 pub use dim::{CounterFamily, OVERFLOW_LABEL};
 pub use escape::{escape_json, is_valid_label_name, is_valid_metric_name};
 pub use hist::{HistogramSnapshot, LatencyHistogram};

@@ -114,6 +114,11 @@ pub struct DiagnosticFrame {
     themes: Vec<ThemeSlot>,
     /// Live prefix of `themes`; slots past it keep their capacity.
     themes_len: usize,
+    /// Hottest cost-attribution entries, `(label, sampled ns)`, pooled
+    /// like `themes`.
+    costs: Vec<ThemeSlot>,
+    /// Live prefix of `costs`.
+    costs_len: usize,
 }
 
 impl DiagnosticFrame {
@@ -156,6 +161,7 @@ impl DiagnosticFrame {
         self.labels.clear();
         self.stages.clear();
         self.themes_len = 0;
+        self.costs_len = 0;
     }
 
     fn render_json(&self, out: &mut String) {
@@ -205,6 +211,16 @@ impl DiagnosticFrame {
             let _ = write!(
                 out,
                 "{sep}{{\"name\": \"{}\", \"count\": {}}}",
+                escape_json(&slot.name),
+                slot.count
+            );
+        }
+        out.push_str("], \"costs\": [");
+        for (i, slot) in self.costs[..self.costs_len].iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(
+                out,
+                "{sep}{{\"name\": \"{}\", \"ns\": {}}}",
                 escape_json(&slot.name),
                 slot.count
             );
@@ -276,6 +292,24 @@ impl FrameWriter<'_> {
             });
         }
         self.frame.themes_len += 1;
+    }
+
+    /// Records one hot cost-attribution entry (`name`, sampled
+    /// nanoseconds), reusing a pooled `String` slot like
+    /// [`FrameWriter::theme`].
+    pub fn cost(&mut self, name: &str, ns: u64) {
+        if self.frame.costs_len < self.frame.costs.len() {
+            let slot = &mut self.frame.costs[self.frame.costs_len];
+            slot.name.clear();
+            slot.name.push_str(name);
+            slot.count = ns;
+        } else {
+            self.frame.costs.push(ThemeSlot {
+                name: name.to_string(),
+                count: ns,
+            });
+        }
+        self.frame.costs_len += 1;
     }
 }
 
@@ -594,6 +628,7 @@ mod tests {
         hist.record_nanos(2_000);
         w.stage("queue_wait", |snap| hist.accumulate_into(snap));
         w.theme("energy policy", 5);
+        w.cost("entry-3", 12_500);
     }
 
     fn unique_spool(tag: &str) -> PathBuf {
@@ -681,6 +716,7 @@ mod tests {
         assert!(bundle.contains("\"load_state\": \"healthy\""));
         assert!(bundle.contains("\"stage\": \"queue_wait\""));
         assert!(bundle.contains("\"name\": \"energy policy\""));
+        assert!(bundle.contains("\"costs\": [{\"name\": \"entry-3\", \"ns\": 12500}]"));
         assert_eq!(rec.bundles_assembled(), 1);
     }
 
@@ -764,6 +800,7 @@ mod tests {
         for frame in ring.slots.iter() {
             assert!(frame.counters.capacity() >= 1);
             assert_eq!(frame.themes.len(), 1, "theme slots are pooled, not dropped");
+            assert_eq!(frame.costs.len(), 1, "cost slots are pooled, not dropped");
         }
     }
 }

@@ -34,7 +34,20 @@ pub struct MetricsRegistry {
     counters: Vec<(String, String, Labels, u64)>,
     gauges: Vec<(String, String, Labels, f64)>,
     histograms: Vec<(String, String, Labels, HistogramSnapshot)>,
+    summaries: Vec<(String, String, Labels, HistogramSnapshot)>,
 }
+
+/// A named quantile accessor on a histogram snapshot.
+type Quantile = (&'static str, fn(&HistogramSnapshot) -> std::time::Duration);
+
+/// The quantiles a summary series exposes, matching the percentile
+/// gauges the JSON document has always carried.
+const SUMMARY_QUANTILES: [Quantile; 4] = [
+    ("0.5", HistogramSnapshot::p50),
+    ("0.9", HistogramSnapshot::p90),
+    ("0.95", HistogramSnapshot::p95),
+    ("0.99", HistogramSnapshot::p99),
+];
 
 /// Renders a nanosecond value as a Prometheus seconds literal.
 fn secs(nanos: u64) -> String {
@@ -177,6 +190,36 @@ impl MetricsRegistry {
         self
     }
 
+    /// Adds a latency summary (nanosecond-valued): the snapshot is
+    /// exposed as precomputed `{quantile="..."}` series plus `_sum`
+    /// and `_count` companions, so scrapers get the broker-side
+    /// percentile estimates *and* enough to compute true averages,
+    /// without shipping the full bucket vector twice.
+    ///
+    /// # Panics
+    /// If `name` is not a valid Prometheus metric name.
+    pub fn summary(&mut self, name: &str, help: &str, snap: HistogramSnapshot) -> &mut Self {
+        self.summary_with(name, help, &[], snap)
+    }
+
+    /// Adds a latency summary carrying label pairs.
+    ///
+    /// # Panics
+    /// If `name` or any label name is invalid.
+    pub fn summary_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: HistogramSnapshot,
+    ) -> &mut Self {
+        check_metric_name(name);
+        let labels = check_labels(name, labels);
+        self.summaries
+            .push((name.into(), help.into(), labels, snap));
+        self
+    }
+
     /// Counters with duplicate `(name, labels)` summed, registration
     /// order preserved (first occurrence wins the position).
     fn coalesced_counters(&self) -> Vec<(&str, &str, &Labels, u64)> {
@@ -214,6 +257,22 @@ impl MetricsRegistry {
     fn coalesced_histograms(&self) -> Vec<(&str, &str, &Labels, HistogramSnapshot)> {
         let mut out: Vec<(&str, &str, &Labels, HistogramSnapshot)> = Vec::new();
         for (name, help, labels, snap) in &self.histograms {
+            match out
+                .iter_mut()
+                .find(|(n, _, l, _)| *n == name && *l == labels)
+            {
+                Some(entry) => entry.3.merge(snap),
+                None => out.push((name, help, labels, snap.clone())),
+            }
+        }
+        out
+    }
+
+    /// Summaries with duplicate `(name, labels)` merged snapshot-wise,
+    /// like histograms (the quantiles re-derive from the merge).
+    fn coalesced_summaries(&self) -> Vec<(&str, &str, &Labels, HistogramSnapshot)> {
+        let mut out: Vec<(&str, &str, &Labels, HistogramSnapshot)> = Vec::new();
+        for (name, help, labels, snap) in &self.summaries {
             match out
                 .iter_mut()
                 .find(|(n, _, l, _)| *n == name && *l == labels)
@@ -266,6 +325,34 @@ impl MetricsRegistry {
                 series(&format!("{name}_count"), labels)
             );
         }
+        for (name, help, labels, snap) in self.coalesced_summaries() {
+            header(&mut out, &mut emitted, name, help, "summary");
+            // `quantile` joins the sample's own labels, like `le` does
+            // for histograms.
+            let prefix: String = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\",", escape_label_value(v)))
+                .collect();
+            for (q, pick) in SUMMARY_QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{name}{{{prefix}quantile=\"{q}\"}} {}",
+                    secs(pick(&snap).as_nanos() as u64)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(&format!("{name}_sum"), labels),
+                secs(snap.sum().as_nanos() as u64)
+            );
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(&format!("{name}_count"), labels),
+                snap.count()
+            );
+        }
         out
     }
 
@@ -286,7 +373,11 @@ impl MetricsRegistry {
             let _ = write!(out, "{sep}\n    \"{key}\": {value}");
         }
         out.push_str("\n  },\n  \"histograms\": {");
-        for (i, (name, _, labels, snap)) in self.coalesced_histograms().iter().enumerate() {
+        // Summaries share the histogram JSON shape (both are snapshot
+        // percentile objects); names are disjoint by convention.
+        let mut distributions = self.coalesced_histograms();
+        distributions.extend(self.coalesced_summaries());
+        for (i, (name, _, labels, snap)) in distributions.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
@@ -510,6 +601,64 @@ mod tests {
         assert!(text.contains("tep_stage_match_seconds_sum{window=\"10s\"} 0.00001"));
         let json = r.render_json();
         assert!(json.contains("\"tep_stage_match_seconds{window=\\\"10s\\\"}\""));
+    }
+
+    #[test]
+    fn summaries_render_quantiles_with_sum_and_count() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100] {
+            h.record_nanos(us * 1_000);
+        }
+        let mut r = MetricsRegistry::new();
+        r.summary("tep_stage_match_summary_seconds", "Match.", h.snapshot())
+            .summary_with(
+                "tep_stage_match_summary_seconds",
+                "Match.",
+                &[("window", "10s")],
+                h.snapshot(),
+            );
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE tep_stage_match_summary_seconds summary")
+                .count(),
+            1
+        );
+        for q in ["0.5", "0.9", "0.95", "0.99"] {
+            assert!(
+                text.contains(&format!(
+                    "tep_stage_match_summary_seconds{{quantile=\"{q}\"}}"
+                )),
+                "missing quantile {q}:\n{text}"
+            );
+        }
+        // The companions let scrapers compute true averages.
+        assert!(text.contains("tep_stage_match_summary_seconds_sum 0.000111"));
+        assert!(text.contains("tep_stage_match_summary_seconds_count 3"));
+        // Labeled variant puts its labels before `quantile` and keeps
+        // its own companions.
+        assert!(text.contains("tep_stage_match_summary_seconds{window=\"10s\",quantile=\"0.5\"}"));
+        assert!(text.contains("tep_stage_match_summary_seconds_count{window=\"10s\"} 3"));
+        // The JSON document carries the same snapshot percentiles.
+        let json = r.render_json();
+        assert!(json.contains("\"tep_stage_match_summary_seconds\": {\"count\": 3"));
+    }
+
+    #[test]
+    fn duplicate_summaries_merge_like_histograms() {
+        let h1 = LatencyHistogram::new();
+        let h2 = LatencyHistogram::new();
+        h1.record_nanos(1_000);
+        h2.record_nanos(2_000);
+        let mut r = MetricsRegistry::new();
+        r.summary("tep_s_seconds", "S.", h1.snapshot()).summary(
+            "tep_s_seconds",
+            "S.",
+            h2.snapshot(),
+        );
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE tep_s_seconds summary").count(), 1);
+        assert!(text.contains("tep_s_seconds_count 2"));
+        assert!(text.contains("tep_s_seconds_sum 0.000003"));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   installs a handler via [`ScrapeHandlers::with_quality`]),
 //! * `GET /top` — top-k hottest themes/terms JSON (when installed via
 //!   [`ScrapeHandlers::with_top`]),
+//! * `GET /costs` — sampled cost-attribution JSON (when installed via
+//!   [`ScrapeHandlers::with_costs`]),
 //! * `GET /overload` — load-state / shedding / circuit-breaker JSON (when
 //!   installed via [`ScrapeHandlers::with_overload`]),
 //! * `GET /debug/bundle` — the latest flight-recorder diagnostic bundle
@@ -138,6 +140,21 @@ impl ScrapeHandlers {
             path: "/top",
             content_type: "application/json",
             respond: ok(top),
+        });
+        self
+    }
+
+    /// Installs the `/costs` body producer (JSON): the broker's
+    /// sampled cost-attribution snapshot.
+    pub fn with_costs(
+        mut self,
+        costs: impl Fn() -> String + Send + Sync + 'static,
+    ) -> ScrapeHandlers {
+        self.routes.push(Route {
+            method: "GET",
+            path: "/costs",
+            content_type: "application/json",
+            respond: ok(costs),
         });
         self
     }
@@ -462,6 +479,7 @@ mod tests {
         let addr = server.local_addr();
         assert!(get(addr, "/quality").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/top").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/costs").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/overload").starts_with("HTTP/1.1 404"));
         server.shutdown();
 
@@ -470,6 +488,7 @@ mod tests {
             ScrapeHandlers::new(String::new, String::new, String::new)
                 .with_quality(|| "{\"f1\":0.85}".to_string())
                 .with_top(|| "{\"themes\":[]}".to_string())
+                .with_costs(|| "{\"entries\":[]}".to_string())
                 .with_overload(|| "{\"state\":\"healthy\"}".to_string()),
         )
         .expect("bind ephemeral port");
@@ -481,11 +500,15 @@ mod tests {
         let top = get(addr, "/top");
         assert!(top.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(top.ends_with("{\"themes\":[]}"));
+        let costs = get(addr, "/costs");
+        assert!(costs.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(costs.contains("Content-Type: application/json"));
+        assert!(costs.ends_with("{\"entries\":[]}"));
         let overload = get(addr, "/overload");
         assert!(overload.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(overload.ends_with("{\"state\":\"healthy\"}"));
         // The 404 hint advertises the new endpoints.
-        assert!(get(addr, "/nope").contains("/quality, /top, /overload"));
+        assert!(get(addr, "/nope").contains("/quality, /top, /costs, /overload"));
         server.shutdown();
     }
 
@@ -562,7 +585,11 @@ mod tests {
         let addr = server.local_addr();
         let missing = get(addr, "/debug/bundle");
         assert!(missing.starts_with("HTTP/1.1 404"));
-        assert!(missing.contains("no bundle yet"));
+        // Not the plain-text route-help 404: a JSON error body with the
+        // route's content type, so clients parsing the endpoint always
+        // get JSON.
+        assert!(missing.contains("Content-Type: application/json"));
+        assert!(missing.ends_with("{\"error\": \"no bundle yet\"}\n"));
         // The trigger route only answers POST.
         assert!(get(addr, "/debug/trigger").starts_with("HTTP/1.1 405"));
         let fired = request(addr, "POST /debug/trigger HTTP/1.1\r\nHost: x\r\n\r\n");

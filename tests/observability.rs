@@ -818,3 +818,155 @@ fn concurrent_lazy_ticks_push_at_most_one_frame_per_interval() {
     assert_eq!(race(&b), 1, "a stale window ticks exactly once more");
     b.close();
 }
+
+/// Satellite check: every installed scrape endpoint survives a storm of
+/// concurrent scrapers racing live publish traffic — no handler panics,
+/// no torn responses (each body matches its Content-Length), and every
+/// JSON endpoint keeps returning parseable documents throughout.
+#[test]
+fn concurrent_scrapes_of_all_endpoints_under_publish_load() {
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Ground truth for the quality sampler: relevant iff `k` is `v`.
+    struct KvOracle;
+    impl tep::broker::QualityOracle for KvOracle {
+        fn judge(&self, _s: &Subscription, e: &Event) -> Option<bool> {
+            Some(e.value_of("k") == Some("v"))
+        }
+    }
+
+    let b = Arc::new(
+        exact_broker(
+            BrokerConfig::default()
+                .with_workers(2)
+                .with_explain_capacity(32)
+                .with_labeled_metrics(true)
+                .with_overload_control(OverloadConfig::default())
+                .with_flight_recorder(RecorderSettings::default())
+                .with_cost_attribution(1),
+        )
+        .with_quality_sampling(4, Box::new(KvOracle)),
+    );
+    let (_, rx) = b.subscribe(parse_subscription("{k= v}").unwrap()).unwrap();
+
+    let handlers = {
+        let (mb, hb, eb) = (Arc::clone(&b), Arc::clone(&b), Arc::clone(&b));
+        let (qb, tb, ob) = (Arc::clone(&b), Arc::clone(&b), Arc::clone(&b));
+        let (cb, rb, db) = (Arc::clone(&b), Arc::clone(&b), Arc::clone(&b));
+        ScrapeHandlers::new(
+            move || mb.metrics().render_prometheus(),
+            move || {
+                format!(
+                    "{{\"status\":\"ok\",\"processed\":{}}}\n",
+                    hb.stats().processed
+                )
+            },
+            move || render_explanations_json(&eb.explain_last(32)),
+        )
+        .with_quality(move || match qb.quality() {
+            Some(report) => render_quality_json(&report),
+            None => String::from("{\"status\":\"no quality sampling installed\"}\n"),
+        })
+        .with_top(move || tb.top_json(10))
+        .with_overload(move || ob.overload_json())
+        .with_costs(move || cb.costs_json())
+        .with_readyz(move || rb.readiness())
+        .with_bundle(move || db.latest_bundle_json().map(|bundle| (*bundle).clone()))
+    };
+    let server = serve("127.0.0.1:0", handlers).expect("bind on an ephemeral port");
+    let addr = server.local_addr();
+
+    // Publish load for the whole scrape storm: a background writer keeps
+    // the cost tables, stage histograms, and windowed rates moving while
+    // the scrapers read them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let (b, stop) = (Arc::clone(&b), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let k = if i.is_multiple_of(3) { "v" } else { "w" };
+                b.publish(parse_event(&format!("{{k: {k}, i: n{i}}}")).unwrap())
+                    .unwrap();
+                i += 1;
+                if i.is_multiple_of(64) {
+                    let _ = b.flush();
+                }
+            }
+            let _ = b.flush();
+        })
+    };
+
+    const ENDPOINTS: [&str; 7] = [
+        "/metrics",
+        "/costs",
+        "/quality",
+        "/top",
+        "/overload",
+        "/readyz",
+        "/debug/bundle",
+    ];
+    let scrapers: Vec<_> = (0..4)
+        .map(|worker| {
+            std::thread::spawn(move || {
+                for round in 0..8 {
+                    for path in ENDPOINTS {
+                        let mut s = std::net::TcpStream::connect(addr).unwrap();
+                        write!(
+                            s,
+                            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+                        )
+                        .unwrap();
+                        s.flush().unwrap();
+                        let mut response = String::new();
+                        s.read_to_string(&mut response).unwrap();
+                        let tag = format!("worker {worker} round {round} {path}");
+                        // /debug/bundle is 404 until a trigger fires; every
+                        // other endpoint must answer 200 under load.
+                        if path == "/debug/bundle" {
+                            assert!(
+                                response.starts_with("HTTP/1.1 200 OK")
+                                    || response.starts_with("HTTP/1.1 404"),
+                                "{tag}: {response}"
+                            );
+                        } else {
+                            assert!(response.starts_with("HTTP/1.1 200 OK"), "{tag}: {response}");
+                        }
+                        // An untorn response carries exactly Content-Length
+                        // body bytes after the blank line.
+                        let length: usize = response
+                            .lines()
+                            .find_map(|l| l.strip_prefix("Content-Length: "))
+                            .unwrap_or_else(|| panic!("{tag}: no Content-Length"))
+                            .trim()
+                            .parse()
+                            .unwrap();
+                        let body = response
+                            .split_once("\r\n\r\n")
+                            .unwrap_or_else(|| panic!("{tag}: no header/body split"))
+                            .1;
+                        assert_eq!(body.len(), length, "{tag}: torn body");
+                        if path != "/metrics" {
+                            serde_json::from_str::<serde_json::JsonValue>(body)
+                                .unwrap_or_else(|e| panic!("{tag}: torn JSON {e:?} in {body}"));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for s in scrapers {
+        s.join().expect("a scraper thread panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    publisher.join().expect("the publisher thread panicked");
+
+    // The storm really ran against live state: traffic flowed and the
+    // cost table attributed it.
+    assert!(rx.try_iter().count() > 0, "publish load delivered");
+    let costs = b.costs();
+    assert!(costs.enabled && costs.samples > 0, "cost attribution ran");
+    server.shutdown();
+    b.close();
+}
